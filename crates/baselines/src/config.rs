@@ -1,0 +1,162 @@
+//! Control-flow baseline configurations.
+
+use dataflower_cluster::ContainerSpec;
+use dataflower_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How intermediate data moves between functions in a control-flow system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPassing {
+    /// Everything round-trips through the backend storage node (the
+    /// production-platform default of §3.2: `Put()` after compute,
+    /// `Get()` after trigger).
+    BackendStorage,
+    /// FaaSFlow: co-located function pairs pass data through node-local
+    /// memory; cross-node pairs still use backend storage. Cached data is
+    /// only freed when the whole request completes (§7 "the caching
+    /// design such as FaaSFlow can only remove the cache after each
+    /// request completion").
+    FaaSFlowHybrid,
+    /// SONIC: outputs persist to the source host's VM storage; each
+    /// destination container fetches peer-to-peer from the source node
+    /// when (and only when) it is triggered.
+    SonicLocal,
+}
+
+/// Configuration of a [`ControlFlowEngine`](crate::ControlFlowEngine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlFlowConfig {
+    /// Display name of the system.
+    pub label: SystemLabel,
+    /// Container resource spec.
+    pub container_spec: ContainerSpec,
+    /// Scale-out cap per function.
+    pub max_containers_per_function: usize,
+    /// State-management latency between a predecessor completing and the
+    /// successor being triggered (Fig. 2c measures ~63 ms on production
+    /// platforms).
+    pub trigger_overhead: SimDuration,
+    /// Data path.
+    pub data_passing: DataPassing,
+    /// Centralized platforms trigger strictly in topological order
+    /// (§3.2.3 "in-order triggering"); decentralized ones (FaaSFlow,
+    /// SONIC) trigger as soon as a function's own predecessors finish.
+    pub in_order_triggering: bool,
+    /// Minimum spacing between scale-out decisions per function (the
+    /// platform's reactive autoscaler ramp, identical across systems).
+    pub scale_cooldown: SimDuration,
+}
+
+/// Known baseline identities (drives [`Orchestrator::name`]).
+///
+/// [`Orchestrator::name`]: dataflower_cluster::Orchestrator::name
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemLabel {
+    /// A production-style centralized workflow orchestrator.
+    Centralized,
+    /// FaaSFlow with its WorkerSP decentralized scheduling.
+    FaaSFlow,
+    /// SONIC application-aware data passing.
+    Sonic,
+    /// AWS-Step-Functions-style stateful state machine (Fig. 19).
+    StateMachine,
+}
+
+impl SystemLabel {
+    /// The display string used in reports and figures.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SystemLabel::Centralized => "Centralized",
+            SystemLabel::FaaSFlow => "FaaSFlow",
+            SystemLabel::Sonic => "SONIC",
+            SystemLabel::StateMachine => "StateMachine",
+        }
+    }
+}
+
+impl ControlFlowConfig {
+    /// The production-platform stand-in used for the Fig. 2
+    /// characterization: backend storage everywhere, heavyweight state
+    /// machine, strict in-order triggering.
+    pub fn centralized() -> Self {
+        ControlFlowConfig {
+            label: SystemLabel::Centralized,
+            container_spec: ContainerSpec::default(),
+            max_containers_per_function: 64,
+            trigger_overhead: SimDuration::from_millis(63),
+            data_passing: DataPassing::BackendStorage,
+            in_order_triggering: true,
+            scale_cooldown: SimDuration::from_millis(100),
+        }
+    }
+
+    /// FaaSFlow (§9.1's first comparator): decentralized triggering with
+    /// local-memory data passing for co-located functions.
+    pub fn faasflow() -> Self {
+        ControlFlowConfig {
+            label: SystemLabel::FaaSFlow,
+            container_spec: ContainerSpec::default(),
+            max_containers_per_function: 64,
+            trigger_overhead: SimDuration::from_millis(15),
+            data_passing: DataPassing::FaaSFlowHybrid,
+            in_order_triggering: false,
+            scale_cooldown: SimDuration::from_millis(100),
+        }
+    }
+
+    /// SONIC (§9.1's second comparator): host-local storage with
+    /// fetch-on-trigger peer-to-peer data passing.
+    pub fn sonic() -> Self {
+        ControlFlowConfig {
+            label: SystemLabel::Sonic,
+            container_spec: ContainerSpec::default(),
+            max_containers_per_function: 64,
+            trigger_overhead: SimDuration::from_millis(20),
+            data_passing: DataPassing::SonicLocal,
+            in_order_triggering: false,
+            scale_cooldown: SimDuration::from_millis(100),
+        }
+    }
+
+    /// The stateful state-machine deployment of Fig. 19: like the
+    /// centralized platform but with a leaner transition (the state
+    /// machine on EC2 caches unlimited context data).
+    pub fn state_machine() -> Self {
+        ControlFlowConfig {
+            label: SystemLabel::StateMachine,
+            container_spec: ContainerSpec::default(),
+            max_containers_per_function: 64,
+            trigger_overhead: SimDuration::from_millis(30),
+            data_passing: DataPassing::BackendStorage,
+            in_order_triggering: true,
+            scale_cooldown: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Sets the container spec (Fig. 17 scale-up sweep).
+    pub fn with_container_spec(mut self, spec: ContainerSpec) -> Self {
+        self.container_spec = spec;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let c = ControlFlowConfig::centralized();
+        assert!(c.in_order_triggering);
+        assert_eq!(c.data_passing, DataPassing::BackendStorage);
+        assert_eq!(c.trigger_overhead, SimDuration::from_millis(63));
+
+        let f = ControlFlowConfig::faasflow();
+        assert!(!f.in_order_triggering);
+        assert_eq!(f.data_passing, DataPassing::FaaSFlowHybrid);
+
+        let s = ControlFlowConfig::sonic();
+        assert_eq!(s.data_passing, DataPassing::SonicLocal);
+        assert_eq!(s.label.as_str(), "SONIC");
+    }
+}

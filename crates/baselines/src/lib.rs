@@ -1,0 +1,28 @@
+//! # dataflower-baselines
+//!
+//! The control-flow comparators the paper evaluates DataFlower against:
+//!
+//! * **Centralized** ([`ControlFlowConfig::centralized`]) — a
+//!   production-style workflow orchestrator: strict in-order triggering
+//!   with a heavyweight state machine (~63 ms per transition, Fig. 2c)
+//!   and all intermediate data round-tripping through backend storage;
+//! * **FaaSFlow** ([`ControlFlowConfig::faasflow`]) — decentralized
+//!   WorkerSP scheduling with local-memory data passing for co-located
+//!   functions, per-request cache lifetime;
+//! * **SONIC** ([`ControlFlowConfig::sonic`]) — host-local storage with
+//!   peer-to-peer fetch-on-trigger data passing;
+//! * **StateMachine** ([`ControlFlowConfig::state_machine`]) — the
+//!   stateful AWS-Step-Functions-style deployment of Fig. 19.
+//!
+//! All share one [`ControlFlowEngine`] parameterized by
+//! [`ControlFlowConfig`]; the differences are exactly the knobs the paper
+//! identifies: trigger ordering and overhead, and the data path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+
+pub use config::{ControlFlowConfig, DataPassing, SystemLabel};
+pub use engine::{ControlFlowEngine, FnBreakdown};

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the orchestration engines: cost of
+//! simulating one workflow request end-to-end, per system, plus a
+//! closed-loop burst. These measure the *reproduction's* performance
+//! (simulator events per second), complementing the `figures` binary
+//! which reproduces the paper's results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+fn bench_single_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_request");
+    group.sample_size(20);
+    for sys in [
+        SystemKind::DataFlower,
+        SystemKind::FaaSFlow,
+        SystemKind::Sonic,
+        SystemKind::Centralized,
+    ] {
+        group.bench_with_input(BenchmarkId::new("wc", sys.label()), &sys, |b, sys| {
+            b.iter(|| {
+                let scenario = Scenario::seeded(5);
+                let report = scenario.open_loop(
+                    *sys,
+                    Benchmark::Wc.workflow(),
+                    Benchmark::Wc.default_payload(),
+                    30.0,
+                    20,
+                );
+                assert!(report.primary().completed > 0);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_loop_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_loop_16_clients_60s");
+    group.sample_size(10);
+    for bench in [Benchmark::Wc, Benchmark::Img] {
+        group.bench_with_input(
+            BenchmarkId::new("DataFlower", bench.name()),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    let scenario = Scenario::seeded(6);
+                    scenario.closed_loop(
+                        SystemKind::DataFlower,
+                        bench.workflow(),
+                        bench.default_payload(),
+                        16,
+                        60,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_request, bench_closed_loop_burst);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the substrate data structures: the
+//! flow-level network's rate recomputation, the Wait-Match memory, the
+//! event queue and the percentile math.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataflower::WaitMatchMemory;
+use dataflower_cluster::RequestId;
+use dataflower_metrics::Samples;
+use dataflower_sim::{EventQueue, FlowNet, SimTime};
+use dataflower_workflow::{EdgeId, FnId};
+
+fn bench_flownet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flownet");
+    for n_flows in [8usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("start_and_drain", n_flows),
+            &n_flows,
+            |b, &n| {
+                b.iter(|| {
+                    let mut net = FlowNet::new();
+                    let shared = net.add_link(1e8);
+                    let links: Vec<_> = (0..8).map(|_| net.add_link(5e6)).collect();
+                    for i in 0..n {
+                        net.start_flow(
+                            SimTime::ZERO,
+                            &[links[i % links.len()], shared],
+                            1e6,
+                            i as u64,
+                        );
+                    }
+                    let done = net.advance(SimTime::from_secs(10_000));
+                    assert_eq!(done.len(), n);
+                    done
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wait_match(c: &mut Criterion) {
+    c.bench_function("wait_match_insert_take_1k", |b| {
+        b.iter(|| {
+            let mut sink = WaitMatchMemory::new();
+            for r in 0..100 {
+                for e in 0..10 {
+                    sink.insert(
+                        RequestId::from_index(r),
+                        FnId::from_index(e % 4),
+                        EdgeId::from_index(e),
+                        1024.0,
+                        SimTime::ZERO,
+                    );
+                }
+            }
+            for r in 0..100 {
+                for f in 0..4 {
+                    sink.take_inputs(RequestId::from_index(r), FnId::from_index(f));
+                }
+            }
+            assert!(sink.is_empty());
+            sink
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros(i * 7919 % 65_536), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            assert_eq!(count, 10_000);
+            count
+        })
+    });
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let samples: Samples = (0..10_000).map(|i| ((i * 31) % 997) as f64).collect();
+    c.bench_function("samples_p99_10k", |b| b.iter(|| samples.p99()));
+}
+
+criterion_group!(
+    benches,
+    bench_flownet,
+    bench_wait_match,
+    bench_event_queue,
+    bench_percentiles
+);
+criterion_main!(benches);

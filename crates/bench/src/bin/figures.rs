@@ -1,0 +1,41 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! figures all            # every figure, paper order
+//! figures fig10 fig11    # a subset
+//! figures --list         # available ids
+//! ```
+
+use std::process::ExitCode;
+
+use dataflower_bench::figures::{render, ALL_FIGURES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <id>... | all | --list");
+        eprintln!("ids: {}", ALL_FIGURES.join(", "));
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_FIGURES {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_FIGURES.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match render(id) {
+            Ok(text) => print!("{text}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

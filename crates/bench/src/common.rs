@@ -1,0 +1,72 @@
+//! Shared helpers for the figure generators.
+
+use dataflower_cluster::{RunReport, WorkflowStats};
+use dataflower_metrics::fmt_f;
+
+/// Renders a figure header.
+pub fn header(id: &str, caption: &str) -> String {
+    format!("\n=== {id}: {caption} ===\n")
+}
+
+/// Formats seconds with millisecond precision.
+pub fn secs(v: f64) -> String {
+    fmt_f(v, 3)
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// `mean/p99` summary of a workflow's latency, with a failure marker when
+/// a meaningful fraction of requests never finished (the paper's missing
+/// data points).
+pub fn latency_cell(stats: &WorkflowStats) -> String {
+    if stats.completed == 0 {
+        return "FAIL".to_owned();
+    }
+    let cell = format!("{}/{}", secs(stats.latency.mean()), secs(stats.latency.p99()));
+    if stats.completion_rate() < 0.8 {
+        format!("{cell} (timeouts)")
+    } else {
+        cell
+    }
+}
+
+/// Memory cost of a run, GB·s.
+pub fn memory_cell(report: &RunReport) -> String {
+    fmt_f(report.memory_gb_s, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflower_metrics::Samples;
+
+    #[test]
+    fn latency_cell_marks_failures() {
+        let empty = WorkflowStats::default();
+        assert_eq!(latency_cell(&empty), "FAIL");
+
+        let mut ok = WorkflowStats {
+            completed: 10,
+            ..WorkflowStats::default()
+        };
+        ok.latency = [1.0; 10].into_iter().collect::<Samples>();
+        assert!(latency_cell(&ok).starts_with("1.000/"));
+
+        let mostly_dead = WorkflowStats {
+            completed: 1,
+            unfinished: 9,
+            latency: [1.0].into_iter().collect(),
+            ..WorkflowStats::default()
+        };
+        assert!(latency_cell(&mostly_dead).contains("timeouts"));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(pct(0.354), "35.4%");
+    }
+}

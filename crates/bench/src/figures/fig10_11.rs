@@ -1,0 +1,93 @@
+//! Figures 10 and 11: the headline latency/memory and throughput
+//! comparisons across DataFlower, FaaSFlow and SONIC.
+
+use dataflower_metrics::{fmt_f, Table};
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+use crate::common::{header, latency_cell, memory_cell};
+
+/// Fig. 10: end-to-end latency and memory GB·s at increasing open-loop
+/// load (asynchronous invocation pattern). Paper headline: DataFlower
+/// cuts p99 by 5.7–35.4 % vs FaaSFlow and 8.9–29.2 % vs SONIC, and
+/// memory by 19.1–69.3 % / 7.4–64.1 %.
+pub fn fig10() -> String {
+    let mut out = header(
+        "Fig 10",
+        "open-loop E2E latency (mean/p99 s) and memory (GB*s) vs load",
+    );
+    for b in Benchmark::ALL {
+        out.push_str(&format!("{} (payload {:.1} MB):\n", b.name(), b.default_payload() / (1024.0 * 1024.0)));
+        let mut t = Table::new(vec![
+            "rpm",
+            "DataFlower lat",
+            "FaaSFlow lat",
+            "SONIC lat",
+            "DF mem",
+            "FF mem",
+            "SONIC mem",
+        ]);
+        for &rpm in b.fig10_rpms() {
+            let mut lat = Vec::new();
+            let mut mem = Vec::new();
+            for sys in SystemKind::HEADLINE {
+                let scenario = Scenario::seeded(100 + rpm as u64);
+                let report =
+                    scenario.open_loop(sys, b.workflow(), b.default_payload(), rpm, 60);
+                lat.push(latency_cell(report.primary()));
+                mem.push(memory_cell(&report));
+            }
+            t.row(vec![
+                format!("{rpm:.0}"),
+                lat[0].clone(),
+                lat[1].clone(),
+                lat[2].clone(),
+                mem[0].clone(),
+                mem[1].clone(),
+                mem[2].clone(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 11: peak throughput under closed-loop (synchronous) clients.
+/// Paper headline: DataFlower reaches 1.03–3.8× FaaSFlow's and
+/// 1.29–2.42× SONIC's peak throughput; svd fails with SONIC at ≥ 20
+/// clients.
+pub fn fig11() -> String {
+    let mut out = header("Fig 11", "closed-loop throughput (rpm) vs clients");
+    for b in Benchmark::ALL {
+        out.push_str(&format!("{}:\n", b.name()));
+        let mut t = Table::new(vec!["clients", "DataFlower", "FaaSFlow", "SONIC"]);
+        let mut peaks = [0.0f64; 3];
+        for &clients in b.fig11_clients() {
+            let mut cells = vec![clients.to_string()];
+            for (i, sys) in SystemKind::HEADLINE.iter().enumerate() {
+                let scenario = Scenario::seeded(200 + clients as u64);
+                let report =
+                    scenario.closed_loop(*sys, b.workflow(), b.default_payload(), clients, 180);
+                let stats = report.primary();
+                let rpm = stats.throughput_rpm;
+                peaks[i] = peaks[i].max(rpm);
+                if stats.completed == 0 {
+                    cells.push("FAIL".to_owned());
+                } else {
+                    cells.push(fmt_f(rpm, 1));
+                }
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "peak: DataFlower {} vs FaaSFlow {} ({}x) vs SONIC {} ({}x)\n\n",
+            fmt_f(peaks[0], 1),
+            fmt_f(peaks[1], 1),
+            fmt_f(peaks[0] / peaks[1].max(1e-9), 2),
+            fmt_f(peaks[2], 1),
+            fmt_f(peaks[0] / peaks[2].max(1e-9), 2),
+        ));
+    }
+    out
+}

@@ -1,0 +1,78 @@
+//! Figure 14 (host cache footprint) and Figure 15 (bursty load).
+
+use dataflower_metrics::{fmt_f, Table};
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+use crate::common::header;
+
+/// Fig. 14: average host memory for caching intermediate data, per
+/// request (MB·s). Paper: DataFlower reduces it by 19.1 % (img), 90.2 %
+/// (vid), 94.9 % (svd) and 97.5 % (wc) thanks to proactive release +
+/// passive expire, vs FaaSFlow's per-request cache lifetime.
+pub fn fig14() -> String {
+    let mut out = header(
+        "Fig 14",
+        "host cache usage per request (MB*s): DataFlower vs FaaSFlow",
+    );
+    for b in Benchmark::ALL {
+        out.push_str(&format!("{}:\n", b.name()));
+        let mut t = Table::new(vec!["clients", "DataFlower", "FaaSFlow", "reduction"]);
+        for clients in [1usize, 2, 4, 8] {
+            let mut per_req = [0.0f64; 2];
+            for (i, sys) in [SystemKind::DataFlower, SystemKind::FaaSFlow].iter().enumerate() {
+                let scenario = Scenario::seeded(400 + clients as u64);
+                let report =
+                    scenario.closed_loop(*sys, b.workflow(), b.default_payload(), clients, 120);
+                let n = report.primary().completed.max(1);
+                per_req[i] = report.cache_mb_s / n as f64;
+            }
+            let reduction = if per_req[1] > 0.0 {
+                1.0 - per_req[0] / per_req[1]
+            } else {
+                0.0
+            };
+            t.row(vec![
+                clients.to_string(),
+                fmt_f(per_req[0], 3),
+                fmt_f(per_req[1], 3),
+                format!("{:.1}%", reduction * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 15: the bursty-load experiment — wc jumps from 10 rpm to 100 rpm;
+/// ~110 requests over two minutes. Reports the latency CDF (deciles) and
+/// standard deviation. Paper: σ ≈ 0.050 (FaaSFlow), 0.053 (DataFlower),
+/// 0.155 (SONIC); DataFlower has the lowest mean and p99.
+pub fn fig15() -> String {
+    let mut out = header(
+        "Fig 15",
+        "bursty load (wc 10→100 rpm): latency CDF deciles and σ",
+    );
+    let b = Benchmark::Wc;
+    let mut t = Table::new(vec![
+        "system", "p10", "p30", "p50", "p70", "p90", "p99", "sigma", "n",
+    ]);
+    for sys in SystemKind::HEADLINE {
+        let scenario = Scenario::seeded(55);
+        let report = scenario.bursty(sys, b.workflow(), b.default_payload(), 10.0, 100.0);
+        let lat = &report.primary().latency;
+        t.row(vec![
+            sys.label().into(),
+            fmt_f(lat.percentile(0.10), 3),
+            fmt_f(lat.percentile(0.30), 3),
+            fmt_f(lat.percentile(0.50), 3),
+            fmt_f(lat.percentile(0.70), 3),
+            fmt_f(lat.percentile(0.90), 3),
+            fmt_f(lat.p99(), 3),
+            fmt_f(lat.std_dev(), 3),
+            lat.len().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

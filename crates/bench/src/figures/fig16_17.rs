@@ -1,0 +1,138 @@
+//! Figures 16 and 17: adaptiveness sweeps (fan-out, input size) and
+//! container scale-up.
+
+use dataflower_cluster::ContainerSpec;
+use dataflower_metrics::{fmt_f, Table};
+use dataflower_workloads::{wordcount, Scenario, SystemKind, WcParams};
+
+use crate::common::header;
+
+const WC_SWEEP_INPUT_MB: f64 = 4.0;
+
+/// Fig. 16(a): wc average latency and peak throughput with 2–16 fan-out
+/// branches at a fixed 4 MB input. Paper: DataFlower gains grow with the
+/// branch count (data-availability triggering exploits the parallelism).
+pub fn fig16a() -> String {
+    let mut out = header(
+        "Fig 16a",
+        "wc vs fan-out (4 MB input): avg latency (s) and throughput (rpm)",
+    );
+    let mut t = Table::new(vec![
+        "fan-out",
+        "DF lat",
+        "FF lat",
+        "SONIC lat",
+        "DF rpm",
+        "FF rpm",
+        "SONIC rpm",
+    ]);
+    for fan_out in [2usize, 4, 8, 12, 16] {
+        let wf = wordcount(WcParams {
+            fan_out,
+            input_mb: WC_SWEEP_INPUT_MB,
+        });
+        let payload = WC_SWEEP_INPUT_MB * 1024.0 * 1024.0;
+        let mut lat = Vec::new();
+        let mut rpm = Vec::new();
+        for sys in SystemKind::HEADLINE {
+            let scenario = Scenario::seeded(500 + fan_out as u64);
+            let open = scenario.open_loop(sys, std::sync::Arc::clone(&wf), payload, 20.0, 60);
+            lat.push(fmt_f(open.primary().latency.mean(), 3));
+            let closed = scenario.closed_loop(sys, std::sync::Arc::clone(&wf), payload, 16, 180);
+            rpm.push(fmt_f(closed.primary().throughput_rpm, 1));
+        }
+        t.row(vec![
+            format!("{fan_out}x"),
+            lat[0].clone(),
+            lat[1].clone(),
+            lat[2].clone(),
+            rpm[0].clone(),
+            rpm[1].clone(),
+            rpm[2].clone(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 16(b): wc throughput with 1–16 MB inputs at 4 fan-out branches.
+/// Paper: DataFlower's edge shrinks as inputs grow (compute becomes the
+/// bottleneck): +91.8 %/+44.9 % at 1 MB down to +29.5 %/+14.5 % at 16 MB.
+pub fn fig16b() -> String {
+    let mut out = header(
+        "Fig 16b",
+        "wc throughput (rpm) vs input size (4 fan-out branches)",
+    );
+    let mut t = Table::new(vec!["input", "DataFlower", "FaaSFlow", "SONIC", "DF/FF", "DF/SONIC"]);
+    for input_mb in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+        let wf = wordcount(WcParams {
+            fan_out: 4,
+            input_mb,
+        });
+        let payload = input_mb * 1024.0 * 1024.0;
+        let mut rpm = Vec::new();
+        for sys in SystemKind::HEADLINE {
+            let scenario = Scenario::seeded(600 + input_mb as u64);
+            let closed = scenario.closed_loop(sys, std::sync::Arc::clone(&wf), payload, 16, 180);
+            rpm.push(closed.primary().throughput_rpm);
+        }
+        t.row(vec![
+            format!("{input_mb:.0}M"),
+            fmt_f(rpm[0], 1),
+            fmt_f(rpm[1], 1),
+            fmt_f(rpm[2], 1),
+            fmt_f(rpm[0] / rpm[1].max(1e-9), 2),
+            fmt_f(rpm[0] / rpm[2].max(1e-9), 2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 17: scaling containers up (128–640 MB; CPU and bandwidth scale
+/// with memory). Paper: DataFlower and SONIC scale nearly linearly;
+/// FaaSFlow is capped by backend storage; at 640 MB DataFlower beats
+/// them by 148.4 % and 11.1 %.
+pub fn fig17() -> String {
+    let mut out = header(
+        "Fig 17",
+        "wc (4 MB, 8 branches) vs container size: avg latency (s) and throughput (rpm)",
+    );
+    let wf = wordcount(WcParams {
+        fan_out: 8,
+        input_mb: 4.0,
+    });
+    let payload = 4.0 * 1024.0 * 1024.0;
+    let mut t = Table::new(vec![
+        "container",
+        "DF lat",
+        "FF lat",
+        "SONIC lat",
+        "DF rpm",
+        "FF rpm",
+        "SONIC rpm",
+    ]);
+    for mem in [128u32, 256, 384, 512, 640] {
+        let mut lat = Vec::new();
+        let mut rpm = Vec::new();
+        for sys in SystemKind::HEADLINE {
+            let mut scenario = Scenario::seeded(700 + mem as u64);
+            scenario.container_spec = ContainerSpec::with_memory_mb(mem);
+            let open = scenario.open_loop(sys, std::sync::Arc::clone(&wf), payload, 20.0, 60);
+            lat.push(fmt_f(open.primary().latency.mean(), 3));
+            let closed = scenario.closed_loop(sys, std::sync::Arc::clone(&wf), payload, 16, 180);
+            rpm.push(fmt_f(closed.primary().throughput_rpm, 1));
+        }
+        t.row(vec![
+            format!("{mem}MB"),
+            lat[0].clone(),
+            lat[1].clone(),
+            lat[2].clone(),
+            rpm[0].clone(),
+            rpm[1].clone(),
+            rpm[2].clone(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

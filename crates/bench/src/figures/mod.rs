@@ -1,0 +1,49 @@
+//! One generator per figure of the paper's evaluation (§3 and §9).
+
+mod fig02;
+mod fig10_11;
+mod fig12_13;
+mod fig14_15;
+mod fig16_17;
+mod fig18_19;
+
+pub use fig02::{characterize, fig2a, fig2b, fig2c};
+pub use fig10_11::{fig10, fig11};
+pub use fig12_13::{fig12, fig13};
+pub use fig14_15::{fig14, fig15};
+pub use fig16_17::{fig16a, fig16b, fig17};
+pub use fig18_19::{fig18, fig19};
+
+/// Every figure id accepted by the `figures` binary, in paper order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig2a", "fig2b", "fig2c", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
+    "fig16b", "fig17", "fig18", "fig19",
+];
+
+/// Renders the figure with the given id.
+///
+/// # Errors
+///
+/// Returns an error message listing valid ids when `id` is unknown.
+pub fn render(id: &str) -> Result<String, String> {
+    match id {
+        "fig2a" => Ok(fig2a()),
+        "fig2b" => Ok(fig2b()),
+        "fig2c" => Ok(fig2c()),
+        "fig10" => Ok(fig10()),
+        "fig11" => Ok(fig11()),
+        "fig12" => Ok(fig12()),
+        "fig13" => Ok(fig13()),
+        "fig14" => Ok(fig14()),
+        "fig15" => Ok(fig15()),
+        "fig16a" => Ok(fig16a()),
+        "fig16b" => Ok(fig16b()),
+        "fig17" => Ok(fig17()),
+        "fig18" => Ok(fig18()),
+        "fig19" => Ok(fig19()),
+        other => Err(format!(
+            "unknown figure `{other}`; valid ids: {}",
+            ALL_FIGURES.join(", ")
+        )),
+    }
+}

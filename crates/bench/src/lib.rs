@@ -1,0 +1,24 @@
+//! # dataflower-bench
+//!
+//! The benchmark harness that regenerates **every figure** of the
+//! DataFlower evaluation. Each figure is a pure function returning its
+//! rendered table(s); the `figures` binary dispatches on figure ids
+//! (`fig2a` … `fig19`, or `all`):
+//!
+//! ```text
+//! cargo run -p dataflower-bench --release --bin figures -- all
+//! cargo run -p dataflower-bench --release --bin figures -- fig11 fig12
+//! ```
+//!
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! not the authors' 5-node testbed); the comparisons — who wins, by what
+//! factor, where curves cross — are the reproduction target. Measured
+//! outputs are archived in the repository's `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+pub mod figures;
+
+pub use common::{header, latency_cell, memory_cell, pct, secs};

@@ -1,0 +1,47 @@
+//! Smoke tests of the figure harness: the cheap generators run and emit
+//! the expected structure, and unknown ids are rejected helpfully.
+
+use dataflower_bench::figures::{render, ALL_FIGURES};
+
+#[test]
+fn fig2a_contains_all_benchmarks_and_shares() {
+    let out = render("fig2a").unwrap();
+    for b in ["img", "vid", "svd", "wc"] {
+        assert!(out.contains(b), "missing {b} in fig2a:\n{out}");
+    }
+    assert!(out.contains('%'));
+}
+
+#[test]
+fn fig13_shows_three_systems() {
+    let out = render("fig13").unwrap();
+    for sys in ["DataFlower", "FaaSFlow", "SONIC"] {
+        assert!(out.contains(sys), "missing {sys} in fig13");
+    }
+    assert!(out.contains("wc_start") && out.contains("wc_merge"));
+}
+
+#[test]
+fn fig19_reports_reductions() {
+    let out = render("fig19").unwrap();
+    assert!(out.contains("StateMachine"));
+    assert!(out.contains('%'));
+}
+
+#[test]
+fn unknown_figure_lists_valid_ids() {
+    let err = render("fig99").unwrap_err();
+    assert!(err.contains("fig99"));
+    for id in ALL_FIGURES {
+        assert!(err.contains(id), "error should list {id}");
+    }
+}
+
+#[test]
+fn every_listed_figure_is_renderable_id() {
+    // Only check the registry wiring (rendering all would be slow here;
+    // the `figures all` run in CI/EXPERIMENTS.md covers content).
+    assert_eq!(ALL_FIGURES.len(), 14);
+    assert!(ALL_FIGURES.starts_with(&["fig2a", "fig2b", "fig2c"]));
+    assert_eq!(*ALL_FIGURES.last().unwrap(), "fig19");
+}

@@ -1,0 +1,131 @@
+//! The simulation driver: pumps events and flow completions into an
+//! [`Orchestrator`] until the horizon.
+
+use dataflower_sim::SimTime;
+
+use crate::engine::Orchestrator;
+use crate::report::RunReport;
+use crate::world::{Event, TransferDone, World};
+
+/// Runs `engine` over `world` until no work remains or `deadline` is
+/// reached, then returns the collected [`RunReport`].
+///
+/// The driver always processes whichever of (next queued event, next flow
+/// completion) is earlier, so the event order is a pure function of the
+/// model — reruns with the same seed are bit-identical.
+///
+/// # Examples
+///
+/// See the engine crates (`dataflower`, `dataflower-baselines`) for full
+/// end-to-end examples; the driver itself is engine-agnostic.
+pub fn run<E: Orchestrator + ?Sized>(
+    world: &mut World,
+    engine: &mut E,
+    deadline: SimTime,
+) -> RunReport {
+    loop {
+        let next_event = world.queue.next_time();
+        let next_flow = world.net.next_completion();
+        let step = match (next_event, next_flow) {
+            (None, None) => break,
+            (Some(te), Some(tf)) => {
+                if tf <= te {
+                    Step::Flows(tf)
+                } else {
+                    Step::Event
+                }
+            }
+            (Some(_), None) => Step::Event,
+            (None, Some(tf)) => Step::Flows(tf),
+        };
+        match step {
+            Step::Flows(tf) => {
+                if tf > deadline {
+                    break;
+                }
+                world.set_now(tf);
+                let completions = world.net.advance(tf);
+                for c in completions {
+                    engine.on_flow_done(
+                        world,
+                        TransferDone {
+                            tag: c.tag,
+                            bytes: c.bytes,
+                            started: c.started,
+                            at: c.at,
+                        },
+                    );
+                }
+            }
+            Step::Event => {
+                let Some((t, ev)) = peek_pop(world, deadline) else {
+                    break;
+                };
+                world.set_now(t);
+                dispatch(world, engine, ev);
+            }
+        }
+        world.sample_usage();
+    }
+    // Horizon: the deadline for bounded runs; the last activity when the
+    // run drained on its own (run_to_idle).
+    let end = if deadline == SimTime::MAX {
+        world.now()
+    } else {
+        deadline
+    };
+    if end > world.now() {
+        world.set_now(end);
+    }
+    RunReport::collect(engine.name(), world, end)
+}
+
+/// Runs until the world is fully idle (no deadline). Intended for
+/// fixed-size experiments where all load is pre-scheduled.
+pub fn run_to_idle<E: Orchestrator + ?Sized>(world: &mut World, engine: &mut E) -> RunReport {
+    run(world, engine, SimTime::MAX)
+}
+
+enum Step {
+    Event,
+    Flows(SimTime),
+}
+
+fn peek_pop(world: &mut World, deadline: SimTime) -> Option<(SimTime, Event)> {
+    let t = world.queue.next_time()?;
+    if t > deadline {
+        return None;
+    }
+    world.queue.pop()
+}
+
+fn dispatch<E: Orchestrator + ?Sized>(world: &mut World, engine: &mut E, ev: Event) {
+    match ev {
+        Event::Arrival(req) => engine.on_request(world, req),
+        Event::ColdStartDone(c) => {
+            world.finish_cold_start(c);
+            engine.on_cold_start_done(world, c);
+        }
+        Event::ComputeDone { container, token } => {
+            world.finish_compute(container);
+            engine.on_compute_done(world, container, token);
+        }
+        Event::EngineTimer { token } => engine.on_timer(world, token),
+        Event::StartFlow { path, bytes, tag } => {
+            let now = world.now();
+            world.net.start_flow(now, &path, bytes, tag);
+        }
+        Event::DirectDone { tag, bytes, started } => {
+            let at = world.now();
+            engine.on_flow_done(
+                world,
+                TransferDone {
+                    tag,
+                    bytes,
+                    started,
+                    at,
+                },
+            );
+        }
+    }
+}

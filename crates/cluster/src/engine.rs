@@ -1,0 +1,36 @@
+//! The interface every orchestration engine implements.
+
+use crate::ids::{ContainerId, RequestId};
+use crate::world::{TransferDone, World};
+
+/// Event-driven orchestration engine.
+///
+/// The [`Driver`](crate::Driver) owns a [`World`] and an `Orchestrator`
+/// and dispatches every simulation event to exactly one callback. Engines
+/// hold all paradigm-specific state (function readiness, container pools,
+/// pending transfers) themselves and mutate the world only through its
+/// public methods.
+///
+/// Tokens and tags are opaque `u64`s chosen by the engine when it calls
+/// [`World::begin_compute`], [`World::timer`] or [`World::transfer`]; they
+/// come back verbatim in the matching callback.
+pub trait Orchestrator {
+    /// Engine name (used in reports and figures).
+    fn name(&self) -> &str;
+
+    /// A workflow request arrived.
+    fn on_request(&mut self, world: &mut World, req: RequestId);
+
+    /// A container finished cold starting and is now idle.
+    fn on_cold_start_done(&mut self, world: &mut World, container: ContainerId);
+
+    /// A container's FLU finished the computation started with `token`.
+    /// The container is already back in the idle state.
+    fn on_compute_done(&mut self, world: &mut World, container: ContainerId, token: u64);
+
+    /// A transfer started with [`World::transfer`] delivered its last byte.
+    fn on_flow_done(&mut self, world: &mut World, done: TransferDone);
+
+    /// An engine timer fired.
+    fn on_timer(&mut self, world: &mut World, token: u64);
+}

@@ -1,0 +1,68 @@
+//! Identifier newtypes for cluster entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+
+            /// The raw index backing this id.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A worker node in the cluster.
+    NodeId,
+    "node#"
+);
+id_type!(
+    /// A function container instance.
+    ContainerId,
+    "ctr#"
+);
+id_type!(
+    /// One workflow invocation (the paper's `RequestID`).
+    RequestId,
+    "req#"
+);
+id_type!(
+    /// A workflow registered with the world (several co-run in Fig. 18).
+    WfId,
+    "wf#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let n = NodeId::from_index(2);
+        assert_eq!(n.index(), 2);
+        assert_eq!(n.to_string(), "node#2");
+        assert_eq!(RequestId::from_index(7).to_string(), "req#7");
+        assert!(ContainerId::from_index(1) < ContainerId::from_index(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! End-of-run measurement reports.
+
+use dataflower_metrics::Samples;
+use dataflower_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::world::World;
+
+/// Per-workflow outcome statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowStats {
+    /// Workflow name.
+    pub name: String,
+    /// Requests that finished within the horizon.
+    pub completed: usize,
+    /// Requests still in flight at the horizon (the paper's "timeouts" —
+    /// missing points in Fig. 10/11 mean exactly this).
+    pub unfinished: usize,
+    /// End-to-end latencies of completed requests, seconds.
+    pub latency: Samples,
+    /// Completed requests per minute over the horizon.
+    pub throughput_rpm: f64,
+}
+
+impl WorkflowStats {
+    /// Fraction of issued requests that completed.
+    pub fn completion_rate(&self) -> f64 {
+        let total = self.completed + self.unfinished;
+        if total == 0 {
+            0.0
+        } else {
+            self.completed as f64 / total as f64
+        }
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Engine that produced the run.
+    pub engine: String,
+    /// Measurement horizon in seconds.
+    pub horizon_secs: f64,
+    /// Per-workflow statistics, in registration order.
+    pub per_workflow: Vec<WorkflowStats>,
+    /// Container-memory cost, GB·s (Fig. 10 lower panels).
+    pub memory_gb_s: f64,
+    /// Host-side intermediate-data cache cost, MB·s (Fig. 14).
+    pub cache_mb_s: f64,
+    /// Busy-CPU integral, core·s.
+    pub cpu_core_s: f64,
+    /// Containers cold-started during the run.
+    pub cold_starts: u64,
+}
+
+impl RunReport {
+    /// Builds a report from a world at horizon `end`.
+    pub fn collect(engine: &str, world: &World, end: SimTime) -> RunReport {
+        let horizon = end.as_secs_f64();
+        let mut per_workflow: Vec<WorkflowStats> = (0..world.workflow_count())
+            .map(|i| WorkflowStats {
+                name: world
+                    .workflow(crate::WfId::from_index(i))
+                    .name()
+                    .to_owned(),
+                ..WorkflowStats::default()
+            })
+            .collect();
+        for req in world.requests() {
+            let stats = &mut per_workflow[req.wf.index()];
+            match req.latency() {
+                Some(lat) => {
+                    stats.completed += 1;
+                    stats.latency.push(lat.as_secs_f64());
+                }
+                None => stats.unfinished += 1,
+            }
+        }
+        for stats in &mut per_workflow {
+            stats.throughput_rpm = if horizon > 0.0 {
+                stats.completed as f64 / (horizon / 60.0)
+            } else {
+                0.0
+            };
+        }
+        RunReport {
+            engine: engine.to_owned(),
+            horizon_secs: horizon,
+            per_workflow,
+            memory_gb_s: world.memory_gb_s(end),
+            cache_mb_s: world.cache_mb_s(end),
+            cpu_core_s: world.cpu_core_s(end),
+            cold_starts: world.cold_start_count(),
+        }
+    }
+
+    /// Statistics for the workflow named `name`, if present.
+    pub fn workflow(&self, name: &str) -> Option<&WorkflowStats> {
+        self.per_workflow.iter().find(|s| s.name == name)
+    }
+
+    /// Statistics of the first (often only) workflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run had no workflows.
+    pub fn primary(&self) -> &WorkflowStats {
+        self.per_workflow.first().expect("run had no workflows")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_rate_handles_empty() {
+        let s = WorkflowStats::default();
+        assert_eq!(s.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn completion_rate_math() {
+        let s = WorkflowStats {
+            completed: 3,
+            unfinished: 1,
+            ..WorkflowStats::default()
+        };
+        assert_eq!(s.completion_rate(), 0.75);
+    }
+}

@@ -1,0 +1,108 @@
+//! DataFlower engine configuration.
+
+use dataflower_cluster::ContainerSpec;
+use dataflower_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::pipe::CheckpointSchedule;
+
+/// Tunables of the DataFlower engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataFlowerConfig {
+    /// Resource spec for containers the engine scales out.
+    pub container_spec: ContainerSpec,
+    /// Loss factor `α` of Eq. 1 — ratio of real to ideal transfer time for
+    /// the pipe connector implementation.
+    pub alpha: f64,
+    /// Enables pressure-aware function scaling (§5.2). Disabling this
+    /// yields the paper's *DataFlower-Non-aware* ablation (Fig. 12).
+    pub pressure_aware: bool,
+    /// Fraction of a function's compute after which its DLU starts
+    /// shipping outputs (the mid-function `DLU.Put` of §5.1 that enables
+    /// streaming and early triggering).
+    pub stream_fraction: f64,
+    /// TTL before a sink entry passively expires to disk (§7).
+    pub sink_ttl: SimDuration,
+    /// Penalty to reload one spilled input from the function-exclusive
+    /// disk.
+    pub disk_reload_latency: SimDuration,
+    /// Pipe-connector checkpointing for fault recovery (§6.2).
+    pub checkpoint: CheckpointSchedule,
+    /// Scale-out cap per function (guards against container storms).
+    pub max_containers_per_function: usize,
+    /// Delay before a failed function is ReDone after a data-plane fault.
+    pub redo_latency: SimDuration,
+    /// Minimum spacing between scale-out decisions per function — the
+    /// platform's reactive autoscaler ramps capacity gradually rather
+    /// than cold-starting one container per queued request instantly.
+    pub scale_cooldown: SimDuration,
+    /// Data-availability-driven prewarming (the paper's §10 future work):
+    /// when a function starts executing, cold-start a container for each
+    /// successor that has none — its input data is already on the way, so
+    /// the cold start overlaps the producer's compute and transfer.
+    pub prewarm: bool,
+}
+
+impl Default for DataFlowerConfig {
+    fn default() -> Self {
+        DataFlowerConfig {
+            container_spec: ContainerSpec::default(),
+            alpha: 1.15,
+            pressure_aware: true,
+            stream_fraction: 0.7,
+            sink_ttl: SimDuration::from_secs(30),
+            disk_reload_latency: SimDuration::from_millis(20),
+            checkpoint: CheckpointSchedule::default(),
+            max_containers_per_function: 64,
+            redo_latency: SimDuration::from_millis(50),
+            scale_cooldown: SimDuration::from_millis(100),
+            prewarm: false,
+        }
+    }
+}
+
+impl DataFlowerConfig {
+    /// The *DataFlower-Non-aware* ablation: identical but with
+    /// pressure-aware scaling disabled.
+    pub fn non_aware() -> Self {
+        DataFlowerConfig {
+            pressure_aware: false,
+            ..DataFlowerConfig::default()
+        }
+    }
+
+    /// Sets the container spec (builder-style convenience for the Fig. 17
+    /// scale-up sweep).
+    pub fn with_container_spec(mut self, spec: ContainerSpec) -> Self {
+        self.container_spec = spec;
+        self
+    }
+
+    /// Enables data-availability prewarming (§10 future work).
+    pub fn with_prewarm(mut self) -> Self {
+        self.prewarm = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_differs_only_in_awareness() {
+        let a = DataFlowerConfig::default();
+        let b = DataFlowerConfig::non_aware();
+        assert!(a.pressure_aware);
+        assert!(!b.pressure_aware);
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.container_spec, b.container_spec);
+    }
+
+    #[test]
+    fn scale_up_convenience() {
+        let c = DataFlowerConfig::default()
+            .with_container_spec(ContainerSpec::with_memory_mb(640));
+        assert_eq!(c.container_spec.memory_mb, 640);
+    }
+}

@@ -1,0 +1,152 @@
+//! Pipe connector selection and checkpointing (§7, §6.2).
+//!
+//! The DLU picks one of three data paths per §7:
+//!
+//! * payloads under 16 KiB bypass the pipe connector entirely and go over
+//!   a direct socket;
+//! * co-located functions use the node-local pipe;
+//! * cross-node pairs use the streaming remote pipe connector.
+//!
+//! For fault tolerance (§6.2) the pipe connector checkpoints its stream
+//! incrementally; after a fault, only bytes past the last checkpoint are
+//! re-sent and the engine ReDoes the failed producer from there.
+
+use serde::{Deserialize, Serialize};
+
+/// The three §7 data paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipeKind {
+    /// Direct socket for small payloads (no bandwidth modeling needed).
+    DirectSocket,
+    /// Intra-node local pipe into the data sink.
+    LocalPipe,
+    /// Cross-node streaming pipe connector.
+    RemotePipe,
+}
+
+/// Chooses the data path for a transfer of `bytes` between a source and a
+/// destination that are (or are not) on the same node.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower::{choose_pipe, PipeKind};
+///
+/// assert_eq!(choose_pipe(1024.0, 16384.0, false), PipeKind::DirectSocket);
+/// assert_eq!(choose_pipe(1e6, 16384.0, true), PipeKind::LocalPipe);
+/// assert_eq!(choose_pipe(1e6, 16384.0, false), PipeKind::RemotePipe);
+/// ```
+pub fn choose_pipe(bytes: f64, direct_threshold: f64, same_node: bool) -> PipeKind {
+    if bytes < direct_threshold {
+        PipeKind::DirectSocket
+    } else if same_node {
+        PipeKind::LocalPipe
+    } else {
+        PipeKind::RemotePipe
+    }
+}
+
+/// Incremental checkpointing schedule of a pipe connector.
+///
+/// Checkpoints are taken every `interval_bytes` of confirmed stream
+/// progress. After a fault mid-transfer, the stream resumes from the last
+/// checkpoint, so the retransmission cost is bounded by the interval.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower::CheckpointSchedule;
+///
+/// let cp = CheckpointSchedule::new(1024.0);
+/// // 2.5 KiB confirmed → last checkpoint at 2 KiB.
+/// assert_eq!(cp.last_checkpoint(2560.0), 2048.0);
+/// // A 10 KiB transfer interrupted at 2.5 KiB re-sends 8 KiB.
+/// assert_eq!(cp.resume_bytes(10_240.0, 2560.0), 8192.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSchedule {
+    interval_bytes: f64,
+}
+
+impl CheckpointSchedule {
+    /// Creates a schedule with the given checkpoint interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_bytes` is not positive and finite.
+    pub fn new(interval_bytes: f64) -> Self {
+        assert!(
+            interval_bytes.is_finite() && interval_bytes > 0.0,
+            "checkpoint interval must be positive"
+        );
+        CheckpointSchedule { interval_bytes }
+    }
+
+    /// The checkpoint interval in bytes.
+    pub fn interval_bytes(&self) -> f64 {
+        self.interval_bytes
+    }
+
+    /// Byte offset of the last durable checkpoint after `transferred`
+    /// bytes of confirmed progress.
+    pub fn last_checkpoint(&self, transferred: f64) -> f64 {
+        if transferred <= 0.0 {
+            return 0.0;
+        }
+        (transferred / self.interval_bytes).floor() * self.interval_bytes
+    }
+
+    /// Bytes that must be (re-)sent to finish a `total`-byte transfer that
+    /// failed after `transferred` confirmed bytes.
+    pub fn resume_bytes(&self, total: f64, transferred: f64) -> f64 {
+        (total - self.last_checkpoint(transferred.min(total))).max(0.0)
+    }
+}
+
+impl Default for CheckpointSchedule {
+    /// 256 KiB between checkpoints.
+    fn default() -> Self {
+        CheckpointSchedule::new(256.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_choice_boundaries() {
+        // Exactly at the threshold uses the pipe (paper: "under 16K").
+        assert_eq!(choose_pipe(16384.0, 16384.0, true), PipeKind::LocalPipe);
+        assert_eq!(choose_pipe(16383.9, 16384.0, false), PipeKind::DirectSocket);
+        assert_eq!(choose_pipe(0.0, 16384.0, false), PipeKind::DirectSocket);
+    }
+
+    #[test]
+    fn checkpoints_quantize_progress() {
+        let cp = CheckpointSchedule::new(100.0);
+        assert_eq!(cp.last_checkpoint(0.0), 0.0);
+        assert_eq!(cp.last_checkpoint(99.0), 0.0);
+        assert_eq!(cp.last_checkpoint(100.0), 100.0);
+        assert_eq!(cp.last_checkpoint(250.0), 200.0);
+    }
+
+    #[test]
+    fn resume_bounded_by_interval() {
+        let cp = CheckpointSchedule::new(100.0);
+        for transferred in [0.0, 50.0, 149.0, 500.0, 999.0] {
+            let resume = cp.resume_bytes(1000.0, transferred);
+            let lost = resume - (1000.0 - transferred);
+            assert!(lost < 100.0 + 1e-9, "lost={lost}");
+            assert!(resume <= 1000.0);
+        }
+        // Progress past the end never goes negative.
+        assert_eq!(cp.resume_bytes(1000.0, 1500.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        CheckpointSchedule::new(0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Pressure-aware function scaling (§5.2, Eq. 1).
+//!
+//! A DLU that drains slower than its FLU produces causes queuing (Fig. 6a).
+//! DataFlower quantifies the imbalance as
+//!
+//! ```text
+//! Pressure(FLU_f) = α · Size / Bw − T_FLU
+//! ```
+//!
+//! where `Size` is the bytes handed to the DLU, `Bw` the container's
+//! bandwidth, `α` the connector's loss factor and `T_FLU` the function's
+//! average execution time. Positive pressure blocks the FLU for exactly
+//! that long (capping its producing rate at the DLU's draining rate) and
+//! asks the engine to scale out.
+
+/// Computes Eq. 1 in seconds. Positive ⇒ backpressure.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower::pressure_secs;
+///
+/// // 5 MB through a 5 MB/s container with α=1.2 takes 1.2 s; the FLU
+/// // only computed for 0.4 s → 0.8 s of backpressure.
+/// let p = pressure_secs(1.2, 5e6, 5e6, 0.4);
+/// assert!((p - 0.8).abs() < 1e-9);
+///
+/// // A compute-heavy FLU is never the bottleneck.
+/// assert!(pressure_secs(1.2, 1e4, 5e6, 2.0) < 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bw_bytes_per_sec` is not positive or any argument is not
+/// finite.
+pub fn pressure_secs(alpha: f64, size_bytes: f64, bw_bytes_per_sec: f64, t_flu_secs: f64) -> f64 {
+    assert!(
+        bw_bytes_per_sec.is_finite() && bw_bytes_per_sec > 0.0,
+        "bandwidth must be positive"
+    );
+    assert!(alpha.is_finite() && size_bytes.is_finite() && t_flu_secs.is_finite());
+    alpha * size_bytes / bw_bytes_per_sec - t_flu_secs
+}
+
+/// Incrementally maintained mean of a function's execution times (the
+/// `T_FLU` term of Eq. 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningAvg {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningAvg {
+    /// Creates an empty average.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// The mean so far, or `default` before any observation (a fresh
+    /// function has no history; engines seed it with the model estimate).
+    pub fn get_or(&self, default: f64) -> f64 {
+        if self.n == 0 {
+            default
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_sign_matches_imbalance() {
+        // Transfer slower than compute → positive.
+        assert!(pressure_secs(1.0, 10e6, 5e6, 1.0) > 0.0);
+        // Compute slower than transfer → negative.
+        assert!(pressure_secs(1.0, 1e6, 5e6, 1.0) < 0.0);
+        // Exactly balanced → zero.
+        assert_eq!(pressure_secs(1.0, 5e6, 5e6, 1.0), 0.0);
+    }
+
+    #[test]
+    fn alpha_scales_transfer_cost() {
+        let p1 = pressure_secs(1.0, 5e6, 5e6, 0.0);
+        let p2 = pressure_secs(2.0, 5e6, 5e6, 0.0);
+        assert_eq!(p2, 2.0 * p1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        pressure_secs(1.0, 1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn running_avg_behaviour() {
+        let mut a = RunningAvg::new();
+        assert_eq!(a.get_or(9.0), 9.0);
+        a.push(1.0);
+        a.push(3.0);
+        assert_eq!(a.get_or(9.0), 2.0);
+        assert_eq!(a.count(), 2);
+    }
+}

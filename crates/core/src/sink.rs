@@ -1,0 +1,284 @@
+//! The per-node function data sink backed by **Wait-Match Memory** (§7).
+//!
+//! Before a destination function is triggered, its inbound intermediate
+//! data has nowhere to go — the container may not even exist. Each host
+//! node therefore keeps a data sink: a key-value store with the paper's
+//! multi-level index `(RequestID, FunctionName, DataName)`, here
+//! `(RequestId, FnId, EdgeId)`.
+//!
+//! Two mechanisms bound its memory footprint:
+//!
+//! * **proactive release** — once the destination FLU has consumed an
+//!   entry it is removed immediately ([`WaitMatchMemory::take_inputs`]);
+//! * **passive expire** — entries that outlive a TTL are spilled to the
+//!   function-exclusive disk tier ([`WaitMatchMemory::spill`]); a later
+//!   consumer pays a reload penalty instead of RAM.
+
+use std::collections::BTreeMap;
+
+use dataflower_cluster::RequestId;
+use dataflower_sim::SimTime;
+use dataflower_workflow::{EdgeId, FnId};
+
+/// Where a sink entry currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// In the node's Wait-Match memory.
+    Memory,
+    /// Spilled to the function-exclusive NVM/SSD after TTL expiry.
+    Disk,
+}
+
+/// One cached piece of intermediate data awaiting its consumer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkEntry {
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// When the data arrived at this node.
+    pub arrived: SimTime,
+    /// Memory or disk residency.
+    pub tier: Tier,
+}
+
+/// The multi-level-indexed store of one node's data sink.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower::{Tier, WaitMatchMemory};
+/// use dataflower_cluster::RequestId;
+/// use dataflower_sim::SimTime;
+/// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+///
+/// // Mint real ids from a workflow definition.
+/// let mut b = WorkflowBuilder::new("w");
+/// let f = b.function("f", WorkModel::fixed(0.1));
+/// b.client_input(f, "in", SizeModel::Fixed(1.0));
+/// b.client_output(f, "out", SizeModel::Fixed(1.0));
+/// let wf = b.build()?;
+/// let (fid, eid) = (f, wf.inputs(f)[0]);
+///
+/// let mut sink = WaitMatchMemory::new();
+/// let req = RequestId::from_index(0);
+/// sink.insert(req, fid, eid, 1024.0, SimTime::ZERO);
+/// assert_eq!(sink.resident_memory_bytes(), 1024.0);
+///
+/// // The consumer takes everything for (req, f) — proactive release.
+/// let taken = sink.take_inputs(req, fid);
+/// assert_eq!(taken.len(), 1);
+/// assert_eq!(sink.len(), 0);
+/// # Ok::<(), dataflower_workflow::WorkflowError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WaitMatchMemory {
+    entries: BTreeMap<(RequestId, FnId, EdgeId), SinkEntry>,
+    resident_memory: f64,
+    resident_disk: f64,
+    peak_memory: f64,
+}
+
+impl WaitMatchMemory {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached entries (memory + disk tiers).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently resident in the memory tier.
+    pub fn resident_memory_bytes(&self) -> f64 {
+        self.resident_memory
+    }
+
+    /// Bytes currently resident on the disk tier.
+    pub fn resident_disk_bytes(&self) -> f64 {
+        self.resident_disk
+    }
+
+    /// Highest memory-tier residency observed.
+    pub fn peak_memory_bytes(&self) -> f64 {
+        self.peak_memory
+    }
+
+    /// Caches `bytes` for the destination `(req, func)` under `edge`.
+    ///
+    /// Returns the previous entry if one existed (duplicate delivery, e.g.
+    /// a ReDo retry after a fault) — its accounting is replaced.
+    pub fn insert(
+        &mut self,
+        req: RequestId,
+        func: FnId,
+        edge: EdgeId,
+        bytes: f64,
+        now: SimTime,
+    ) -> Option<SinkEntry> {
+        let prev = self.entries.insert(
+            (req, func, edge),
+            SinkEntry {
+                bytes,
+                arrived: now,
+                tier: Tier::Memory,
+            },
+        );
+        if let Some(p) = prev {
+            self.debit(p);
+        }
+        self.resident_memory += bytes;
+        self.peak_memory = self.peak_memory.max(self.resident_memory);
+        prev
+    }
+
+    /// Looks up a single entry.
+    pub fn get(&self, req: RequestId, func: FnId, edge: EdgeId) -> Option<&SinkEntry> {
+        self.entries.get(&(req, func, edge))
+    }
+
+    /// Removes and returns **all** inputs cached for `(req, func)` — the
+    /// proactive release path taken the moment the destination FLU loads
+    /// its inputs.
+    pub fn take_inputs(&mut self, req: RequestId, func: FnId) -> Vec<(EdgeId, SinkEntry)> {
+        let keys: Vec<(RequestId, FnId, EdgeId)> = self
+            .entries
+            .range((req, func, edge_min())..=(req, func, edge_max()))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let e = self.entries.remove(&k).expect("listed key exists");
+            self.debit(e);
+            out.push((k.2, e));
+        }
+        out
+    }
+
+    /// Moves an entry to the disk tier (passive expire). Returns the bytes
+    /// moved out of memory, or `None` if the entry is gone or already on
+    /// disk.
+    pub fn spill(&mut self, req: RequestId, func: FnId, edge: EdgeId) -> Option<f64> {
+        let e = self.entries.get_mut(&(req, func, edge))?;
+        if e.tier == Tier::Disk {
+            return None;
+        }
+        e.tier = Tier::Disk;
+        self.resident_memory -= e.bytes;
+        self.resident_disk += e.bytes;
+        Some(e.bytes)
+    }
+
+    /// Drops every entry of a request (fault cleanup).
+    pub fn drop_request(&mut self, req: RequestId) -> usize {
+        let keys: Vec<(RequestId, FnId, EdgeId)> = self
+            .entries
+            .range((req, fn_min(), edge_min())..=(req, fn_max(), edge_max()))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            let e = self.entries.remove(k).expect("listed key exists");
+            self.debit(e);
+        }
+        keys.len()
+    }
+
+    fn debit(&mut self, e: SinkEntry) {
+        match e.tier {
+            Tier::Memory => self.resident_memory -= e.bytes,
+            Tier::Disk => self.resident_disk -= e.bytes,
+        }
+    }
+}
+
+// Range bounds over the ordered (RequestId, FnId, EdgeId) index.
+fn edge_min() -> EdgeId {
+    EdgeId::from_index(0)
+}
+fn edge_max() -> EdgeId {
+    EdgeId::from_index(u32::MAX as usize)
+}
+fn fn_min() -> FnId {
+    FnId::from_index(0)
+}
+fn fn_max() -> FnId {
+    FnId::from_index(u32::MAX as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(i: usize) -> RequestId {
+        RequestId::from_index(i)
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut s = WaitMatchMemory::new();
+        s.insert(req(0), FnId::from_index(1), EdgeId::from_index(0), 100.0, SimTime::ZERO);
+        s.insert(req(0), FnId::from_index(1), EdgeId::from_index(1), 50.0, SimTime::ZERO);
+        s.insert(req(0), FnId::from_index(2), EdgeId::from_index(2), 7.0, SimTime::ZERO);
+        s.insert(req(1), FnId::from_index(1), EdgeId::from_index(0), 3.0, SimTime::ZERO);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.resident_memory_bytes(), 160.0);
+
+        let taken = s.take_inputs(req(0), FnId::from_index(1));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken.iter().map(|(_, e)| e.bytes).sum::<f64>(), 150.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.resident_memory_bytes(), 10.0);
+        // Other request's identical (fn, edge) untouched.
+        assert!(s.get(req(1), FnId::from_index(1), EdgeId::from_index(0)).is_some());
+    }
+
+    #[test]
+    fn spill_moves_tiers() {
+        let mut s = WaitMatchMemory::new();
+        s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 40.0, SimTime::ZERO);
+        assert_eq!(s.spill(req(0), FnId::from_index(0), EdgeId::from_index(0)), Some(40.0));
+        assert_eq!(s.resident_memory_bytes(), 0.0);
+        assert_eq!(s.resident_disk_bytes(), 40.0);
+        // Second spill is a no-op.
+        assert_eq!(s.spill(req(0), FnId::from_index(0), EdgeId::from_index(0)), None);
+        // Taking a spilled entry clears disk accounting.
+        let taken = s.take_inputs(req(0), FnId::from_index(0));
+        assert_eq!(taken[0].1.tier, Tier::Disk);
+        assert_eq!(s.resident_disk_bytes(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_accounting() {
+        let mut s = WaitMatchMemory::new();
+        s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 10.0, SimTime::ZERO);
+        let prev = s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 30.0, SimTime::from_secs(1));
+        assert_eq!(prev.unwrap().bytes, 10.0);
+        assert_eq!(s.resident_memory_bytes(), 30.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn drop_request_clears_everything() {
+        let mut s = WaitMatchMemory::new();
+        for f in 0..3 {
+            s.insert(req(5), FnId::from_index(f), EdgeId::from_index(f), 1.0, SimTime::ZERO);
+        }
+        s.insert(req(6), FnId::from_index(0), EdgeId::from_index(0), 1.0, SimTime::ZERO);
+        assert_eq!(s.drop_request(req(5)), 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.resident_memory_bytes(), 1.0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut s = WaitMatchMemory::new();
+        s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 100.0, SimTime::ZERO);
+        s.take_inputs(req(0), FnId::from_index(0));
+        s.insert(req(1), FnId::from_index(0), EdgeId::from_index(0), 10.0, SimTime::ZERO);
+        assert_eq!(s.peak_memory_bytes(), 100.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Time-weighted integration of step functions.
+//!
+//! The paper's cost metrics are integrals: memory usage is "N GB occupied
+//! for t seconds = N·t GB·s" (§9.2) and cache usage is MB·s (§9.4).
+//! [`StepIntegral`] computes ∫ value·dt for a piecewise-constant signal.
+
+use serde::{Deserialize, Serialize};
+
+/// Integrates a step function of virtual time.
+///
+/// Feed it `(time_seconds, new_value)` transitions in order; the integral
+/// accumulates `previous_value × Δt` on each transition.
+///
+/// # Examples
+///
+/// 2 GB held for 3 s, then 1 GB for 2 s → 8 GB·s:
+///
+/// ```
+/// use dataflower_metrics::StepIntegral;
+///
+/// let mut m = StepIntegral::new();
+/// m.set(0.0, 2.0);
+/// m.set(3.0, 1.0);
+/// assert_eq!(m.finish(5.0), 8.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepIntegral {
+    last_t: f64,
+    value: f64,
+    acc: f64,
+    peak: f64,
+    started: bool,
+}
+
+impl StepIntegral {
+    /// Creates an integrator with value 0 at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the signal to `value` from time `t` onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes an earlier transition (time must be
+    /// monotone) or if either argument is not finite.
+    pub fn set(&mut self, t: f64, value: f64) {
+        assert!(t.is_finite() && value.is_finite(), "non-finite integrand");
+        if self.started {
+            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+            self.acc += self.value * (t - self.last_t);
+        }
+        self.started = true;
+        self.last_t = t;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Adds `delta` to the current value at time `t` (convenient for
+    /// "container started/stopped" accounting).
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.value + delta;
+        self.set(t, v);
+    }
+
+    /// Current value of the step signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Highest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Integral accumulated up to the last transition (not including the
+    /// open interval since then).
+    pub fn accumulated(&self) -> f64 {
+        self.acc
+    }
+
+    /// Closes the signal at `end` and returns the total integral.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last transition.
+    pub fn finish(&self, end: f64) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        assert!(end >= self.last_t, "end {end} precedes last transition {}", self.last_t);
+        self.acc + self.value * (end - self.last_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let mut m = StepIntegral::new();
+        m.set(0.0, 4.0);
+        assert_eq!(m.finish(10.0), 40.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(StepIntegral::new().finish(100.0), 0.0);
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut m = StepIntegral::new();
+        m.add(0.0, 1.0); // one container of 1 GB
+        m.add(2.0, 1.0); // second joins at t=2
+        m.add(4.0, -2.0); // both leave at t=4
+        assert_eq!(m.finish(10.0), 1.0 * 2.0 + 2.0 * 2.0);
+        assert_eq!(m.peak(), 2.0);
+        assert_eq!(m.current(), 0.0);
+    }
+
+    #[test]
+    fn repeated_set_at_same_time() {
+        let mut m = StepIntegral::new();
+        m.set(0.0, 1.0);
+        m.set(0.0, 5.0);
+        assert_eq!(m.finish(1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_time_reversal() {
+        let mut m = StepIntegral::new();
+        m.set(5.0, 1.0);
+        m.set(4.0, 1.0);
+    }
+
+    #[test]
+    fn accumulated_excludes_open_interval() {
+        let mut m = StepIntegral::new();
+        m.set(0.0, 3.0);
+        m.set(2.0, 1.0);
+        assert_eq!(m.accumulated(), 6.0);
+        assert_eq!(m.finish(3.0), 7.0);
+    }
+}

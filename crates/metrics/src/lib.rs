@@ -1,0 +1,32 @@
+//! # dataflower-metrics
+//!
+//! Measurement plumbing for the DataFlower reproduction: sample
+//! collections with exact percentiles ([`Samples`]), time-weighted step
+//! integrals for GB·s / MB·s cost metrics ([`StepIntegral`]), and table
+//! rendering for the figure harness ([`Table`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dataflower_metrics::{Samples, StepIntegral};
+//!
+//! // Latencies of five requests.
+//! let lat: Samples = [0.9, 1.1, 1.0, 1.3, 4.0].into_iter().collect();
+//! assert!(lat.p99() > lat.p50());
+//!
+//! // 0.5 GB of containers alive from t=0 to t=10.
+//! let mut mem = StepIntegral::new();
+//! mem.set(0.0, 0.5);
+//! assert_eq!(mem.finish(10.0), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod integrate;
+mod stats;
+mod table;
+
+pub use integrate::StepIntegral;
+pub use stats::{Samples, StatSummary};
+pub use table::{fmt_f, Table};

@@ -1,0 +1,279 @@
+//! Sample collection and descriptive statistics (percentiles, mean, σ).
+
+use serde::{Deserialize, Serialize};
+
+/// A collector of scalar samples (latencies in seconds, sizes in bytes, …)
+/// supporting exact order statistics.
+///
+/// Percentiles are computed exactly by sorting a copy on demand; at the
+/// scale of these experiments (≤ 10⁵ samples per cell) this is faster and
+/// simpler than a sketch and has zero error.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_metrics::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in [1.0, 2.0, 3.0, 4.0, 10.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.percentile(0.50), 3.0);
+/// assert_eq!(s.max(), 10.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN (a NaN sample poisons every statistic).
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN sample");
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw samples in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Arithmetic mean; zero for an empty collector.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Population standard deviation; zero for fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample; zero for an empty collector.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest sample; zero for an empty collector.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact `q`-quantile using nearest-rank with linear interpolation.
+    ///
+    /// Returns zero for an empty collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= q <= 1`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Convenience: median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Convenience: 99th percentile (the paper's tail-latency metric).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Empirical CDF as `(value, cumulative_fraction)` points, one per
+    /// sample, suitable for plotting (Fig. 15).
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = sorted.len();
+        sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// A compact summary of the distribution.
+    pub fn summary(&self) -> StatSummary {
+        StatSummary {
+            count: self.len(),
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min(),
+            p50: self.p50(),
+            p99: self.p99(),
+            max: self.max(),
+        }
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Point-in-time digest of a [`Samples`] distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl std::fmt::Display for StatSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} σ={:.4} min={:.4} p50={:.4} p99={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.p50, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(0.99), 0.0);
+        assert!(s.cdf().is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s: Samples = (1..=4).map(|v| v as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(1.0), 4.0);
+        assert_eq!(s.percentile(0.5), 2.5);
+    }
+
+    #[test]
+    fn p99_close_to_max_for_uniform() {
+        let s: Samples = (0..1000).map(|v| v as f64).collect();
+        assert!((s.p99() - 989.01).abs() < 0.1, "p99={}", s.p99());
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let s: Samples = [3.0, 1.0, 2.0].into_iter().collect();
+        let cdf = s.cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Samples::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Samples = [1.0, 2.0].into_iter().collect();
+        let b: Samples = [3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: Samples = [1.0, 2.0].into_iter().collect();
+        let text = s.summary().to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.5"));
+    }
+}

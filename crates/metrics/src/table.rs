@@ -1,0 +1,152 @@
+//! Plain-text and Markdown table rendering for the figure harness.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_metrics::Table;
+///
+/// let mut t = Table::new(vec!["system", "p99 (s)"]);
+/// t.row(vec!["DataFlower".into(), "4.21".into()]);
+/// t.row(vec!["FaaSFlow".into(), "5.87".into()]);
+/// let text = t.render();
+/// assert!(text.contains("DataFlower"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", c, width = w[i]);
+            }
+            out.truncate(out.trim_end().len());
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let rule: String = w.iter().map(|n| "-".repeat(*n) + "  ").collect();
+        out.push_str(rule.trim_end());
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---|").collect::<String>().trim_end_matches('|')
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` fractional digits (figure output helper).
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = Table::new(vec!["a", "bench"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a    "));
+        assert_eq!(lines[1], "-----  -----");
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert_eq!(md.lines().count(), 3);
+        assert!(md.starts_with("| x | y |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        Table::new(vec!["only"]).row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+}

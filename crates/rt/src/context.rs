@@ -1,0 +1,149 @@
+//! The FLU programming interface: what a function body sees.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use crossbeam_channel::Sender;
+
+use crate::runtime::{DluMsg, ReqId};
+
+/// Destination selector for [`FluContext::put_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PutTarget {
+    /// Every output edge carrying the data name (broadcast, the plain
+    /// `DataFlower.DLU.Put` of Fig. 5a).
+    All,
+    /// Only the edge(s) towards the named function (per-branch payloads
+    /// for `foreach` fan-outs).
+    Function(String),
+}
+
+/// Execution context handed to a function body (the FLU side of the
+/// FLU/DLU programming model, Fig. 5a).
+///
+/// Inputs are the data items that triggered this invocation, keyed by
+/// their declared data names. Outputs are handed to the DLU daemon with
+/// [`FluContext::put`] / [`FluContext::put_to`] and start flowing
+/// **immediately and asynchronously** — the function keeps computing
+/// while the DLU ships, which is exactly the compute/communication
+/// overlap of §5.1. A full DLU queue blocks the put: that is the
+/// backpressure of Fig. 6a.
+pub struct FluContext {
+    pub(crate) req: ReqId,
+    pub(crate) src_fn: String,
+    pub(crate) inputs: BTreeMap<String, Bytes>,
+    pub(crate) dlu: Sender<DluMsg>,
+}
+
+impl FluContext {
+    pub(crate) fn new(
+        req: ReqId,
+        src_fn: String,
+        inputs: BTreeMap<String, Bytes>,
+        dlu: Sender<DluMsg>,
+    ) -> Self {
+        FluContext {
+            req,
+            src_fn,
+            inputs,
+            dlu,
+        }
+    }
+
+    /// The request this invocation belongs to.
+    pub fn request(&self) -> ReqId {
+        self.req
+    }
+
+    /// The input payload named `name`.
+    ///
+    /// Inputs are stored under `name@source` keys (the Wait-Match index
+    /// includes the producer). This accessor accepts either the full key
+    /// or the bare data name when it is unambiguous; for fan-in inputs
+    /// that share a data name (e.g. a merge), use
+    /// [`FluContext::inputs_named`].
+    pub fn input(&self, name: &str) -> Option<&Bytes> {
+        if let Some(b) = self.inputs.get(name) {
+            return Some(b);
+        }
+        let prefix = format!("{name}@");
+        let mut found = None;
+        for (k, v) in &self.inputs {
+            if k.starts_with(&prefix) {
+                if found.is_some() {
+                    return None; // ambiguous: multiple producers
+                }
+                found = Some(v);
+            }
+        }
+        found
+    }
+
+    /// All input payloads whose data name is `name`, in producer order —
+    /// the fan-in (`merge`/`LIST`) accessor.
+    pub fn inputs_named(&self, name: &str) -> Vec<&Bytes> {
+        let prefix = format!("{name}@");
+        self.inputs
+            .iter()
+            .filter(|(k, _)| *k == name || k.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// All inputs in data-name order.
+    pub fn inputs(&self) -> impl Iterator<Item = (&str, &Bytes)> {
+        self.inputs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of inputs this invocation received.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Hands `payload` to the DLU daemon for every output edge named
+    /// `data_name` (`DataFlower.DLU.Put`). The transfer begins while the
+    /// function keeps running; a saturated DLU blocks the caller
+    /// (backpressure).
+    pub fn put(&mut self, data_name: impl Into<String>, payload: impl Into<Bytes>) {
+        self.send(data_name.into(), PutTarget::All, payload.into());
+    }
+
+    /// Hands `payload` to the DLU daemon for the output edge(s) named
+    /// `data_name` that lead to `target_fn` only — distinct per-branch
+    /// payloads for `foreach` fan-outs.
+    pub fn put_to(
+        &mut self,
+        data_name: impl Into<String>,
+        target_fn: impl Into<String>,
+        payload: impl Into<Bytes>,
+    ) {
+        self.send(
+            data_name.into(),
+            PutTarget::Function(target_fn.into()),
+            payload.into(),
+        );
+    }
+
+    fn send(&mut self, data_name: String, target: PutTarget, payload: Bytes) {
+        let msg = DluMsg {
+            req: self.req,
+            src_fn: self.src_fn.clone(),
+            data_name,
+            target,
+            payload,
+        };
+        // The runtime only drops the DLU receiver at shutdown; a send
+        // failure then is harmless.
+        let _ = self.dlu.send(msg);
+    }
+}
+
+impl std::fmt::Debug for FluContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FluContext")
+            .field("req", &self.req)
+            .field("function", &self.src_fn)
+            .field("inputs", &self.inputs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

@@ -1,0 +1,35 @@
+//! # dataflower-rt
+//!
+//! A **live, multi-threaded implementation of the FLU/DLU programming
+//! model** — the same execution model the simulated engine reproduces,
+//! but with real threads, real bytes and real channels. It demonstrates
+//! that the paper's programming model (Fig. 5a) is directly expressible:
+//!
+//! * function bodies are plain Rust closures receiving a [`FluContext`];
+//! * `ctx.put(...)` hands data to the function's **DLU daemon thread**
+//!   mid-function; transfers overlap the rest of the computation;
+//! * downstream functions trigger on **data availability** — when the
+//!   last input lands in the in-process data sink, not when a controller
+//!   says so;
+//! * bounded DLU queues exert genuine backpressure on over-producing
+//!   functions (Fig. 6a);
+//! * unconsumed sink entries passively expire via a janitor thread.
+//!
+//! The workflow *definition* is shared with the simulator
+//! ([`dataflower_workflow`]), so one definition drives both the
+//! evaluation figures and real execution.
+//!
+//! See [`RuntimeBuilder`] for a complete runnable example, and
+//! `examples/wordcount_live.rs` for a real word count over generated
+//! text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod error;
+mod runtime;
+
+pub use context::{FluContext, PutTarget};
+pub use error::RtError;
+pub use runtime::{ReqId, RtConfig, RtStats, Runtime, RuntimeBuilder};

@@ -1,0 +1,625 @@
+//! The live FLU/DLU runtime: real threads, real bytes.
+//!
+//! Architecture (one process standing in for one worker node):
+//!
+//! * per function, one or more **FLU executor threads** consume an
+//!   invocation queue and run the registered function body;
+//! * per function, a **DLU daemon thread** drains the `put` channel and
+//!   routes payloads along the workflow's data edges — to other
+//!   functions' data sinks or to the client results slot;
+//! * a shared **data sink** caches inbound data per `(request, function,
+//!   edge)` and triggers an FLU the instant its inputs are complete
+//!   (data-availability triggering, no orchestrator);
+//! * a **janitor thread** passively expires sink entries past their TTL
+//!   (counting them as spilled to disk).
+//!
+//! Bounded DLU queues give real backpressure: a function that produces
+//! faster than its DLU drains blocks in `put`, exactly Fig. 6a.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow};
+use parking_lot::{Condvar, Mutex};
+
+use crate::context::{FluContext, PutTarget};
+use crate::error::RtError;
+
+/// A request identifier issued by [`Runtime::invoke`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub(crate) u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Tuning knobs of the runtime.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Capacity of each function's DLU queue; a full queue blocks `put`
+    /// (backpressure).
+    pub dlu_queue_capacity: usize,
+    /// Default number of FLU executor threads per function.
+    pub flu_replicas: usize,
+    /// Passive-expire TTL for unconsumed sink entries (`None` disables
+    /// the janitor).
+    pub sink_ttl: Option<Duration>,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            dlu_queue_capacity: 64,
+            flu_replicas: 1,
+            sink_ttl: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Counters exposed by [`Runtime::stats`].
+#[derive(Debug, Default)]
+pub struct RtStats {
+    /// `put`/`put_to` calls routed by DLU daemons.
+    pub puts: u64,
+    /// Data deliveries into function sinks.
+    pub deliveries: u64,
+    /// Function invocations executed.
+    pub invocations: u64,
+    /// Sink entries passively expired by the janitor.
+    pub spills: u64,
+}
+
+pub(crate) struct DluMsg {
+    pub req: ReqId,
+    pub src_fn: String,
+    pub data_name: String,
+    pub target: PutTarget,
+    pub payload: Bytes,
+}
+
+enum FluMsg {
+    Invoke {
+        req: ReqId,
+        inputs: BTreeMap<String, Bytes>,
+    },
+    Shutdown,
+}
+
+struct SinkEntry {
+    key: String,
+    payload: Bytes,
+    arrived: Instant,
+    spilled: bool,
+}
+
+struct ReqState {
+    active: ActiveGraph,
+    /// Remaining input edges per function before it can trigger.
+    missing: Vec<usize>,
+    /// Inbound data awaiting its consumer, per function.
+    sink: HashMap<FnId, BTreeMap<EdgeId, SinkEntry>>,
+    /// Client outputs still expected.
+    outputs_missing: usize,
+    outputs: Vec<(String, Bytes)>,
+    errors: Vec<String>,
+}
+
+struct Counters {
+    puts: AtomicU64,
+    deliveries: AtomicU64,
+    invocations: AtomicU64,
+    spills: AtomicU64,
+}
+
+struct Inner {
+    workflow: Arc<Workflow>,
+    flu_tx: HashMap<String, Sender<FluMsg>>,
+    reqs: Mutex<HashMap<u64, ReqState>>,
+    done: Condvar,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+type Body = Arc<dyn Fn(&mut FluContext) + Send + Sync>;
+
+/// Builder for a [`Runtime`]: register one body per workflow function,
+/// then [`RuntimeBuilder::start`].
+pub struct RuntimeBuilder {
+    workflow: Arc<Workflow>,
+    cfg: RtConfig,
+    bodies: HashMap<String, Body>,
+    replicas: HashMap<String, usize>,
+}
+
+impl RuntimeBuilder {
+    /// Starts building a runtime for `workflow`.
+    pub fn new(workflow: Arc<Workflow>) -> Self {
+        RuntimeBuilder {
+            workflow,
+            cfg: RtConfig::default(),
+            bodies: HashMap::new(),
+            replicas: HashMap::new(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn config(mut self, cfg: RtConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Registers the body of function `name`.
+    pub fn register<F>(mut self, name: impl Into<String>, body: F) -> Self
+    where
+        F: Fn(&mut FluContext) + Send + Sync + 'static,
+    {
+        self.bodies.insert(name.into(), Arc::new(body));
+        self
+    }
+
+    /// Overrides the executor-thread count for function `name`
+    /// (scale-out within the process).
+    pub fn replicas(mut self, name: impl Into<String>, n: usize) -> Self {
+        self.replicas.insert(name.into(), n.max(1));
+        self
+    }
+
+    /// Validates registrations and spawns all threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::UnregisteredFunction`] if a workflow function
+    /// has no body, or [`RtError::UnknownFunction`] if a body or replica
+    /// override names a function not in the workflow.
+    pub fn start(self) -> Result<Runtime, RtError> {
+        for f in self.workflow.function_ids() {
+            let name = &self.workflow.function(f).name;
+            if !self.bodies.contains_key(name) {
+                return Err(RtError::UnregisteredFunction(name.clone()));
+            }
+        }
+        for name in self.bodies.keys().chain(self.replicas.keys()) {
+            if self.workflow.function_by_name(name).is_none() {
+                return Err(RtError::UnknownFunction(name.clone()));
+            }
+        }
+
+        let mut flu_tx = HashMap::new();
+        let mut flu_rx: HashMap<String, Receiver<FluMsg>> = HashMap::new();
+        for f in self.workflow.function_ids() {
+            let name = self.workflow.function(f).name.clone();
+            let (tx, rx) = unbounded();
+            flu_tx.insert(name.clone(), tx);
+            flu_rx.insert(name, rx);
+        }
+        let inner = Arc::new(Inner {
+            workflow: Arc::clone(&self.workflow),
+            flu_tx,
+            reqs: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            counters: Counters {
+                puts: AtomicU64::new(0),
+                deliveries: AtomicU64::new(0),
+                invocations: AtomicU64::new(0),
+                spills: AtomicU64::new(0),
+            },
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        let mut replica_counts = HashMap::new();
+        for f in self.workflow.function_ids() {
+            let name = self.workflow.function(f).name.clone();
+            let body = Arc::clone(&self.bodies[&name]);
+            let replicas = *self.replicas.get(&name).unwrap_or(&self.cfg.flu_replicas);
+            replica_counts.insert(name.clone(), replicas);
+
+            // Per-function DLU daemon.
+            let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.dlu_queue_capacity);
+            {
+                let inner = Arc::clone(&inner);
+                let thread_name = format!("dlu-{name}");
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(thread_name)
+                        .spawn(move || dlu_daemon(inner, dlu_rx))
+                        .expect("spawn dlu daemon"),
+                );
+            }
+            // FLU executors.
+            let rx = flu_rx.remove(&name).expect("channel created");
+            for k in 0..replicas {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                let body = Arc::clone(&body);
+                let dlu = dlu_tx.clone();
+                let fn_name = name.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("flu-{name}-{k}"))
+                        .spawn(move || flu_executor(inner, fn_name, rx, body, dlu))
+                        .expect("spawn flu executor"),
+                );
+            }
+        }
+
+        // Janitor for passive expire.
+        if let Some(ttl) = self.cfg.sink_ttl {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sink-janitor".into())
+                    .spawn(move || janitor(inner, ttl))
+                    .expect("spawn janitor"),
+            );
+        }
+
+        Ok(Runtime {
+            inner,
+            threads,
+            replica_counts,
+            next_req: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A running FLU/DLU runtime. Create with [`RuntimeBuilder`].
+///
+/// # Examples
+///
+/// A real two-stage pipeline that uppercases then reverses a string:
+///
+/// ```
+/// use std::sync::Arc;
+/// use bytes::Bytes;
+/// use dataflower_rt::RuntimeBuilder;
+/// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new("pipeline");
+/// let upper = b.function("upper", WorkModel::fixed(0.001));
+/// let rev = b.function("rev", WorkModel::fixed(0.001));
+/// b.client_input(upper, "text", SizeModel::Fixed(64.0));
+/// b.edge(upper, rev, "upped", SizeModel::Fixed(64.0));
+/// b.client_output(rev, "result", SizeModel::Fixed(64.0));
+/// let wf = Arc::new(b.build()?);
+///
+/// let rt = RuntimeBuilder::new(wf)
+///     .register("upper", |ctx| {
+///         let s = String::from_utf8_lossy(ctx.input("text").unwrap()).to_uppercase();
+///         ctx.put("upped", Bytes::from(s.into_bytes()));
+///     })
+///     .register("rev", |ctx| {
+///         let s: String = String::from_utf8_lossy(ctx.input("upped").unwrap())
+///             .chars().rev().collect();
+///         ctx.put("result", Bytes::from(s.into_bytes()));
+///     })
+///     .start()
+///     .unwrap();
+///
+/// let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"dataflower"))]);
+/// let outputs = rt.wait(req, std::time::Duration::from_secs(5)).unwrap();
+/// assert_eq!(outputs[0].1.as_ref(), b"REWOLFATAD");
+/// rt.shutdown();
+/// # Ok::<(), dataflower_workflow::WorkflowError>(())
+/// ```
+pub struct Runtime {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+    replica_counts: HashMap<String, usize>,
+    next_req: AtomicU64,
+}
+
+impl Runtime {
+    /// Invokes the workflow with client inputs `(data_name, payload)`.
+    /// Returns immediately; collect results with [`Runtime::wait`].
+    pub fn invoke(&self, inputs: Vec<(String, Bytes)>) -> ReqId {
+        let req = ReqId(self.next_req.fetch_add(1, Ordering::Relaxed));
+        let wf = &self.inner.workflow;
+        // Resolve switches deterministically per request.
+        let seed = req.0;
+        let active = wf.resolve_switches(|group, n| ((seed ^ group as u64) % n as u64) as usize);
+
+        let mut missing = vec![0usize; wf.function_count()];
+        for f in wf.function_ids() {
+            if !active.function_active(f) {
+                continue;
+            }
+            missing[f.index()] = wf
+                .inputs(f)
+                .iter()
+                .filter(|e| active.edge_active(**e))
+                .count();
+        }
+        let outputs_missing = wf
+            .client_outputs()
+            .filter(|e| active.edge_active(*e))
+            .count();
+        self.inner.reqs.lock().insert(
+            req.0,
+            ReqState {
+                active,
+                missing,
+                sink: HashMap::new(),
+                outputs_missing,
+                outputs: Vec::new(),
+                errors: Vec::new(),
+            },
+        );
+
+        // Deliver the client inputs by data name.
+        for (name, payload) in inputs {
+            let mut matched = false;
+            for eid in wf.client_inputs().collect::<Vec<_>>() {
+                let e = wf.edge(eid);
+                if e.data_name == name {
+                    matched = true;
+                    deliver(&self.inner, req, eid, format!("{name}@$USER"), payload.clone());
+                }
+            }
+            if !matched {
+                let mut reqs = self.inner.reqs.lock();
+                if let Some(rs) = reqs.get_mut(&req.0) {
+                    rs.errors.push(format!("no client input edge named `{name}`"));
+                }
+            }
+        }
+        req
+    }
+
+    /// Blocks until every client output of `req` arrived, or `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if the deadline passes first;
+    /// [`RtError::Faulted`] if any function body reported an error (e.g.
+    /// a `put` with an unknown data name); [`RtError::UnknownRequest`]
+    /// for a foreign id.
+    pub fn wait(&self, req: ReqId, timeout: Duration) -> Result<Vec<(String, Bytes)>, RtError> {
+        let deadline = Instant::now() + timeout;
+        let mut reqs = self.inner.reqs.lock();
+        loop {
+            let rs = reqs.get(&req.0).ok_or(RtError::UnknownRequest)?;
+            if !rs.errors.is_empty() {
+                return Err(RtError::Faulted(rs.errors.join("; ")));
+            }
+            if rs.outputs_missing == 0 {
+                let rs = reqs.remove(&req.0).expect("checked above");
+                return Ok(rs.outputs);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RtError::Timeout);
+            }
+            self.inner.done.wait_until(&mut reqs, deadline);
+        }
+    }
+
+    /// Number of FLU executor threads serving `name` (scale-out view).
+    pub fn replicas_of(&self, name: &str) -> Option<usize> {
+        self.replica_counts.get(name).copied()
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> RtStats {
+        RtStats {
+            puts: self.inner.counters.puts.load(Ordering::Relaxed),
+            deliveries: self.inner.counters.deliveries.load(Ordering::Relaxed),
+            invocations: self.inner.counters.invocations.load(Ordering::Relaxed),
+            spills: self.inner.counters.spills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops all threads and waits for them (clean teardown; prefer this
+    /// over relying on `Drop`, which detaches without joining).
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for f in self.inner.workflow.function_ids() {
+            let name = &self.inner.workflow.function(f).name;
+            let replicas = self.replica_counts[name];
+            for _ in 0..replicas {
+                let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Non-blocking teardown: signal and detach (C-DTOR-BLOCK).
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for f in self.inner.workflow.function_ids() {
+            let name = &self.inner.workflow.function(f).name;
+            for _ in 0..self.replica_counts.get(name).copied().unwrap_or(1) {
+                let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workflow", &self.inner.workflow.name())
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+fn flu_executor(
+    inner: Arc<Inner>,
+    fn_name: String,
+    rx: Receiver<FluMsg>,
+    body: Body,
+    dlu: Sender<DluMsg>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            FluMsg::Shutdown => break,
+            FluMsg::Invoke { req, inputs } => {
+                inner.counters.invocations.fetch_add(1, Ordering::Relaxed);
+                let mut ctx = FluContext::new(req, fn_name.clone(), inputs, dlu.clone());
+                body(&mut ctx);
+            }
+        }
+    }
+}
+
+fn dlu_daemon(inner: Arc<Inner>, rx: Receiver<DluMsg>) {
+    while let Ok(msg) = rx.recv() {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        route(&inner, msg);
+    }
+}
+
+/// Routes one DLU put along the matching data edges.
+fn route(inner: &Inner, msg: DluMsg) {
+    inner.counters.puts.fetch_add(1, Ordering::Relaxed);
+    let wf = &inner.workflow;
+    let Some(src) = wf.function_by_name(&msg.src_fn) else {
+        return;
+    };
+    let active = {
+        let reqs = inner.reqs.lock();
+        match reqs.get(&msg.req.0) {
+            Some(rs) => rs.active.clone(),
+            None => return, // request already collected
+        }
+    };
+    let mut matched = false;
+    for eid in wf.outputs(src).to_vec() {
+        let e = wf.edge(eid);
+        if e.data_name != msg.data_name {
+            continue;
+        }
+        let target_ok = match (&msg.target, e.target) {
+            (PutTarget::All, _) => true,
+            (PutTarget::Function(name), Endpoint::Function(t)) => {
+                wf.function(t).name == *name
+            }
+            (PutTarget::Function(_), Endpoint::Client) => false,
+        };
+        if !target_ok {
+            continue;
+        }
+        matched = true;
+        if !active.edge_active(eid) {
+            continue; // switched-off branch: data dropped by design
+        }
+        match e.target {
+            Endpoint::Client => {
+                let mut reqs = inner.reqs.lock();
+                if let Some(rs) = reqs.get_mut(&msg.req.0) {
+                    rs.outputs.push((msg.data_name.clone(), msg.payload.clone()));
+                    rs.outputs_missing = rs.outputs_missing.saturating_sub(1);
+                    if rs.outputs_missing == 0 {
+                        inner.done.notify_all();
+                    }
+                }
+            }
+            Endpoint::Function(_) => {
+                let key = format!("{}@{}", msg.data_name, msg.src_fn);
+                deliver(inner, msg.req, eid, key, msg.payload.clone());
+            }
+        }
+    }
+    if !matched {
+        let mut reqs = inner.reqs.lock();
+        if let Some(rs) = reqs.get_mut(&msg.req.0) {
+            rs.errors.push(format!(
+                "function `{}` put unknown data `{}`",
+                msg.src_fn, msg.data_name
+            ));
+            inner.done.notify_all();
+        }
+    }
+}
+
+/// Inserts data for `edge` into the destination sink; triggers the
+/// destination FLU when its inputs are complete (proactive release: the
+/// inputs leave the sink as the invocation message).
+fn deliver(inner: &Inner, req: ReqId, edge: EdgeId, key: String, payload: Bytes) {
+    let wf = &inner.workflow;
+    let e = wf.edge(edge);
+    let Endpoint::Function(dst) = e.target else {
+        return;
+    };
+    inner.counters.deliveries.fetch_add(1, Ordering::Relaxed);
+    let ready = {
+        let mut reqs = inner.reqs.lock();
+        let Some(rs) = reqs.get_mut(&req.0) else {
+            return;
+        };
+        if !rs.active.edge_active(edge) || !rs.active.function_active(dst) {
+            return;
+        }
+        let entry = SinkEntry {
+            key,
+            payload,
+            arrived: Instant::now(),
+            spilled: false,
+        };
+        let fresh = rs
+            .sink
+            .entry(dst)
+            .or_default()
+            .insert(edge, entry)
+            .is_none();
+        if fresh {
+            debug_assert!(rs.missing[dst.index()] > 0, "over-delivery on {edge}");
+            rs.missing[dst.index()] -= 1;
+        }
+        if rs.missing[dst.index()] == 0 {
+            // Proactive release: hand all inputs to the FLU and drop them
+            // from the sink.
+            let entries = rs.sink.remove(&dst).unwrap_or_default();
+            let mut inputs = BTreeMap::new();
+            for (_, entry) in entries {
+                inputs.insert(entry.key, entry.payload);
+            }
+            // Guard against double-trigger on duplicate final delivery.
+            rs.missing[dst.index()] = usize::MAX;
+            Some(inputs)
+        } else {
+            None
+        }
+    };
+    if let Some(inputs) = ready {
+        let name = &wf.function(dst).name;
+        let _ = inner.flu_tx[name].send(FluMsg::Invoke { req, inputs });
+    }
+}
+
+fn janitor(inner: Arc<Inner>, ttl: Duration) {
+    let tick = ttl.min(Duration::from_millis(50));
+    while !inner.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        let mut reqs = inner.reqs.lock();
+        for rs in reqs.values_mut() {
+            for entries in rs.sink.values_mut() {
+                for entry in entries.values_mut() {
+                    if !entry.spilled && now.duration_since(entry.arrived) >= ttl {
+                        // Passive expire: the payload moves to the
+                        // function-exclusive disk tier. In-process we keep
+                        // the bytes (the "disk") and count the eviction.
+                        entry.spilled = true;
+                        inner.counters.spills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Behavioural tests of the live FLU/DLU runtime on real data.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use dataflower_rt::{RtConfig, RtError, RuntimeBuilder};
+use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder};
+
+fn wc_workflow(fan_out: usize) -> Arc<Workflow> {
+    let mut b = WorkflowBuilder::new("wc");
+    let start = b.function("start", WorkModel::fixed(0.001));
+    let merge = b.function("merge", WorkModel::fixed(0.001));
+    b.client_input(start, "text", SizeModel::Fixed(1024.0));
+    for i in 0..fan_out {
+        let count = b.function(format!("count_{i}"), WorkModel::fixed(0.001));
+        b.edge(start, count, "file", SizeModel::Fixed(256.0));
+        b.edge(count, merge, "counts", SizeModel::Fixed(64.0));
+    }
+    b.client_output(merge, "result", SizeModel::Fixed(64.0));
+    Arc::new(b.build().unwrap())
+}
+
+/// A complete, *real* word count: split text into N shards, count words
+/// per shard, merge the count tables.
+fn build_wc(fan_out: usize) -> dataflower_rt::Runtime {
+    let wf = wc_workflow(fan_out);
+    let mut builder = RuntimeBuilder::new(Arc::clone(&wf)).register("start", move |ctx| {
+        let text = String::from_utf8_lossy(ctx.input("text").expect("text input")).into_owned();
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let shard = words.len().div_ceil(fan_out);
+        for i in 0..fan_out {
+            let lo = (i * shard).min(words.len());
+            let hi = ((i + 1) * shard).min(words.len());
+            let chunk = words[lo..hi].join(" ");
+            ctx.put_to("file", format!("count_{i}"), Bytes::from(chunk.into_bytes()));
+        }
+    });
+    for i in 0..fan_out {
+        builder = builder.register(format!("count_{i}"), |ctx| {
+            let text = String::from_utf8_lossy(ctx.input("file").expect("file input")).into_owned();
+            let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+            for w in text.split_whitespace() {
+                *counts.entry(w).or_default() += 1;
+            }
+            let serialized = counts
+                .iter()
+                .map(|(w, c)| format!("{w} {c}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            ctx.put("counts", Bytes::from(serialized.into_bytes()));
+        });
+    }
+    builder
+        .register("merge", |ctx| {
+            let mut total: BTreeMap<String, u64> = BTreeMap::new();
+            for (name, payload) in ctx.inputs() {
+                assert!(name.starts_with("counts@"), "unexpected input {name}");
+                for line in String::from_utf8_lossy(payload).lines() {
+                    let mut it = line.rsplitn(2, ' ');
+                    let c: u64 = it.next().unwrap().parse().unwrap();
+                    let w = it.next().unwrap().to_owned();
+                    *total.entry(w).or_default() += c;
+                }
+            }
+            let out = total
+                .iter()
+                .map(|(w, c)| format!("{w} {c}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            ctx.put("result", Bytes::from(out.into_bytes()));
+        })
+        .start()
+        .unwrap()
+}
+
+#[test]
+fn real_wordcount_counts_correctly() {
+    let rt = build_wc(4);
+    let text = "the quick brown fox jumps over the lazy dog the fox";
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(text.as_bytes()))]);
+    let outputs = rt.wait(req, Duration::from_secs(10)).unwrap();
+    assert_eq!(outputs.len(), 1);
+    let table = String::from_utf8_lossy(&outputs[0].1).into_owned();
+    let get = |w: &str| -> u64 {
+        table
+            .lines()
+            .find(|l| l.starts_with(&format!("{w} ")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0)
+    };
+    assert_eq!(get("the"), 3);
+    assert_eq!(get("fox"), 2);
+    assert_eq!(get("dog"), 1);
+    let stats = rt.stats();
+    assert_eq!(stats.invocations, 6); // start + 4 counts + merge
+    rt.shutdown();
+}
+
+#[test]
+fn concurrent_requests_are_isolated() {
+    let rt = build_wc(2);
+    let reqs: Vec<_> = (0..8)
+        .map(|i| {
+            let text = format!("alpha {} beta", "gamma ".repeat(i + 1));
+            rt.invoke(vec![("text".into(), Bytes::from(text.into_bytes()))])
+        })
+        .collect();
+    for (i, req) in reqs.into_iter().enumerate() {
+        let outputs = rt.wait(req, Duration::from_secs(10)).unwrap();
+        let table = String::from_utf8_lossy(&outputs[0].1).into_owned();
+        let gamma_line = table
+            .lines()
+            .find(|l| l.starts_with("gamma "))
+            .expect("gamma counted");
+        assert_eq!(gamma_line, format!("gamma {}", i + 1));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn unregistered_function_rejected_at_start() {
+    let wf = wc_workflow(1);
+    let err = RuntimeBuilder::new(wf).start().unwrap_err();
+    assert!(matches!(err, RtError::UnregisteredFunction(_)));
+}
+
+#[test]
+fn unknown_registration_rejected() {
+    let wf = wc_workflow(1);
+    let err = RuntimeBuilder::new(Arc::clone(&wf))
+        .register("start", |_| {})
+        .register("count_0", |_| {})
+        .register("merge", |_| {})
+        .register("ghost", |_| {})
+        .start()
+        .unwrap_err();
+    assert!(matches!(err, RtError::UnknownFunction(n) if n == "ghost"));
+}
+
+#[test]
+fn unknown_put_faults_the_request() {
+    let wf = wc_workflow(1);
+    let rt = RuntimeBuilder::new(wf)
+        .register("start", |ctx| {
+            ctx.put("file", Bytes::from_static(b"x"));
+        })
+        .register("count_0", |ctx| {
+            ctx.put("no-such-edge", Bytes::from_static(b"y"));
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"z"));
+        })
+        .start()
+        .unwrap();
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"hi"))]);
+    let err = rt.wait(req, Duration::from_secs(5)).unwrap_err();
+    assert!(matches!(err, RtError::Faulted(msg) if msg.contains("no-such-edge")));
+    rt.shutdown();
+}
+
+#[test]
+fn wait_times_out_when_a_function_stalls() {
+    let wf = wc_workflow(1);
+    let rt = RuntimeBuilder::new(wf)
+        .register("start", |ctx| {
+            ctx.put("file", Bytes::from_static(b"x"));
+        })
+        .register("count_0", |_ctx| {
+            // Never puts: downstream never triggers.
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"z"));
+        })
+        .start()
+        .unwrap();
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"hi"))]);
+    assert_eq!(
+        rt.wait(req, Duration::from_millis(200)).unwrap_err(),
+        RtError::Timeout
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn replicas_scale_out_executors() {
+    let rt_builder_wf = wc_workflow(2);
+    let rt = RuntimeBuilder::new(rt_builder_wf)
+        .register("start", |ctx| {
+            for i in 0..2 {
+                ctx.put_to("file", format!("count_{i}"), Bytes::from_static(b"a b"));
+            }
+        })
+        .register("count_0", |ctx| {
+            std::thread::sleep(Duration::from_millis(20));
+            ctx.put("counts", Bytes::from_static(b"a 1"));
+        })
+        .register("count_1", |ctx| {
+            ctx.put("counts", Bytes::from_static(b"b 1"));
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"ok"));
+        })
+        .replicas("count_0", 4)
+        .start()
+        .unwrap();
+    assert_eq!(rt.replicas_of("count_0"), Some(4));
+    assert_eq!(rt.replicas_of("merge"), Some(1));
+    let reqs: Vec<_> = (0..8)
+        .map(|_| rt.invoke(vec![("text".into(), Bytes::from_static(b"t"))]))
+        .collect();
+    for req in reqs {
+        rt.wait(req, Duration::from_secs(10)).unwrap();
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn janitor_spills_unconsumed_inputs() {
+    // count_1 never receives its shard (start only feeds count_0's edge),
+    // so merge never fires and count_0's output sits in the sink past the
+    // TTL.
+    let wf = wc_workflow(2);
+    let rt = RuntimeBuilder::new(wf)
+        .config(RtConfig {
+            sink_ttl: Some(Duration::from_millis(50)),
+            ..RtConfig::default()
+        })
+        .register("start", |ctx| {
+            ctx.put_to("file", "count_0", Bytes::from_static(b"solo"));
+        })
+        .register("count_0", |ctx| {
+            ctx.put("counts", Bytes::from_static(b"solo 1"));
+        })
+        .register("count_1", |ctx| {
+            ctx.put("counts", Bytes::from_static(b"never 0"));
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"r"));
+        })
+        .start()
+        .unwrap();
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"x"))]);
+    assert_eq!(
+        rt.wait(req, Duration::from_millis(400)).unwrap_err(),
+        RtError::Timeout
+    );
+    assert!(rt.stats().spills > 0, "janitor never spilled");
+    rt.shutdown();
+}
+
+#[test]
+fn mid_function_put_triggers_downstream_before_producer_returns() {
+    // `start` puts its shard, then keeps "computing". The count function
+    // signals through a side channel that it began while start was still
+    // inside its body — the early-triggering property, live.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let started_early = Arc::new(AtomicBool::new(false));
+    let start_running = Arc::new(AtomicBool::new(false));
+
+    let wf = wc_workflow(1);
+    let flag_c = Arc::clone(&started_early);
+    let run_c = Arc::clone(&start_running);
+    let run_s = Arc::clone(&start_running);
+    let rt = RuntimeBuilder::new(wf)
+        .register("start", move |ctx| {
+            run_s.store(true, Ordering::SeqCst);
+            ctx.put("file", Bytes::from_static(b"payload"));
+            // Simulated tail of the computation.
+            std::thread::sleep(Duration::from_millis(150));
+            run_s.store(false, Ordering::SeqCst);
+        })
+        .register("count_0", move |ctx| {
+            if run_c.load(Ordering::SeqCst) {
+                flag_c.store(true, Ordering::SeqCst);
+            }
+            ctx.put("counts", Bytes::from_static(b"p 1"));
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"done"));
+        })
+        .start()
+        .unwrap();
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"x"))]);
+    rt.wait(req, Duration::from_secs(5)).unwrap();
+    assert!(
+        started_early.load(std::sync::atomic::Ordering::SeqCst),
+        "count did not start while start was still running"
+    );
+    rt.shutdown();
+}

@@ -1,0 +1,170 @@
+//! Capacity accounting for partitioned node resources.
+
+use std::fmt;
+
+/// Error returned when a [`CapacityPool`] cannot satisfy a reservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExhaustedError {
+    /// Amount that was requested.
+    pub requested: f64,
+    /// Amount that was still available.
+    pub available: f64,
+}
+
+impl fmt::Display for ExhaustedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capacity exhausted: requested {:.3}, available {:.3}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for ExhaustedError {}
+
+/// A fixed-capacity resource (cores, memory MB, bandwidth) from which
+/// containers reserve exclusive shares, mirroring cgroup/TC partitioning
+/// in the paper's testbed (§8, §9.8).
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_sim::CapacityPool;
+///
+/// let mut cpu = CapacityPool::new(16.0);
+/// cpu.reserve(0.1)?;
+/// assert_eq!(cpu.used(), 0.1);
+/// cpu.release(0.1);
+/// assert_eq!(cpu.used(), 0.0);
+/// # Ok::<(), dataflower_sim::ExhaustedError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPool {
+    total: f64,
+    used: f64,
+}
+
+impl CapacityPool {
+    /// Creates a pool with the given total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is negative or not finite.
+    pub fn new(total: f64) -> Self {
+        assert!(total.is_finite() && total >= 0.0, "pool capacity must be non-negative");
+        CapacityPool { total, used: 0.0 }
+    }
+
+    /// Total capacity.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Currently reserved amount.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Capacity still available.
+    pub fn available(&self) -> f64 {
+        (self.total - self.used).max(0.0)
+    }
+
+    /// Fraction in use (0.0–1.0); zero-capacity pools report 1.0.
+    pub fn utilization(&self) -> f64 {
+        if self.total <= 0.0 {
+            1.0
+        } else {
+            (self.used / self.total).clamp(0.0, 1.0)
+        }
+    }
+
+    /// True if `amount` could be reserved right now.
+    pub fn fits(&self, amount: f64) -> bool {
+        amount <= self.available() + 1e-9
+    }
+
+    /// Reserves `amount`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExhaustedError`] when the pool cannot fit `amount`; the
+    /// pool is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or not finite.
+    pub fn reserve(&mut self, amount: f64) -> Result<(), ExhaustedError> {
+        assert!(amount.is_finite() && amount >= 0.0, "reserve amount must be non-negative");
+        if !self.fits(amount) {
+            return Err(ExhaustedError {
+                requested: amount,
+                available: self.available(),
+            });
+        }
+        self.used += amount;
+        Ok(())
+    }
+
+    /// Releases a previous reservation of `amount`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when releasing more than is reserved (a
+    /// double-free style accounting bug); release clamps at zero in
+    /// release builds.
+    pub fn release(&mut self, amount: f64) {
+        debug_assert!(
+            amount <= self.used + 1e-6,
+            "releasing {amount} but only {} reserved",
+            self.used
+        );
+        self.used = (self.used - amount).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut p = CapacityPool::new(10.0);
+        p.reserve(4.0).unwrap();
+        p.reserve(6.0).unwrap();
+        assert_eq!(p.available(), 0.0);
+        assert!(p.reserve(0.1).is_err());
+        p.release(6.0);
+        assert!(p.fits(5.0));
+    }
+
+    #[test]
+    fn error_carries_amounts() {
+        let mut p = CapacityPool::new(1.0);
+        let err = p.reserve(2.0).unwrap_err();
+        assert_eq!(err.requested, 2.0);
+        assert_eq!(err.available, 1.0);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut p = CapacityPool::new(8.0);
+        assert_eq!(p.utilization(), 0.0);
+        p.reserve(8.0).unwrap();
+        assert_eq!(p.utilization(), 1.0);
+        assert_eq!(CapacityPool::new(0.0).utilization(), 1.0);
+    }
+
+    #[test]
+    fn float_tolerance_on_exact_fit() {
+        let mut p = CapacityPool::new(1.0);
+        for _ in 0..10 {
+            p.reserve(0.1).unwrap();
+        }
+        // 10 × 0.1 may exceed 1.0 by float error; fits() tolerance absorbs it.
+        p.release(1.0);
+        assert!(p.available() <= 1.0 + 1e-9);
+    }
+}

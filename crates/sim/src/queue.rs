@@ -1,0 +1,282 @@
+//! The cancellable event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable to [`EventQueue::cancel`] it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Ties on time break by insertion order (FIFO) which keeps
+        // same-instant causality deterministic.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable priority queue of timestamped events.
+///
+/// Events scheduled for the same instant pop in insertion (FIFO) order, so
+/// a run is a pure function of the schedule calls — no hash-map iteration
+/// or allocator behaviour can leak into event order.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(10), "b");
+/// q.schedule(SimTime::from_millis(5), "a");
+/// let id = q.schedule(SimTime::from_millis(20), "never");
+/// q.cancel(id);
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Seqs scheduled but not yet fired nor cancelled.
+    pending: HashSet<u64>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// `at` may lie in the past of `now`; the event then fires "now", but
+    /// after everything already scheduled for `now`. This keeps zero-delay
+    /// causal chains well-defined.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (it will never pop),
+    /// `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Peeks at the time of the next live event without popping it.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled
+            }
+            self.now = entry.at;
+            self.processed += 1;
+            return Some((entry.at, entry.payload));
+        }
+    }
+
+    /// Drains all events strictly before `deadline` into a vector; the
+    /// clock advances to the last drained event (not to `deadline`).
+    pub fn drain_until(&mut self, deadline: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_time() {
+            if t >= deadline {
+                break;
+            }
+            out.push(self.pop().expect("next_time saw a live event"));
+        }
+        out
+    }
+
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_for_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(1), i);
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "x");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel reports false");
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "x");
+        q.schedule(SimTime::from_secs(2), "y");
+        q.pop();
+        assert!(!q.cancel(id));
+        assert_eq!(q.pop().unwrap().1, "y");
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "first");
+        q.pop();
+        q.schedule(SimTime::from_secs(1), "late");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(e, "late");
+    }
+
+    #[test]
+    fn next_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        q.cancel(id);
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        for s in 1..=5 {
+            q.schedule(SimTime::from_secs(s), s);
+        }
+        let drained = q.drain_until(SimTime::from_secs(3));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "a");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(5), "b");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(15));
+    }
+}

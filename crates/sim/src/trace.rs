@@ -1,0 +1,145 @@
+//! Timestamped trace recording for post-hoc analysis (timelines, Fig. 2b /
+//! Fig. 13 style plots).
+
+use crate::time::SimTime;
+
+/// An append-only log of `(time, value)` observations.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_sim::{SimTime, Trace};
+///
+/// let mut t = Trace::new();
+/// t.record(SimTime::from_millis(1), "triggered");
+/// t.record(SimTime::from_millis(4), "completed");
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.entries()[0].1, "triggered");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace<T> {
+    entries: Vec<(SimTime, T)>,
+}
+
+impl<T> Default for Trace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Trace<T> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { entries: Vec::new() }
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than the previous entry
+    /// (traces must be recorded in causal order).
+    pub fn record(&mut self, at: SimTime, value: T) {
+        if let Some((last, _)) = self.entries.last() {
+            debug_assert!(*last <= at, "trace entries must be time-ordered");
+        }
+        self.entries.push((at, value));
+    }
+
+    /// All observations in time order.
+    pub fn entries(&self) -> &[(SimTime, T)] {
+        &self.entries
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over observations.
+    pub fn iter(&self) -> std::slice::Iter<'_, (SimTime, T)> {
+        self.entries.iter()
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<&(SimTime, T)> {
+        self.entries.last()
+    }
+}
+
+impl<T> IntoIterator for Trace<T> {
+    type Item = (SimTime, T);
+    type IntoIter = std::vec::IntoIter<(SimTime, T)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Trace<T> {
+    type Item = &'a (SimTime, T);
+    type IntoIter = std::slice::Iter<'a, (SimTime, T)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl<T> FromIterator<(SimTime, T)> for Trace<T> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, T)>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for (at, v) in iter {
+            t.record(at, v);
+        }
+        t
+    }
+}
+
+impl<T> Extend<(SimTime, T)> for Trace<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (at, v) in iter {
+            self.record(at, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), 1);
+        t.record(SimTime::from_secs(1), 2);
+        t.record(SimTime::from_secs(2), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.last(), Some(&(SimTime::from_secs(2), 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    #[cfg(debug_assertions)]
+    fn rejects_out_of_order() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(2), 1);
+        t.record(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let t: Trace<&str> = vec![
+            (SimTime::ZERO, "a"),
+            (SimTime::from_secs(1), "b"),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<&str> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let owned: Vec<_> = t.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+    }
+}

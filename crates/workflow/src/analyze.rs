@@ -1,0 +1,138 @@
+//! Workflow analysis utilities: Graphviz export and critical-path
+//! estimation.
+
+use crate::graph::{Endpoint, FnId, Workflow};
+
+impl Workflow {
+    /// Renders the data-flow graph in Graphviz DOT format (client
+    /// endpoints shown as a `$USER` node, switch edges dashed).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+    ///
+    /// let mut b = WorkflowBuilder::new("tiny");
+    /// let f = b.function("f", WorkModel::fixed(0.1));
+    /// b.client_input(f, "in", SizeModel::Fixed(1.0));
+    /// b.client_output(f, "out", SizeModel::Fixed(1.0));
+    /// let dot = b.build()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("\"f\""));
+    /// # Ok::<(), dataflower_workflow::WorkflowError>(())
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  \"$USER\" [shape=doublecircle];");
+        for f in self.function_ids() {
+            let _ = writeln!(out, "  \"{}\" [shape=box];", self.function(f).name);
+        }
+        for e in self.edges() {
+            let src = match e.source {
+                Endpoint::Client => "$USER".to_owned(),
+                Endpoint::Function(s) => self.function(s).name.clone(),
+            };
+            let dst = match e.target {
+                Endpoint::Client => "$USER".to_owned(),
+                Endpoint::Function(t) => self.function(t).name.clone(),
+            };
+            let style = if e.switch.is_some() { ", style=dashed" } else { "" };
+            let _ = writeln!(
+                out,
+                "  \"{src}\" -> \"{dst}\" [label=\"{}\"{style}];",
+                e.data_name
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Estimates the critical-path compute time in core-seconds for a
+    /// request with `payload_bytes` of input: the longest chain of
+    /// function work along data edges (transfer times excluded — this is
+    /// the lower bound a perfect data plane could reach, useful for
+    /// judging how close an engine gets).
+    pub fn critical_path_core_secs(&self, payload_bytes: f64) -> f64 {
+        let n = self.function_count();
+        let mut input_bytes = vec![0.0f64; n];
+        for e in self.edges() {
+            if let (Endpoint::Client, Endpoint::Function(t)) = (e.source, e.target) {
+                input_bytes[t.index()] += e.size.bytes(payload_bytes);
+            }
+        }
+        // Propagate sizes, then the longest work chain, in topo order.
+        let mut chain = vec![0.0f64; n];
+        let mut best: f64 = 0.0;
+        for f in self.topo_order().iter().copied().collect::<Vec<FnId>>() {
+            // Inputs from predecessors were accumulated already (topo order).
+            let work = self.function(f).work.core_secs(input_bytes[f.index()]);
+            let longest_pred = self
+                .predecessors(f)
+                .iter()
+                .map(|p| chain[p.index()])
+                .fold(0.0, f64::max);
+            chain[f.index()] = longest_pred + work;
+            best = best.max(chain[f.index()]);
+            for eid in self.outputs(f) {
+                let e = self.edge(*eid);
+                if let Endpoint::Function(t) = e.target {
+                    input_bytes[t.index()] += e.size.bytes(input_bytes[f.index()]);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::WorkflowBuilder;
+    use crate::model::{SizeModel, WorkModel, MB};
+
+    #[test]
+    fn dot_mentions_every_function_and_edge_label() {
+        let mut b = WorkflowBuilder::new("dotted");
+        let a = b.function("alpha", WorkModel::fixed(0.1));
+        let z = b.function("omega", WorkModel::fixed(0.1));
+        b.client_input(a, "seed", SizeModel::Fixed(1.0));
+        b.switch_edge(a, z, "maybe", SizeModel::Fixed(1.0), 0, 0);
+        b.client_output(a, "alt", SizeModel::Fixed(1.0));
+        b.client_output(z, "end", SizeModel::Fixed(1.0));
+        let dot = b.build().unwrap().to_dot();
+        for needle in ["alpha", "omega", "seed", "maybe", "style=dashed", "$USER"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+    }
+
+    #[test]
+    fn critical_path_is_longest_chain() {
+        // Diamond: a → {fast, slow} → z; the slow branch dominates.
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.function("a", WorkModel::fixed(1.0));
+        let fast = b.function("fast", WorkModel::fixed(0.1));
+        let slow = b.function("slow", WorkModel::fixed(5.0));
+        let z = b.function("z", WorkModel::fixed(1.0));
+        b.client_input(a, "in", SizeModel::Fixed(MB));
+        b.edge(a, fast, "f", SizeModel::Fixed(1.0));
+        b.edge(a, slow, "s", SizeModel::Fixed(1.0));
+        b.edge(fast, z, "fz", SizeModel::Fixed(1.0));
+        b.edge(slow, z, "sz", SizeModel::Fixed(1.0));
+        b.client_output(z, "out", SizeModel::Fixed(1.0));
+        let wf = b.build().unwrap();
+        let cp = wf.critical_path_core_secs(MB);
+        assert!((cp - 7.0).abs() < 1e-9, "cp={cp}");
+    }
+
+    #[test]
+    fn critical_path_scales_with_payload() {
+        let mut b = WorkflowBuilder::new("scaling");
+        let f = b.function("f", WorkModel::new(0.0, 1.0)); // 1 core-s per MB
+        b.client_input(f, "in", SizeModel::ScaleOfInput(1.0));
+        b.client_output(f, "out", SizeModel::Fixed(1.0));
+        let wf = b.build().unwrap();
+        assert!((wf.critical_path_core_secs(2.0 * MB) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Incremental construction of [`Workflow`]s.
+
+use crate::error::WorkflowError;
+use crate::graph::{DataEdge, Endpoint, FnId, FunctionDef, SwitchCase, Workflow};
+use crate::model::{SizeModel, WorkModel};
+
+/// Builder for [`Workflow`]s.
+///
+/// Declare functions first, then wire data edges between them (plus at
+/// least one client input and typically client outputs), then call
+/// [`WorkflowBuilder::build`] to validate.
+///
+/// # Examples
+///
+/// A `foreach`-style fan-out like the paper's WordCount (Fig. 7):
+///
+/// ```
+/// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder, MB};
+///
+/// let fan_out = 4;
+/// let mut b = WorkflowBuilder::new("wordcount");
+/// let start = b.function("start", WorkModel::fixed(0.01));
+/// let merge = b.function("merge", WorkModel::fixed(0.02));
+/// b.client_input(start, "text", SizeModel::Fixed(4.0 * MB));
+/// for i in 0..fan_out {
+///     let count = b.function(format!("count_{i}"), WorkModel::new(0.0, 0.04));
+///     // Each branch gets 1/fan_out of the input...
+///     b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0 / fan_out as f64));
+///     // ...and emits a count table an order of magnitude smaller.
+///     b.edge(count, merge, "counts", SizeModel::ScaleOfInput(0.1));
+/// }
+/// b.client_output(merge, "result", SizeModel::Fixed(4096.0));
+/// let wf = b.build()?;
+/// assert_eq!(wf.function_count(), 2 + fan_out);
+/// # Ok::<(), dataflower_workflow::WorkflowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkflowBuilder {
+    name: String,
+    functions: Vec<FunctionDef>,
+    edges: Vec<DataEdge>,
+}
+
+impl WorkflowBuilder {
+    /// Starts a workflow named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            functions: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Declares a function and returns its id.
+    pub fn function(&mut self, name: impl Into<String>, work: WorkModel) -> FnId {
+        let id = FnId::from_u32(self.functions.len() as u32);
+        self.functions.push(FunctionDef {
+            name: name.into(),
+            work,
+        });
+        id
+    }
+
+    /// Adds a function→function data edge.
+    pub fn edge(
+        &mut self,
+        source: FnId,
+        target: FnId,
+        data_name: impl Into<String>,
+        size: SizeModel,
+    ) -> &mut Self {
+        self.edges.push(DataEdge {
+            source: Endpoint::Function(source),
+            target: Endpoint::Function(target),
+            data_name: data_name.into(),
+            size,
+            switch: None,
+        });
+        self
+    }
+
+    /// Adds a switch alternative: the edge only carries data when `case`
+    /// is chosen for `group` at runtime.
+    pub fn switch_edge(
+        &mut self,
+        source: FnId,
+        target: FnId,
+        data_name: impl Into<String>,
+        size: SizeModel,
+        group: u32,
+        case: u32,
+    ) -> &mut Self {
+        self.edges.push(DataEdge {
+            source: Endpoint::Function(source),
+            target: Endpoint::Function(target),
+            data_name: data_name.into(),
+            size,
+            switch: Some(SwitchCase { group, case }),
+        });
+        self
+    }
+
+    /// Adds a client→function input edge (the `$USER.input` of Fig. 7).
+    /// For client inputs the [`SizeModel`] is evaluated with the request's
+    /// payload size as "producer input".
+    pub fn client_input(
+        &mut self,
+        target: FnId,
+        data_name: impl Into<String>,
+        size: SizeModel,
+    ) -> &mut Self {
+        self.edges.push(DataEdge {
+            source: Endpoint::Client,
+            target: Endpoint::Function(target),
+            data_name: data_name.into(),
+            size,
+            switch: None,
+        });
+        self
+    }
+
+    /// Adds a function→client result edge (the `destination: $USER` of
+    /// Fig. 7, doubling as the terminal `end` signal the paper requires).
+    pub fn client_output(
+        &mut self,
+        source: FnId,
+        data_name: impl Into<String>,
+        size: SizeModel,
+    ) -> &mut Self {
+        self.edges.push(DataEdge {
+            source: Endpoint::Function(source),
+            target: Endpoint::Client,
+            data_name: data_name.into(),
+            size,
+            switch: None,
+        });
+        self
+    }
+
+    /// Validates and produces the workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorkflowError`] describing the first structural problem
+    /// found (cycle, unreachable function, missing inputs/outputs, …).
+    pub fn build(&self) -> Result<Workflow, WorkflowError> {
+        Workflow::validate_and_build(self.name.clone(), self.functions.clone(), self.edges.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_chainable() {
+        let mut b = WorkflowBuilder::new("chain");
+        let a = b.function("a", WorkModel::fixed(0.1));
+        let c = b.function("c", WorkModel::fixed(0.1));
+        b.client_input(a, "in", SizeModel::Fixed(1.0))
+            .edge(a, c, "ac", SizeModel::Fixed(2.0))
+            .client_output(c, "out", SizeModel::Fixed(1.0));
+        let wf = b.build().unwrap();
+        assert_eq!(wf.name(), "chain");
+        assert_eq!(wf.edges().len(), 3);
+    }
+
+    #[test]
+    fn build_is_repeatable() {
+        let mut b = WorkflowBuilder::new("twice");
+        let a = b.function("a", WorkModel::fixed(0.1));
+        b.client_input(a, "in", SizeModel::Fixed(1.0));
+        b.client_output(a, "out", SizeModel::Fixed(1.0));
+        let w1 = b.build().unwrap();
+        let w2 = b.build().unwrap();
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Workflow validation errors.
+
+use std::fmt;
+
+/// Error produced when building or parsing a workflow definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkflowError {
+    /// The workflow has no functions.
+    Empty,
+    /// A function name appears twice.
+    DuplicateFunction(String),
+    /// A function or endpoint name is empty or malformed.
+    BadName(String),
+    /// The data dependency graph contains a cycle through the named function.
+    Cycle(String),
+    /// No edge originates at the client, so nothing can ever trigger.
+    NoClientInput,
+    /// The named function cannot be reached from any client input.
+    Unreachable(String),
+    /// The named function has no input edges (it could never trigger).
+    NoInputs(String),
+    /// The named function has no output edges; the paper requires the DLU
+    /// be called at least once per FLU, with an `end` signal for terminals.
+    NoOutputs(String),
+    /// A size model has invalid coefficients.
+    BadSizeModel(String),
+    /// Edges of one switch group originate at different functions.
+    MixedSwitchGroup(u32),
+    /// A referenced function does not exist (spec parsing).
+    UnknownFunction(String),
+    /// The serialized spec was structurally invalid.
+    BadSpec(String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::Empty => write!(f, "workflow has no functions"),
+            WorkflowError::DuplicateFunction(n) => write!(f, "duplicate function name `{n}`"),
+            WorkflowError::BadName(n) => write!(f, "invalid name `{n}`"),
+            WorkflowError::Cycle(n) => write!(f, "data dependency cycle through `{n}`"),
+            WorkflowError::NoClientInput => write!(f, "no client input edge"),
+            WorkflowError::Unreachable(n) => write!(f, "function `{n}` unreachable from client input"),
+            WorkflowError::NoInputs(n) => write!(f, "function `{n}` has no input edges"),
+            WorkflowError::NoOutputs(n) => write!(f, "function `{n}` has no output edges"),
+            WorkflowError::BadSizeModel(m) => write!(f, "{m}"),
+            WorkflowError::MixedSwitchGroup(g) => {
+                write!(f, "switch group {g} mixes edges from different source functions")
+            }
+            WorkflowError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            WorkflowError::BadSpec(m) => write!(f, "invalid workflow spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}

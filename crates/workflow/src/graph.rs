@@ -1,0 +1,649 @@
+//! The workflow graph: functions, data edges and the derived views the
+//! engines need (control-flow predecessors, data-flow destinations,
+//! topological structure, switch resolution).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkflowError;
+use crate::model::{SizeModel, WorkModel};
+
+/// Index of a function within its [`Workflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FnId(u32);
+
+impl FnId {
+    /// Position of the function in [`Workflow::functions`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index. Ids are only meaningful relative to
+    /// the workflow they were minted for; constructing them manually is
+    /// intended for engines that need ordered lookup keys or range bounds.
+    pub const fn from_index(i: usize) -> FnId {
+        FnId(i as u32)
+    }
+
+    pub(crate) const fn from_u32(v: u32) -> FnId {
+        FnId(v)
+    }
+}
+
+impl fmt::Display for FnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Index of a data edge within its [`Workflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Position of the edge in [`Workflow::edges`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index (see [`FnId::from_index`] for the
+    /// intended uses and caveats).
+    pub const fn from_index(i: usize) -> EdgeId {
+        EdgeId(i as u32)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge#{}", self.0)
+    }
+}
+
+/// One end of a data edge: the invoking client (`$USER` in the paper's
+/// Fig. 7 spec) or a workflow function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The workflow invoker: source of the initial input, sink of results.
+    Client,
+    /// A function in the same workflow.
+    Function(FnId),
+}
+
+/// Switch routing attribute: edges sharing a `group` are alternatives of
+/// one `switch`; exactly one `case` per group is taken per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchCase {
+    /// Which switch this edge belongs to (scoped to the source function).
+    pub group: u32,
+    /// Which alternative this edge is.
+    pub case: u32,
+}
+
+/// A declared data dependency: `source` produces `data_name`, which flows
+/// to `target`. The data-flow paradigm's graph is exactly this edge set;
+/// the control-flow paradigm derives "trigger when predecessors complete"
+/// from the same edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataEdge {
+    /// Producer of the data.
+    pub source: Endpoint,
+    /// Consumer of the data.
+    pub target: Endpoint,
+    /// Logical name (the `DataName` level of the Wait-Match index).
+    pub data_name: String,
+    /// How many bytes the edge carries given the producer's input size.
+    pub size: SizeModel,
+    /// Switch routing, if this edge is one alternative of a switch.
+    pub switch: Option<SwitchCase>,
+}
+
+/// A function declaration: its name and CPU cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    /// Unique (within the workflow) function name.
+    pub name: String,
+    /// CPU demand model.
+    pub work: WorkModel,
+}
+
+/// A validated serverless workflow: a DAG of functions and data edges.
+///
+/// Construct one with [`WorkflowBuilder`](crate::WorkflowBuilder) or parse
+/// a [`WorkflowSpec`](crate::WorkflowSpec). All derived indexes
+/// (input/output adjacency, topological order) are precomputed, so lookups
+/// during simulation are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder, MB};
+///
+/// let mut b = WorkflowBuilder::new("wordcount");
+/// let start = b.function("start", WorkModel::fixed(0.01));
+/// let count = b.function("count", WorkModel::new(0.0, 0.05));
+/// let merge = b.function("merge", WorkModel::fixed(0.02));
+/// b.client_input(start, "text", SizeModel::Fixed(4.0 * MB));
+/// b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0));
+/// b.edge(count, merge, "counts", SizeModel::ScaleOfInput(0.1));
+/// b.client_output(merge, "result", SizeModel::Fixed(1024.0));
+/// let wf = b.build()?;
+///
+/// assert_eq!(wf.function_count(), 3);
+/// assert_eq!(wf.predecessors(count), vec![start]);
+/// assert_eq!(wf.topo_order().len(), 3);
+/// # Ok::<(), dataflower_workflow::WorkflowError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    name: String,
+    functions: Vec<FunctionDef>,
+    edges: Vec<DataEdge>,
+    inputs_of: Vec<Vec<EdgeId>>,
+    outputs_of: Vec<Vec<EdgeId>>,
+    topo: Vec<FnId>,
+}
+
+impl Workflow {
+    pub(crate) fn validate_and_build(
+        name: String,
+        functions: Vec<FunctionDef>,
+        edges: Vec<DataEdge>,
+    ) -> Result<Workflow, WorkflowError> {
+        if functions.is_empty() {
+            return Err(WorkflowError::Empty);
+        }
+        if name.trim().is_empty() {
+            return Err(WorkflowError::BadName(name));
+        }
+        let mut seen = HashMap::new();
+        for (i, f) in functions.iter().enumerate() {
+            if f.name.trim().is_empty() {
+                return Err(WorkflowError::BadName(f.name.clone()));
+            }
+            if seen.insert(f.name.clone(), i).is_some() {
+                return Err(WorkflowError::DuplicateFunction(f.name.clone()));
+            }
+        }
+        for e in &edges {
+            e.size
+                .validate()
+                .map_err(WorkflowError::BadSizeModel)?;
+        }
+
+        let n = functions.len();
+        let mut inputs_of = vec![Vec::new(); n];
+        let mut outputs_of = vec![Vec::new(); n];
+        let mut has_client_input = false;
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            match e.target {
+                Endpoint::Function(t) => inputs_of[t.index()].push(id),
+                Endpoint::Client => {}
+            }
+            match e.source {
+                Endpoint::Function(s) => outputs_of[s.index()].push(id),
+                Endpoint::Client => has_client_input = true,
+            }
+        }
+        if !has_client_input {
+            return Err(WorkflowError::NoClientInput);
+        }
+        for (i, f) in functions.iter().enumerate() {
+            if inputs_of[i].is_empty() {
+                return Err(WorkflowError::NoInputs(f.name.clone()));
+            }
+            if outputs_of[i].is_empty() {
+                return Err(WorkflowError::NoOutputs(f.name.clone()));
+            }
+        }
+
+        // Switch-group coherence: one source function per group.
+        let mut group_src: HashMap<u32, Endpoint> = HashMap::new();
+        for e in &edges {
+            if let Some(sc) = e.switch {
+                match group_src.entry(sc.group) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(e.source);
+                    }
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        if *o.get() != e.source {
+                            return Err(WorkflowError::MixedSwitchGroup(sc.group));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Kahn topological sort over function→function edges.
+        let mut indeg = vec![0usize; n];
+        for e in &edges {
+            if let (Endpoint::Function(_), Endpoint::Function(t)) = (e.source, e.target) {
+                indeg[t.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|i| indeg[*i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(FnId(u as u32));
+            for eid in &outputs_of[u] {
+                if let Endpoint::Function(t) = edges[eid.index()].target {
+                    indeg[t.index()] -= 1;
+                    if indeg[t.index()] == 0 {
+                        queue.push(t.index());
+                    }
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n)
+                .find(|i| indeg[*i] > 0)
+                .map(|i| functions[i].name.clone())
+                .unwrap_or_default();
+            return Err(WorkflowError::Cycle(stuck));
+        }
+
+        // Reachability from client inputs.
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<usize> = edges
+            .iter()
+            .filter(|e| e.source == Endpoint::Client)
+            .filter_map(|e| match e.target {
+                Endpoint::Function(t) => Some(t.index()),
+                Endpoint::Client => None,
+            })
+            .collect();
+        while let Some(u) = stack.pop() {
+            if reachable[u] {
+                continue;
+            }
+            reachable[u] = true;
+            for eid in &outputs_of[u] {
+                if let Endpoint::Function(t) = edges[eid.index()].target {
+                    stack.push(t.index());
+                }
+            }
+        }
+        if let Some(i) = (0..n).find(|i| !reachable[*i]) {
+            return Err(WorkflowError::Unreachable(functions[i].name.clone()));
+        }
+
+        Ok(Workflow {
+            name,
+            functions,
+            edges,
+            inputs_of,
+            outputs_of,
+            topo,
+        })
+    }
+
+    /// The workflow's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// All function ids in declaration order.
+    pub fn function_ids(&self) -> impl Iterator<Item = FnId> + '_ {
+        (0..self.functions.len() as u32).map(FnId)
+    }
+
+    /// The definition of `f`.
+    pub fn function(&self, f: FnId) -> &FunctionDef {
+        &self.functions[f.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FnId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FnId(i as u32))
+    }
+
+    /// All data edges in declaration order.
+    pub fn edges(&self) -> &[DataEdge] {
+        &self.edges
+    }
+
+    /// The edge with id `e`.
+    pub fn edge(&self, e: EdgeId) -> &DataEdge {
+        &self.edges[e.index()]
+    }
+
+    /// All edge ids in declaration order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Input edges of `f` (the data it must wait for).
+    pub fn inputs(&self, f: FnId) -> &[EdgeId] {
+        &self.inputs_of[f.index()]
+    }
+
+    /// Output edges of `f` (the destinations its DLU serves).
+    pub fn outputs(&self, f: FnId) -> &[EdgeId] {
+        &self.outputs_of[f.index()]
+    }
+
+    /// Edges that originate at the client (workflow inputs).
+    pub fn client_inputs(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_ids()
+            .filter(|e| self.edge(*e).source == Endpoint::Client)
+    }
+
+    /// Edges that terminate at the client (workflow results).
+    pub fn client_outputs(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_ids()
+            .filter(|e| self.edge(*e).target == Endpoint::Client)
+    }
+
+    /// Distinct upstream functions of `f` — the control-flow paradigm's
+    /// trigger set ("run when all predecessors complete").
+    pub fn predecessors(&self, f: FnId) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for e in self.inputs(f) {
+            if let Endpoint::Function(s) = self.edge(*e).source {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct downstream functions of `f`.
+    pub fn successors(&self, f: FnId) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for e in self.outputs(f) {
+            if let Endpoint::Function(t) = self.edge(*e).target {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Functions with a direct client input.
+    pub fn entry_functions(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for e in self.client_inputs() {
+            if let Endpoint::Function(t) = self.edge(e).target {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Functions whose outputs all go to the client (workflow terminals).
+    pub fn terminal_functions(&self) -> Vec<FnId> {
+        self.function_ids()
+            .filter(|f| self.successors(*f).is_empty())
+            .collect()
+    }
+
+    /// A valid topological order of the functions.
+    pub fn topo_order(&self) -> &[FnId] {
+        &self.topo
+    }
+
+    /// Functions grouped into topological levels: level 0 = entries, level
+    /// k = everything whose longest path from an entry has k hops. The
+    /// sequential control-flow orchestrator triggers level by level.
+    pub fn levels(&self) -> Vec<Vec<FnId>> {
+        let n = self.functions.len();
+        let mut level = vec![0usize; n];
+        for f in &self.topo {
+            for p in self.predecessors(*f) {
+                level[f.index()] = level[f.index()].max(level[p.index()] + 1);
+            }
+        }
+        let max = level.iter().copied().max().unwrap_or(0);
+        let mut out = vec![Vec::new(); max + 1];
+        for f in self.function_ids() {
+            out[level[f.index()]].push(f);
+        }
+        out
+    }
+
+    /// Resolves switch groups for one request, returning per-edge
+    /// activeness. `choose(group, n_cases)` must return a value `< n_cases`.
+    ///
+    /// A function is active iff **all** of its input edges are active; an
+    /// edge is active iff its source is active (or the client) and it is
+    /// either unconditional or the chosen case of its group.
+    pub fn resolve_switches<C>(&self, mut choose: C) -> ActiveGraph
+    where
+        C: FnMut(u32, usize) -> usize,
+    {
+        // Count cases per group.
+        let mut group_cases: HashMap<u32, Vec<u32>> = HashMap::new();
+        for e in &self.edges {
+            if let Some(sc) = e.switch {
+                let cases = group_cases.entry(sc.group).or_default();
+                if !cases.contains(&sc.case) {
+                    cases.push(sc.case);
+                }
+            }
+        }
+        let mut chosen: HashMap<u32, u32> = HashMap::new();
+        let mut groups: Vec<u32> = group_cases.keys().copied().collect();
+        groups.sort_unstable();
+        for g in groups {
+            let mut cases = group_cases.remove(&g).expect("group listed");
+            cases.sort_unstable();
+            let pick = choose(g, cases.len());
+            assert!(pick < cases.len(), "switch chooser out of range");
+            chosen.insert(g, cases[pick]);
+        }
+
+        let mut fn_active = vec![true; self.functions.len()];
+        let mut edge_active = vec![true; self.edges.len()];
+        // Walk in topo order so upstream inactivity propagates.
+        for f in &self.topo {
+            let mut all_inputs = true;
+            for eid in self.inputs(*f) {
+                let e = self.edge(*eid);
+                let mut active = match e.switch {
+                    Some(sc) => chosen[&sc.group] == sc.case,
+                    None => true,
+                };
+                if let Endpoint::Function(s) = e.source {
+                    active &= fn_active[s.index()];
+                }
+                edge_active[eid.index()] = active;
+                all_inputs &= active;
+            }
+            fn_active[f.index()] = all_inputs;
+            if !all_inputs {
+                for eid in self.outputs(*f) {
+                    edge_active[eid.index()] = false;
+                }
+            }
+        }
+        // Output edges of active functions still obey their own switch.
+        for f in &self.topo {
+            if fn_active[f.index()] {
+                for eid in self.outputs(*f) {
+                    if let Some(sc) = self.edge(*eid).switch {
+                        edge_active[eid.index()] = chosen[&sc.group] == sc.case;
+                    }
+                }
+            }
+        }
+        ActiveGraph {
+            fn_active,
+            edge_active,
+        }
+    }
+
+    /// Shorthand for workflows without switches: everything active.
+    pub fn resolve_all_active(&self) -> ActiveGraph {
+        self.resolve_switches(|_, _| 0)
+    }
+}
+
+/// Per-request view of which functions and edges participate after switch
+/// resolution (see [`Workflow::resolve_switches`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveGraph {
+    fn_active: Vec<bool>,
+    edge_active: Vec<bool>,
+}
+
+impl ActiveGraph {
+    /// Whether function `f` runs in this request.
+    pub fn function_active(&self, f: FnId) -> bool {
+        self.fn_active[f.index()]
+    }
+
+    /// Whether edge `e` carries data in this request.
+    pub fn edge_active(&self, e: EdgeId) -> bool {
+        self.edge_active[e.index()]
+    }
+
+    /// Number of active functions.
+    pub fn active_function_count(&self) -> usize {
+        self.fn_active.iter().filter(|a| **a).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::model::MB;
+
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.function("a", WorkModel::fixed(0.1));
+        let x = b.function("x", WorkModel::fixed(0.1));
+        let y = b.function("y", WorkModel::fixed(0.1));
+        let z = b.function("z", WorkModel::fixed(0.1));
+        b.client_input(a, "in", SizeModel::Fixed(MB));
+        b.edge(a, x, "ax", SizeModel::ScaleOfInput(0.5));
+        b.edge(a, y, "ay", SizeModel::ScaleOfInput(0.5));
+        b.edge(x, z, "xz", SizeModel::ScaleOfInput(1.0));
+        b.edge(y, z, "yz", SizeModel::ScaleOfInput(1.0));
+        b.client_output(z, "out", SizeModel::Fixed(1.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let wf = diamond();
+        let a = wf.function_by_name("a").unwrap();
+        let z = wf.function_by_name("z").unwrap();
+        assert_eq!(wf.entry_functions(), vec![a]);
+        assert_eq!(wf.terminal_functions(), vec![z]);
+        assert_eq!(wf.predecessors(z).len(), 2);
+        assert_eq!(wf.successors(a).len(), 2);
+        assert_eq!(wf.levels().len(), 3);
+        assert_eq!(wf.levels()[0], vec![a]);
+        assert_eq!(wf.levels()[2], vec![z]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let wf = diamond();
+        let pos: HashMap<FnId, usize> = wf
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (*f, i))
+            .collect();
+        for e in wf.edges() {
+            if let (Endpoint::Function(s), Endpoint::Function(t)) = (e.source, e.target) {
+                assert!(pos[&s] < pos[&t]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = WorkflowBuilder::new("cyc");
+        let a = b.function("a", WorkModel::fixed(0.1));
+        let c = b.function("c", WorkModel::fixed(0.1));
+        b.client_input(a, "in", SizeModel::Fixed(1.0));
+        b.edge(a, c, "ac", SizeModel::Fixed(1.0));
+        b.edge(c, a, "ca", SizeModel::Fixed(1.0));
+        b.client_output(c, "out", SizeModel::Fixed(1.0));
+        assert!(matches!(b.build(), Err(WorkflowError::Cycle(_))));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut b = WorkflowBuilder::new("u");
+        let a = b.function("a", WorkModel::fixed(0.1));
+        let orphan = b.function("orphan", WorkModel::fixed(0.1));
+        let helper = b.function("helper", WorkModel::fixed(0.1));
+        b.client_input(a, "in", SizeModel::Fixed(1.0));
+        b.client_output(a, "out", SizeModel::Fixed(1.0));
+        // orphan and helper feed each other but nothing reaches them.
+        b.edge(helper, orphan, "x", SizeModel::Fixed(1.0));
+        b.edge(orphan, helper, "y", SizeModel::Fixed(1.0));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, WorkflowError::Cycle(_) | WorkflowError::Unreachable(_)));
+    }
+
+    #[test]
+    fn missing_io_detected() {
+        let mut b = WorkflowBuilder::new("m");
+        let a = b.function("a", WorkModel::fixed(0.1));
+        b.client_input(a, "in", SizeModel::Fixed(1.0));
+        assert!(matches!(b.build(), Err(WorkflowError::NoOutputs(_))));
+    }
+
+    #[test]
+    fn duplicate_name_detected() {
+        let mut b = WorkflowBuilder::new("d");
+        b.function("a", WorkModel::fixed(0.1));
+        b.function("a", WorkModel::fixed(0.1));
+        assert!(matches!(b.build(), Err(WorkflowError::DuplicateFunction(_))));
+    }
+
+    #[test]
+    fn switch_resolution_picks_one_branch() {
+        let mut b = WorkflowBuilder::new("sw");
+        let gate = b.function("gate", WorkModel::fixed(0.1));
+        let hot = b.function("hot", WorkModel::fixed(0.1));
+        let cold = b.function("cold", WorkModel::fixed(0.1));
+        b.client_input(gate, "in", SizeModel::Fixed(MB));
+        b.switch_edge(gate, hot, "h", SizeModel::ScaleOfInput(1.0), 0, 0);
+        b.switch_edge(gate, cold, "c", SizeModel::ScaleOfInput(1.0), 0, 1);
+        b.client_output(hot, "oh", SizeModel::Fixed(1.0));
+        b.client_output(cold, "oc", SizeModel::Fixed(1.0));
+        let wf = b.build().unwrap();
+
+        let take_first = wf.resolve_switches(|_, _| 0);
+        let hot_id = wf.function_by_name("hot").unwrap();
+        let cold_id = wf.function_by_name("cold").unwrap();
+        assert!(take_first.function_active(hot_id));
+        assert!(!take_first.function_active(cold_id));
+
+        let take_second = wf.resolve_switches(|_, _| 1);
+        assert!(!take_second.function_active(hot_id));
+        assert!(take_second.function_active(cold_id));
+        assert_eq!(take_second.active_function_count(), 2);
+    }
+
+    #[test]
+    fn all_active_without_switches() {
+        let wf = diamond();
+        let g = wf.resolve_all_active();
+        assert_eq!(g.active_function_count(), 4);
+        assert!(wf.edge_ids().all(|e| g.edge_active(e)));
+    }
+}

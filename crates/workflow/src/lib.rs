@@ -1,0 +1,54 @@
+//! # dataflower-workflow
+//!
+//! The workflow definition language of the DataFlower reproduction.
+//!
+//! A serverless workflow is a DAG of functions connected by **data
+//! edges** — exactly the representation the paper's Fig. 7 spec declares.
+//! From this single definition both execution paradigms are derived:
+//!
+//! * the **control-flow** view ([`Workflow::predecessors`],
+//!   [`Workflow::levels`]): trigger a function when its predecessors
+//!   complete, in topological order;
+//! * the **data-flow** view ([`Workflow::inputs`], [`Workflow::outputs`]):
+//!   trigger a function when all of its input *data* is available, and
+//!   tell its DLU where each output must flow.
+//!
+//! Workflows are built programmatically with [`WorkflowBuilder`] or parsed
+//! from a JSON [`WorkflowSpec`]. Every workflow is validated (acyclic,
+//! reachable, no dangling I/O) before it can execute.
+//!
+//! # Examples
+//!
+//! ```
+//! use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder, MB};
+//!
+//! let mut b = WorkflowBuilder::new("pipeline");
+//! let extract = b.function("extract", WorkModel::new(0.02, 0.01));
+//! let transform = b.function("transform", WorkModel::new(0.05, 0.03));
+//! b.client_input(extract, "raw", SizeModel::Fixed(MB));
+//! b.edge(extract, transform, "rows", SizeModel::ScaleOfInput(0.8));
+//! b.client_output(transform, "report", SizeModel::Fixed(2048.0));
+//! let wf = b.build()?;
+//!
+//! assert_eq!(wf.topo_order().len(), 2);
+//! assert_eq!(wf.entry_functions(), vec![extract]);
+//! # Ok::<(), dataflower_workflow::WorkflowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod builder;
+mod error;
+mod graph;
+mod model;
+pub mod spec;
+
+pub use builder::WorkflowBuilder;
+pub use error::WorkflowError;
+pub use graph::{
+    ActiveGraph, DataEdge, EdgeId, Endpoint, FnId, FunctionDef, SwitchCase, Workflow,
+};
+pub use model::{SizeModel, WorkModel, KB, MB};
+pub use spec::WorkflowSpec;

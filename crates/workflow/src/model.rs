@@ -1,0 +1,178 @@
+//! Cost models attached to workflow functions and data edges.
+//!
+//! The evaluation never depends on *what* a function computes — only on
+//! how long it computes and how many bytes it emits. These models carry
+//! exactly that information, so one workflow definition serves both the
+//! simulated engines and (ignored there) the live runtime.
+
+use serde::{Deserialize, Serialize};
+
+/// One kibibyte in bytes.
+pub const KB: f64 = 1024.0;
+/// One mebibyte in bytes.
+pub const MB: f64 = 1024.0 * 1024.0;
+
+/// CPU demand of a function as a function of its total input size.
+///
+/// `work = base_core_secs + per_mb_core_secs × input_MB`, in core-seconds.
+/// A container holding `c` cores executes it in `work / c` seconds.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_workflow::{WorkModel, MB};
+///
+/// let m = WorkModel::new(0.05, 0.02);
+/// assert_eq!(m.core_secs(10.0 * MB), 0.05 + 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkModel {
+    /// Fixed cost per invocation, core-seconds.
+    pub base_core_secs: f64,
+    /// Marginal cost per MiB of input, core-seconds.
+    pub per_mb_core_secs: f64,
+}
+
+impl WorkModel {
+    /// Creates a work model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coefficient is negative or not finite.
+    pub fn new(base_core_secs: f64, per_mb_core_secs: f64) -> Self {
+        assert!(
+            base_core_secs.is_finite() && base_core_secs >= 0.0,
+            "base cost must be non-negative"
+        );
+        assert!(
+            per_mb_core_secs.is_finite() && per_mb_core_secs >= 0.0,
+            "per-MB cost must be non-negative"
+        );
+        WorkModel {
+            base_core_secs,
+            per_mb_core_secs,
+        }
+    }
+
+    /// A model with only a fixed cost.
+    pub fn fixed(base_core_secs: f64) -> Self {
+        WorkModel::new(base_core_secs, 0.0)
+    }
+
+    /// Core-seconds needed for `input_bytes` of input.
+    pub fn core_secs(&self, input_bytes: f64) -> f64 {
+        self.base_core_secs + self.per_mb_core_secs * (input_bytes / MB)
+    }
+}
+
+impl Default for WorkModel {
+    fn default() -> Self {
+        WorkModel::fixed(0.01)
+    }
+}
+
+/// Size of the data carried by an edge, as a function of the producing
+/// function's total input size.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_workflow::{SizeModel, MB};
+///
+/// assert_eq!(SizeModel::Fixed(100.0).bytes(1e9), 100.0);
+/// assert_eq!(SizeModel::ScaleOfInput(0.25).bytes(4.0 * MB), MB);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeModel {
+    /// A constant number of bytes regardless of input.
+    Fixed(f64),
+    /// A multiple of the producer's total input bytes.
+    ScaleOfInput(f64),
+    /// `Fixed + ScaleOfInput` combined: `bytes = fixed + factor × input`.
+    Affine {
+        /// Constant component in bytes.
+        fixed: f64,
+        /// Input-proportional component.
+        factor: f64,
+    },
+}
+
+impl SizeModel {
+    /// Bytes emitted on this edge when the producer consumed
+    /// `producer_input_bytes`.
+    pub fn bytes(&self, producer_input_bytes: f64) -> f64 {
+        let v = match *self {
+            SizeModel::Fixed(b) => b,
+            SizeModel::ScaleOfInput(f) => f * producer_input_bytes,
+            SizeModel::Affine { fixed, factor } => fixed + factor * producer_input_bytes,
+        };
+        v.max(0.0)
+    }
+
+    /// Validates the model's coefficients.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let ok = match *self {
+            SizeModel::Fixed(b) => b.is_finite() && b >= 0.0,
+            SizeModel::ScaleOfInput(f) => f.is_finite() && f >= 0.0,
+            SizeModel::Affine { fixed, factor } => {
+                fixed.is_finite() && fixed >= 0.0 && factor.is_finite() && factor >= 0.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("invalid size model {self:?}"))
+        }
+    }
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        SizeModel::ScaleOfInput(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_model_math() {
+        let m = WorkModel::new(1.0, 2.0);
+        assert_eq!(m.core_secs(0.0), 1.0);
+        assert_eq!(m.core_secs(MB), 3.0);
+        assert_eq!(WorkModel::fixed(0.5).core_secs(100.0 * MB), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn work_model_rejects_negative() {
+        WorkModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn size_model_variants() {
+        assert_eq!(SizeModel::Fixed(5.0).bytes(100.0), 5.0);
+        assert_eq!(SizeModel::ScaleOfInput(0.5).bytes(100.0), 50.0);
+        assert_eq!(
+            SizeModel::Affine {
+                fixed: 10.0,
+                factor: 0.1
+            }
+            .bytes(100.0),
+            20.0
+        );
+    }
+
+    #[test]
+    fn size_model_never_negative() {
+        assert_eq!(SizeModel::ScaleOfInput(0.5).bytes(-10.0), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SizeModel::Fixed(1.0).validate().is_ok());
+        assert!(SizeModel::Fixed(-1.0).validate().is_err());
+        assert!(SizeModel::ScaleOfInput(f64::NAN).validate().is_err());
+    }
+}

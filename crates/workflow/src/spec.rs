@@ -1,0 +1,255 @@
+//! Serializable workflow definition language.
+//!
+//! Mirrors the paper's Fig. 7 pseudocode: per function, the sources of its
+//! inputs and the destinations of its outputs, with `$USER` denoting the
+//! invoking client. Specs round-trip through JSON so workflows can live
+//! on disk next to the application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkflowError;
+use crate::graph::{Endpoint, SwitchCase, Workflow};
+use crate::model::{SizeModel, WorkModel};
+use crate::WorkflowBuilder;
+
+/// The client pseudo-endpoint name used in specs (`$USER` in the paper).
+pub const USER_ENDPOINT: &str = "$USER";
+
+/// Declares one output of a function: its data name, destination and size
+/// model, optionally guarded by a switch case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputSpec {
+    /// Logical data name.
+    pub data: String,
+    /// Destination function name, or [`USER_ENDPOINT`].
+    pub destination: String,
+    /// Size of the data relative to the function's input.
+    pub size: SizeModel,
+    /// Optional switch routing `(group, case)`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub switch: Option<(u32, u32)>,
+}
+
+/// Declares one function: its cost model and outputs. Inputs are implied
+/// by other functions' (and the client's) outputs, exactly as in Fig. 7
+/// where every edge is declared once at its producer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Unique function name.
+    pub name: String,
+    /// CPU cost model.
+    pub work: WorkModel,
+    /// Declared outputs.
+    pub output_datas: Vec<OutputSpec>,
+}
+
+/// A complete workflow spec: client inputs plus per-function declarations.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_workflow::{SizeModel, WorkflowSpec, WorkModel, MB};
+/// use dataflower_workflow::spec::{FunctionSpec, InputSpec, OutputSpec, USER_ENDPOINT};
+///
+/// let spec = WorkflowSpec {
+///     workflow_name: "wordcount".into(),
+///     inputs: vec![InputSpec {
+///         data: "text".into(),
+///         destination: "start".into(),
+///         size: SizeModel::Fixed(4.0 * MB),
+///     }],
+///     dataflows: vec![
+///         FunctionSpec {
+///             name: "start".into(),
+///             work: WorkModel::fixed(0.01),
+///             output_datas: vec![OutputSpec {
+///                 data: "result".into(),
+///                 destination: USER_ENDPOINT.into(),
+///                 size: SizeModel::Fixed(128.0),
+///                 switch: None,
+///             }],
+///         },
+///     ],
+/// };
+/// let wf = spec.compile()?;
+/// assert_eq!(wf.function_count(), 1);
+///
+/// // Round-trip through JSON.
+/// let json = serde_json::to_string(&spec).unwrap();
+/// let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back.compile()?.name(), "wordcount");
+/// # Ok::<(), dataflower_workflow::WorkflowError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    /// Workflow name.
+    pub workflow_name: String,
+    /// Client (`$USER`) inputs.
+    pub inputs: Vec<InputSpec>,
+    /// One entry per function.
+    pub dataflows: Vec<FunctionSpec>,
+}
+
+/// Declares a client input: the initial data injected by the invoker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Logical data name.
+    pub data: String,
+    /// Receiving function name.
+    pub destination: String,
+    /// Size model evaluated against the request payload size.
+    pub size: SizeModel,
+}
+
+impl WorkflowSpec {
+    /// Compiles the spec into a validated [`Workflow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkflowError::UnknownFunction`] for dangling destination
+    /// names, plus every structural error [`WorkflowBuilder::build`] can
+    /// produce.
+    pub fn compile(&self) -> Result<Workflow, WorkflowError> {
+        let mut b = WorkflowBuilder::new(self.workflow_name.clone());
+        let mut ids = std::collections::HashMap::new();
+        for f in &self.dataflows {
+            let id = b.function(f.name.clone(), f.work);
+            ids.insert(f.name.clone(), id);
+        }
+        for inp in &self.inputs {
+            let target = *ids
+                .get(&inp.destination)
+                .ok_or_else(|| WorkflowError::UnknownFunction(inp.destination.clone()))?;
+            b.client_input(target, inp.data.clone(), inp.size);
+        }
+        for f in &self.dataflows {
+            let src = ids[&f.name];
+            for out in &f.output_datas {
+                if out.destination == USER_ENDPOINT {
+                    b.client_output(src, out.data.clone(), out.size);
+                } else {
+                    let target = *ids
+                        .get(&out.destination)
+                        .ok_or_else(|| WorkflowError::UnknownFunction(out.destination.clone()))?;
+                    match out.switch {
+                        Some((group, case)) => {
+                            b.switch_edge(src, target, out.data.clone(), out.size, group, case);
+                        }
+                        None => {
+                            b.edge(src, target, out.data.clone(), out.size);
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Extracts a spec from a compiled workflow (inverse of
+    /// [`WorkflowSpec::compile`] up to declaration order).
+    pub fn from_workflow(wf: &Workflow) -> WorkflowSpec {
+        let mut inputs = Vec::new();
+        let mut dataflows: Vec<FunctionSpec> = wf
+            .function_ids()
+            .map(|f| FunctionSpec {
+                name: wf.function(f).name.clone(),
+                work: wf.function(f).work,
+                output_datas: Vec::new(),
+            })
+            .collect();
+        for eid in wf.edge_ids() {
+            let e = wf.edge(eid);
+            match (e.source, e.target) {
+                (Endpoint::Client, Endpoint::Function(t)) => inputs.push(InputSpec {
+                    data: e.data_name.clone(),
+                    destination: wf.function(t).name.clone(),
+                    size: e.size,
+                }),
+                (Endpoint::Function(s), target) => {
+                    let destination = match target {
+                        Endpoint::Client => USER_ENDPOINT.to_owned(),
+                        Endpoint::Function(t) => wf.function(t).name.clone(),
+                    };
+                    dataflows[s.index()].output_datas.push(OutputSpec {
+                        data: e.data_name.clone(),
+                        destination,
+                        size: e.size,
+                        switch: e.switch.map(|SwitchCase { group, case }| (group, case)),
+                    });
+                }
+                (Endpoint::Client, Endpoint::Client) => {}
+            }
+        }
+        WorkflowSpec {
+            workflow_name: wf.name().to_owned(),
+            inputs,
+            dataflows,
+        }
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkflowError::BadSpec`] when the JSON does not describe
+    /// a spec.
+    pub fn from_json(json: &str) -> Result<WorkflowSpec, WorkflowError> {
+        serde_json::from_str(json).map_err(|e| WorkflowError::BadSpec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MB;
+
+    fn sample() -> Workflow {
+        let mut b = WorkflowBuilder::new("sample");
+        let a = b.function("a", WorkModel::new(0.1, 0.02));
+        let x = b.function("x", WorkModel::fixed(0.2));
+        b.client_input(a, "in", SizeModel::Fixed(2.0 * MB));
+        b.switch_edge(a, x, "ax", SizeModel::ScaleOfInput(0.5), 0, 0);
+        b.client_output(a, "bypass", SizeModel::Fixed(8.0));
+        b.client_output(x, "out", SizeModel::Fixed(16.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_workflow_spec_workflow() {
+        let wf = sample();
+        let spec = WorkflowSpec::from_workflow(&wf);
+        let back = spec.compile().unwrap();
+        assert_eq!(wf, back);
+    }
+
+    #[test]
+    fn roundtrip_json() {
+        let spec = WorkflowSpec::from_workflow(&sample());
+        let json = spec.to_json();
+        let parsed = WorkflowSpec::from_json(&json).unwrap();
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn unknown_destination_rejected() {
+        let mut spec = WorkflowSpec::from_workflow(&sample());
+        spec.dataflows[0].output_datas[0].destination = "ghost".into();
+        assert!(matches!(
+            spec.compile(),
+            Err(WorkflowError::UnknownFunction(n)) if n == "ghost"
+        ));
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(matches!(
+            WorkflowSpec::from_json("{not json"),
+            Err(WorkflowError::BadSpec(_))
+        ));
+    }
+}

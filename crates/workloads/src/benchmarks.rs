@@ -1,0 +1,252 @@
+//! The four best-practice serverless workflow benchmarks of §9.1:
+//! Video-FFmpeg (*vid*), ML-based Image Processing (*img*), Singular
+//! Value Decomposition (*svd*) and WordCount (*wc*).
+//!
+//! Each benchmark is a [`Workflow`] whose DAG shape follows the original
+//! application and whose work/size coefficients are calibrated so that,
+//! under the centralized control-flow orchestrator, the per-benchmark
+//! communication share of end-to-end time matches Fig. 2a
+//! (img ≈ 26 %, vid ≈ 49.5 %, svd ≈ 35.3 %, wc ≈ 89.2 %). The
+//! calibration is asserted by `tests/calibration.rs`.
+
+use std::sync::Arc;
+
+use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder, KB, MB};
+
+/// One of the paper's four benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// ML-based image processing: a compute-heavy six-stage pipeline.
+    Img,
+    /// Video-FFmpeg: split → parallel transcode → merge, data-heavy.
+    Vid,
+    /// Singular value decomposition over matrix blocks.
+    Svd,
+    /// WordCount: FOREACH fan-out with tiny compute, communication-bound.
+    Wc,
+}
+
+impl Benchmark {
+    /// All four benchmarks in the paper's figure order.
+    pub const ALL: [Benchmark; 4] = [Benchmark::Img, Benchmark::Vid, Benchmark::Svd, Benchmark::Wc];
+
+    /// The short name used throughout the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Img => "img",
+            Benchmark::Vid => "vid",
+            Benchmark::Svd => "svd",
+            Benchmark::Wc => "wc",
+        }
+    }
+
+    /// Builds the benchmark's workflow with its default parameters.
+    pub fn workflow(&self) -> Arc<Workflow> {
+        match self {
+            Benchmark::Img => image_pipeline(),
+            Benchmark::Vid => video_ffmpeg(4),
+            Benchmark::Svd => svd(8),
+            Benchmark::Wc => wordcount(WcParams::default()),
+        }
+    }
+
+    /// Default request payload in bytes.
+    pub fn default_payload(&self) -> f64 {
+        match self {
+            Benchmark::Img => 900.0 * KB,
+            Benchmark::Vid => 8.0 * MB,
+            Benchmark::Svd => 6.0 * MB,
+            Benchmark::Wc => WcParams::default().input_mb * MB,
+        }
+    }
+
+    /// The open-loop request rates (rpm) swept in Fig. 10, matching the
+    /// paper's x-axes.
+    pub fn fig10_rpms(&self) -> &'static [f64] {
+        match self {
+            Benchmark::Img => &[10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0],
+            Benchmark::Vid => &[4.0, 8.0, 12.0, 16.0, 20.0, 40.0, 80.0],
+            Benchmark::Svd => &[10.0, 20.0, 40.0, 60.0, 80.0, 100.0],
+            Benchmark::Wc => &[10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0],
+        }
+    }
+
+    /// The closed-loop client counts swept in Fig. 11.
+    pub fn fig11_clients(&self) -> &'static [usize] {
+        match self {
+            Benchmark::Img => &[1, 2, 4, 6, 8, 10, 11],
+            Benchmark::Vid => &[1, 2, 4, 8, 16, 24, 32, 36],
+            Benchmark::Svd => &[1, 2, 4, 8, 12, 16, 20, 24],
+            Benchmark::Wc => &[1, 2, 4, 8, 16, 20, 24],
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of the WordCount benchmark (swept in Figs. 16 and 17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WcParams {
+    /// Number of FOREACH count branches.
+    pub fan_out: usize,
+    /// Input text size in MiB.
+    pub input_mb: f64,
+}
+
+impl Default for WcParams {
+    /// 4 branches over 1 MiB of text (the Fig. 10/11 operating point; the
+    /// Fig. 16 sweeps use 4 MiB explicitly).
+    fn default() -> Self {
+        WcParams {
+            fan_out: 4,
+            input_mb: 1.0,
+        }
+    }
+}
+
+/// WordCount (Fig. 7's running example): `start` splits the text into
+/// `fan_out` files, each `count_k` counts words, `merge` folds the count
+/// tables.
+///
+/// # Panics
+///
+/// Panics if `fan_out` is zero.
+pub fn wordcount(params: WcParams) -> Arc<Workflow> {
+    assert!(params.fan_out > 0, "wordcount needs at least one branch");
+    let n = params.fan_out;
+    let input = params.input_mb * MB;
+    let mut b = WorkflowBuilder::new("wc");
+    // Splitting is nearly free; counting is a single pass; merging is a
+    // hash-fold over small tables. Communication dominates by design.
+    let start = b.function("wc_start", WorkModel::new(0.001, 0.0006));
+    let merge = b.function("wc_merge", WorkModel::new(0.001, 0.002));
+    b.client_input(start, "text", SizeModel::Fixed(input));
+    for i in 0..n {
+        let count = b.function(format!("wc_count_{i}"), WorkModel::new(0.0005, 0.0035));
+        b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0 / n as f64));
+        b.edge(count, merge, "count", SizeModel::ScaleOfInput(0.30));
+    }
+    b.client_output(merge, "output", SizeModel::Fixed(8.0 * KB));
+    Arc::new(b.build().expect("wordcount workflow is valid"))
+}
+
+/// ML-based image processing: extract → resize → classify → detect →
+/// blur → render, a compute-dominated pipeline with modest intermediate
+/// data (per §9.3, "the intermediate data between functions in img is
+/// small").
+pub fn image_pipeline() -> Arc<Workflow> {
+    let mut b = WorkflowBuilder::new("img");
+    let extract = b.function("img_extract", WorkModel::new(0.012, 0.008));
+    let resize = b.function("img_resize", WorkModel::new(0.015, 0.012));
+    let classify = b.function("img_classify", WorkModel::new(0.120, 0.020));
+    let detect = b.function("img_detect", WorkModel::new(0.065, 0.015));
+    let blur = b.function("img_blur", WorkModel::new(0.030, 0.015));
+    let render = b.function("img_render", WorkModel::new(0.018, 0.008));
+    b.client_input(extract, "image", SizeModel::ScaleOfInput(1.0));
+    b.edge(extract, resize, "raw", SizeModel::ScaleOfInput(1.0));
+    b.edge(resize, classify, "scaled", SizeModel::ScaleOfInput(0.55));
+    b.edge(resize, detect, "scaled2", SizeModel::ScaleOfInput(0.55));
+    b.edge(classify, blur, "labels", SizeModel::Affine { fixed: 24.0 * KB, factor: 0.0 });
+    b.edge(detect, blur, "boxes", SizeModel::Affine { fixed: 32.0 * KB, factor: 0.1 });
+    b.edge(blur, render, "blurred", SizeModel::ScaleOfInput(0.8));
+    b.client_output(render, "final", SizeModel::ScaleOfInput(0.6));
+    Arc::new(b.build().expect("img workflow is valid"))
+}
+
+/// Video-FFmpeg: `split` cuts the video into `branches` chunks, each
+/// `transcode_k` re-encodes one chunk, `merge` concatenates. Data-heavy:
+/// the chunks are as large as the input.
+///
+/// # Panics
+///
+/// Panics if `branches` is zero.
+pub fn video_ffmpeg(branches: usize) -> Arc<Workflow> {
+    assert!(branches > 0, "vid needs at least one transcode branch");
+    let mut b = WorkflowBuilder::new("vid");
+    let split = b.function("vid_split", WorkModel::new(0.010, 0.012));
+    let merge = b.function("vid_merge", WorkModel::new(0.010, 0.014));
+    b.client_input(split, "video", SizeModel::ScaleOfInput(1.0));
+    for i in 0..branches {
+        let transcode = b.function(format!("vid_transcode_{i}"), WorkModel::new(0.020, 0.085));
+        b.edge(
+            split,
+            transcode,
+            "chunk",
+            SizeModel::ScaleOfInput(1.0 / branches as f64),
+        );
+        b.edge(transcode, merge, "encoded", SizeModel::ScaleOfInput(0.85));
+    }
+    b.client_output(merge, "video_out", SizeModel::ScaleOfInput(0.85));
+    Arc::new(b.build().expect("vid workflow is valid"))
+}
+
+/// Singular value decomposition: `partition` tiles the matrix into
+/// `blocks`, each `block_svd_k` factorizes one tile, `compose` assembles
+/// the factors.
+///
+/// # Panics
+///
+/// Panics if `blocks` is zero.
+pub fn svd(blocks: usize) -> Arc<Workflow> {
+    assert!(blocks > 0, "svd needs at least one block");
+    let mut b = WorkflowBuilder::new("svd");
+    let partition = b.function("svd_partition", WorkModel::new(0.008, 0.010));
+    let compose = b.function("svd_compose", WorkModel::new(0.012, 0.022));
+    b.client_input(partition, "matrix", SizeModel::ScaleOfInput(1.0));
+    for i in 0..blocks {
+        let block = b.function(format!("svd_block_{i}"), WorkModel::new(0.015, 0.135));
+        b.edge(
+            partition,
+            block,
+            "tile",
+            SizeModel::ScaleOfInput(1.0 / blocks as f64),
+        );
+        b.edge(block, compose, "factors", SizeModel::ScaleOfInput(0.60));
+    }
+    b.client_output(compose, "usv", SizeModel::ScaleOfInput(0.4));
+    Arc::new(b.build().expect("svd workflow is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_applications() {
+        assert_eq!(wordcount(WcParams { fan_out: 4, input_mb: 4.0 }).function_count(), 6);
+        assert_eq!(image_pipeline().function_count(), 6);
+        assert_eq!(video_ffmpeg(4).function_count(), 6);
+        assert_eq!(svd(8).function_count(), 10);
+    }
+
+    #[test]
+    fn all_benchmarks_build_and_name() {
+        for b in Benchmark::ALL {
+            let wf = b.workflow();
+            assert_eq!(wf.name(), b.name());
+            assert!(b.default_payload() > 0.0);
+            assert!(!b.fig10_rpms().is_empty());
+            assert!(!b.fig11_clients().is_empty());
+        }
+    }
+
+    #[test]
+    fn wc_fan_out_is_parametric() {
+        for n in [2, 8, 16] {
+            let wf = wordcount(WcParams { fan_out: n, input_mb: 4.0 });
+            assert_eq!(wf.function_count(), n + 2);
+            let start = wf.function_by_name("wc_start").unwrap();
+            assert_eq!(wf.successors(start).len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn zero_fanout_rejected() {
+        wordcount(WcParams { fan_out: 0, input_mb: 1.0 });
+    }
+}

@@ -1,0 +1,42 @@
+//! # dataflower-workloads
+//!
+//! The evaluation workloads of the DataFlower paper (§9.1) and the
+//! harness that drives them:
+//!
+//! * [`Benchmark`] — the four best-practice serverless workflows
+//!   (Video-FFmpeg, ML image processing, SVD, WordCount) with
+//!   calibrated DAGs, plus parametric builders ([`wordcount`],
+//!   [`video_ffmpeg`], [`svd`], [`image_pipeline`]) for the fan-out and
+//!   input-size sweeps of Fig. 16;
+//! * [`SystemKind`] — a uniform factory over every system under test
+//!   (DataFlower, its non-aware ablation, FaaSFlow, SONIC, the
+//!   centralized platform and the Fig. 19 state machine);
+//! * [`Scenario`] — open-loop, closed-loop, co-located and bursty
+//!   experiment runners matching the paper's load patterns.
+//!
+//! # Examples
+//!
+//! ```
+//! use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+//!
+//! let scenario = Scenario::seeded(42);
+//! let report = scenario.open_loop(
+//!     SystemKind::DataFlower,
+//!     Benchmark::Wc.workflow(),
+//!     Benchmark::Wc.default_payload(),
+//!     20.0, // rpm
+//!     30,   // seconds of load
+//! );
+//! assert!(report.primary().completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod harness;
+mod system;
+
+pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
+pub use harness::Scenario;
+pub use system::SystemKind;

@@ -1,0 +1,102 @@
+//! The systems under evaluation, as a uniform factory.
+
+use dataflower::{DataFlowerConfig, DataFlowerEngine};
+use dataflower_baselines::{ControlFlowConfig, ControlFlowEngine};
+use dataflower_cluster::{ContainerSpec, Orchestrator, SpreadPlacement};
+
+/// Every system the evaluation compares (Figs. 10–19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// DataFlower with all mechanisms enabled.
+    DataFlower,
+    /// The Fig. 12 ablation: pressure-aware scaling disabled.
+    DataFlowerNonAware,
+    /// FaaSFlow-style decentralized control flow.
+    FaaSFlow,
+    /// SONIC-style local-storage data passing.
+    Sonic,
+    /// Production-style centralized orchestrator (Fig. 2).
+    Centralized,
+    /// Stateful state-machine deployment (Fig. 19).
+    StateMachine,
+}
+
+impl SystemKind {
+    /// The three systems of the headline comparisons (Figs. 10, 11, 18).
+    pub const HEADLINE: [SystemKind; 3] =
+        [SystemKind::DataFlower, SystemKind::FaaSFlow, SystemKind::Sonic];
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::DataFlower => "DataFlower",
+            SystemKind::DataFlowerNonAware => "DataFlower-Non-aware",
+            SystemKind::FaaSFlow => "FaaSFlow",
+            SystemKind::Sonic => "SONIC",
+            SystemKind::Centralized => "Centralized",
+            SystemKind::StateMachine => "StateMachine",
+        }
+    }
+
+    /// Builds the system's engine with the default container spec.
+    pub fn engine(&self) -> Box<dyn Orchestrator> {
+        self.engine_with_spec(ContainerSpec::default())
+    }
+
+    /// Builds the system's engine with containers of the given spec
+    /// (the Fig. 17 scale-up sweep).
+    pub fn engine_with_spec(&self, spec: ContainerSpec) -> Box<dyn Orchestrator> {
+        match self {
+            SystemKind::DataFlower => Box::new(DataFlowerEngine::new(
+                DataFlowerConfig::default().with_container_spec(spec),
+                SpreadPlacement,
+            )),
+            SystemKind::DataFlowerNonAware => Box::new(DataFlowerEngine::new(
+                DataFlowerConfig::non_aware().with_container_spec(spec),
+                SpreadPlacement,
+            )),
+            SystemKind::FaaSFlow => Box::new(ControlFlowEngine::new(
+                ControlFlowConfig::faasflow().with_container_spec(spec),
+                SpreadPlacement,
+            )),
+            SystemKind::Sonic => Box::new(ControlFlowEngine::new(
+                ControlFlowConfig::sonic().with_container_spec(spec),
+                SpreadPlacement,
+            )),
+            SystemKind::Centralized => Box::new(ControlFlowEngine::new(
+                ControlFlowConfig::centralized().with_container_spec(spec),
+                SpreadPlacement,
+            )),
+            SystemKind::StateMachine => Box::new(ControlFlowEngine::new(
+                ControlFlowConfig::state_machine().with_container_spec(spec),
+                SpreadPlacement,
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_factories_agree() {
+        for sys in [
+            SystemKind::DataFlower,
+            SystemKind::DataFlowerNonAware,
+            SystemKind::FaaSFlow,
+            SystemKind::Sonic,
+            SystemKind::Centralized,
+            SystemKind::StateMachine,
+        ] {
+            let engine = sys.engine();
+            assert_eq!(engine.name(), sys.label());
+        }
+    }
+}

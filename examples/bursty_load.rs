@@ -1,0 +1,48 @@
+//! Bursty-load behaviour (§9.5 / Fig. 15): WordCount jumps from 10 rpm to
+//! 100 rpm; compare the latency distributions of the three systems.
+//!
+//! ```text
+//! cargo run --release --example bursty_load
+//! ```
+
+use dataflower_metrics::{fmt_f, Table};
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+fn main() {
+    let b = Benchmark::Wc;
+    println!("bursty load: {} at 10 rpm for 60 s, then 100 rpm for 60 s\n", b.name());
+
+    let mut t = Table::new(vec!["system", "n", "mean (s)", "p50", "p90", "p99", "sigma"]);
+    for sys in SystemKind::HEADLINE {
+        let scenario = Scenario::seeded(777);
+        let report = scenario.bursty(sys, b.workflow(), b.default_payload(), 10.0, 100.0);
+        let lat = &report.primary().latency;
+        t.row(vec![
+            sys.label().into(),
+            lat.len().to_string(),
+            fmt_f(lat.mean(), 3),
+            fmt_f(lat.p50(), 3),
+            fmt_f(lat.percentile(0.90), 3),
+            fmt_f(lat.p99(), 3),
+            fmt_f(lat.std_dev(), 3),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("CDF deciles (DataFlower):");
+    let scenario = Scenario::seeded(777);
+    let report = scenario.bursty(
+        SystemKind::DataFlower,
+        b.workflow(),
+        b.default_payload(),
+        10.0,
+        100.0,
+    );
+    for k in 1..=9 {
+        let q = k as f64 / 10.0;
+        println!(
+            "  p{:>2.0}  {:.3} s",
+            q * 100.0,
+            report.primary().latency.percentile(q)
+        );
+    }
+}

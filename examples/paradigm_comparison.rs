@@ -1,0 +1,43 @@
+//! Head-to-head paradigm comparison on one benchmark: run WordCount under
+//! DataFlower, FaaSFlow and SONIC at the same load and contrast latency,
+//! throughput and memory cost — a miniature of the paper's Figs. 10/11.
+//!
+//! ```text
+//! cargo run --release --example paradigm_comparison
+//! ```
+
+use dataflower_metrics::{fmt_f, Table};
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+fn main() {
+    let b = Benchmark::Wc;
+    println!(
+        "benchmark: {} (payload {:.1} MB, open loop 60 rpm for 60 s, then closed loop 8 clients)",
+        b.name(),
+        b.default_payload() / (1024.0 * 1024.0)
+    );
+
+    let mut t = Table::new(vec![
+        "system",
+        "mean lat (s)",
+        "p99 lat (s)",
+        "memory (GB*s)",
+        "throughput (rpm)",
+    ]);
+    for sys in SystemKind::HEADLINE {
+        let scenario = Scenario::seeded(2024);
+        let open = scenario.open_loop(sys, b.workflow(), b.default_payload(), 60.0, 60);
+        let closed = scenario.closed_loop(sys, b.workflow(), b.default_payload(), 8, 120);
+        let stats = open.primary();
+        assert!(stats.completed > 0, "{sys} completed nothing");
+        t.row(vec![
+            sys.label().into(),
+            fmt_f(stats.latency.mean(), 3),
+            fmt_f(stats.latency.p99(), 3),
+            fmt_f(open.memory_gb_s, 1),
+            fmt_f(closed.primary().throughput_rpm, 1),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(DataFlower should lead on every column — see EXPERIMENTS.md)");
+}

@@ -1,0 +1,22 @@
+//! # dataflower-repro
+//!
+//! Umbrella crate of the DataFlower reproduction workspace. It re-exports
+//! the member crates under stable names and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`core`] (the DataFlower engine), [`workloads`] (the four
+//! paper benchmarks and experiment harness) and [`rt`] (the live FLU/DLU
+//! runtime). See `README.md` for the map of the workspace and
+//! `EXPERIMENTS.md` for reproduced-figure results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dataflower as core;
+pub use dataflower_baselines as baselines;
+pub use dataflower_cluster as cluster;
+pub use dataflower_metrics as metrics;
+pub use dataflower_rt as rt;
+pub use dataflower_sim as sim;
+pub use dataflower_workflow as workflow;
+pub use dataflower_workloads as workloads;

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: every benchmark on every system, the
+//! paper's headline relationships, and determinism of the whole stack.
+
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+#[test]
+fn every_system_completes_every_benchmark() {
+    for b in Benchmark::ALL {
+        for sys in [
+            SystemKind::DataFlower,
+            SystemKind::DataFlowerNonAware,
+            SystemKind::FaaSFlow,
+            SystemKind::Sonic,
+            SystemKind::Centralized,
+            SystemKind::StateMachine,
+        ] {
+            let scenario = Scenario::seeded(1);
+            let report = scenario.open_loop(sys, b.workflow(), b.default_payload(), 6.0, 30);
+            let stats = report.primary();
+            assert!(stats.completed > 0, "{sys} completed nothing on {b}");
+            assert_eq!(stats.unfinished, 0, "{sys} left requests unfinished on {b}");
+        }
+    }
+}
+
+#[test]
+fn dataflower_reduces_p99_latency_on_every_benchmark() {
+    // The paper's headline (Fig. 10): p99 down 5.7–35.4 % vs FaaSFlow and
+    // 8.9–29.2 % vs SONIC. We assert the direction and a sane magnitude.
+    for b in Benchmark::ALL {
+        let p99 = |sys: SystemKind| {
+            let scenario = Scenario::seeded(33);
+            scenario
+                .open_loop(sys, b.workflow(), b.default_payload(), 10.0, 60)
+                .primary()
+                .latency
+                .p99()
+        };
+        let df = p99(SystemKind::DataFlower);
+        let ff = p99(SystemKind::FaaSFlow);
+        let sonic = p99(SystemKind::Sonic);
+        assert!(df < ff, "{b}: DataFlower p99 {df:.3} !< FaaSFlow {ff:.3}");
+        assert!(df < sonic, "{b}: DataFlower p99 {df:.3} !< SONIC {sonic:.3}");
+    }
+}
+
+#[test]
+fn dataflower_peak_throughput_exceeds_baselines() {
+    // Fig. 11 direction: higher peak rpm at equal client counts.
+    for b in [Benchmark::Wc, Benchmark::Vid] {
+        let clients = *b.fig11_clients().last().unwrap();
+        let rpm = |sys: SystemKind| {
+            let scenario = Scenario::seeded(34);
+            scenario
+                .closed_loop(sys, b.workflow(), b.default_payload(), clients, 120)
+                .primary()
+                .throughput_rpm
+        };
+        let df = rpm(SystemKind::DataFlower);
+        let ff = rpm(SystemKind::FaaSFlow);
+        let sonic = rpm(SystemKind::Sonic);
+        assert!(df > ff, "{b}: DataFlower rpm {df:.1} !> FaaSFlow {ff:.1}");
+        assert!(df > sonic, "{b}: DataFlower rpm {df:.1} !> SONIC {sonic:.1}");
+    }
+}
+
+#[test]
+fn dataflower_uses_less_cache_memory_than_faasflow() {
+    // Fig. 14 direction: proactive release + passive expire vs
+    // per-request cache lifetime.
+    for b in [Benchmark::Vid, Benchmark::Svd, Benchmark::Wc] {
+        let cache = |sys: SystemKind| {
+            let scenario = Scenario::seeded(35);
+            let r = scenario.closed_loop(sys, b.workflow(), b.default_payload(), 4, 90);
+            r.cache_mb_s / r.primary().completed.max(1) as f64
+        };
+        let df = cache(SystemKind::DataFlower);
+        let ff = cache(SystemKind::FaaSFlow);
+        assert!(
+            df < ff,
+            "{b}: DataFlower cache {df:.3} MB*s/req !< FaaSFlow {ff:.3}"
+        );
+    }
+}
+
+#[test]
+fn pressure_awareness_never_hurts_and_helps_wc() {
+    let rpm = |sys: SystemKind, clients: usize| {
+        let scenario = Scenario::seeded(36);
+        scenario
+            .closed_loop(
+                sys,
+                Benchmark::Wc.workflow(),
+                Benchmark::Wc.default_payload(),
+                clients,
+                120,
+            )
+            .primary()
+            .throughput_rpm
+    };
+    let aware = rpm(SystemKind::DataFlower, 16);
+    let non_aware = rpm(SystemKind::DataFlowerNonAware, 16);
+    assert!(
+        aware > non_aware * 1.2,
+        "expected a clear Fig. 12 gap on wc: aware {aware:.0} vs non-aware {non_aware:.0}"
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let scenario = Scenario::seeded(99);
+        let r = scenario.open_loop(
+            SystemKind::DataFlower,
+            Benchmark::Svd.workflow(),
+            Benchmark::Svd.default_payload(),
+            20.0,
+            45,
+        );
+        (
+            r.primary().completed,
+            r.primary().latency.mean().to_bits(),
+            r.memory_gb_s.to_bits(),
+            r.cache_mb_s.to_bits(),
+            r.cold_starts,
+        )
+    };
+    assert_eq!(run(), run(), "same seed must give bit-identical results");
+}
+
+#[test]
+fn colocation_degrades_gracefully_under_dataflower() {
+    // Fig. 18: no benchmark suffers more than ~2x degradation from Solo
+    // to High load with DataFlower.
+    let scenario = Scenario::seeded(40);
+    let loads: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|b| (b.workflow(), b.default_payload(), 8.0))
+        .collect();
+    let co = scenario.colocated(SystemKind::DataFlower, &loads, 45);
+    for b in Benchmark::ALL {
+        let solo = Scenario::seeded(40)
+            .open_loop(SystemKind::DataFlower, b.workflow(), b.default_payload(), 8.0, 45)
+            .primary()
+            .latency
+            .mean();
+        let colocated = co.workflow(b.name()).unwrap().latency.mean();
+        assert!(
+            colocated < solo * 2.0,
+            "{b}: co-located mean {colocated:.2}s vs solo {solo:.2}s exceeds 2x"
+        );
+    }
+}
