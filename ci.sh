@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the DataFlower reproduction workspace.
+#
+# Runs entirely offline (the workspace has zero external dependencies):
+#   1. cargo build --release
+#   2. cargo test -q --workspace
+#   3. cargo fmt --check        (skipped if rustfmt is absent)
+#   4. cargo clippy -D warnings (skipped if clippy is absent)
+set -u
+
+cd "$(dirname "$0")"
+
+failures=0
+
+run() {
+    echo "==> $*"
+    if "$@"; then
+        echo "    ok"
+    else
+        echo "    FAILED: $*" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+run cargo build --workspace --release
+
+run cargo test -q --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    run cargo fmt --check
+else
+    echo "==> cargo fmt unavailable; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint check"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "ci.sh: $failures check(s) failed" >&2
+    exit 1
+fi
+echo "ci.sh: all checks passed"

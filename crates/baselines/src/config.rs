@@ -2,10 +2,9 @@
 
 use dataflower_cluster::ContainerSpec;
 use dataflower_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How intermediate data moves between functions in a control-flow system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPassing {
     /// Everything round-trips through the backend storage node (the
     /// production-platform default of §3.2: `Put()` after compute,
@@ -24,7 +23,7 @@ pub enum DataPassing {
 }
 
 /// Configuration of a [`ControlFlowEngine`](crate::ControlFlowEngine).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlFlowConfig {
     /// Display name of the system.
     pub label: SystemLabel,
@@ -50,7 +49,7 @@ pub struct ControlFlowConfig {
 /// Known baseline identities (drives [`Orchestrator::name`]).
 ///
 /// [`Orchestrator::name`]: dataflower_cluster::Orchestrator::name
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemLabel {
     /// A production-style centralized workflow orchestrator.
     Centralized,

@@ -314,18 +314,16 @@ impl<P: Placement> ControlFlowEngine<P> {
             self.arm_pump(world, wf, func);
             return;
         }
-        match world.start_container(home, wf, func, spec) {
-            Ok(c) => {
-                let cooldown = self.cfg.scale_cooldown;
-                let pool = self.pools.get_mut(&(wf, func)).expect("pool exists");
-                pool.starting += 1;
-                pool.next_scale_ok = now + cooldown;
-                self.container_pool_key.insert(c, (wf, func));
-                if want > pool.starting {
-                    self.arm_pump(world, wf, func);
-                }
+        // On Err the node is exhausted; invocations wait for idles.
+        if let Ok(c) = world.start_container(home, wf, func, spec) {
+            let cooldown = self.cfg.scale_cooldown;
+            let pool = self.pools.get_mut(&(wf, func)).expect("pool exists");
+            pool.starting += 1;
+            pool.next_scale_ok = now + cooldown;
+            self.container_pool_key.insert(c, (wf, func));
+            if want > pool.starting {
+                self.arm_pump(world, wf, func);
             }
-            Err(_) => {}
         }
     }
 
@@ -379,7 +377,10 @@ impl<P: Placement> ControlFlowEngine<P> {
                 DataPassing::SonicLocal => match src_node {
                     // Fetch-on-trigger from the producer host's VM
                     // storage, same-node or peer-to-peer.
-                    Some(n) => Route::DiskRead { src_node: n, dst: c },
+                    Some(n) => Route::DiskRead {
+                        src_node: n,
+                        dst: c,
+                    },
                     // User input still comes from backend storage.
                     None => Route::FromStorage { dst: c },
                 },
@@ -557,7 +558,11 @@ impl<P: Placement> ControlFlowEngine<P> {
     }
 
     fn record_comm(&mut self, wf: WfId, func: FnId, secs: f64) {
-        self.breakdown.entry((wf, func)).or_default().comm.push(secs);
+        self.breakdown
+            .entry((wf, func))
+            .or_default()
+            .comm
+            .push(secs);
         self.comm_secs_total += secs;
         self.comm_ops += 1;
     }

@@ -18,7 +18,12 @@ fn fanout_wf(fan_out: usize, input_mb: f64) -> Arc<Workflow> {
     b.client_input(start, "text", SizeModel::Fixed(input_mb * MB));
     for i in 0..fan_out {
         let count = b.function(format!("count_{i}"), WorkModel::new(0.002, 0.03));
-        b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0 / fan_out as f64));
+        b.edge(
+            start,
+            count,
+            "file",
+            SizeModel::ScaleOfInput(1.0 / fan_out as f64),
+        );
         b.edge(count, merge, "counts", SizeModel::ScaleOfInput(0.08));
     }
     b.client_output(merge, "result", SizeModel::Fixed(2048.0));
@@ -53,8 +58,10 @@ fn all_baselines_complete_requests() {
 
 #[test]
 fn centralized_triggering_overhead_is_visible() {
-    let mut cluster = ClusterConfig::default();
-    cluster.trace_triggers = true;
+    let cluster = ClusterConfig {
+        trace_triggers: true,
+        ..ClusterConfig::default()
+    };
     let mut world = World::new(cluster);
     let wf_def = fanout_wf(2, 1.0);
     let wf = world.add_workflow(Arc::clone(&wf_def));
@@ -152,5 +159,9 @@ fn faasflow_cache_freed_at_request_completion() {
     let report = run_to_idle(&mut world, &mut engine);
     assert_eq!(report.primary().completed, 1);
     assert!(report.cache_mb_s > 0.0, "local cache never populated");
-    assert_eq!(world.cache_resident_mb(), 0.0, "cache not freed at completion");
+    assert_eq!(
+        world.cache_resident_mb(),
+        0.0,
+        "cache not freed at completion"
+    );
 }

@@ -1,0 +1,178 @@
+//! In-tree wall-clock benchmarks of the reproduction itself: how fast the
+//! simulated engines and the substrate data structures run on this host.
+//! One JSON line per benchmark on stdout.
+//!
+//! ```text
+//! cargo run --release -p dataflower-bench --bin bench            # everything
+//! cargo run --release -p dataflower-bench --bin bench -- flownet # filter by substring
+//! cargo run --release -p dataflower-bench --bin bench -- --runs 9
+//! ```
+//!
+//! These measure the *reproduction's* performance (simulator events per
+//! second), complementing the `figures` binary which reproduces the
+//! paper's results.
+
+use dataflower::WaitMatchMemory;
+use dataflower_bench::timing::time;
+use dataflower_cluster::RequestId;
+use dataflower_metrics::Samples;
+use dataflower_sim::{EventQueue, FlowNet, SimTime};
+use dataflower_workflow::{EdgeId, FnId};
+use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+
+/// Default timed iterations per benchmark (median-of-K).
+const DEFAULT_RUNS: usize = 5;
+
+fn main() {
+    let mut filters: Vec<String> = Vec::new();
+    let mut runs = DEFAULT_RUNS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                eprintln!("usage: bench [--runs K] [filter-substring]...");
+                return;
+            }
+            "--runs" => {
+                runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|k| *k > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => filters.push(other.to_owned()),
+        }
+    }
+
+    let harness = Harness { filters, runs };
+    engine_benchmarks(&harness);
+    substrate_benchmarks(&harness);
+}
+
+/// CLI-configured runner: skips filtered-out benchmarks *before* timing
+/// them, so a filtered invocation costs only the selected cases.
+struct Harness {
+    filters: Vec<String>,
+    runs: usize,
+}
+
+impl Harness {
+    fn run<T>(&self, group: &str, name: &str, f: impl FnMut() -> T) {
+        let id = format!("{group}/{name}");
+        if self.filters.is_empty() || self.filters.iter().any(|flt| id.contains(flt.as_str())) {
+            println!("{}", time(group, name, self.runs, f).to_json_line());
+        }
+    }
+}
+
+/// End-to-end engine benchmarks: cost of simulating workflow requests,
+/// per system, plus a closed-loop burst.
+fn engine_benchmarks(h: &Harness) {
+    for sys in [
+        SystemKind::DataFlower,
+        SystemKind::FaaSFlow,
+        SystemKind::Sonic,
+        SystemKind::Centralized,
+    ] {
+        h.run(
+            "engines",
+            &format!("single_request/wc/{}", sys.label()),
+            || {
+                let scenario = Scenario::seeded(5);
+                let report = scenario.open_loop(
+                    sys,
+                    Benchmark::Wc.workflow(),
+                    Benchmark::Wc.default_payload(),
+                    30.0,
+                    20,
+                );
+                assert!(report.primary().completed > 0);
+                report
+            },
+        );
+    }
+    for bench in [Benchmark::Wc, Benchmark::Img] {
+        h.run(
+            "engines",
+            &format!("closed_loop_16_clients_60s/DataFlower/{}", bench.name()),
+            || {
+                let scenario = Scenario::seeded(6);
+                scenario.closed_loop(
+                    SystemKind::DataFlower,
+                    bench.workflow(),
+                    bench.default_payload(),
+                    16,
+                    60,
+                )
+            },
+        );
+    }
+}
+
+/// Substrate micro-benchmarks: flow network rate recomputation, the
+/// Wait-Match memory, the event queue and the percentile math.
+fn substrate_benchmarks(h: &Harness) {
+    for n in [8usize, 64, 256] {
+        h.run(
+            "substrates",
+            &format!("flownet/start_and_drain/{n}"),
+            || {
+                let mut net = FlowNet::new();
+                let shared = net.add_link(1e8);
+                let links: Vec<_> = (0..8).map(|_| net.add_link(5e6)).collect();
+                for i in 0..n {
+                    net.start_flow(
+                        SimTime::ZERO,
+                        &[links[i % links.len()], shared],
+                        1e6,
+                        i as u64,
+                    );
+                }
+                let done = net.advance(SimTime::from_secs(10_000));
+                assert_eq!(done.len(), n);
+                done
+            },
+        );
+    }
+
+    h.run("substrates", "wait_match_insert_take_1k", || {
+        let mut sink = WaitMatchMemory::new();
+        for r in 0..100 {
+            for e in 0..10 {
+                sink.insert(
+                    RequestId::from_index(r),
+                    FnId::from_index(e % 4),
+                    EdgeId::from_index(e),
+                    1024.0,
+                    SimTime::ZERO,
+                );
+            }
+        }
+        for r in 0..100 {
+            for f in 0..4 {
+                sink.take_inputs(RequestId::from_index(r), FnId::from_index(f));
+            }
+        }
+        assert!(sink.is_empty());
+        sink
+    });
+
+    h.run("substrates", "event_queue_10k_schedule_pop", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_micros(i * 7919 % 65_536), i);
+        }
+        let mut count = 0;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+        count
+    });
+
+    let samples: Samples = (0..10_000).map(|i| ((i * 31) % 997) as f64).collect();
+    h.run("substrates", "samples_p99_10k", || samples.p99());
+}

@@ -25,7 +25,11 @@ pub fn latency_cell(stats: &WorkflowStats) -> String {
     if stats.completed == 0 {
         return "FAIL".to_owned();
     }
-    let cell = format!("{}/{}", secs(stats.latency.mean()), secs(stats.latency.p99()));
+    let cell = format!(
+        "{}/{}",
+        secs(stats.latency.mean()),
+        secs(stats.latency.p99())
+    );
     if stats.completion_rate() < 0.8 {
         format!("{cell} (timeouts)")
     } else {

@@ -4,9 +4,7 @@
 //! overhead of the production orchestrator's state machine.
 
 use dataflower_baselines::{ControlFlowConfig, ControlFlowEngine};
-use dataflower_cluster::{
-    run_to_idle, ClusterConfig, SpreadPlacement, TriggerKind, World,
-};
+use dataflower_cluster::{run_to_idle, ClusterConfig, SpreadPlacement, TriggerKind, World};
 use dataflower_metrics::{fmt_f, Table};
 use dataflower_sim::SimTime;
 use dataflower_workloads::Benchmark;
@@ -66,8 +64,7 @@ pub fn fig2b() -> String {
         let mut world = World::new(cluster);
         let id = world.add_workflow(b.workflow());
         world.submit_request(id, b.default_payload(), SimTime::ZERO);
-        let mut engine =
-            ControlFlowEngine::new(ControlFlowConfig::centralized(), SpreadPlacement);
+        let mut engine = ControlFlowEngine::new(ControlFlowConfig::centralized(), SpreadPlacement);
         run_to_idle(&mut world, &mut engine);
 
         let trace = world.usage_trace();
@@ -113,8 +110,7 @@ pub fn fig2c() -> String {
         let wf = b.workflow();
         let id = world.add_workflow(std::sync::Arc::clone(&wf));
         world.submit_request(id, b.default_payload(), SimTime::ZERO);
-        let mut engine =
-            ControlFlowEngine::new(ControlFlowConfig::centralized(), SpreadPlacement);
+        let mut engine = ControlFlowEngine::new(ControlFlowConfig::centralized(), SpreadPlacement);
         run_to_idle(&mut world, &mut engine);
 
         // Overhead = Ready(f) − max Finished(pred of f).
@@ -141,7 +137,11 @@ pub fn fig2c() -> String {
         let avg = overheads.iter().sum::<f64>() / overheads.len().max(1) as f64;
         grand_sum += overheads.iter().sum::<f64>();
         grand_n += overheads.len();
-        t.row(vec![b.name().into(), fmt_f(avg, 1), overheads.len().to_string()]);
+        t.row(vec![
+            b.name().into(),
+            fmt_f(avg, 1),
+            overheads.len().to_string(),
+        ]);
     }
     t.row(vec![
         "average".into(),

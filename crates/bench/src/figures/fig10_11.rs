@@ -16,7 +16,11 @@ pub fn fig10() -> String {
         "open-loop E2E latency (mean/p99 s) and memory (GB*s) vs load",
     );
     for b in Benchmark::ALL {
-        out.push_str(&format!("{} (payload {:.1} MB):\n", b.name(), b.default_payload() / (1024.0 * 1024.0)));
+        out.push_str(&format!(
+            "{} (payload {:.1} MB):\n",
+            b.name(),
+            b.default_payload() / (1024.0 * 1024.0)
+        ));
         let mut t = Table::new(vec![
             "rpm",
             "DataFlower lat",
@@ -31,8 +35,7 @@ pub fn fig10() -> String {
             let mut mem = Vec::new();
             for sys in SystemKind::HEADLINE {
                 let scenario = Scenario::seeded(100 + rpm as u64);
-                let report =
-                    scenario.open_loop(sys, b.workflow(), b.default_payload(), rpm, 60);
+                let report = scenario.open_loop(sys, b.workflow(), b.default_payload(), rpm, 60);
                 lat.push(latency_cell(report.primary()));
                 mem.push(memory_cell(&report));
             }

@@ -53,7 +53,8 @@ pub fn fig13() -> String {
     // direct-socket path; a 48 KB text (12 KB per count branch) puts the
     // reproduction in the same regime.
     let wc_input_mb = 48.0 / 1024.0;
-    let systems: Vec<(&str, Box<dyn FnOnce(&mut World) -> Box<dyn Orchestrator>>)> = vec![
+    type EngineFactory = Box<dyn FnOnce(&mut World) -> Box<dyn Orchestrator>>;
+    let systems: Vec<(&str, EngineFactory)> = vec![
         (
             "DataFlower",
             Box::new(|_w: &mut World| {

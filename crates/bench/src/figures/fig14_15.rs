@@ -19,7 +19,10 @@ pub fn fig14() -> String {
         let mut t = Table::new(vec!["clients", "DataFlower", "FaaSFlow", "reduction"]);
         for clients in [1usize, 2, 4, 8] {
             let mut per_req = [0.0f64; 2];
-            for (i, sys) in [SystemKind::DataFlower, SystemKind::FaaSFlow].iter().enumerate() {
+            for (i, sys) in [SystemKind::DataFlower, SystemKind::FaaSFlow]
+                .iter()
+                .enumerate()
+            {
                 let scenario = Scenario::seeded(400 + clients as u64);
                 let report =
                     scenario.closed_loop(*sys, b.workflow(), b.default_payload(), clients, 120);

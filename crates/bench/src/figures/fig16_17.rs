@@ -63,7 +63,14 @@ pub fn fig16b() -> String {
         "Fig 16b",
         "wc throughput (rpm) vs input size (4 fan-out branches)",
     );
-    let mut t = Table::new(vec!["input", "DataFlower", "FaaSFlow", "SONIC", "DF/FF", "DF/SONIC"]);
+    let mut t = Table::new(vec![
+        "input",
+        "DataFlower",
+        "FaaSFlow",
+        "SONIC",
+        "DF/FF",
+        "DF/SONIC",
+    ]);
     for input_mb in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
         let wf = wordcount(WcParams {
             fan_out: 4,

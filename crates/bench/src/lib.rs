@@ -20,5 +20,6 @@
 
 mod common;
 pub mod figures;
+pub mod timing;
 
 pub use common::{header, latency_cell, memory_cell, pct, secs};

@@ -1,0 +1,133 @@
+//! A small median-of-K wall-clock timing harness.
+//!
+//! Std-only replacement for the previous criterion benches, in line with
+//! the workspace's offline dependency policy. Each measurement runs the
+//! closure once to warm up, then `runs` timed iterations, and reports the
+//! median (robust to scheduler noise), minimum and maximum.
+//!
+//! Results serialize as one JSON object per line (see
+//! [`TimingResult::to_json_line`]) so downstream tooling can diff runs
+//! with standard line-oriented tools.
+
+use std::time::Instant;
+
+/// Outcome of one benchmark: wall-clock statistics over `runs` iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingResult {
+    /// Benchmark family, e.g. `engines` or `substrates`.
+    pub group: String,
+    /// Specific case, e.g. `single_request/wc/DataFlower`.
+    pub name: String,
+    /// Number of timed iterations (excludes the warm-up run).
+    pub runs: usize,
+    /// Median iteration time in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest iteration in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl TimingResult {
+    /// One self-contained JSON object, no trailing newline.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dataflower_bench::timing::time;
+    ///
+    /// let r = time("demo", "noop", 3, || ());
+    /// let line = r.to_json_line();
+    /// assert!(line.starts_with("{\"group\":\"demo\",\"name\":\"noop\""));
+    /// assert!(!line.contains('\n'));
+    /// ```
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"runs\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"median_ms\":{:.6}}}",
+            escape(&self.group),
+            escape(&self.name),
+            self.runs,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.median_ns as f64 / 1e6,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Times `runs` iterations of `f` (after one warm-up call) and returns the
+/// median/min/max wall-clock statistics.
+///
+/// The closure's return value is passed through [`std::hint::black_box`]
+/// so the optimizer cannot delete the measured work.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+pub fn time<T>(group: &str, name: &str, runs: usize, mut f: impl FnMut() -> T) -> TimingResult {
+    assert!(runs > 0, "need at least one timed run");
+    std::hint::black_box(f());
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    TimingResult {
+        group: group.to_owned(),
+        name: name.to_owned(),
+        runs,
+        median_ns: samples[runs / 2],
+        min_ns: samples[0],
+        max_ns: samples[runs - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_within_bounds() {
+        let r = time("g", "sleepless", 5, || {
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert_eq!(r.runs, 5);
+    }
+
+    #[test]
+    fn json_line_is_parseable_shape() {
+        let r = TimingResult {
+            group: "engines".into(),
+            name: "a \"quoted\" case".into(),
+            runs: 3,
+            median_ns: 1_500_000,
+            min_ns: 1_000_000,
+            max_ns: 2_000_000,
+        };
+        let line = r.to_json_line();
+        assert!(line.contains("\"median_ns\":1500000"));
+        assert!(line.contains("\\\"quoted\\\""));
+        assert!(line.contains("\"median_ms\":1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_runs_rejected() {
+        time("g", "n", 0, || ());
+    }
+}

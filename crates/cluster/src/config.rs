@@ -6,7 +6,6 @@
 //! 40 Mbps per 128 MB.
 
 use dataflower_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Resource specification of a function container.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((c.cores() - 0.2).abs() < 1e-12);
 /// assert!((c.bandwidth_bytes_per_sec() - 2.0 * 40e6 / 8.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ContainerSpec {
     /// Container memory, MB. CPU and bandwidth derive from this (§9.1).
     pub memory_mb: u32,
@@ -60,7 +59,7 @@ impl Default for ContainerSpec {
 }
 
 /// Resource capacity of a worker node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Physical cores.
     pub cores: f64,
@@ -91,7 +90,7 @@ impl Default for NodeSpec {
 
 /// Backend storage node model (CouchDB in the paper's control-flow
 /// setups; the Kafka broker node for DataFlower's cross-node pipes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StorageSpec {
     /// Effective backend-storage service rate in bytes per second (each
     /// direction). Shared by all concurrent Get/Put traffic — the
@@ -120,7 +119,7 @@ impl Default for StorageSpec {
 }
 
 /// Full cluster configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Worker nodes (3 in the paper).
     pub workers: Vec<NodeSpec>,

@@ -115,7 +115,11 @@ fn dispatch<E: Orchestrator + ?Sized>(world: &mut World, engine: &mut E, ev: Eve
             let now = world.now();
             world.net.start_flow(now, &path, bytes, tag);
         }
-        Event::DirectDone { tag, bytes, started } => {
+        Event::DirectDone {
+            tag,
+            bytes,
+            started,
+        } => {
             let at = world.now();
             engine.on_flow_done(
                 world,

@@ -81,9 +81,7 @@ mod tests {
         let mut p = SpreadPlacement;
         let wf = WfId::from_index(0);
         let nodes: Vec<usize> = (0..6)
-            .map(|i| {
-                p.node_for(&w, wf, fn_id(i)).index()
-            })
+            .map(|i| p.node_for(&w, wf, fn_id(i)).index())
             .collect();
         assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
         // Stable on repeat.

@@ -2,12 +2,11 @@
 
 use dataflower_metrics::Samples;
 use dataflower_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::world::World;
 
 /// Per-workflow outcome statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkflowStats {
     /// Workflow name.
     pub name: String,
@@ -35,7 +34,7 @@ impl WorkflowStats {
 }
 
 /// Everything measured over one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Engine that produced the run.
     pub engine: String,
@@ -59,10 +58,7 @@ impl RunReport {
         let horizon = end.as_secs_f64();
         let mut per_workflow: Vec<WorkflowStats> = (0..world.workflow_count())
             .map(|i| WorkflowStats {
-                name: world
-                    .workflow(crate::WfId::from_index(i))
-                    .name()
-                    .to_owned(),
+                name: world.workflow(crate::WfId::from_index(i)).name().to_owned(),
                 ..WorkflowStats::default()
             })
             .collect();

@@ -207,10 +207,23 @@ pub struct UsageSample {
 pub(crate) enum Event {
     Arrival(RequestId),
     ColdStartDone(ContainerId),
-    ComputeDone { container: ContainerId, token: u64 },
-    EngineTimer { token: u64 },
-    StartFlow { path: Vec<LinkId>, bytes: f64, tag: u64 },
-    DirectDone { tag: u64, bytes: f64, started: SimTime },
+    ComputeDone {
+        container: ContainerId,
+        token: u64,
+    },
+    EngineTimer {
+        token: u64,
+    },
+    StartFlow {
+        path: Vec<LinkId>,
+        bytes: f64,
+        tag: u64,
+    },
+    DirectDone {
+        tag: u64,
+        bytes: f64,
+        started: SimTime,
+    },
 }
 
 #[derive(Debug)]
@@ -517,7 +530,8 @@ impl World {
         self.cold_starts += 1;
         let jit = self.rng.jitter(self.cfg.cold_start_jitter);
         let delay = SimDuration::from_secs_f64(self.cfg.cold_start.as_secs_f64() * jit);
-        self.queue.schedule(self.now + delay, Event::ColdStartDone(id));
+        self.queue
+            .schedule(self.now + delay, Event::ColdStartDone(id));
         Ok(id)
     }
 
@@ -577,7 +591,10 @@ impl World {
         self.cpu_busy.add(self.now.as_secs_f64(), cores);
         self.queue.schedule(
             self.now + SimDuration::from_secs_f64(secs),
-            Event::ComputeDone { container: c, token },
+            Event::ComputeDone {
+                container: c,
+                token,
+            },
         );
     }
 
@@ -630,7 +647,10 @@ impl World {
                 );
                 return;
             }
-            Route::Local { node, via_container } => {
+            Route::Local {
+                node,
+                via_container,
+            } => {
                 let mut path = Vec::with_capacity(2);
                 if let Some(c) = via_container {
                     path.push(self.containers[c.index()].egress);
@@ -668,14 +688,22 @@ impl World {
             Route::ToStorage { src } => {
                 let ctr = &self.containers[src.index()];
                 (
-                    vec![ctr.egress, self.nodes[ctr.node.index()].nic_out, self.storage_in],
+                    vec![
+                        ctr.egress,
+                        self.nodes[ctr.node.index()].nic_out,
+                        self.storage_in,
+                    ],
                     self.cfg.storage.op_latency,
                 )
             }
             Route::FromStorage { dst } => {
                 let ctr = &self.containers[dst.index()];
                 (
-                    vec![self.storage_out, self.nodes[ctr.node.index()].nic_in, ctr.ingress],
+                    vec![
+                        self.storage_out,
+                        self.nodes[ctr.node.index()].nic_in,
+                        ctr.ingress,
+                    ],
                     self.cfg.storage.op_latency,
                 )
             }
@@ -841,10 +869,7 @@ mod tests {
         assert!(w.request(r).latency().is_none());
         w.set_now(SimTime::from_secs(3));
         w.complete_request(r);
-        assert_eq!(
-            w.request(r).latency().unwrap(),
-            SimDuration::from_secs(2)
-        );
+        assert_eq!(w.request(r).latency().unwrap(), SimDuration::from_secs(2));
     }
 
     #[test]
@@ -875,7 +900,10 @@ mod tests {
         // 600 rpm for 60 s ≈ 600 arrivals; allow generous tolerance.
         let n = w.requests().len();
         assert!((450..=750).contains(&n), "n={n}");
-        assert!(w.requests().iter().all(|r| r.arrived < SimTime::from_secs(60)));
+        assert!(w
+            .requests()
+            .iter()
+            .all(|r| r.arrived < SimTime::from_secs(60)));
     }
 
     #[test]

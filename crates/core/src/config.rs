@@ -2,12 +2,11 @@
 
 use dataflower_cluster::ContainerSpec;
 use dataflower_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::pipe::CheckpointSchedule;
 
 /// Tunables of the DataFlower engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataFlowerConfig {
     /// Resource spec for containers the engine scales out.
     pub container_spec: ContainerSpec,
@@ -101,8 +100,7 @@ mod tests {
 
     #[test]
     fn scale_up_convenience() {
-        let c = DataFlowerConfig::default()
-            .with_container_spec(ContainerSpec::with_memory_mb(640));
+        let c = DataFlowerConfig::default().with_container_spec(ContainerSpec::with_memory_mb(640));
         assert_eq!(c.container_spec.memory_mb, 640);
     }
 }

@@ -283,7 +283,11 @@ impl<P: Placement> DataFlowerEngine<P> {
         }
         world.cache_add(raw_bytes);
         // Passive-expire timer; a no-op if consumed first.
-        let token = self.tokens.mint(Token::TtlExpire { req, func: dst, edge });
+        let token = self.tokens.mint(Token::TtlExpire {
+            req,
+            func: dst,
+            edge,
+        });
         world.timer(self.cfg.sink_ttl, token);
 
         world.request_mut(req).input_bytes[dst.index()] += raw_bytes;
@@ -349,18 +353,16 @@ impl<P: Placement> DataFlowerEngine<P> {
             self.arm_pump(world, wf, func);
             return;
         }
-        match world.start_container(home, wf, func, spec) {
-            Ok(c) => {
-                let cooldown = self.cfg.scale_cooldown;
-                let pool = self.pools.get_mut(&(wf, func)).expect("pool exists");
-                pool.starting += 1;
-                pool.next_scale_ok = now + cooldown;
-                self.container_pool_key.insert(c, (wf, func));
-                if want > pool.starting {
-                    self.arm_pump(world, wf, func);
-                }
+        // On Err the node is exhausted; invocations wait for idles.
+        if let Ok(c) = world.start_container(home, wf, func, spec) {
+            let cooldown = self.cfg.scale_cooldown;
+            let pool = self.pools.get_mut(&(wf, func)).expect("pool exists");
+            pool.starting += 1;
+            pool.next_scale_ok = now + cooldown;
+            self.container_pool_key.insert(c, (wf, func));
+            if want > pool.starting {
+                self.arm_pump(world, wf, func);
             }
-            Err(_) => {} // node exhausted; invocations wait for idles
         }
     }
 
@@ -371,7 +373,8 @@ impl<P: Placement> DataFlowerEngine<P> {
                 return;
             }
             pool.pump_armed = true;
-            pool.next_scale_ok.saturating_duration_since(world.now())
+            pool.next_scale_ok
+                .saturating_duration_since(world.now())
                 .max(SimDuration::from_millis(1))
         };
         let t = self.tokens.mint(Token::Pump { wf, func });
@@ -552,11 +555,10 @@ impl<P: Placement> DataFlowerEngine<P> {
 
         // Pressure-aware scaling (§5.2, Eq. 1).
         if self.cfg.pressure_aware && pipe_bytes_total > 0.0 {
-            let t_flu = self
-                .t_flu
-                .entry((wf, func))
-                .or_default()
-                .get_or(graph.function(func).work.core_secs(input_bytes) / world.container(container).spec.cores());
+            let t_flu = self.t_flu.entry((wf, func)).or_default().get_or(
+                graph.function(func).work.core_secs(input_bytes)
+                    / world.container(container).spec.cores(),
+            );
             let p = pressure_secs(self.cfg.alpha, pipe_bytes_total, bw, t_flu);
             if p > 0.0 {
                 self.pressure_blocks += 1;

@@ -11,10 +11,8 @@
 //! incrementally; after a fault, only bytes past the last checkpoint are
 //! re-sent and the engine ReDoes the failed producer from there.
 
-use serde::{Deserialize, Serialize};
-
 /// The three §7 data paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PipeKind {
     /// Direct socket for small payloads (no bandwidth modeling needed).
     DirectSocket,
@@ -63,7 +61,7 @@ pub fn choose_pipe(bytes: f64, direct_threshold: f64, same_node: bool) -> PipeKi
 /// // A 10 KiB transfer interrupted at 2.5 KiB re-sends 8 KiB.
 /// assert_eq!(cp.resume_bytes(10_240.0, 2560.0), 8192.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointSchedule {
     interval_bytes: f64,
 }

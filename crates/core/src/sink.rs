@@ -220,10 +220,34 @@ mod tests {
     #[test]
     fn insert_take_roundtrip() {
         let mut s = WaitMatchMemory::new();
-        s.insert(req(0), FnId::from_index(1), EdgeId::from_index(0), 100.0, SimTime::ZERO);
-        s.insert(req(0), FnId::from_index(1), EdgeId::from_index(1), 50.0, SimTime::ZERO);
-        s.insert(req(0), FnId::from_index(2), EdgeId::from_index(2), 7.0, SimTime::ZERO);
-        s.insert(req(1), FnId::from_index(1), EdgeId::from_index(0), 3.0, SimTime::ZERO);
+        s.insert(
+            req(0),
+            FnId::from_index(1),
+            EdgeId::from_index(0),
+            100.0,
+            SimTime::ZERO,
+        );
+        s.insert(
+            req(0),
+            FnId::from_index(1),
+            EdgeId::from_index(1),
+            50.0,
+            SimTime::ZERO,
+        );
+        s.insert(
+            req(0),
+            FnId::from_index(2),
+            EdgeId::from_index(2),
+            7.0,
+            SimTime::ZERO,
+        );
+        s.insert(
+            req(1),
+            FnId::from_index(1),
+            EdgeId::from_index(0),
+            3.0,
+            SimTime::ZERO,
+        );
         assert_eq!(s.len(), 4);
         assert_eq!(s.resident_memory_bytes(), 160.0);
 
@@ -233,18 +257,32 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.resident_memory_bytes(), 10.0);
         // Other request's identical (fn, edge) untouched.
-        assert!(s.get(req(1), FnId::from_index(1), EdgeId::from_index(0)).is_some());
+        assert!(s
+            .get(req(1), FnId::from_index(1), EdgeId::from_index(0))
+            .is_some());
     }
 
     #[test]
     fn spill_moves_tiers() {
         let mut s = WaitMatchMemory::new();
-        s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 40.0, SimTime::ZERO);
-        assert_eq!(s.spill(req(0), FnId::from_index(0), EdgeId::from_index(0)), Some(40.0));
+        s.insert(
+            req(0),
+            FnId::from_index(0),
+            EdgeId::from_index(0),
+            40.0,
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            s.spill(req(0), FnId::from_index(0), EdgeId::from_index(0)),
+            Some(40.0)
+        );
         assert_eq!(s.resident_memory_bytes(), 0.0);
         assert_eq!(s.resident_disk_bytes(), 40.0);
         // Second spill is a no-op.
-        assert_eq!(s.spill(req(0), FnId::from_index(0), EdgeId::from_index(0)), None);
+        assert_eq!(
+            s.spill(req(0), FnId::from_index(0), EdgeId::from_index(0)),
+            None
+        );
         // Taking a spilled entry clears disk accounting.
         let taken = s.take_inputs(req(0), FnId::from_index(0));
         assert_eq!(taken[0].1.tier, Tier::Disk);
@@ -254,8 +292,20 @@ mod tests {
     #[test]
     fn duplicate_insert_replaces_accounting() {
         let mut s = WaitMatchMemory::new();
-        s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 10.0, SimTime::ZERO);
-        let prev = s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 30.0, SimTime::from_secs(1));
+        s.insert(
+            req(0),
+            FnId::from_index(0),
+            EdgeId::from_index(0),
+            10.0,
+            SimTime::ZERO,
+        );
+        let prev = s.insert(
+            req(0),
+            FnId::from_index(0),
+            EdgeId::from_index(0),
+            30.0,
+            SimTime::from_secs(1),
+        );
         assert_eq!(prev.unwrap().bytes, 10.0);
         assert_eq!(s.resident_memory_bytes(), 30.0);
         assert_eq!(s.len(), 1);
@@ -265,9 +315,21 @@ mod tests {
     fn drop_request_clears_everything() {
         let mut s = WaitMatchMemory::new();
         for f in 0..3 {
-            s.insert(req(5), FnId::from_index(f), EdgeId::from_index(f), 1.0, SimTime::ZERO);
+            s.insert(
+                req(5),
+                FnId::from_index(f),
+                EdgeId::from_index(f),
+                1.0,
+                SimTime::ZERO,
+            );
         }
-        s.insert(req(6), FnId::from_index(0), EdgeId::from_index(0), 1.0, SimTime::ZERO);
+        s.insert(
+            req(6),
+            FnId::from_index(0),
+            EdgeId::from_index(0),
+            1.0,
+            SimTime::ZERO,
+        );
         assert_eq!(s.drop_request(req(5)), 3);
         assert_eq!(s.len(), 1);
         assert_eq!(s.resident_memory_bytes(), 1.0);
@@ -276,9 +338,21 @@ mod tests {
     #[test]
     fn peak_tracks_high_water_mark() {
         let mut s = WaitMatchMemory::new();
-        s.insert(req(0), FnId::from_index(0), EdgeId::from_index(0), 100.0, SimTime::ZERO);
+        s.insert(
+            req(0),
+            FnId::from_index(0),
+            EdgeId::from_index(0),
+            100.0,
+            SimTime::ZERO,
+        );
         s.take_inputs(req(0), FnId::from_index(0));
-        s.insert(req(1), FnId::from_index(0), EdgeId::from_index(0), 10.0, SimTime::ZERO);
+        s.insert(
+            req(1),
+            FnId::from_index(0),
+            EdgeId::from_index(0),
+            10.0,
+            SimTime::ZERO,
+        );
         assert_eq!(s.peak_memory_bytes(), 100.0);
     }
 }

@@ -19,7 +19,12 @@ fn wordcount(fan_out: usize, input_mb: f64) -> Arc<Workflow> {
     b.client_input(start, "text", SizeModel::Fixed(input_mb * MB));
     for i in 0..fan_out {
         let count = b.function(format!("count_{i}"), WorkModel::new(0.002, 0.03));
-        b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0 / fan_out as f64));
+        b.edge(
+            start,
+            count,
+            "file",
+            SizeModel::ScaleOfInput(1.0 / fan_out as f64),
+        );
         b.edge(count, merge, "counts", SizeModel::ScaleOfInput(0.08));
     }
     b.client_output(merge, "result", SizeModel::Fixed(2048.0));
@@ -92,7 +97,8 @@ fn early_triggering_starts_children_before_parent_finishes() {
     let wf = world.add_workflow(Arc::clone(&wf_def));
     world.submit_request(wf, 2.0 * MB, SimTime::ZERO);
     world.submit_request(wf, 2.0 * MB, SimTime::from_secs(20));
-    let mut engine = DataFlowerEngine::new(DataFlowerConfig::default(), SingleNodePlacement::default());
+    let mut engine =
+        DataFlowerEngine::new(DataFlowerConfig::default(), SingleNodePlacement::default());
     run_to_idle(&mut world, &mut engine);
 
     let s0 = wf_def.function_by_name("s0").unwrap();
@@ -204,8 +210,10 @@ fn sink_ttl_spills_unconsumed_data() {
     b.client_output(merge, "out", SizeModel::Fixed(128.0));
     let wf_def = Arc::new(b.build().unwrap());
 
-    let mut cfg = DataFlowerConfig::default();
-    cfg.sink_ttl = SimDuration::from_secs(5);
+    let cfg = DataFlowerConfig {
+        sink_ttl: SimDuration::from_secs(5),
+        ..DataFlowerConfig::default()
+    };
     let mut world = World::new(ClusterConfig::default());
     let wf = world.add_workflow(wf_def);
     world.submit_request(wf, MB, SimTime::ZERO);
@@ -223,8 +231,10 @@ fn sink_ttl_spills_unconsumed_data() {
 
 #[test]
 fn keep_alive_retires_idle_containers_but_not_draining_ones() {
-    let mut cluster = ClusterConfig::default();
-    cluster.keep_alive = SimDuration::from_secs(5);
+    let cluster = ClusterConfig {
+        keep_alive: SimDuration::from_secs(5),
+        ..ClusterConfig::default()
+    };
     let mut world = World::new(cluster);
     let wf = world.add_workflow(wordcount(2, 2.0));
     world.submit_request(wf, 2.0 * MB, SimTime::ZERO);

@@ -4,8 +4,6 @@
 //! for t seconds = N·t GB·s" (§9.2) and cache usage is MB·s (§9.4).
 //! [`StepIntegral`] computes ∫ value·dt for a piecewise-constant signal.
 
-use serde::{Deserialize, Serialize};
-
 /// Integrates a step function of virtual time.
 ///
 /// Feed it `(time_seconds, new_value)` transitions in order; the integral
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// m.set(3.0, 1.0);
 /// assert_eq!(m.finish(5.0), 8.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepIntegral {
     last_t: f64,
     value: f64,
@@ -47,7 +45,11 @@ impl StepIntegral {
     pub fn set(&mut self, t: f64, value: f64) {
         assert!(t.is_finite() && value.is_finite(), "non-finite integrand");
         if self.started {
-            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
             self.acc += self.value * (t - self.last_t);
         }
         self.started = true;
@@ -88,7 +90,11 @@ impl StepIntegral {
         if !self.started {
             return 0.0;
         }
-        assert!(end >= self.last_t, "end {end} precedes last transition {}", self.last_t);
+        assert!(
+            end >= self.last_t,
+            "end {end} precedes last transition {}",
+            self.last_t
+        );
         self.acc + self.value * (end - self.last_t)
     }
 }

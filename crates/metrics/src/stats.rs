@@ -1,7 +1,5 @@
 //! Sample collection and descriptive statistics (percentiles, mean, σ).
 
-use serde::{Deserialize, Serialize};
-
 /// A collector of scalar samples (latencies in seconds, sizes in bytes, …)
 /// supporting exact order statistics.
 ///
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.percentile(0.50), 3.0);
 /// assert_eq!(s.max(), 10.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Samples {
     values: Vec<f64>,
 }
@@ -74,8 +72,8 @@ impl Samples {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 
@@ -93,7 +91,10 @@ impl Samples {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -181,7 +182,7 @@ impl FromIterator<f64> for Samples {
 }
 
 /// Point-in-time digest of a [`Samples`] distribution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StatSummary {
     /// Number of samples.
     pub count: usize,
@@ -240,7 +241,9 @@ mod tests {
 
     #[test]
     fn std_dev_known_value() {
-        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
     }
 

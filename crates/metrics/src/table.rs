@@ -102,7 +102,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---|").collect::<String>().trim_end_matches('|')
+            self.headers
+                .iter()
+                .map(|_| "---|")
+                .collect::<String>()
+                .trim_end_matches('|')
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));

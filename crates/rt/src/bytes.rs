@@ -1,0 +1,111 @@
+//! Cheap-to-clone immutable byte buffers.
+//!
+//! A std-only stand-in for the `bytes` crate: a [`Bytes`] value is an
+//! `Arc<[u8]>`, so cloning it for every output edge a payload fans out to
+//! is a reference-count bump, never a copy.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte payload.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_rt::Bytes;
+///
+/// let b = Bytes::from_static(b"dataflower");
+/// let c = b.clone(); // O(1): shares the same allocation
+/// assert_eq!(&*c, b"dataflower");
+/// assert_eq!(Bytes::from(String::from("hi")).len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Wraps a static byte slice. (Unlike the `bytes` crate this copies
+    /// once into a shared allocation; all clones still share it.)
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(bytes))
+    }
+
+    /// Copies a slice into a new shared allocation.
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes(Arc::from(bytes))
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes(Arc::from(s))
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes(Arc::from(s.as_bytes()))
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} B)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref(), b.as_ref()));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(&*Bytes::from_static(b"x"), b"x");
+        assert_eq!(&*Bytes::from(String::from("ab")), b"ab");
+        assert_eq!(&*Bytes::from("cd"), b"cd");
+        assert_eq!(&*Bytes::copy_from_slice(&[9u8]), &[9u8]);
+        assert!(Bytes::default().is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! A small in-tree MPMC channel (bounded and unbounded).
+//!
+//! Std-only replacement for `crossbeam_channel`, providing the two
+//! properties the runtime needs that `std::sync::mpsc` lacks:
+//!
+//! * **cloneable receivers** — several FLU executor threads drain one
+//!   invocation queue;
+//! * **blocking bounded send** — a full DLU queue blocks `put`, which is
+//!   the backpressure of the paper's Fig. 6a.
+//!
+//! Disconnection mirrors crossbeam: `recv` fails once the queue is empty
+//! and every sender is gone; `send` fails once every receiver is gone.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are dropped; the
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half; clone freely.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half; clone freely (messages go to exactly one receiver).
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Creates a channel that holds at most `capacity` queued messages;
+/// `send` on a full channel blocks until a receiver drains it.
+///
+/// A `capacity` of 0 is clamped to 1: rendezvous channels (send blocks
+/// until a receiver takes the message) are not supported, so the
+/// strictest available backpressure is a single-slot buffer.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(capacity.max(1)))
+}
+
+/// Creates a channel with no queue limit; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match inner.capacity {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self.0.not_full.wait(inner).expect("channel lock poisoned");
+                }
+                _ => break,
+            }
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and every sender
+    /// has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel lock poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            // Wake blocked receivers so they observe disconnection.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            drop(inner);
+            // Wake blocked senders so they observe disconnection.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            // Blocks until the main thread drains the slot.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_stream() {
+        let (tx, rx1) = unbounded::<u32>();
+        let rx2 = rx1.clone();
+        let consumer = |rx: Receiver<u32>| {
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        let a = consumer(rx1);
+        let b = consumer(rx2);
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all = a.join().unwrap();
+        all.extend(b.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+}

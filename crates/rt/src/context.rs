@@ -2,9 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
-use crossbeam_channel::Sender;
-
+use crate::bytes::Bytes;
+use crate::channel::Sender;
 use crate::runtime::{DluMsg, ReqId};
 
 /// Destination selector for [`FluContext::put_to`].

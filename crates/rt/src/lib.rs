@@ -26,10 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
+mod channel;
 mod context;
 mod error;
 mod runtime;
 
+pub use bytes::Bytes;
 pub use context::{FluContext, PutTarget};
 pub use error::RtError;
 pub use runtime::{ReqId, RtConfig, RtStats, Runtime, RuntimeBuilder};

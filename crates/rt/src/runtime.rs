@@ -19,15 +19,14 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow};
-use parking_lot::{Condvar, Mutex};
 
+use crate::bytes::Bytes;
+use crate::channel::{bounded, unbounded, Receiver, Sender};
 use crate::context::{FluContext, PutTarget};
 use crate::error::RtError;
 
@@ -45,7 +44,8 @@ impl fmt::Display for ReqId {
 #[derive(Debug, Clone)]
 pub struct RtConfig {
     /// Capacity of each function's DLU queue; a full queue blocks `put`
-    /// (backpressure).
+    /// (backpressure). A value of 0 is treated as 1 (single-slot buffer,
+    /// the strictest backpressure the in-tree channel supports).
     pub dlu_queue_capacity: usize,
     /// Default number of FLU executor threads per function.
     pub flu_replicas: usize,
@@ -279,8 +279,7 @@ impl RuntimeBuilder {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use bytes::Bytes;
-/// use dataflower_rt::RuntimeBuilder;
+/// use dataflower_rt::{Bytes, RuntimeBuilder};
 /// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
 ///
 /// let mut b = WorkflowBuilder::new("pipeline");
@@ -342,17 +341,21 @@ impl Runtime {
             .client_outputs()
             .filter(|e| active.edge_active(*e))
             .count();
-        self.inner.reqs.lock().insert(
-            req.0,
-            ReqState {
-                active,
-                missing,
-                sink: HashMap::new(),
-                outputs_missing,
-                outputs: Vec::new(),
-                errors: Vec::new(),
-            },
-        );
+        self.inner
+            .reqs
+            .lock()
+            .expect("runtime lock poisoned")
+            .insert(
+                req.0,
+                ReqState {
+                    active,
+                    missing,
+                    sink: HashMap::new(),
+                    outputs_missing,
+                    outputs: Vec::new(),
+                    errors: Vec::new(),
+                },
+            );
 
         // Deliver the client inputs by data name.
         for (name, payload) in inputs {
@@ -361,13 +364,20 @@ impl Runtime {
                 let e = wf.edge(eid);
                 if e.data_name == name {
                     matched = true;
-                    deliver(&self.inner, req, eid, format!("{name}@$USER"), payload.clone());
+                    deliver(
+                        &self.inner,
+                        req,
+                        eid,
+                        format!("{name}@$USER"),
+                        payload.clone(),
+                    );
                 }
             }
             if !matched {
-                let mut reqs = self.inner.reqs.lock();
+                let mut reqs = self.inner.reqs.lock().expect("runtime lock poisoned");
                 if let Some(rs) = reqs.get_mut(&req.0) {
-                    rs.errors.push(format!("no client input edge named `{name}`"));
+                    rs.errors
+                        .push(format!("no client input edge named `{name}`"));
                 }
             }
         }
@@ -384,7 +394,7 @@ impl Runtime {
     /// for a foreign id.
     pub fn wait(&self, req: ReqId, timeout: Duration) -> Result<Vec<(String, Bytes)>, RtError> {
         let deadline = Instant::now() + timeout;
-        let mut reqs = self.inner.reqs.lock();
+        let mut reqs = self.inner.reqs.lock().expect("runtime lock poisoned");
         loop {
             let rs = reqs.get(&req.0).ok_or(RtError::UnknownRequest)?;
             if !rs.errors.is_empty() {
@@ -398,7 +408,12 @@ impl Runtime {
             if now >= deadline {
                 return Err(RtError::Timeout);
             }
-            self.inner.done.wait_until(&mut reqs, deadline);
+            reqs = self
+                .inner
+                .done
+                .wait_timeout(reqs, deadline - now)
+                .expect("runtime lock poisoned")
+                .0;
         }
     }
 
@@ -492,7 +507,7 @@ fn route(inner: &Inner, msg: DluMsg) {
         return;
     };
     let active = {
-        let reqs = inner.reqs.lock();
+        let reqs = inner.reqs.lock().expect("runtime lock poisoned");
         match reqs.get(&msg.req.0) {
             Some(rs) => rs.active.clone(),
             None => return, // request already collected
@@ -506,9 +521,7 @@ fn route(inner: &Inner, msg: DluMsg) {
         }
         let target_ok = match (&msg.target, e.target) {
             (PutTarget::All, _) => true,
-            (PutTarget::Function(name), Endpoint::Function(t)) => {
-                wf.function(t).name == *name
-            }
+            (PutTarget::Function(name), Endpoint::Function(t)) => wf.function(t).name == *name,
             (PutTarget::Function(_), Endpoint::Client) => false,
         };
         if !target_ok {
@@ -520,9 +533,10 @@ fn route(inner: &Inner, msg: DluMsg) {
         }
         match e.target {
             Endpoint::Client => {
-                let mut reqs = inner.reqs.lock();
+                let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
                 if let Some(rs) = reqs.get_mut(&msg.req.0) {
-                    rs.outputs.push((msg.data_name.clone(), msg.payload.clone()));
+                    rs.outputs
+                        .push((msg.data_name.clone(), msg.payload.clone()));
                     rs.outputs_missing = rs.outputs_missing.saturating_sub(1);
                     if rs.outputs_missing == 0 {
                         inner.done.notify_all();
@@ -536,7 +550,7 @@ fn route(inner: &Inner, msg: DluMsg) {
         }
     }
     if !matched {
-        let mut reqs = inner.reqs.lock();
+        let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
         if let Some(rs) = reqs.get_mut(&msg.req.0) {
             rs.errors.push(format!(
                 "function `{}` put unknown data `{}`",
@@ -558,7 +572,7 @@ fn deliver(inner: &Inner, req: ReqId, edge: EdgeId, key: String, payload: Bytes)
     };
     inner.counters.deliveries.fetch_add(1, Ordering::Relaxed);
     let ready = {
-        let mut reqs = inner.reqs.lock();
+        let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
         let Some(rs) = reqs.get_mut(&req.0) else {
             return;
         };
@@ -607,7 +621,7 @@ fn janitor(inner: Arc<Inner>, ttl: Duration) {
     while !inner.shutdown.load(Ordering::Relaxed) {
         std::thread::sleep(tick);
         let now = Instant::now();
-        let mut reqs = inner.reqs.lock();
+        let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
         for rs in reqs.values_mut() {
             for entries in rs.sink.values_mut() {
                 for entry in entries.values_mut() {

@@ -4,8 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use dataflower_rt::{RtConfig, RtError, RuntimeBuilder};
+use dataflower_rt::{Bytes, RtConfig, RtError, RuntimeBuilder};
 use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder};
 
 fn wc_workflow(fan_out: usize) -> Arc<Workflow> {
@@ -34,7 +33,11 @@ fn build_wc(fan_out: usize) -> dataflower_rt::Runtime {
             let lo = (i * shard).min(words.len());
             let hi = ((i + 1) * shard).min(words.len());
             let chunk = words[lo..hi].join(" ");
-            ctx.put_to("file", format!("count_{i}"), Bytes::from(chunk.into_bytes()));
+            ctx.put_to(
+                "file",
+                format!("count_{i}"),
+                Bytes::from(chunk.into_bytes()),
+            );
         }
     });
     for i in 0..fan_out {

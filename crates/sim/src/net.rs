@@ -168,7 +168,10 @@ impl FlowNet {
     ///
     /// Panics if `bytes` is negative or not finite.
     pub fn start_flow(&mut self, now: SimTime, path: &[LinkId], bytes: f64, tag: u64) -> FlowId {
-        assert!(bytes.is_finite() && bytes >= 0.0, "flow size must be non-negative");
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be non-negative"
+        );
         self.settle(now);
         let id = self.next_flow;
         self.next_flow += 1;
@@ -252,7 +255,10 @@ impl FlowNet {
                 .filter(|(_, f)| f.remaining <= COMPLETE_EPS_BYTES)
                 .map(|(id, _)| *id)
                 .collect();
-            debug_assert!(!finished.is_empty(), "completion time with no finished flow");
+            debug_assert!(
+                !finished.is_empty(),
+                "completion time with no finished flow"
+            );
             for id in finished {
                 let flow = self.flows.remove(&id).expect("listed flow exists");
                 for l in &flow.path {
@@ -297,7 +303,10 @@ impl FlowNet {
     /// Sum of all flow rates, in bytes per second (network busyness for
     /// usage timelines).
     pub fn total_rate(&self) -> f64 {
-        self.flows.values().map(|f| if f.rate.is_finite() { f.rate } else { 0.0 }).sum()
+        self.flows
+            .values()
+            .map(|f| if f.rate.is_finite() { f.rate } else { 0.0 })
+            .sum()
     }
 
     /// Progressive-filling max–min fair allocation.

@@ -52,7 +52,10 @@ impl CapacityPool {
     ///
     /// Panics if `total` is negative or not finite.
     pub fn new(total: f64) -> Self {
-        assert!(total.is_finite() && total >= 0.0, "pool capacity must be non-negative");
+        assert!(
+            total.is_finite() && total >= 0.0,
+            "pool capacity must be non-negative"
+        );
         CapacityPool { total, used: 0.0 }
     }
 
@@ -96,7 +99,10 @@ impl CapacityPool {
     ///
     /// Panics if `amount` is negative or not finite.
     pub fn reserve(&mut self, amount: f64) -> Result<(), ExhaustedError> {
-        assert!(amount.is_finite() && amount >= 0.0, "reserve amount must be non-negative");
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "reserve amount must be non-negative"
+        );
         if !self.fits(amount) {
             return Err(ExhaustedError {
                 requested: amount,

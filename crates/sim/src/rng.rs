@@ -1,7 +1,8 @@
 //! Deterministic random number generation for simulations.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Implemented in-tree (xoshiro256++ seeded via SplitMix64) so the
+//! workspace stays dependency-free and streams are stable across
+//! toolchains: the same seed yields the same draws forever.
 
 /// A seeded random source with the distribution helpers simulations need.
 ///
@@ -25,26 +26,56 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Derives an independent child generator. The parent advances by one
     /// draw; the child stream is unrelated to subsequent parent draws.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.random::<u64>())
+        SimRng::seed_from(self.next_u64())
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Next value in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -53,8 +84,11 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad uniform range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad uniform range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.unit()
     }
 
     /// Uniform integer draw in `[0, n)`.
@@ -64,7 +98,20 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index over empty range");
-        self.inner.random_range(0..n)
+        // Debiased multiply-shift (Lemire): uniform over [0, n).
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Exponential draw with the given `mean` (e.g. Poisson inter-arrival
@@ -74,8 +121,12 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exp mean must be positive, got {mean}");
-        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exp mean must be positive, got {mean}"
+        );
+        // Map to (0, 1]: never ln(0).
+        let u = 1.0 - self.unit();
         -mean * u.ln()
     }
 
@@ -86,7 +137,10 @@ impl SimRng {
     ///
     /// Panics unless `0 <= spread < 1`.
     pub fn jitter(&mut self, spread: f64) -> f64 {
-        assert!((0.0..1.0).contains(&spread), "jitter spread must be in [0,1), got {spread}");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "jitter spread must be in [0,1), got {spread}"
+        );
         if spread == 0.0 {
             1.0
         } else {
@@ -106,7 +160,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random_range(0.0..1.0) < p
+            self.unit() < p
         }
     }
 }
@@ -122,6 +176,13 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]
@@ -152,6 +213,16 @@ mod tests {
             let x = r.uniform(5.0, 6.0);
             assert!((5.0..6.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn index_within_bounds_and_covers() {
+        let mut r = SimRng::seed_from(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.index(7)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "some residues never drawn");
     }
 
     #[test]

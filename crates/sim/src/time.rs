@@ -9,8 +9,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute instant on the virtual clock, in microseconds since the
 /// start of the simulation.
 ///
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 5_000);
 /// assert_eq!(t.as_secs_f64(), 0.005);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
@@ -37,7 +35,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_micros(), 1_500_000);
 /// assert_eq!(d * 2, SimDuration::from_secs(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -82,7 +80,10 @@ impl SimTime {
     ///
     /// Panics in debug builds if `earlier` is later than `self`.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(earlier <= self, "duration_since: earlier={earlier} > self={self}");
+        debug_assert!(
+            earlier <= self,
+            "duration_since: earlier={earlier} > self={self}"
+        );
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
@@ -119,7 +120,7 @@ impl SimDuration {
     /// Negative and NaN inputs clamp to zero; overflow clamps to
     /// [`SimDuration::MAX`].
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         let us = (secs * 1e6).ceil();

@@ -30,7 +30,9 @@ impl<T> Default for Trace<T> {
 impl<T> Trace<T> {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        Trace { entries: Vec::new() }
+        Trace {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends an observation.
@@ -131,12 +133,9 @@ mod tests {
 
     #[test]
     fn collect_and_iterate() {
-        let t: Trace<&str> = vec![
-            (SimTime::ZERO, "a"),
-            (SimTime::from_secs(1), "b"),
-        ]
-        .into_iter()
-        .collect();
+        let t: Trace<&str> = vec![(SimTime::ZERO, "a"), (SimTime::from_secs(1), "b")]
+            .into_iter()
+            .collect();
         let names: Vec<&str> = t.iter().map(|(_, v)| *v).collect();
         assert_eq!(names, vec!["a", "b"]);
         let owned: Vec<_> = t.into_iter().collect();

@@ -1,7 +1,7 @@
 //! Workflow analysis utilities: Graphviz export and critical-path
 //! estimation.
 
-use crate::graph::{Endpoint, FnId, Workflow};
+use crate::graph::{Endpoint, Workflow};
 
 impl Workflow {
     /// Renders the data-flow graph in Graphviz DOT format (client
@@ -39,7 +39,11 @@ impl Workflow {
                 Endpoint::Client => "$USER".to_owned(),
                 Endpoint::Function(t) => self.function(t).name.clone(),
             };
-            let style = if e.switch.is_some() { ", style=dashed" } else { "" };
+            let style = if e.switch.is_some() {
+                ", style=dashed"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  \"{src}\" -> \"{dst}\" [label=\"{}\"{style}];",
@@ -66,7 +70,7 @@ impl Workflow {
         // Propagate sizes, then the longest work chain, in topo order.
         let mut chain = vec![0.0f64; n];
         let mut best: f64 = 0.0;
-        for f in self.topo_order().iter().copied().collect::<Vec<FnId>>() {
+        for f in self.topo_order().to_vec() {
             // Inputs from predecessors were accumulated already (topo order).
             let work = self.function(f).work.core_secs(input_bytes[f.index()]);
             let longest_pred = self

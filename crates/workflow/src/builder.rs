@@ -144,7 +144,11 @@ impl WorkflowBuilder {
     /// Returns a [`WorkflowError`] describing the first structural problem
     /// found (cycle, unreachable function, missing inputs/outputs, …).
     pub fn build(&self) -> Result<Workflow, WorkflowError> {
-        Workflow::validate_and_build(self.name.clone(), self.functions.clone(), self.edges.clone())
+        Workflow::validate_and_build(
+            self.name.clone(),
+            self.functions.clone(),
+            self.edges.clone(),
+        )
     }
 }
 

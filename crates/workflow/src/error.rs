@@ -41,12 +41,17 @@ impl fmt::Display for WorkflowError {
             WorkflowError::BadName(n) => write!(f, "invalid name `{n}`"),
             WorkflowError::Cycle(n) => write!(f, "data dependency cycle through `{n}`"),
             WorkflowError::NoClientInput => write!(f, "no client input edge"),
-            WorkflowError::Unreachable(n) => write!(f, "function `{n}` unreachable from client input"),
+            WorkflowError::Unreachable(n) => {
+                write!(f, "function `{n}` unreachable from client input")
+            }
             WorkflowError::NoInputs(n) => write!(f, "function `{n}` has no input edges"),
             WorkflowError::NoOutputs(n) => write!(f, "function `{n}` has no output edges"),
             WorkflowError::BadSizeModel(m) => write!(f, "{m}"),
             WorkflowError::MixedSwitchGroup(g) => {
-                write!(f, "switch group {g} mixes edges from different source functions")
+                write!(
+                    f,
+                    "switch group {g} mixes edges from different source functions"
+                )
             }
             WorkflowError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             WorkflowError::BadSpec(m) => write!(f, "invalid workflow spec: {m}"),

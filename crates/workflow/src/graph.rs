@@ -5,13 +5,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::WorkflowError;
 use crate::model::{SizeModel, WorkModel};
 
 /// Index of a function within its [`Workflow`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FnId(u32);
 
 impl FnId {
@@ -39,7 +37,7 @@ impl fmt::Display for FnId {
 }
 
 /// Index of a data edge within its [`Workflow`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -63,7 +61,7 @@ impl fmt::Display for EdgeId {
 
 /// One end of a data edge: the invoking client (`$USER` in the paper's
 /// Fig. 7 spec) or a workflow function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// The workflow invoker: source of the initial input, sink of results.
     Client,
@@ -73,7 +71,7 @@ pub enum Endpoint {
 
 /// Switch routing attribute: edges sharing a `group` are alternatives of
 /// one `switch`; exactly one `case` per group is taken per request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SwitchCase {
     /// Which switch this edge belongs to (scoped to the source function).
     pub group: u32,
@@ -85,7 +83,7 @@ pub struct SwitchCase {
 /// to `target`. The data-flow paradigm's graph is exactly this edge set;
 /// the control-flow paradigm derives "trigger when predecessors complete"
 /// from the same edges.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataEdge {
     /// Producer of the data.
     pub source: Endpoint,
@@ -100,7 +98,7 @@ pub struct DataEdge {
 }
 
 /// A function declaration: its name and CPU cost model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionDef {
     /// Unique (within the workflow) function name.
     pub name: String,
@@ -135,7 +133,7 @@ pub struct FunctionDef {
 /// assert_eq!(wf.topo_order().len(), 3);
 /// # Ok::<(), dataflower_workflow::WorkflowError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workflow {
     name: String,
     functions: Vec<FunctionDef>,
@@ -167,9 +165,7 @@ impl Workflow {
             }
         }
         for e in &edges {
-            e.size
-                .validate()
-                .map_err(WorkflowError::BadSizeModel)?;
+            e.size.validate().map_err(WorkflowError::BadSizeModel)?;
         }
 
         let n = functions.len();
@@ -595,7 +591,10 @@ mod tests {
         b.edge(helper, orphan, "x", SizeModel::Fixed(1.0));
         b.edge(orphan, helper, "y", SizeModel::Fixed(1.0));
         let err = b.build().unwrap_err();
-        assert!(matches!(err, WorkflowError::Cycle(_) | WorkflowError::Unreachable(_)));
+        assert!(matches!(
+            err,
+            WorkflowError::Cycle(_) | WorkflowError::Unreachable(_)
+        ));
     }
 
     #[test]
@@ -611,7 +610,10 @@ mod tests {
         let mut b = WorkflowBuilder::new("d");
         b.function("a", WorkModel::fixed(0.1));
         b.function("a", WorkModel::fixed(0.1));
-        assert!(matches!(b.build(), Err(WorkflowError::DuplicateFunction(_))));
+        assert!(matches!(
+            b.build(),
+            Err(WorkflowError::DuplicateFunction(_))
+        ));
     }
 
     #[test]

@@ -42,13 +42,12 @@ mod analyze;
 mod builder;
 mod error;
 mod graph;
+pub mod json;
 mod model;
 pub mod spec;
 
 pub use builder::WorkflowBuilder;
 pub use error::WorkflowError;
-pub use graph::{
-    ActiveGraph, DataEdge, EdgeId, Endpoint, FnId, FunctionDef, SwitchCase, Workflow,
-};
+pub use graph::{ActiveGraph, DataEdge, EdgeId, Endpoint, FnId, FunctionDef, SwitchCase, Workflow};
 pub use model::{SizeModel, WorkModel, KB, MB};
 pub use spec::WorkflowSpec;

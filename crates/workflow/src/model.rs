@@ -5,8 +5,6 @@
 //! exactly that information, so one workflow definition serves both the
 //! simulated engines and (ignored there) the live runtime.
 
-use serde::{Deserialize, Serialize};
-
 /// One kibibyte in bytes.
 pub const KB: f64 = 1024.0;
 /// One mebibyte in bytes.
@@ -25,7 +23,7 @@ pub const MB: f64 = 1024.0 * 1024.0;
 /// let m = WorkModel::new(0.05, 0.02);
 /// assert_eq!(m.core_secs(10.0 * MB), 0.05 + 0.2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkModel {
     /// Fixed cost per invocation, core-seconds.
     pub base_core_secs: f64,
@@ -82,7 +80,7 @@ impl Default for WorkModel {
 /// assert_eq!(SizeModel::Fixed(100.0).bytes(1e9), 100.0);
 /// assert_eq!(SizeModel::ScaleOfInput(0.25).bytes(4.0 * MB), MB);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeModel {
     /// A constant number of bytes regardless of input.
     Fixed(f64),

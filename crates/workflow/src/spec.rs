@@ -3,12 +3,12 @@
 //! Mirrors the paper's Fig. 7 pseudocode: per function, the sources of its
 //! inputs and the destinations of its outputs, with `$USER` denoting the
 //! invoking client. Specs round-trip through JSON so workflows can live
-//! on disk next to the application.
-
-use serde::{Deserialize, Serialize};
+//! on disk next to the application (serialized by the in-tree
+//! [`crate::json`] module — no external dependencies).
 
 use crate::error::WorkflowError;
 use crate::graph::{Endpoint, SwitchCase, Workflow};
+use crate::json::{self, Value};
 use crate::model::{SizeModel, WorkModel};
 use crate::WorkflowBuilder;
 
@@ -17,7 +17,7 @@ pub const USER_ENDPOINT: &str = "$USER";
 
 /// Declares one output of a function: its data name, destination and size
 /// model, optionally guarded by a switch case.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutputSpec {
     /// Logical data name.
     pub data: String,
@@ -26,14 +26,13 @@ pub struct OutputSpec {
     /// Size of the data relative to the function's input.
     pub size: SizeModel,
     /// Optional switch routing `(group, case)`.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub switch: Option<(u32, u32)>,
 }
 
 /// Declares one function: its cost model and outputs. Inputs are implied
 /// by other functions' (and the client's) outputs, exactly as in Fig. 7
 /// where every edge is declared once at its producer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionSpec {
     /// Unique function name.
     pub name: String,
@@ -75,12 +74,12 @@ pub struct FunctionSpec {
 /// assert_eq!(wf.function_count(), 1);
 ///
 /// // Round-trip through JSON.
-/// let json = serde_json::to_string(&spec).unwrap();
-/// let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
+/// let json = spec.to_json();
+/// let back = WorkflowSpec::from_json(&json).unwrap();
 /// assert_eq!(back.compile()?.name(), "wordcount");
 /// # Ok::<(), dataflower_workflow::WorkflowError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkflowSpec {
     /// Workflow name.
     pub workflow_name: String,
@@ -91,7 +90,7 @@ pub struct WorkflowSpec {
 }
 
 /// Declares a client input: the initial data injected by the invoker.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputSpec {
     /// Logical data name.
     pub data: String,
@@ -189,7 +188,17 @@ impl WorkflowSpec {
 
     /// Serializes the spec to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+        let inputs = self.inputs.iter().map(input_to_value).collect();
+        let dataflows = self.dataflows.iter().map(function_to_value).collect();
+        Value::Obj(vec![
+            (
+                "workflow_name".into(),
+                Value::Str(self.workflow_name.clone()),
+            ),
+            ("inputs".into(), Value::Arr(inputs)),
+            ("dataflows".into(), Value::Arr(dataflows)),
+        ])
+        .pretty()
     }
 
     /// Parses a spec from JSON.
@@ -198,9 +207,163 @@ impl WorkflowSpec {
     ///
     /// Returns [`WorkflowError::BadSpec`] when the JSON does not describe
     /// a spec.
-    pub fn from_json(json: &str) -> Result<WorkflowSpec, WorkflowError> {
-        serde_json::from_str(json).map_err(|e| WorkflowError::BadSpec(e.to_string()))
+    pub fn from_json(text: &str) -> Result<WorkflowSpec, WorkflowError> {
+        let v = json::parse(text).map_err(WorkflowError::BadSpec)?;
+        spec_from_value(&v).map_err(WorkflowError::BadSpec)
     }
+}
+
+// ---- JSON encoding ------------------------------------------------------
+//
+// The layout matches what a derive-based serializer would emit: structs as
+// objects, `SizeModel` externally tagged (`{"Fixed": 64.0}`), the optional
+// `switch` key omitted when absent.
+
+fn size_to_value(size: &SizeModel) -> Value {
+    match *size {
+        SizeModel::Fixed(b) => Value::Obj(vec![("Fixed".into(), Value::Num(b))]),
+        SizeModel::ScaleOfInput(f) => Value::Obj(vec![("ScaleOfInput".into(), Value::Num(f))]),
+        SizeModel::Affine { fixed, factor } => Value::Obj(vec![(
+            "Affine".into(),
+            Value::Obj(vec![
+                ("fixed".into(), Value::Num(fixed)),
+                ("factor".into(), Value::Num(factor)),
+            ]),
+        )]),
+    }
+}
+
+fn work_to_value(work: &WorkModel) -> Value {
+    Value::Obj(vec![
+        ("base_core_secs".into(), Value::Num(work.base_core_secs)),
+        ("per_mb_core_secs".into(), Value::Num(work.per_mb_core_secs)),
+    ])
+}
+
+fn input_to_value(inp: &InputSpec) -> Value {
+    Value::Obj(vec![
+        ("data".into(), Value::Str(inp.data.clone())),
+        ("destination".into(), Value::Str(inp.destination.clone())),
+        ("size".into(), size_to_value(&inp.size)),
+    ])
+}
+
+fn output_to_value(out: &OutputSpec) -> Value {
+    let mut pairs = vec![
+        ("data".into(), Value::Str(out.data.clone())),
+        ("destination".into(), Value::Str(out.destination.clone())),
+        ("size".into(), size_to_value(&out.size)),
+    ];
+    if let Some((group, case)) = out.switch {
+        pairs.push((
+            "switch".into(),
+            Value::Arr(vec![Value::Num(group as f64), Value::Num(case as f64)]),
+        ));
+    }
+    Value::Obj(pairs)
+}
+
+fn function_to_value(f: &FunctionSpec) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::Str(f.name.clone())),
+        ("work".into(), work_to_value(&f.work)),
+        (
+            "output_datas".into(),
+            Value::Arr(f.output_datas.iter().map(output_to_value).collect()),
+        ),
+    ])
+}
+
+// ---- JSON decoding ------------------------------------------------------
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn num_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn arr_field<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing or non-array field `{key}`"))
+}
+
+fn size_from_value(v: &Value) -> Result<SizeModel, String> {
+    if let Some(b) = v.get("Fixed").and_then(Value::as_f64) {
+        return Ok(SizeModel::Fixed(b));
+    }
+    if let Some(f) = v.get("ScaleOfInput").and_then(Value::as_f64) {
+        return Ok(SizeModel::ScaleOfInput(f));
+    }
+    if let Some(a) = v.get("Affine") {
+        return Ok(SizeModel::Affine {
+            fixed: num_field(a, "fixed")?,
+            factor: num_field(a, "factor")?,
+        });
+    }
+    Err(format!("unrecognized size model {v:?}"))
+}
+
+fn work_from_value(v: &Value) -> Result<WorkModel, String> {
+    let base = num_field(v, "base_core_secs")?;
+    let per_mb = num_field(v, "per_mb_core_secs")?;
+    if !(base.is_finite() && base >= 0.0 && per_mb.is_finite() && per_mb >= 0.0) {
+        return Err(format!("invalid work model ({base}, {per_mb})"));
+    }
+    Ok(WorkModel::new(base, per_mb))
+}
+
+fn switch_from_value(v: &Value) -> Result<(u32, u32), String> {
+    let items = v.as_arr().ok_or("`switch` must be a [group, case] array")?;
+    let in_u32 = |n: f64| n.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&n);
+    match items {
+        [Value::Num(g), Value::Num(c)] if in_u32(*g) && in_u32(*c) => Ok((*g as u32, *c as u32)),
+        _ => Err(format!("invalid switch {v:?}")),
+    }
+}
+
+fn spec_from_value(v: &Value) -> Result<WorkflowSpec, String> {
+    let workflow_name = str_field(v, "workflow_name")?;
+    let mut inputs = Vec::new();
+    for inp in arr_field(v, "inputs")? {
+        inputs.push(InputSpec {
+            data: str_field(inp, "data")?,
+            destination: str_field(inp, "destination")?,
+            size: size_from_value(inp.get("size").ok_or("input missing `size`")?)?,
+        });
+    }
+    let mut dataflows = Vec::new();
+    for f in arr_field(v, "dataflows")? {
+        let mut output_datas = Vec::new();
+        for out in arr_field(f, "output_datas")? {
+            output_datas.push(OutputSpec {
+                data: str_field(out, "data")?,
+                destination: str_field(out, "destination")?,
+                size: size_from_value(out.get("size").ok_or("output missing `size`")?)?,
+                switch: match out.get("switch") {
+                    None | Some(Value::Null) => None,
+                    Some(sw) => Some(switch_from_value(sw)?),
+                },
+            });
+        }
+        dataflows.push(FunctionSpec {
+            name: str_field(f, "name")?,
+            work: work_from_value(f.get("work").ok_or("function missing `work`")?)?,
+            output_datas,
+        });
+    }
+    Ok(WorkflowSpec {
+        workflow_name,
+        inputs,
+        dataflows,
+    })
 }
 
 #[cfg(test)]
@@ -250,6 +413,27 @@ mod tests {
         assert!(matches!(
             WorkflowSpec::from_json("{not json"),
             Err(WorkflowError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_switch_rejected() {
+        // 2^32 + 1 is exactly representable in f64 but exceeds u32.
+        let json = r#"{
+          "workflow_name": "w",
+          "inputs": [{"data": "in", "destination": "a", "size": {"Fixed": 1.0}}],
+          "dataflows": [{
+            "name": "a",
+            "work": {"base_core_secs": 0.1, "per_mb_core_secs": 0.0},
+            "output_datas": [{
+              "data": "out", "destination": "$USER",
+              "size": {"Fixed": 1.0}, "switch": [4294967297, 0]
+            }]
+          }]
+        }"#;
+        assert!(matches!(
+            WorkflowSpec::from_json(json),
+            Err(WorkflowError::BadSpec(m)) if m.contains("switch")
         ));
     }
 }

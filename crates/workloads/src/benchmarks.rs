@@ -28,7 +28,12 @@ pub enum Benchmark {
 
 impl Benchmark {
     /// All four benchmarks in the paper's figure order.
-    pub const ALL: [Benchmark; 4] = [Benchmark::Img, Benchmark::Vid, Benchmark::Svd, Benchmark::Wc];
+    pub const ALL: [Benchmark; 4] = [
+        Benchmark::Img,
+        Benchmark::Vid,
+        Benchmark::Svd,
+        Benchmark::Wc,
+    ];
 
     /// The short name used throughout the figures.
     pub fn name(&self) -> &'static str {
@@ -127,7 +132,12 @@ pub fn wordcount(params: WcParams) -> Arc<Workflow> {
     b.client_input(start, "text", SizeModel::Fixed(input));
     for i in 0..n {
         let count = b.function(format!("wc_count_{i}"), WorkModel::new(0.0005, 0.0035));
-        b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0 / n as f64));
+        b.edge(
+            start,
+            count,
+            "file",
+            SizeModel::ScaleOfInput(1.0 / n as f64),
+        );
         b.edge(count, merge, "count", SizeModel::ScaleOfInput(0.30));
     }
     b.client_output(merge, "output", SizeModel::Fixed(8.0 * KB));
@@ -150,8 +160,24 @@ pub fn image_pipeline() -> Arc<Workflow> {
     b.edge(extract, resize, "raw", SizeModel::ScaleOfInput(1.0));
     b.edge(resize, classify, "scaled", SizeModel::ScaleOfInput(0.55));
     b.edge(resize, detect, "scaled2", SizeModel::ScaleOfInput(0.55));
-    b.edge(classify, blur, "labels", SizeModel::Affine { fixed: 24.0 * KB, factor: 0.0 });
-    b.edge(detect, blur, "boxes", SizeModel::Affine { fixed: 32.0 * KB, factor: 0.1 });
+    b.edge(
+        classify,
+        blur,
+        "labels",
+        SizeModel::Affine {
+            fixed: 24.0 * KB,
+            factor: 0.0,
+        },
+    );
+    b.edge(
+        detect,
+        blur,
+        "boxes",
+        SizeModel::Affine {
+            fixed: 32.0 * KB,
+            factor: 0.1,
+        },
+    );
     b.edge(blur, render, "blurred", SizeModel::ScaleOfInput(0.8));
     b.client_output(render, "final", SizeModel::ScaleOfInput(0.6));
     Arc::new(b.build().expect("img workflow is valid"))
@@ -217,7 +243,14 @@ mod tests {
 
     #[test]
     fn shapes_match_the_applications() {
-        assert_eq!(wordcount(WcParams { fan_out: 4, input_mb: 4.0 }).function_count(), 6);
+        assert_eq!(
+            wordcount(WcParams {
+                fan_out: 4,
+                input_mb: 4.0
+            })
+            .function_count(),
+            6
+        );
         assert_eq!(image_pipeline().function_count(), 6);
         assert_eq!(video_ffmpeg(4).function_count(), 6);
         assert_eq!(svd(8).function_count(), 10);
@@ -237,7 +270,10 @@ mod tests {
     #[test]
     fn wc_fan_out_is_parametric() {
         for n in [2, 8, 16] {
-            let wf = wordcount(WcParams { fan_out: n, input_mb: 4.0 });
+            let wf = wordcount(WcParams {
+                fan_out: n,
+                input_mb: 4.0,
+            });
             assert_eq!(wf.function_count(), n + 2);
             let start = wf.function_by_name("wc_start").unwrap();
             assert_eq!(wf.successors(start).len(), n);
@@ -247,6 +283,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one branch")]
     fn zero_fanout_rejected() {
-        wordcount(WcParams { fan_out: 0, input_mb: 1.0 });
+        wordcount(WcParams {
+            fan_out: 0,
+            input_mb: 1.0,
+        });
     }
 }

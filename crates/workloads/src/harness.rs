@@ -148,7 +148,13 @@ mod tests {
     fn open_loop_all_systems_complete_wc() {
         let s = Scenario::seeded(11);
         for sys in SystemKind::HEADLINE {
-            let r = s.open_loop(sys, Benchmark::Wc.workflow(), Benchmark::Wc.default_payload(), 20.0, 30);
+            let r = s.open_loop(
+                sys,
+                Benchmark::Wc.workflow(),
+                Benchmark::Wc.default_payload(),
+                20.0,
+                30,
+            );
             assert!(r.primary().completed > 0, "{sys} completed none");
             assert_eq!(r.primary().unfinished, 0, "{sys} timed out");
         }

@@ -23,8 +23,11 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// The three systems of the headline comparisons (Figs. 10, 11, 18).
-    pub const HEADLINE: [SystemKind; 3] =
-        [SystemKind::DataFlower, SystemKind::FaaSFlow, SystemKind::Sonic];
+    pub const HEADLINE: [SystemKind; 3] = [
+        SystemKind::DataFlower,
+        SystemKind::FaaSFlow,
+        SystemKind::Sonic,
+    ];
 
     /// Display label matching the paper's legends.
     pub fn label(&self) -> &'static str {

@@ -40,7 +40,11 @@ fn comm_shares_match_fig2a() {
     ];
     for (b, target) in targets {
         let (share, e2e) = characterize(b);
-        println!("{b}: comm share {:.1}% (target {:.1}%), e2e {e2e:.2}s", share * 100.0, target * 100.0);
+        println!(
+            "{b}: comm share {:.1}% (target {:.1}%), e2e {e2e:.2}s",
+            share * 100.0,
+            target * 100.0
+        );
         assert!(
             (share - target).abs() < 0.03,
             "{b}: comm share {:.3} vs target {target:.3}",

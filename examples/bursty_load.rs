@@ -10,9 +10,14 @@ use dataflower_workloads::{Benchmark, Scenario, SystemKind};
 
 fn main() {
     let b = Benchmark::Wc;
-    println!("bursty load: {} at 10 rpm for 60 s, then 100 rpm for 60 s\n", b.name());
+    println!(
+        "bursty load: {} at 10 rpm for 60 s, then 100 rpm for 60 s\n",
+        b.name()
+    );
 
-    let mut t = Table::new(vec!["system", "n", "mean (s)", "p50", "p90", "p99", "sigma"]);
+    let mut t = Table::new(vec![
+        "system", "n", "mean (s)", "p50", "p90", "p99", "sigma",
+    ]);
     for sys in SystemKind::HEADLINE {
         let scenario = Scenario::seeded(777);
         let report = scenario.bursty(sys, b.workflow(), b.default_payload(), 10.0, 100.0);

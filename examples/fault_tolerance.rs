@@ -43,7 +43,10 @@ fn main() {
         let id = world.add_workflow(Arc::clone(&wf));
         world.submit_request(id, 4.0 * MB, SimTime::ZERO);
         let mut engine = DataFlowerEngine::new(DataFlowerConfig::default(), SpreadPlacement);
-        run_to_idle(&mut world, &mut engine).primary().latency.mean()
+        run_to_idle(&mut world, &mut engine)
+            .primary()
+            .latency
+            .mean()
     };
 
     // Faulted run: transform's data plane is interrupted once.
@@ -51,7 +54,10 @@ fn main() {
     let id = world.add_workflow(Arc::clone(&wf));
     let req = world.submit_request(id, 4.0 * MB, SimTime::ZERO);
     let mut engine = DataFlowerEngine::new(DataFlowerConfig::default(), SpreadPlacement);
-    engine.inject_fault(req, wf.function_by_name("transform").expect("transform exists"));
+    engine.inject_fault(
+        req,
+        wf.function_by_name("transform").expect("transform exists"),
+    );
     let report = run_to_idle(&mut world, &mut engine);
 
     println!("clean   latency: {clean:.3} s");

@@ -48,7 +48,11 @@ fn main() {
     let stats = report.primary();
     println!("--- run report ---");
     println!("engine:            {}", report.engine);
-    println!("completed:         {}/{}", stats.completed, stats.completed + stats.unfinished);
+    println!(
+        "completed:         {}/{}",
+        stats.completed,
+        stats.completed + stats.unfinished
+    );
     println!("mean latency:      {:.3} s", stats.latency.mean());
     println!("p99 latency:       {:.3} s", stats.latency.p99());
     println!("memory cost:       {:.2} GB*s", report.memory_gb_s);

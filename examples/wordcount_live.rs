@@ -10,8 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use dataflower_rt::RuntimeBuilder;
+use dataflower_rt::{Bytes, RuntimeBuilder};
 use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
 
 const FAN_OUT: usize = 4;
@@ -24,7 +23,12 @@ fn main() {
     b.client_input(start, "text", SizeModel::Fixed(1.0));
     for i in 0..FAN_OUT {
         let count = b.function(format!("wc_count_{i}"), WorkModel::fixed(0.001));
-        b.edge(start, count, "file", SizeModel::ScaleOfInput(1.0 / FAN_OUT as f64));
+        b.edge(
+            start,
+            count,
+            "file",
+            SizeModel::ScaleOfInput(1.0 / FAN_OUT as f64),
+        );
         b.edge(count, merge, "counts", SizeModel::ScaleOfInput(0.3));
     }
     b.client_output(merge, "output", SizeModel::Fixed(1.0));
@@ -85,8 +89,16 @@ fn main() {
 
     // Generate a deterministic corpus: Zipf-ish word frequencies.
     let vocab = [
-        "serverless", "workflow", "dataflow", "function", "container", "latency", "throughput",
-        "pipe", "sink", "engine",
+        "serverless",
+        "workflow",
+        "dataflow",
+        "function",
+        "container",
+        "latency",
+        "throughput",
+        "pipe",
+        "sink",
+        "engine",
     ];
     let mut corpus = String::new();
     for i in 0..20_000u64 {
@@ -98,7 +110,9 @@ fn main() {
 
     let t0 = Instant::now();
     let req = rt.invoke(vec![("text".into(), Bytes::from(corpus.into_bytes()))]);
-    let outputs = rt.wait(req, Duration::from_secs(30)).expect("wordcount completes");
+    let outputs = rt
+        .wait(req, Duration::from_secs(30))
+        .expect("wordcount completes");
     let elapsed = t0.elapsed();
 
     let table = String::from_utf8_lossy(&outputs[0].1).into_owned();

@@ -40,7 +40,10 @@ fn dataflower_reduces_p99_latency_on_every_benchmark() {
         let ff = p99(SystemKind::FaaSFlow);
         let sonic = p99(SystemKind::Sonic);
         assert!(df < ff, "{b}: DataFlower p99 {df:.3} !< FaaSFlow {ff:.3}");
-        assert!(df < sonic, "{b}: DataFlower p99 {df:.3} !< SONIC {sonic:.3}");
+        assert!(
+            df < sonic,
+            "{b}: DataFlower p99 {df:.3} !< SONIC {sonic:.3}"
+        );
     }
 }
 
@@ -60,7 +63,10 @@ fn dataflower_peak_throughput_exceeds_baselines() {
         let ff = rpm(SystemKind::FaaSFlow);
         let sonic = rpm(SystemKind::Sonic);
         assert!(df > ff, "{b}: DataFlower rpm {df:.1} !> FaaSFlow {ff:.1}");
-        assert!(df > sonic, "{b}: DataFlower rpm {df:.1} !> SONIC {sonic:.1}");
+        assert!(
+            df > sonic,
+            "{b}: DataFlower rpm {df:.1} !> SONIC {sonic:.1}"
+        );
     }
 }
 
@@ -140,7 +146,13 @@ fn colocation_degrades_gracefully_under_dataflower() {
     let co = scenario.colocated(SystemKind::DataFlower, &loads, 45);
     for b in Benchmark::ALL {
         let solo = Scenario::seeded(40)
-            .open_loop(SystemKind::DataFlower, b.workflow(), b.default_payload(), 8.0, 45)
+            .open_loop(
+                SystemKind::DataFlower,
+                b.workflow(),
+                b.default_payload(),
+                8.0,
+                45,
+            )
             .primary()
             .latency
             .mean();

@@ -1,21 +1,95 @@
 //! Property-based tests of the core data structures and invariants.
+//!
+//! Uses an in-tree property harness instead of an external framework:
+//! [`Gen`] draws structured random inputs from the workspace's own
+//! deterministic [`SimRng`], [`check`] runs `CASES` seeded cases per
+//! property, and a failing case prints its seed so the exact input can be
+//! replayed with `Gen::new(seed)`.
+
+use std::panic::AssertUnwindSafe;
 
 use dataflower::{CheckpointSchedule, WaitMatchMemory};
 use dataflower_cluster::RequestId;
 use dataflower_metrics::{Samples, StepIntegral};
-use dataflower_sim::{EventQueue, FlowNet, SimTime};
+use dataflower_sim::{EventQueue, FlowNet, SimRng, SimTime};
 use dataflower_workflow::{EdgeId, FnId, SizeModel, WorkModel, WorkflowBuilder, WorkflowSpec};
-use proptest::prelude::*;
 
-proptest! {
-    /// FlowNet conserves bytes: every started flow eventually completes
-    /// carrying exactly the bytes it was given, and completion times are
-    /// non-decreasing.
-    #[test]
-    fn flownet_conserves_bytes(
-        caps in proptest::collection::vec(1.0f64..1e6, 1..4),
-        flows in proptest::collection::vec((0usize..4, 1.0f64..1e6, 0u64..5_000_000), 1..20),
-    ) {
+/// Seeded cases run per property.
+const CASES: u64 = 64;
+
+/// A deterministic generator of structured random test inputs.
+struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// Creates the generator for one case; re-create with a printed seed
+    /// to replay a failure exactly.
+    fn new(seed: u64) -> Gen {
+        Gen {
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform(lo, hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.rng.index(hi - lo)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.rng.index((hi - lo) as usize) as u64
+    }
+
+    /// A vector of `[min_len, max_len)` elements drawn by `item`.
+    fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut item: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| item(self)).collect()
+    }
+}
+
+/// Runs `body` for [`CASES`] deterministic seeds; on a panic, prints the
+/// property name and the seed that reproduces it, then re-raises.
+fn check(property: &str, body: impl Fn(&mut Gen)) {
+    for case in 0..CASES {
+        // Distinct stream per (property, case): FNV-1a over the name,
+        // mixed with the case index.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in property.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let seed = seed.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut g = Gen::new(seed);
+        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| body(&mut g))) {
+            eprintln!(
+                "property `{property}` failed on case {case}/{CASES} with seed {seed}; \
+                 replay with Gen::new({seed})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// FlowNet conserves bytes: every started flow eventually completes
+/// carrying exactly the bytes it was given, and completion times are
+/// non-decreasing.
+#[test]
+fn flownet_conserves_bytes() {
+    check("flownet_conserves_bytes", |g| {
+        let caps = g.vec(1, 4, |g| g.f64_in(1.0, 1e6));
+        let flows = g.vec(1, 20, |g| {
+            (g.usize_in(0, 4), g.f64_in(1.0, 1e6), g.u64_in(0, 5_000_000))
+        });
         let mut net = FlowNet::new();
         let links: Vec<_> = caps.iter().map(|c| net.add_link(*c)).collect();
         let mut expected = Vec::new();
@@ -25,59 +99,62 @@ proptest! {
             expected.push(*bytes);
         }
         let done = net.advance(SimTime::from_secs(1_000_000));
-        prop_assert_eq!(done.len(), expected.len());
+        assert_eq!(done.len(), expected.len());
         for c in &done {
             let exp = expected[c.tag as usize];
-            prop_assert!((c.bytes - exp).abs() < 1e-6);
-            prop_assert!(c.at >= c.started);
+            assert!((c.bytes - exp).abs() < 1e-6);
+            assert!(c.at >= c.started);
         }
         // Completions are reported in time order.
-        prop_assert!(done.windows(2).all(|w| w[0].at <= w[1].at));
-        prop_assert_eq!(net.active_flows(), 0);
-    }
+        assert!(done.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(net.active_flows(), 0);
+    });
+}
 
-    /// Flow rates never exceed any traversed link's capacity.
-    #[test]
-    fn flownet_respects_capacities(
-        cap in 1.0f64..1e5,
-        n in 1usize..10,
-    ) {
+/// Flow rates never exceed any traversed link's capacity.
+#[test]
+fn flownet_respects_capacities() {
+    check("flownet_respects_capacities", |g| {
+        let cap = g.f64_in(1.0, 1e5);
+        let n = g.usize_in(1, 10);
         let mut net = FlowNet::new();
         let l = net.add_link(cap);
         let flows: Vec<_> = (0..n)
             .map(|i| net.start_flow(SimTime::ZERO, &[l], 1e6, i as u64))
             .collect();
         let total: f64 = flows.iter().filter_map(|f| net.flow_rate(*f)).sum();
-        prop_assert!(total <= cap * (1.0 + 1e-9), "total {} > cap {}", total, cap);
+        assert!(total <= cap * (1.0 + 1e-9), "total {total} > cap {cap}");
         // Fair share: all equal.
         for f in &flows {
-            prop_assert!((net.flow_rate(*f).unwrap() - cap / n as f64).abs() < 1e-6);
+            assert!((net.flow_rate(*f).unwrap() - cap / n as f64).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    /// Percentiles are monotone in q, bounded by min/max, and p50 of the
-    /// merged multiset stays within the global bounds.
-    #[test]
-    fn samples_percentiles_are_sound(
-        values in proptest::collection::vec(0.0f64..1e9, 1..200),
-        q1 in 0.0f64..1.0,
-        q2 in 0.0f64..1.0,
-    ) {
+/// Percentiles are monotone in q, bounded by min/max, and the CDF ends
+/// at 1.
+#[test]
+fn samples_percentiles_are_sound() {
+    check("samples_percentiles_are_sound", |g| {
+        let values = g.vec(1, 200, |g| g.f64_in(0.0, 1e9));
+        let q1 = g.f64_in(0.0, 1.0);
+        let q2 = g.f64_in(0.0, 1.0);
         let s: Samples = values.iter().copied().collect();
         let (lo, hi) = (q1.min(q2), q1.max(q2));
-        prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
-        prop_assert!(s.percentile(0.0) >= s.min() - 1e-9);
-        prop_assert!(s.percentile(1.0) <= s.max() + 1e-9);
-        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
+        assert!(s.percentile(0.0) >= s.min() - 1e-9);
+        assert!(s.percentile(1.0) <= s.max() + 1e-9);
+        assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
         let cdf = s.cdf();
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
-    }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// A step integral equals the sum of per-interval areas.
-    #[test]
-    fn step_integral_matches_manual_sum(
-        steps in proptest::collection::vec((0.0f64..100.0, 0.0f64..50.0), 1..30),
-    ) {
+/// A step integral equals the sum of per-interval areas.
+#[test]
+fn step_integral_matches_manual_sum() {
+    check("step_integral_matches_manual_sum", |g| {
+        let steps = g.vec(1, 30, |g| (g.f64_in(0.0, 100.0), g.f64_in(0.0, 50.0)));
         let mut times: Vec<f64> = steps.iter().map(|(dt, _)| *dt).collect();
         // Build a monotone timeline from the deltas.
         let mut t = 0.0;
@@ -98,32 +175,45 @@ proptest! {
             last_v = *v;
         }
         manual += last_v * (end - last_t);
-        prop_assert!((m.finish(end) - manual).abs() < 1e-6);
-    }
+        assert!((m.finish(end) - manual).abs() < 1e-6);
+    });
+}
 
-    /// Checkpoint resume never loses data and never re-sends more than
-    /// one interval past the untransferred remainder.
-    #[test]
-    fn checkpoint_resume_is_bounded(
-        interval in 1.0f64..1e6,
-        total in 0.0f64..1e8,
-        progress in 0.0f64..1.2,
-    ) {
+/// Checkpoint resume never loses data and never re-sends more than one
+/// interval past the untransferred remainder.
+#[test]
+fn checkpoint_resume_is_bounded() {
+    check("checkpoint_resume_is_bounded", |g| {
+        let interval = g.f64_in(1.0, 1e6);
+        let total = g.f64_in(0.0, 1e8);
+        let progress = g.f64_in(0.0, 1.2);
         let cp = CheckpointSchedule::new(interval);
         let transferred = total * progress;
         let resume = cp.resume_bytes(total, transferred);
         let remainder = (total - transferred).max(0.0);
-        prop_assert!(resume + 1e-9 >= remainder, "resume {} < remainder {}", resume, remainder);
-        prop_assert!(resume <= remainder + interval + 1e-9);
-        prop_assert!(resume <= total + 1e-9);
-    }
+        assert!(
+            resume + 1e-9 >= remainder,
+            "resume {resume} < remainder {remainder}"
+        );
+        assert!(resume <= remainder + interval + 1e-9);
+        assert!(resume <= total + 1e-9);
+    });
+}
 
-    /// The Wait-Match memory's accounting equals the sum of its entries
-    /// under arbitrary insert/spill/take interleavings.
-    #[test]
-    fn wait_match_accounting_is_exact(
-        ops in proptest::collection::vec((0u8..3, 0usize..4, 0usize..4, 0usize..4, 1.0f64..1e6), 1..60),
-    ) {
+/// The Wait-Match memory's accounting equals the sum of its entries under
+/// arbitrary insert/spill/take interleavings.
+#[test]
+fn wait_match_accounting_is_exact() {
+    check("wait_match_accounting_is_exact", |g| {
+        let ops = g.vec(1, 60, |g| {
+            (
+                g.usize_in(0, 3) as u8,
+                g.usize_in(0, 4),
+                g.usize_in(0, 4),
+                g.usize_in(0, 4),
+                g.f64_in(1.0, 1e6),
+            )
+        });
         let mut sink = WaitMatchMemory::new();
         let mut model: std::collections::HashMap<(usize, usize, usize), (f64, bool)> =
             std::collections::HashMap::new();
@@ -151,24 +241,27 @@ proptest! {
             }
             let mem: f64 = model.values().filter(|(_, d)| !d).map(|(b, _)| b).sum();
             let disk: f64 = model.values().filter(|(_, d)| *d).map(|(b, _)| b).sum();
-            prop_assert!((sink.resident_memory_bytes() - mem).abs() < 1e-6);
-            prop_assert!((sink.resident_disk_bytes() - disk).abs() < 1e-6);
-            prop_assert_eq!(sink.len(), model.len());
+            assert!((sink.resident_memory_bytes() - mem).abs() < 1e-6);
+            assert!((sink.resident_disk_bytes() - disk).abs() < 1e-6);
+            assert_eq!(sink.len(), model.len());
         }
-    }
+    });
+}
 
-    /// Random fan-out/fan-in workflows always validate, their topological
-    /// order respects every edge, and their spec round-trips through JSON.
-    #[test]
-    fn random_workflows_validate_and_roundtrip(
-        layers in proptest::collection::vec(1usize..5, 1..5),
-        seed in 0u64..1000,
-    ) {
+/// Random fan-out/fan-in workflows always validate, their topological
+/// order respects every edge, and their spec round-trips through JSON.
+#[test]
+fn random_workflows_validate_and_roundtrip() {
+    check("random_workflows_validate_and_roundtrip", |g| {
+        let layers = g.vec(1, 5, |g| g.usize_in(1, 5));
+        let seed = g.u64_in(0, 1000);
         let mut b = WorkflowBuilder::new("random");
         let mut prev_layer: Vec<_> = Vec::new();
         let mut rng = seed;
         let mut next = || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng >> 33
         };
         for (li, width) in layers.iter().enumerate() {
@@ -206,10 +299,12 @@ proptest! {
             .map(|(i, f)| (*f, i))
             .collect();
         for e in wf.edges() {
-            if let (dataflower_workflow::Endpoint::Function(s), dataflower_workflow::Endpoint::Function(t)) =
-                (e.source, e.target)
+            if let (
+                dataflower_workflow::Endpoint::Function(s),
+                dataflower_workflow::Endpoint::Function(t),
+            ) = (e.source, e.target)
             {
-                prop_assert!(pos[&s] < pos[&t]);
+                assert!(pos[&s] < pos[&t]);
             }
         }
         // Spec JSON round-trip is semantically lossless: compiling the
@@ -217,18 +312,22 @@ proptest! {
         // (edge declaration order is grouped per producer, so raw
         // workflow equality is not preserved — spec equality is).
         let spec = WorkflowSpec::from_workflow(&wf);
-        let back = WorkflowSpec::from_json(&spec.to_json()).unwrap().compile().unwrap();
-        prop_assert_eq!(&spec, &WorkflowSpec::from_workflow(&back));
-        prop_assert_eq!(wf.function_count(), back.function_count());
-        prop_assert_eq!(wf.edges().len(), back.edges().len());
-    }
+        let back = WorkflowSpec::from_json(&spec.to_json())
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert_eq!(&spec, &WorkflowSpec::from_workflow(&back));
+        assert_eq!(wf.function_count(), back.function_count());
+        assert_eq!(wf.edges().len(), back.edges().len());
+    });
+}
 
-    /// Event queue pops in non-decreasing time order with FIFO ties, for
-    /// arbitrary schedules.
-    #[test]
-    fn event_queue_total_order(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-    ) {
+/// Event queue pops in non-decreasing time order with FIFO ties, for
+/// arbitrary schedules.
+#[test]
+fn event_queue_total_order() {
+    check("event_queue_total_order", |g| {
+        let times = g.vec(1, 100, |g| g.u64_in(0, 1_000));
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(*t), i);
@@ -236,12 +335,12 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt);
                 if t == lt {
-                    prop_assert!(i > li, "FIFO violated for equal timestamps");
+                    assert!(i > li, "FIFO violated for equal timestamps");
                 }
             }
             last = Some((t, i));
         }
-    }
+    });
 }
