@@ -6,6 +6,11 @@
 #   2. cargo test -q --workspace
 #   3. cargo fmt --check        (skipped if rustfmt is absent)
 #   4. cargo clippy -D warnings (skipped if clippy is absent)
+#   5. cargo doc -D warnings    (skipped if rustdoc is absent)
+#   6. examples smoke pass      (every examples/*.rs runs to completion)
+#   7. bench regression gate    (prints per-benchmark deltas against
+#      BENCH_BASELINE.json; fails only when a benchmark got more than
+#      2x slower than the committed baseline)
 set -u
 
 cd "$(dirname "$0")"
@@ -36,6 +41,29 @@ if cargo clippy --version >/dev/null 2>&1; then
     run cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable; skipping lint check"
+fi
+
+if rustdoc --version >/dev/null 2>&1; then
+    run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+else
+    echo "==> rustdoc unavailable; skipping doc check"
+fi
+
+# Examples smoke pass: doc-level entry points must keep running.
+for ex in examples/*.rs; do
+    run cargo run --quiet --release --example "$(basename "${ex%.rs}")"
+done
+
+# Bench regression gate: non-fatal on drift — the per-benchmark deltas
+# are printed either way — but a benchmark more than 2x slower than the
+# committed baseline fails the build. CI's verify job sets
+# SKIP_BENCH_GATE=1 because the dedicated bench-smoke job owns this step
+# there; local runs get it by default.
+if [ "${SKIP_BENCH_GATE:-0}" != 1 ]; then
+    run cargo run --release -p dataflower-bench --bin bench -- \
+        --runs 3 --compare BENCH_BASELINE.json --tolerance 100
+else
+    echo "==> SKIP_BENCH_GATE=1; bench regression gate runs in the bench-smoke job"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -9,28 +9,49 @@
 //! ```
 //!
 //! These measure the *reproduction's* performance (simulator events per
-//! second), complementing the `figures` binary which reproduces the
-//! paper's results.
+//! second, live-runtime end-to-end latency), complementing the `figures`
+//! binary which reproduces the paper's results.
+//!
+//! **Regression gate** (the CI bench step): `--compare <baseline>` diffs
+//! this run against a committed baseline file and prints per-benchmark
+//! deltas; the process exits non-zero only when a benchmark slowed past
+//! `--tolerance <pct>` (default 100, i.e. more than 2× slower):
+//!
+//! ```text
+//! bench --runs 3 --compare BENCH_BASELINE.json --tolerance 100
+//! ```
+
+use std::cell::RefCell;
 
 use dataflower::WaitMatchMemory;
-use dataflower_bench::timing::time;
+use dataflower_bench::compare::{compare, parse_baseline, render};
+use dataflower_bench::timing::{time, TimingResult};
 use dataflower_cluster::RequestId;
 use dataflower_metrics::Samples;
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
-use dataflower_workloads::{Benchmark, Scenario, SystemKind};
+use dataflower_workloads::{Benchmark, LiveClusterConfig, LivePlacement, Scenario, SystemKind};
 
 /// Default timed iterations per benchmark (median-of-K).
 const DEFAULT_RUNS: usize = 5;
 
+/// Exit code of the `--compare` mode when a regression exceeds the
+/// tolerance.
+const EXIT_REGRESSION: i32 = 3;
+
 fn main() {
     let mut filters: Vec<String> = Vec::new();
     let mut runs = DEFAULT_RUNS;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = 100.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--help" | "-h" => {
-                eprintln!("usage: bench [--runs K] [filter-substring]...");
+                eprintln!(
+                    "usage: bench [--runs K] [--compare BASELINE.json] [--tolerance PCT] \
+                     [filter-substring]..."
+                );
                 return;
             }
             "--runs" => {
@@ -43,29 +64,112 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--compare" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare needs a baseline file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance needs a non-negative percentage");
+                        std::process::exit(2);
+                    });
+            }
             other => filters.push(other.to_owned()),
         }
     }
 
-    let harness = Harness { filters, runs };
+    let harness = Harness {
+        filters,
+        runs,
+        results: RefCell::new(Vec::new()),
+    };
     engine_benchmarks(&harness);
+    live_cluster_benchmarks(&harness);
     substrate_benchmarks(&harness);
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let baseline = parse_baseline(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let cmp = compare(&baseline, &harness.results.borrow());
+        print!("{}", render(&cmp, tolerance_pct));
+        let regressions = cmp.regressions(tolerance_pct);
+        if !regressions.is_empty() {
+            eprintln!(
+                "bench: {} benchmark(s) regressed more than {tolerance_pct:.0}% vs `{path}`",
+                regressions.len()
+            );
+            std::process::exit(EXIT_REGRESSION);
+        }
+    }
 }
 
 /// CLI-configured runner: skips filtered-out benchmarks *before* timing
-/// them, so a filtered invocation costs only the selected cases.
+/// them, so a filtered invocation costs only the selected cases. Results
+/// are collected for the `--compare` regression report.
 struct Harness {
     filters: Vec<String>,
     runs: usize,
+    results: RefCell<Vec<TimingResult>>,
 }
 
 impl Harness {
     fn run<T>(&self, group: &str, name: &str, f: impl FnMut() -> T) {
         let id = format!("{group}/{name}");
         if self.filters.is_empty() || self.filters.iter().any(|flt| id.contains(flt.as_str())) {
-            println!("{}", time(group, name, self.runs, f).to_json_line());
+            let result = time(group, name, self.runs, f);
+            println!("{}", result.to_json_line());
+            self.results.borrow_mut().push(result);
         }
     }
+}
+
+/// End-to-end **live** benchmarks: the four paper workflows executed
+/// with real threads and real bytes on a multi-node `ClusterRuntime`
+/// topology (spread placement: the streaming remote pipe carries the
+/// large intermediates), plus a co-located single-node reference.
+fn live_cluster_benchmarks(h: &Harness) {
+    for bench in Benchmark::ALL {
+        h.run(
+            "live_cluster",
+            &format!("{}/3nodes_spread", bench.name()),
+            || {
+                let cfg = LiveClusterConfig {
+                    nodes: 3,
+                    placement: LivePlacement::ByLevel,
+                    requests: 2,
+                    payload_bytes: 128 * 1024,
+                    ..LiveClusterConfig::default()
+                };
+                let report = Scenario::live_cluster(bench, &cfg);
+                assert!(report.stats.remote_bytes > 0);
+                report
+            },
+        );
+    }
+    h.run("live_cluster", "wc/1node_colocated", || {
+        let cfg = LiveClusterConfig {
+            nodes: 1,
+            placement: LivePlacement::SingleNode,
+            requests: 2,
+            payload_bytes: 128 * 1024,
+            ..LiveClusterConfig::default()
+        };
+        let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+        assert_eq!(report.stats.remote_bytes, 0);
+        report
+    });
 }
 
 /// End-to-end engine benchmarks: cost of simulating workflow requests,

@@ -1,0 +1,249 @@
+//! Bench-regression comparison: diff a run of the `bench` binary against
+//! a committed baseline (`BENCH_BASELINE.json`, one JSON object per
+//! line) and report per-benchmark deltas.
+//!
+//! The gate is deliberately loose: absolute numbers vary across hosts,
+//! so CI only fails on *large* regressions (the committed `ci.sh` step
+//! uses a +100 % tolerance — fail only when a benchmark got more than
+//! 2× slower). The full delta table is always printed, so smaller
+//! drifts stay visible in the log without going red.
+
+use dataflower_workflow::json::parse;
+
+use crate::timing::TimingResult;
+
+/// One benchmark of the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// `group/name` identifier, matching the bench binary's output.
+    pub id: String,
+    /// Median wall-clock time recorded in the baseline.
+    pub median_ns: u128,
+}
+
+/// Parses a baseline file: one JSON object per non-empty line, each with
+/// `group`, `name` and `median_ns` fields (exactly what the `bench`
+/// binary prints).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when a line is not a
+/// JSON object or lacks the required fields.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_bench::compare::parse_baseline;
+///
+/// let entries = parse_baseline(
+///     "{\"group\":\"engines\",\"name\":\"wc\",\"runs\":3,\"median_ns\":1500000}\n",
+/// )
+/// .unwrap();
+/// assert_eq!(entries[0].id, "engines/wc");
+/// assert_eq!(entries[0].median_ns, 1_500_000);
+/// ```
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let v = parse(line).map_err(|e| format!("baseline line {lineno}: {e}"))?;
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| format!("baseline line {lineno}: missing `{key}`"))
+        };
+        let group = field("group")?
+            .as_str()
+            .ok_or_else(|| format!("baseline line {lineno}: `group` is not a string"))?;
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("baseline line {lineno}: `name` is not a string"))?;
+        let median = field("median_ns")?
+            .as_f64()
+            .ok_or_else(|| format!("baseline line {lineno}: `median_ns` is not a number"))?;
+        out.push(BaselineEntry {
+            id: format!("{group}/{name}"),
+            median_ns: median.max(0.0) as u128,
+        });
+    }
+    Ok(out)
+}
+
+/// One benchmark present in both the baseline and the current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Baseline median.
+    pub baseline_ns: u128,
+    /// This run's median.
+    pub current_ns: u128,
+    /// Relative change in percent (positive = slower than baseline).
+    pub delta_pct: f64,
+}
+
+impl Delta {
+    /// True when this benchmark slowed down past `tolerance_pct`.
+    pub fn regressed(&self, tolerance_pct: f64) -> bool {
+        self.delta_pct > tolerance_pct
+    }
+}
+
+/// Outcome of diffing a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Benchmarks present on both sides, in current-run order.
+    pub deltas: Vec<Delta>,
+    /// Benchmarks this run produced that the baseline lacks (new cases —
+    /// informational, never a failure).
+    pub new_benchmarks: Vec<String>,
+    /// Baseline benchmarks this run did not produce (e.g. filtered out —
+    /// informational, never a failure).
+    pub missing: Vec<String>,
+}
+
+impl Comparison {
+    /// The deltas exceeding `tolerance_pct`, i.e. the failures.
+    pub fn regressions(&self, tolerance_pct: f64) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(tolerance_pct))
+            .collect()
+    }
+}
+
+/// Diffs `current` against `baseline` by `group/name` identity.
+pub fn compare(baseline: &[BaselineEntry], current: &[TimingResult]) -> Comparison {
+    let mut cmp = Comparison::default();
+    let mut seen = std::collections::HashSet::new();
+    for r in current {
+        let id = format!("{}/{}", r.group, r.name);
+        seen.insert(id.clone());
+        match baseline.iter().find(|b| b.id == id) {
+            Some(b) if b.median_ns > 0 => {
+                let delta_pct =
+                    (r.median_ns as f64 - b.median_ns as f64) / b.median_ns as f64 * 100.0;
+                cmp.deltas.push(Delta {
+                    id,
+                    baseline_ns: b.median_ns,
+                    current_ns: r.median_ns,
+                    delta_pct,
+                });
+            }
+            _ => cmp.new_benchmarks.push(id),
+        }
+    }
+    for b in baseline {
+        if !seen.contains(&b.id) {
+            cmp.missing.push(b.id.clone());
+        }
+    }
+    cmp
+}
+
+/// Renders the per-benchmark delta table plus new/missing notes — the
+/// output of the CI bench-regression step.
+pub fn render(cmp: &Comparison, tolerance_pct: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== bench regression report (fails above +{tolerance_pct:.0}%) ==\n"
+    ));
+    let width = cmp.deltas.iter().map(|d| d.id.len()).max().unwrap_or(0);
+    for d in &cmp.deltas {
+        let verdict = if d.regressed(tolerance_pct) {
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "  {:width$}  {:>9.3} ms -> {:>9.3} ms  {:>+8.1}%  {}\n",
+            d.id,
+            d.baseline_ns as f64 / 1e6,
+            d.current_ns as f64 / 1e6,
+            d.delta_pct,
+            verdict,
+        ));
+    }
+    for id in &cmp.new_benchmarks {
+        out.push_str(&format!("  {id}  (new: no baseline entry)\n"));
+    }
+    for id in &cmp.missing {
+        out.push_str(&format!("  {id}  (in baseline, not in this run)\n"));
+    }
+    let n = cmp.regressions(tolerance_pct).len();
+    out.push_str(&format!(
+        "{} benchmark(s) compared, {} regression(s) past tolerance\n",
+        cmp.deltas.len(),
+        n
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(group: &str, name: &str, median_ns: u128) -> TimingResult {
+        TimingResult {
+            group: group.into(),
+            name: name.into(),
+            runs: 3,
+            median_ns,
+            min_ns: median_ns,
+            max_ns: median_ns,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_bench_output() {
+        let line = result("engines", "wc", 1_500_000).to_json_line();
+        let entries = parse_baseline(&format!("{line}\n{line}\n\n")).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "engines/wc");
+        assert_eq!(entries[0].median_ns, 1_500_000);
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected_with_line_number() {
+        let err = parse_baseline("{\"group\":\"g\"}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("name"), "{err}");
+        assert!(parse_baseline("not json\n").is_err());
+    }
+
+    #[test]
+    fn deltas_and_verdicts() {
+        let baseline = vec![
+            BaselineEntry {
+                id: "g/fast".into(),
+                median_ns: 1_000_000,
+            },
+            BaselineEntry {
+                id: "g/slow".into(),
+                median_ns: 1_000_000,
+            },
+            BaselineEntry {
+                id: "g/gone".into(),
+                median_ns: 5,
+            },
+        ];
+        let current = vec![
+            result("g", "fast", 900_000),
+            result("g", "slow", 2_500_000),
+            result("g", "fresh", 1),
+        ];
+        let cmp = compare(&baseline, &current);
+        assert_eq!(cmp.deltas.len(), 2);
+        assert!(!cmp.deltas[0].regressed(100.0));
+        assert!(cmp.deltas[1].regressed(100.0)); // +150% > +100%
+        assert!(!cmp.deltas[1].regressed(200.0));
+        assert_eq!(cmp.new_benchmarks, vec!["g/fresh".to_string()]);
+        assert_eq!(cmp.missing, vec!["g/gone".to_string()]);
+        let report = render(&cmp, 100.0);
+        assert!(report.contains("REGRESSION"));
+        assert!(report.contains("1 regression(s)"));
+    }
+}

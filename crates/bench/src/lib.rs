@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod common;
+pub mod compare;
 pub mod figures;
 pub mod timing;
 

@@ -5,7 +5,7 @@ use crate::world::{TransferDone, World};
 
 /// Event-driven orchestration engine.
 ///
-/// The [`Driver`](crate::Driver) owns a [`World`] and an `Orchestrator`
+/// The driver ([`run`](crate::run)) owns a [`World`] and an `Orchestrator`
 /// and dispatches every simulation event to exactly one callback. Engines
 /// hold all paradigm-specific state (function readiness, container pools,
 /// pending transfers) themselves and mutate the world only through its

@@ -78,8 +78,11 @@ impl FluContext {
         found
     }
 
-    /// All input payloads whose data name is `name`, in producer order —
-    /// the fan-in (`merge`/`LIST`) accessor.
+    /// All input payloads whose data name is `name`, in **lexicographic
+    /// producer-key order** (`name@fn_10` sorts before `name@fn_2`) —
+    /// the fan-in (`merge`/`LIST`) accessor. Order-sensitive merges with
+    /// 10+ numbered producers should sort by [`FluContext::inputs`] keys
+    /// themselves.
     pub fn inputs_named(&self, name: &str) -> Vec<&Bytes> {
         let prefix = format!("{name}@");
         self.inputs

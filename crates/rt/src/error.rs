@@ -16,6 +16,9 @@ pub enum RtError {
     Faulted(String),
     /// The request id was never issued (or already collected).
     UnknownRequest,
+    /// The placement map names an unknown function or an out-of-range
+    /// node (details inside).
+    InvalidPlacement(String),
 }
 
 impl fmt::Display for RtError {
@@ -30,6 +33,7 @@ impl fmt::Display for RtError {
             RtError::Timeout => write!(f, "timed out waiting for workflow results"),
             RtError::Faulted(msg) => write!(f, "workflow faulted: {msg}"),
             RtError::UnknownRequest => write!(f, "unknown or already-collected request"),
+            RtError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
         }
     }
 }

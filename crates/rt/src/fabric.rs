@@ -1,0 +1,326 @@
+//! The in-process inter-node fabric: per-link bounded channels, optional
+//! bandwidth/latency shaping, and the chunked streaming protocol of the
+//! remote pipe connector (§7).
+//!
+//! Every ordered pair of distinct nodes is connected by one directed
+//! **link**: a bounded channel drained by a shipper thread. The bounded
+//! queue gives cross-node backpressure (a DLU daemon that out-produces a
+//! link blocks, exactly like a saturated local DLU queue), and the
+//! shipper applies the link's [`LinkConfig`] shaping before handing the
+//! message to the destination node's ingress.
+//!
+//! Transfers routed through the **streaming remote pipe** are cut into
+//! chunks by [`chunk_spans`] and reassembled on the destination node by a
+//! [`Reassembler`]; checkpoint marks along the stream follow the
+//! [`CheckpointSchedule`](dataflower::CheckpointSchedule) of the engine
+//! crate, so the live runtime and the simulator share one fault-recovery
+//! model.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dataflower_workflow::EdgeId;
+
+use crate::bytes::Bytes;
+use crate::channel::Receiver;
+
+/// Shaping parameters of one directed inter-node link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Propagation delay applied once per transfer (on the whole message,
+    /// or on the first chunk of a streamed one — later chunks are
+    /// pipelined behind it).
+    pub latency: Duration,
+    /// Serialization rate; `None` leaves the link unshaped (messages are
+    /// forwarded as fast as the shipper thread runs).
+    pub bandwidth_bytes_per_sec: Option<f64>,
+    /// Capacity of the link's bounded queue; a full link blocks the
+    /// sending DLU daemon (cross-node backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for LinkConfig {
+    /// An unshaped link with a 128-message queue.
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: None,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// A message travelling over an inter-node link.
+pub(crate) enum NetMsg {
+    /// An unchunked transfer: a small payload over the direct socket.
+    Whole {
+        req: u64,
+        edge: EdgeId,
+        key: String,
+        payload: Bytes,
+    },
+    /// One chunk of a streaming remote-pipe transfer.
+    Chunk {
+        req: u64,
+        edge: EdgeId,
+        key: String,
+        /// Distinguishes interleaved transfers on the same edge.
+        transfer: u64,
+        offset: usize,
+        total: usize,
+        bytes: Vec<u8>,
+    },
+}
+
+impl NetMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            NetMsg::Whole { payload, .. } => payload.len(),
+            NetMsg::Chunk { bytes, .. } => bytes.len(),
+        }
+    }
+
+    fn starts_transfer(&self) -> bool {
+        match self {
+            NetMsg::Whole { .. } => true,
+            NetMsg::Chunk { offset, .. } => *offset == 0,
+        }
+    }
+}
+
+/// The byte ranges a payload of `total` bytes is cut into when streamed
+/// through the remote pipe connector in `chunk_bytes`-sized chunks.
+///
+/// Spans are contiguous, disjoint, in order, and cover `0..total`
+/// exactly. An empty payload still yields one empty span so the transfer
+/// machinery observes every payload.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_rt::chunk_spans;
+///
+/// assert_eq!(chunk_spans(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+/// assert_eq!(chunk_spans(8, 4), vec![(0, 4), (4, 8)]);
+/// assert_eq!(chunk_spans(0, 4), vec![(0, 0)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is zero.
+pub fn chunk_spans(total: usize, chunk_bytes: usize) -> Vec<(usize, usize)> {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    if total == 0 {
+        return vec![(0, 0)];
+    }
+    let mut spans = Vec::with_capacity(total.div_ceil(chunk_bytes));
+    let mut lo = 0;
+    while lo < total {
+        let hi = (lo + chunk_bytes).min(total);
+        spans.push((lo, hi));
+        lo = hi;
+    }
+    spans
+}
+
+/// Reassembles the chunks of one streaming remote-pipe transfer back into
+/// the original payload.
+///
+/// Chunks may arrive in any order (the fabric delivers them in order, but
+/// the reassembler does not rely on it); each byte position must be
+/// written exactly once. [`Reassembler::complete`] reports when every
+/// byte of the announced total has arrived.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_rt::{chunk_spans, Reassembler};
+///
+/// let payload: Vec<u8> = (0..100u8).collect();
+/// let mut r = Reassembler::new(payload.len());
+/// for (lo, hi) in chunk_spans(payload.len(), 7) {
+///     r.write(lo, &payload[lo..hi]);
+/// }
+/// assert!(r.complete());
+/// assert_eq!(&*r.into_bytes(), &payload[..]);
+/// ```
+#[derive(Debug)]
+pub struct Reassembler {
+    buf: Vec<u8>,
+    /// Disjoint, sorted, merged byte ranges written so far. Coverage is
+    /// tracked positionally (not as a byte count) so duplicated or
+    /// overlapping chunks — e.g. a §6.2 checkpoint resume re-sending
+    /// from the last mark — can never make the transfer look complete
+    /// while bytes are still missing.
+    covered: Vec<(usize, usize)>,
+}
+
+impl Reassembler {
+    /// Prepares a buffer for a transfer of `total` bytes.
+    pub fn new(total: usize) -> Reassembler {
+        Reassembler {
+            buf: vec![0; total],
+            covered: Vec::new(),
+        }
+    }
+
+    /// Copies one chunk into place. Re-writing already-covered positions
+    /// (a retransmission) is harmless and does not advance completion.
+    ///
+    /// Returns `false` (ignoring the chunk) if it would overrun the
+    /// announced total; a well-behaved sender never triggers this.
+    pub fn write(&mut self, offset: usize, chunk: &[u8]) -> bool {
+        let Some(end) = offset.checked_add(chunk.len()) else {
+            return false;
+        };
+        if end > self.buf.len() {
+            return false;
+        }
+        self.buf[offset..end].copy_from_slice(chunk);
+        if offset < end {
+            self.cover(offset, end);
+        }
+        true
+    }
+
+    /// Merges `[lo, hi)` into the covered-interval set.
+    fn cover(&mut self, mut lo: usize, mut hi: usize) {
+        // Fold every interval touching [lo, hi) into it; keep the rest.
+        let mut kept = Vec::with_capacity(self.covered.len() + 1);
+        for &(a, b) in &self.covered {
+            if b < lo || hi < a {
+                kept.push((a, b));
+            } else {
+                lo = lo.min(a);
+                hi = hi.max(b);
+            }
+        }
+        let pos = kept.partition_point(|&(a, _)| a < lo);
+        kept.insert(pos, (lo, hi));
+        self.covered = kept;
+    }
+
+    /// True once every byte of the announced total has been written.
+    pub fn complete(&self) -> bool {
+        self.buf.is_empty() || self.covered == [(0, self.buf.len())]
+    }
+
+    /// The reassembled payload.
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Destination-side hook a link delivers into: the cluster runtime's
+/// per-node ingress.
+pub(crate) type Ingress = Arc<dyn Fn(NetMsg) + Send + Sync>;
+
+/// Spawns the shipper thread of one directed link `src → dst`.
+///
+/// The shipper drains the link's bounded queue in FIFO order, sleeps the
+/// shaped transfer time (latency once per transfer plus bytes/bandwidth
+/// serialization delay), then hands the message to `ingress`. It exits
+/// when every sender is gone; when `shutdown` is set it keeps draining
+/// but stops sleeping so teardown is prompt.
+pub(crate) fn spawn_link(
+    src: usize,
+    dst: usize,
+    cfg: LinkConfig,
+    rx: Receiver<NetMsg>,
+    ingress: Ingress,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("link-{src}-{dst}"))
+        .spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                if !shutdown.load(Ordering::Relaxed) {
+                    let mut delay = Duration::ZERO;
+                    if msg.starts_transfer() {
+                        delay += cfg.latency;
+                    }
+                    if let Some(bw) = cfg.bandwidth_bytes_per_sec {
+                        if bw > 0.0 {
+                            delay += Duration::from_secs_f64(msg.wire_bytes() as f64 / bw);
+                        }
+                    }
+                    if delay > Duration::ZERO {
+                        std::thread::sleep(delay);
+                    }
+                }
+                ingress(msg);
+            }
+        })
+        .expect("spawn link shipper")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_exactly() {
+        for (total, chunk) in [
+            (0usize, 1usize),
+            (1, 1),
+            (5, 2),
+            (16, 16),
+            (17, 16),
+            (100, 7),
+        ] {
+            let spans = chunk_spans(total, chunk);
+            assert_eq!(spans.first().unwrap().0, 0);
+            assert_eq!(spans.last().unwrap().1, total);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap or overlap in {spans:?}");
+            }
+            for (lo, hi) in &spans {
+                assert!(hi - lo <= chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn reassembler_rejects_overrun() {
+        let mut r = Reassembler::new(4);
+        assert!(!r.write(2, &[0, 0, 0]));
+        assert!(r.write(0, &[1, 2, 3, 4]));
+        assert!(r.complete());
+        assert_eq!(&*r.into_bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_order_writes_reassemble() {
+        let payload: Vec<u8> = (0..50u8).collect();
+        let mut spans = chunk_spans(payload.len(), 8);
+        spans.reverse();
+        let mut r = Reassembler::new(payload.len());
+        for (lo, hi) in spans {
+            assert!(!r.complete() || lo == hi);
+            r.write(lo, &payload[lo..hi]);
+        }
+        assert!(r.complete());
+        assert_eq!(&*r.into_bytes(), &payload[..]);
+    }
+
+    #[test]
+    fn retransmitted_chunks_do_not_fake_completion() {
+        let payload: Vec<u8> = (0..40u8).collect();
+        let mut r = Reassembler::new(payload.len());
+        assert!(r.write(0, &payload[0..16]));
+        assert!(r.write(8, &payload[8..24])); // checkpoint-resume overlap
+        assert!(r.write(0, &payload[0..16])); // exact duplicate
+        assert!(!r.complete(), "24 covered bytes must not look like 40");
+        assert!(r.write(24, &payload[24..40]));
+        assert!(r.complete());
+        assert_eq!(&*r.into_bytes(), &payload[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_rejected() {
+        chunk_spans(10, 0);
+    }
+}

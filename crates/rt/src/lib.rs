@@ -1,27 +1,38 @@
 //! # dataflower-rt
 //!
-//! A **live, multi-threaded implementation of the FLU/DLU programming
-//! model** — the same execution model the simulated engine reproduces,
-//! but with real threads, real bytes and real channels. It demonstrates
-//! that the paper's programming model (Fig. 5a) is directly expressible:
+//! A **live, multi-threaded, multi-node implementation of the FLU/DLU
+//! programming model** — the same execution model the simulated engine
+//! reproduces, but with real threads, real bytes and real channels. It
+//! demonstrates that the paper's programming model (Fig. 5a) and worker
+//! topology (Fig. 4) are directly expressible:
 //!
 //! * function bodies are plain Rust closures receiving a [`FluContext`];
 //! * `ctx.put(...)` hands data to the function's **DLU daemon thread**
 //!   mid-function; transfers overlap the rest of the computation;
 //! * downstream functions trigger on **data availability** — when the
-//!   last input lands in the in-process data sink, not when a controller
-//!   says so;
+//!   last input lands in the hosting node's data sink, not when a
+//!   controller says so;
+//! * a [`ClusterRuntime`] runs one [`NodeRuntime`] per simulated worker
+//!   node; a [`Placement`] maps functions to nodes, and every
+//!   inter-function transfer is classified through the paper's §7
+//!   three-way pipe choice — direct socket under 16 KiB, node-local pipe
+//!   when co-located, chunked streaming remote pipe (with §6.2
+//!   checkpoint marks) across nodes;
+//! * cross-node traffic rides an in-process fabric of per-link bounded
+//!   channels with optional bandwidth/latency shaping ([`LinkConfig`]);
 //! * bounded DLU queues exert genuine backpressure on over-producing
 //!   functions (Fig. 6a);
-//! * unconsumed sink entries passively expire via a janitor thread.
+//! * unconsumed sink entries passively expire via per-node janitors.
 //!
 //! The workflow *definition* is shared with the simulator
 //! ([`dataflower_workflow`]), so one definition drives both the
-//! evaluation figures and real execution.
+//! evaluation figures and real execution — single-node, co-located or
+//! spread, by swapping the [`Placement`].
 //!
-//! See [`RuntimeBuilder`] for a complete runnable example, and
-//! `examples/wordcount_live.rs` for a real word count over generated
-//! text.
+//! See [`RuntimeBuilder`] (single node) and [`ClusterRuntimeBuilder`]
+//! (multi-node) for complete runnable examples, and
+//! `examples/multinode_live.rs` for the paper benchmarks on a three-node
+//! topology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +41,16 @@ mod bytes;
 mod channel;
 mod context;
 mod error;
+mod fabric;
+mod node;
 mod runtime;
 
 pub use bytes::Bytes;
 pub use context::{FluContext, PutTarget};
 pub use error::RtError;
-pub use runtime::{ReqId, RtConfig, RtStats, Runtime, RuntimeBuilder};
+pub use fabric::{chunk_spans, LinkConfig, Reassembler};
+pub use node::{NodeRuntime, Placement};
+pub use runtime::{
+    ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, ReqId, RtConfig, RtStats, Runtime,
+    RuntimeBuilder,
+};

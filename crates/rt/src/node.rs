@@ -1,0 +1,277 @@
+//! Per-node state of the multi-node live runtime: the placement map, one
+//! [`NodeRuntime`] per simulated worker node, and the node-local data
+//! sink the DLU routes into.
+//!
+//! Each node owns the FLU executor threads and DLU daemon threads of the
+//! functions placed on it, its own Wait-Match data sink (inbound payloads
+//! keyed by `(request, function, edge)`), the reassembly buffers of
+//! in-flight remote-pipe transfers, and a janitor thread that passively
+//! expires unconsumed sink entries — the same anatomy the paper gives a
+//! worker node in Fig. 4, shrunk to threads inside one process.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dataflower_workflow::{ActiveGraph, EdgeId, FnId, Workflow};
+
+use crate::bytes::Bytes;
+use crate::fabric::Reassembler;
+
+/// Maps every workflow function to the node that hosts it.
+///
+/// Functions without an explicit assignment default to node 0, so a
+/// freshly created placement is the paper's co-located baseline; spread
+/// placements are built with [`Placement::assign`], or generated with
+/// [`Placement::round_robin`] / [`Placement::by_level`].
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_rt::Placement;
+///
+/// let p = Placement::with_nodes(3)
+///     .assign("split", 0)
+///     .assign("work", 1)
+///     .assign("merge", 2);
+/// assert_eq!(p.node_count(), 3);
+/// assert_eq!(p.node_of("work"), 1);
+/// assert_eq!(p.node_of("unassigned"), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    nodes: usize,
+    map: HashMap<String, usize>,
+}
+
+impl Placement {
+    /// A single-node placement: every function co-located (the original
+    /// one-worker runtime).
+    pub fn single_node() -> Placement {
+        Placement::with_nodes(1)
+    }
+
+    /// A placement over `nodes` worker nodes; functions default to
+    /// node 0 until assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn with_nodes(nodes: usize) -> Placement {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Placement {
+            nodes,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Pins function `name` to `node` (builder style).
+    pub fn assign(mut self, name: impl Into<String>, node: usize) -> Placement {
+        self.map.insert(name.into(), node);
+        self
+    }
+
+    /// Spreads functions across `nodes` in topological order, one by one
+    /// — maximally scattered: almost every data edge crosses nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn round_robin(wf: &Workflow, nodes: usize) -> Placement {
+        let mut p = Placement::with_nodes(nodes);
+        for (i, f) in wf.topo_order().iter().enumerate() {
+            p.map.insert(wf.function(*f).name.clone(), i % nodes);
+        }
+        p
+    }
+
+    /// Places each dependency level of the workflow on its own node
+    /// (level *l* on node *l* mod `nodes`): stages within a level stay
+    /// co-located, every level boundary crosses nodes. This is the spread
+    /// used by the `live_cluster` benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn by_level(wf: &Workflow, nodes: usize) -> Placement {
+        let mut p = Placement::with_nodes(nodes);
+        for (level, fns) in wf.levels().iter().enumerate() {
+            for f in fns {
+                p.map.insert(wf.function(*f).name.clone(), level % nodes);
+            }
+        }
+        p
+    }
+
+    /// The node hosting function `name` (node 0 when unassigned).
+    pub fn node_of(&self, name: &str) -> usize {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of worker nodes in the topology.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Validates the placement against `wf`: every assignment must name a
+    /// workflow function and a node inside the topology.
+    pub(crate) fn validate(&self, wf: &Workflow) -> Result<(), String> {
+        for (name, node) in &self.map {
+            if wf.function_by_name(name).is_none() {
+                return Err(format!("placement names unknown function `{name}`"));
+            }
+            if *node >= self.nodes {
+                return Err(format!(
+                    "function `{name}` placed on node {node}, but the topology has {} node(s)",
+                    self.nodes
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One payload parked in a node's data sink.
+pub(crate) struct SinkEntry {
+    pub key: String,
+    pub payload: Bytes,
+    pub arrived: Instant,
+    pub spilled: bool,
+}
+
+/// A node's view of one in-flight request.
+pub(crate) struct NodeReqState {
+    /// The request's resolved switch choices (shared across nodes).
+    pub active: Arc<ActiveGraph>,
+    /// Remaining input edges per *locally hosted* function before it
+    /// triggers; `usize::MAX` marks an already-triggered function.
+    pub missing: HashMap<FnId, usize>,
+    /// Inbound data awaiting its local consumer.
+    pub entries: HashMap<FnId, BTreeMap<EdgeId, SinkEntry>>,
+    /// Reassembly buffers of in-flight remote-pipe transfers, keyed by
+    /// `(edge, transfer id)`.
+    pub partial: HashMap<(EdgeId, u64), Reassembler>,
+}
+
+/// The shared (thread-accessible) state of one node: its data sink.
+pub(crate) struct NodeState {
+    pub sink: Mutex<HashMap<u64, NodeReqState>>,
+}
+
+impl NodeState {
+    pub fn new() -> NodeState {
+        NodeState {
+            sink: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// One worker node of a [`ClusterRuntime`](crate::ClusterRuntime): the
+/// FLU executors, DLU daemons, data sink and janitor of the functions
+/// placed on it.
+///
+/// Nodes are created by
+/// [`ClusterRuntimeBuilder::start`](crate::ClusterRuntimeBuilder::start);
+/// inspect them through [`ClusterRuntime::node`](crate::ClusterRuntime::node).
+pub struct NodeRuntime {
+    pub(crate) id: usize,
+    pub(crate) functions: Vec<String>,
+    pub(crate) state: Arc<NodeState>,
+    pub(crate) threads: Vec<JoinHandle<()>>,
+}
+
+impl NodeRuntime {
+    /// This node's index in the topology.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Names of the workflow functions hosted on this node, in workflow
+    /// declaration order.
+    pub fn hosted_functions(&self) -> &[String] {
+        &self.functions
+    }
+
+    /// Number of live threads this node owns (FLU executors, DLU daemons
+    /// and its janitor).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Payloads currently parked in this node's data sink, waiting for
+    /// their consumer's remaining inputs (across all in-flight requests).
+    pub fn parked_entries(&self) -> usize {
+        self.state
+            .sink
+            .lock()
+            .expect("node sink lock poisoned")
+            .values()
+            .map(|rs| rs.entries.values().map(BTreeMap::len).sum::<usize>())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("id", &self.id)
+            .field("functions", &self.functions)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+
+    fn chain() -> Workflow {
+        let mut b = WorkflowBuilder::new("chain");
+        let a = b.function("a", WorkModel::fixed(0.001));
+        let c = b.function("c", WorkModel::fixed(0.001));
+        b.client_input(a, "in", SizeModel::Fixed(1.0));
+        b.edge(a, c, "mid", SizeModel::Fixed(1.0));
+        b.client_output(c, "out", SizeModel::Fixed(1.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn by_level_spreads_levels() {
+        let wf = chain();
+        let p = Placement::by_level(&wf, 2);
+        assert_eq!(p.node_of("a"), 0);
+        assert_eq!(p.node_of("c"), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let wf = chain();
+        let p = Placement::round_robin(&wf, 2);
+        assert_ne!(p.node_of("a"), p.node_of("c"));
+    }
+
+    #[test]
+    fn validate_catches_bad_assignments() {
+        let wf = chain();
+        assert!(Placement::with_nodes(2)
+            .assign("ghost", 0)
+            .validate(&wf)
+            .is_err());
+        assert!(Placement::with_nodes(2)
+            .assign("a", 2)
+            .validate(&wf)
+            .is_err());
+        assert!(Placement::with_nodes(2)
+            .assign("a", 1)
+            .validate(&wf)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        Placement::with_nodes(0);
+    }
+}

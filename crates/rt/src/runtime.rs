@@ -1,20 +1,29 @@
-//! The live FLU/DLU runtime: real threads, real bytes.
+//! The live FLU/DLU runtime: real threads, real bytes — now on a
+//! multi-node topology.
 //!
-//! Architecture (one process standing in for one worker node):
+//! Architecture (one [`NodeRuntime`] per simulated worker node):
 //!
 //! * per function, one or more **FLU executor threads** consume an
-//!   invocation queue and run the registered function body;
+//!   invocation queue and run the registered function body on the node
+//!   the placement map assigns;
 //! * per function, a **DLU daemon thread** drains the `put` channel and
-//!   routes payloads along the workflow's data edges — to other
-//!   functions' data sinks or to the client results slot;
-//! * a shared **data sink** caches inbound data per `(request, function,
-//!   edge)` and triggers an FLU the instant its inputs are complete
-//!   (data-availability triggering, no orchestrator);
-//! * a **janitor thread** passively expires sink entries past their TTL
-//!   (counting them as spilled to disk).
+//!   routes payloads along the workflow's data edges, classifying every
+//!   inter-function transfer through the paper's three-way pipe choice
+//!   (§7): direct socket under the 16 KiB threshold, node-local pipe when
+//!   co-located, chunked streaming remote pipe across nodes;
+//! * each node owns a **data sink** that caches inbound data per
+//!   `(request, function, edge)` and triggers an FLU the instant its
+//!   inputs are complete (data-availability triggering, no orchestrator);
+//! * cross-node traffic flows over the in-process **fabric**: one bounded
+//!   channel plus shipper thread per directed node pair, with optional
+//!   bandwidth/latency shaping ([`LinkConfig`]);
+//! * a per-node **janitor thread** passively expires sink entries past
+//!   their TTL (counting them as spilled to disk).
 //!
 //! Bounded DLU queues give real backpressure: a function that produces
-//! faster than its DLU drains blocks in `put`, exactly Fig. 6a.
+//! faster than its DLU drains blocks in `put`, exactly Fig. 6a; a DLU
+//! that out-produces an inter-node link blocks on the link's bounded
+//! queue the same way.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -23,14 +32,18 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow};
+use dataflower::{choose_pipe, CheckpointSchedule, PipeKind};
+use dataflower_workflow::{EdgeId, Endpoint, Workflow};
 
 use crate::bytes::Bytes;
 use crate::channel::{bounded, unbounded, Receiver, Sender};
 use crate::context::{FluContext, PutTarget};
 use crate::error::RtError;
+use crate::fabric::{chunk_spans, spawn_link, LinkConfig, NetMsg};
+use crate::node::{NodeReqState, NodeRuntime, NodeState, Placement, SinkEntry};
 
-/// A request identifier issued by [`Runtime::invoke`].
+/// A request identifier issued by [`ClusterRuntime::invoke`] /
+/// [`Runtime::invoke`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId(pub(crate) u64);
 
@@ -40,7 +53,7 @@ impl fmt::Display for ReqId {
     }
 }
 
-/// Tuning knobs of the runtime.
+/// Per-node tuning knobs of the runtime.
 #[derive(Debug, Clone)]
 pub struct RtConfig {
     /// Capacity of each function's DLU queue; a full queue blocks `put`
@@ -50,7 +63,7 @@ pub struct RtConfig {
     /// Default number of FLU executor threads per function.
     pub flu_replicas: usize,
     /// Passive-expire TTL for unconsumed sink entries (`None` disables
-    /// the janitor).
+    /// the janitors).
     pub sink_ttl: Option<Duration>,
 }
 
@@ -64,8 +77,40 @@ impl Default for RtConfig {
     }
 }
 
-/// Counters exposed by [`Runtime::stats`].
-#[derive(Debug, Default)]
+/// Tuning knobs of a multi-node [`ClusterRuntime`]: the per-node
+/// [`RtConfig`] plus the paper's pipe-selection thresholds and the fabric
+/// link shaping.
+#[derive(Debug, Clone)]
+pub struct ClusterRtConfig {
+    /// Per-node executor/DLU/janitor knobs.
+    pub rt: RtConfig,
+    /// Payloads strictly under this many bytes bypass the pipe connector
+    /// and use the direct socket (§7's 16 KiB rule).
+    pub direct_threshold_bytes: usize,
+    /// Chunk size of the streaming remote pipe connector.
+    pub chunk_bytes: usize,
+    /// Checkpoint-mark interval of the remote pipe stream (§6.2).
+    pub checkpoint_interval_bytes: usize,
+    /// Shaping applied to every inter-node link.
+    pub link: LinkConfig,
+}
+
+impl Default for ClusterRtConfig {
+    /// 16 KiB direct threshold, 64 KiB chunks, 256 KiB checkpoint
+    /// interval, unshaped links.
+    fn default() -> Self {
+        ClusterRtConfig {
+            rt: RtConfig::default(),
+            direct_threshold_bytes: 16 * 1024,
+            chunk_bytes: 64 * 1024,
+            checkpoint_interval_bytes: 256 * 1024,
+            link: LinkConfig::default(),
+        }
+    }
+}
+
+/// Counters exposed by [`ClusterRuntime::stats`] / [`Runtime::stats`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RtStats {
     /// `put`/`put_to` calls routed by DLU daemons.
     pub puts: u64,
@@ -73,8 +118,27 @@ pub struct RtStats {
     pub deliveries: u64,
     /// Function invocations executed.
     pub invocations: u64,
-    /// Sink entries passively expired by the janitor.
+    /// Sink entries passively expired by the janitors.
     pub spills: u64,
+    /// Inter-function transfers that took the direct socket (< threshold).
+    pub direct_socket_transfers: u64,
+    /// Inter-function transfers that took the node-local pipe.
+    pub local_pipe_transfers: u64,
+    /// Inter-function transfers that took the streaming remote pipe.
+    pub remote_pipe_transfers: u64,
+    /// Chunks shipped by the remote pipe connector.
+    pub remote_chunks: u64,
+    /// Checkpoint marks recorded along remote pipe streams (§6.2).
+    pub remote_checkpoints: u64,
+    /// Payload bytes that crossed nodes (direct-socket and remote-pipe).
+    pub remote_bytes: u64,
+}
+
+impl RtStats {
+    /// Total inter-function transfers, across all three pipe kinds.
+    pub fn inter_function_transfers(&self) -> u64 {
+        self.direct_socket_transfers + self.local_pipe_transfers + self.remote_pipe_transfers
+    }
 }
 
 pub(crate) struct DluMsg {
@@ -93,60 +157,579 @@ enum FluMsg {
     Shutdown,
 }
 
-struct SinkEntry {
-    key: String,
-    payload: Bytes,
-    arrived: Instant,
-    spilled: bool,
-}
-
-struct ReqState {
-    active: ActiveGraph,
-    /// Remaining input edges per function before it can trigger.
-    missing: Vec<usize>,
-    /// Inbound data awaiting its consumer, per function.
-    sink: HashMap<FnId, BTreeMap<EdgeId, SinkEntry>>,
-    /// Client outputs still expected.
+/// Client-side state of one request: what `wait` observes. Per-node sink
+/// state (missing-input counts, parked payloads, reassembly buffers)
+/// lives in each [`NodeState`] instead.
+struct ClientReqState {
     outputs_missing: usize,
     outputs: Vec<(String, Bytes)>,
     errors: Vec<String>,
 }
 
+#[derive(Default)]
 struct Counters {
     puts: AtomicU64,
     deliveries: AtomicU64,
     invocations: AtomicU64,
     spills: AtomicU64,
+    direct_socket: AtomicU64,
+    local_pipe: AtomicU64,
+    remote_pipe: AtomicU64,
+    remote_chunks: AtomicU64,
+    remote_checkpoints: AtomicU64,
+    remote_bytes: AtomicU64,
 }
 
 struct Inner {
     workflow: Arc<Workflow>,
+    cfg: ClusterRtConfig,
+    placement: Placement,
     flu_tx: HashMap<String, Sender<FluMsg>>,
-    reqs: Mutex<HashMap<u64, ReqState>>,
+    reqs: Mutex<HashMap<u64, ClientReqState>>,
     done: Condvar,
+    nodes: Vec<Arc<NodeState>>,
     counters: Counters,
-    shutdown: AtomicBool,
+    shutdown: Arc<AtomicBool>,
+    /// Pairs with `shutdown`: janitors sleep on this condvar so teardown
+    /// does not have to wait out their polling tick.
+    shutdown_mx: Mutex<()>,
+    shutdown_cv: Condvar,
+    next_transfer: AtomicU64,
 }
 
 type Body = Arc<dyn Fn(&mut FluContext) + Send + Sync>;
 
-/// Builder for a [`Runtime`]: register one body per workflow function,
-/// then [`RuntimeBuilder::start`].
-pub struct RuntimeBuilder {
+/// Builder for a [`ClusterRuntime`]: register one body per workflow
+/// function, pick a [`Placement`], then [`ClusterRuntimeBuilder::start`].
+///
+/// # Examples
+///
+/// A two-stage pipeline spread over two nodes; the 64 KiB payload rides
+/// the streaming remote pipe between them:
+///
+/// ```
+/// use std::sync::Arc;
+/// use dataflower_rt::{Bytes, ClusterRuntimeBuilder, Placement};
+/// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new("pipeline");
+/// let upper = b.function("upper", WorkModel::fixed(0.001));
+/// let rev = b.function("rev", WorkModel::fixed(0.001));
+/// b.client_input(upper, "text", SizeModel::Fixed(64.0));
+/// b.edge(upper, rev, "upped", SizeModel::Fixed(64.0));
+/// b.client_output(rev, "result", SizeModel::Fixed(64.0));
+/// let wf = Arc::new(b.build()?);
+///
+/// let rt = ClusterRuntimeBuilder::new(wf)
+///     .placement(Placement::with_nodes(2).assign("upper", 0).assign("rev", 1))
+///     .register("upper", |ctx| {
+///         let s = String::from_utf8_lossy(ctx.input("text").unwrap()).to_uppercase();
+///         ctx.put("upped", Bytes::from(s));
+///     })
+///     .register("rev", |ctx| {
+///         let s: String = String::from_utf8_lossy(ctx.input("upped").unwrap())
+///             .chars().rev().collect();
+///         ctx.put("result", Bytes::from(s));
+///     })
+///     .start()
+///     .unwrap();
+///
+/// let payload = "dataflower ".repeat(6000); // ~64 KiB: over the 16 KiB threshold
+/// let req = rt.invoke(vec![("text".into(), Bytes::from(payload))]);
+/// let outputs = rt.wait(req, std::time::Duration::from_secs(5)).unwrap();
+/// assert!(outputs[0].1.starts_with(b" REWOLFATAD"));
+/// assert!(rt.stats().remote_pipe_transfers > 0);
+/// rt.shutdown();
+/// # Ok::<(), dataflower_workflow::WorkflowError>(())
+/// ```
+pub struct ClusterRuntimeBuilder {
     workflow: Arc<Workflow>,
-    cfg: RtConfig,
+    cfg: ClusterRtConfig,
+    placement: Placement,
     bodies: HashMap<String, Body>,
     replicas: HashMap<String, usize>,
+}
+
+impl ClusterRuntimeBuilder {
+    /// Starts building a runtime for `workflow` (single-node placement
+    /// until [`ClusterRuntimeBuilder::placement`] replaces it).
+    pub fn new(workflow: Arc<Workflow>) -> Self {
+        ClusterRuntimeBuilder {
+            workflow,
+            cfg: ClusterRtConfig::default(),
+            placement: Placement::single_node(),
+            bodies: HashMap::new(),
+            replicas: HashMap::new(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn config(mut self, cfg: ClusterRtConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Replaces the placement map.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Registers the body of function `name`.
+    pub fn register<F>(mut self, name: impl Into<String>, body: F) -> Self
+    where
+        F: Fn(&mut FluContext) + Send + Sync + 'static,
+    {
+        self.bodies.insert(name.into(), Arc::new(body));
+        self
+    }
+
+    /// Overrides the executor-thread count for function `name`
+    /// (scale-out within its node).
+    pub fn replicas(mut self, name: impl Into<String>, n: usize) -> Self {
+        self.replicas.insert(name.into(), n.max(1));
+        self
+    }
+
+    /// Validates registrations and the placement, then spawns every node
+    /// and fabric thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::UnregisteredFunction`] if a workflow function
+    /// has no body, [`RtError::UnknownFunction`] if a body or replica
+    /// override names a function not in the workflow, or
+    /// [`RtError::InvalidPlacement`] if the placement names an unknown
+    /// function or an out-of-range node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's `chunk_bytes` or
+    /// `checkpoint_interval_bytes` is zero.
+    pub fn start(self) -> Result<ClusterRuntime, RtError> {
+        assert!(self.cfg.chunk_bytes > 0, "chunk_bytes must be positive");
+        assert!(
+            self.cfg.checkpoint_interval_bytes > 0,
+            "checkpoint_interval_bytes must be positive"
+        );
+        for f in self.workflow.function_ids() {
+            let name = &self.workflow.function(f).name;
+            if !self.bodies.contains_key(name) {
+                return Err(RtError::UnregisteredFunction(name.clone()));
+            }
+        }
+        for name in self.bodies.keys().chain(self.replicas.keys()) {
+            if self.workflow.function_by_name(name).is_none() {
+                return Err(RtError::UnknownFunction(name.clone()));
+            }
+        }
+        self.placement
+            .validate(&self.workflow)
+            .map_err(RtError::InvalidPlacement)?;
+
+        let node_count = self.placement.node_count();
+        let mut flu_tx = HashMap::new();
+        let mut flu_rx: HashMap<String, Receiver<FluMsg>> = HashMap::new();
+        for f in self.workflow.function_ids() {
+            let name = self.workflow.function(f).name.clone();
+            let (tx, rx) = unbounded();
+            flu_tx.insert(name.clone(), tx);
+            flu_rx.insert(name, rx);
+        }
+        let node_states: Vec<Arc<NodeState>> = (0..node_count)
+            .map(|_| Arc::new(NodeState::new()))
+            .collect();
+        let inner = Arc::new(Inner {
+            workflow: Arc::clone(&self.workflow),
+            cfg: self.cfg.clone(),
+            placement: self.placement.clone(),
+            flu_tx,
+            reqs: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            nodes: node_states,
+            counters: Counters::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown_mx: Mutex::new(()),
+            shutdown_cv: Condvar::new(),
+            next_transfer: AtomicU64::new(0),
+        });
+
+        // Fabric: one bounded link + shipper thread per directed node
+        // pair. Only the DLU daemons of the source node hold a link's
+        // senders, so daemon exit cascades into shipper exit at teardown.
+        let mut fabric_threads = Vec::new();
+        let mut links_by_src: Vec<Arc<Vec<Option<Sender<NetMsg>>>>> = Vec::new();
+        for src in 0..node_count {
+            let mut row: Vec<Option<Sender<NetMsg>>> = Vec::with_capacity(node_count);
+            for dst in 0..node_count {
+                if src == dst {
+                    row.push(None);
+                    continue;
+                }
+                let (tx, rx) = bounded::<NetMsg>(self.cfg.link.queue_capacity);
+                let ingress_inner = Arc::clone(&inner);
+                fabric_threads.push(spawn_link(
+                    src,
+                    dst,
+                    self.cfg.link.clone(),
+                    rx,
+                    Arc::new(move |msg| ingress(&ingress_inner, dst, msg)),
+                    Arc::clone(&inner.shutdown),
+                ));
+                row.push(Some(tx));
+            }
+            links_by_src.push(Arc::new(row));
+        }
+
+        // Nodes: FLU executors and DLU daemons for the hosted functions,
+        // plus one janitor each.
+        let mut nodes = Vec::new();
+        let mut replica_counts = HashMap::new();
+        for (node_id, links_row) in links_by_src.iter().enumerate() {
+            let mut threads = Vec::new();
+            let mut hosted = Vec::new();
+            for f in self.workflow.function_ids() {
+                let name = self.workflow.function(f).name.clone();
+                if self.placement.node_of(&name) != node_id {
+                    continue;
+                }
+                hosted.push(name.clone());
+                let body = Arc::clone(&self.bodies[&name]);
+                let replicas = *self
+                    .replicas
+                    .get(&name)
+                    .unwrap_or(&self.cfg.rt.flu_replicas);
+                replica_counts.insert(name.clone(), replicas);
+
+                // Per-function DLU daemon, owned by this node.
+                let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
+                {
+                    let inner = Arc::clone(&inner);
+                    let links = Arc::clone(links_row);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("node{node_id}-dlu-{name}"))
+                            .spawn(move || dlu_daemon(inner, links, dlu_rx))
+                            .expect("spawn dlu daemon"),
+                    );
+                }
+                // FLU executors.
+                let rx = flu_rx.remove(&name).expect("channel created");
+                for k in 0..replicas {
+                    let inner = Arc::clone(&inner);
+                    let rx = rx.clone();
+                    let body = Arc::clone(&body);
+                    let dlu = dlu_tx.clone();
+                    let fn_name = name.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("node{node_id}-flu-{name}-{k}"))
+                            .spawn(move || flu_executor(inner, fn_name, rx, body, dlu))
+                            .expect("spawn flu executor"),
+                    );
+                }
+            }
+            // Node-local janitor for passive expire.
+            if let Some(ttl) = self.cfg.rt.sink_ttl {
+                let inner = Arc::clone(&inner);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("node{node_id}-janitor"))
+                        .spawn(move || janitor(inner, node_id, ttl))
+                        .expect("spawn janitor"),
+                );
+            }
+            nodes.push(NodeRuntime {
+                id: node_id,
+                functions: hosted,
+                state: Arc::clone(&inner.nodes[node_id]),
+                threads,
+            });
+        }
+        drop(links_by_src); // daemons hold the only remaining senders
+
+        Ok(ClusterRuntime {
+            inner,
+            nodes,
+            fabric_threads,
+            replica_counts,
+            next_req: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A running multi-node FLU/DLU runtime. Create with
+/// [`ClusterRuntimeBuilder`]; for the single-node special case,
+/// [`RuntimeBuilder`] is a thinner front door.
+pub struct ClusterRuntime {
+    inner: Arc<Inner>,
+    nodes: Vec<NodeRuntime>,
+    fabric_threads: Vec<JoinHandle<()>>,
+    replica_counts: HashMap<String, usize>,
+    next_req: AtomicU64,
+}
+
+impl ClusterRuntime {
+    /// Invokes the workflow with client inputs `(data_name, payload)`.
+    /// Returns immediately; collect results with [`ClusterRuntime::wait`].
+    pub fn invoke(&self, inputs: Vec<(String, Bytes)>) -> ReqId {
+        let req = ReqId(self.next_req.fetch_add(1, Ordering::Relaxed));
+        let wf = &self.inner.workflow;
+        // Resolve switches deterministically per request.
+        let seed = req.0;
+        let active =
+            Arc::new(wf.resolve_switches(|group, n| ((seed ^ group as u64) % n as u64) as usize));
+
+        let outputs_missing = wf
+            .client_outputs()
+            .filter(|e| active.edge_active(*e))
+            .count();
+        self.inner
+            .reqs
+            .lock()
+            .expect("runtime lock poisoned")
+            .insert(
+                req.0,
+                ClientReqState {
+                    outputs_missing,
+                    outputs: Vec::new(),
+                    errors: Vec::new(),
+                },
+            );
+
+        // Seed every node's sink with the request's missing-input counts
+        // for the functions it hosts.
+        for (node_id, node) in self.inner.nodes.iter().enumerate() {
+            let mut missing = HashMap::new();
+            for f in wf.function_ids() {
+                let name = &wf.function(f).name;
+                if self.inner.placement.node_of(name) != node_id || !active.function_active(f) {
+                    continue;
+                }
+                let count = wf
+                    .inputs(f)
+                    .iter()
+                    .filter(|e| active.edge_active(**e))
+                    .count();
+                missing.insert(f, count);
+            }
+            node.sink.lock().expect("node sink lock poisoned").insert(
+                req.0,
+                NodeReqState {
+                    active: Arc::clone(&active),
+                    missing,
+                    entries: HashMap::new(),
+                    partial: HashMap::new(),
+                },
+            );
+        }
+
+        // Deliver the client inputs by data name (cluster ingress: no
+        // inter-node shaping on the way in).
+        for (name, payload) in inputs {
+            let mut matched = false;
+            for eid in wf.client_inputs().collect::<Vec<_>>() {
+                let e = wf.edge(eid);
+                if e.data_name == name {
+                    matched = true;
+                    if let Endpoint::Function(dst) = e.target {
+                        let dst_node = self.inner.placement.node_of(&wf.function(dst).name);
+                        deliver(
+                            &self.inner,
+                            dst_node,
+                            req,
+                            eid,
+                            format!("{name}@$USER"),
+                            payload.clone(),
+                        );
+                    }
+                }
+            }
+            if !matched {
+                let mut reqs = self.inner.reqs.lock().expect("runtime lock poisoned");
+                if let Some(rs) = reqs.get_mut(&req.0) {
+                    rs.errors
+                        .push(format!("no client input edge named `{name}`"));
+                }
+                self.inner.done.notify_all();
+            }
+        }
+        req
+    }
+
+    /// Blocks until every client output of `req` arrived, or `timeout`.
+    ///
+    /// A successful wait releases everything the runtime tracked for the
+    /// request. A timed-out or faulted request stays tracked so `wait`
+    /// can be retried; callers abandoning such a request should
+    /// [`ClusterRuntime::forget`] it, or its parked payloads remain in
+    /// the node sinks for the runtime's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if the deadline passes first;
+    /// [`RtError::Faulted`] if any function body reported an error (e.g.
+    /// a `put` with an unknown data name); [`RtError::UnknownRequest`]
+    /// for a foreign id.
+    pub fn wait(&self, req: ReqId, timeout: Duration) -> Result<Vec<(String, Bytes)>, RtError> {
+        let deadline = Instant::now() + timeout;
+        let mut reqs = self.inner.reqs.lock().expect("runtime lock poisoned");
+        loop {
+            let rs = reqs.get(&req.0).ok_or(RtError::UnknownRequest)?;
+            if !rs.errors.is_empty() {
+                return Err(RtError::Faulted(rs.errors.join("; ")));
+            }
+            if rs.outputs_missing == 0 {
+                let rs = reqs.remove(&req.0).expect("checked above");
+                drop(reqs);
+                // Drop the request's per-node sink state (leftover
+                // entries of switched-off branches, reassembly buffers).
+                self.purge_nodes(req);
+                return Ok(rs.outputs);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RtError::Timeout);
+            }
+            reqs = self
+                .inner
+                .done
+                .wait_timeout(reqs, deadline - now)
+                .expect("runtime lock poisoned")
+                .0;
+        }
+    }
+
+    /// Abandons a request: drops its client-side state and every node's
+    /// parked payloads and reassembly buffers for it. Call this after
+    /// giving up on a timed-out or faulted request so a long-lived
+    /// runtime does not accumulate dead sink entries; in-flight puts for
+    /// the request are discarded on arrival afterwards.
+    pub fn forget(&self, req: ReqId) {
+        self.inner
+            .reqs
+            .lock()
+            .expect("runtime lock poisoned")
+            .remove(&req.0);
+        self.purge_nodes(req);
+    }
+
+    fn purge_nodes(&self, req: ReqId) {
+        for node in &self.inner.nodes {
+            node.sink
+                .lock()
+                .expect("node sink lock poisoned")
+                .remove(&req.0);
+        }
+    }
+
+    /// Number of worker nodes in the topology.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node at `index` (FLU executors, DLU daemons, sink, janitor of
+    /// the functions placed there).
+    pub fn node(&self, index: usize) -> &NodeRuntime {
+        &self.nodes[index]
+    }
+
+    /// The node hosting function `name` per the placement map.
+    pub fn node_of(&self, name: &str) -> usize {
+        self.inner.placement.node_of(name)
+    }
+
+    /// Number of FLU executor threads serving `name` (scale-out view).
+    pub fn replicas_of(&self, name: &str) -> Option<usize> {
+        self.replica_counts.get(name).copied()
+    }
+
+    /// Runtime counters, aggregated across all nodes and links.
+    pub fn stats(&self) -> RtStats {
+        let c = &self.inner.counters;
+        RtStats {
+            puts: c.puts.load(Ordering::Relaxed),
+            deliveries: c.deliveries.load(Ordering::Relaxed),
+            invocations: c.invocations.load(Ordering::Relaxed),
+            spills: c.spills.load(Ordering::Relaxed),
+            direct_socket_transfers: c.direct_socket.load(Ordering::Relaxed),
+            local_pipe_transfers: c.local_pipe.load(Ordering::Relaxed),
+            remote_pipe_transfers: c.remote_pipe.load(Ordering::Relaxed),
+            remote_chunks: c.remote_chunks.load(Ordering::Relaxed),
+            remote_checkpoints: c.remote_checkpoints.load(Ordering::Relaxed),
+            remote_bytes: c.remote_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops all node and fabric threads and waits for them (clean
+    /// teardown; prefer this over relying on `Drop`, which detaches
+    /// without joining).
+    ///
+    /// Teardown cascades: FLU executors drain their shutdown messages and
+    /// drop the DLU senders, the DLU daemons drain and drop the link
+    /// senders, the link shippers drain and exit.
+    pub fn shutdown(mut self) {
+        self.signal_shutdown();
+        for node in &mut self.nodes {
+            for t in node.threads.drain(..) {
+                let _ = t.join();
+            }
+        }
+        for t in self.fabric_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Taking the lock orders the store before any janitor's next
+        // wait, so none of them can sleep through the signal.
+        drop(
+            self.inner
+                .shutdown_mx
+                .lock()
+                .expect("shutdown lock poisoned"),
+        );
+        self.inner.shutdown_cv.notify_all();
+        for f in self.inner.workflow.function_ids() {
+            let name = &self.inner.workflow.function(f).name;
+            for _ in 0..self.replica_counts.get(name).copied().unwrap_or(1) {
+                let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
+            }
+        }
+    }
+}
+
+impl Drop for ClusterRuntime {
+    fn drop(&mut self) {
+        // Non-blocking teardown: signal and detach (C-DTOR-BLOCK).
+        self.signal_shutdown();
+    }
+}
+
+impl fmt::Debug for ClusterRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterRuntime")
+            .field("workflow", &self.inner.workflow.name())
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.fabric_threads.len())
+            .finish()
+    }
+}
+
+/// Builder for a single-node [`Runtime`]: register one body per workflow
+/// function, then [`RuntimeBuilder::start`].
+pub struct RuntimeBuilder {
+    builder: ClusterRuntimeBuilder,
+    cfg: RtConfig,
 }
 
 impl RuntimeBuilder {
     /// Starts building a runtime for `workflow`.
     pub fn new(workflow: Arc<Workflow>) -> Self {
         RuntimeBuilder {
-            workflow,
+            builder: ClusterRuntimeBuilder::new(workflow),
             cfg: RtConfig::default(),
-            bodies: HashMap::new(),
-            replicas: HashMap::new(),
         }
     }
 
@@ -161,14 +744,14 @@ impl RuntimeBuilder {
     where
         F: Fn(&mut FluContext) + Send + Sync + 'static,
     {
-        self.bodies.insert(name.into(), Arc::new(body));
+        self.builder = self.builder.register(name, body);
         self
     }
 
     /// Overrides the executor-thread count for function `name`
     /// (scale-out within the process).
     pub fn replicas(mut self, name: impl Into<String>, n: usize) -> Self {
-        self.replicas.insert(name.into(), n.max(1));
+        self.builder = self.builder.replicas(name, n);
         self
     }
 
@@ -180,98 +763,20 @@ impl RuntimeBuilder {
     /// has no body, or [`RtError::UnknownFunction`] if a body or replica
     /// override names a function not in the workflow.
     pub fn start(self) -> Result<Runtime, RtError> {
-        for f in self.workflow.function_ids() {
-            let name = &self.workflow.function(f).name;
-            if !self.bodies.contains_key(name) {
-                return Err(RtError::UnregisteredFunction(name.clone()));
-            }
-        }
-        for name in self.bodies.keys().chain(self.replicas.keys()) {
-            if self.workflow.function_by_name(name).is_none() {
-                return Err(RtError::UnknownFunction(name.clone()));
-            }
-        }
-
-        let mut flu_tx = HashMap::new();
-        let mut flu_rx: HashMap<String, Receiver<FluMsg>> = HashMap::new();
-        for f in self.workflow.function_ids() {
-            let name = self.workflow.function(f).name.clone();
-            let (tx, rx) = unbounded();
-            flu_tx.insert(name.clone(), tx);
-            flu_rx.insert(name, rx);
-        }
-        let inner = Arc::new(Inner {
-            workflow: Arc::clone(&self.workflow),
-            flu_tx,
-            reqs: Mutex::new(HashMap::new()),
-            done: Condvar::new(),
-            counters: Counters {
-                puts: AtomicU64::new(0),
-                deliveries: AtomicU64::new(0),
-                invocations: AtomicU64::new(0),
-                spills: AtomicU64::new(0),
-            },
-            shutdown: AtomicBool::new(false),
-        });
-
-        let mut threads = Vec::new();
-        let mut replica_counts = HashMap::new();
-        for f in self.workflow.function_ids() {
-            let name = self.workflow.function(f).name.clone();
-            let body = Arc::clone(&self.bodies[&name]);
-            let replicas = *self.replicas.get(&name).unwrap_or(&self.cfg.flu_replicas);
-            replica_counts.insert(name.clone(), replicas);
-
-            // Per-function DLU daemon.
-            let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.dlu_queue_capacity);
-            {
-                let inner = Arc::clone(&inner);
-                let thread_name = format!("dlu-{name}");
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(thread_name)
-                        .spawn(move || dlu_daemon(inner, dlu_rx))
-                        .expect("spawn dlu daemon"),
-                );
-            }
-            // FLU executors.
-            let rx = flu_rx.remove(&name).expect("channel created");
-            for k in 0..replicas {
-                let inner = Arc::clone(&inner);
-                let rx = rx.clone();
-                let body = Arc::clone(&body);
-                let dlu = dlu_tx.clone();
-                let fn_name = name.clone();
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("flu-{name}-{k}"))
-                        .spawn(move || flu_executor(inner, fn_name, rx, body, dlu))
-                        .expect("spawn flu executor"),
-                );
-            }
-        }
-
-        // Janitor for passive expire.
-        if let Some(ttl) = self.cfg.sink_ttl {
-            let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("sink-janitor".into())
-                    .spawn(move || janitor(inner, ttl))
-                    .expect("spawn janitor"),
-            );
-        }
-
-        Ok(Runtime {
-            inner,
-            threads,
-            replica_counts,
-            next_req: AtomicU64::new(0),
-        })
+        let cluster = self
+            .builder
+            .config(ClusterRtConfig {
+                rt: self.cfg,
+                ..ClusterRtConfig::default()
+            })
+            .placement(Placement::single_node())
+            .start()?;
+        Ok(Runtime { cluster })
     }
 }
 
-/// A running FLU/DLU runtime. Create with [`RuntimeBuilder`].
+/// A running single-node FLU/DLU runtime — a [`ClusterRuntime`] pinned to
+/// one worker node. Create with [`RuntimeBuilder`].
 ///
 /// # Examples
 ///
@@ -310,163 +815,51 @@ impl RuntimeBuilder {
 /// # Ok::<(), dataflower_workflow::WorkflowError>(())
 /// ```
 pub struct Runtime {
-    inner: Arc<Inner>,
-    threads: Vec<JoinHandle<()>>,
-    replica_counts: HashMap<String, usize>,
-    next_req: AtomicU64,
+    cluster: ClusterRuntime,
 }
 
 impl Runtime {
     /// Invokes the workflow with client inputs `(data_name, payload)`.
     /// Returns immediately; collect results with [`Runtime::wait`].
     pub fn invoke(&self, inputs: Vec<(String, Bytes)>) -> ReqId {
-        let req = ReqId(self.next_req.fetch_add(1, Ordering::Relaxed));
-        let wf = &self.inner.workflow;
-        // Resolve switches deterministically per request.
-        let seed = req.0;
-        let active = wf.resolve_switches(|group, n| ((seed ^ group as u64) % n as u64) as usize);
-
-        let mut missing = vec![0usize; wf.function_count()];
-        for f in wf.function_ids() {
-            if !active.function_active(f) {
-                continue;
-            }
-            missing[f.index()] = wf
-                .inputs(f)
-                .iter()
-                .filter(|e| active.edge_active(**e))
-                .count();
-        }
-        let outputs_missing = wf
-            .client_outputs()
-            .filter(|e| active.edge_active(*e))
-            .count();
-        self.inner
-            .reqs
-            .lock()
-            .expect("runtime lock poisoned")
-            .insert(
-                req.0,
-                ReqState {
-                    active,
-                    missing,
-                    sink: HashMap::new(),
-                    outputs_missing,
-                    outputs: Vec::new(),
-                    errors: Vec::new(),
-                },
-            );
-
-        // Deliver the client inputs by data name.
-        for (name, payload) in inputs {
-            let mut matched = false;
-            for eid in wf.client_inputs().collect::<Vec<_>>() {
-                let e = wf.edge(eid);
-                if e.data_name == name {
-                    matched = true;
-                    deliver(
-                        &self.inner,
-                        req,
-                        eid,
-                        format!("{name}@$USER"),
-                        payload.clone(),
-                    );
-                }
-            }
-            if !matched {
-                let mut reqs = self.inner.reqs.lock().expect("runtime lock poisoned");
-                if let Some(rs) = reqs.get_mut(&req.0) {
-                    rs.errors
-                        .push(format!("no client input edge named `{name}`"));
-                }
-            }
-        }
-        req
+        self.cluster.invoke(inputs)
     }
 
     /// Blocks until every client output of `req` arrived, or `timeout`.
     ///
     /// # Errors
     ///
-    /// [`RtError::Timeout`] if the deadline passes first;
-    /// [`RtError::Faulted`] if any function body reported an error (e.g.
-    /// a `put` with an unknown data name); [`RtError::UnknownRequest`]
-    /// for a foreign id.
+    /// See [`ClusterRuntime::wait`].
     pub fn wait(&self, req: ReqId, timeout: Duration) -> Result<Vec<(String, Bytes)>, RtError> {
-        let deadline = Instant::now() + timeout;
-        let mut reqs = self.inner.reqs.lock().expect("runtime lock poisoned");
-        loop {
-            let rs = reqs.get(&req.0).ok_or(RtError::UnknownRequest)?;
-            if !rs.errors.is_empty() {
-                return Err(RtError::Faulted(rs.errors.join("; ")));
-            }
-            if rs.outputs_missing == 0 {
-                let rs = reqs.remove(&req.0).expect("checked above");
-                return Ok(rs.outputs);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(RtError::Timeout);
-            }
-            reqs = self
-                .inner
-                .done
-                .wait_timeout(reqs, deadline - now)
-                .expect("runtime lock poisoned")
-                .0;
-        }
+        self.cluster.wait(req, timeout)
+    }
+
+    /// Abandons a request; see [`ClusterRuntime::forget`].
+    pub fn forget(&self, req: ReqId) {
+        self.cluster.forget(req)
     }
 
     /// Number of FLU executor threads serving `name` (scale-out view).
     pub fn replicas_of(&self, name: &str) -> Option<usize> {
-        self.replica_counts.get(name).copied()
+        self.cluster.replicas_of(name)
     }
 
     /// Runtime counters.
     pub fn stats(&self) -> RtStats {
-        RtStats {
-            puts: self.inner.counters.puts.load(Ordering::Relaxed),
-            deliveries: self.inner.counters.deliveries.load(Ordering::Relaxed),
-            invocations: self.inner.counters.invocations.load(Ordering::Relaxed),
-            spills: self.inner.counters.spills.load(Ordering::Relaxed),
-        }
+        self.cluster.stats()
     }
 
     /// Stops all threads and waits for them (clean teardown; prefer this
     /// over relying on `Drop`, which detaches without joining).
-    pub fn shutdown(mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        for f in self.inner.workflow.function_ids() {
-            let name = &self.inner.workflow.function(f).name;
-            let replicas = self.replica_counts[name];
-            for _ in 0..replicas {
-                let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
-            }
-        }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for Runtime {
-    fn drop(&mut self) {
-        // Non-blocking teardown: signal and detach (C-DTOR-BLOCK).
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        for f in self.inner.workflow.function_ids() {
-            let name = &self.inner.workflow.function(f).name;
-            for _ in 0..self.replica_counts.get(name).copied().unwrap_or(1) {
-                let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
-            }
-        }
+    pub fn shutdown(self) {
+        self.cluster.shutdown()
     }
 }
 
 impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runtime")
-            .field("workflow", &self.inner.workflow.name())
-            .field("threads", &self.threads.len())
+            .field("cluster", &self.cluster)
             .finish()
     }
 }
@@ -490,26 +883,31 @@ fn flu_executor(
     }
 }
 
-fn dlu_daemon(inner: Arc<Inner>, rx: Receiver<DluMsg>) {
+fn dlu_daemon(inner: Arc<Inner>, links: Arc<Vec<Option<Sender<NetMsg>>>>, rx: Receiver<DluMsg>) {
     while let Ok(msg) = rx.recv() {
         if inner.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        route(&inner, msg);
+        route(&inner, &links, msg);
     }
 }
 
-/// Routes one DLU put along the matching data edges.
-fn route(inner: &Inner, msg: DluMsg) {
+/// Routes one DLU put along the matching data edges, classifying each
+/// inter-function transfer through the paper's three-way pipe choice.
+fn route(inner: &Inner, links: &[Option<Sender<NetMsg>>], msg: DluMsg) {
     inner.counters.puts.fetch_add(1, Ordering::Relaxed);
     let wf = &inner.workflow;
     let Some(src) = wf.function_by_name(&msg.src_fn) else {
         return;
     };
+    let src_node = inner.placement.node_of(&msg.src_fn);
     let active = {
-        let reqs = inner.reqs.lock().expect("runtime lock poisoned");
-        match reqs.get(&msg.req.0) {
-            Some(rs) => rs.active.clone(),
+        let sink = inner.nodes[src_node]
+            .sink
+            .lock()
+            .expect("node sink lock poisoned");
+        match sink.get(&msg.req.0) {
+            Some(rs) => Arc::clone(&rs.active),
             None => return, // request already collected
         }
     };
@@ -543,9 +941,19 @@ fn route(inner: &Inner, msg: DluMsg) {
                     }
                 }
             }
-            Endpoint::Function(_) => {
+            Endpoint::Function(t) => {
+                let dst_node = inner.placement.node_of(&wf.function(t).name);
                 let key = format!("{}@{}", msg.data_name, msg.src_fn);
-                deliver(inner, msg.req, eid, key, msg.payload.clone());
+                ship(
+                    inner,
+                    links,
+                    src_node,
+                    dst_node,
+                    msg.req,
+                    eid,
+                    key,
+                    &msg.payload,
+                );
             }
         }
     }
@@ -561,10 +969,135 @@ fn route(inner: &Inner, msg: DluMsg) {
     }
 }
 
-/// Inserts data for `edge` into the destination sink; triggers the
+/// Ships one inter-function payload over the pipe kind §7 prescribes:
+/// direct socket under the threshold, local pipe when co-located,
+/// chunked streaming remote pipe with checkpoint marks otherwise.
+#[allow(clippy::too_many_arguments)]
+fn ship(
+    inner: &Inner,
+    links: &[Option<Sender<NetMsg>>],
+    src_node: usize,
+    dst_node: usize,
+    req: ReqId,
+    edge: EdgeId,
+    key: String,
+    payload: &Bytes,
+) {
+    let len = payload.len();
+    let kind = choose_pipe(
+        len as f64,
+        inner.cfg.direct_threshold_bytes as f64,
+        src_node == dst_node,
+    );
+    match kind {
+        PipeKind::DirectSocket => {
+            inner.counters.direct_socket.fetch_add(1, Ordering::Relaxed);
+            if src_node == dst_node {
+                deliver(inner, dst_node, req, edge, key, payload.clone());
+            } else {
+                inner
+                    .counters
+                    .remote_bytes
+                    .fetch_add(len as u64, Ordering::Relaxed);
+                let link = links[dst_node].as_ref().expect("cross-node link exists");
+                let _ = link.send(NetMsg::Whole {
+                    req: req.0,
+                    edge,
+                    key,
+                    payload: payload.clone(),
+                });
+            }
+        }
+        PipeKind::LocalPipe => {
+            inner.counters.local_pipe.fetch_add(1, Ordering::Relaxed);
+            deliver(inner, dst_node, req, edge, key, payload.clone());
+        }
+        PipeKind::RemotePipe => {
+            inner.counters.remote_pipe.fetch_add(1, Ordering::Relaxed);
+            inner
+                .counters
+                .remote_bytes
+                .fetch_add(len as u64, Ordering::Relaxed);
+            let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
+            let link = links[dst_node].as_ref().expect("cross-node link exists");
+            let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
+            let mut last_mark = 0.0;
+            for (lo, hi) in chunk_spans(len, inner.cfg.chunk_bytes) {
+                inner.counters.remote_chunks.fetch_add(1, Ordering::Relaxed);
+                let mark = cp.last_checkpoint(hi as f64);
+                if mark > last_mark {
+                    let new_marks = ((mark - last_mark) / cp.interval_bytes()).round() as u64;
+                    inner
+                        .counters
+                        .remote_checkpoints
+                        .fetch_add(new_marks, Ordering::Relaxed);
+                    last_mark = mark;
+                }
+                let sent = link.send(NetMsg::Chunk {
+                    req: req.0,
+                    edge,
+                    key: key.clone(),
+                    transfer,
+                    offset: lo,
+                    total: len,
+                    bytes: payload[lo..hi].to_vec(),
+                });
+                if sent.is_err() {
+                    break; // link torn down mid-transfer (shutdown)
+                }
+            }
+        }
+    }
+}
+
+/// Destination-side handler of fabric messages arriving at `dst_node`.
+fn ingress(inner: &Inner, dst_node: usize, msg: NetMsg) {
+    match msg {
+        NetMsg::Whole {
+            req,
+            edge,
+            key,
+            payload,
+        } => deliver(inner, dst_node, ReqId(req), edge, key, payload),
+        NetMsg::Chunk {
+            req,
+            edge,
+            key,
+            transfer,
+            offset,
+            total,
+            bytes,
+        } => {
+            let assembled = {
+                let mut sink = inner.nodes[dst_node]
+                    .sink
+                    .lock()
+                    .expect("node sink lock poisoned");
+                let Some(rs) = sink.get_mut(&req) else {
+                    return; // request already collected
+                };
+                let r = rs
+                    .partial
+                    .entry((edge, transfer))
+                    .or_insert_with(|| crate::fabric::Reassembler::new(total));
+                r.write(offset, &bytes);
+                if r.complete() {
+                    rs.partial.remove(&(edge, transfer)).map(|r| r.into_bytes())
+                } else {
+                    None
+                }
+            };
+            if let Some(payload) = assembled {
+                deliver(inner, dst_node, ReqId(req), edge, key, payload);
+            }
+        }
+    }
+}
+
+/// Inserts data for `edge` into the destination node's sink; triggers the
 /// destination FLU when its inputs are complete (proactive release: the
 /// inputs leave the sink as the invocation message).
-fn deliver(inner: &Inner, req: ReqId, edge: EdgeId, key: String, payload: Bytes) {
+fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String, payload: Bytes) {
     let wf = &inner.workflow;
     let e = wf.edge(edge);
     let Endpoint::Function(dst) = e.target else {
@@ -572,8 +1105,11 @@ fn deliver(inner: &Inner, req: ReqId, edge: EdgeId, key: String, payload: Bytes)
     };
     inner.counters.deliveries.fetch_add(1, Ordering::Relaxed);
     let ready = {
-        let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
-        let Some(rs) = reqs.get_mut(&req.0) else {
+        let mut sink = inner.nodes[dst_node]
+            .sink
+            .lock()
+            .expect("node sink lock poisoned");
+        let Some(rs) = sink.get_mut(&req.0) else {
             return;
         };
         if !rs.active.edge_active(edge) || !rs.active.function_active(dst) {
@@ -586,25 +1122,26 @@ fn deliver(inner: &Inner, req: ReqId, edge: EdgeId, key: String, payload: Bytes)
             spilled: false,
         };
         let fresh = rs
-            .sink
+            .entries
             .entry(dst)
             .or_default()
             .insert(edge, entry)
             .is_none();
-        if fresh {
-            debug_assert!(rs.missing[dst.index()] > 0, "over-delivery on {edge}");
-            rs.missing[dst.index()] -= 1;
+        let missing = rs.missing.entry(dst).or_insert(usize::MAX);
+        if fresh && *missing != usize::MAX {
+            debug_assert!(*missing > 0, "over-delivery on {edge}");
+            *missing -= 1;
         }
-        if rs.missing[dst.index()] == 0 {
+        if *missing == 0 {
             // Proactive release: hand all inputs to the FLU and drop them
-            // from the sink.
-            let entries = rs.sink.remove(&dst).unwrap_or_default();
+            // from the sink. The sentinel guards against double-trigger
+            // on duplicate final delivery.
+            let entries = rs.entries.remove(&dst).unwrap_or_default();
             let mut inputs = BTreeMap::new();
             for (_, entry) in entries {
                 inputs.insert(entry.key, entry.payload);
             }
-            // Guard against double-trigger on duplicate final delivery.
-            rs.missing[dst.index()] = usize::MAX;
+            *missing = usize::MAX;
             Some(inputs)
         } else {
             None
@@ -616,14 +1153,28 @@ fn deliver(inner: &Inner, req: ReqId, edge: EdgeId, key: String, payload: Bytes)
     }
 }
 
-fn janitor(inner: Arc<Inner>, ttl: Duration) {
+fn janitor(inner: Arc<Inner>, node_id: usize, ttl: Duration) {
     let tick = ttl.min(Duration::from_millis(50));
     while !inner.shutdown.load(Ordering::Relaxed) {
-        std::thread::sleep(tick);
+        {
+            // Interruptible tick: shutdown wakes the janitor immediately
+            // instead of waiting out the sleep.
+            let guard = inner.shutdown_mx.lock().expect("shutdown lock poisoned");
+            let _ = inner
+                .shutdown_cv
+                .wait_timeout(guard, tick)
+                .expect("shutdown lock poisoned");
+        }
+        if inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
         let now = Instant::now();
-        let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
-        for rs in reqs.values_mut() {
-            for entries in rs.sink.values_mut() {
+        let mut sink = inner.nodes[node_id]
+            .sink
+            .lock()
+            .expect("node sink lock poisoned");
+        for rs in sink.values_mut() {
+            for entries in rs.entries.values_mut() {
                 for entry in entries.values_mut() {
                     if !entry.spilled && now.duration_since(entry.arrived) >= ttl {
                         // Passive expire: the payload moves to the

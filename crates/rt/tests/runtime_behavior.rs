@@ -4,7 +4,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dataflower_rt::{Bytes, RtConfig, RtError, RuntimeBuilder};
+use dataflower_rt::{
+    Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, LinkConfig, Placement, RtConfig,
+    RtError, RuntimeBuilder,
+};
 use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder};
 
 fn wc_workflow(fan_out: usize) -> Arc<Workflow> {
@@ -22,60 +25,14 @@ fn wc_workflow(fan_out: usize) -> Arc<Workflow> {
 }
 
 /// A complete, *real* word count: split text into N shards, count words
-/// per shard, merge the count tables.
-fn build_wc(fan_out: usize) -> dataflower_rt::Runtime {
-    let wf = wc_workflow(fan_out);
-    let mut builder = RuntimeBuilder::new(Arc::clone(&wf)).register("start", move |ctx| {
-        let text = String::from_utf8_lossy(ctx.input("text").expect("text input")).into_owned();
-        let words: Vec<&str> = text.split_whitespace().collect();
-        let shard = words.len().div_ceil(fan_out);
-        for i in 0..fan_out {
-            let lo = (i * shard).min(words.len());
-            let hi = ((i + 1) * shard).min(words.len());
-            let chunk = words[lo..hi].join(" ");
-            ctx.put_to(
-                "file",
-                format!("count_{i}"),
-                Bytes::from(chunk.into_bytes()),
-            );
-        }
-    });
-    for i in 0..fan_out {
-        builder = builder.register(format!("count_{i}"), |ctx| {
-            let text = String::from_utf8_lossy(ctx.input("file").expect("file input")).into_owned();
-            let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
-            for w in text.split_whitespace() {
-                *counts.entry(w).or_default() += 1;
-            }
-            let serialized = counts
-                .iter()
-                .map(|(w, c)| format!("{w} {c}"))
-                .collect::<Vec<_>>()
-                .join("\n");
-            ctx.put("counts", Bytes::from(serialized.into_bytes()));
-        });
-    }
-    builder
-        .register("merge", |ctx| {
-            let mut total: BTreeMap<String, u64> = BTreeMap::new();
-            for (name, payload) in ctx.inputs() {
-                assert!(name.starts_with("counts@"), "unexpected input {name}");
-                for line in String::from_utf8_lossy(payload).lines() {
-                    let mut it = line.rsplitn(2, ' ');
-                    let c: u64 = it.next().unwrap().parse().unwrap();
-                    let w = it.next().unwrap().to_owned();
-                    *total.entry(w).or_default() += c;
-                }
-            }
-            let out = total
-                .iter()
-                .map(|(w, c)| format!("{w} {c}"))
-                .collect::<Vec<_>>()
-                .join("\n");
-            ctx.put("result", Bytes::from(out.into_bytes()));
-        })
-        .start()
-        .unwrap()
+/// per shard, merge the count tables. Single-node special case of
+/// `build_wc_cluster` (same bodies, same public API surface).
+fn build_wc(fan_out: usize) -> ClusterRuntime {
+    build_wc_cluster(
+        fan_out,
+        Placement::single_node(),
+        ClusterRtConfig::default(),
+    )
 }
 
 #[test]
@@ -291,6 +248,219 @@ fn mid_function_put_triggers_downstream_before_producer_returns() {
     assert!(
         started_early.load(std::sync::atomic::Ordering::SeqCst),
         "count did not start while start was still running"
+    );
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Multi-node topology tests
+// ---------------------------------------------------------------------
+
+/// Builds the wordcount of `build_wc` on a ClusterRuntime with the given
+/// placement and cluster config.
+fn build_wc_cluster(fan_out: usize, placement: Placement, cfg: ClusterRtConfig) -> ClusterRuntime {
+    let wf = wc_workflow(fan_out);
+    let mut builder = ClusterRuntimeBuilder::new(Arc::clone(&wf))
+        .placement(placement)
+        .config(cfg)
+        .register("start", move |ctx| {
+            let text = String::from_utf8_lossy(ctx.input("text").expect("text input")).into_owned();
+            let words: Vec<&str> = text.split_whitespace().collect();
+            let shard = words.len().div_ceil(fan_out);
+            for i in 0..fan_out {
+                let lo = (i * shard).min(words.len());
+                let hi = ((i + 1) * shard).min(words.len());
+                ctx.put_to(
+                    "file",
+                    format!("count_{i}"),
+                    Bytes::from(words[lo..hi].join(" ").into_bytes()),
+                );
+            }
+        });
+    for i in 0..fan_out {
+        builder = builder.register(format!("count_{i}"), |ctx| {
+            let text = String::from_utf8_lossy(ctx.input("file").expect("file input")).into_owned();
+            let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+            for w in text.split_whitespace() {
+                *counts.entry(w).or_default() += 1;
+            }
+            let serialized = counts
+                .iter()
+                .map(|(w, c)| format!("{w} {c}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            ctx.put("counts", Bytes::from(serialized.into_bytes()));
+        });
+    }
+    builder
+        .register("merge", |ctx| {
+            let mut total: BTreeMap<String, u64> = BTreeMap::new();
+            for (name, payload) in ctx.inputs() {
+                assert!(name.starts_with("counts@"), "unexpected input {name}");
+                for line in String::from_utf8_lossy(payload).lines() {
+                    let mut it = line.rsplitn(2, ' ');
+                    let c: u64 = it.next().unwrap().parse().unwrap();
+                    let w = it.next().unwrap().to_owned();
+                    *total.entry(w).or_default() += c;
+                }
+            }
+            let out = total
+                .iter()
+                .map(|(w, c)| format!("{w} {c}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            ctx.put("result", Bytes::from(out.into_bytes()));
+        })
+        .start()
+        .unwrap()
+}
+
+/// A corpus big enough that every shard crosses the 16 KiB direct-socket
+/// threshold (so spread placements must stream through the remote pipe).
+fn big_corpus() -> String {
+    // ~360 KiB: each of 4 shards (~90 KiB) spans several 64 KiB chunks.
+    "alpha beta gamma delta epsilon zeta ".repeat(10_000)
+}
+
+#[test]
+fn spread_placement_counts_identically_to_single_node() {
+    let fan_out = 4;
+    let corpus = big_corpus();
+
+    let single = build_wc_cluster(
+        fan_out,
+        Placement::single_node(),
+        ClusterRtConfig::default(),
+    );
+    let req = single.invoke(vec![("text".into(), Bytes::from(corpus.clone()))]);
+    let reference = single.wait(req, Duration::from_secs(20)).unwrap();
+    assert_eq!(single.stats().remote_pipe_transfers, 0);
+    assert_eq!(single.stats().remote_bytes, 0);
+    single.shutdown();
+
+    // Three nodes, one per stage: every fan-out edge crosses 0 -> 1 and
+    // every fan-in edge crosses 1 -> 2.
+    let mut placement = Placement::with_nodes(3)
+        .assign("start", 0)
+        .assign("merge", 2);
+    for i in 0..fan_out {
+        placement = placement.assign(format!("count_{i}"), 1);
+    }
+    let spread = build_wc_cluster(fan_out, placement, ClusterRtConfig::default());
+    assert_eq!(spread.node_count(), 3);
+    assert_eq!(spread.node_of("start"), 0);
+    assert_eq!(spread.node_of("count_1"), 1);
+    assert_eq!(spread.node(1).hosted_functions().len(), fan_out);
+    let req = spread.invoke(vec![("text".into(), Bytes::from(corpus))]);
+    let outputs = spread.wait(req, Duration::from_secs(20)).unwrap();
+    assert_eq!(outputs, reference, "spread result differs from single-node");
+
+    let stats = spread.stats();
+    // The big shards streamed through the remote pipe in chunks...
+    assert_eq!(stats.remote_pipe_transfers, fan_out as u64);
+    assert!(stats.remote_chunks > stats.remote_pipe_transfers);
+    // ...while the small count tables crossed over the direct socket.
+    assert_eq!(stats.direct_socket_transfers, fan_out as u64);
+    assert_eq!(stats.local_pipe_transfers, 0);
+    assert!(stats.remote_bytes > 0);
+    spread.shutdown();
+}
+
+#[test]
+fn tiny_chunks_and_shaped_links_still_reassemble() {
+    let fan_out = 2;
+    let cfg = ClusterRtConfig {
+        chunk_bytes: 512,
+        checkpoint_interval_bytes: 2048,
+        link: LinkConfig {
+            latency: Duration::from_micros(200),
+            bandwidth_bytes_per_sec: Some(400.0 * 1024.0 * 1024.0),
+            queue_capacity: 4, // deliberately tight: exercises link backpressure
+        },
+        ..ClusterRtConfig::default()
+    };
+    let wf_placement = Placement::with_nodes(2)
+        .assign("start", 0)
+        .assign("count_0", 1)
+        .assign("count_1", 1)
+        .assign("merge", 0);
+    let rt = build_wc_cluster(fan_out, wf_placement, cfg);
+    let corpus = big_corpus();
+    let expected_words = corpus.split_whitespace().count() as u64;
+    let req = rt.invoke(vec![("text".into(), Bytes::from(corpus))]);
+    let outputs = rt.wait(req, Duration::from_secs(30)).unwrap();
+    let table = String::from_utf8_lossy(&outputs[0].1).into_owned();
+    let total: u64 = table
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, expected_words, "words lost or duplicated in transit");
+    let stats = rt.stats();
+    assert!(stats.remote_chunks >= 100, "chunking barely exercised");
+    assert!(stats.remote_checkpoints > 0, "no checkpoint marks recorded");
+    rt.shutdown();
+}
+
+#[test]
+fn invalid_placement_rejected_at_start() {
+    let wf = wc_workflow(1);
+    let err = ClusterRuntimeBuilder::new(Arc::clone(&wf))
+        .placement(Placement::with_nodes(2).assign("ghost", 0))
+        .register("start", |_| {})
+        .register("count_0", |_| {})
+        .register("merge", |_| {})
+        .start()
+        .unwrap_err();
+    assert!(matches!(err, RtError::InvalidPlacement(msg) if msg.contains("ghost")));
+
+    let err = ClusterRuntimeBuilder::new(wf)
+        .placement(Placement::with_nodes(2).assign("start", 5))
+        .register("start", |_| {})
+        .register("count_0", |_| {})
+        .register("merge", |_| {})
+        .start()
+        .unwrap_err();
+    assert!(matches!(err, RtError::InvalidPlacement(msg) if msg.contains("node 5")));
+}
+
+#[test]
+fn forget_releases_abandoned_request_state() {
+    // start feeds only count_0, so merge never fires: the count table
+    // parks in merge's sink and the request times out.
+    let wf = wc_workflow(2);
+    let rt = ClusterRuntimeBuilder::new(wf)
+        .register("start", |ctx| {
+            ctx.put_to("file", "count_0", Bytes::from_static(b"solo"));
+        })
+        .register("count_0", |ctx| {
+            ctx.put("counts", Bytes::from_static(b"solo 1"));
+        })
+        .register("count_1", |ctx| {
+            ctx.put("counts", Bytes::from_static(b"never 0"));
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"r"));
+        })
+        .start()
+        .unwrap();
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"x"))]);
+    assert_eq!(
+        rt.wait(req, Duration::from_millis(300)).unwrap_err(),
+        RtError::Timeout
+    );
+    assert!(
+        rt.node(0).parked_entries() > 0,
+        "count table should be parked"
+    );
+    rt.forget(req);
+    assert_eq!(
+        rt.node(0).parked_entries(),
+        0,
+        "forget must drop sink state"
+    );
+    assert_eq!(
+        rt.wait(req, Duration::from_millis(10)).unwrap_err(),
+        RtError::UnknownRequest
     );
     rt.shutdown();
 }

@@ -13,7 +13,7 @@ use crate::model::{SizeModel, WorkModel};
 pub struct FnId(u32);
 
 impl FnId {
-    /// Position of the function in [`Workflow::functions`].
+    /// Position of the function in its [`Workflow`]'s function table.
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -12,7 +12,11 @@
 //!   (DataFlower, its non-aware ablation, FaaSFlow, SONIC, the
 //!   centralized platform and the Fig. 19 state machine);
 //! * [`Scenario`] — open-loop, closed-loop, co-located and bursty
-//!   experiment runners matching the paper's load patterns.
+//!   experiment runners matching the paper's load patterns, plus
+//!   [`Scenario::live_cluster`], which *executes* (rather than
+//!   simulates) the four benchmarks on a multi-node
+//!   [`ClusterRuntime`](dataflower_rt::ClusterRuntime) with real
+//!   threads, real bytes, and the paper's three-way pipe selection.
 //!
 //! # Examples
 //!
@@ -35,8 +39,10 @@
 
 mod benchmarks;
 mod harness;
+mod live;
 mod system;
 
 pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
 pub use harness::Scenario;
+pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};
 pub use system::SystemKind;

@@ -1,0 +1,614 @@
+//! Live multi-node execution of the four paper benchmarks (§9.1) on the
+//! FLU/DLU cluster runtime — real threads, real bytes, real pipes.
+//!
+//! Where [`Scenario::open_loop`](crate::Scenario::open_loop) *simulates*
+//! a benchmark's timing, [`Scenario::live_cluster`] *executes* it: every
+//! function body does actual byte-level work (splitting, counting,
+//! transcoding, factorizing), payloads really cross the inter-node
+//! fabric, and the run is validated against a straight-line reference
+//! computation — any payload lost, duplicated or reordered by the
+//! runtime makes the runner panic.
+//!
+//! The same workflow definitions drive both paths, so the simulated
+//! figures and the live runs stay structurally identical.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dataflower_rt::{
+    Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, FluContext, Placement, RtStats,
+};
+use dataflower_workflow::Workflow;
+
+use crate::benchmarks::Benchmark;
+use crate::harness::Scenario;
+
+/// Number of fan-out branches the default benchmark workflows use (see
+/// [`Benchmark::workflow`]): wordcount splits into 4, video transcodes 4
+/// chunks, SVD factorizes 8 tiles.
+const WC_FAN_OUT: usize = 4;
+const VID_BRANCHES: usize = 4;
+const SVD_BLOCKS: usize = 8;
+
+/// How the live runner places benchmark functions on nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivePlacement {
+    /// Everything co-located on node 0 (the paper's single-worker
+    /// baseline; only direct sockets and local pipes fire).
+    SingleNode,
+    /// Functions scattered one by one in topological order — almost
+    /// every data edge crosses nodes.
+    RoundRobin,
+    /// One dependency level per node — stages stay co-located, level
+    /// boundaries cross nodes (the spread used in the committed bench
+    /// baseline).
+    ByLevel,
+}
+
+/// Parameters of a [`Scenario::live_cluster`] run.
+#[derive(Debug, Clone)]
+pub struct LiveClusterConfig {
+    /// Worker nodes in the topology.
+    pub nodes: usize,
+    /// Placement strategy over those nodes.
+    pub placement: LivePlacement,
+    /// Concurrent requests to drive through the workflow.
+    pub requests: usize,
+    /// Client input payload size in bytes.
+    pub payload_bytes: usize,
+    /// Runtime tuning (pipe thresholds, chunking, link shaping).
+    pub rt: ClusterRtConfig,
+    /// Per-request completion deadline.
+    pub timeout: Duration,
+}
+
+impl Default for LiveClusterConfig {
+    /// 3 nodes, by-level spread, one request of 256 KiB, default runtime
+    /// knobs, 60 s deadline.
+    fn default() -> Self {
+        LiveClusterConfig {
+            nodes: 3,
+            placement: LivePlacement::ByLevel,
+            requests: 1,
+            payload_bytes: 256 * 1024,
+            rt: ClusterRtConfig::default(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Outcome of one live benchmark run: wall-clock time plus the runtime's
+/// pipe/transfer counters. Produced by [`Scenario::live_cluster`].
+#[derive(Debug, Clone)]
+pub struct LiveClusterReport {
+    /// Short benchmark name (`wc`, `vid`, `svd`, `img`).
+    pub benchmark: &'static str,
+    /// Worker nodes in the topology.
+    pub nodes: usize,
+    /// Requests completed (all of them — a failed request panics).
+    pub requests: usize,
+    /// Wall-clock time from first invoke to last result.
+    pub elapsed: Duration,
+    /// Total client-output bytes received.
+    pub output_bytes: usize,
+    /// Aggregated runtime counters (pipe kinds, chunks, checkpoints...).
+    pub stats: RtStats,
+}
+
+impl Scenario {
+    /// Runs `bench` **live** on an N-node [`ClusterRuntime`]: real
+    /// threads execute real function bodies, and every inter-function
+    /// payload crosses the paper's three-way pipe choice under the
+    /// configured placement. Results are validated byte-for-byte against
+    /// a straight-line reference computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request misses its deadline or any output diverges
+    /// from the reference — the live runtime dropping, duplicating or
+    /// reordering data is a bug, not a data point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dataflower_workloads::{Benchmark, LiveClusterConfig, Scenario};
+    ///
+    /// let cfg = LiveClusterConfig {
+    ///     payload_bytes: 64 * 1024,
+    ///     ..LiveClusterConfig::default()
+    /// };
+    /// let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+    /// assert_eq!(report.nodes, 3);
+    /// assert!(report.stats.remote_pipe_transfers > 0);
+    /// ```
+    pub fn live_cluster(bench: Benchmark, cfg: &LiveClusterConfig) -> LiveClusterReport {
+        let wf = bench.workflow();
+        let placement = match cfg.placement {
+            LivePlacement::SingleNode => Placement::single_node(),
+            LivePlacement::RoundRobin => Placement::round_robin(&wf, cfg.nodes),
+            LivePlacement::ByLevel => Placement::by_level(&wf, cfg.nodes),
+        };
+        let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
+        let (input_name, input) = live_input(bench, cfg.payload_bytes);
+        let expected = reference_output(bench, &input);
+
+        let t0 = Instant::now();
+        let input = Bytes::from(input);
+        let reqs: Vec<_> = (0..cfg.requests.max(1))
+            .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
+            .collect();
+        let mut output_bytes = 0;
+        let requests = reqs.len();
+        for req in reqs {
+            let outputs = rt
+                .wait(req, cfg.timeout)
+                .unwrap_or_else(|e| panic!("live {bench} request failed: {e}"));
+            assert_eq!(outputs.len(), 1, "live {bench}: expected one client output");
+            assert_eq!(
+                &*outputs[0].1,
+                &expected[..],
+                "live {bench} output diverged from the reference computation"
+            );
+            output_bytes += outputs[0].1.len();
+        }
+        let elapsed = t0.elapsed();
+        let stats = rt.stats();
+        let nodes = rt.node_count(); // actual topology: SingleNode forces 1
+        rt.shutdown();
+        LiveClusterReport {
+            benchmark: bench.name(),
+            nodes,
+            requests,
+            elapsed,
+            output_bytes,
+            stats,
+        }
+    }
+}
+
+/// Builds the live runtime for `bench` with every function body
+/// registered.
+fn live_runtime(
+    bench: Benchmark,
+    wf: Arc<Workflow>,
+    placement: Placement,
+    rt_cfg: ClusterRtConfig,
+) -> ClusterRuntime {
+    let builder = ClusterRuntimeBuilder::new(wf)
+        .placement(placement)
+        .config(rt_cfg);
+    let builder = match bench {
+        Benchmark::Wc => register_wc(builder),
+        Benchmark::Vid => register_vid(builder),
+        Benchmark::Svd => register_svd(builder),
+        Benchmark::Img => register_img(builder),
+    };
+    builder
+        .start()
+        .expect("live benchmark bodies cover the DAG")
+}
+
+/// The client input `(data name, payload)` a live run of `bench` feeds
+/// in: a deterministic pseudo-text corpus for wordcount, deterministic
+/// pseudo-random bytes for the binary pipelines.
+fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>) {
+    match bench {
+        Benchmark::Wc => ("text", corpus(payload_bytes)),
+        Benchmark::Vid => ("video", noise(payload_bytes, 0x1005_8f1d)),
+        Benchmark::Svd => ("matrix", noise(payload_bytes, 0x2eb7_4a1b)),
+        Benchmark::Img => ("image", noise(payload_bytes, 0x3c6e_f372)),
+    }
+}
+
+/// The straight-line (single-threaded) computation each live benchmark
+/// must reproduce byte-for-byte through the runtime.
+fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
+    match bench {
+        Benchmark::Wc => {
+            let text = String::from_utf8_lossy(input);
+            count_table(text.split_whitespace())
+        }
+        Benchmark::Vid => even_spans(input.len(), VID_BRANCHES)
+            .into_iter()
+            .flat_map(|(lo, hi)| transcode(&input[lo..hi]))
+            .collect(),
+        Benchmark::Svd => even_spans(input.len(), SVD_BLOCKS)
+            .into_iter()
+            .flat_map(|(lo, hi)| factorize(&input[lo..hi]))
+            .collect(),
+        Benchmark::Img => {
+            let raw = input.to_vec();
+            let scaled = downsample(&raw);
+            let labels = digest_expand(&scaled, 24 * 1024, 0x9e3779b97f4a7c15);
+            let boxes = digest_expand(&scaled, 32 * 1024, 0xd1b54a32d192ed03);
+            let blurred = blur(&labels, &boxes);
+            render(&blurred)
+        }
+    }
+}
+
+// --- WordCount -------------------------------------------------------
+
+fn register_wc(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
+    let mut b = b.register("wc_start", |ctx| {
+        let text = String::from_utf8_lossy(ctx.input("text").expect("client text")).into_owned();
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let shard = words.len().div_ceil(WC_FAN_OUT);
+        for i in 0..WC_FAN_OUT {
+            let lo = (i * shard).min(words.len());
+            let hi = ((i + 1) * shard).min(words.len());
+            ctx.put_to(
+                "file",
+                format!("wc_count_{i}"),
+                Bytes::from(words[lo..hi].join(" ")),
+            );
+        }
+    });
+    for i in 0..WC_FAN_OUT {
+        b = b.register(format!("wc_count_{i}"), |ctx| {
+            let shard = String::from_utf8_lossy(ctx.input("file").expect("shard")).into_owned();
+            ctx.put("count", Bytes::from(count_table(shard.split_whitespace())));
+        });
+    }
+    b.register("wc_merge", |ctx| {
+        let mut total: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for payload in ctx.inputs_named("count") {
+            for line in String::from_utf8_lossy(payload).lines() {
+                let (w, c) = line.split_once('\t').expect("word\\tcount");
+                *total.entry(w.to_owned()).or_default() += c.parse::<u64>().expect("count");
+            }
+        }
+        let out = total
+            .iter()
+            .map(|(w, c)| format!("{w}\t{c}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        ctx.put("output", Bytes::from(out));
+    })
+}
+
+/// Word-frequency table of `words`, ascending by word, `word\tcount`
+/// lines — merging per-shard tables reproduces this exactly.
+fn count_table<'a>(words: impl Iterator<Item = &'a str>) -> Vec<u8> {
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for w in words {
+        *counts.entry(w).or_default() += 1;
+    }
+    counts
+        .iter()
+        .map(|(w, c)| format!("{w}\t{c}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        .into_bytes()
+}
+
+// --- Video-FFmpeg ----------------------------------------------------
+
+fn register_vid(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
+    let mut b = b.register("vid_split", |ctx| {
+        let video = ctx.input("video").expect("client video").clone();
+        for (i, (lo, hi)) in even_spans(video.len(), VID_BRANCHES)
+            .into_iter()
+            .enumerate()
+        {
+            ctx.put_to(
+                "chunk",
+                format!("vid_transcode_{i}"),
+                Bytes::copy_from_slice(&video[lo..hi]),
+            );
+        }
+    });
+    for i in 0..VID_BRANCHES {
+        b = b.register(format!("vid_transcode_{i}"), |ctx| {
+            let chunk = ctx.input("chunk").expect("chunk");
+            ctx.put("encoded", Bytes::from(transcode(chunk)));
+        });
+    }
+    b.register("vid_merge", |ctx| {
+        let merged: Vec<u8> = branch_ordered(ctx, "encoded")
+            .into_iter()
+            .flat_map(|b| b.iter().copied())
+            .collect();
+        ctx.put("video_out", Bytes::from(merged));
+    })
+}
+
+/// Stand-in re-encode: an invertibility-free byte transform that shrinks
+/// the stream to 85 % (the benchmark's calibrated encoded/chunk ratio).
+fn transcode(chunk: &[u8]) -> Vec<u8> {
+    let keep = chunk.len() * 85 / 100;
+    chunk[..keep]
+        .iter()
+        .map(|b| b.wrapping_mul(31).wrapping_add(7))
+        .collect()
+}
+
+// --- SVD -------------------------------------------------------------
+
+fn register_svd(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
+    let mut b = b.register("svd_partition", |ctx| {
+        let matrix = ctx.input("matrix").expect("client matrix").clone();
+        for (i, (lo, hi)) in even_spans(matrix.len(), SVD_BLOCKS).into_iter().enumerate() {
+            ctx.put_to(
+                "tile",
+                format!("svd_block_{i}"),
+                Bytes::copy_from_slice(&matrix[lo..hi]),
+            );
+        }
+    });
+    for i in 0..SVD_BLOCKS {
+        b = b.register(format!("svd_block_{i}"), |ctx| {
+            let tile = ctx.input("tile").expect("tile");
+            ctx.put("factors", Bytes::from(factorize(tile)));
+        });
+    }
+    b.register("svd_compose", |ctx| {
+        let composed: Vec<u8> = branch_ordered(ctx, "factors")
+            .into_iter()
+            .flat_map(|b| b.iter().copied())
+            .collect();
+        ctx.put("usv", Bytes::from(composed));
+    })
+}
+
+/// Stand-in block factorization: a rolling-checksum mix shrinking the
+/// tile to 60 % (the benchmark's calibrated factors/tile ratio).
+fn factorize(tile: &[u8]) -> Vec<u8> {
+    let keep = tile.len() * 60 / 100;
+    let mut acc: u8 = 0x5a;
+    tile[..keep]
+        .iter()
+        .map(|b| {
+            acc = acc.wrapping_mul(13).wrapping_add(*b);
+            *b ^ acc
+        })
+        .collect()
+}
+
+// --- ML image pipeline ----------------------------------------------
+
+fn register_img(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
+    b.register("img_extract", |ctx| {
+        let image = ctx.input("image").expect("client image").clone();
+        ctx.put("raw", image);
+    })
+    .register("img_resize", |ctx| {
+        let raw = ctx.input("raw").expect("raw");
+        let scaled = Bytes::from(downsample(raw));
+        ctx.put("scaled", scaled.clone());
+        ctx.put("scaled2", scaled);
+    })
+    .register("img_classify", |ctx| {
+        let scaled = ctx.input("scaled").expect("scaled");
+        ctx.put(
+            "labels",
+            Bytes::from(digest_expand(scaled, 24 * 1024, 0x9e3779b97f4a7c15)),
+        );
+    })
+    .register("img_detect", |ctx| {
+        let scaled = ctx.input("scaled2").expect("scaled2");
+        ctx.put(
+            "boxes",
+            Bytes::from(digest_expand(scaled, 32 * 1024, 0xd1b54a32d192ed03)),
+        );
+    })
+    .register("img_blur", |ctx| {
+        let labels = ctx.input("labels").expect("labels");
+        let boxes = ctx.input("boxes").expect("boxes");
+        ctx.put("blurred", Bytes::from(blur(labels, boxes)));
+    })
+    .register("img_render", |ctx| {
+        let blurred = ctx.input("blurred").expect("blurred");
+        ctx.put("final", Bytes::from(render(blurred)));
+    })
+}
+
+/// Stand-in resize: keep every other byte.
+fn downsample(raw: &[u8]) -> Vec<u8> {
+    raw.iter().step_by(2).copied().collect()
+}
+
+/// Deterministic fixed-size "model output": an FNV-1a stream over the
+/// input, expanded to `out_len` bytes from `seed`.
+fn digest_expand(input: &[u8], out_len: usize, seed: u64) -> Vec<u8> {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for b in input {
+        h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+    }
+    let mut out = Vec::with_capacity(out_len);
+    let mut s = h;
+    while out.len() < out_len {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out.truncate(out_len);
+    out
+}
+
+/// Stand-in blur: mixes the label vector cyclically into the box tensor.
+fn blur(labels: &[u8], boxes: &[u8]) -> Vec<u8> {
+    boxes
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b ^ labels[i % labels.len().max(1)])
+        .collect()
+}
+
+/// Stand-in render pass.
+fn render(blurred: &[u8]) -> Vec<u8> {
+    blurred.iter().map(|b| b.wrapping_add(1)).collect()
+}
+
+// --- shared input/split helpers --------------------------------------
+
+/// Fan-in payloads of data `name`, ordered by the **numeric branch
+/// suffix** of the producer (`name@fn_3` → 3). `inputs_named` orders
+/// lexicographically, which would put branch 10 before branch 2 — a
+/// concatenating merge needs the numeric order to reproduce the
+/// partitioner's span order at any fan-out.
+fn branch_ordered<'a>(ctx: &'a FluContext, name: &str) -> Vec<&'a Bytes> {
+    let prefix = format!("{name}@");
+    let mut keyed: Vec<(usize, &Bytes)> = ctx
+        .inputs()
+        .filter(|(k, _)| k.starts_with(&prefix))
+        .map(|(k, v)| (branch_index(k), v))
+        .collect();
+    keyed.sort_by_key(|(n, _)| *n);
+    keyed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// The trailing decimal of a sink key (`count@wc_count_12` → 12; no
+/// trailing digits → 0).
+fn branch_index(key: &str) -> usize {
+    let digits = key.bytes().rev().take_while(u8::is_ascii_digit).count();
+    key[key.len() - digits..].parse().unwrap_or(0)
+}
+
+/// Splits `len` bytes into `n` contiguous spans whose sizes differ by at
+/// most one byte (the partitioners of vid and svd).
+fn even_spans(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = len / n;
+    let extra = len % n;
+    let mut spans = Vec::with_capacity(n);
+    let mut lo = 0;
+    for i in 0..n {
+        let hi = lo + base + usize::from(i < extra);
+        spans.push((lo, hi));
+        lo = hi;
+    }
+    spans
+}
+
+/// A deterministic pseudo-text corpus of roughly `bytes` bytes with a
+/// skewed word-frequency distribution.
+fn corpus(bytes: usize) -> Vec<u8> {
+    const VOCAB: [&str; 12] = [
+        "serverless",
+        "workflow",
+        "dataflow",
+        "function",
+        "container",
+        "latency",
+        "throughput",
+        "pipe",
+        "sink",
+        "engine",
+        "node",
+        "fabric",
+    ];
+    let mut out = Vec::with_capacity(bytes + 16);
+    let mut s = 0x243f6a8885a308d3u64;
+    while out.len() < bytes {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Square the draw so low indices dominate (Zipf-ish skew).
+        let r = ((s >> 33) as f64 / (1u64 << 31) as f64).powi(2);
+        let w = VOCAB[(r * VOCAB.len() as f64) as usize % VOCAB.len()];
+        out.extend_from_slice(w.as_bytes());
+        out.push(b' ');
+    }
+    out.truncate(bytes);
+    out
+}
+
+/// Deterministic pseudo-random payload bytes.
+fn noise(bytes: usize, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes + 8);
+    let mut s = seed | 1;
+    while out.len() < bytes {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_index_orders_double_digit_branches_numerically() {
+        let mut keys = vec![
+            "factors@svd_block_10",
+            "factors@svd_block_2",
+            "factors@svd_block_0",
+            "factors@svd_block_11",
+        ];
+        keys.sort_by_key(|k| branch_index(k));
+        assert_eq!(
+            keys,
+            vec![
+                "factors@svd_block_0",
+                "factors@svd_block_2",
+                "factors@svd_block_10",
+                "factors@svd_block_11",
+            ]
+        );
+        assert_eq!(branch_index("out@merge"), 0);
+    }
+
+    #[test]
+    fn even_spans_cover_exactly() {
+        for (len, n) in [(0usize, 3usize), (10, 3), (16, 4), (17, 4), (100, 8)] {
+            let spans = even_spans(len, n);
+            assert_eq!(spans.len(), n);
+            assert_eq!(spans.first().unwrap().0, 0);
+            assert_eq!(spans.last().unwrap().1, len);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_complete_on_three_spread_nodes() {
+        for bench in Benchmark::ALL {
+            let cfg = LiveClusterConfig {
+                payload_bytes: 96 * 1024,
+                ..LiveClusterConfig::default()
+            };
+            let report = Scenario::live_cluster(bench, &cfg);
+            assert_eq!(report.requests, 1);
+            assert!(report.output_bytes > 0, "{bench}: empty output");
+            assert!(
+                report.stats.remote_bytes > 0,
+                "{bench}: spread placement shipped nothing across nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_run_uses_no_remote_pipe() {
+        let cfg = LiveClusterConfig {
+            nodes: 1,
+            placement: LivePlacement::SingleNode,
+            payload_bytes: 64 * 1024,
+            ..LiveClusterConfig::default()
+        };
+        let report = Scenario::live_cluster(Benchmark::Vid, &cfg);
+        assert_eq!(report.stats.remote_pipe_transfers, 0);
+        assert_eq!(report.stats.remote_bytes, 0);
+        assert!(report.stats.local_pipe_transfers > 0);
+    }
+
+    #[test]
+    fn wc_spread_exercises_remote_and_direct_pipes() {
+        let cfg = LiveClusterConfig {
+            payload_bytes: 256 * 1024,
+            requests: 2,
+            ..LiveClusterConfig::default()
+        };
+        let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+        // 64 KiB shards stream remotely; the small count tables cross on
+        // the direct socket.
+        assert!(report.stats.remote_pipe_transfers > 0);
+        assert!(report.stats.direct_socket_transfers > 0);
+        assert!(report.stats.remote_chunks >= report.stats.remote_pipe_transfers);
+    }
+}

@@ -1,0 +1,54 @@
+//! The four paper benchmarks (§9.1) executed **live on a three-node
+//! topology**: real threads per node, real bytes over the inter-node
+//! fabric, and the paper's three-way pipe selection (§7) deciding every
+//! transfer — direct socket under 16 KiB, local pipe when co-located,
+//! chunked streaming remote pipe across nodes.
+//!
+//! ```text
+//! cargo run --release --example multinode_live
+//! ```
+
+use dataflower_workloads::{Benchmark, LiveClusterConfig, LivePlacement, Scenario};
+
+fn main() {
+    let cfg = LiveClusterConfig {
+        nodes: 3,
+        placement: LivePlacement::ByLevel,
+        requests: 2,
+        payload_bytes: 256 * 1024,
+        ..LiveClusterConfig::default()
+    };
+
+    println!("topology: one node per workflow level (spread placement)");
+    println!();
+    println!("  [node 0]  ══ fabric ══▶  [node 1]  ══ fabric ══▶  [node 2]");
+    println!("  sources                  workers                  sinks");
+    println!();
+    println!(
+        "{:<6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>7} {:>10}",
+        "bench", "elapsed", "direct", "local", "remote", "chunks", "ckpts", "bytes-x-node"
+    );
+
+    for bench in Benchmark::ALL {
+        let report = Scenario::live_cluster(bench, &cfg);
+        let s = &report.stats;
+        println!(
+            "{:<6} {:>7.1?} {:>8} {:>8} {:>8} {:>8} {:>7} {:>10}",
+            report.benchmark,
+            report.elapsed,
+            s.direct_socket_transfers,
+            s.local_pipe_transfers,
+            s.remote_pipe_transfers,
+            s.remote_chunks,
+            s.remote_checkpoints,
+            s.remote_bytes,
+        );
+        assert!(
+            s.remote_pipe_transfers > 0,
+            "{bench}: spread placement should stream through the remote pipe"
+        );
+    }
+
+    println!();
+    println!("every run validated byte-for-byte against a straight-line reference");
+}

@@ -344,3 +344,159 @@ fn event_queue_total_order() {
         }
     });
 }
+
+/// Remote-pipe chunking reassembles byte-identical payloads for
+/// arbitrary payload/chunk sizes, even when chunks land out of order.
+#[test]
+fn remote_chunking_reassembles_byte_identical() {
+    use dataflower_rt::{chunk_spans, Reassembler};
+    check("remote_chunking_reassembles_byte_identical", |g| {
+        let len = g.usize_in(0, 120_000);
+        let chunk = g.usize_in(1, 70_000);
+        let mut seed = g.u64_in(1, u64::MAX - 1);
+        let payload: Vec<u8> = (0..len)
+            .map(|_| {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (seed >> 33) as u8
+            })
+            .collect();
+        let mut spans = chunk_spans(len, chunk);
+        // Spans are contiguous, ordered and cover the payload exactly.
+        assert_eq!(spans.first().unwrap().0, 0);
+        assert_eq!(spans.last().unwrap().1, len);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // Shuffle the arrival order (Fisher-Yates on the generator).
+        for i in (1..spans.len()).rev() {
+            spans.swap(i, g.usize_in(0, i + 1));
+        }
+        let mut r = Reassembler::new(len);
+        for (i, (lo, hi)) in spans.iter().enumerate() {
+            if i + 1 < spans.len() && len > 0 {
+                assert!(!r.complete() || *lo == *hi || spans.len() == 1);
+            }
+            assert!(r.write(*lo, &payload[*lo..*hi]), "in-bounds write refused");
+        }
+        assert!(r.complete());
+        assert_eq!(&*r.into_bytes(), &payload[..]);
+    });
+}
+
+/// The multi-node fabric neither loses nor duplicates payloads under
+/// random placements: a fan-out/echo/fan-in workflow returns the client
+/// payload byte-identical for any assignment of functions to nodes, any
+/// chunk size, and any direct-socket threshold, and the transfer
+/// counters account for every inter-function edge exactly once.
+#[test]
+fn multinode_fabric_loses_nothing_under_random_placements() {
+    use dataflower_rt::{Bytes, ClusterRtConfig, ClusterRuntimeBuilder, Placement, RtConfig};
+    check(
+        "multinode_fabric_loses_nothing_under_random_placements",
+        |g| {
+            let fan = g.usize_in(1, 5);
+            let nodes = g.usize_in(1, 4);
+            let len = g.usize_in(0, 60_000);
+            let chunk_bytes = g.usize_in(256, 4096);
+            // Sometimes force even tiny payloads through the remote pipe.
+            let threshold = if g.usize_in(0, 2) == 0 { 1 } else { 16 * 1024 };
+            let mut seed = g.u64_in(1, u64::MAX - 1);
+            let payload: Vec<u8> = (0..len)
+                .map(|_| {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (seed >> 33) as u8
+                })
+                .collect();
+
+            // start --shard--> relay_i --echo--> merge --out--> client
+            let mut b = WorkflowBuilder::new("echo");
+            let start = b.function("start", WorkModel::fixed(0.001));
+            let merge = b.function("merge", WorkModel::fixed(0.001));
+            b.client_input(start, "in", SizeModel::Fixed(1024.0));
+            for i in 0..fan {
+                let relay = b.function(format!("relay_{i}"), WorkModel::fixed(0.001));
+                b.edge(start, relay, "shard", SizeModel::Fixed(256.0));
+                b.edge(relay, merge, "echo", SizeModel::Fixed(256.0));
+            }
+            b.client_output(merge, "out", SizeModel::Fixed(256.0));
+            let wf = std::sync::Arc::new(b.build().unwrap());
+
+            let mut placement = Placement::with_nodes(nodes);
+            for f in wf.function_ids() {
+                placement = placement.assign(wf.function(f).name.clone(), g.usize_in(0, nodes));
+            }
+
+            let fan_c = fan;
+            let mut builder = ClusterRuntimeBuilder::new(std::sync::Arc::clone(&wf))
+                .placement(placement)
+                .config(ClusterRtConfig {
+                    rt: RtConfig {
+                        dlu_queue_capacity: g.usize_in(1, 8),
+                        ..RtConfig::default()
+                    },
+                    direct_threshold_bytes: threshold,
+                    chunk_bytes,
+                    ..ClusterRtConfig::default()
+                })
+                .register("start", move |ctx| {
+                    let data = ctx.input("in").expect("client payload").clone();
+                    let base = data.len() / fan_c;
+                    let extra = data.len() % fan_c;
+                    let mut lo = 0;
+                    for i in 0..fan_c {
+                        let hi = lo + base + usize::from(i < extra);
+                        ctx.put_to(
+                            "shard",
+                            format!("relay_{i}"),
+                            Bytes::copy_from_slice(&data[lo..hi]),
+                        );
+                        lo = hi;
+                    }
+                });
+            for i in 0..fan {
+                builder = builder.register(format!("relay_{i}"), |ctx| {
+                    let shard = ctx.input("shard").expect("shard").clone();
+                    ctx.put("echo", shard);
+                });
+            }
+            let rt = builder
+                .register("merge", |ctx| {
+                    // Producer-ordered fan-in: relay_0..relay_N concatenate
+                    // back into the original payload.
+                    let out: Vec<u8> = ctx
+                        .inputs_named("echo")
+                        .into_iter()
+                        .flat_map(|b| b.iter().copied())
+                        .collect();
+                    ctx.put("out", Bytes::from(out));
+                })
+                .start()
+                .unwrap();
+
+            let req = rt.invoke(vec![("in".into(), Bytes::from(payload.clone()))]);
+            let outputs = rt
+                .wait(req, std::time::Duration::from_secs(30))
+                .expect("echo workflow completes");
+            assert_eq!(outputs.len(), 1);
+            assert_eq!(
+                &*outputs[0].1,
+                &payload[..],
+                "payload lost, duplicated or reordered in transit"
+            );
+
+            let stats = rt.stats();
+            assert_eq!(stats.invocations, fan as u64 + 2);
+            assert_eq!(stats.deliveries, 2 * fan as u64 + 1);
+            assert_eq!(
+                stats.inter_function_transfers(),
+                2 * fan as u64,
+                "each inter-function edge must be shipped exactly once"
+            );
+            rt.shutdown();
+        },
+    );
+}
