@@ -11,6 +11,11 @@
 #   7. bench regression gate    (prints per-benchmark deltas against
 #      BENCH_BASELINE.json; fails only when a benchmark got more than
 #      2x slower than the committed baseline)
+#
+# Steps 3-4 are the exact commands of the CI `lint` job and step 7 is the
+# exact command of the CI `bench-smoke` job, so local and CI gates match.
+# CI's verify job sets SKIP_LINT=1 / SKIP_BENCH_GATE=1 because those
+# dedicated jobs own the steps there; local runs get everything.
 set -u
 
 cd "$(dirname "$0")"
@@ -31,16 +36,20 @@ run cargo build --workspace --release
 
 run cargo test -q --workspace
 
-if cargo fmt --version >/dev/null 2>&1; then
-    run cargo fmt --check
+if [ "${SKIP_LINT:-0}" = 1 ]; then
+    echo "==> SKIP_LINT=1; fmt and clippy run in the dedicated lint job"
 else
-    echo "==> cargo fmt unavailable; skipping format check"
-fi
+    if cargo fmt --version >/dev/null 2>&1; then
+        run cargo fmt --check
+    else
+        echo "==> cargo fmt unavailable; skipping format check"
+    fi
 
-if cargo clippy --version >/dev/null 2>&1; then
-    run cargo clippy --workspace --all-targets -- -D warnings
-else
-    echo "==> cargo clippy unavailable; skipping lint check"
+    if cargo clippy --version >/dev/null 2>&1; then
+        run cargo clippy --workspace --all-targets -- -D warnings
+    else
+        echo "==> cargo clippy unavailable; skipping lint check"
+    fi
 fi
 
 if rustdoc --version >/dev/null 2>&1; then

@@ -15,22 +15,30 @@
 //! **Regression gate** (the CI bench step): `--compare <baseline>` diffs
 //! this run against a committed baseline file and prints per-benchmark
 //! deltas; the process exits non-zero only when a benchmark slowed past
-//! `--tolerance <pct>` (default 100, i.e. more than 2× slower):
+//! `--tolerance <pct>` (default 100, i.e. more than 2× slower). Baseline
+//! entries missing from the run (renamed/removed groups) only warn.
+//! `--json-out <file>` additionally writes the result JSON lines to a
+//! file (the CI artifact), and `--summary <file>` writes a per-group
+//! markdown delta table (appended to `$GITHUB_STEP_SUMMARY` in CI):
 //!
 //! ```text
-//! bench --runs 3 --compare BENCH_BASELINE.json --tolerance 100
+//! bench --runs 3 --compare BENCH_BASELINE.json --tolerance 100 \
+//!       --json-out bench-results.jsonl --summary bench-summary.md
 //! ```
 
 use std::cell::RefCell;
 
 use dataflower::WaitMatchMemory;
-use dataflower_bench::compare::{compare, parse_baseline, render};
+use dataflower_bench::compare::{compare, parse_baseline, render, render_markdown};
 use dataflower_bench::timing::{time, TimingResult};
 use dataflower_cluster::RequestId;
 use dataflower_metrics::Samples;
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
-use dataflower_workloads::{Benchmark, LiveClusterConfig, LivePlacement, Scenario, SystemKind};
+use dataflower_workloads::{
+    Benchmark, BurstyClusterConfig, LiveClusterConfig, LivePlacement, Scenario, SkewedFanoutConfig,
+    SystemKind,
+};
 
 /// Default timed iterations per benchmark (median-of-K).
 const DEFAULT_RUNS: usize = 5;
@@ -43,6 +51,8 @@ fn main() {
     let mut filters: Vec<String> = Vec::new();
     let mut runs = DEFAULT_RUNS;
     let mut baseline_path: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut summary_out: Option<String> = None;
     let mut tolerance_pct = 100.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,7 +60,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench [--runs K] [--compare BASELINE.json] [--tolerance PCT] \
-                     [filter-substring]..."
+                     [--json-out FILE] [--summary FILE] [filter-substring]..."
                 );
                 return;
             }
@@ -67,6 +77,18 @@ fn main() {
             "--compare" => {
                 baseline_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--compare needs a baseline file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--json-out" => {
+                json_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json-out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--summary" => {
+                summary_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--summary needs a file path");
                     std::process::exit(2);
                 }));
             }
@@ -91,7 +113,21 @@ fn main() {
     };
     engine_benchmarks(&harness);
     live_cluster_benchmarks(&harness);
+    elastic_benchmarks(&harness);
     substrate_benchmarks(&harness);
+
+    if let Some(path) = &json_out {
+        let lines: String = harness
+            .results
+            .borrow()
+            .iter()
+            .map(|r| format!("{}\n", r.to_json_line()))
+            .collect();
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("cannot write json output `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
 
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -104,6 +140,15 @@ fn main() {
         });
         let cmp = compare(&baseline, &harness.results.borrow());
         print!("{}", render(&cmp, tolerance_pct));
+        for w in cmp.warnings() {
+            eprintln!("bench: {w}");
+        }
+        if let Some(path) = &summary_out {
+            if let Err(e) = std::fs::write(path, render_markdown(&cmp, tolerance_pct)) {
+                eprintln!("cannot write summary `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
         let regressions = cmp.regressions(tolerance_pct);
         if !regressions.is_empty() {
             eprintln!(
@@ -112,7 +157,38 @@ fn main() {
             );
             std::process::exit(EXIT_REGRESSION);
         }
+    } else if summary_out.is_some() {
+        eprintln!("bench: --summary needs --compare to have something to summarize");
+        std::process::exit(2);
     }
+}
+
+/// Elastic-scaling benchmarks: the pressure-aware autoscaler driven by a
+/// live burst and a Zipf-skewed fan-out. Each run asserts the scenario's
+/// byte-identity internally; the burst additionally asserts that scaling
+/// actually happened, so the bench doubles as a smoke gate.
+fn elastic_benchmarks(h: &Harness) {
+    h.run("elastic", "bursty_cluster/wc", || {
+        let cfg = BurstyClusterConfig {
+            burst_requests: 8,
+            payload_bytes: 128 * 1024,
+            settle: std::time::Duration::from_secs(2),
+            ..BurstyClusterConfig::default()
+        };
+        let report = Scenario::bursty_cluster(Benchmark::Wc, &cfg);
+        assert!(report.scale_outs() >= 1);
+        report.requests
+    });
+    h.run("elastic", "skewed_fanout/8branches", || {
+        let cfg = SkewedFanoutConfig {
+            requests: 4,
+            payload_bytes: 128 * 1024,
+            ..SkewedFanoutConfig::default()
+        };
+        let report = Scenario::skewed_fanout(&cfg);
+        assert!(report.output_bytes > 0);
+        report.requests
+    });
 }
 
 /// CLI-configured runner: skips filtered-out benchmarks *before* timing

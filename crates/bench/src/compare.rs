@@ -100,8 +100,10 @@ pub struct Comparison {
     /// Benchmarks this run produced that the baseline lacks (new cases —
     /// informational, never a failure).
     pub new_benchmarks: Vec<String>,
-    /// Baseline benchmarks this run did not produce (e.g. filtered out —
-    /// informational, never a failure).
+    /// Baseline benchmarks this run did not produce — a renamed/removed
+    /// group, or a filtered invocation. **Warned about, never a
+    /// failure**: adding or removing bench groups must not break the
+    /// gate.
     pub missing: Vec<String>,
 }
 
@@ -113,6 +115,92 @@ impl Comparison {
             .filter(|d| d.regressed(tolerance_pct))
             .collect()
     }
+
+    /// Warning lines for baseline entries this run did not produce —
+    /// printed to stderr by the bench binary so a stale baseline is
+    /// visible without failing the gate.
+    pub fn warnings(&self) -> Vec<String> {
+        self.missing
+            .iter()
+            .map(|id| {
+                format!(
+                    "warning: baseline entry `{id}` missing from this run \
+                     (renamed, removed, or filtered out); not counted as a regression"
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-group aggregation of a [`Comparison`] — one row of the CI
+/// step-summary table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Benchmark group (the part before the first `/` of the id).
+    pub group: String,
+    /// Benchmarks compared against the baseline.
+    pub compared: usize,
+    /// How many of them regressed past the tolerance.
+    pub regressions: usize,
+    /// Worst (most positive) delta in percent.
+    pub worst_delta_pct: f64,
+    /// Mean delta in percent.
+    pub mean_delta_pct: f64,
+    /// Benchmarks new in this run (no baseline entry).
+    pub new_benchmarks: usize,
+    /// Baseline entries missing from this run.
+    pub missing: usize,
+}
+
+/// Aggregates a comparison per benchmark group, in first-seen order.
+pub fn group_summaries(cmp: &Comparison, tolerance_pct: f64) -> Vec<GroupSummary> {
+    let group_of = |id: &str| id.split('/').next().unwrap_or(id).to_owned();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut out: Vec<GroupSummary> = Vec::new();
+    fn slot<'a>(
+        index: &mut std::collections::HashMap<String, usize>,
+        out: &'a mut Vec<GroupSummary>,
+        group: String,
+    ) -> &'a mut GroupSummary {
+        let i = *index.entry(group.clone()).or_insert_with(|| {
+            out.push(GroupSummary {
+                group,
+                compared: 0,
+                regressions: 0,
+                worst_delta_pct: 0.0,
+                mean_delta_pct: 0.0,
+                new_benchmarks: 0,
+                missing: 0,
+            });
+            out.len() - 1
+        });
+        &mut out[i]
+    }
+    for d in &cmp.deltas {
+        let s = slot(&mut index, &mut out, group_of(&d.id));
+        s.compared += 1;
+        s.mean_delta_pct += d.delta_pct;
+        s.worst_delta_pct = if s.compared == 1 {
+            d.delta_pct
+        } else {
+            s.worst_delta_pct.max(d.delta_pct)
+        };
+        if d.regressed(tolerance_pct) {
+            s.regressions += 1;
+        }
+    }
+    for id in &cmp.new_benchmarks {
+        slot(&mut index, &mut out, group_of(id)).new_benchmarks += 1;
+    }
+    for id in &cmp.missing {
+        slot(&mut index, &mut out, group_of(id)).missing += 1;
+    }
+    for s in &mut out {
+        if s.compared > 0 {
+            s.mean_delta_pct /= s.compared as f64;
+        }
+    }
+    out
 }
 
 /// Diffs `current` against `baseline` by `group/name` identity.
@@ -171,7 +259,9 @@ pub fn render(cmp: &Comparison, tolerance_pct: f64) -> String {
         out.push_str(&format!("  {id}  (new: no baseline entry)\n"));
     }
     for id in &cmp.missing {
-        out.push_str(&format!("  {id}  (in baseline, not in this run)\n"));
+        out.push_str(&format!(
+            "  {id}  (warning: in baseline, not in this run)\n"
+        ));
     }
     let n = cmp.regressions(tolerance_pct).len();
     out.push_str(&format!(
@@ -179,6 +269,43 @@ pub fn render(cmp: &Comparison, tolerance_pct: f64) -> String {
         cmp.deltas.len(),
         n
     ));
+    out
+}
+
+/// Renders the per-group delta summary as a GitHub-flavoured markdown
+/// table — what the bench CI job appends to `$GITHUB_STEP_SUMMARY`.
+pub fn render_markdown(cmp: &Comparison, tolerance_pct: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### Bench regression report (fails above +{tolerance_pct:.0}%)\n\n"
+    ));
+    out.push_str("| group | compared | mean Δ | worst Δ | regressions | new | missing |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+    for g in group_summaries(cmp, tolerance_pct) {
+        out.push_str(&format!(
+            "| {} | {} | {:+.1}% | {:+.1}% | {} | {} | {} |\n",
+            g.group,
+            g.compared,
+            g.mean_delta_pct,
+            g.worst_delta_pct,
+            g.regressions,
+            g.new_benchmarks,
+            g.missing,
+        ));
+    }
+    let n = cmp.regressions(tolerance_pct).len();
+    out.push_str(&format!(
+        "\n{} benchmark(s) compared, **{} regression(s)** past tolerance.\n",
+        cmp.deltas.len(),
+        n
+    ));
+    if !cmp.missing.is_empty() {
+        out.push_str(&format!(
+            "\n⚠ {} baseline entr{} missing from this run (warned, not failed).\n",
+            cmp.missing.len(),
+            if cmp.missing.len() == 1 { "y" } else { "ies" },
+        ));
+    }
     out
 }
 
@@ -245,5 +372,72 @@ mod tests {
         let report = render(&cmp, 100.0);
         assert!(report.contains("REGRESSION"));
         assert!(report.contains("1 regression(s)"));
+    }
+
+    #[test]
+    fn missing_baseline_entries_warn_but_never_fail() {
+        // A baseline that is a strict superset of the run: every extra
+        // entry is a warning, zero regressions, so the gate stays green.
+        let baseline = vec![
+            BaselineEntry {
+                id: "g/kept".into(),
+                median_ns: 1_000_000,
+            },
+            BaselineEntry {
+                id: "g/removed".into(),
+                median_ns: 1_000_000,
+            },
+            BaselineEntry {
+                id: "old_group/gone".into(),
+                median_ns: 1_000_000,
+            },
+        ];
+        let current = vec![result("g", "kept", 1_100_000)];
+        let cmp = compare(&baseline, &current);
+        assert_eq!(cmp.missing.len(), 2);
+        assert!(cmp.regressions(100.0).is_empty(), "missing must not fail");
+        let warnings = cmp.warnings();
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings[0].contains("warning") && warnings[0].contains("g/removed"));
+        assert!(render(&cmp, 100.0).contains("warning: in baseline, not in this run"));
+    }
+
+    #[test]
+    fn group_summaries_aggregate_per_group() {
+        let baseline = vec![
+            BaselineEntry {
+                id: "a/x".into(),
+                median_ns: 1_000_000,
+            },
+            BaselineEntry {
+                id: "a/y".into(),
+                median_ns: 1_000_000,
+            },
+            BaselineEntry {
+                id: "b/gone".into(),
+                median_ns: 1_000_000,
+            },
+        ];
+        let current = vec![
+            result("a", "x", 1_500_000),  // +50%
+            result("a", "y", 2_500_000),  // +150% → regression at 100%
+            result("c", "fresh", 10_000), // new group
+        ];
+        let cmp = compare(&baseline, &current);
+        let groups = group_summaries(&cmp, 100.0);
+        assert_eq!(groups.len(), 3);
+        let a = groups.iter().find(|g| g.group == "a").unwrap();
+        assert_eq!(a.compared, 2);
+        assert_eq!(a.regressions, 1);
+        assert!((a.mean_delta_pct - 100.0).abs() < 1e-9);
+        assert!((a.worst_delta_pct - 150.0).abs() < 1e-9);
+        let b = groups.iter().find(|g| g.group == "b").unwrap();
+        assert_eq!((b.compared, b.missing), (0, 1));
+        let c = groups.iter().find(|g| g.group == "c").unwrap();
+        assert_eq!((c.compared, c.new_benchmarks), (0, 1));
+        let md = render_markdown(&cmp, 100.0);
+        assert!(md.contains("| a | 2 |"));
+        assert!(md.contains("**1 regression(s)**"));
+        assert!(md.contains("1 baseline entry missing"));
     }
 }

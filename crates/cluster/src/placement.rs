@@ -47,10 +47,20 @@ impl Placement for SingleNodePlacement {
 /// Load-aware: picks the node with the most available CPU, breaking ties
 /// by index. Used when scaling out under pressure so new containers land
 /// on the least-loaded machine.
+///
+/// The live runtime's static counterpart is
+/// `dataflower_rt::Placement::load_aware`, which greedily bin-packs
+/// functions onto the least-loaded node of a per-node base-load vector —
+/// the two policies share the `load_aware` name so simulated and live
+/// placement stay recognizably the same knob.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LeastLoadedPlacement;
+pub struct LoadAwarePlacement;
 
-impl Placement for LeastLoadedPlacement {
+/// Former name of [`LoadAwarePlacement`], kept so existing call sites and
+/// scripts keep compiling.
+pub type LeastLoadedPlacement = LoadAwarePlacement;
+
+impl Placement for LoadAwarePlacement {
     fn node_for(&mut self, world: &World, _wf: WfId, _func: FnId) -> NodeId {
         let mut best = NodeId::from_index(0);
         let mut best_cpu = f64::NEG_INFINITY;
@@ -98,7 +108,7 @@ mod tests {
     #[test]
     fn least_loaded_prefers_free_cpu() {
         let w = world();
-        let mut p = LeastLoadedPlacement;
+        let mut p = LoadAwarePlacement;
         // All equal → first node.
         assert_eq!(p.node_for(&w, WfId::from_index(0), fn_id(0)).index(), 0);
     }

@@ -2,7 +2,8 @@
 //!
 //! Measurement plumbing for the DataFlower reproduction: sample
 //! collections with exact percentiles ([`Samples`]), time-weighted step
-//! integrals for GB·s / MB·s cost metrics ([`StepIntegral`]), and table
+//! integrals for GB·s / MB·s cost metrics ([`StepIntegral`]), per-key
+//! step timelines for scaling histories ([`Timeline`]), and table
 //! rendering for the figure harness ([`Table`]).
 //!
 //! # Examples
@@ -26,7 +27,9 @@
 mod integrate;
 mod stats;
 mod table;
+mod timeline;
 
 pub use integrate::StepIntegral;
 pub use stats::{Samples, StatSummary};
 pub use table::{fmt_f, Table};
+pub use timeline::Timeline;

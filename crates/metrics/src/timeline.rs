@@ -1,0 +1,175 @@
+//! Per-key step timelines: how a gauge (replica count, queue depth,
+//! pressure) evolved over a run, one series per key.
+//!
+//! The live runtime exports its per-function scaling history as a
+//! [`Timeline`] so the workloads and the figure harness can ask "how many
+//! replicas did `wc_start` have at t=0.3 s?" or "how many replica-seconds
+//! did the burst cost?" without re-deriving the step semantics each time.
+
+use std::collections::BTreeMap;
+
+use crate::integrate::StepIntegral;
+use crate::table::{fmt_f, Table};
+
+/// A set of named step series: each key holds `(at_secs, value)` points,
+/// and the series holds `value` from each point until the next one.
+///
+/// Points within one key are expected in non-decreasing time order (the
+/// natural order of an event log); [`Timeline::record`] debug-asserts it.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_metrics::Timeline;
+///
+/// let mut t = Timeline::new();
+/// t.record("wc_start", 0.0, 1.0);
+/// t.record("wc_start", 0.5, 2.0); // scale-out
+/// t.record("wc_start", 2.0, 1.0); // scale-in
+/// assert_eq!(t.value_at("wc_start", 1.0), 2.0);
+/// assert_eq!(t.max_value("wc_start"), 2.0);
+/// // 0.5 s at 1 replica + 1.5 s at 2 + 1.0 s at 1 = 4.5 replica-seconds.
+/// assert!((t.integral("wc_start", 3.0) - 4.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Appends one point to `key`'s series.
+    pub fn record(&mut self, key: impl Into<String>, at_secs: f64, value: f64) {
+        let points = self.series.entry(key.into()).or_default();
+        debug_assert!(
+            points.last().map_or(true, |(t, _)| *t <= at_secs),
+            "timeline points must arrive in time order"
+        );
+        points.push((at_secs, value));
+    }
+
+    /// The keys with at least one recorded point, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The raw `(at_secs, value)` points of `key` (empty if unknown).
+    pub fn series(&self, key: &str) -> &[(f64, f64)] {
+        self.series.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no point was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Step-interpolated value of `key` at `at_secs`: the value of the
+    /// last point at or before that instant (0 before the first point or
+    /// for an unknown key).
+    pub fn value_at(&self, key: &str, at_secs: f64) -> f64 {
+        self.series(key)
+            .iter()
+            .take_while(|(t, _)| *t <= at_secs)
+            .last()
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Largest value ever recorded for `key` (0 for an unknown key).
+    pub fn max_value(&self, key: &str) -> f64 {
+        self.series(key).iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Time integral of `key`'s step series from its first point to
+    /// `end_secs` — e.g. replica-seconds of a scaling series. An
+    /// `end_secs` before the last recorded point is clamped up to it
+    /// (events recorded after a caller's elapsed mark — a scale-in
+    /// landing in a settle window — extend the horizon, never panic).
+    pub fn integral(&self, key: &str, end_secs: f64) -> f64 {
+        let mut m = StepIntegral::new();
+        let mut last_t = end_secs;
+        for (t, v) in self.series(key) {
+            m.set(*t, *v);
+            last_t = *t;
+        }
+        m.finish(end_secs.max(last_t))
+    }
+
+    /// Renders one row per key (points, peak, time integral to
+    /// `end_secs`, clamped as in [`Timeline::integral`]) — the
+    /// scaling-summary table of the elastic scenarios.
+    pub fn summary_table(&self, end_secs: f64) -> Table {
+        let mut t = Table::new(vec!["series", "points", "peak", "integral (·s)"]);
+        for key in self.series.keys() {
+            t.row(vec![
+                key.clone(),
+                self.series(key).len().to_string(),
+                fmt_f(self.max_value(key), 1),
+                fmt_f(self.integral(key, end_secs), 3),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_reads_zero() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.value_at("ghost", 1.0), 0.0);
+        assert_eq!(t.max_value("ghost"), 0.0);
+        assert_eq!(t.integral("ghost", 5.0), 0.0);
+        assert!(t.series("ghost").is_empty());
+    }
+
+    #[test]
+    fn step_semantics_hold() {
+        let mut t = Timeline::new();
+        t.record("f", 1.0, 1.0);
+        t.record("f", 2.0, 3.0);
+        assert_eq!(t.value_at("f", 0.5), 0.0);
+        assert_eq!(t.value_at("f", 1.0), 1.0);
+        assert_eq!(t.value_at("f", 1.9), 1.0);
+        assert_eq!(t.value_at("f", 10.0), 3.0);
+        assert_eq!(t.max_value("f"), 3.0);
+        // 1 s at 1 + 2 s at 3.
+        assert!((t.integral("f", 4.0) - 7.0).abs() < 1e-12);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn integral_tolerates_end_before_last_point() {
+        // A caller's elapsed mark can precede a late-recorded event (a
+        // scale-in landing in a settle window): the horizon extends to
+        // the last point instead of panicking.
+        let mut t = Timeline::new();
+        t.record("f", 0.0, 1.0);
+        t.record("f", 2.0, 2.0);
+        assert!((t.integral("f", 1.0) - 2.0).abs() < 1e-12); // clamped to 2.0
+        assert!((t.integral("f", 3.0) - 4.0).abs() < 1e-12);
+        let rendered = t.summary_table(1.0).render();
+        assert!(rendered.contains('f'));
+    }
+
+    #[test]
+    fn summary_table_lists_every_key() {
+        let mut t = Timeline::new();
+        t.record("a", 0.0, 1.0);
+        t.record("b", 0.0, 2.0);
+        let rendered = t.summary_table(1.0).render();
+        assert!(rendered.contains('a') && rendered.contains('b'));
+    }
+}

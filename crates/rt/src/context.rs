@@ -1,7 +1,10 @@
 //! The FLU programming interface: what a function body sees.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
+use crate::autoscale::FnScale;
 use crate::bytes::Bytes;
 use crate::channel::Sender;
 use crate::runtime::{DluMsg, ReqId};
@@ -32,6 +35,13 @@ pub struct FluContext {
     pub(crate) src_fn: String,
     pub(crate) inputs: BTreeMap<String, Bytes>,
     pub(crate) dlu: Sender<DluMsg>,
+    /// Live gauges of this function's pool; `put` adds the payload to the
+    /// DLU backlog so the autoscaler sees Eq. 1's `Size` term.
+    pub(crate) scale: Arc<FnScale>,
+    /// Wall-clock time this invocation spent blocked inside `put` (a full
+    /// DLU queue). The executor subtracts it from the body's elapsed time
+    /// so Eq. 1's `T_FLU` term measures compute, not backpressure.
+    pub(crate) blocked: std::time::Duration,
 }
 
 impl FluContext {
@@ -40,12 +50,15 @@ impl FluContext {
         src_fn: String,
         inputs: BTreeMap<String, Bytes>,
         dlu: Sender<DluMsg>,
+        scale: Arc<FnScale>,
     ) -> Self {
         FluContext {
             req,
             src_fn,
             inputs,
             dlu,
+            scale,
+            blocked: std::time::Duration::ZERO,
         }
     }
 
@@ -127,6 +140,11 @@ impl FluContext {
     }
 
     fn send(&mut self, data_name: String, target: PutTarget, payload: Bytes) {
+        // Count the payload into the DLU backlog *before* the send: a put
+        // blocked on a full DLU queue is exactly the pressure Eq. 1 is
+        // meant to see. The daemon subtracts it once routing finished.
+        let len = payload.len() as u64;
+        self.scale.backlog_bytes.fetch_add(len, Ordering::Relaxed);
         let msg = DluMsg {
             req: self.req,
             src_fn: self.src_fn.clone(),
@@ -135,8 +153,14 @@ impl FluContext {
             payload,
         };
         // The runtime only drops the DLU receiver at shutdown; a send
-        // failure then is harmless.
-        let _ = self.dlu.send(msg);
+        // failure then is harmless — but take the bytes back out so the
+        // gauge cannot leak upward.
+        let t0 = std::time::Instant::now();
+        let sent = self.dlu.send(msg);
+        self.blocked += t0.elapsed();
+        if sent.is_err() {
+            self.scale.backlog_bytes.fetch_sub(len, Ordering::Relaxed);
+        }
     }
 }
 

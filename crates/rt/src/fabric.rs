@@ -16,7 +16,7 @@
 //! crate, so the live runtime and the simulator share one fault-recovery
 //! model.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -224,6 +224,11 @@ pub(crate) type Ingress = Arc<dyn Fn(NetMsg) + Send + Sync>;
 /// serialization delay), then hands the message to `ingress`. It exits
 /// when every sender is gone; when `shutdown` is set it keeps draining
 /// but stops sleeping so teardown is prompt.
+///
+/// `depth` is the link's queue-depth gauge: the sending side increments
+/// it per enqueued message, the shipper decrements it once the message
+/// was delivered — so the gauge covers both queued and in-shaping
+/// messages, and load-aware placement can read the fabric's pressure.
 pub(crate) fn spawn_link(
     src: usize,
     dst: usize,
@@ -231,6 +236,7 @@ pub(crate) fn spawn_link(
     rx: Receiver<NetMsg>,
     ingress: Ingress,
     shutdown: Arc<AtomicBool>,
+    depth: Arc<AtomicUsize>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("link-{src}-{dst}"))
@@ -251,6 +257,7 @@ pub(crate) fn spawn_link(
                     }
                 }
                 ingress(msg);
+                depth.fetch_sub(1, Ordering::Relaxed);
             }
         })
         .expect("spawn link shipper")

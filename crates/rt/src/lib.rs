@@ -22,7 +22,12 @@
 //!   channels with optional bandwidth/latency shaping ([`LinkConfig`]);
 //! * bounded DLU queues exert genuine backpressure on over-producing
 //!   functions (Fig. 6a);
-//! * unconsumed sink entries passively expire via per-node janitors.
+//! * unconsumed sink entries passively expire via per-node janitors;
+//! * with [`AutoscaleConfig`] enabled, per-node autoscalers sample each
+//!   function's DLU backlog, convert it into Eq. 1 pressure-seconds, and
+//!   elastically grow/shrink the FLU executor pools between configurable
+//!   bounds (scale-out past the threshold, cool-down-guarded scale-in
+//!   once drained) — the paper's pressure-aware scaling, §5.2.
 //!
 //! The workflow *definition* is shared with the simulator
 //! ([`dataflower_workflow`]), so one definition drives both the
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod autoscale;
 mod bytes;
 mod channel;
 mod context;
@@ -45,6 +51,7 @@ mod fabric;
 mod node;
 mod runtime;
 
+pub use autoscale::{AutoscaleConfig, ScaleDirection, ScaleEvent, ScalePolicy};
 pub use bytes::Bytes;
 pub use context::{FluContext, PutTarget};
 pub use error::RtError;

@@ -104,6 +104,66 @@ impl Placement {
         p
     }
 
+    /// Routes each function to the currently least-loaded node: a greedy
+    /// bin-packing over the workflow's modeled per-function cost, seeded
+    /// with `base_load` — one load figure per node, e.g. live fabric
+    /// queue depths or DLU backlogs from
+    /// [`ClusterRuntime::node_pressure`](crate::ClusterRuntime::node_pressure)
+    /// — so new function instances land on the least-pressured node.
+    ///
+    /// Functions are visited in topological order; each is assigned to
+    /// the node with the smallest accumulated load, which then grows by
+    /// the function's modeled core-seconds at a 1 MiB reference input.
+    /// With an all-zero `base_load` this is a pure balance placement;
+    /// with live figures it biases new work away from busy nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or `base_load.len() != nodes`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dataflower_rt::Placement;
+    /// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+    ///
+    /// let mut b = WorkflowBuilder::new("pair");
+    /// let heavy = b.function("heavy", WorkModel::fixed(1.0));
+    /// let light = b.function("light", WorkModel::fixed(0.1));
+    /// b.client_input(heavy, "a", SizeModel::Fixed(1.0));
+    /// b.client_input(light, "b", SizeModel::Fixed(1.0));
+    /// b.client_output(heavy, "oa", SizeModel::Fixed(1.0));
+    /// b.client_output(light, "ob", SizeModel::Fixed(1.0));
+    /// let wf = b.build().unwrap();
+    ///
+    /// // Node 0 reports pre-existing pressure: the heavy function lands
+    /// // on node 1, after which node 0 is the lighter bin again.
+    /// let p = Placement::load_aware(&wf, 2, &[0.5, 0.0]);
+    /// assert_eq!(p.node_of("heavy"), 1);
+    /// assert_eq!(p.node_of("light"), 0);
+    /// ```
+    pub fn load_aware(wf: &Workflow, nodes: usize, base_load: &[f64]) -> Placement {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        assert_eq!(
+            base_load.len(),
+            nodes,
+            "load_aware needs one base-load figure per node"
+        );
+        const REFERENCE_INPUT_BYTES: f64 = 1024.0 * 1024.0;
+        let mut load = base_load.to_vec();
+        let mut p = Placement::with_nodes(nodes);
+        for f in wf.topo_order() {
+            let def = wf.function(*f);
+            let cost = def.work.core_secs(REFERENCE_INPUT_BYTES).max(1e-9);
+            let target = (0..nodes)
+                .min_by(|a, b| load[*a].total_cmp(&load[*b]))
+                .expect("nodes > 0");
+            load[target] += cost;
+            p.map.insert(def.name.clone(), target);
+        }
+        p
+    }
+
     /// The node hosting function `name` (node 0 when unassigned).
     pub fn node_of(&self, name: &str) -> usize {
         self.map.get(name).copied().unwrap_or(0)
@@ -273,5 +333,37 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         Placement::with_nodes(0);
+    }
+
+    #[test]
+    fn load_aware_balances_equal_costs() {
+        // Four equal-cost independent functions over two idle nodes:
+        // greedy bin-packing alternates, two per node.
+        let mut b = WorkflowBuilder::new("flat");
+        for k in 0..4 {
+            let f = b.function(format!("f{k}"), WorkModel::fixed(0.5));
+            b.client_input(f, format!("in{k}"), SizeModel::Fixed(1.0));
+            b.client_output(f, format!("out{k}"), SizeModel::Fixed(1.0));
+        }
+        let wf = b.build().unwrap();
+        let p = Placement::load_aware(&wf, 2, &[0.0, 0.0]);
+        let on_node0 = (0..4).filter(|k| p.node_of(&format!("f{k}")) == 0).count();
+        assert_eq!(on_node0, 2, "equal costs must spread evenly");
+        assert!(p.validate(&wf).is_ok());
+    }
+
+    #[test]
+    fn load_aware_avoids_pressured_nodes() {
+        let wf = chain();
+        // Node 0 carries heavy live pressure: both functions go to node 1.
+        let p = Placement::load_aware(&wf, 2, &[1000.0, 0.0]);
+        assert_eq!(p.node_of("a"), 1);
+        assert_eq!(p.node_of("c"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one base-load figure per node")]
+    fn load_aware_rejects_mismatched_base_load() {
+        Placement::load_aware(&chain(), 2, &[0.0]);
     }
 }

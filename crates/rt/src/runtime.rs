@@ -24,17 +24,27 @@
 //! faster than its DLU drains blocks in `put`, exactly Fig. 6a; a DLU
 //! that out-produces an inter-node link blocks on the link's bounded
 //! queue the same way.
+//!
+//! When elastic scaling is enabled ([`AutoscaleConfig`]), each node also
+//! runs an **autoscaler thread** that samples its hosted functions' DLU
+//! backlog every tick, converts it into seconds of backpressure via
+//! [`dataflower::pressure_secs`] (Eq. 1), and grows or shrinks the
+//! function's FLU executor pool between the configured bounds — the
+//! paper's pressure-aware scale-out, with a cool-down-guarded scale-in
+//! once the DLU drained.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dataflower::{choose_pipe, CheckpointSchedule, PipeKind};
+use dataflower::{choose_pipe, pressure_secs, CheckpointSchedule, PipeKind};
+use dataflower_metrics::Timeline;
 use dataflower_workflow::{EdgeId, Endpoint, Workflow};
 
+use crate::autoscale::{AutoscaleConfig, FnScale, ScaleDirection, ScaleEvent, ScalePolicy};
 use crate::bytes::Bytes;
 use crate::channel::{bounded, unbounded, Receiver, Sender};
 use crate::context::{FluContext, PutTarget};
@@ -93,11 +103,14 @@ pub struct ClusterRtConfig {
     pub checkpoint_interval_bytes: usize,
     /// Shaping applied to every inter-node link.
     pub link: LinkConfig,
+    /// Elastic, pressure-driven scaling of the FLU executor pools
+    /// (disabled by default — pools stay at their configured size).
+    pub autoscale: AutoscaleConfig,
 }
 
 impl Default for ClusterRtConfig {
     /// 16 KiB direct threshold, 64 KiB chunks, 256 KiB checkpoint
-    /// interval, unshaped links.
+    /// interval, unshaped links, autoscaling off.
     fn default() -> Self {
         ClusterRtConfig {
             rt: RtConfig::default(),
@@ -105,6 +118,7 @@ impl Default for ClusterRtConfig {
             chunk_bytes: 64 * 1024,
             checkpoint_interval_bytes: 256 * 1024,
             link: LinkConfig::default(),
+            autoscale: AutoscaleConfig::default(),
         }
     }
 }
@@ -132,6 +146,10 @@ pub struct RtStats {
     pub remote_checkpoints: u64,
     /// Payload bytes that crossed nodes (direct-socket and remote-pipe).
     pub remote_bytes: u64,
+    /// Executor-pool scale-outs triggered by pressure (Eq. 1).
+    pub scale_out_events: u64,
+    /// Executor-pool scale-ins after the DLU drained.
+    pub scale_in_events: u64,
 }
 
 impl RtStats {
@@ -154,6 +172,9 @@ enum FluMsg {
         req: ReqId,
         inputs: BTreeMap<String, Bytes>,
     },
+    /// Retire exactly one executor of the pool (elastic scale-in); the
+    /// autoscaler already discounted it from the replica gauge.
+    Retire,
     Shutdown,
 }
 
@@ -178,6 +199,8 @@ struct Counters {
     remote_chunks: AtomicU64,
     remote_checkpoints: AtomicU64,
     remote_bytes: AtomicU64,
+    scale_outs: AtomicU64,
+    scale_ins: AtomicU64,
 }
 
 struct Inner {
@@ -190,11 +213,25 @@ struct Inner {
     nodes: Vec<Arc<NodeState>>,
     counters: Counters,
     shutdown: Arc<AtomicBool>,
-    /// Pairs with `shutdown`: janitors sleep on this condvar so teardown
-    /// does not have to wait out their polling tick.
+    /// Pairs with `shutdown`: janitors and autoscalers sleep on this
+    /// condvar so teardown does not have to wait out their polling tick.
+    /// The mutex also serializes scale events against `signal_shutdown`,
+    /// so the shutdown message count always matches the live executor
+    /// count.
     shutdown_mx: Mutex<()>,
     shutdown_cv: Condvar,
     next_transfer: AtomicU64,
+    /// Live per-function pool gauges (replicas, DLU backlog, T_FLU).
+    scale: HashMap<String, Arc<FnScale>>,
+    /// Initial pool size per function (the t=0 point of the timeline).
+    initial_replicas: HashMap<String, usize>,
+    /// Every scale event since start, in time order.
+    scale_events: Mutex<Vec<ScaleEvent>>,
+    /// When the runtime started (scale events are relative to this).
+    started: Instant,
+    /// Queue-depth gauge of each directed fabric link, indexed
+    /// `src * node_count + dst` (self-links stay zero).
+    link_depth: Vec<Arc<AtomicUsize>>,
 }
 
 type Body = Arc<dyn Fn(&mut FluContext) + Send + Sync>;
@@ -305,13 +342,18 @@ impl ClusterRuntimeBuilder {
     /// # Panics
     ///
     /// Panics if the configuration's `chunk_bytes` or
-    /// `checkpoint_interval_bytes` is zero.
+    /// `checkpoint_interval_bytes` is zero, or if the autoscale knobs are
+    /// inconsistent (`min_replicas` of zero, `max_replicas` below
+    /// `min_replicas`, non-positive `alpha` or drain bandwidth).
     pub fn start(self) -> Result<ClusterRuntime, RtError> {
         assert!(self.cfg.chunk_bytes > 0, "chunk_bytes must be positive");
         assert!(
             self.cfg.checkpoint_interval_bytes > 0,
             "checkpoint_interval_bytes must be positive"
         );
+        if let Err(e) = self.cfg.autoscale.validate() {
+            panic!("{e}");
+        }
         for f in self.workflow.function_ids() {
             let name = &self.workflow.function(f).name;
             if !self.bodies.contains_key(name) {
@@ -328,16 +370,35 @@ impl ClusterRuntimeBuilder {
             .map_err(RtError::InvalidPlacement)?;
 
         let node_count = self.placement.node_count();
+        let scaling = self.cfg.autoscale.enabled;
         let mut flu_tx = HashMap::new();
         let mut flu_rx: HashMap<String, Receiver<FluMsg>> = HashMap::new();
+        let mut scale = HashMap::new();
+        let mut initial_replicas = HashMap::new();
         for f in self.workflow.function_ids() {
             let name = self.workflow.function(f).name.clone();
             let (tx, rx) = unbounded();
             flu_tx.insert(name.clone(), tx);
+            let mut replicas = *self
+                .replicas
+                .get(&name)
+                .unwrap_or(&self.cfg.rt.flu_replicas)
+                .max(&1);
+            if scaling {
+                replicas = replicas.clamp(
+                    self.cfg.autoscale.min_replicas,
+                    self.cfg.autoscale.max_replicas,
+                );
+            }
+            scale.insert(name.clone(), Arc::new(FnScale::new(replicas)));
+            initial_replicas.insert(name.clone(), replicas);
             flu_rx.insert(name, rx);
         }
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
             .map(|_| Arc::new(NodeState::new()))
+            .collect();
+        let link_depth: Vec<Arc<AtomicUsize>> = (0..node_count * node_count)
+            .map(|_| Arc::new(AtomicUsize::new(0)))
             .collect();
         let inner = Arc::new(Inner {
             workflow: Arc::clone(&self.workflow),
@@ -352,6 +413,11 @@ impl ClusterRuntimeBuilder {
             shutdown_mx: Mutex::new(()),
             shutdown_cv: Condvar::new(),
             next_transfer: AtomicU64::new(0),
+            scale,
+            initial_replicas,
+            scale_events: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            link_depth,
         });
 
         // Fabric: one bounded link + shipper thread per directed node
@@ -375,6 +441,7 @@ impl ClusterRuntimeBuilder {
                     rx,
                     Arc::new(move |msg| ingress(&ingress_inner, dst, msg)),
                     Arc::clone(&inner.shutdown),
+                    Arc::clone(&inner.link_depth[src * node_count + dst]),
                 ));
                 row.push(Some(tx));
             }
@@ -382,12 +449,12 @@ impl ClusterRuntimeBuilder {
         }
 
         // Nodes: FLU executors and DLU daemons for the hosted functions,
-        // plus one janitor each.
+        // plus one janitor each and (when enabled) one autoscaler.
         let mut nodes = Vec::new();
-        let mut replica_counts = HashMap::new();
         for (node_id, links_row) in links_by_src.iter().enumerate() {
             let mut threads = Vec::new();
             let mut hosted = Vec::new();
+            let mut seeds = Vec::new();
             for f in self.workflow.function_ids() {
                 let name = self.workflow.function(f).name.clone();
                 if self.placement.node_of(&name) != node_id {
@@ -395,21 +462,19 @@ impl ClusterRuntimeBuilder {
                 }
                 hosted.push(name.clone());
                 let body = Arc::clone(&self.bodies[&name]);
-                let replicas = *self
-                    .replicas
-                    .get(&name)
-                    .unwrap_or(&self.cfg.rt.flu_replicas);
-                replica_counts.insert(name.clone(), replicas);
+                let fn_scale = Arc::clone(&inner.scale[&name]);
+                let replicas = fn_scale.replicas.load(Ordering::Relaxed);
 
                 // Per-function DLU daemon, owned by this node.
                 let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
                 {
                     let inner = Arc::clone(&inner);
                     let links = Arc::clone(links_row);
+                    let fn_scale = Arc::clone(&fn_scale);
                     threads.push(
                         std::thread::Builder::new()
                             .name(format!("node{node_id}-dlu-{name}"))
-                            .spawn(move || dlu_daemon(inner, links, dlu_rx))
+                            .spawn(move || dlu_daemon(inner, links, dlu_rx, fn_scale))
                             .expect("spawn dlu daemon"),
                     );
                 }
@@ -421,13 +486,35 @@ impl ClusterRuntimeBuilder {
                     let body = Arc::clone(&body);
                     let dlu = dlu_tx.clone();
                     let fn_name = name.clone();
+                    let fn_scale = Arc::clone(&fn_scale);
                     threads.push(
                         std::thread::Builder::new()
                             .name(format!("node{node_id}-flu-{name}-{k}"))
-                            .spawn(move || flu_executor(inner, fn_name, rx, body, dlu))
+                            .spawn(move || flu_executor(inner, fn_name, rx, body, dlu, fn_scale))
                             .expect("spawn flu executor"),
                     );
                 }
+                if scaling {
+                    seeds.push(ExecutorSeed {
+                        name,
+                        node: node_id,
+                        rx,
+                        body,
+                        dlu: dlu_tx.clone(),
+                        scale: fn_scale,
+                    });
+                }
+            }
+            // Per-node autoscaler: samples the hosted functions' pressure
+            // and grows/shrinks their pools.
+            if scaling && !seeds.is_empty() {
+                let inner = Arc::clone(&inner);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("node{node_id}-autoscaler"))
+                        .spawn(move || autoscaler(inner, seeds))
+                        .expect("spawn autoscaler"),
+                );
             }
             // Node-local janitor for passive expire.
             if let Some(ttl) = self.cfg.rt.sink_ttl {
@@ -452,10 +539,22 @@ impl ClusterRuntimeBuilder {
             inner,
             nodes,
             fabric_threads,
-            replica_counts,
             next_req: AtomicU64::new(0),
         })
     }
+}
+
+/// Everything the autoscaler needs to spawn one more executor of a
+/// function: the shared invocation queue, the body, the DLU handle and
+/// the pool gauges. Holding the receiver/sender clones here is safe for
+/// teardown: the autoscaler exits on the shutdown signal and drops them.
+struct ExecutorSeed {
+    name: String,
+    node: usize,
+    rx: Receiver<FluMsg>,
+    body: Body,
+    dlu: Sender<DluMsg>,
+    scale: Arc<FnScale>,
 }
 
 /// A running multi-node FLU/DLU runtime. Create with
@@ -465,7 +564,6 @@ pub struct ClusterRuntime {
     inner: Arc<Inner>,
     nodes: Vec<NodeRuntime>,
     fabric_threads: Vec<JoinHandle<()>>,
-    replica_counts: HashMap<String, usize>,
     next_req: AtomicU64,
 }
 
@@ -639,9 +737,85 @@ impl ClusterRuntime {
         self.inner.placement.node_of(name)
     }
 
-    /// Number of FLU executor threads serving `name` (scale-out view).
+    /// Number of FLU executor threads serving `name`. With elastic
+    /// scaling enabled this is a **live gauge** that moves as the
+    /// autoscaler grows and shrinks the pool.
     pub fn replicas_of(&self, name: &str) -> Option<usize> {
-        self.replica_counts.get(name).copied()
+        self.inner
+            .scale
+            .get(name)
+            .map(|s| s.replicas.load(Ordering::Relaxed))
+    }
+
+    /// The current Eq. 1 pressure sample of function `name`, seconds:
+    /// `α · backlog / Bw − T_FLU` with the configured autoscale
+    /// coefficients. Positive means the DLU is not keeping up.
+    pub fn pressure_of(&self, name: &str) -> Option<f64> {
+        let s = self.inner.scale.get(name)?;
+        let auto = &self.inner.cfg.autoscale;
+        Some(pressure_secs(
+            auto.alpha,
+            s.backlog_bytes.load(Ordering::Relaxed) as f64,
+            auto.drain_bw_bytes_per_sec,
+            s.t_flu.lock().expect("t_flu lock poisoned").get_or(0.0),
+        ))
+    }
+
+    /// Bytes currently sitting in (or being drained from) the DLU queues
+    /// of the functions hosted on `node` — the node's outbound pressure.
+    pub fn node_pressure(&self, node: usize) -> u64 {
+        self.nodes[node]
+            .functions
+            .iter()
+            .map(|name| self.inner.scale[name].backlog_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Messages queued (or in shaping) on the fabric links **into**
+    /// `node` — the node's inbound pressure.
+    pub fn fabric_inbound_depth(&self, node: usize) -> usize {
+        let n = self.nodes.len();
+        (0..n)
+            .filter(|src| *src != node)
+            .map(|src| self.inner.link_depth[src * n + node].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The node with the least combined pressure: DLU backlog bytes plus
+    /// inbound fabric queue depth (scaled by the chunk size so both terms
+    /// are bytes). Feed this — or the per-node figures behind it — into
+    /// [`Placement::load_aware`] to route new function instances to the
+    /// least-pressured node.
+    pub fn least_pressured_node(&self) -> usize {
+        let chunk = self.inner.cfg.chunk_bytes as u64;
+        (0..self.nodes.len())
+            .min_by_key(|n| self.node_pressure(*n) + self.fabric_inbound_depth(*n) as u64 * chunk)
+            .unwrap_or(0)
+    }
+
+    /// Every scale event since the runtime started, in time order (empty
+    /// while autoscaling is disabled).
+    pub fn scaling_timeline(&self) -> Vec<ScaleEvent> {
+        self.inner
+            .scale_events
+            .lock()
+            .expect("scale events lock poisoned")
+            .clone()
+    }
+
+    /// The per-function replica counts over time as a
+    /// [`dataflower_metrics::Timeline`]: one series per function, starting
+    /// at its initial pool size, stepping on every scale event.
+    pub fn replica_timeline(&self) -> Timeline {
+        let mut t = Timeline::new();
+        for f in self.inner.workflow.function_ids() {
+            let name = &self.inner.workflow.function(f).name;
+            t.record(name.clone(), 0.0, self.inner.initial_replicas[name] as f64);
+        }
+        for ev in self.scaling_timeline() {
+            t.record(ev.function, ev.at.as_secs_f64(), ev.to_replicas as f64);
+        }
+        t
     }
 
     /// Runtime counters, aggregated across all nodes and links.
@@ -658,6 +832,8 @@ impl ClusterRuntime {
             remote_chunks: c.remote_chunks.load(Ordering::Relaxed),
             remote_checkpoints: c.remote_checkpoints.load(Ordering::Relaxed),
             remote_bytes: c.remote_bytes.load(Ordering::Relaxed),
+            scale_out_events: c.scale_outs.load(Ordering::Relaxed),
+            scale_in_events: c.scale_ins.load(Ordering::Relaxed),
         }
     }
 
@@ -681,19 +857,21 @@ impl ClusterRuntime {
     }
 
     fn signal_shutdown(&self) {
+        // The lock orders the store before any janitor's or autoscaler's
+        // next wait (none can sleep through the signal), and freezes the
+        // replica gauges: the autoscaler only scales while holding this
+        // same mutex, so the shutdown message count below exactly matches
+        // the number of live executors.
+        let _guard = self
+            .inner
+            .shutdown_mx
+            .lock()
+            .expect("shutdown lock poisoned");
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        // Taking the lock orders the store before any janitor's next
-        // wait, so none of them can sleep through the signal.
-        drop(
-            self.inner
-                .shutdown_mx
-                .lock()
-                .expect("shutdown lock poisoned"),
-        );
         self.inner.shutdown_cv.notify_all();
         for f in self.inner.workflow.function_ids() {
             let name = &self.inner.workflow.function(f).name;
-            for _ in 0..self.replica_counts.get(name).copied().unwrap_or(1) {
+            for _ in 0..self.inner.scale[name].replicas.load(Ordering::SeqCst) {
                 let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
             }
         }
@@ -870,25 +1048,148 @@ fn flu_executor(
     rx: Receiver<FluMsg>,
     body: Body,
     dlu: Sender<DluMsg>,
+    scale: Arc<FnScale>,
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {
             FluMsg::Shutdown => break,
+            // Elastic scale-in: exactly one executor of the pool takes
+            // the retire token and exits (the autoscaler already
+            // discounted it from the replica gauge).
+            FluMsg::Retire => break,
             FluMsg::Invoke { req, inputs } => {
                 inner.counters.invocations.fetch_add(1, Ordering::Relaxed);
-                let mut ctx = FluContext::new(req, fn_name.clone(), inputs, dlu.clone());
+                let mut ctx = FluContext::new(
+                    req,
+                    fn_name.clone(),
+                    inputs,
+                    dlu.clone(),
+                    Arc::clone(&scale),
+                );
+                let t0 = Instant::now();
                 body(&mut ctx);
+                // Eq. 1's T_FLU is compute time: discount what the body
+                // spent blocked in `put` behind a saturated DLU, or
+                // backpressure would masquerade as useful work and
+                // suppress the very pressure it signals.
+                let t_flu = t0.elapsed().saturating_sub(ctx.blocked);
+                scale
+                    .t_flu
+                    .lock()
+                    .expect("t_flu lock poisoned")
+                    .push(t_flu.as_secs_f64());
             }
         }
     }
 }
 
-fn dlu_daemon(inner: Arc<Inner>, links: Arc<Vec<Option<Sender<NetMsg>>>>, rx: Receiver<DluMsg>) {
+fn dlu_daemon(
+    inner: Arc<Inner>,
+    links: Arc<Vec<Option<Sender<NetMsg>>>>,
+    rx: Receiver<DluMsg>,
+    scale: Arc<FnScale>,
+) {
     while let Ok(msg) = rx.recv() {
         if inner.shutdown.load(Ordering::Relaxed) {
             break;
         }
+        let len = msg.payload.len() as u64;
         route(&inner, &links, msg);
+        // The payload left the DLU (routing finished, including any time
+        // blocked on a saturated inter-node link): drop it from the
+        // Eq. 1 backlog gauge.
+        scale.backlog_bytes.fetch_sub(len, Ordering::Relaxed);
+    }
+}
+
+/// The per-node elastic scaling loop: every `sample_interval`, convert
+/// each hosted function's DLU backlog into Eq. 1 pressure-seconds and let
+/// its [`ScalePolicy`] grow or shrink the executor pool. Scaling happens
+/// under the shutdown mutex so teardown always sees a consistent replica
+/// count; on shutdown the loop drops its channel seeds (unblocking the
+/// cascade) and joins every executor it spawned.
+fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
+    let auto = inner.cfg.autoscale.clone();
+    let mut policies: Vec<ScalePolicy> = seeds.iter().map(|_| ScalePolicy::new(&auto)).collect();
+    let mut spawned: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let mut guard = inner.shutdown_mx.lock().expect("shutdown lock poisoned");
+        if inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        guard = inner
+            .shutdown_cv
+            .wait_timeout(guard, auto.sample_interval)
+            .expect("shutdown lock poisoned")
+            .0;
+        if inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let now = inner.started.elapsed();
+        for (seed, policy) in seeds.iter().zip(policies.iter_mut()) {
+            let backlog = seed.scale.backlog_bytes.load(Ordering::Relaxed) as f64;
+            let t_flu = seed
+                .scale
+                .t_flu
+                .lock()
+                .expect("t_flu lock poisoned")
+                .get_or(0.0);
+            let pressure = pressure_secs(auto.alpha, backlog, auto.drain_bw_bytes_per_sec, t_flu);
+            let replicas = seed.scale.replicas.load(Ordering::Relaxed);
+            let Some(direction) = policy.decide(now.as_secs_f64(), pressure, replicas) else {
+                continue;
+            };
+            let to_replicas = match direction {
+                ScaleDirection::Out => {
+                    let k = spawned.len();
+                    let exec_inner = Arc::clone(&inner);
+                    let rx = seed.rx.clone();
+                    let body = Arc::clone(&seed.body);
+                    let dlu = seed.dlu.clone();
+                    let fn_name = seed.name.clone();
+                    let fn_scale = Arc::clone(&seed.scale);
+                    spawned.push(
+                        std::thread::Builder::new()
+                            .name(format!("node{}-flu-{}-s{k}", seed.node, seed.name))
+                            .spawn(move || {
+                                flu_executor(exec_inner, fn_name, rx, body, dlu, fn_scale)
+                            })
+                            .expect("spawn scaled flu executor"),
+                    );
+                    inner.counters.scale_outs.fetch_add(1, Ordering::Relaxed);
+                    seed.scale.replicas.fetch_add(1, Ordering::SeqCst) + 1
+                }
+                ScaleDirection::In => {
+                    // Discount first, then queue the retire token; one
+                    // executor will consume it and exit.
+                    let left = seed.scale.replicas.fetch_sub(1, Ordering::SeqCst) - 1;
+                    let _ = inner.flu_tx[&seed.name].send(FluMsg::Retire);
+                    inner.counters.scale_ins.fetch_add(1, Ordering::Relaxed);
+                    left
+                }
+            };
+            inner
+                .scale_events
+                .lock()
+                .expect("scale events lock poisoned")
+                .push(ScaleEvent {
+                    at: now,
+                    function: seed.name.clone(),
+                    node: seed.node,
+                    direction,
+                    from_replicas: replicas,
+                    to_replicas,
+                    pressure_secs: pressure,
+                });
+        }
+        drop(guard);
+    }
+    // Drop the seeds' channel handles so DLU daemons and link shippers
+    // observe disconnection, then wait for the scaled executors (their
+    // shutdown tokens were queued by `signal_shutdown`).
+    drop(seeds);
+    for t in spawned {
+        let _ = t.join();
     }
 }
 
@@ -1000,12 +1301,17 @@ fn ship(
                     .remote_bytes
                     .fetch_add(len as u64, Ordering::Relaxed);
                 let link = links[dst_node].as_ref().expect("cross-node link exists");
-                let _ = link.send(NetMsg::Whole {
+                let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
+                depth.fetch_add(1, Ordering::Relaxed);
+                let sent = link.send(NetMsg::Whole {
                     req: req.0,
                     edge,
                     key,
                     payload: payload.clone(),
                 });
+                if sent.is_err() {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                }
             }
         }
         PipeKind::LocalPipe => {
@@ -1020,6 +1326,7 @@ fn ship(
                 .fetch_add(len as u64, Ordering::Relaxed);
             let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
             let link = links[dst_node].as_ref().expect("cross-node link exists");
+            let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
             let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
             let mut last_mark = 0.0;
             for (lo, hi) in chunk_spans(len, inner.cfg.chunk_bytes) {
@@ -1033,6 +1340,7 @@ fn ship(
                         .fetch_add(new_marks, Ordering::Relaxed);
                     last_mark = mark;
                 }
+                depth.fetch_add(1, Ordering::Relaxed);
                 let sent = link.send(NetMsg::Chunk {
                     req: req.0,
                     edge,
@@ -1043,6 +1351,7 @@ fn ship(
                     bytes: payload[lo..hi].to_vec(),
                 });
                 if sent.is_err() {
+                    depth.fetch_sub(1, Ordering::Relaxed);
                     break; // link torn down mid-transfer (shutdown)
                 }
             }

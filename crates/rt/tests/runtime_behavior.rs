@@ -464,3 +464,115 @@ fn forget_releases_abandoned_request_state() {
     );
     rt.shutdown();
 }
+
+#[test]
+fn pressure_scales_executors_out_and_back_in() {
+    use dataflower_rt::{AutoscaleConfig, ScaleDirection};
+
+    // producer → sink across a deliberately slow link: the producer's
+    // DLU backs up behind the shaped fabric, Eq. 1 pressure rises, the
+    // autoscaler grows the pool; once drained it shrinks it again.
+    let mut b = WorkflowBuilder::new("pipe");
+    let producer = b.function("producer", WorkModel::fixed(0.001));
+    let sink = b.function("sink", WorkModel::fixed(0.001));
+    b.client_input(producer, "in", SizeModel::Fixed(1024.0));
+    b.edge(producer, sink, "blob", SizeModel::Fixed(1024.0));
+    b.client_output(sink, "out", SizeModel::Fixed(8.0));
+    let wf = Arc::new(b.build().unwrap());
+
+    let cfg = ClusterRtConfig {
+        rt: RtConfig {
+            dlu_queue_capacity: 4,
+            ..RtConfig::default()
+        },
+        link: LinkConfig {
+            bandwidth_bytes_per_sec: Some(8.0 * 1024.0 * 1024.0),
+            queue_capacity: 4,
+            ..LinkConfig::default()
+        },
+        autoscale: AutoscaleConfig {
+            enabled: true,
+            min_replicas: 1,
+            max_replicas: 3,
+            pressure_threshold_secs: 0.001,
+            drain_bw_bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            cooldown: Duration::from_millis(20),
+            sample_interval: Duration::from_millis(1),
+            ..AutoscaleConfig::default()
+        },
+        ..ClusterRtConfig::default()
+    };
+    let rt = ClusterRuntimeBuilder::new(wf)
+        .placement(
+            Placement::with_nodes(2)
+                .assign("producer", 0)
+                .assign("sink", 1),
+        )
+        .config(cfg)
+        .register("producer", |ctx| {
+            let blob = vec![0x5au8; 192 * 1024];
+            ctx.put("blob", Bytes::from(blob));
+        })
+        .register("sink", |ctx| {
+            let blob = ctx.input("blob").expect("blob");
+            ctx.put("out", Bytes::from(vec![blob[0]]));
+        })
+        .start()
+        .unwrap();
+
+    // A burst of requests: ~3 MiB over an 8 MiB/s link keeps the
+    // producer's DLU visibly backed up for hundreds of milliseconds.
+    let reqs: Vec<_> = (0..16)
+        .map(|_| rt.invoke(vec![("in".into(), Bytes::from_static(b"go"))]))
+        .collect();
+    for req in reqs {
+        let outputs = rt.wait(req, Duration::from_secs(30)).unwrap();
+        assert_eq!(outputs[0].1.as_ref(), &[0x5a]);
+    }
+
+    // Drained: wait (bounded) for the cool-down-guarded scale-in.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rt.stats().scale_in_events == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let stats = rt.stats();
+    assert!(
+        stats.scale_out_events >= 1,
+        "burst must trigger a scale-out"
+    );
+    assert!(stats.scale_in_events >= 1, "drain must trigger a scale-in");
+    let replicas = rt.replicas_of("producer").unwrap();
+    assert!(
+        (1..=3).contains(&replicas),
+        "pool outside bounds: {replicas}"
+    );
+
+    // The timeline tells the same story: at least one Out then one In
+    // for the producer, in time order, all within [min, max].
+    let timeline = rt.scaling_timeline();
+    assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
+    assert!(timeline
+        .iter()
+        .any(|e| e.function == "producer" && e.direction == ScaleDirection::Out));
+    assert!(timeline.iter().any(|e| e.direction == ScaleDirection::In));
+    assert!(timeline
+        .iter()
+        .all(|e| e.to_replicas >= 1 && e.to_replicas <= 3));
+    let replica_series = rt.replica_timeline();
+    assert!(replica_series.max_value("producer") >= 2.0);
+    rt.shutdown();
+}
+
+#[test]
+fn disabled_autoscaler_keeps_pools_fixed() {
+    let rt = build_wc(2);
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"a b a"))]);
+    rt.wait(req, Duration::from_secs(10)).unwrap();
+    let stats = rt.stats();
+    assert_eq!(stats.scale_out_events, 0);
+    assert_eq!(stats.scale_in_events, 0);
+    assert!(rt.scaling_timeline().is_empty());
+    assert_eq!(rt.replicas_of("start"), Some(1));
+    rt.shutdown();
+}

@@ -1,0 +1,491 @@
+//! Elastic-scaling scenarios on the live cluster runtime: open-loop
+//! bursts and Zipf-skewed fan-outs that exercise the pressure-aware
+//! autoscaler end to end.
+//!
+//! Both scenarios run **live** — real threads, real bytes, shaped
+//! inter-node links — with the runtime's [`AutoscaleConfig`] enabled, and
+//! validate every output byte-for-byte against a straight-line reference
+//! computation: scaling that loses, duplicates or reorders data makes the
+//! runner panic, not a data point. The per-function scaling history comes
+//! back as a [`dataflower_metrics::Timeline`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dataflower_metrics::Timeline;
+use dataflower_rt::{
+    AutoscaleConfig, Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, LinkConfig,
+    Placement, RtConfig, RtStats, ScaleEvent,
+};
+use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder};
+
+use crate::benchmarks::Benchmark;
+use crate::harness::Scenario;
+use crate::live::{branch_ordered, live_input, live_runtime, noise, reference_output};
+
+/// Runtime tuning shared by the elastic scenarios: short DLU and fabric
+/// queues behind an 8 MiB/s shaped fabric (so a burst visibly backs the
+/// DLUs up instead of hiding in channel buffers), and an aggressive
+/// autoscaler (1–3 replicas, 2 ms pressure threshold, a conservative
+/// 2 MiB/s drain-bandwidth estimate, 30 ms cool-down, 1 ms sampling).
+fn elastic_rt_config() -> ClusterRtConfig {
+    ClusterRtConfig {
+        rt: RtConfig {
+            dlu_queue_capacity: 8,
+            ..RtConfig::default()
+        },
+        link: LinkConfig {
+            bandwidth_bytes_per_sec: Some(8.0 * 1024.0 * 1024.0),
+            queue_capacity: 4,
+            ..LinkConfig::default()
+        },
+        autoscale: AutoscaleConfig {
+            enabled: true,
+            min_replicas: 1,
+            max_replicas: 3,
+            pressure_threshold_secs: 0.002,
+            drain_bw_bytes_per_sec: 2.0 * 1024.0 * 1024.0,
+            cooldown: Duration::from_millis(30),
+            sample_interval: Duration::from_millis(1),
+            ..AutoscaleConfig::default()
+        },
+        ..ClusterRtConfig::default()
+    }
+}
+
+/// Parameters of a [`Scenario::bursty_cluster`] run.
+#[derive(Debug, Clone)]
+pub struct BurstyClusterConfig {
+    /// Worker nodes in the topology (by-level spread).
+    pub nodes: usize,
+    /// Sequential warm-up requests before the burst (the paper's base
+    /// rate, Fig. 15's first minute shrunk to a trickle).
+    pub base_requests: usize,
+    /// Requests fired concurrently as the burst.
+    pub burst_requests: usize,
+    /// Client input payload size in bytes.
+    pub payload_bytes: usize,
+    /// Runtime tuning; the default pairs shaped links with an enabled,
+    /// aggressive autoscaler (see the module docs).
+    pub rt: ClusterRtConfig,
+    /// Per-request completion deadline.
+    pub timeout: Duration,
+    /// How long to keep the drained runtime alive waiting for the
+    /// cool-down-guarded scale-in before giving up.
+    pub settle: Duration,
+}
+
+impl Default for BurstyClusterConfig {
+    /// 3 nodes, 2 warm-up requests, a 12-request burst of 192 KiB each,
+    /// elastic runtime knobs, 60 s deadline, 5 s settle window.
+    fn default() -> Self {
+        BurstyClusterConfig {
+            nodes: 3,
+            base_requests: 2,
+            burst_requests: 12,
+            payload_bytes: 192 * 1024,
+            rt: elastic_rt_config(),
+            timeout: Duration::from_secs(60),
+            settle: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Parameters of a [`Scenario::skewed_fanout`] run.
+#[derive(Debug, Clone)]
+pub struct SkewedFanoutConfig {
+    /// Worker nodes; functions are placed with
+    /// [`Placement::load_aware`] over the modeled branch costs.
+    pub nodes: usize,
+    /// Fan-out branches of the split.
+    pub branches: usize,
+    /// Zipf exponent of the shard-size skew: branch *i* receives a share
+    /// proportional to `(i+1)^-s`. Zero means even shards.
+    pub zipf_exponent: f64,
+    /// Concurrent requests to drive through the workflow.
+    pub requests: usize,
+    /// Client input payload size in bytes.
+    pub payload_bytes: usize,
+    /// Runtime tuning; same elastic default as [`BurstyClusterConfig`].
+    pub rt: ClusterRtConfig,
+    /// Per-request completion deadline.
+    pub timeout: Duration,
+}
+
+impl Default for SkewedFanoutConfig {
+    /// 3 nodes, 8 branches with a 1.2 Zipf exponent, 6 concurrent
+    /// requests of 256 KiB, elastic runtime knobs, 60 s deadline.
+    fn default() -> Self {
+        SkewedFanoutConfig {
+            nodes: 3,
+            branches: 8,
+            zipf_exponent: 1.2,
+            requests: 6,
+            payload_bytes: 256 * 1024,
+            rt: elastic_rt_config(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Outcome of an elastic scenario: the usual live counters plus the
+/// scaling story.
+#[derive(Debug, Clone)]
+pub struct ElasticReport {
+    /// Scenario identifier, e.g. `bursty_cluster/wc`.
+    pub scenario: String,
+    /// Worker nodes in the topology.
+    pub nodes: usize,
+    /// Requests completed (all of them — a failed request panics).
+    pub requests: usize,
+    /// Wall-clock time from first invoke to last validated result.
+    pub elapsed: Duration,
+    /// Total client-output bytes received.
+    pub output_bytes: usize,
+    /// Aggregated runtime counters, including scale-event counts.
+    pub stats: RtStats,
+    /// Every scale event, in time order.
+    pub events: Vec<ScaleEvent>,
+    /// Per-function replica counts over time.
+    pub timeline: Timeline,
+}
+
+impl ElasticReport {
+    /// Scale-outs the autoscaler performed.
+    pub fn scale_outs(&self) -> u64 {
+        self.stats.scale_out_events
+    }
+
+    /// Scale-ins the autoscaler performed.
+    pub fn scale_ins(&self) -> u64 {
+        self.stats.scale_in_events
+    }
+
+    /// Largest replica count any function reached.
+    pub fn peak_replicas(&self) -> usize {
+        self.timeline
+            .keys()
+            .map(|k| self.timeline.max_value(k) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Scenario {
+    /// Drives an open-loop **burst** through `bench` on a live,
+    /// autoscaled cluster: a short warm-up trickle, then
+    /// `burst_requests` concurrent requests whose DLU backlog pushes
+    /// Eq. 1 pressure past the threshold (scale-out), followed by a
+    /// settle window in which the drained pools shrink again
+    /// (cool-down-guarded scale-in). Every output is validated
+    /// byte-for-byte against the straight-line reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request misses its deadline or any output diverges
+    /// from the reference computation.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use dataflower_workloads::{Benchmark, BurstyClusterConfig, Scenario};
+    ///
+    /// let report = Scenario::bursty_cluster(Benchmark::Wc, &BurstyClusterConfig::default());
+    /// assert!(report.scale_outs() >= 1);
+    /// ```
+    pub fn bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) -> ElasticReport {
+        let wf = bench.workflow();
+        let placement = Placement::by_level(&wf, cfg.nodes);
+        let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
+        let (input_name, input) = live_input(bench, cfg.payload_bytes);
+        let expected = reference_output(bench, &input);
+        let input = Bytes::from(input);
+
+        let t0 = Instant::now();
+        let mut output_bytes = 0;
+        // Warm-up trickle: sequential, so the pools stay at minimum.
+        for _ in 0..cfg.base_requests {
+            output_bytes += validate_one(
+                &rt,
+                rt.invoke(vec![(input_name.to_owned(), input.clone())]),
+                cfg.timeout,
+                &expected,
+                "bursty_cluster warm-up",
+            );
+        }
+        // The burst: everything at once.
+        let reqs: Vec<_> = (0..cfg.burst_requests.max(1))
+            .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
+            .collect();
+        let requests = cfg.base_requests + reqs.len();
+        for req in reqs {
+            output_bytes += validate_one(&rt, req, cfg.timeout, &expected, "bursty_cluster burst");
+        }
+        let elapsed = t0.elapsed();
+
+        // Drained: hold the runtime open until the cool-down-guarded
+        // scale-in fires (or the settle window closes).
+        let settle_deadline = Instant::now() + cfg.settle;
+        while rt.stats().scale_in_events == 0 && Instant::now() < settle_deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        finish_report(
+            rt,
+            format!("bursty_cluster/{}", bench.name()),
+            cfg.nodes,
+            requests,
+            elapsed,
+            output_bytes,
+        )
+    }
+
+    /// Drives Zipf-skewed fan-outs through a live, autoscaled cluster: a
+    /// splitter cuts each request's payload into `branches` shards whose
+    /// sizes follow a Zipf distribution, per-branch workers transform
+    /// their shard, and a merger re-concatenates — validated
+    /// byte-for-byte against a straight-line reference. Functions are
+    /// placed with [`Placement::load_aware`] over the modeled branch
+    /// costs, so the heavy head branches spread across nodes instead of
+    /// piling onto one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request misses its deadline or any output diverges
+    /// from the reference computation.
+    pub fn skewed_fanout(cfg: &SkewedFanoutConfig) -> ElasticReport {
+        assert!(cfg.branches > 0, "skewed fan-out needs at least one branch");
+        let shares = zipf_shares(cfg.branches, cfg.zipf_exponent);
+        let wf = skewed_workflow(&shares);
+        let placement = Placement::load_aware(&wf, cfg.nodes, &vec![0.0; cfg.nodes]);
+
+        let mut builder = ClusterRuntimeBuilder::new(Arc::clone(&wf))
+            .placement(placement)
+            .config(cfg.rt.clone());
+        let split_shares = shares.clone();
+        builder = builder.register("skew_split", move |ctx| {
+            let blob = ctx.input("blob").expect("client blob").clone();
+            for (i, (lo, hi)) in zipf_spans(blob.len(), &split_shares)
+                .into_iter()
+                .enumerate()
+            {
+                ctx.put_to(
+                    "shard",
+                    format!("skew_work_{i}"),
+                    Bytes::copy_from_slice(&blob[lo..hi]),
+                );
+            }
+        });
+        for i in 0..cfg.branches {
+            builder = builder.register(format!("skew_work_{i}"), move |ctx| {
+                let shard = ctx.input("shard").expect("shard");
+                ctx.put("piece", Bytes::from(skew_transform(shard, i)));
+            });
+        }
+        let rt = builder
+            .register("skew_merge", |ctx| {
+                let joined: Vec<u8> = branch_ordered(ctx, "piece")
+                    .into_iter()
+                    .flat_map(|b| b.iter().copied())
+                    .collect();
+                ctx.put("joined", Bytes::from(joined));
+            })
+            .start()
+            .expect("skewed fan-out bodies cover the DAG");
+
+        let input = noise(cfg.payload_bytes, 0x5ca1_ab1e);
+        let expected: Vec<u8> = zipf_spans(input.len(), &shares)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, (lo, hi))| skew_transform(&input[lo..hi], i))
+            .collect();
+        let input = Bytes::from(input);
+
+        let t0 = Instant::now();
+        let reqs: Vec<_> = (0..cfg.requests.max(1))
+            .map(|_| rt.invoke(vec![("blob".to_owned(), input.clone())]))
+            .collect();
+        let requests = reqs.len();
+        let mut output_bytes = 0;
+        for req in reqs {
+            output_bytes += validate_one(&rt, req, cfg.timeout, &expected, "skewed_fanout");
+        }
+        let elapsed = t0.elapsed();
+
+        finish_report(
+            rt,
+            format!("skewed_fanout/{}branches", cfg.branches),
+            cfg.nodes,
+            requests,
+            elapsed,
+            output_bytes,
+        )
+    }
+}
+
+/// Waits for one request and asserts its single output equals `expected`.
+fn validate_one(
+    rt: &ClusterRuntime,
+    req: dataflower_rt::ReqId,
+    timeout: Duration,
+    expected: &[u8],
+    what: &str,
+) -> usize {
+    let outputs = rt
+        .wait(req, timeout)
+        .unwrap_or_else(|e| panic!("{what} request failed: {e}"));
+    assert_eq!(outputs.len(), 1, "{what}: expected one client output");
+    assert_eq!(
+        &*outputs[0].1, expected,
+        "{what} output diverged from the reference computation"
+    );
+    outputs[0].1.len()
+}
+
+/// Collects the scaling story and tears the runtime down.
+fn finish_report(
+    rt: ClusterRuntime,
+    scenario: String,
+    nodes: usize,
+    requests: usize,
+    elapsed: Duration,
+    output_bytes: usize,
+) -> ElasticReport {
+    let stats = rt.stats();
+    let events = rt.scaling_timeline();
+    let timeline = rt.replica_timeline();
+    rt.shutdown();
+    ElasticReport {
+        scenario,
+        nodes,
+        requests,
+        elapsed,
+        output_bytes,
+        stats,
+        events,
+        timeline,
+    }
+}
+
+/// The skewed fan-out workflow: `skew_split` → `skew_work_i` →
+/// `skew_merge`, with each worker's modeled cost proportional to its
+/// Zipf share so [`Placement::load_aware`] sees the skew.
+fn skewed_workflow(shares: &[f64]) -> Arc<Workflow> {
+    let mut b = WorkflowBuilder::new("skewed_fanout");
+    let split = b.function("skew_split", WorkModel::fixed(0.001));
+    let merge = b.function("skew_merge", WorkModel::fixed(0.001));
+    b.client_input(split, "blob", SizeModel::Fixed(256.0 * 1024.0));
+    for (i, share) in shares.iter().enumerate() {
+        let work = b.function(format!("skew_work_{i}"), WorkModel::new(0.0, *share));
+        b.edge(split, work, "shard", SizeModel::ScaleOfInput(*share));
+        b.edge(work, merge, "piece", SizeModel::ScaleOfInput(1.0));
+    }
+    b.client_output(merge, "joined", SizeModel::ScaleOfInput(1.0));
+    Arc::new(b.build().expect("skewed fan-out DAG is valid"))
+}
+
+/// Normalized Zipf shares: branch `i` gets weight `(i+1)^-s`.
+fn zipf_shares(branches: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..branches).map(|i| ((i + 1) as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+/// Cuts `len` bytes into one contiguous span per share, boundaries at the
+/// rounded cumulative shares — covering `0..len` exactly.
+fn zipf_spans(len: usize, shares: &[f64]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::with_capacity(shares.len());
+    let mut cum = 0.0;
+    let mut lo = 0;
+    for (i, share) in shares.iter().enumerate() {
+        cum += share;
+        let hi = if i + 1 == shares.len() {
+            len // immune to cumulative rounding drift
+        } else {
+            ((cum * len as f64).round() as usize).clamp(lo, len)
+        };
+        spans.push((lo, hi));
+        lo = hi;
+    }
+    spans
+}
+
+/// The deterministic per-branch shard transform both the workers and the
+/// straight-line reference apply.
+fn skew_transform(shard: &[u8], branch: usize) -> Vec<u8> {
+    let salt = (branch as u8).wrapping_mul(29).wrapping_add(11);
+    shard
+        .iter()
+        .map(|b| b.wrapping_mul(167).wrapping_add(salt))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_spans_cover_exactly_and_skew_downward() {
+        for (len, n, s) in [(0usize, 3usize, 1.0f64), (10, 3, 1.2), (100_000, 8, 1.2)] {
+            let shares = zipf_shares(n, s);
+            assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            let spans = zipf_spans(len, &shares);
+            assert_eq!(spans.len(), n);
+            assert_eq!(spans.first().unwrap().0, 0);
+            assert_eq!(spans.last().unwrap().1, len);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            // Head branch carries at least as much as the tail branch.
+            let head = spans[0].1 - spans[0].0;
+            let tail = spans[n - 1].1 - spans[n - 1].0;
+            assert!(head >= tail, "zipf head {head} < tail {tail}");
+        }
+    }
+
+    #[test]
+    fn bursty_cluster_scales_out_and_back_in_with_identical_bytes() {
+        let report = Scenario::bursty_cluster(Benchmark::Wc, &BurstyClusterConfig::default());
+        assert_eq!(report.requests, 14);
+        assert!(report.output_bytes > 0);
+        assert!(
+            report.scale_outs() >= 1,
+            "the burst must trigger at least one scale-out"
+        );
+        assert!(
+            report.scale_ins() >= 1,
+            "the drained pools must trigger at least one scale-in"
+        );
+        assert!(report.peak_replicas() >= 2);
+        // Events arrive in time order and stay inside the bounds.
+        assert!(report.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(report
+            .events
+            .iter()
+            .all(|e| (1..=3).contains(&e.to_replicas)));
+    }
+
+    #[test]
+    fn skewed_fanout_reproduces_reference_bytes_across_nodes() {
+        let report = Scenario::skewed_fanout(&SkewedFanoutConfig::default());
+        assert_eq!(report.requests, 6);
+        assert!(report.output_bytes > 0);
+        assert!(
+            report.stats.remote_bytes > 0,
+            "load-aware placement must spread the skewed branches"
+        );
+    }
+
+    #[test]
+    fn skewed_fanout_single_branch_degenerates_cleanly() {
+        let cfg = SkewedFanoutConfig {
+            branches: 1,
+            requests: 1,
+            payload_bytes: 32 * 1024,
+            ..SkewedFanoutConfig::default()
+        };
+        let report = Scenario::skewed_fanout(&cfg);
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.output_bytes, 32 * 1024);
+    }
+}

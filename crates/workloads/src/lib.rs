@@ -16,7 +16,11 @@
 //!   [`Scenario::live_cluster`], which *executes* (rather than
 //!   simulates) the four benchmarks on a multi-node
 //!   [`ClusterRuntime`](dataflower_rt::ClusterRuntime) with real
-//!   threads, real bytes, and the paper's three-way pipe selection.
+//!   threads, real bytes, and the paper's three-way pipe selection, and
+//!   the elastic-scaling scenarios [`Scenario::bursty_cluster`] /
+//!   [`Scenario::skewed_fanout`], which drive open-loop bursts and
+//!   Zipf-skewed fan-outs through the live runtime with the
+//!   pressure-aware autoscaler enabled.
 //!
 //! # Examples
 //!
@@ -38,11 +42,13 @@
 #![warn(missing_docs)]
 
 mod benchmarks;
+mod elastic;
 mod harness;
 mod live;
 mod system;
 
 pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
+pub use elastic::{BurstyClusterConfig, ElasticReport, SkewedFanoutConfig};
 pub use harness::Scenario;
 pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};
 pub use system::SystemKind;

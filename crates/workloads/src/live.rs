@@ -168,7 +168,7 @@ impl Scenario {
 
 /// Builds the live runtime for `bench` with every function body
 /// registered.
-fn live_runtime(
+pub(crate) fn live_runtime(
     bench: Benchmark,
     wf: Arc<Workflow>,
     placement: Placement,
@@ -191,7 +191,7 @@ fn live_runtime(
 /// The client input `(data name, payload)` a live run of `bench` feeds
 /// in: a deterministic pseudo-text corpus for wordcount, deterministic
 /// pseudo-random bytes for the binary pipelines.
-fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>) {
+pub(crate) fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>) {
     match bench {
         Benchmark::Wc => ("text", corpus(payload_bytes)),
         Benchmark::Vid => ("video", noise(payload_bytes, 0x1005_8f1d)),
@@ -202,7 +202,7 @@ fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>)
 
 /// The straight-line (single-threaded) computation each live benchmark
 /// must reproduce byte-for-byte through the runtime.
-fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
+pub(crate) fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
     match bench {
         Benchmark::Wc => {
             let text = String::from_utf8_lossy(input);
@@ -448,7 +448,7 @@ fn render(blurred: &[u8]) -> Vec<u8> {
 /// lexicographically, which would put branch 10 before branch 2 — a
 /// concatenating merge needs the numeric order to reproduce the
 /// partitioner's span order at any fan-out.
-fn branch_ordered<'a>(ctx: &'a FluContext, name: &str) -> Vec<&'a Bytes> {
+pub(crate) fn branch_ordered<'a>(ctx: &'a FluContext, name: &str) -> Vec<&'a Bytes> {
     let prefix = format!("{name}@");
     let mut keyed: Vec<(usize, &Bytes)> = ctx
         .inputs()
@@ -515,7 +515,7 @@ fn corpus(bytes: usize) -> Vec<u8> {
 }
 
 /// Deterministic pseudo-random payload bytes.
-fn noise(bytes: usize, seed: u64) -> Vec<u8> {
+pub(crate) fn noise(bytes: usize, seed: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(bytes + 8);
     let mut s = seed | 1;
     while out.len() < bytes {

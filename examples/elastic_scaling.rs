@@ -1,0 +1,78 @@
+//! Pressure-aware elastic scaling on the live runtime (§5.2, Eq. 1): a
+//! burst of WordCount requests backs the DLUs up behind a shaped fabric,
+//! the autoscaler grows the FLU pools, and the drained pools shrink back
+//! — with every output validated byte-for-byte against a straight-line
+//! reference.
+//!
+//! ```text
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use dataflower_metrics::{fmt_f, Table};
+use dataflower_workloads::{Benchmark, BurstyClusterConfig, Scenario, SkewedFanoutConfig};
+
+fn main() {
+    let cfg = BurstyClusterConfig::default();
+    let auto = &cfg.rt.autoscale;
+    println!(
+        "bursty_cluster: {} warm-up + {} burst requests of {} KiB on {} nodes",
+        cfg.base_requests,
+        cfg.burst_requests,
+        cfg.payload_bytes / 1024,
+        cfg.nodes,
+    );
+    println!(
+        "autoscaler: {}..{} replicas, threshold {:.1} ms, cooldown {:?}, drain estimate {:.0} MiB/s\n",
+        auto.min_replicas,
+        auto.max_replicas,
+        auto.pressure_threshold_secs * 1e3,
+        auto.cooldown,
+        auto.drain_bw_bytes_per_sec / (1024.0 * 1024.0),
+    );
+
+    let report = Scenario::bursty_cluster(Benchmark::Wc, &cfg);
+    println!(
+        "completed {} requests in {:.0} ms ({} scale-outs, {} scale-ins, peak {} replicas)\n",
+        report.requests,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.scale_outs(),
+        report.scale_ins(),
+        report.peak_replicas(),
+    );
+
+    let mut t = Table::new(vec![
+        "t (ms)",
+        "function",
+        "node",
+        "event",
+        "pool",
+        "pressure (ms)",
+    ]);
+    for ev in &report.events {
+        t.row(vec![
+            fmt_f(ev.at.as_secs_f64() * 1e3, 1),
+            ev.function.clone(),
+            ev.node.to_string(),
+            format!("{:?}", ev.direction),
+            format!("{} -> {}", ev.from_replicas, ev.to_replicas),
+            fmt_f(ev.pressure_secs * 1e3, 2),
+        ]);
+    }
+    println!("scaling timeline:\n{}", t.render());
+
+    let end = report.elapsed.as_secs_f64();
+    println!(
+        "replica series (integral = replica-seconds over the run):\n{}",
+        report.timeline.summary_table(end).render()
+    );
+
+    let skew = Scenario::skewed_fanout(&SkewedFanoutConfig::default());
+    println!(
+        "skewed_fanout: {} requests over {} Zipf-skewed branches, {} KiB out, \
+         {} scale-outs — outputs byte-identical to the reference",
+        skew.requests,
+        SkewedFanoutConfig::default().branches,
+        skew.output_bytes / 1024,
+        skew.scale_outs(),
+    );
+}

@@ -500,3 +500,212 @@ fn multinode_fabric_loses_nothing_under_random_placements() {
         },
     );
 }
+
+/// The autoscaler's decision kernel keeps every pool inside
+/// `[min, max]`: starting anywhere (even out of bounds), applying its
+/// decisions converges into the range and never leaves it again, for
+/// arbitrary pressure trajectories, thresholds and cool-downs.
+#[test]
+fn autoscaler_replicas_stay_within_bounds() {
+    use dataflower_rt::{AutoscaleConfig, ScaleDirection, ScalePolicy};
+    check("autoscaler_replicas_stay_within_bounds", |g| {
+        let min = g.usize_in(1, 4);
+        let max = min + g.usize_in(0, 4);
+        let cfg = AutoscaleConfig {
+            enabled: true,
+            min_replicas: min,
+            max_replicas: max,
+            pressure_threshold_secs: g.f64_in(0.0, 0.1),
+            cooldown: std::time::Duration::from_secs_f64(g.f64_in(0.0, 0.05)),
+            ..AutoscaleConfig::default()
+        };
+        let mut policy = ScalePolicy::new(&cfg);
+        let mut replicas = g.usize_in(0, 10); // possibly out of bounds
+        let mut in_bounds = (min..=max).contains(&replicas);
+        let mut now = 0.0;
+        for _ in 0..300 {
+            now += g.f64_in(0.0, 0.02);
+            let pressure = g.f64_in(-0.05, 0.2);
+            match policy.decide(now, pressure, replicas) {
+                Some(ScaleDirection::Out) => replicas += 1,
+                Some(ScaleDirection::In) => {
+                    assert!(replicas > 0, "scale-in from an empty pool");
+                    replicas -= 1;
+                }
+                None => {}
+            }
+            if in_bounds {
+                assert!(
+                    (min..=max).contains(&replicas),
+                    "pool left [{min}, {max}]: {replicas}"
+                );
+            }
+            in_bounds = in_bounds || (min..=max).contains(&replicas);
+        }
+        assert!(
+            (min..=max).contains(&replicas),
+            "bounds repair never converged: {replicas} not in [{min}, {max}]"
+        );
+    });
+}
+
+/// A monotone pressure ramp eventually crosses the threshold and the
+/// policy scales out, whatever the threshold and cool-down.
+#[test]
+fn autoscaler_monotone_pressure_ramp_triggers_scale_out() {
+    use dataflower_rt::{AutoscaleConfig, ScaleDirection, ScalePolicy};
+    check(
+        "autoscaler_monotone_pressure_ramp_triggers_scale_out",
+        |g| {
+            let threshold = g.f64_in(0.001, 0.1);
+            let cfg = AutoscaleConfig {
+                enabled: true,
+                min_replicas: 1,
+                max_replicas: 1 + g.usize_in(1, 5),
+                pressure_threshold_secs: threshold,
+                cooldown: std::time::Duration::from_secs_f64(g.f64_in(0.0, 0.01)),
+                ..AutoscaleConfig::default()
+            };
+            let mut policy = ScalePolicy::new(&cfg);
+            let mut pressure = -threshold;
+            let mut now = 0.0;
+            let mut scaled_out = false;
+            for _ in 0..500 {
+                now += 0.02; // every step clears the (≤ 10 ms) cool-down
+                pressure += g.f64_in(threshold / 10.0, threshold / 2.0); // monotone ramp
+                if policy.decide(now, pressure, 1) == Some(ScaleDirection::Out) {
+                    scaled_out = true;
+                    break;
+                }
+            }
+            assert!(scaled_out, "ramp past the threshold must trigger scale-out");
+        },
+    );
+}
+
+/// Elastic scaling never corrupts data: the fan-out/echo/fan-in workflow
+/// returns the client payload byte-identical — and invokes each function
+/// exactly once per request — under random autoscale knobs, placements
+/// and payloads, however many scale events fire mid-run.
+#[test]
+fn live_outputs_byte_identical_under_random_scaling() {
+    use dataflower_rt::{
+        AutoscaleConfig, Bytes, ClusterRtConfig, ClusterRuntimeBuilder, Placement, RtConfig,
+    };
+    check("live_outputs_byte_identical_under_random_scaling", |g| {
+        let fan = g.usize_in(1, 4);
+        let nodes = g.usize_in(1, 4);
+        let len = g.usize_in(0, 40_000);
+        let requests = g.usize_in(1, 4);
+        let mut seed = g.u64_in(1, u64::MAX - 1);
+        let payload: Vec<u8> = (0..len)
+            .map(|_| {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (seed >> 33) as u8
+            })
+            .collect();
+
+        let mut b = WorkflowBuilder::new("echo");
+        let start = b.function("start", WorkModel::fixed(0.001));
+        let merge = b.function("merge", WorkModel::fixed(0.001));
+        b.client_input(start, "in", SizeModel::Fixed(1024.0));
+        for i in 0..fan {
+            let relay = b.function(format!("relay_{i}"), WorkModel::fixed(0.001));
+            b.edge(start, relay, "shard", SizeModel::Fixed(256.0));
+            b.edge(relay, merge, "echo", SizeModel::Fixed(256.0));
+        }
+        b.client_output(merge, "out", SizeModel::Fixed(256.0));
+        let wf = std::sync::Arc::new(b.build().unwrap());
+
+        let max_replicas = 1 + g.usize_in(0, 3);
+        let autoscale = AutoscaleConfig {
+            enabled: true,
+            min_replicas: 1,
+            max_replicas,
+            // Sometimes a zero threshold: any queued byte triggers.
+            pressure_threshold_secs: g.f64_in(0.0, 0.005),
+            drain_bw_bytes_per_sec: g.f64_in(1e5, 1e7),
+            cooldown: std::time::Duration::from_secs_f64(g.f64_in(0.0, 0.01)),
+            sample_interval: std::time::Duration::from_micros(g.u64_in(200, 2_000)),
+            ..AutoscaleConfig::default()
+        };
+
+        let fan_c = fan;
+        let mut builder = ClusterRuntimeBuilder::new(std::sync::Arc::clone(&wf))
+            .placement(Placement::load_aware(&wf, nodes, &vec![0.0; nodes]))
+            .config(ClusterRtConfig {
+                rt: RtConfig {
+                    dlu_queue_capacity: g.usize_in(1, 8),
+                    ..RtConfig::default()
+                },
+                chunk_bytes: g.usize_in(256, 4096),
+                autoscale,
+                ..ClusterRtConfig::default()
+            })
+            .register("start", move |ctx| {
+                let data = ctx.input("in").expect("client payload").clone();
+                let base = data.len() / fan_c;
+                let extra = data.len() % fan_c;
+                let mut lo = 0;
+                for i in 0..fan_c {
+                    let hi = lo + base + usize::from(i < extra);
+                    ctx.put_to(
+                        "shard",
+                        format!("relay_{i}"),
+                        Bytes::copy_from_slice(&data[lo..hi]),
+                    );
+                    lo = hi;
+                }
+            });
+        for i in 0..fan {
+            builder = builder.register(format!("relay_{i}"), |ctx| {
+                let shard = ctx.input("shard").expect("shard").clone();
+                ctx.put("echo", shard);
+            });
+        }
+        let rt = builder
+            .register("merge", |ctx| {
+                let out: Vec<u8> = ctx
+                    .inputs_named("echo")
+                    .into_iter()
+                    .flat_map(|b| b.iter().copied())
+                    .collect();
+                ctx.put("out", Bytes::from(out));
+            })
+            .start()
+            .unwrap();
+
+        let reqs: Vec<_> = (0..requests)
+            .map(|_| rt.invoke(vec![("in".into(), Bytes::from(payload.clone()))]))
+            .collect();
+        for req in reqs {
+            let outputs = rt
+                .wait(req, std::time::Duration::from_secs(30))
+                .expect("echo workflow completes under scaling");
+            assert_eq!(outputs.len(), 1);
+            assert_eq!(
+                &*outputs[0].1,
+                &payload[..],
+                "payload corrupted while the pool was scaling"
+            );
+        }
+
+        let stats = rt.stats();
+        assert_eq!(
+            stats.invocations,
+            (requests * (fan + 2)) as u64,
+            "scaling must not duplicate or drop invocations"
+        );
+        for f in wf.function_ids() {
+            let name = &wf.function(f).name;
+            let replicas = rt.replicas_of(name).unwrap();
+            assert!(
+                (1..=max_replicas).contains(&replicas),
+                "{name} pool outside [1, {max_replicas}]: {replicas}"
+            );
+        }
+        rt.shutdown();
+    });
+}
