@@ -27,12 +27,15 @@
 //! ```
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use dataflower::WaitMatchMemory;
 use dataflower_bench::compare::{compare, parse_baseline, render, render_markdown};
 use dataflower_bench::timing::{time, TimingResult};
 use dataflower_cluster::RequestId;
 use dataflower_metrics::Samples;
+use dataflower_rt::channel as rt_channel;
+use dataflower_rt::{chunk_spans, Bytes, Reassembler, ShardedSink};
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
@@ -49,6 +52,7 @@ const EXIT_REGRESSION: i32 = 3;
 
 fn main() {
     let mut filters: Vec<String> = Vec::new();
+    let mut group_filters: Vec<String> = Vec::new();
     let mut runs = DEFAULT_RUNS;
     let mut baseline_path: Option<String> = None;
     let mut json_out: Option<String> = None;
@@ -59,10 +63,21 @@ fn main() {
         match a.as_str() {
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench [--runs K] [--compare BASELINE.json] [--tolerance PCT] \
-                     [--json-out FILE] [--summary FILE] [filter-substring]..."
+                    "usage: bench [--runs K] [--group GROUP] [--compare BASELINE.json] \
+                     [--tolerance PCT] [--json-out FILE] [--summary FILE] \
+                     [filter-substring]..."
                 );
                 return;
+            }
+            "--group" => {
+                let group = args.next().unwrap_or_else(|| {
+                    eprintln!("--group needs a group name");
+                    std::process::exit(2);
+                });
+                // Exact-group filter: matched as an `id.starts_with`
+                // prefix, so `--group cluster` cannot leak into
+                // `live_cluster/*` or slash-bearing benchmark names.
+                group_filters.push(format!("{group}/"));
             }
             "--runs" => {
                 runs = args
@@ -108,12 +123,14 @@ fn main() {
 
     let harness = Harness {
         filters,
+        group_filters,
         runs,
         results: RefCell::new(Vec::new()),
     };
     engine_benchmarks(&harness);
     live_cluster_benchmarks(&harness);
     elastic_benchmarks(&harness);
+    data_plane_benchmarks(&harness);
     substrate_benchmarks(&harness);
 
     if let Some(path) = &json_out {
@@ -192,10 +209,14 @@ fn elastic_benchmarks(h: &Harness) {
 }
 
 /// CLI-configured runner: skips filtered-out benchmarks *before* timing
-/// them, so a filtered invocation costs only the selected cases. Results
-/// are collected for the `--compare` regression report.
+/// them, so a filtered invocation costs only the selected cases.
+/// Positional arguments are substring filters; `--group` arguments are
+/// `group/`-prefix filters (a benchmark runs if it matches either kind,
+/// or no filters were given at all). Results are collected for the
+/// `--compare` regression report.
 struct Harness {
     filters: Vec<String>,
+    group_filters: Vec<String>,
     runs: usize,
     results: RefCell<Vec<TimingResult>>,
 }
@@ -203,7 +224,13 @@ struct Harness {
 impl Harness {
     fn run<T>(&self, group: &str, name: &str, f: impl FnMut() -> T) {
         let id = format!("{group}/{name}");
-        if self.filters.is_empty() || self.filters.iter().any(|flt| id.contains(flt.as_str())) {
+        let selected = (self.filters.is_empty() && self.group_filters.is_empty())
+            || self.filters.iter().any(|flt| id.contains(flt.as_str()))
+            || self
+                .group_filters
+                .iter()
+                .any(|g| id.starts_with(g.as_str()));
+        if selected {
             let result = time(group, name, self.runs, f);
             println!("{}", result.to_json_line());
             self.results.borrow_mut().push(result);
@@ -290,6 +317,169 @@ fn engine_benchmarks(h: &Harness) {
             },
         );
     }
+}
+
+/// Data-plane micro-benchmarks, each measured against its pre-change
+/// counterpart in the same run: the lock-striped sink vs. a single-lock
+/// sink under 4 concurrent producers, zero-copy `Bytes::slice` chunking
+/// vs. per-chunk copies for an 8 MiB remote-pipe transfer, and batched
+/// (`send_many`/`drain_into`) vs. single-frame channel shipping.
+fn data_plane_benchmarks(h: &Harness) {
+    // 4 producer threads hammer one sink with stripe-spread request ids
+    // (insert, read-modify, remove) while a gauge thread sweeps the whole
+    // map the way `parked_entries` and the janitor do. With one lock
+    // every sweep stalls every producer for the whole scan; striped,
+    // producers only collide with the sweep on 1-in-16 stripes. The
+    // single-lock variant is the same structure with one stripe — the
+    // pre-change sink.
+    const SINK_THREADS: u64 = 4;
+    const SINK_OPS: u64 = 2_000;
+    // Entries parked up-front so the sweeps scan a realistically full map.
+    const SINK_PARKED: u64 = 4_096;
+    let sink_bench = |stripes: usize| {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let sink: Arc<ShardedSink<u64>> = Arc::new(ShardedSink::new(stripes));
+        for k in 0..SINK_PARKED {
+            sink.insert(u64::MAX - k, k);
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        let sweeper = {
+            let sink = Arc::clone(&sink);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut sweeps = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    std::hint::black_box(sink.fold(0u64, |a, _, v| a + v));
+                    sweeps += 1;
+                }
+                sweeps
+            })
+        };
+        let workers: Vec<_> = (0..SINK_THREADS)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..SINK_OPS {
+                        let key = t * 1_000_000 + i;
+                        sink.insert(key, i);
+                        sink.with(key, |v| {
+                            *v.expect("inserted above") += 1;
+                        });
+                        assert_eq!(sink.remove(key), Some(i + 1));
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("sink worker");
+        }
+        done.store(true, Ordering::Relaxed);
+        let sweeps = sweeper.join().expect("sweeper");
+        assert!(sweeps > 0);
+        assert_eq!(sink.len() as u64, SINK_PARKED);
+    };
+    h.run("data_plane", "sink_insert_take_4x2000/sharded16", || {
+        sink_bench(16)
+    });
+    h.run("data_plane", "sink_insert_take_4x2000/single_lock", || {
+        sink_bench(1)
+    });
+
+    // An 8 MiB remote-pipe transfer in 64 KiB chunks (128 frames — one
+    // full default link queue), send side + receive side: frames are
+    // staged like the link queue holds them, then reassembled. `copy` is
+    // the pre-change path: every staged frame is a freshly copied
+    // sub-buffer, memcpy'd again into the reassembly buffer. `zero_copy`
+    // stages refcounted `Bytes::slice` views instead — the payload is
+    // touched once.
+    const XFER_BYTES: usize = 8 * 1024 * 1024;
+    const XFER_CHUNK: usize = 64 * 1024;
+    let payload = Bytes::from((0..XFER_BYTES).map(|i| i as u8).collect::<Vec<_>>());
+    {
+        let payload = payload.clone();
+        h.run("data_plane", "remote_pipe_8mib/zero_copy", move || {
+            let frames: Vec<(usize, Bytes)> = chunk_spans(payload.len(), XFER_CHUNK)
+                .into_iter()
+                .map(|(lo, hi)| (lo, payload.slice(lo..hi))) // O(1) views
+                .collect();
+            let mut r = Reassembler::new(payload.len());
+            for (lo, frame) in frames {
+                assert!(r.write_bytes(lo, frame));
+            }
+            assert!(r.complete());
+            let out = r.into_bytes();
+            assert_eq!(out.len(), payload.len());
+            out
+        });
+    }
+    {
+        let payload = payload.clone();
+        h.run("data_plane", "remote_pipe_8mib/copy", move || {
+            let frames: Vec<(usize, Vec<u8>)> = chunk_spans(payload.len(), XFER_CHUNK)
+                .into_iter()
+                .map(|(lo, hi)| (lo, payload[lo..hi].to_vec())) // pre-change copies
+                .collect();
+            let mut r = Reassembler::new(payload.len());
+            for (lo, frame) in frames {
+                assert!(r.write(lo, &frame));
+            }
+            assert!(r.complete());
+            let out = r.into_bytes();
+            assert_eq!(out.len(), payload.len());
+            out
+        });
+    }
+    // Whole-payload adoption: the single-chunk fast path the receive
+    // side takes when one frame covers the transfer — zero memcpy.
+    h.run(
+        "data_plane",
+        "remote_pipe_8mib/single_chunk_adopt",
+        move || {
+            let mut r = Reassembler::new(payload.len());
+            assert!(r.write_bytes(0, payload.clone()));
+            assert!(r.complete());
+            r.into_bytes()
+        },
+    );
+
+    // Channel shipping: 8192 frames through the in-tree MPMC channel,
+    // batched (send_many / drain_into, 32 frames per lock) vs. the
+    // pre-change one-lock-per-frame send/recv.
+    const FRAMES: u64 = 8192;
+    const BATCH: usize = 32;
+    h.run("data_plane", "channel_ship_8k/batched", || {
+        let (tx, rx) = rt_channel::unbounded::<u64>();
+        let mut sent = 0u64;
+        let mut got = 0u64;
+        let mut buf = Vec::with_capacity(BATCH);
+        while sent < FRAMES {
+            let hi = (sent + BATCH as u64).min(FRAMES);
+            tx.send_many(sent..hi).expect("receiver alive");
+            sent = hi;
+            while got < sent {
+                got += rx.drain_into(&mut buf, BATCH).expect("sender alive") as u64;
+                buf.clear();
+            }
+        }
+        assert_eq!(got, FRAMES);
+        got
+    });
+    h.run("data_plane", "channel_ship_8k/single_frame", || {
+        let (tx, rx) = rt_channel::unbounded::<u64>();
+        let mut got = 0u64;
+        for chunk in 0..(FRAMES / BATCH as u64) {
+            let base = chunk * BATCH as u64;
+            for v in base..base + BATCH as u64 {
+                tx.send(v).expect("receiver alive");
+            }
+            for _ in 0..BATCH {
+                rx.recv().expect("sender alive");
+                got += 1;
+            }
+        }
+        assert_eq!(got, FRAMES);
+        got
+    });
 }
 
 /// Substrate micro-benchmarks: flow network rate recomputation, the

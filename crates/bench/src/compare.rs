@@ -146,6 +146,11 @@ pub struct GroupSummary {
     pub worst_delta_pct: f64,
     /// Mean delta in percent.
     pub mean_delta_pct: f64,
+    /// Geometric-mean delta in percent: `exp(mean(ln(current/baseline)))
+    /// − 1`. Unlike the arithmetic mean, one outlier cannot mask (or
+    /// fake) a group-wide drift, so this is the at-a-glance figure of
+    /// the CI step summary.
+    pub geomean_delta_pct: f64,
     /// Benchmarks new in this run (no baseline entry).
     pub new_benchmarks: usize,
     /// Baseline entries missing from this run.
@@ -169,6 +174,7 @@ pub fn group_summaries(cmp: &Comparison, tolerance_pct: f64) -> Vec<GroupSummary
                 regressions: 0,
                 worst_delta_pct: 0.0,
                 mean_delta_pct: 0.0,
+                geomean_delta_pct: 0.0,
                 new_benchmarks: 0,
                 missing: 0,
             });
@@ -180,6 +186,12 @@ pub fn group_summaries(cmp: &Comparison, tolerance_pct: f64) -> Vec<GroupSummary
         let s = slot(&mut index, &mut out, group_of(&d.id));
         s.compared += 1;
         s.mean_delta_pct += d.delta_pct;
+        // Accumulate ln(current/baseline); finalized into the geometric
+        // mean below. delta_pct > −100 by construction (current ≥ 0 and
+        // baseline > 0), but a zero-time current run would make the
+        // ratio 0 — clamp so one degenerate sample cannot collapse the
+        // whole group to −100 %.
+        s.geomean_delta_pct += (1.0 + d.delta_pct / 100.0).max(1e-9).ln();
         s.worst_delta_pct = if s.compared == 1 {
             d.delta_pct
         } else {
@@ -198,6 +210,7 @@ pub fn group_summaries(cmp: &Comparison, tolerance_pct: f64) -> Vec<GroupSummary
     for s in &mut out {
         if s.compared > 0 {
             s.mean_delta_pct /= s.compared as f64;
+            s.geomean_delta_pct = ((s.geomean_delta_pct / s.compared as f64).exp() - 1.0) * 100.0;
         }
     }
     out
@@ -279,19 +292,36 @@ pub fn render_markdown(cmp: &Comparison, tolerance_pct: f64) -> String {
     out.push_str(&format!(
         "### Bench regression report (fails above +{tolerance_pct:.0}%)\n\n"
     ));
-    out.push_str("| group | compared | mean Δ | worst Δ | regressions | new | missing |\n");
-    out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
-    for g in group_summaries(cmp, tolerance_pct) {
+    out.push_str(
+        "| group | compared | geomean Δ | mean Δ | worst Δ | regressions | new | missing |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    let groups = group_summaries(cmp, tolerance_pct);
+    for g in &groups {
         out.push_str(&format!(
-            "| {} | {} | {:+.1}% | {:+.1}% | {} | {} | {} |\n",
+            "| {} | {} | {:+.1}% | {:+.1}% | {:+.1}% | {} | {} | {} |\n",
             g.group,
             g.compared,
+            g.geomean_delta_pct,
             g.mean_delta_pct,
             g.worst_delta_pct,
             g.regressions,
             g.new_benchmarks,
             g.missing,
         ));
+    }
+    // One at-a-glance line per group: the geomean delta is the figure a
+    // reviewer scans for in `$GITHUB_STEP_SUMMARY`.
+    for g in &groups {
+        if g.compared > 0 {
+            out.push_str(&format!(
+                "\n**{}** geomean Δ: {:+.1}% across {} benchmark(s).",
+                g.group, g.geomean_delta_pct, g.compared,
+            ));
+        }
+    }
+    if groups.iter().any(|g| g.compared > 0) {
+        out.push('\n');
     }
     let n = cmp.regressions(tolerance_pct).len();
     out.push_str(&format!(
@@ -431,6 +461,8 @@ mod tests {
         assert_eq!(a.regressions, 1);
         assert!((a.mean_delta_pct - 100.0).abs() < 1e-9);
         assert!((a.worst_delta_pct - 150.0).abs() < 1e-9);
+        // geomean of ×1.5 and ×2.5 is √3.75 ≈ ×1.936 → +93.6 %.
+        assert!((a.geomean_delta_pct - ((1.5f64 * 2.5).sqrt() - 1.0) * 100.0).abs() < 1e-9);
         let b = groups.iter().find(|g| g.group == "b").unwrap();
         assert_eq!((b.compared, b.missing), (0, 1));
         let c = groups.iter().find(|g| g.group == "c").unwrap();
@@ -439,5 +471,6 @@ mod tests {
         assert!(md.contains("| a | 2 |"));
         assert!(md.contains("**1 regression(s)**"));
         assert!(md.contains("1 baseline entry missing"));
+        assert!(md.contains("**a** geomean Δ: +93.6% across 2 benchmark(s)."));
     }
 }

@@ -6,7 +6,18 @@
 //! multi-level index `(RequestID, FunctionName, DataName)`, here
 //! `(RequestId, FnId, EdgeId)`.
 //!
-//! Two mechanisms bound its memory footprint:
+//! # Striped layout
+//!
+//! The index is **striped by request**: entries live in one of
+//! [`STRIPES`] ordered maps, selected by a multiplicative hash of the
+//! `RequestId`. Every per-request operation (`take_inputs`,
+//! `drop_request`, point lookups) touches exactly one stripe, so range
+//! scans walk a map ~[`STRIPES`]× smaller than a flat index would be —
+//! mirroring the lock-striped `ShardedSink` of the live runtime, where
+//! the same layout removes lock contention. Cross-stripe aggregates
+//! (`len`, residency gauges) are kept as scalars, not recomputed.
+//!
+//! Two mechanisms bound the sink's memory footprint:
 //!
 //! * **proactive release** — once the destination FLU has consumed an
 //!   entry it is removed immediately ([`WaitMatchMemory::take_inputs`]);
@@ -19,6 +30,17 @@ use std::collections::BTreeMap;
 use dataflower_cluster::RequestId;
 use dataflower_sim::SimTime;
 use dataflower_workflow::{EdgeId, FnId};
+
+/// Number of request-hash stripes of the Wait-Match index.
+pub const STRIPES: usize = 16;
+
+/// Multiplicative hash spreading request ids across stripes (sequential
+/// ids stride cleanly; adversarial patterns still spread).
+const HASH_MULT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn stripe_of(req: RequestId) -> usize {
+    ((req.index() as u64).wrapping_mul(HASH_MULT) >> 32) as usize % STRIPES
+}
 
 /// Where a sink entry currently resides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +62,8 @@ pub struct SinkEntry {
     pub tier: Tier,
 }
 
-/// The multi-level-indexed store of one node's data sink.
+/// The multi-level-indexed store of one node's data sink, striped by
+/// request (see the module docs for the layout).
 ///
 /// # Examples
 ///
@@ -69,12 +92,25 @@ pub struct SinkEntry {
 /// assert_eq!(sink.len(), 0);
 /// # Ok::<(), dataflower_workflow::WorkflowError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaitMatchMemory {
-    entries: BTreeMap<(RequestId, FnId, EdgeId), SinkEntry>,
+    stripes: Vec<BTreeMap<(RequestId, FnId, EdgeId), SinkEntry>>,
+    count: usize,
     resident_memory: f64,
     resident_disk: f64,
     peak_memory: f64,
+}
+
+impl Default for WaitMatchMemory {
+    fn default() -> Self {
+        WaitMatchMemory {
+            stripes: vec![BTreeMap::new(); STRIPES],
+            count: 0,
+            resident_memory: 0.0,
+            resident_disk: 0.0,
+            peak_memory: 0.0,
+        }
+    }
 }
 
 impl WaitMatchMemory {
@@ -85,12 +121,12 @@ impl WaitMatchMemory {
 
     /// Number of cached entries (memory + disk tiers).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.count
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.count == 0
     }
 
     /// Bytes currently resident in the memory tier.
@@ -120,7 +156,7 @@ impl WaitMatchMemory {
         bytes: f64,
         now: SimTime,
     ) -> Option<SinkEntry> {
-        let prev = self.entries.insert(
+        let prev = self.stripes[stripe_of(req)].insert(
             (req, func, edge),
             SinkEntry {
                 bytes,
@@ -128,8 +164,9 @@ impl WaitMatchMemory {
                 tier: Tier::Memory,
             },
         );
-        if let Some(p) = prev {
-            self.debit(p);
+        match prev {
+            Some(p) => self.debit(p),
+            None => self.count += 1,
         }
         self.resident_memory += bytes;
         self.peak_memory = self.peak_memory.max(self.resident_memory);
@@ -138,23 +175,26 @@ impl WaitMatchMemory {
 
     /// Looks up a single entry.
     pub fn get(&self, req: RequestId, func: FnId, edge: EdgeId) -> Option<&SinkEntry> {
-        self.entries.get(&(req, func, edge))
+        self.stripes[stripe_of(req)].get(&(req, func, edge))
     }
 
     /// Removes and returns **all** inputs cached for `(req, func)` — the
     /// proactive release path taken the moment the destination FLU loads
-    /// its inputs.
+    /// its inputs. Scans only the request's stripe.
     pub fn take_inputs(&mut self, req: RequestId, func: FnId) -> Vec<(EdgeId, SinkEntry)> {
-        let keys: Vec<(RequestId, FnId, EdgeId)> = self
-            .entries
+        let stripe = &mut self.stripes[stripe_of(req)];
+        let keys: Vec<(RequestId, FnId, EdgeId)> = stripe
             .range((req, func, edge_min())..=(req, func, edge_max()))
             .map(|(k, _)| *k)
             .collect();
         let mut out = Vec::with_capacity(keys.len());
         for k in keys {
-            let e = self.entries.remove(&k).expect("listed key exists");
-            self.debit(e);
+            let e = stripe.remove(&k).expect("listed key exists");
             out.push((k.2, e));
+        }
+        self.count -= out.len();
+        for (_, e) in &out {
+            self.debit(*e);
         }
         out
     }
@@ -163,7 +203,7 @@ impl WaitMatchMemory {
     /// moved out of memory, or `None` if the entry is gone or already on
     /// disk.
     pub fn spill(&mut self, req: RequestId, func: FnId, edge: EdgeId) -> Option<f64> {
-        let e = self.entries.get_mut(&(req, func, edge))?;
+        let e = self.stripes[stripe_of(req)].get_mut(&(req, func, edge))?;
         if e.tier == Tier::Disk {
             return None;
         }
@@ -173,15 +213,20 @@ impl WaitMatchMemory {
         Some(e.bytes)
     }
 
-    /// Drops every entry of a request (fault cleanup).
+    /// Drops every entry of a request (fault cleanup). Scans only the
+    /// request's stripe.
     pub fn drop_request(&mut self, req: RequestId) -> usize {
-        let keys: Vec<(RequestId, FnId, EdgeId)> = self
-            .entries
+        let stripe = &mut self.stripes[stripe_of(req)];
+        let keys: Vec<(RequestId, FnId, EdgeId)> = stripe
             .range((req, fn_min(), edge_min())..=(req, fn_max(), edge_max()))
             .map(|(k, _)| *k)
             .collect();
+        let mut dropped = Vec::with_capacity(keys.len());
         for k in &keys {
-            let e = self.entries.remove(k).expect("listed key exists");
+            dropped.push(stripe.remove(k).expect("listed key exists"));
+        }
+        self.count -= dropped.len();
+        for e in dropped {
             self.debit(e);
         }
         keys.len()
@@ -354,5 +399,28 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(s.peak_memory_bytes(), 100.0);
+    }
+
+    #[test]
+    fn stripe_colliding_requests_stay_separate() {
+        // Requests 0 and STRIPES*k hash-collide or not — either way, the
+        // index keys keep them apart and counts stay exact across many
+        // requests landing on every stripe.
+        let mut s = WaitMatchMemory::new();
+        for r in 0..(STRIPES * 3) {
+            s.insert(
+                req(r),
+                FnId::from_index(0),
+                EdgeId::from_index(0),
+                1.0,
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(s.len(), STRIPES * 3);
+        for r in 0..(STRIPES * 3) {
+            assert_eq!(s.drop_request(req(r)), 1);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.resident_memory_bytes(), 0.0);
     }
 }

@@ -10,9 +10,22 @@
 //!
 //! Disconnection mirrors crossbeam: `recv` fails once the queue is empty
 //! and every sender is gone; `send` fails once every receiver is gone.
+//!
+//! # Batched operations and notification discipline
+//!
+//! [`Sender::send_many`] and [`Receiver::drain_into`] move a whole batch
+//! under **one** lock acquisition, and condvar notifications fire only on
+//! state *transitions* (empty→non-empty wakes receivers, full→non-full
+//! wakes senders) instead of on every operation. Skipping the steady-state
+//! notifies is safe because wakeups are **baton-passed**: a receiver that
+//! pops and leaves the queue non-empty re-notifies `not_empty` (another
+//! receiver may be waiting on data it was never told about), and a sender
+//! that was blocked on a full queue and pushes while space remains
+//! re-notifies `not_full`. Unbounded channels never touch the `not_full`
+//! condvar at all.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Error returned by [`Sender::send`] when all receivers are dropped; the
 /// unsent message is handed back.
@@ -30,6 +43,12 @@ struct Inner<T> {
     capacity: Option<usize>,
     senders: usize,
     receivers: usize,
+}
+
+impl<T> Inner<T> {
+    fn full(&self) -> bool {
+        matches!(self.capacity, Some(cap) if self.queue.len() >= cap)
+    }
 }
 
 struct Shared<T> {
@@ -81,21 +100,90 @@ impl<T> Sender<T> {
     /// Returns the value if every receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let mut waited = false;
         loop {
             if inner.receivers == 0 {
                 return Err(SendError(value));
             }
-            match inner.capacity {
-                Some(cap) if inner.queue.len() >= cap => {
-                    inner = self.0.not_full.wait(inner).expect("channel lock poisoned");
-                }
-                _ => break,
+            if inner.full() {
+                waited = true;
+                inner = self.0.not_full.wait(inner).expect("channel lock poisoned");
+            } else {
+                break;
             }
         }
+        let was_empty = inner.queue.is_empty();
         inner.queue.push_back(value);
+        // Baton: we consumed a not_full wakeup; if space remains, pass it
+        // on so another blocked sender is not stranded.
+        let pass_not_full = waited && !inner.full();
         drop(inner);
-        self.0.not_empty.notify_one();
+        if was_empty {
+            self.0.not_empty.notify_one();
+        }
+        if pass_not_full {
+            self.0.not_full.notify_one();
+        }
         Ok(())
+    }
+
+    /// Enqueues every value of `batch` under a single lock acquisition,
+    /// blocking (and releasing the lock) whenever the channel fills up
+    /// mid-batch. Returns the number of values enqueued.
+    ///
+    /// Receivers are notified when the queue transitions empty→non-empty
+    /// — including mid-batch before blocking on a full queue, so a batch
+    /// larger than the capacity cannot deadlock against sleeping
+    /// receivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the not-yet-sent tail of the batch if every receiver has
+    /// been dropped (values already enqueued stay enqueued).
+    pub fn send_many(
+        &self,
+        batch: impl IntoIterator<Item = T>,
+    ) -> Result<usize, SendError<Vec<T>>> {
+        let mut pending = batch.into_iter();
+        // Pull each item *before* deciding whether to wait: a batch whose
+        // last item exactly fills the queue must return, not block for
+        // space it will never use.
+        let mut next = pending.next();
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let mut sent = 0usize;
+        let mut waited = false;
+        loop {
+            let Some(v) = next.take() else {
+                // Baton: we consumed a not_full wakeup; if space remains,
+                // pass it on so another blocked sender is not stranded.
+                let pass_not_full = waited && !inner.full();
+                drop(inner);
+                if pass_not_full {
+                    self.0.not_full.notify_one();
+                }
+                return Ok(sent);
+            };
+            if inner.receivers == 0 {
+                let mut rest = vec![v];
+                rest.extend(pending);
+                return Err(SendError(rest));
+            }
+            if inner.full() {
+                next = Some(v);
+                waited = true;
+                inner = self.0.not_full.wait(inner).expect("channel lock poisoned");
+                continue;
+            }
+            if inner.queue.is_empty() {
+                // Transition empty→non-empty: wake all receivers (the
+                // rest of the batch is for them; notifying under the
+                // lock is fine — waiters re-acquire it after we drop).
+                self.0.not_empty.notify_all();
+            }
+            inner.queue.push_back(v);
+            sent += 1;
+            next = pending.next();
+        }
     }
 }
 
@@ -110,14 +198,66 @@ impl<T> Receiver<T> {
         let mut inner = self.0.inner.lock().expect("channel lock poisoned");
         loop {
             if let Some(v) = inner.queue.pop_front() {
-                drop(inner);
-                self.0.not_full.notify_one();
+                self.after_pop(inner, 1);
                 return Ok(v);
             }
             if inner.senders == 0 {
                 return Err(RecvError);
             }
             inner = self.0.not_empty.wait(inner).expect("channel lock poisoned");
+        }
+    }
+
+    /// Pops up to `max` queued messages into `buf` under a single lock
+    /// acquisition, blocking like [`Receiver::recv`] until at least one
+    /// message is available. Returns how many were appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and every sender
+    /// has been dropped.
+    pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        loop {
+            if !inner.queue.is_empty() {
+                let n = max.min(inner.queue.len());
+                buf.extend(inner.queue.drain(..n));
+                self.after_pop(inner, n);
+                return Ok(n);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).expect("channel lock poisoned");
+        }
+    }
+
+    /// Post-pop notification discipline, shared by [`Receiver::recv`] and
+    /// [`Receiver::drain_into`]: wake senders only on the full→non-full
+    /// transition (unbounded channels never notify `not_full`), and baton
+    /// a `not_empty` wakeup onward when messages remain for other
+    /// receivers.
+    fn after_pop(&self, inner: MutexGuard<'_, Inner<T>>, popped: usize) {
+        let was_full = matches!(
+            inner.capacity,
+            Some(cap) if inner.queue.len() + popped >= cap
+        );
+        let still_nonempty = !inner.queue.is_empty();
+        drop(inner);
+        if was_full {
+            // Freeing one slot wakes one sender (which batons onward);
+            // freeing many wakes them all.
+            if popped > 1 {
+                self.0.not_full.notify_all();
+            } else {
+                self.0.not_full.notify_one();
+            }
+        }
+        if still_nonempty {
+            self.0.not_empty.notify_one();
         }
     }
 }
@@ -233,5 +373,136 @@ mod tests {
         all.extend(b.join().unwrap());
         all.sort_unstable();
         assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_many_preserves_order() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(tx.send_many(0..50), Ok(50));
+        assert_eq!(tx.send_many(50..100), Ok(50));
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn send_many_larger_than_capacity_does_not_deadlock() {
+        // A 200-message batch through a 4-slot queue: the sender must
+        // wake the concurrent receiver mid-batch or both sleep forever.
+        let (tx, rx) = bounded::<u32>(4);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(tx.send_many(0..200), Ok(200));
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_many_returns_unsent_tail_on_disconnect() {
+        let (tx, rx) = bounded::<u32>(8);
+        drop(rx);
+        assert_eq!(tx.send_many(0..5), Err(SendError((0..5).collect())));
+    }
+
+    #[test]
+    fn drain_into_takes_up_to_max() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send_many(0..10).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(rx.drain_into(&mut buf, 4), Ok(4));
+        assert_eq!(rx.drain_into(&mut buf, 100), Ok(6));
+        assert_eq!(buf, (0..10).collect::<Vec<_>>());
+        drop(tx);
+        assert_eq!(rx.drain_into(&mut buf, 1), Err(RecvError));
+        assert_eq!(rx.drain_into(&mut buf, 0), Ok(0));
+    }
+
+    #[test]
+    fn drain_into_blocks_until_data() {
+        let (tx, rx) = bounded::<u32>(2);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send_many([1, 2]).unwrap();
+        });
+        let mut buf = Vec::new();
+        assert_eq!(rx.drain_into(&mut buf, 8), Ok(2));
+        assert_eq!(buf, vec![1, 2]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn drain_unblocks_multiple_full_senders() {
+        // Two senders blocked on a full 2-slot queue; one batched drain
+        // must free both (full→non-full notify_all + sender batons).
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send_many([0, 1]).unwrap();
+        let blocked: Vec<_> = (0..2)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(10 + i).unwrap())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let mut buf = Vec::new();
+        assert_eq!(rx.drain_into(&mut buf, 2), Ok(2));
+        for t in blocked {
+            t.join().unwrap();
+        }
+        drop(tx);
+        while let Ok(n) = rx.drain_into(&mut buf, 16) {
+            assert!(n > 0);
+        }
+        buf.sort_unstable();
+        assert_eq!(buf, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn batched_producers_and_consumers_lose_nothing() {
+        // Stress the transition-based notifies: 4 batching producers and
+        // 4 draining consumers over a small bounded queue must deliver
+        // every message exactly once and terminate.
+        let (tx, rx) = bounded::<u32>(8);
+        let producers: Vec<_> = (0..4u32)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for chunk in 0..10 {
+                        let base = p * 1000 + chunk * 100;
+                        tx.send_many(base..base + 100).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut buf = Vec::new();
+                    while rx.drain_into(&mut buf, 16).is_ok() {
+                        got.append(&mut buf);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let mut expected: Vec<u32> = (0..4u32).flat_map(|p| p * 1000..p * 1000 + 1000).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
     }
 }

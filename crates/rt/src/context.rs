@@ -119,6 +119,12 @@ impl FluContext {
     /// `data_name` (`DataFlower.DLU.Put`). The transfer begins while the
     /// function keeps running; a saturated DLU blocks the caller
     /// (backpressure).
+    ///
+    /// The payload is never copied on its way out: fan-out clones are
+    /// refcount bumps, and remote-pipe chunking ships
+    /// [`Bytes::slice`] views into this same allocation — so putting a
+    /// [`Bytes`] (or a slice of an input via [`Bytes::slice`]) is O(1)
+    /// regardless of payload size until the bytes hit a shaped link.
     pub fn put(&mut self, data_name: impl Into<String>, payload: impl Into<Bytes>) {
         self.send(data_name.into(), PutTarget::All, payload.into());
     }

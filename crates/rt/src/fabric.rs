@@ -6,12 +6,15 @@
 //! **link**: a bounded channel drained by a shipper thread. The bounded
 //! queue gives cross-node backpressure (a DLU daemon that out-produces a
 //! link blocks, exactly like a saturated local DLU queue), and the
-//! shipper applies the link's [`LinkConfig`] shaping before handing the
-//! message to the destination node's ingress.
+//! shipper drains up to [`SHIPPER_BATCH`] frames per wakeup (one channel
+//! lock acquisition per batch), applying the link's [`LinkConfig`]
+//! shaping to each before handing it to the destination node's ingress.
 //!
 //! Transfers routed through the **streaming remote pipe** are cut into
-//! chunks by [`chunk_spans`] and reassembled on the destination node by a
-//! [`Reassembler`]; checkpoint marks along the stream follow the
+//! chunks by [`chunk_spans`]; each chunk frame carries a zero-copy
+//! [`Bytes`] view into the payload (no per-chunk copy on send), and the
+//! destination [`Reassembler`] adopts a single-chunk transfer whole
+//! without a memcpy. Checkpoint marks along the stream follow the
 //! [`CheckpointSchedule`](dataflower::CheckpointSchedule) of the engine
 //! crate, so the live runtime and the simulator share one fault-recovery
 //! model.
@@ -25,6 +28,10 @@ use dataflower_workflow::EdgeId;
 
 use crate::bytes::Bytes;
 use crate::channel::Receiver;
+
+/// Frames a link shipper drains per wakeup: one lock acquisition moves up
+/// to this many queued frames, instead of one `recv` per frame.
+pub(crate) const SHIPPER_BATCH: usize = 32;
 
 /// Shaping parameters of one directed inter-node link.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +68,8 @@ pub(crate) enum NetMsg {
         key: String,
         payload: Bytes,
     },
-    /// One chunk of a streaming remote-pipe transfer.
+    /// One chunk of a streaming remote-pipe transfer. `bytes` is a
+    /// zero-copy [`Bytes`] view into the sender's payload allocation.
     Chunk {
         req: u64,
         edge: EdgeId,
@@ -70,7 +78,7 @@ pub(crate) enum NetMsg {
         transfer: u64,
         offset: usize,
         total: usize,
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
 }
 
@@ -94,8 +102,9 @@ impl NetMsg {
 /// through the remote pipe connector in `chunk_bytes`-sized chunks.
 ///
 /// Spans are contiguous, disjoint, in order, and cover `0..total`
-/// exactly. An empty payload still yields one empty span so the transfer
-/// machinery observes every payload.
+/// exactly. An empty payload yields **no** spans — a zero-length transfer
+/// has nothing to stream, so the fabric ships it as a single direct
+/// frame instead of a useless empty chunk.
 ///
 /// # Examples
 ///
@@ -104,7 +113,7 @@ impl NetMsg {
 ///
 /// assert_eq!(chunk_spans(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
 /// assert_eq!(chunk_spans(8, 4), vec![(0, 4), (4, 8)]);
-/// assert_eq!(chunk_spans(0, 4), vec![(0, 0)]);
+/// assert_eq!(chunk_spans(0, 4), vec![]);
 /// ```
 ///
 /// # Panics
@@ -112,9 +121,6 @@ impl NetMsg {
 /// Panics if `chunk_bytes` is zero.
 pub fn chunk_spans(total: usize, chunk_bytes: usize) -> Vec<(usize, usize)> {
     assert!(chunk_bytes > 0, "chunk size must be positive");
-    if total == 0 {
-        return vec![(0, 0)];
-    }
     let mut spans = Vec::with_capacity(total.div_ceil(chunk_bytes));
     let mut lo = 0;
     while lo < total {
@@ -133,6 +139,13 @@ pub fn chunk_spans(total: usize, chunk_bytes: usize) -> Vec<(usize, usize)> {
 /// written exactly once. [`Reassembler::complete`] reports when every
 /// byte of the announced total has arrived.
 ///
+/// A transfer whose first chunk covers the whole announced total is
+/// **adopted without a copy**: [`Reassembler::write_bytes`] keeps the
+/// incoming [`Bytes`] view and [`Reassembler::into_bytes`] hands it back
+/// as-is — the single-chunk fast path of the zero-copy data plane. The
+/// assembly buffer is only allocated when a genuinely partial chunk
+/// arrives.
+///
 /// # Examples
 ///
 /// ```
@@ -148,6 +161,12 @@ pub fn chunk_spans(total: usize, chunk_bytes: usize) -> Vec<(usize, usize)> {
 /// ```
 #[derive(Debug)]
 pub struct Reassembler {
+    /// Announced transfer size.
+    total: usize,
+    /// A whole-payload chunk adopted without copying (single-chunk fast
+    /// path); later duplicate writes are retransmissions and ignored.
+    whole: Option<Bytes>,
+    /// Copy-assembly buffer, allocated lazily on the first partial chunk.
     buf: Vec<u8>,
     /// Disjoint, sorted, merged byte ranges written so far. Coverage is
     /// tracked positionally (not as a byte count) so duplicated or
@@ -158,10 +177,13 @@ pub struct Reassembler {
 }
 
 impl Reassembler {
-    /// Prepares a buffer for a transfer of `total` bytes.
+    /// Prepares to receive a transfer of `total` bytes. No buffer is
+    /// allocated yet: a single-chunk transfer is adopted without one.
     pub fn new(total: usize) -> Reassembler {
         Reassembler {
-            buf: vec![0; total],
+            total,
+            whole: None,
+            buf: Vec::new(),
             covered: Vec::new(),
         }
     }
@@ -175,14 +197,52 @@ impl Reassembler {
         let Some(end) = offset.checked_add(chunk.len()) else {
             return false;
         };
-        if end > self.buf.len() {
+        if end > self.total {
             return false;
         }
-        self.buf[offset..end].copy_from_slice(chunk);
+        if self.whole.is_some() {
+            // Already adopted whole: any in-range write is a
+            // retransmission of bytes we have.
+            return true;
+        }
+        if self.buf.capacity() == 0 {
+            // One exact allocation, *not* zero-filled: the buffer grows
+            // append-wise below, so an in-order stream (the fabric's
+            // delivery order) never pays a 2nd pass over the bytes.
+            self.buf.reserve_exact(self.total);
+        }
+        let filled = self.buf.len();
+        if offset > filled {
+            // Out-of-order chunk landing past the frontier: zero-fill
+            // the gap (it is covered-tracked, so completion still
+            // requires the real bytes to arrive and overwrite it).
+            self.buf.resize(offset, 0);
+            self.buf.extend_from_slice(chunk);
+        } else {
+            let overlap = (filled - offset).min(chunk.len());
+            self.buf[offset..offset + overlap].copy_from_slice(&chunk[..overlap]);
+            self.buf.extend_from_slice(&chunk[overlap..]);
+        }
         if offset < end {
             self.cover(offset, end);
         }
         true
+    }
+
+    /// Writes one chunk that arrived as an owned [`Bytes`] view. When the
+    /// chunk is the **entire** announced payload and nothing was written
+    /// yet, the view is adopted as-is — zero copies, zero allocation.
+    /// Otherwise this falls back to [`Reassembler::write`].
+    pub fn write_bytes(&mut self, offset: usize, chunk: Bytes) -> bool {
+        if offset == 0
+            && chunk.len() == self.total
+            && self.whole.is_none()
+            && self.covered.is_empty()
+        {
+            self.whole = Some(chunk);
+            return true;
+        }
+        self.write(offset, &chunk)
     }
 
     /// Merges `[lo, hi)` into the covered-interval set.
@@ -204,12 +264,16 @@ impl Reassembler {
 
     /// True once every byte of the announced total has been written.
     pub fn complete(&self) -> bool {
-        self.buf.is_empty() || self.covered == [(0, self.buf.len())]
+        self.total == 0 || self.whole.is_some() || self.covered == [(0, self.total)]
     }
 
-    /// The reassembled payload.
+    /// The reassembled payload: the adopted whole-payload view when the
+    /// single-chunk fast path hit, otherwise the assembly buffer.
     pub fn into_bytes(self) -> Bytes {
-        Bytes::from(self.buf)
+        match self.whole {
+            Some(b) => b,
+            None => Bytes::from(self.buf),
+        }
     }
 }
 
@@ -219,11 +283,12 @@ pub(crate) type Ingress = Arc<dyn Fn(NetMsg) + Send + Sync>;
 
 /// Spawns the shipper thread of one directed link `src → dst`.
 ///
-/// The shipper drains the link's bounded queue in FIFO order, sleeps the
-/// shaped transfer time (latency once per transfer plus bytes/bandwidth
-/// serialization delay), then hands the message to `ingress`. It exits
-/// when every sender is gone; when `shutdown` is set it keeps draining
-/// but stops sleeping so teardown is prompt.
+/// The shipper drains the link's bounded queue in FIFO order — up to
+/// [`SHIPPER_BATCH`] frames per wakeup under one channel lock — and for
+/// each frame sleeps the shaped transfer time (latency once per transfer
+/// plus bytes/bandwidth serialization delay), then hands it to
+/// `ingress`. It exits when every sender is gone; when `shutdown` is set
+/// it keeps draining but stops sleeping so teardown is prompt.
 ///
 /// `depth` is the link's queue-depth gauge: the sending side increments
 /// it per enqueued message, the shipper decrements it once the message
@@ -241,23 +306,26 @@ pub(crate) fn spawn_link(
     std::thread::Builder::new()
         .name(format!("link-{src}-{dst}"))
         .spawn(move || {
-            while let Ok(msg) = rx.recv() {
-                if !shutdown.load(Ordering::Relaxed) {
-                    let mut delay = Duration::ZERO;
-                    if msg.starts_transfer() {
-                        delay += cfg.latency;
-                    }
-                    if let Some(bw) = cfg.bandwidth_bytes_per_sec {
-                        if bw > 0.0 {
-                            delay += Duration::from_secs_f64(msg.wire_bytes() as f64 / bw);
+            let mut batch = Vec::with_capacity(SHIPPER_BATCH);
+            while rx.drain_into(&mut batch, SHIPPER_BATCH).is_ok() {
+                for msg in batch.drain(..) {
+                    if !shutdown.load(Ordering::Relaxed) {
+                        let mut delay = Duration::ZERO;
+                        if msg.starts_transfer() {
+                            delay += cfg.latency;
+                        }
+                        if let Some(bw) = cfg.bandwidth_bytes_per_sec {
+                            if bw > 0.0 {
+                                delay += Duration::from_secs_f64(msg.wire_bytes() as f64 / bw);
+                            }
+                        }
+                        if delay > Duration::ZERO {
+                            std::thread::sleep(delay);
                         }
                     }
-                    if delay > Duration::ZERO {
-                        std::thread::sleep(delay);
-                    }
+                    ingress(msg);
+                    depth.fetch_sub(1, Ordering::Relaxed);
                 }
-                ingress(msg);
-                depth.fetch_sub(1, Ordering::Relaxed);
             }
         })
         .expect("spawn link shipper")
@@ -278,6 +346,10 @@ mod tests {
             (100, 7),
         ] {
             let spans = chunk_spans(total, chunk);
+            if total == 0 {
+                assert!(spans.is_empty(), "empty payload must yield no spans");
+                continue;
+            }
             assert_eq!(spans.first().unwrap().0, 0);
             assert_eq!(spans.last().unwrap().1, total);
             for w in spans.windows(2) {
@@ -323,6 +395,41 @@ mod tests {
         assert!(r.write(24, &payload[24..40]));
         assert!(r.complete());
         assert_eq!(&*r.into_bytes(), &payload[..]);
+    }
+
+    #[test]
+    fn single_chunk_transfer_is_adopted_without_copy() {
+        let payload = Bytes::from((0..64u8).collect::<Vec<_>>());
+        let mut r = Reassembler::new(payload.len());
+        assert!(r.write_bytes(0, payload.clone()));
+        assert!(r.complete());
+        let out = r.into_bytes();
+        // Same allocation, not a copy.
+        assert!(std::ptr::eq(out.as_ref(), payload.as_ref()));
+        // A retransmission after adoption stays harmless.
+        let mut r = Reassembler::new(payload.len());
+        assert!(r.write_bytes(0, payload.clone()));
+        assert!(r.write_bytes(0, payload.slice(0..16)));
+        assert!(r.complete());
+        assert_eq!(&*r.into_bytes(), &*payload);
+    }
+
+    #[test]
+    fn partial_bytes_chunks_fall_back_to_copy_assembly() {
+        let payload = Bytes::from((0..50u8).collect::<Vec<_>>());
+        let mut r = Reassembler::new(payload.len());
+        for (lo, hi) in chunk_spans(payload.len(), 16) {
+            assert!(r.write_bytes(lo, payload.slice(lo..hi)));
+        }
+        assert!(r.complete());
+        assert_eq!(&*r.into_bytes(), &*payload);
+    }
+
+    #[test]
+    fn empty_transfer_is_born_complete() {
+        let r = Reassembler::new(0);
+        assert!(r.complete());
+        assert!(r.into_bytes().is_empty());
     }
 
     #[test]

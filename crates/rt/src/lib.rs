@@ -10,8 +10,9 @@
 //! * `ctx.put(...)` hands data to the function's **DLU daemon thread**
 //!   mid-function; transfers overlap the rest of the computation;
 //! * downstream functions trigger on **data availability** — when the
-//!   last input lands in the hosting node's data sink, not when a
-//!   controller says so;
+//!   last input lands in the hosting node's data sink (a lock-striped
+//!   [`ShardedSink`], so concurrent requests never contend on one
+//!   node-wide mutex), not when a controller says so;
 //! * a [`ClusterRuntime`] runs one [`NodeRuntime`] per simulated worker
 //!   node; a [`Placement`] maps functions to nodes, and every
 //!   inter-function transfer is classified through the paper's §7
@@ -44,12 +45,13 @@
 
 mod autoscale;
 mod bytes;
-mod channel;
+pub mod channel;
 mod context;
 mod error;
 mod fabric;
 mod node;
 mod runtime;
+mod sink;
 
 pub use autoscale::{AutoscaleConfig, ScaleDirection, ScaleEvent, ScalePolicy};
 pub use bytes::Bytes;
@@ -61,3 +63,4 @@ pub use runtime::{
     ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, ReqId, RtConfig, RtStats, Runtime,
     RuntimeBuilder,
 };
+pub use sink::ShardedSink;

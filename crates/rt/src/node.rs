@@ -10,7 +10,7 @@
 //! worker node in Fig. 4, shrunk to threads inside one process.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -18,6 +18,7 @@ use dataflower_workflow::{ActiveGraph, EdgeId, FnId, Workflow};
 
 use crate::bytes::Bytes;
 use crate::fabric::Reassembler;
+use crate::sink::ShardedSink;
 
 /// Maps every workflow function to the node that hosts it.
 ///
@@ -214,15 +215,19 @@ pub(crate) struct NodeReqState {
     pub partial: HashMap<(EdgeId, u64), Reassembler>,
 }
 
-/// The shared (thread-accessible) state of one node: its data sink.
+/// The shared (thread-accessible) state of one node: its lock-striped
+/// Wait-Match data sink, keyed by request id. DLU routing lookups, FLU
+/// trigger checks, janitor sweeps and depth gauges each lock only the
+/// stripe(s) they touch, so concurrent requests do not contend on one
+/// node-wide mutex.
 pub(crate) struct NodeState {
-    pub sink: Mutex<HashMap<u64, NodeReqState>>,
+    pub sink: ShardedSink<NodeReqState>,
 }
 
 impl NodeState {
-    pub fn new() -> NodeState {
+    pub fn new(stripes: usize) -> NodeState {
         NodeState {
-            sink: Mutex::new(HashMap::new()),
+            sink: ShardedSink::new(stripes),
         }
     }
 }
@@ -261,14 +266,11 @@ impl NodeRuntime {
 
     /// Payloads currently parked in this node's data sink, waiting for
     /// their consumer's remaining inputs (across all in-flight requests).
+    /// Sums stripe by stripe, never holding more than one stripe lock.
     pub fn parked_entries(&self) -> usize {
-        self.state
-            .sink
-            .lock()
-            .expect("node sink lock poisoned")
-            .values()
-            .map(|rs| rs.entries.values().map(BTreeMap::len).sum::<usize>())
-            .sum()
+        self.state.sink.fold(0usize, |acc, _, rs| {
+            acc + rs.entries.values().map(BTreeMap::len).sum::<usize>()
+        })
     }
 }
 

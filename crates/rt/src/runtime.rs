@@ -11,9 +11,11 @@
 //!   inter-function transfer through the paper's three-way pipe choice
 //!   (§7): direct socket under the 16 KiB threshold, node-local pipe when
 //!   co-located, chunked streaming remote pipe across nodes;
-//! * each node owns a **data sink** that caches inbound data per
-//!   `(request, function, edge)` and triggers an FLU the instant its
-//!   inputs are complete (data-availability triggering, no orchestrator);
+//! * each node owns a **data sink** (a lock-striped
+//!   [`ShardedSink`](crate::ShardedSink), one stripe lock per request
+//!   hash) that caches inbound data per `(request, function, edge)` and
+//!   triggers an FLU the instant its inputs are complete
+//!   (data-availability triggering, no orchestrator);
 //! * cross-node traffic flows over the in-process **fabric**: one bounded
 //!   channel plus shipper thread per directed node pair, with optional
 //!   bandwidth/latency shaping ([`LinkConfig`]);
@@ -75,6 +77,10 @@ pub struct RtConfig {
     /// Passive-expire TTL for unconsumed sink entries (`None` disables
     /// the janitors).
     pub sink_ttl: Option<Duration>,
+    /// Lock stripes of each node's Wait-Match sink (rounded up to a
+    /// power of two). More stripes mean less contention between
+    /// concurrent requests; `1` reproduces the old single-lock sink.
+    pub sink_stripes: usize,
 }
 
 impl Default for RtConfig {
@@ -83,6 +89,7 @@ impl Default for RtConfig {
             dlu_queue_capacity: 64,
             flu_replicas: 1,
             sink_ttl: Some(Duration::from_secs(30)),
+            sink_stripes: 16,
         }
     }
 }
@@ -395,7 +402,7 @@ impl ClusterRuntimeBuilder {
             flu_rx.insert(name, rx);
         }
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
-            .map(|_| Arc::new(NodeState::new()))
+            .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
             .collect();
         let link_depth: Vec<Arc<AtomicUsize>> = (0..node_count * node_count)
             .map(|_| Arc::new(AtomicUsize::new(0)))
@@ -611,7 +618,7 @@ impl ClusterRuntime {
                     .count();
                 missing.insert(f, count);
             }
-            node.sink.lock().expect("node sink lock poisoned").insert(
+            node.sink.insert(
                 req.0,
                 NodeReqState {
                     active: Arc::clone(&active),
@@ -714,10 +721,7 @@ impl ClusterRuntime {
 
     fn purge_nodes(&self, req: ReqId) {
         for node in &self.inner.nodes {
-            node.sink
-                .lock()
-                .expect("node sink lock poisoned")
-                .remove(&req.0);
+            node.sink.remove(req.0);
         }
     }
 
@@ -1202,15 +1206,12 @@ fn route(inner: &Inner, links: &[Option<Sender<NetMsg>>], msg: DluMsg) {
         return;
     };
     let src_node = inner.placement.node_of(&msg.src_fn);
-    let active = {
-        let sink = inner.nodes[src_node]
-            .sink
-            .lock()
-            .expect("node sink lock poisoned");
-        match sink.get(&msg.req.0) {
-            Some(rs) => Arc::clone(&rs.active),
-            None => return, // request already collected
-        }
+    let active = match inner.nodes[src_node]
+        .sink
+        .with(msg.req.0, |rs| rs.map(|r| Arc::clone(&r.active)))
+    {
+        Some(a) => a,
+        None => return, // request already collected
     };
     let mut matched = false;
     for eid in wf.outputs(src).to_vec() {
@@ -1324,9 +1325,25 @@ fn ship(
                 .counters
                 .remote_bytes
                 .fetch_add(len as u64, Ordering::Relaxed);
-            let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
             let link = links[dst_node].as_ref().expect("cross-node link exists");
             let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
+            if len == 0 {
+                // Nothing to stream: chunk_spans yields no spans for an
+                // empty payload, so ship one direct frame instead of a
+                // useless empty chunk.
+                depth.fetch_add(1, Ordering::Relaxed);
+                let sent = link.send(NetMsg::Whole {
+                    req: req.0,
+                    edge,
+                    key,
+                    payload: payload.clone(),
+                });
+                if sent.is_err() {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
             let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
             let mut last_mark = 0.0;
             for (lo, hi) in chunk_spans(len, inner.cfg.chunk_bytes) {
@@ -1341,6 +1358,8 @@ fn ship(
                     last_mark = mark;
                 }
                 depth.fetch_add(1, Ordering::Relaxed);
+                // Zero-copy: each chunk frame is an O(1) view into the
+                // payload's shared allocation, not a copied sub-buffer.
                 let sent = link.send(NetMsg::Chunk {
                     req: req.0,
                     edge,
@@ -1348,7 +1367,7 @@ fn ship(
                     transfer,
                     offset: lo,
                     total: len,
-                    bytes: payload[lo..hi].to_vec(),
+                    bytes: payload.slice(lo..hi),
                 });
                 if sent.is_err() {
                     depth.fetch_sub(1, Ordering::Relaxed);
@@ -1377,25 +1396,21 @@ fn ingress(inner: &Inner, dst_node: usize, msg: NetMsg) {
             total,
             bytes,
         } => {
-            let assembled = {
-                let mut sink = inner.nodes[dst_node]
-                    .sink
-                    .lock()
-                    .expect("node sink lock poisoned");
-                let Some(rs) = sink.get_mut(&req) else {
-                    return; // request already collected
-                };
+            let assembled = inner.nodes[dst_node].sink.with(req, |rs| {
+                let rs = rs?; // request already collected
                 let r = rs
                     .partial
                     .entry((edge, transfer))
                     .or_insert_with(|| crate::fabric::Reassembler::new(total));
-                r.write(offset, &bytes);
+                // Zero-copy fast path: a chunk covering the whole
+                // transfer is adopted without a memcpy.
+                r.write_bytes(offset, bytes);
                 if r.complete() {
                     rs.partial.remove(&(edge, transfer)).map(|r| r.into_bytes())
                 } else {
                     None
                 }
-            };
+            });
             if let Some(payload) = assembled {
                 deliver(inner, dst_node, ReqId(req), edge, key, payload);
             }
@@ -1413,16 +1428,10 @@ fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String
         return;
     };
     inner.counters.deliveries.fetch_add(1, Ordering::Relaxed);
-    let ready = {
-        let mut sink = inner.nodes[dst_node]
-            .sink
-            .lock()
-            .expect("node sink lock poisoned");
-        let Some(rs) = sink.get_mut(&req.0) else {
-            return;
-        };
+    let ready = inner.nodes[dst_node].sink.with(req.0, |rs| {
+        let rs = rs?;
         if !rs.active.edge_active(edge) || !rs.active.function_active(dst) {
-            return;
+            return None;
         }
         let entry = SinkEntry {
             key,
@@ -1453,9 +1462,17 @@ fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String
             *missing = usize::MAX;
             Some(inputs)
         } else {
+            // The payload parks until its consumer's other inputs land:
+            // compact it so a small zero-copy view cannot pin a large
+            // parent allocation for the wait (in-flight slices stay
+            // zero-copy; only parked ones may pay a copy).
+            if let Some(e) = rs.entries.get_mut(&dst).and_then(|m| m.get_mut(&edge)) {
+                let parked = std::mem::take(&mut e.payload);
+                e.payload = parked.compact();
+            }
             None
         }
-    };
+    });
     if let Some(inputs) = ready {
         let name = &wf.function(dst).name;
         let _ = inner.flu_tx[name].send(FluMsg::Invoke { req, inputs });
@@ -1478,11 +1495,9 @@ fn janitor(inner: Arc<Inner>, node_id: usize, ttl: Duration) {
             break;
         }
         let now = Instant::now();
-        let mut sink = inner.nodes[node_id]
-            .sink
-            .lock()
-            .expect("node sink lock poisoned");
-        for rs in sink.values_mut() {
+        // Sweep one sink stripe at a time: the janitor never blocks the
+        // whole node's data plane the way the old single-lock scan did.
+        inner.nodes[node_id].sink.for_each_mut(|_, rs| {
             for entries in rs.entries.values_mut() {
                 for entry in entries.values_mut() {
                     if !entry.spilled && now.duration_since(entry.arrived) >= ttl {
@@ -1494,6 +1509,6 @@ fn janitor(inner: Arc<Inner>, node_id: usize, ttl: Duration) {
                     }
                 }
             }
-        }
+        });
     }
 }

@@ -1,0 +1,205 @@
+//! A lock-striped concurrent map keyed by request id — the live
+//! runtime's per-node Wait-Match data sink.
+//!
+//! The original sink was one `Mutex<HashMap<u64, _>>`, which serialized
+//! every DLU routing lookup, FLU trigger check, janitor sweep and depth
+//! gauge behind a single lock. [`ShardedSink`] splits the map into N
+//! stripes (N rounded up to a power of two), each behind its own
+//! `Mutex`; a request id is hashed to a stripe, so operations on
+//! different requests proceed in parallel and a janitor sweep only ever
+//! holds one stripe at a time.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Multiplicative (Fibonacci) hash spreading sequential request ids
+/// across stripes: without it, ids `0..N` would land on stripes `0..N`
+/// in order, which is fine — but adversarial or strided id patterns
+/// would collide on one stripe.
+const HASH_MULT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A lock-striped `u64 → V` map: N independent `Mutex<HashMap>` stripes,
+/// selected by key hash.
+///
+/// All operations lock exactly one stripe (except whole-map sweeps,
+/// which visit stripes one at a time), so concurrent producers and
+/// consumers working on different requests do not contend.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_rt::ShardedSink;
+///
+/// let sink: ShardedSink<&str> = ShardedSink::new(8);
+/// assert!(sink.insert(7, "payload").is_none());
+/// assert_eq!(sink.with(7, |v| v.copied()), Some("payload"));
+/// assert_eq!(sink.remove(7), Some("payload"));
+/// assert!(sink.is_empty());
+/// ```
+pub struct ShardedSink<V> {
+    stripes: Box<[Mutex<HashMap<u64, V>>]>,
+    mask: u64,
+}
+
+impl<V> ShardedSink<V> {
+    /// Creates a sink with `stripes` lock stripes, rounded up to the
+    /// next power of two (minimum 1). `ShardedSink::new(1)` is exactly
+    /// the old single-lock sink — useful as a contention baseline.
+    pub fn new(stripes: usize) -> ShardedSink<V> {
+        let n = stripes.max(1).next_power_of_two();
+        ShardedSink {
+            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
+        let idx = (key.wrapping_mul(HASH_MULT) >> 32) & self.mask;
+        &self.stripes[idx as usize]
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if one
+    /// existed.
+    pub fn insert(&self, key: u64, value: V) -> Option<V> {
+        self.stripe(key)
+            .lock()
+            .expect("sink stripe poisoned")
+            .insert(key, value)
+    }
+
+    /// Removes and returns the value under `key`.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.stripe(key)
+            .lock()
+            .expect("sink stripe poisoned")
+            .remove(&key)
+    }
+
+    /// Runs `f` on the entry under `key` (or `None` if absent) while
+    /// holding only that key's stripe lock.
+    pub fn with<R>(&self, key: u64, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        let mut map = self.stripe(key).lock().expect("sink stripe poisoned");
+        f(map.get_mut(&key))
+    }
+
+    /// Visits every entry mutably, one stripe locked at a time — the
+    /// janitor's sweep path. Entries inserted into an already-visited
+    /// stripe during the sweep are missed until the next sweep, which is
+    /// exactly the passive-expire semantics.
+    pub fn for_each_mut(&self, mut f: impl FnMut(u64, &mut V)) {
+        for stripe in self.stripes.iter() {
+            let mut map = stripe.lock().expect("sink stripe poisoned");
+            for (k, v) in map.iter_mut() {
+                f(*k, v);
+            }
+        }
+    }
+
+    /// Folds over every entry, one stripe locked at a time — the depth
+    /// gauge path (e.g. summing parked payloads).
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, u64, &V) -> A) -> A {
+        let mut acc = init;
+        for stripe in self.stripes.iter() {
+            let map = stripe.lock().expect("sink stripe poisoned");
+            for (k, v) in map.iter() {
+                acc = f(acc, *k, v);
+            }
+        }
+        acc
+    }
+
+    /// Number of entries across all stripes (sweeps every stripe).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("sink stripe poisoned").len())
+            .sum()
+    }
+
+    /// True when every stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stripes
+            .iter()
+            .all(|s| s.lock().expect("sink stripe poisoned").is_empty())
+    }
+}
+
+impl<V> std::fmt::Debug for ShardedSink<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSink")
+            .field("stripes", &self.stripes.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedSink::<u8>::new(0).stripe_count(), 1);
+        assert_eq!(ShardedSink::<u8>::new(1).stripe_count(), 1);
+        assert_eq!(ShardedSink::<u8>::new(5).stripe_count(), 8);
+        assert_eq!(ShardedSink::<u8>::new(16).stripe_count(), 16);
+    }
+
+    #[test]
+    fn insert_with_remove_roundtrip() {
+        let s: ShardedSink<String> = ShardedSink::new(4);
+        for k in 0..100u64 {
+            assert!(s.insert(k, format!("v{k}")).is_none());
+        }
+        assert_eq!(s.len(), 100);
+        s.with(42, |v| {
+            *v.expect("present") = "changed".into();
+        });
+        assert_eq!(s.remove(42).as_deref(), Some("changed"));
+        assert!(!s.with(42, |v| v.is_some()));
+        assert_eq!(s.len(), 99);
+    }
+
+    #[test]
+    fn sweeps_and_folds_visit_everything() {
+        let s: ShardedSink<u64> = ShardedSink::new(8);
+        for k in 0..64u64 {
+            s.insert(k, k * 2);
+        }
+        let mut seen = 0u64;
+        s.for_each_mut(|_, v| {
+            *v += 1;
+            seen += 1;
+        });
+        assert_eq!(seen, 64);
+        let sum = s.fold(0u64, |a, _, v| a + v);
+        assert_eq!(sum, (0..64u64).map(|k| k * 2 + 1).sum());
+    }
+
+    #[test]
+    fn concurrent_inserts_and_removes_balance() {
+        let s: Arc<ShardedSink<u64>> = Arc::new(ShardedSink::new(16));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = t * 10_000 + i;
+                        s.insert(k, k);
+                        assert_eq!(s.remove(k), Some(k));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(s.is_empty());
+    }
+}

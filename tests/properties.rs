@@ -363,7 +363,16 @@ fn remote_chunking_reassembles_byte_identical() {
             })
             .collect();
         let mut spans = chunk_spans(len, chunk);
-        // Spans are contiguous, ordered and cover the payload exactly.
+        // Spans are contiguous, ordered and cover the payload exactly;
+        // an empty payload yields no spans at all (it ships as a single
+        // direct frame, never an empty chunk).
+        if len == 0 {
+            assert!(spans.is_empty());
+            let r = Reassembler::new(0);
+            assert!(r.complete());
+            assert!(r.into_bytes().is_empty());
+            return;
+        }
         assert_eq!(spans.first().unwrap().0, 0);
         assert_eq!(spans.last().unwrap().1, len);
         for w in spans.windows(2) {
@@ -707,5 +716,132 @@ fn live_outputs_byte_identical_under_random_scaling() {
             );
         }
         rt.shutdown();
+    });
+}
+
+/// `Bytes::slice` views are byte-identical to the ranges they name:
+/// cutting a payload at random points and rejoining the slices
+/// reproduces the original, views keep the parent allocation alive after
+/// the parent drops, and out-of-range slices panic predictably instead
+/// of reading garbage.
+#[test]
+fn bytes_slice_rejoins_byte_identical() {
+    use dataflower_rt::Bytes;
+    check("bytes_slice_rejoins_byte_identical", |g| {
+        let len = g.usize_in(0, 8_192);
+        let payload: Vec<u8> = (0..len).map(|_| g.u64_in(0, 256) as u8).collect();
+        let b = Bytes::from(payload.clone());
+
+        // Random ascending cut points over [0, len].
+        let mut cuts: Vec<usize> = g.vec(0, 8, |g| g.usize_in(0, len + 1));
+        cuts.push(0);
+        cuts.push(len);
+        cuts.sort_unstable();
+        let slices: Vec<Bytes> = cuts.windows(2).map(|w| b.slice(w[0]..w[1])).collect();
+
+        // Slicing is zero-copy: every non-empty view aliases the parent.
+        for (w, s) in cuts.windows(2).zip(&slices) {
+            if !s.is_empty() {
+                assert!(std::ptr::eq(s.as_ref(), &b.as_ref()[w[0]..w[1]]));
+            }
+        }
+
+        // Rejoining the slices is byte-identical to the original, and
+        // the views keep the allocation alive once the parent is gone.
+        drop(b);
+        let rejoined: Vec<u8> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(rejoined, payload, "slice+rejoin must be byte-identical");
+
+        // Out-of-range slices panic predictably.
+        if len > 0 {
+            let b = Bytes::from(payload);
+            let start = g.usize_in(0, len);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                b.slice(start..len + 1 + g.usize_in(0, 64))
+            }));
+            assert!(result.is_err(), "over-long slice must panic");
+        }
+    });
+}
+
+/// The lock-striped sink neither loses nor duplicates entries: random
+/// (often stripe-colliding) request ids inserted and taken by concurrent
+/// producers all come back exactly once, and janitor-style sweeps
+/// running concurrently with takes expire each surviving entry at most
+/// once.
+#[test]
+fn sharded_sink_insert_take_is_exact_under_collisions() {
+    use dataflower_rt::ShardedSink;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    check("sharded_sink_insert_take_is_exact_under_collisions", |g| {
+        let stripes = 1 << g.usize_in(0, 6); // 1..=32: includes single-lock
+        let threads = g.usize_in(2, 5);
+        let per_thread = g.usize_in(50, 300);
+        // A coarse id stride forces stripe collisions across threads.
+        let stride = g.u64_in(1, 64);
+        let sink: Arc<ShardedSink<u64>> = Arc::new(ShardedSink::new(stripes));
+        let taken = Arc::new(AtomicU64::new(0));
+        let expired = Arc::new(AtomicU64::new(0));
+
+        let workers: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                let taken = Arc::clone(&taken);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread as u64 {
+                        // Distinct per thread, but striding over the same
+                        // stripe set as every other thread.
+                        let key = (i * stride) * threads as u64 + t;
+                        assert!(sink.insert(key, key ^ 0xabcd).is_none(), "dup insert");
+                        if i % 3 != 0 {
+                            // Take it right back: must be present, once,
+                            // intact modulo the sweeper's expiry bit.
+                            let got = sink.remove(key).expect("entry lost");
+                            assert_eq!(got & !(1 << 63), key ^ 0xabcd);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Concurrent janitor-style sweeper: marks entries expired by
+        // flipping a bit; flips each entry at most once.
+        let sweeper = {
+            let sink = Arc::clone(&sink);
+            let expired = Arc::clone(&expired);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    sink.for_each_mut(|_, v| {
+                        if *v & (1 << 63) == 0 {
+                            *v |= 1 << 63;
+                            expired.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for w in workers {
+            w.join().expect("sink worker");
+        }
+        sweeper.join().expect("sweeper");
+
+        // Every entry not taken by its producer is still parked, exactly
+        // once, with its value intact modulo the expiry bit.
+        let total = (threads * per_thread) as u64;
+        let left = sink.fold(0u64, |acc, k, v| {
+            assert_eq!(*v & !(1 << 63), k ^ 0xabcd, "entry corrupted");
+            acc + 1
+        });
+        assert_eq!(
+            taken.load(Ordering::Relaxed) + left,
+            total,
+            "entries lost or duplicated across stripes"
+        );
+        assert_eq!(sink.len() as u64, left);
+        // The sweeper expired only surviving entries, each at most once.
+        assert!(expired.load(Ordering::Relaxed) <= total);
     });
 }
