@@ -7,8 +7,9 @@
 #   3. cargo fmt --check        (skipped if rustfmt is absent)
 #   4. cargo clippy -D warnings (skipped if clippy is absent)
 #   5. cargo doc -D warnings    (skipped if rustdoc is absent)
-#   6. examples smoke pass      (every examples/*.rs runs to completion)
-#   7. bench regression gate    (prints per-benchmark deltas against
+#   6. scripts/linkcheck.sh     (markdown links/anchors must resolve)
+#   7. examples smoke pass      (every examples/*.rs runs to completion)
+#   8. bench regression gate    (prints per-benchmark deltas against
 #      BENCH_BASELINE.json; fails only when a benchmark got more than
 #      2x slower than the committed baseline)
 #
@@ -57,6 +58,10 @@ if rustdoc --version >/dev/null 2>&1; then
 else
     echo "==> rustdoc unavailable; skipping doc check"
 fi
+
+# Markdown link check: relative paths and anchors across the top-level
+# docs must resolve (the CI `docs` job runs the same script).
+run ./scripts/linkcheck.sh
 
 # Examples smoke pass: doc-level entry points must keep running.
 for ex in examples/*.rs; do

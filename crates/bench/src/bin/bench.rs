@@ -39,8 +39,8 @@ use dataflower_rt::{chunk_spans, Bytes, Reassembler, ShardedSink};
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
-    Benchmark, BurstyClusterConfig, LiveClusterConfig, LivePlacement, Scenario, SkewedFanoutConfig,
-    SystemKind,
+    Benchmark, BurstyClusterConfig, ChaosClusterConfig, LiveClusterConfig, LivePlacement, Scenario,
+    SkewedFanoutConfig, SystemKind,
 };
 
 /// Default timed iterations per benchmark (median-of-K).
@@ -130,6 +130,7 @@ fn main() {
     engine_benchmarks(&harness);
     live_cluster_benchmarks(&harness);
     elastic_benchmarks(&harness);
+    recovery_benchmarks(&harness);
     data_plane_benchmarks(&harness);
     substrate_benchmarks(&harness);
 
@@ -205,6 +206,60 @@ fn elastic_benchmarks(h: &Harness) {
         let report = Scenario::skewed_fanout(&cfg);
         assert!(report.output_bytes > 0);
         report.requests
+    });
+}
+
+/// Fault-recovery benchmarks (§6.2): the chaos scenario end to end —
+/// invoke, crash the fan-out node mid-transfer, restart, recover — at
+/// two checkpoint intervals, so the baseline pins how recovery latency
+/// moves with the interval (a larger interval re-sends more bytes after
+/// the crash but acks less often before it). Each run asserts
+/// byte-identity and resume-from-mark internally, so the bench doubles
+/// as a smoke gate. A `Reassembler` rollback/resume micro-benchmark
+/// isolates the receive-side cost of the same cycle.
+fn recovery_benchmarks(h: &Harness) {
+    for (label, interval) in [("8k", 8 * 1024usize), ("32k", 32 * 1024usize)] {
+        h.run(
+            "recovery",
+            &format!("chaos_wc_crash_replay/interval_{label}"),
+            || {
+                let mut cfg = ChaosClusterConfig {
+                    requests: 1,
+                    payload_bytes: 192 * 1024,
+                    ..ChaosClusterConfig::default()
+                };
+                cfg.rt.checkpoint_interval_bytes = interval;
+                let report = Scenario::chaos_cluster(Benchmark::Wc, &cfg);
+                assert!(report.stats.recovered_transfers > 0);
+                assert!(report.stats.resumed_from_mark_bytes > 0);
+                report.requests
+            },
+        );
+    }
+    // Receive side in isolation: reassemble 2 MiB to 75%, crash (roll
+    // back to the last 256 KiB mark), then replay from the mark.
+    const ROLLBACK_BYTES: usize = 2 * 1024 * 1024;
+    const ROLLBACK_CHUNK: usize = 64 * 1024;
+    const ROLLBACK_MARK: usize = 256 * 1024;
+    let payload = Bytes::from((0..ROLLBACK_BYTES).map(|i| i as u8).collect::<Vec<_>>());
+    h.run("recovery", "reassembler_rollback_resume_2mib", move || {
+        let mut r = Reassembler::new(payload.len());
+        let spans = chunk_spans(payload.len(), ROLLBACK_CHUNK);
+        let crash_at = spans.len() * 3 / 4;
+        for (lo, hi) in &spans[..crash_at] {
+            assert!(r.write_bytes(*lo, payload.slice(*lo..*hi)));
+        }
+        let mark = (r.contiguous_prefix() / ROLLBACK_MARK) * ROLLBACK_MARK;
+        r.rollback_to(mark);
+        for (lo, hi) in &spans {
+            if *hi > mark {
+                assert!(r.write_bytes(*lo, payload.slice(*lo..*hi)));
+            }
+        }
+        assert!(r.complete());
+        let out = r.into_bytes();
+        assert_eq!(out.len(), payload.len());
+        out
     });
 }
 

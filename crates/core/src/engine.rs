@@ -16,7 +16,7 @@ use dataflower_cluster::{
     ContainerId, NodeId, Orchestrator, Placement, RequestId, Route, TransferDone, TriggerKind,
     TriggerRecord, WfId, World,
 };
-use dataflower_sim::{EventId, SimDuration, SimTime};
+use dataflower_sim::{EventId, SimDuration, SimTime, Trace};
 use dataflower_workflow::{EdgeId, Endpoint, FnId};
 
 use crate::config::DataFlowerConfig;
@@ -168,9 +168,37 @@ pub struct DataFlowerEngine<P> {
     dlu_outstanding: BTreeMap<ContainerId, usize>,
     fault_plan: BTreeMap<(RequestId, FnId), ()>,
     redo_count: u64,
+    /// Timestamped §6.2 fault/ReDo events — the simulator-side mirror of
+    /// the live runtime's crash/recovery counters.
+    fault_timeline: Trace<FaultEvent>,
     pressure_blocks: u64,
     comm_secs_total: f64,
     comm_ops: u64,
+}
+
+/// One §6.2 fault-recovery event observed by the simulated engine,
+/// timestamped in simulated time on [`DataFlowerEngine::fault_timeline`]
+/// — the simulator-side mirror of the live runtime's crash/recovery
+/// counters (`node_crashes`, `recovered_transfers`, ...), so the two
+/// execution paths expose one fault-observability model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A planned data-plane fault hit as the invocation's run ended: its
+    /// un-checkpointed outputs are lost.
+    Fault {
+        /// The faulted request.
+        req: RequestId,
+        /// The function whose data plane was interrupted.
+        func: FnId,
+    },
+    /// The engine re-queued the faulted invocation (ReDo); its pipe
+    /// transfers resume from the last checkpoint mark.
+    Redo {
+        /// The recovering request.
+        req: RequestId,
+        /// The function being ReDone.
+        func: FnId,
+    },
 }
 
 impl<P: Placement> DataFlowerEngine<P> {
@@ -198,6 +226,7 @@ impl<P: Placement> DataFlowerEngine<P> {
             dlu_outstanding: BTreeMap::new(),
             fault_plan: BTreeMap::new(),
             redo_count: 0,
+            fault_timeline: Trace::new(),
             pressure_blocks: 0,
             comm_secs_total: 0.0,
             comm_ops: 0,
@@ -214,6 +243,13 @@ impl<P: Placement> DataFlowerEngine<P> {
     /// Number of ReDo recoveries performed.
     pub fn redo_count(&self) -> u64 {
         self.redo_count
+    }
+
+    /// Timestamped fault and ReDo events (§6.2), in simulated-time order
+    /// — one [`FaultEvent::Fault`] when an injected fault hits, one
+    /// [`FaultEvent::Redo`] when the engine re-queues the invocation.
+    pub fn fault_timeline(&self) -> &Trace<FaultEvent> {
+        &self.fault_timeline
     }
 
     /// Number of pressure-induced FLU blocks (§5.2 telemetry).
@@ -728,6 +764,8 @@ impl<P: Placement> Orchestrator for DataFlowerEngine<P> {
         };
         if doomed {
             self.redo_count += 1;
+            self.fault_timeline
+                .record(world.now(), FaultEvent::Fault { req, func });
             let t = self.tokens.mint(Token::Retrigger { req, func });
             world.timer(self.cfg.redo_latency, t);
             self.make_available(world, container);
@@ -811,6 +849,8 @@ impl<P: Placement> Orchestrator for DataFlowerEngine<P> {
                 }
             }
             Token::Retrigger { req, func } => {
+                self.fault_timeline
+                    .record(world.now(), FaultEvent::Redo { req, func });
                 world.note_trigger(TriggerRecord {
                     req,
                     wf: world.request(req).wf,

@@ -99,6 +99,30 @@ impl CheckpointSchedule {
     pub fn resume_bytes(&self, total: f64, transferred: f64) -> f64 {
         (total - self.last_checkpoint(transferred.min(total))).max(0.0)
     }
+
+    /// Number of checkpoint marks crossed when confirmed progress grows
+    /// from `from` to `to` bytes — the marks a receiver acknowledges back
+    /// to the sender so it can trim its §6.2 retention window.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dataflower::CheckpointSchedule;
+    ///
+    /// let cp = CheckpointSchedule::new(1024.0);
+    /// assert_eq!(cp.marks_crossed(0.0, 1023.0), 0);
+    /// assert_eq!(cp.marks_crossed(0.0, 1024.0), 1);
+    /// assert_eq!(cp.marks_crossed(1000.0, 4100.0), 4);
+    /// assert_eq!(cp.marks_crossed(4100.0, 4100.0), 0);
+    /// ```
+    pub fn marks_crossed(&self, from: f64, to: f64) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let lo = self.last_checkpoint(from);
+        let hi = self.last_checkpoint(to);
+        ((hi - lo) / self.interval_bytes).round().max(0.0) as u64
+    }
 }
 
 impl Default for CheckpointSchedule {
@@ -146,5 +170,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         CheckpointSchedule::new(0.0);
+    }
+
+    #[test]
+    fn marks_crossed_counts_every_interval_once() {
+        let cp = CheckpointSchedule::new(100.0);
+        // Walking 0..1000 in arbitrary steps crosses exactly 10 marks.
+        let mut crossed = 0;
+        let mut at = 0.0;
+        for step in [37.0, 63.0, 100.0, 250.0, 1.0, 549.0] {
+            let next = at + step;
+            crossed += cp.marks_crossed(at, next);
+            at = next;
+        }
+        assert_eq!(at, 1000.0);
+        assert_eq!(crossed, 10);
+        // Regression never counts negative marks.
+        assert_eq!(cp.marks_crossed(500.0, 300.0), 0);
     }
 }

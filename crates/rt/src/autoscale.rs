@@ -12,6 +12,39 @@
 //! `(now, pressure, replicas)` so the seeded property tests in
 //! `tests/properties.rs` can drive it through millions of synthetic
 //! pressure trajectories without spawning a thread.
+//!
+//! # Examples
+//!
+//! Driving the pure decision kernel through one burst-and-drain cycle —
+//! exactly what a node's autoscaler thread does with live gauges:
+//!
+//! ```
+//! use std::time::Duration;
+//! use dataflower_rt::autoscale::{AutoscaleConfig, ScaleDirection, ScalePolicy};
+//! use dataflower::pressure_secs;
+//!
+//! let cfg = AutoscaleConfig {
+//!     enabled: true,
+//!     pressure_threshold_secs: 0.05,
+//!     cooldown: Duration::from_millis(100),
+//!     ..AutoscaleConfig::default()
+//! };
+//! let mut policy = ScalePolicy::new(&cfg);
+//! let mut replicas = 1;
+//!
+//! // A burst backs the DLU up by 48 MiB: Eq. 1 pressure spikes…
+//! let spike = pressure_secs(cfg.alpha, 48e6, cfg.drain_bw_bytes_per_sec, 0.002);
+//! assert!(spike > cfg.pressure_threshold_secs);
+//! assert_eq!(policy.decide(0.0, spike, replicas), Some(ScaleDirection::Out));
+//! replicas += 1;
+//!
+//! // …the cool-down guards the very next tick…
+//! assert_eq!(policy.decide(0.05, spike, replicas), None);
+//!
+//! // …and once the backlog drains, the pool shrinks back.
+//! let drained = pressure_secs(cfg.alpha, 0.0, cfg.drain_bw_bytes_per_sec, 0.002);
+//! assert_eq!(policy.decide(0.2, drained, replicas), Some(ScaleDirection::In));
+//! ```
 
 use std::sync::atomic::{AtomicU64, AtomicUsize};
 use std::sync::Mutex;

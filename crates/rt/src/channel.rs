@@ -23,6 +23,44 @@
 //! that was blocked on a full queue and pushes while space remains
 //! re-notifies `not_full`. Unbounded channels never touch the `not_full`
 //! condvar at all.
+//!
+//! # Examples
+//!
+//! A bounded channel with two competing consumers — the FLU executor
+//! pool pattern (cloneable receivers, each message to exactly one
+//! consumer), with batched shipping on the producer side:
+//!
+//! ```
+//! use dataflower_rt::channel;
+//!
+//! let (tx, rx) = channel::bounded::<u32>(8);
+//! let consumers: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let rx = rx.clone();
+//!         std::thread::spawn(move || {
+//!             let (mut got, mut buf) = (Vec::new(), Vec::new());
+//!             // One lock acquisition drains up to 16 queued messages.
+//!             while rx.drain_into(&mut buf, 16).is_ok() {
+//!                 got.append(&mut buf);
+//!             }
+//!             got
+//!         })
+//!     })
+//!     .collect();
+//! drop(rx);
+//!
+//! // send_many blocks mid-batch while the queue is full: that is the
+//! // DLU backpressure of Fig. 6a, not an error.
+//! tx.send_many(0..100).unwrap();
+//! drop(tx); // disconnect: drained consumers exit their loop
+//!
+//! let mut all: Vec<u32> = consumers
+//!     .into_iter()
+//!     .flat_map(|c| c.join().unwrap())
+//!     .collect();
+//! all.sort_unstable();
+//! assert_eq!(all, (0..100).collect::<Vec<_>>());
+//! ```
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};

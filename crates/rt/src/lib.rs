@@ -28,7 +28,14 @@
 //!   function's DLU backlog, convert it into Eq. 1 pressure-seconds, and
 //!   elastically grow/shrink the FLU executor pools between configurable
 //!   bounds (scale-out past the threshold, cool-down-guarded scale-in
-//!   once drained) — the paper's pressure-aware scaling, §5.2.
+//!   once drained) — the paper's pressure-aware scaling, §5.2;
+//! * with [`RecoveryConfig`] enabled, the runtime is fault tolerant per
+//!   §6.2: senders retain zero-copy views of un-acked frames, chunked
+//!   streams acknowledge checkpoint marks, and a crashed node
+//!   ([`ClusterRuntime::crash_node`], or a seeded [`FaultPlan`] kill)
+//!   restarts with every incomplete transfer replayed from its last
+//!   acknowledged mark — `wait` returns byte-identical outputs across a
+//!   single-node crash.
 //!
 //! The workflow *definition* is shared with the simulator
 //! ([`dataflower_workflow`]), so one definition drives both the
@@ -36,31 +43,34 @@
 //! spread, by swapping the [`Placement`].
 //!
 //! See [`RuntimeBuilder`] (single node) and [`ClusterRuntimeBuilder`]
-//! (multi-node) for complete runnable examples, and
+//! (multi-node) for complete runnable examples,
 //! `examples/multinode_live.rs` for the paper benchmarks on a three-node
-//! topology.
+//! topology, and `examples/checkpoint_recovery.rs` for a crash mid-
+//! transfer healed from the checkpoint marks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod autoscale;
+pub mod autoscale;
 mod bytes;
 pub mod channel;
 mod context;
 mod error;
-mod fabric;
+pub mod fabric;
+pub mod fault;
 mod node;
 mod runtime;
-mod sink;
+pub mod sink;
 
 pub use autoscale::{AutoscaleConfig, ScaleDirection, ScaleEvent, ScalePolicy};
 pub use bytes::Bytes;
 pub use context::{FluContext, PutTarget};
 pub use error::RtError;
 pub use fabric::{chunk_spans, LinkConfig, Reassembler};
+pub use fault::{FaultPlan, FrameFate, NodeKill};
 pub use node::{NodeRuntime, Placement};
 pub use runtime::{
-    ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, ReqId, RtConfig, RtStats, Runtime,
-    RuntimeBuilder,
+    ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, CrashReport, RecoveryConfig, ReqId,
+    RtConfig, RtStats, Runtime, RuntimeBuilder,
 };
 pub use sink::ShardedSink;

@@ -10,6 +10,7 @@
 //! worker node in Fig. 4, shrunk to threads inside one process.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -213,21 +214,34 @@ pub(crate) struct NodeReqState {
     /// Reassembly buffers of in-flight remote-pipe transfers, keyed by
     /// `(edge, transfer id)`.
     pub partial: HashMap<(EdgeId, u64), Reassembler>,
+    /// Transfers already reassembled and delivered. A late duplicate or
+    /// retransmitted chunk of a finished transfer must not re-create a
+    /// ghost reassembler in `partial` (it could never complete, and its
+    /// first write would allocate a full transfer-sized buffer); this
+    /// set lets the ingress recognize and ack such frames away. Bounded
+    /// by the request's transfer count and dropped with the request.
+    pub done: std::collections::HashSet<(EdgeId, u64)>,
 }
 
 /// The shared (thread-accessible) state of one node: its lock-striped
-/// Wait-Match data sink, keyed by request id. DLU routing lookups, FLU
-/// trigger checks, janitor sweeps and depth gauges each lock only the
-/// stripe(s) they touch, so concurrent requests do not contend on one
-/// node-wide mutex.
+/// Wait-Match data sink, keyed by request id, plus the crash flag of the
+/// §6.2 fault model. DLU routing lookups, FLU trigger checks, janitor
+/// sweeps and depth gauges each lock only the stripe(s) they touch, so
+/// concurrent requests do not contend on one node-wide mutex.
 pub(crate) struct NodeState {
     pub sink: ShardedSink<NodeReqState>,
+    /// True while the node is crashed (data-plane crash: inbound fabric
+    /// frames are lost, reassembly past the last checkpoint mark was
+    /// discarded). Set by `ClusterRuntime::crash_node` / fault-plan
+    /// kills, cleared by `ClusterRuntime::restart_node`.
+    pub down: AtomicBool,
 }
 
 impl NodeState {
     pub fn new(stripes: usize) -> NodeState {
         NodeState {
             sink: ShardedSink::new(stripes),
+            down: AtomicBool::new(false),
         }
     }
 }
@@ -262,6 +276,23 @@ impl NodeRuntime {
     /// and its janitor).
     pub fn thread_count(&self) -> usize {
         self.threads.len()
+    }
+
+    /// True while this node is crashed (see
+    /// [`ClusterRuntime::crash_node`](crate::ClusterRuntime::crash_node)):
+    /// inbound fabric frames are being lost and will be replayed from the
+    /// senders' retention windows on restart.
+    pub fn is_down(&self) -> bool {
+        self.state.down.load(Ordering::SeqCst)
+    }
+
+    /// Remote-pipe transfers currently mid-reassembly in this node's
+    /// sink, across all in-flight requests — the in-flight set a crash
+    /// would damage. Sums stripe by stripe, one stripe lock at a time.
+    pub fn inflight_transfers(&self) -> usize {
+        self.state
+            .sink
+            .fold(0usize, |acc, _, rs| acc + rs.partial.len())
     }
 
     /// Payloads currently parked in this node's data sink, waiting for

@@ -51,7 +51,8 @@ use crate::bytes::Bytes;
 use crate::channel::{bounded, unbounded, Receiver, Sender};
 use crate::context::{FluContext, PutTarget};
 use crate::error::RtError;
-use crate::fabric::{chunk_spans, spawn_link, LinkConfig, NetMsg};
+use crate::fabric::{chunk_spans, spawn_link, LinkConfig, LinkRetention, NetMsg};
+use crate::fault::{FaultPlan, FaultState, FrameFate};
 use crate::node::{NodeReqState, NodeRuntime, NodeState, Placement, SinkEntry};
 
 /// A request identifier issued by [`ClusterRuntime::invoke`] /
@@ -94,9 +95,40 @@ impl Default for RtConfig {
     }
 }
 
+/// Checkpoint-recovery knobs of a [`ClusterRuntime`] (§6.2).
+///
+/// With `enabled`, every cross-node frame is retained on the sender (as
+/// a refcounted [`Bytes`] view — zero-copy) until the destination
+/// acknowledges it: whole frames ack on delivery, chunked streams ack
+/// each checkpoint mark their contiguous prefix crosses, trimming the
+/// retention window to at most one checkpoint interval plus the link's
+/// in-flight frames. A crashed-and-restarted node gets every incomplete
+/// transfer replayed from its last acknowledged mark, and a background
+/// recovery daemon retransmits frames whose acks never arrived (lost
+/// frames). Disabled (the default), none of this bookkeeping runs — and
+/// a node crash or dropped frame loses data exactly like before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Master switch of retention, acks, replay and retransmission.
+    pub enabled: bool,
+    /// How long a retained transfer may sit without any send or ack
+    /// before the recovery daemon retransmits its un-acked frames.
+    pub retransmit_timeout: Duration,
+}
+
+impl Default for RecoveryConfig {
+    /// Disabled; when enabled, a 200 ms retransmit timeout.
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            retransmit_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
 /// Tuning knobs of a multi-node [`ClusterRuntime`]: the per-node
-/// [`RtConfig`] plus the paper's pipe-selection thresholds and the fabric
-/// link shaping.
+/// [`RtConfig`] plus the paper's pipe-selection thresholds, the fabric
+/// link shaping, and the fault-tolerance knobs.
 #[derive(Debug, Clone)]
 pub struct ClusterRtConfig {
     /// Per-node executor/DLU/janitor knobs.
@@ -113,11 +145,17 @@ pub struct ClusterRtConfig {
     /// Elastic, pressure-driven scaling of the FLU executor pools
     /// (disabled by default — pools stay at their configured size).
     pub autoscale: AutoscaleConfig,
+    /// Deterministic fault injection ([`FaultPlan`]); the default plan
+    /// is a no-op and costs the data plane nothing.
+    pub faults: FaultPlan,
+    /// Checkpoint-based crash recovery (§6.2); disabled by default.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for ClusterRtConfig {
     /// 16 KiB direct threshold, 64 KiB chunks, 256 KiB checkpoint
-    /// interval, unshaped links, autoscaling off.
+    /// interval, unshaped links, autoscaling off, no faults, recovery
+    /// off.
     fn default() -> Self {
         ClusterRtConfig {
             rt: RtConfig::default(),
@@ -126,6 +164,8 @@ impl Default for ClusterRtConfig {
             checkpoint_interval_bytes: 256 * 1024,
             link: LinkConfig::default(),
             autoscale: AutoscaleConfig::default(),
+            faults: FaultPlan::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -157,6 +197,36 @@ pub struct RtStats {
     pub scale_out_events: u64,
     /// Executor-pool scale-ins after the DLU drained.
     pub scale_in_events: u64,
+    /// Checkpoint-mark acknowledgements received by senders (§6.2): each
+    /// trims the retention window of one transfer to its mark.
+    pub acked_marks: u64,
+    /// Node crashes (fault-plan kills plus explicit
+    /// [`ClusterRuntime::crash_node`] calls that found the node up).
+    pub node_crashes: u64,
+    /// Node restarts after a crash.
+    pub node_restarts: u64,
+    /// Fabric frames lost at a crashed node's ingress.
+    pub frames_lost_to_crashes: u64,
+    /// Fabric frames dropped in flight by fault injection.
+    pub chaos_dropped_frames: u64,
+    /// Fabric frames delivered twice by fault injection.
+    pub chaos_duplicated_frames: u64,
+    /// Shipper wakeups delayed by fault injection.
+    pub chaos_delayed_frames: u64,
+    /// Incomplete transfers replayed when a crashed node restarted.
+    pub recovered_transfers: u64,
+    /// Frames re-delivered by recovery (restart replay plus
+    /// retransmissions).
+    pub replayed_frames: u64,
+    /// Payload bytes re-delivered by recovery.
+    pub replayed_bytes: u64,
+    /// Bytes *not* re-sent during restart replay because they sat below
+    /// an acknowledged checkpoint mark — the §6.2 savings of resuming
+    /// from the mark instead of byte 0.
+    pub resumed_from_mark_bytes: u64,
+    /// Transfers swept by the retransmit path (no ack within the
+    /// timeout, e.g. after an in-flight frame drop).
+    pub retransmitted_transfers: u64,
 }
 
 impl RtStats {
@@ -164,6 +234,24 @@ impl RtStats {
     pub fn inter_function_transfers(&self) -> u64 {
         self.direct_socket_transfers + self.local_pipe_transfers + self.remote_pipe_transfers
     }
+}
+
+/// What [`ClusterRuntime::crash_node`] found when it took the node down
+/// — the damage inventory the subsequent restart will repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// The crashed node.
+    pub node: usize,
+    /// False when the node was already down (the call was a no-op).
+    pub was_up: bool,
+    /// Remote-pipe transfers that were mid-reassembly on the node; each
+    /// was rolled back to its last checkpoint mark.
+    pub inflight_transfers: usize,
+    /// Bytes of reassembly progress that survived the crash because they
+    /// sat below a checkpoint mark (summed over the in-flight
+    /// transfers). Zero means every in-flight stream restarts from
+    /// byte 0.
+    pub durable_bytes: u64,
 }
 
 pub(crate) struct DluMsg {
@@ -208,6 +296,18 @@ struct Counters {
     remote_bytes: AtomicU64,
     scale_outs: AtomicU64,
     scale_ins: AtomicU64,
+    acked_marks: AtomicU64,
+    node_crashes: AtomicU64,
+    node_restarts: AtomicU64,
+    frames_lost: AtomicU64,
+    chaos_drops: AtomicU64,
+    chaos_dups: AtomicU64,
+    chaos_delays: AtomicU64,
+    recovered_transfers: AtomicU64,
+    replayed_frames: AtomicU64,
+    replayed_bytes: AtomicU64,
+    resumed_from_mark: AtomicU64,
+    retransmitted: AtomicU64,
 }
 
 struct Inner {
@@ -239,6 +339,12 @@ struct Inner {
     /// Queue-depth gauge of each directed fabric link, indexed
     /// `src * node_count + dst` (self-links stay zero).
     link_depth: Vec<Arc<AtomicUsize>>,
+    /// Fault-injection state (`None` for a no-op plan: the per-frame
+    /// cost of disabled fault injection is one `Option` check).
+    faults: Option<FaultState>,
+    /// Sender-side §6.2 retention of un-acked frames, one per directed
+    /// link, indexed like `link_depth`. Empty when recovery is disabled.
+    retention: Vec<Mutex<LinkRetention>>,
 }
 
 type Body = Arc<dyn Fn(&mut FluContext) + Send + Sync>;
@@ -349,9 +455,11 @@ impl ClusterRuntimeBuilder {
     /// # Panics
     ///
     /// Panics if the configuration's `chunk_bytes` or
-    /// `checkpoint_interval_bytes` is zero, or if the autoscale knobs are
+    /// `checkpoint_interval_bytes` is zero, if the autoscale knobs are
     /// inconsistent (`min_replicas` of zero, `max_replicas` below
-    /// `min_replicas`, non-positive `alpha` or drain bandwidth).
+    /// `min_replicas`, non-positive `alpha` or drain bandwidth), or if
+    /// the fault plan is invalid (rates outside `[0, 1]`, a kill naming
+    /// a node outside the placement's topology).
     pub fn start(self) -> Result<ClusterRuntime, RtError> {
         assert!(self.cfg.chunk_bytes > 0, "chunk_bytes must be positive");
         assert!(
@@ -360,6 +468,17 @@ impl ClusterRuntimeBuilder {
         );
         if let Err(e) = self.cfg.autoscale.validate() {
             panic!("{e}");
+        }
+        if let Err(e) = self.cfg.faults.validate() {
+            panic!("{e}");
+        }
+        for kill in &self.cfg.faults.kills {
+            assert!(
+                kill.node < self.placement.node_count(),
+                "fault plan kills node {}, but the topology has {} node(s)",
+                kill.node,
+                self.placement.node_count()
+            );
         }
         for f in self.workflow.function_ids() {
             let name = &self.workflow.function(f).name;
@@ -407,6 +526,18 @@ impl ClusterRuntimeBuilder {
         let link_depth: Vec<Arc<AtomicUsize>> = (0..node_count * node_count)
             .map(|_| Arc::new(AtomicUsize::new(0)))
             .collect();
+        let faults = if self.cfg.faults.is_noop() {
+            None
+        } else {
+            Some(FaultState::new(self.cfg.faults.clone()))
+        };
+        let retention: Vec<Mutex<LinkRetention>> = if self.cfg.recovery.enabled {
+            (0..node_count * node_count)
+                .map(|_| Mutex::new(LinkRetention::default()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let inner = Arc::new(Inner {
             workflow: Arc::clone(&self.workflow),
             cfg: self.cfg.clone(),
@@ -425,6 +556,8 @@ impl ClusterRuntimeBuilder {
             scale_events: Mutex::new(Vec::new()),
             started: Instant::now(),
             link_depth,
+            faults,
+            retention,
         });
 
         // Fabric: one bounded link + shipper thread per directed node
@@ -446,13 +579,26 @@ impl ClusterRuntimeBuilder {
                     dst,
                     self.cfg.link.clone(),
                     rx,
-                    Arc::new(move |msg| ingress(&ingress_inner, dst, msg)),
+                    Arc::new(move |msg| chaos_ingress(&ingress_inner, src, dst, msg)),
                     Arc::clone(&inner.shutdown),
                     Arc::clone(&inner.link_depth[src * node_count + dst]),
                 ));
                 row.push(Some(tx));
             }
             links_by_src.push(Arc::new(row));
+        }
+
+        // Recovery daemon: executes fault-plan restarts and retransmits
+        // stale un-acked transfers. Only needed when something can go
+        // wrong (an active fault plan) or be repaired (recovery on).
+        if self.cfg.recovery.enabled || inner.faults.is_some() {
+            let daemon_inner = Arc::clone(&inner);
+            fabric_threads.push(
+                std::thread::Builder::new()
+                    .name("recovery-daemon".into())
+                    .spawn(move || recovery_daemon(daemon_inner))
+                    .expect("spawn recovery daemon"),
+            );
         }
 
         // Nodes: FLU executors and DLU daemons for the hosted functions,
@@ -625,6 +771,7 @@ impl ClusterRuntime {
                     missing,
                     entries: HashMap::new(),
                     partial: HashMap::new(),
+                    done: std::collections::HashSet::new(),
                 },
             );
         }
@@ -797,6 +944,50 @@ impl ClusterRuntime {
             .unwrap_or(0)
     }
 
+    /// Crashes `node` (§6.2 data-plane crash): from now until
+    /// [`ClusterRuntime::restart_node`], every fabric frame inbound to
+    /// the node is lost, and the node's in-flight reassembly state was
+    /// rolled back to the last checkpoint mark of each stream — progress
+    /// past a mark is volatile, progress below it is durable.
+    ///
+    /// With [`RecoveryConfig`] enabled the crash is survivable: senders
+    /// retain every un-acked frame, and the restart replays each
+    /// incomplete transfer from its last acknowledged mark. Without
+    /// recovery, a crash mid-request loses data and `wait` times out —
+    /// exactly the failure the checkpoint protocol exists to fix.
+    ///
+    /// Returns a [`CrashReport`] describing the damage; crashing an
+    /// already-down node is a no-op (`was_up == false`).
+    ///
+    /// Fault-plan kills ([`FaultPlan::kill_node`](crate::fault::FaultPlan::kill_node))
+    /// drive this same path at a deterministic logical event.
+    pub fn crash_node(&self, node: usize) -> CrashReport {
+        crash_node_inner(&self.inner, node)
+    }
+
+    /// Restarts a crashed node. With [`RecoveryConfig`] enabled, replays
+    /// every incomplete inbound transfer from the senders' retention
+    /// windows — resuming chunked streams at their last acknowledged
+    /// checkpoint mark, not byte 0 — before returning; the surviving
+    /// Wait-Match sink entries were never lost (the sink is modeled
+    /// durable, per the paper's function-exclusive disk backing).
+    /// Restarting a node that is not down is a no-op.
+    pub fn restart_node(&self, node: usize) {
+        restart_node_inner(&self.inner, node)
+    }
+
+    /// Transfers currently held in the §6.2 retention windows across all
+    /// links: sent but not yet fully acknowledged. Zero when recovery is
+    /// disabled, and zero again once a quiesced runtime has delivered
+    /// and acked everything — retention must never leak.
+    pub fn retained_transfers(&self) -> usize {
+        self.inner
+            .retention
+            .iter()
+            .map(|r| r.lock().expect("retention lock poisoned").len())
+            .sum()
+    }
+
     /// Every scale event since the runtime started, in time order (empty
     /// while autoscaling is disabled).
     pub fn scaling_timeline(&self) -> Vec<ScaleEvent> {
@@ -838,6 +1029,18 @@ impl ClusterRuntime {
             remote_bytes: c.remote_bytes.load(Ordering::Relaxed),
             scale_out_events: c.scale_outs.load(Ordering::Relaxed),
             scale_in_events: c.scale_ins.load(Ordering::Relaxed),
+            acked_marks: c.acked_marks.load(Ordering::Relaxed),
+            node_crashes: c.node_crashes.load(Ordering::Relaxed),
+            node_restarts: c.node_restarts.load(Ordering::Relaxed),
+            frames_lost_to_crashes: c.frames_lost.load(Ordering::Relaxed),
+            chaos_dropped_frames: c.chaos_drops.load(Ordering::Relaxed),
+            chaos_duplicated_frames: c.chaos_dups.load(Ordering::Relaxed),
+            chaos_delayed_frames: c.chaos_delays.load(Ordering::Relaxed),
+            recovered_transfers: c.recovered_transfers.load(Ordering::Relaxed),
+            replayed_frames: c.replayed_frames.load(Ordering::Relaxed),
+            replayed_bytes: c.replayed_bytes.load(Ordering::Relaxed),
+            resumed_from_mark_bytes: c.resumed_from_mark.load(Ordering::Relaxed),
+            retransmitted_transfers: c.retransmitted.load(Ordering::Relaxed),
         }
     }
 
@@ -1301,18 +1504,7 @@ fn ship(
                     .counters
                     .remote_bytes
                     .fetch_add(len as u64, Ordering::Relaxed);
-                let link = links[dst_node].as_ref().expect("cross-node link exists");
-                let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
-                depth.fetch_add(1, Ordering::Relaxed);
-                let sent = link.send(NetMsg::Whole {
-                    req: req.0,
-                    edge,
-                    key,
-                    payload: payload.clone(),
-                });
-                if sent.is_err() {
-                    depth.fetch_sub(1, Ordering::Relaxed);
-                }
+                ship_whole(inner, links, src_node, dst_node, req, edge, key, payload);
             }
         }
         PipeKind::LocalPipe => {
@@ -1325,41 +1517,34 @@ fn ship(
                 .counters
                 .remote_bytes
                 .fetch_add(len as u64, Ordering::Relaxed);
-            let link = links[dst_node].as_ref().expect("cross-node link exists");
-            let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
             if len == 0 {
                 // Nothing to stream: chunk_spans yields no spans for an
                 // empty payload, so ship one direct frame instead of a
                 // useless empty chunk.
-                depth.fetch_add(1, Ordering::Relaxed);
-                let sent = link.send(NetMsg::Whole {
-                    req: req.0,
-                    edge,
-                    key,
-                    payload: payload.clone(),
-                });
-                if sent.is_err() {
-                    depth.fetch_sub(1, Ordering::Relaxed);
-                }
+                ship_whole(inner, links, src_node, dst_node, req, edge, key, payload);
                 return;
             }
+            let link = links[dst_node].as_ref().expect("cross-node link exists");
+            let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
             let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
             let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
-            let mut last_mark = 0.0;
             for (lo, hi) in chunk_spans(len, inner.cfg.chunk_bytes) {
                 inner.counters.remote_chunks.fetch_add(1, Ordering::Relaxed);
-                let mark = cp.last_checkpoint(hi as f64);
-                if mark > last_mark {
-                    let new_marks = ((mark - last_mark) / cp.interval_bytes()).round() as u64;
-                    inner
-                        .counters
-                        .remote_checkpoints
-                        .fetch_add(new_marks, Ordering::Relaxed);
-                    last_mark = mark;
+                inner
+                    .counters
+                    .remote_checkpoints
+                    .fetch_add(cp.marks_crossed(lo as f64, hi as f64), Ordering::Relaxed);
+                // Zero-copy: each chunk frame is an O(1) view into the
+                // payload's shared allocation, not a copied sub-buffer —
+                // and so is the retained replay copy (a refcount bump).
+                let bytes = payload.slice(lo..hi);
+                if inner.cfg.recovery.enabled {
+                    retention_of(inner, src_node, dst_node)
+                        .lock()
+                        .expect("retention lock poisoned")
+                        .retain(transfer, req.0, edge, &key, len, true, lo, bytes.clone());
                 }
                 depth.fetch_add(1, Ordering::Relaxed);
-                // Zero-copy: each chunk frame is an O(1) view into the
-                // payload's shared allocation, not a copied sub-buffer.
                 let sent = link.send(NetMsg::Chunk {
                     req: req.0,
                     edge,
@@ -1367,7 +1552,7 @@ fn ship(
                     transfer,
                     offset: lo,
                     total: len,
-                    bytes: payload.slice(lo..hi),
+                    bytes,
                 });
                 if sent.is_err() {
                     depth.fetch_sub(1, Ordering::Relaxed);
@@ -1378,15 +1563,130 @@ fn ship(
     }
 }
 
-/// Destination-side handler of fabric messages arriving at `dst_node`.
-fn ingress(inner: &Inner, dst_node: usize, msg: NetMsg) {
+/// Ships one unchunked cross-node frame, registering it in the §6.2
+/// retention window first (when recovery is on) so a frame lost at a
+/// crashed node stays replayable.
+#[allow(clippy::too_many_arguments)]
+fn ship_whole(
+    inner: &Inner,
+    links: &[Option<Sender<NetMsg>>],
+    src_node: usize,
+    dst_node: usize,
+    req: ReqId,
+    edge: EdgeId,
+    key: String,
+    payload: &Bytes,
+) {
+    let link = links[dst_node].as_ref().expect("cross-node link exists");
+    let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
+    let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
+    if inner.cfg.recovery.enabled {
+        retention_of(inner, src_node, dst_node)
+            .lock()
+            .expect("retention lock poisoned")
+            .retain(
+                transfer,
+                req.0,
+                edge,
+                &key,
+                payload.len(),
+                false,
+                0,
+                payload.clone(),
+            );
+    }
+    depth.fetch_add(1, Ordering::Relaxed);
+    let sent = link.send(NetMsg::Whole {
+        req: req.0,
+        edge,
+        key,
+        transfer,
+        payload: payload.clone(),
+    });
+    if sent.is_err() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The retention window of the directed link `src → dst`. Only called
+/// with recovery enabled (the vector is empty otherwise).
+fn retention_of(inner: &Inner, src: usize, dst: usize) -> &Mutex<LinkRetention> {
+    &inner.retention[src * inner.nodes.len() + dst]
+}
+
+/// Fault-injection wrapper around the destination-side fabric handler.
+/// Runs on the shipper thread of link `src → dst`: it ticks the global
+/// logical event counter, executes due fault-plan kills, and applies the
+/// frame's fate (drop / duplicate / delayed wakeup) before handing the
+/// frame to [`handle_net_msg`]. With no fault plan, the whole wrapper is
+/// one `Option` check.
+fn chaos_ingress(inner: &Inner, src: usize, dst: usize, msg: NetMsg) {
+    if let Some(fs) = &inner.faults {
+        let frame = fs.next_frame();
+        for kill in fs.take_due_kills(frame) {
+            let report = crash_node_inner(inner, kill.node);
+            if report.was_up {
+                fs.schedule_restart(kill.node, Instant::now() + kill.outage);
+            }
+        }
+        match fs.plan().frame_fate(frame, src, dst) {
+            FrameFate::Deliver => {}
+            FrameFate::Drop => {
+                // Lost in flight. The frame stays in the sender's
+                // retention window (recovery retransmits it once its ack
+                // times out); without recovery it is simply gone.
+                inner.counters.chaos_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            FrameFate::Duplicate => {
+                inner.counters.chaos_dups.fetch_add(1, Ordering::Relaxed);
+                handle_net_msg(inner, src, dst, msg.clone());
+            }
+            FrameFate::Delay(d) => {
+                inner.counters.chaos_delays.fetch_add(1, Ordering::Relaxed);
+                if !inner.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(d);
+                }
+            }
+        }
+    }
+    handle_net_msg(inner, src, dst, msg);
+}
+
+/// What one chunk frame advanced a transfer to — decided under the sink
+/// stripe lock, acted on (delivery, acks) after it is released.
+enum ChunkProgress {
+    /// The request is no longer tracked on this node (collected or
+    /// forgotten): ack the transfer away so retention cannot leak.
+    Orphan,
+    /// The chunk completed the transfer.
+    Complete(Bytes),
+    /// Still incomplete; the contiguous prefix so far.
+    Prefix(usize),
+}
+
+/// Destination-side handler of fabric messages arriving at `dst_node`
+/// from `src` — the real ingress, shared by the live link path and the
+/// recovery replay path. A frame inbound to a crashed node is lost; a
+/// delivered frame is acknowledged back to the sender's retention window
+/// (whole frames on delivery, chunked streams per checkpoint mark their
+/// contiguous prefix crosses).
+fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
+    if inner.nodes[dst_node].down.load(Ordering::SeqCst) {
+        inner.counters.frames_lost.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     match msg {
         NetMsg::Whole {
             req,
             edge,
             key,
+            transfer,
             payload,
-        } => deliver(inner, dst_node, ReqId(req), edge, key, payload),
+        } => {
+            deliver(inner, dst_node, ReqId(req), edge, key, payload);
+            ack_complete(inner, src, dst_node, transfer);
+        }
         NetMsg::Chunk {
             req,
             edge,
@@ -1396,8 +1696,16 @@ fn ingress(inner: &Inner, dst_node: usize, msg: NetMsg) {
             total,
             bytes,
         } => {
-            let assembled = inner.nodes[dst_node].sink.with(req, |rs| {
-                let rs = rs?; // request already collected
+            let progress = inner.nodes[dst_node].sink.with(req, |rs| {
+                let Some(rs) = rs else {
+                    return ChunkProgress::Orphan;
+                };
+                if rs.done.contains(&(edge, transfer)) {
+                    // Late duplicate/retransmission of a finished
+                    // transfer: ack it away instead of re-creating a
+                    // ghost reassembler that could never complete.
+                    return ChunkProgress::Orphan;
+                }
                 let r = rs
                     .partial
                     .entry((edge, transfer))
@@ -1406,13 +1714,192 @@ fn ingress(inner: &Inner, dst_node: usize, msg: NetMsg) {
                 // transfer is adopted without a memcpy.
                 r.write_bytes(offset, bytes);
                 if r.complete() {
-                    rs.partial.remove(&(edge, transfer)).map(|r| r.into_bytes())
+                    rs.done.insert((edge, transfer));
+                    match rs.partial.remove(&(edge, transfer)) {
+                        Some(r) => ChunkProgress::Complete(r.into_bytes()),
+                        None => ChunkProgress::Orphan,
+                    }
                 } else {
-                    None
+                    ChunkProgress::Prefix(r.contiguous_prefix())
                 }
             });
-            if let Some(payload) = assembled {
-                deliver(inner, dst_node, ReqId(req), edge, key, payload);
+            match progress {
+                ChunkProgress::Orphan => ack_complete(inner, src, dst_node, transfer),
+                ChunkProgress::Complete(payload) => {
+                    deliver(inner, dst_node, ReqId(req), edge, key, payload);
+                    ack_complete(inner, src, dst_node, transfer);
+                }
+                ChunkProgress::Prefix(prefix) => {
+                    // Ack the last checkpoint mark the contiguous prefix
+                    // crossed: everything below it is §6.2-durable and
+                    // leaves the sender's retention window.
+                    let interval = inner.cfg.checkpoint_interval_bytes;
+                    let mark = (prefix / interval) * interval;
+                    if mark > 0 {
+                        ack_mark(inner, src, dst_node, transfer, mark);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Delivery acknowledgement: releases the sender's retention entry for a
+/// fully delivered (or orphaned) transfer. In-process, acks are a direct
+/// call back into the source link's retention window — the return path
+/// of the §6.2 checkpoint protocol.
+fn ack_complete(inner: &Inner, src: usize, dst: usize, transfer: u64) {
+    if !inner.cfg.recovery.enabled {
+        return;
+    }
+    retention_of(inner, src, dst)
+        .lock()
+        .expect("retention lock poisoned")
+        .ack_complete(transfer);
+}
+
+/// Checkpoint-mark acknowledgement: trims the sender's retention window
+/// for `transfer` to the durable `mark`.
+fn ack_mark(inner: &Inner, src: usize, dst: usize, transfer: u64, mark: usize) {
+    if !inner.cfg.recovery.enabled {
+        return;
+    }
+    let advanced = retention_of(inner, src, dst)
+        .lock()
+        .expect("retention lock poisoned")
+        .ack_mark(transfer, mark);
+    if let Some(prev) = advanced {
+        let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
+        inner.counters.acked_marks.fetch_add(
+            cp.marks_crossed(prev as f64, mark as f64),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Takes `node` down (§6.2 data-plane crash) and rolls its in-flight
+/// reassembly state back to the last checkpoint mark of each stream.
+/// See [`ClusterRuntime::crash_node`].
+fn crash_node_inner(inner: &Inner, node: usize) -> CrashReport {
+    let mut report = CrashReport {
+        node,
+        was_up: false,
+        inflight_transfers: 0,
+        durable_bytes: 0,
+    };
+    if inner.nodes[node].down.swap(true, Ordering::SeqCst) {
+        return report; // already down
+    }
+    report.was_up = true;
+    inner.counters.node_crashes.fetch_add(1, Ordering::Relaxed);
+    let interval = inner.cfg.checkpoint_interval_bytes;
+    inner.nodes[node].sink.for_each_mut(|_, rs| {
+        for r in rs.partial.values_mut() {
+            report.inflight_transfers += 1;
+            let mark = (r.contiguous_prefix() / interval) * interval;
+            r.rollback_to(mark);
+            report.durable_bytes += mark as u64;
+        }
+    });
+    report
+}
+
+/// Brings a crashed node back and (with recovery enabled) replays every
+/// incomplete inbound transfer from the senders' retention windows.
+/// See [`ClusterRuntime::restart_node`].
+fn restart_node_inner(inner: &Inner, node: usize) {
+    if !inner.nodes[node].down.swap(false, Ordering::SeqCst) {
+        return; // not down
+    }
+    inner.counters.node_restarts.fetch_add(1, Ordering::Relaxed);
+    if inner.cfg.recovery.enabled {
+        replay_links_into(inner, node, None);
+    }
+}
+
+/// Replays retained frames into `dst` from every other node's retention
+/// window: all incomplete transfers on the restart path (`older_than ==
+/// None`), or only ack-stale ones on the retransmit path. Frames stay
+/// retained until acked, so a replay lost to another fault is replayed
+/// again. The replay pays the link's serialization delay (skipped during
+/// shutdown), so recovery latency scales with the re-sent volume — which
+/// the checkpoint interval bounds.
+fn replay_links_into(inner: &Inner, dst: usize, older_than: Option<Duration>) {
+    let n = inner.nodes.len();
+    for src in 0..n {
+        if src == dst {
+            continue;
+        }
+        let summary = retention_of(inner, src, dst)
+            .lock()
+            .expect("retention lock poisoned")
+            .replay(Instant::now(), older_than);
+        if summary.transfers == 0 {
+            continue;
+        }
+        if older_than.is_none() {
+            inner
+                .counters
+                .recovered_transfers
+                .fetch_add(summary.transfers, Ordering::Relaxed);
+            inner
+                .counters
+                .resumed_from_mark
+                .fetch_add(summary.resumed_from_mark_bytes, Ordering::Relaxed);
+        } else {
+            inner
+                .counters
+                .retransmitted
+                .fetch_add(summary.transfers, Ordering::Relaxed);
+        }
+        for msg in summary.frames {
+            if let Some(bw) = inner.cfg.link.bandwidth_bytes_per_sec {
+                if bw > 0.0 && !inner.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_secs_f64(msg.wire_bytes() as f64 / bw));
+                }
+            }
+            inner
+                .counters
+                .replayed_frames
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .counters
+                .replayed_bytes
+                .fetch_add(msg.wire_bytes() as u64, Ordering::Relaxed);
+            handle_net_msg(inner, src, dst, msg);
+        }
+    }
+}
+
+/// The recovery daemon: a per-runtime background thread that executes
+/// fault-plan restarts once their outage elapsed, and retransmits
+/// transfers whose acks never arrived (frames lost in flight). Sleeps on
+/// the shutdown condvar like the janitors, so teardown never waits out a
+/// tick.
+fn recovery_daemon(inner: Arc<Inner>) {
+    let timeout = inner.cfg.recovery.retransmit_timeout;
+    let tick = (timeout / 2).clamp(Duration::from_millis(1), Duration::from_millis(25));
+    loop {
+        {
+            let guard = inner.shutdown_mx.lock().expect("shutdown lock poisoned");
+            let _ = inner
+                .shutdown_cv
+                .wait_timeout(guard, tick)
+                .expect("shutdown lock poisoned");
+        }
+        if inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(fs) = &inner.faults {
+            for node in fs.take_due_restarts(Instant::now()) {
+                restart_node_inner(&inner, node);
+            }
+        }
+        if inner.cfg.recovery.enabled {
+            for dst in 0..inner.nodes.len() {
+                if !inner.nodes[dst].down.load(Ordering::SeqCst) {
+                    replay_links_into(&inner, dst, Some(timeout));
+                }
             }
         }
     }

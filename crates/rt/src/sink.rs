@@ -8,6 +8,35 @@
 //! `Mutex`; a request id is hashed to a stripe, so operations on
 //! different requests proceed in parallel and a janitor sweep only ever
 //! holds one stripe at a time.
+//!
+//! # Examples
+//!
+//! Concurrent producers on distinct requests, with a gauge sweep running
+//! alongside — the exact access pattern of a node's data plane:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dataflower_rt::sink::ShardedSink;
+//!
+//! let sink: Arc<ShardedSink<Vec<u8>>> = Arc::new(ShardedSink::new(16));
+//! let producers: Vec<_> = (0..4u64)
+//!     .map(|req| {
+//!         let sink = Arc::clone(&sink);
+//!         std::thread::spawn(move || {
+//!             sink.insert(req, vec![req as u8; 64]); // park a payload
+//!             sink.with(req, |entry| entry.unwrap().push(0xff)); // one stripe lock
+//!         })
+//!     })
+//!     .collect();
+//! for p in producers {
+//!     p.join().unwrap();
+//! }
+//! // A sweep (the janitor / depth-gauge path) visits every entry while
+//! // holding only one stripe lock at a time.
+//! let parked_bytes = sink.fold(0usize, |acc, _req, payload| acc + payload.len());
+//! assert_eq!(parked_bytes, 4 * 65);
+//! assert_eq!(sink.remove(2).unwrap().len(), 65);
+//! ```
 
 use std::collections::HashMap;
 use std::sync::Mutex;

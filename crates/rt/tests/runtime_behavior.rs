@@ -576,3 +576,250 @@ fn disabled_autoscaler_keeps_pools_fixed() {
     assert_eq!(rt.replicas_of("start"), Some(1));
     rt.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint-based fault recovery (§6.2)
+// ---------------------------------------------------------------------
+
+use dataflower_rt::{FaultPlan, RecoveryConfig};
+
+/// Cluster config for the recovery tests: start and merge on node 0,
+/// the counters on node 1, tiny chunks and checkpoint intervals so even
+/// modest shards cross several marks, and a link slow enough that a
+/// crash can reliably land mid-transfer.
+fn recovery_cfg() -> ClusterRtConfig {
+    ClusterRtConfig {
+        chunk_bytes: 4 * 1024,
+        checkpoint_interval_bytes: 8 * 1024,
+        link: LinkConfig {
+            bandwidth_bytes_per_sec: Some(4.0 * 1024.0 * 1024.0),
+            ..LinkConfig::default()
+        },
+        recovery: RecoveryConfig {
+            enabled: true,
+            retransmit_timeout: Duration::from_millis(50),
+        },
+        ..ClusterRtConfig::default()
+    }
+}
+
+fn counts_on_node1(fan_out: usize) -> Placement {
+    let mut p = Placement::with_nodes(2)
+        .assign("start", 0)
+        .assign("merge", 0);
+    for i in 0..fan_out {
+        p = p.assign(format!("count_{i}"), 1);
+    }
+    p
+}
+
+/// Reference output of the wordcount used by the recovery tests,
+/// computed on a fault-free single-node runtime.
+fn wc_reference(fan_out: usize, corpus: &str) -> Bytes {
+    let rt = build_wc(fan_out);
+    let req = rt.invoke(vec![("text".into(), Bytes::from(corpus.to_owned()))]);
+    let out = rt.wait(req, Duration::from_secs(30)).unwrap();
+    rt.shutdown();
+    out[0].1.clone()
+}
+
+#[test]
+fn crash_mid_transfer_recovers_byte_identically_from_the_last_mark() {
+    let fan_out = 4;
+    let corpus = big_corpus();
+    let expected = wc_reference(fan_out, &corpus);
+
+    let rt = build_wc_cluster(fan_out, counts_on_node1(fan_out), recovery_cfg());
+    let req = rt.invoke(vec![("text".into(), Bytes::from(corpus.clone()))]);
+
+    // Wait until node 1 is mid-reassembly past at least one checkpoint
+    // mark, then crash it. The loop tolerates unlucky timing (a probe
+    // that lands between transfers restarts the node and tries again).
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let crash = loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never caught an in-flight checkpointed transfer"
+        );
+        if rt.node(1).inflight_transfers() > 0 && rt.stats().acked_marks > 0 {
+            let report = rt.crash_node(1);
+            if report.was_up && report.inflight_transfers > 0 && report.durable_bytes > 0 {
+                break report;
+            }
+            rt.restart_node(1);
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    assert!(rt.node(1).is_down());
+    std::thread::sleep(Duration::from_millis(10)); // outage: frames are lost
+    rt.restart_node(1);
+    assert!(!rt.node(1).is_down());
+
+    let outputs = rt.wait(req, Duration::from_secs(30)).expect("recovered");
+    assert_eq!(outputs[0].1, expected, "recovery must be byte-identical");
+
+    assert_eq!(crash.node, 1);
+    let stats = rt.stats();
+    assert!(stats.node_crashes >= 1);
+    assert!(stats.node_restarts >= stats.node_crashes);
+    assert!(stats.recovered_transfers > 0, "restart replayed nothing");
+    assert!(
+        stats.resumed_from_mark_bytes > 0,
+        "recovery restarted from byte 0 instead of the last checkpoint mark"
+    );
+    assert!(stats.replayed_bytes > 0);
+    assert!(
+        stats.frames_lost_to_crashes > 0,
+        "the outage lost no frames"
+    );
+    assert_retention_drains(&rt);
+    rt.shutdown();
+}
+
+/// Asserts the runtime's §6.2 retention windows drain to empty once the
+/// workload quiesces. Acks run on the shipper threads, so drain briefly
+/// lags `wait` returning; anything retained past a couple of retransmit
+/// rounds is a real leak.
+fn assert_retention_drains(rt: &ClusterRuntime) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rt.retained_transfers() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "retention leaked: {} transfer(s) never acked",
+            rt.retained_transfers()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn crash_without_recovery_wedges_the_request() {
+    let fan_out = 2;
+    let cfg = ClusterRtConfig {
+        link: LinkConfig {
+            bandwidth_bytes_per_sec: Some(1024.0 * 1024.0),
+            ..LinkConfig::default()
+        },
+        ..ClusterRtConfig::default() // recovery disabled
+    };
+    let rt = build_wc_cluster(fan_out, counts_on_node1(fan_out), cfg);
+    rt.crash_node(1);
+    let req = rt.invoke(vec![("text".into(), Bytes::from(big_corpus()))]);
+    // The shards die at the dead node's ingress and nothing brings them
+    // back: this is exactly the pre-recovery failure mode.
+    assert!(matches!(
+        rt.wait(req, Duration::from_millis(400)),
+        Err(RtError::Timeout)
+    ));
+    rt.restart_node(1);
+    rt.forget(req);
+    rt.shutdown();
+}
+
+#[test]
+fn seeded_fault_plan_chaos_stays_lossless_with_recovery() {
+    let fan_out = 4;
+    let corpus = big_corpus();
+    let expected = wc_reference(fan_out, &corpus);
+
+    let mut cfg = recovery_cfg();
+    cfg.faults = FaultPlan::seeded(2026)
+        .frame_chaos(0.08, 0.05)
+        .delay_frames(0.02, Duration::from_millis(1))
+        .kill_node(1, 30, Duration::from_millis(15));
+    let rt = build_wc_cluster(fan_out, counts_on_node1(fan_out), cfg);
+    let req = rt.invoke(vec![("text".into(), Bytes::from(corpus.clone()))]);
+    let outputs = rt
+        .wait(req, Duration::from_secs(60))
+        .expect("survived chaos");
+    assert_eq!(outputs[0].1, expected);
+
+    let stats = rt.stats();
+    assert!(stats.chaos_dropped_frames > 0, "the plan dropped nothing");
+    assert!(stats.node_crashes >= 1, "the plan's kill never fired");
+    assert_eq!(stats.node_crashes, stats.node_restarts);
+    assert_retention_drains(&rt);
+    rt.shutdown();
+}
+
+#[test]
+fn duplicated_final_chunk_leaves_no_ghost_reassembler() {
+    // `merge` needs a big chunked transfer plus a gate input that
+    // arrives late, so the request is still parked when the duplicate
+    // of the transfer's final chunk lands. A regression here re-creates
+    // a never-completing reassembler for the already-finished transfer
+    // (pinning a transfer-sized buffer and inflating the in-flight
+    // gauge); the `done` set must recognize and ack the duplicate away.
+    let mut b = dataflower_workflow::WorkflowBuilder::new("gated");
+    let src = b.function("src", dataflower_workflow::WorkModel::fixed(0.001));
+    let gate = b.function("gate", dataflower_workflow::WorkModel::fixed(0.001));
+    let merge = b.function("merge", dataflower_workflow::WorkModel::fixed(0.001));
+    b.client_input(src, "in", dataflower_workflow::SizeModel::Fixed(1024.0));
+    b.client_input(gate, "go", dataflower_workflow::SizeModel::Fixed(8.0));
+    b.edge(
+        src,
+        merge,
+        "big",
+        dataflower_workflow::SizeModel::Fixed(65536.0),
+    );
+    b.edge(
+        gate,
+        merge,
+        "late",
+        dataflower_workflow::SizeModel::Fixed(8.0),
+    );
+    b.client_output(merge, "out", dataflower_workflow::SizeModel::Fixed(8.0));
+    let wf = Arc::new(b.build().unwrap());
+
+    let mut cfg = recovery_cfg();
+    cfg.link.bandwidth_bytes_per_sec = None; // unshaped: transfer finishes fast
+    cfg.faults = FaultPlan::seeded(3).frame_chaos(0.0, 1.0); // duplicate EVERY frame
+    let rt = ClusterRuntimeBuilder::new(Arc::clone(&wf))
+        .placement(
+            Placement::with_nodes(2)
+                .assign("src", 0)
+                .assign("gate", 0)
+                .assign("merge", 1),
+        )
+        .config(cfg)
+        .register("src", |ctx| {
+            ctx.put("big", Bytes::from(vec![0xab; 64 * 1024]));
+        })
+        .register("gate", |ctx| {
+            // Keep the request parked while the transfer (and its
+            // duplicated final chunk) lands.
+            std::thread::sleep(Duration::from_millis(150));
+            ctx.put("late", Bytes::from_static(b"go"));
+        })
+        .register("merge", |ctx| {
+            assert_eq!(ctx.input("big").unwrap().len(), 64 * 1024);
+            ctx.put("out", Bytes::from_static(b"done"));
+        })
+        .start()
+        .unwrap();
+
+    let req = rt.invoke(vec![
+        ("in".into(), Bytes::from_static(b"x")),
+        ("go".into(), Bytes::from_static(b"y")),
+    ]);
+    // The big transfer parks in node 1's sink while `gate` sleeps; once
+    // it is parked, every chunk — including the duplicated final one —
+    // has been through ingress, and no ghost may remain in-flight.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while rt.node(1).parked_entries() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "transfer never parked"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        rt.node(1).inflight_transfers(),
+        0,
+        "a duplicated final chunk resurrected a completed transfer"
+    );
+    let outputs = rt.wait(req, Duration::from_secs(10)).unwrap();
+    assert_eq!(&*outputs[0].1, b"done");
+    assert_retention_drains(&rt);
+    rt.shutdown();
+}

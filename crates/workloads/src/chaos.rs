@@ -1,0 +1,288 @@
+//! Chaos scenarios on the live cluster runtime: the four paper
+//! benchmarks executed under a seeded [`FaultPlan`] — dropped, duplicated
+//! and delayed fabric frames — plus a mid-flight single-node crash and
+//! restart, with §6.2 checkpoint recovery healing all of it.
+//!
+//! The runner asserts the whole fault-tolerance contract, not just
+//! completion: every output must be **byte-identical** to a straight-line
+//! reference computation, the restart must actually have replayed
+//! incomplete transfers (`recovered_transfers > 0`), and the replay must
+//! have resumed from the last acknowledged checkpoint mark rather than
+//! byte 0 (`resumed_from_mark_bytes > 0`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dataflower_rt::{
+    Bytes, ClusterRtConfig, ClusterRuntime, CrashReport, FaultPlan, LinkConfig, Placement,
+    RecoveryConfig, RtStats,
+};
+
+use crate::benchmarks::Benchmark;
+use crate::harness::Scenario;
+use crate::live::{live_input, live_runtime, reference_output};
+
+/// Runtime tuning of the chaos scenario: a lowered 4 KiB direct-socket
+/// threshold plus small chunks (4 KiB) and checkpoint intervals (8 KiB)
+/// so every benchmark's intermediates stream through the remote pipe and
+/// cross several marks, links shaped to 4 MiB/s so a crash reliably
+/// lands mid-stream, §6.2 recovery enabled with a 50 ms retransmit
+/// timeout, and a seeded plan dropping 2 %, duplicating 2 % and delaying
+/// 1 % of fabric frames.
+fn chaos_rt_config(seed: u64) -> ClusterRtConfig {
+    ClusterRtConfig {
+        direct_threshold_bytes: 4 * 1024,
+        chunk_bytes: 4 * 1024,
+        checkpoint_interval_bytes: 8 * 1024,
+        link: LinkConfig {
+            bandwidth_bytes_per_sec: Some(4.0 * 1024.0 * 1024.0),
+            ..LinkConfig::default()
+        },
+        recovery: RecoveryConfig {
+            enabled: true,
+            retransmit_timeout: Duration::from_millis(50),
+        },
+        faults: FaultPlan::seeded(seed)
+            .frame_chaos(0.02, 0.02)
+            .delay_frames(0.01, Duration::from_millis(1)),
+        ..ClusterRtConfig::default()
+    }
+}
+
+/// Parameters of a [`Scenario::chaos_cluster`] run.
+#[derive(Debug, Clone)]
+pub struct ChaosClusterConfig {
+    /// Worker nodes in the topology (by-level spread, like the
+    /// `live_cluster` baseline).
+    pub nodes: usize,
+    /// Concurrent requests to drive through the workflow.
+    pub requests: usize,
+    /// Client input payload size in bytes.
+    pub payload_bytes: usize,
+    /// Seed of the frame-chaos decisions: copied into the fault plan's
+    /// seed (`rt.faults.seed`) when the run starts, so changing this
+    /// field alone draws a different chaos sequence.
+    pub seed: u64,
+    /// How long the crashed node stays down before restart (frames
+    /// inbound to it are lost for the whole outage).
+    pub outage: Duration,
+    /// Runtime tuning; the default enables recovery and a seeded fault
+    /// plan (see the module docs).
+    pub rt: ClusterRtConfig,
+    /// Per-request completion deadline.
+    pub timeout: Duration,
+    /// How long the runner hunts for a crash window with a checkpointed
+    /// in-flight transfer before giving up.
+    pub crash_deadline: Duration,
+}
+
+impl Default for ChaosClusterConfig {
+    /// 3 nodes, 2 requests of 256 KiB, seed 7, a 20 ms outage, chaos
+    /// runtime knobs, 60 s deadline, 20 s crash hunt.
+    fn default() -> Self {
+        let seed = 7;
+        ChaosClusterConfig {
+            nodes: 3,
+            requests: 2,
+            payload_bytes: 256 * 1024,
+            seed,
+            outage: Duration::from_millis(20),
+            rt: chaos_rt_config(seed),
+            timeout: Duration::from_secs(60),
+            crash_deadline: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Outcome of one chaos run: the usual live counters plus the crash
+/// story. Produced by [`Scenario::chaos_cluster`].
+#[derive(Debug, Clone)]
+pub struct ChaosClusterReport {
+    /// Short benchmark name (`wc`, `vid`, `svd`, `img`).
+    pub benchmark: &'static str,
+    /// Worker nodes in the topology.
+    pub nodes: usize,
+    /// Requests completed (all of them — a failed request panics).
+    pub requests: usize,
+    /// Wall-clock time from first invoke to last result, crash included.
+    pub elapsed: Duration,
+    /// Total client-output bytes received (all validated byte-for-byte).
+    pub output_bytes: usize,
+    /// The node that was crashed and restarted.
+    pub victim: usize,
+    /// What the crash found: in-flight transfers rolled back to their
+    /// last checkpoint mark, and the bytes those marks preserved.
+    pub crash: CrashReport,
+    /// Aggregated runtime counters, including the recovery story
+    /// (`recovered_transfers`, `replayed_bytes`,
+    /// `resumed_from_mark_bytes`, chaos frame counts).
+    pub stats: RtStats,
+}
+
+impl Scenario {
+    /// Runs `bench` live on an N-node [`ClusterRuntime`] under a seeded
+    /// [`FaultPlan`] (dropped / duplicated / delayed fabric frames),
+    /// crashes one node mid-flight once it holds a checkpointed
+    /// in-flight transfer, restarts it after [`ChaosClusterConfig::outage`],
+    /// and validates every output byte-for-byte against a straight-line
+    /// reference computation.
+    ///
+    /// The victim is the node hosting the first post-entry dependency
+    /// level (node 1 under the by-level spread) — in every benchmark the
+    /// node receiving the large fan-out intermediates over the streaming
+    /// remote pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request misses its deadline, any output diverges from
+    /// the reference, no crash window with a checkpoint-marked transfer
+    /// opens within [`ChaosClusterConfig::crash_deadline`], the restart
+    /// replays nothing (`recovered_transfers == 0`), or recovery resumed
+    /// from byte 0 instead of a mark (`resumed_from_mark_bytes == 0`).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use dataflower_workloads::{Benchmark, ChaosClusterConfig, Scenario};
+    ///
+    /// let report = Scenario::chaos_cluster(Benchmark::Wc, &ChaosClusterConfig::default());
+    /// assert!(report.stats.recovered_transfers > 0);
+    /// assert!(report.stats.resumed_from_mark_bytes > 0);
+    /// ```
+    pub fn chaos_cluster(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
+        assert!(cfg.nodes >= 2, "chaos_cluster needs a node to crash");
+        let wf = bench.workflow();
+        let placement = Placement::by_level(&wf, cfg.nodes);
+        let mut rt_cfg = cfg.rt.clone();
+        rt_cfg.faults.seed = cfg.seed;
+        let rt = live_runtime(bench, Arc::clone(&wf), placement, rt_cfg);
+        let (input_name, input) = live_input(bench, cfg.payload_bytes);
+        let expected = reference_output(bench, &input);
+
+        // Node 1 hosts the first post-entry level under the by-level
+        // spread: in all four benchmarks that is the node receiving the
+        // large fan-out intermediates over the streaming remote pipe, so
+        // a crash there always damages checkpoint-marked streams. (Other
+        // nodes may only receive sub-threshold direct-socket frames —
+        // e.g. wordcount's merge node — where there is no mark to resume
+        // from and nothing for this scenario to prove.)
+        let victim = 1;
+
+        let t0 = Instant::now();
+        let input = Bytes::from(input);
+        let reqs: Vec<_> = (0..cfg.requests.max(1))
+            .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
+            .collect();
+
+        let crash = hunt_crash(&rt, victim, cfg.crash_deadline);
+        std::thread::sleep(cfg.outage); // frames inbound to the victim die here
+        rt.restart_node(victim);
+
+        let mut output_bytes = 0;
+        let requests = reqs.len();
+        for req in reqs {
+            let outputs = rt
+                .wait(req, cfg.timeout)
+                .unwrap_or_else(|e| panic!("chaos {bench} request failed: {e}"));
+            assert_eq!(
+                outputs.len(),
+                1,
+                "chaos {bench}: expected one client output"
+            );
+            assert_eq!(
+                &*outputs[0].1,
+                &expected[..],
+                "chaos {bench} output diverged from the reference computation"
+            );
+            output_bytes += outputs[0].1.len();
+        }
+        let elapsed = t0.elapsed();
+        let stats = rt.stats();
+        assert!(
+            stats.recovered_transfers > 0,
+            "chaos {bench}: the restart replayed no transfers"
+        );
+        assert!(
+            stats.resumed_from_mark_bytes > 0,
+            "chaos {bench}: recovery resumed from byte 0 instead of a checkpoint mark"
+        );
+        assert!(
+            stats.frames_lost_to_crashes > 0,
+            "chaos {bench}: the outage lost no frames"
+        );
+        let nodes = rt.node_count();
+        rt.shutdown();
+        ChaosClusterReport {
+            benchmark: bench.name(),
+            nodes,
+            requests,
+            elapsed,
+            output_bytes,
+            victim,
+            crash,
+            stats,
+        }
+    }
+}
+
+/// Crashes `victim` once it is mid-reassembly past at least one acked
+/// checkpoint mark, so the subsequent restart demonstrably resumes from
+/// the mark. Probes that land between transfers (or before any mark was
+/// crossed) restart the node and try again.
+fn hunt_crash(rt: &ClusterRuntime, victim: usize, deadline: Duration) -> CrashReport {
+    let give_up = Instant::now() + deadline;
+    loop {
+        assert!(
+            Instant::now() < give_up,
+            "chaos_cluster: no crash window with a checkpoint-marked in-flight \
+             transfer opened on node {victim} — slow the links or grow the payload"
+        );
+        if rt.node(victim).inflight_transfers() > 0 && rt.stats().acked_marks > 0 {
+            let report = rt.crash_node(victim);
+            if report.was_up && report.inflight_transfers > 0 && report.durable_bytes > 0 {
+                return report;
+            }
+            rt.restart_node(victim);
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_recover_byte_identically_under_chaos() {
+        for bench in Benchmark::ALL {
+            let cfg = ChaosClusterConfig {
+                payload_bytes: 128 * 1024,
+                requests: 1,
+                ..ChaosClusterConfig::default()
+            };
+            let report = Scenario::chaos_cluster(bench, &cfg);
+            assert_eq!(report.requests, 1);
+            assert!(report.output_bytes > 0, "{bench}: empty output");
+            assert!(report.crash.inflight_transfers > 0);
+            assert!(report.crash.durable_bytes > 0);
+            assert!(report.stats.node_crashes >= 1);
+            assert!(report.stats.replayed_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_draw_distinct_chaos_and_still_recover() {
+        for seed in [1, 2] {
+            // `seed` alone is enough: chaos_cluster re-seeds the plan.
+            let cfg = ChaosClusterConfig {
+                seed,
+                payload_bytes: 96 * 1024,
+                requests: 1,
+                ..ChaosClusterConfig::default()
+            };
+            let report = Scenario::chaos_cluster(Benchmark::Svd, &cfg);
+            assert_eq!(report.victim, 1);
+            assert!(report.stats.recovered_transfers > 0);
+        }
+    }
+}

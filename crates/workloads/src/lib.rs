@@ -20,7 +20,10 @@
 //!   the elastic-scaling scenarios [`Scenario::bursty_cluster`] /
 //!   [`Scenario::skewed_fanout`], which drive open-loop bursts and
 //!   Zipf-skewed fan-outs through the live runtime with the
-//!   pressure-aware autoscaler enabled.
+//!   pressure-aware autoscaler enabled, and the fault-tolerance
+//!   scenario [`Scenario::chaos_cluster`], which crashes a node
+//!   mid-flight under a seeded fault plan and asserts byte-identical
+//!   recovery from the §6.2 checkpoint marks.
 //!
 //! # Examples
 //!
@@ -42,12 +45,14 @@
 #![warn(missing_docs)]
 
 mod benchmarks;
+mod chaos;
 mod elastic;
 mod harness;
 mod live;
 mod system;
 
 pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
+pub use chaos::{ChaosClusterConfig, ChaosClusterReport};
 pub use elastic::{BurstyClusterConfig, ElasticReport, SkewedFanoutConfig};
 pub use harness::Scenario;
 pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};

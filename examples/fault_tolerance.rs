@@ -66,8 +66,15 @@ fn main() {
         report.primary().latency.mean(),
         engine.redo_count()
     );
+    // The engine's fault timeline mirrors the live runtime's recovery
+    // counters: one Fault event when the injected fault hit, one Redo
+    // when the invocation was re-queued, in simulated-time order.
+    for (at, ev) in engine.fault_timeline() {
+        println!("  t={:.3}s  {ev:?}", at.as_secs_f64());
+    }
     assert_eq!(report.primary().completed, 1, "request must still complete");
     assert_eq!(engine.redo_count(), 1);
+    assert_eq!(engine.fault_timeline().len(), 2, "one fault, one redo");
     assert!(report.primary().latency.mean() > clean);
     println!("request completed despite the fault — at-least-once semantics hold");
 }

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repo's top-level docs.
+#
+# Verifies, for every inline markdown link in the checked files:
+#   * relative file targets exist (resolved against the linking file's
+#     directory);
+#   * anchor targets (`#heading` or `file.md#heading`) resolve to a real
+#     heading of the target file, using GitHub's slug rules (lowercase,
+#     punctuation stripped, spaces to hyphens).
+#
+# External links (http/https/mailto) are skipped — the check must stay
+# offline. Exit code is non-zero when any link is broken.
+#
+#   ./scripts/linkcheck.sh                 # default file set
+#   ./scripts/linkcheck.sh FILE.md ...     # explicit file set
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md CHANGES.md)
+fi
+
+failures=0
+checked=0
+
+# GitHub-style anchor slug of one heading line (input: heading text
+# without the leading #'s).
+slug() {
+    printf '%s' "$1" \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+# All heading slugs of a markdown file, one per line. ATX headings only
+# (that is all these docs use); fenced code blocks are excluded so a
+# `# comment` inside ```bash``` is not mistaken for a heading.
+heading_slugs() {
+    awk '
+        /^```/ { fence = !fence; next }
+        !fence && /^##* / { sub(/^#+ /, ""); print }
+    ' "$1" | while IFS= read -r h; do
+        slug "$h"
+        printf '\n'
+    done
+}
+
+for file in "${files[@]}"; do
+    if [ ! -f "$file" ]; then
+        echo "linkcheck: checked file \`$file\` does not exist" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    dir=$(dirname "$file")
+    # Inline links: every `](target)` occurrence outside code fences.
+    targets=$(awk '/^```/ { fence = !fence } !fence' "$file" \
+        | grep -o ']([^)]*)' | sed -e 's/^](//' -e 's/)$//')
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        checked=$((checked + 1))
+        path="${target%%#*}"
+        anchor=""
+        case "$target" in
+            *'#'*) anchor="${target#*#}" ;;
+        esac
+        if [ -n "$path" ]; then
+            resolved="$dir/$path"
+            if [ ! -e "$resolved" ]; then
+                echo "linkcheck: $file: broken path \`$target\` ($resolved missing)" >&2
+                failures=$((failures + 1))
+                continue
+            fi
+        else
+            resolved="$file"
+        fi
+        if [ -n "$anchor" ]; then
+            case "$resolved" in
+                *.md)
+                    if ! heading_slugs "$resolved" | grep -qx "$anchor"; then
+                        echo "linkcheck: $file: anchor \`#$anchor\` not found in $resolved" >&2
+                        failures=$((failures + 1))
+                    fi
+                    ;;
+                *)
+                    echo "linkcheck: $file: anchor on non-markdown target \`$target\`" >&2
+                    failures=$((failures + 1))
+                    ;;
+            esac
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "linkcheck: $failures broken link(s) across ${#files[@]} file(s)" >&2
+    exit 1
+fi
+echo "linkcheck: $checked link(s) across ${#files[@]} file(s) all resolve"
