@@ -39,8 +39,9 @@ use dataflower_rt::{chunk_spans, Bytes, Reassembler, ShardedSink};
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
-    Benchmark, BurstyClusterConfig, ChaosClusterConfig, LiveClusterConfig, LivePlacement, Scenario,
-    SkewedFanoutConfig, SystemKind,
+    bench_input, launch_bench_cluster, serve_worker_if_spawned, Benchmark, BurstyClusterConfig,
+    ChaosClusterConfig, LiveClusterConfig, LivePlacement, Scenario, SkewedFanoutConfig, SystemKind,
+    TcpProfile,
 };
 
 /// Default timed iterations per benchmark (median-of-K).
@@ -51,6 +52,11 @@ const DEFAULT_RUNS: usize = 5;
 const EXIT_REGRESSION: i32 = 3;
 
 fn main() {
+    // The socket_fabric group launches worker-process TCP clusters that
+    // re-execute this binary (argv-free, env-tagged) as the workers;
+    // those re-executions enter here and never return.
+    serve_worker_if_spawned();
+
     let mut filters: Vec<String> = Vec::new();
     let mut group_filters: Vec<String> = Vec::new();
     let mut runs = DEFAULT_RUNS;
@@ -132,6 +138,7 @@ fn main() {
     elastic_benchmarks(&harness);
     recovery_benchmarks(&harness);
     data_plane_benchmarks(&harness);
+    socket_fabric_benchmarks(&harness);
     substrate_benchmarks(&harness);
 
     if let Some(path) = &json_out {
@@ -260,6 +267,100 @@ fn recovery_benchmarks(h: &Harness) {
         let out = r.into_bytes();
         assert_eq!(out.len(), payload.len());
         out
+    });
+}
+
+/// TCP fabric benchmarks: the versioned wire format and the
+/// worker-process socket transport. The codec case isolates
+/// encode+decode CPU cost; the loopback case streams the same frames
+/// through a real kernel socket; the cluster case is the full
+/// worker-process runtime end to end — spawn, Hello, stream, ack,
+/// shutdown — pinning the process-mode overhead the in-process fabric
+/// avoids.
+fn socket_fabric_benchmarks(h: &Harness) {
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    use dataflower_rt::wire::encode_parts;
+    use dataflower_rt::{Decoder, Frame};
+
+    /// 1 MiB of payload as 16 KiB chunk frames, encoded once.
+    fn session_bytes() -> (Vec<u8>, usize) {
+        let payload = Bytes::from((0..1024 * 1024).map(|i| i as u8).collect::<Vec<_>>());
+        let mut session = Vec::new();
+        let mut frames = 0;
+        for (lo, hi) in chunk_spans(payload.len(), 16 * 1024) {
+            let frame = Frame::Chunk {
+                req: 1,
+                edge: 2,
+                key: "data@producer".into(),
+                transfer: 3,
+                offset: lo as u64,
+                total: payload.len() as u64,
+                bytes: payload.slice(lo..hi),
+            };
+            let (head, body) = encode_parts(&frame);
+            session.extend_from_slice(&head);
+            if let Some(b) = body {
+                session.extend_from_slice(&b);
+            }
+            frames += 1;
+        }
+        (session, frames)
+    }
+
+    h.run("socket_fabric", "wire_codec_roundtrip_1mib", || {
+        let (session, frames) = session_bytes();
+        let mut dec = Decoder::new();
+        let mut got = 0usize;
+        for piece in session.chunks(61) {
+            dec.feed(piece);
+            while let Some(f) = dec.next_frame().expect("codec stream decodes") {
+                assert!(matches!(f, Frame::Chunk { .. }));
+                got += 1;
+            }
+        }
+        assert_eq!(got, frames);
+        got
+    });
+
+    h.run("socket_fabric", "tcp_loopback_stream_1mib", || {
+        let (session, frames) = session_bytes();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("listener addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect loopback");
+            s.set_nodelay(true).expect("nodelay");
+            s.write_all(&session).expect("stream session");
+        });
+        let (mut conn, _) = listener.accept().expect("accept loopback");
+        let mut dec = Decoder::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut got = 0usize;
+        while got < frames {
+            let n = conn.read(&mut buf).expect("read loopback");
+            assert!(n > 0, "EOF mid-stream");
+            dec.feed(&buf[..n]);
+            while let Some(_f) = dec.next_frame().expect("wire stream decodes") {
+                got += 1;
+            }
+        }
+        writer.join().expect("writer thread");
+        got
+    });
+
+    h.run("socket_fabric", "tcp_cluster_wc_64k", || {
+        let cluster = launch_bench_cluster(Benchmark::Wc, 3, 0, TcpProfile::Plain)
+            .expect("launch TCP cluster");
+        let (name, input) = bench_input(Benchmark::Wc, 64 * 1024);
+        let req = cluster.invoke(vec![(name.to_owned(), Bytes::from(input))]);
+        let outputs = cluster
+            .wait(req, std::time::Duration::from_secs(60))
+            .expect("TCP cluster request");
+        assert!(!outputs.is_empty() && !outputs[0].1.is_empty());
+        let len = outputs[0].1.len();
+        cluster.shutdown();
+        len
     });
 }
 

@@ -97,8 +97,10 @@ impl Delta {
 pub struct Comparison {
     /// Benchmarks present on both sides, in current-run order.
     pub deltas: Vec<Delta>,
-    /// Benchmarks this run produced that the baseline lacks (new cases —
-    /// informational, never a failure).
+    /// Benchmarks this run produced that the baseline lacks (new cases).
+    /// **Warned about by name, never a failure** — but never silent
+    /// either: an un-gated benchmark is invisible to the regression
+    /// gate until its entry lands in `BENCH_BASELINE.json`.
     pub new_benchmarks: Vec<String>,
     /// Baseline benchmarks this run did not produce — a renamed/removed
     /// group, or a filtered invocation. **Warned about, never a
@@ -116,9 +118,11 @@ impl Comparison {
             .collect()
     }
 
-    /// Warning lines for baseline entries this run did not produce —
-    /// printed to stderr by the bench binary so a stale baseline is
-    /// visible without failing the gate.
+    /// Warning lines for the two kinds of baseline drift — baseline
+    /// entries this run did not produce, and benchmarks this run
+    /// produced that the baseline does not gate. Printed to stderr by
+    /// the bench binary so a stale baseline is visible (by name, not as
+    /// a silent skip) without failing the gate.
     pub fn warnings(&self) -> Vec<String> {
         self.missing
             .iter()
@@ -128,6 +132,12 @@ impl Comparison {
                      (renamed, removed, or filtered out); not counted as a regression"
                 )
             })
+            .chain(self.new_benchmarks.iter().map(|id| {
+                format!(
+                    "warning: benchmark `{id}` has no baseline entry — it is NOT \
+                     gated for regressions; add it to BENCH_BASELINE.json"
+                )
+            }))
             .collect()
     }
 }
@@ -331,10 +341,26 @@ pub fn render_markdown(cmp: &Comparison, tolerance_pct: f64) -> String {
     ));
     if !cmp.missing.is_empty() {
         out.push_str(&format!(
-            "\n⚠ {} baseline entr{} missing from this run (warned, not failed).\n",
+            "\n⚠ {} baseline entr{} missing from this run (warned, not failed):\n",
             cmp.missing.len(),
             if cmp.missing.len() == 1 { "y" } else { "ies" },
         ));
+        for id in &cmp.missing {
+            out.push_str(&format!("- `{id}`\n"));
+        }
+    }
+    if !cmp.new_benchmarks.is_empty() {
+        // Named, not just counted: a benchmark without a baseline entry
+        // is invisible to the gate, and a reviewer scanning the step
+        // summary must see *which* ones run un-gated.
+        out.push_str(&format!(
+            "\n⚠ {} benchmark(s) in this run have no baseline entry and are \
+             **not gated** — add them to `BENCH_BASELINE.json`:\n",
+            cmp.new_benchmarks.len(),
+        ));
+        for id in &cmp.new_benchmarks {
+            out.push_str(&format!("- `{id}`\n"));
+        }
     }
     out
 }
@@ -430,6 +456,52 @@ mod tests {
         assert_eq!(warnings.len(), 2);
         assert!(warnings[0].contains("warning") && warnings[0].contains("g/removed"));
         assert!(render(&cmp, 100.0).contains("warning: in baseline, not in this run"));
+    }
+
+    #[test]
+    fn ungated_benchmarks_are_named_in_warnings_and_markdown() {
+        // A run that is a strict superset of the baseline: the extra
+        // benchmarks must be warned about BY NAME — in the stderr
+        // warnings and in the markdown step summary — never silently
+        // skipped, and never a failure.
+        let baseline = vec![BaselineEntry {
+            id: "g/kept".into(),
+            median_ns: 1_000_000,
+        }];
+        let current = vec![
+            result("g", "kept", 1_100_000),
+            result("g", "fresh", 10_000),
+            result("socket_fabric", "tcp_transfer", 20_000),
+        ];
+        let cmp = compare(&baseline, &current);
+        assert_eq!(
+            cmp.new_benchmarks,
+            vec![
+                "g/fresh".to_string(),
+                "socket_fabric/tcp_transfer".to_string()
+            ]
+        );
+        assert!(cmp.regressions(100.0).is_empty(), "new must not fail");
+
+        let warnings = cmp.warnings();
+        assert_eq!(warnings.len(), 2);
+        assert!(
+            warnings.iter().any(|w| w.contains("`g/fresh`")
+                && w.contains("no baseline entry")
+                && w.contains("BENCH_BASELINE.json")),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("`socket_fabric/tcp_transfer`")),
+            "{warnings:?}"
+        );
+
+        let md = render_markdown(&cmp, 100.0);
+        assert!(md.contains("not gated"), "{md}");
+        assert!(md.contains("- `g/fresh`"), "{md}");
+        assert!(md.contains("- `socket_fabric/tcp_transfer`"), "{md}");
     }
 
     #[test]

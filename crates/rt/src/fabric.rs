@@ -132,6 +132,25 @@ pub(crate) enum NetMsg {
         total: usize,
         bytes: Bytes,
     },
+    /// Destination-side acknowledgement of a durable checkpoint mark of
+    /// a chunked transfer, flowing back to the sender so its retention
+    /// window can be trimmed. The in-process fabric applies acks as
+    /// direct function calls and never enqueues this variant; the TCP
+    /// transport carries it as a real frame.
+    AckMark {
+        /// The acknowledged transfer.
+        transfer: u64,
+        /// The durable contiguous prefix (a checkpoint-mark multiple).
+        mark: usize,
+    },
+    /// Destination-side acknowledgement that a transfer was fully
+    /// delivered (or recognized as an orphan); releases the sender's
+    /// retention entry. Like [`NetMsg::AckMark`], only the TCP transport
+    /// puts this on the wire.
+    AckComplete {
+        /// The acknowledged transfer.
+        transfer: u64,
+    },
 }
 
 impl NetMsg {
@@ -139,13 +158,15 @@ impl NetMsg {
         match self {
             NetMsg::Whole { payload, .. } => payload.len(),
             NetMsg::Chunk { bytes, .. } => bytes.len(),
+            NetMsg::AckMark { .. } | NetMsg::AckComplete { .. } => 0,
         }
     }
 
-    fn starts_transfer(&self) -> bool {
+    pub(crate) fn starts_transfer(&self) -> bool {
         match self {
             NetMsg::Whole { .. } => true,
             NetMsg::Chunk { offset, .. } => *offset == 0,
+            NetMsg::AckMark { .. } | NetMsg::AckComplete { .. } => false,
         }
     }
 }
@@ -540,6 +561,17 @@ impl LinkRetention {
     pub fn len(&self) -> usize {
         self.transfers.len()
     }
+
+    /// True when some chunked transfer has crossed at least one acked
+    /// checkpoint mark but still has at least `margin` bytes un-acked —
+    /// the crash-window probe of the TCP chaos scenario: killing the
+    /// destination now guarantees a restart that resumes from a mark
+    /// rather than byte 0.
+    pub fn has_acked_partial(&self, margin: usize) -> bool {
+        self.transfers
+            .values()
+            .any(|t| t.chunked && t.acked > 0 && t.total - t.acked >= margin)
+    }
 }
 
 /// Destination-side hook a link delivers into: the cluster runtime's
@@ -782,13 +814,46 @@ mod tests {
             .iter()
             .map(|m| match m {
                 NetMsg::Chunk { offset, .. } => *offset,
-                NetMsg::Whole { .. } => panic!("chunked transfer"),
+                _ => panic!("chunked transfer"),
             })
             .collect();
         assert_eq!(offsets, vec![40, 50, 60, 70, 80, 90]);
         assert!(ret.ack_complete(7));
         assert_eq!(ret.len(), 0);
         assert!(!ret.ack_complete(7));
+    }
+
+    #[test]
+    fn acked_partial_probe_needs_a_mark_and_margin() {
+        use dataflower_workflow::EdgeId;
+        let edge = EdgeId::from_index(0);
+        let payload = Bytes::from(vec![0u8; 100]);
+        let mut ret = LinkRetention::default();
+        for (lo, hi) in chunk_spans(payload.len(), 10) {
+            ret.retain(3, 1, edge, "k", 100, true, lo, payload.slice(lo..hi));
+        }
+        // No mark acked yet: not a usable crash window.
+        assert!(!ret.has_acked_partial(10));
+        ret.ack_mark(3, 40);
+        assert!(ret.has_acked_partial(60), "60 bytes remain un-acked");
+        assert!(!ret.has_acked_partial(61), "margin larger than remainder");
+        // An un-chunked Whole frame never qualifies regardless of acks.
+        let mut ret = LinkRetention::default();
+        ret.retain(4, 1, edge, "k", 100, false, 0, payload.clone());
+        assert!(!ret.has_acked_partial(1));
+    }
+
+    #[test]
+    fn ack_frames_cost_no_wire_bytes_and_start_nothing() {
+        let ack = NetMsg::AckMark {
+            transfer: 9,
+            mark: 64,
+        };
+        assert_eq!(ack.wire_bytes(), 0);
+        assert!(!ack.starts_transfer());
+        let done = NetMsg::AckComplete { transfer: 9 };
+        assert_eq!(done.wire_bytes(), 0);
+        assert!(!done.starts_transfer());
     }
 
     #[test]

@@ -42,6 +42,13 @@
 //! evaluation figures and real execution — single-node, co-located or
 //! spread, by swapping the [`Placement`].
 //!
+//! When the in-process fabric is not enough — kill-9 fault tolerance,
+//! real serialization costs — the [`transport`] module promotes every
+//! directed link to a real TCP socket speaking the versioned [`wire`]
+//! frame format, with one OS process per node ([`TcpCluster`]) and the
+//! same §6.2 retention/ack protocol carried as explicit ack frames. The
+//! in-process fabric remains the default and the fast path.
+//!
 //! See [`RuntimeBuilder`] (single node) and [`ClusterRuntimeBuilder`]
 //! (multi-node) for complete runnable examples,
 //! `examples/multinode_live.rs` for the paper benchmarks on a three-node
@@ -61,6 +68,8 @@ pub mod fault;
 mod node;
 mod runtime;
 pub mod sink;
+pub mod transport;
+pub mod wire;
 
 pub use autoscale::{AutoscaleConfig, ScaleDirection, ScaleEvent, ScalePolicy};
 pub use bytes::Bytes;
@@ -74,3 +83,5 @@ pub use runtime::{
     RtConfig, RtStats, Runtime, RuntimeBuilder,
 };
 pub use sink::ShardedSink;
+pub use transport::{worker_env, TcpCluster, WorkerEnv};
+pub use wire::{Decoder, Frame, WireError};

@@ -35,7 +35,7 @@
 //! paper's pressure-aware scale-out, with a cool-down-guarded scale-in
 //! once the DLU drained.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use dataflower::{choose_pipe, pressure_secs, CheckpointSchedule, PipeKind};
 use dataflower_metrics::Timeline;
-use dataflower_workflow::{EdgeId, Endpoint, Workflow};
+use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow};
 
 use crate::autoscale::{AutoscaleConfig, FnScale, ScaleDirection, ScaleEvent, ScalePolicy};
 use crate::bytes::Bytes;
@@ -234,6 +234,82 @@ impl RtStats {
     pub fn inter_function_transfers(&self) -> u64 {
         self.direct_socket_transfers + self.local_pipe_transfers + self.remote_pipe_transfers
     }
+
+    /// Flattens the counters into a fixed-order vector — the payload of
+    /// the worker `stats` control RPC. Inverse of [`RtStats::from_vec`].
+    pub(crate) fn to_vec(&self) -> Vec<u64> {
+        vec![
+            self.puts,
+            self.deliveries,
+            self.invocations,
+            self.spills,
+            self.direct_socket_transfers,
+            self.local_pipe_transfers,
+            self.remote_pipe_transfers,
+            self.remote_chunks,
+            self.remote_checkpoints,
+            self.remote_bytes,
+            self.scale_out_events,
+            self.scale_in_events,
+            self.acked_marks,
+            self.node_crashes,
+            self.node_restarts,
+            self.frames_lost_to_crashes,
+            self.chaos_dropped_frames,
+            self.chaos_duplicated_frames,
+            self.chaos_delayed_frames,
+            self.recovered_transfers,
+            self.replayed_frames,
+            self.replayed_bytes,
+            self.resumed_from_mark_bytes,
+            self.retransmitted_transfers,
+        ]
+    }
+
+    /// Rebuilds stats from [`RtStats::to_vec`]'s ordering; missing
+    /// trailing entries (an older worker) read as zero.
+    pub(crate) fn from_vec(v: &[u64]) -> RtStats {
+        let at = |i: usize| v.get(i).copied().unwrap_or(0);
+        RtStats {
+            puts: at(0),
+            deliveries: at(1),
+            invocations: at(2),
+            spills: at(3),
+            direct_socket_transfers: at(4),
+            local_pipe_transfers: at(5),
+            remote_pipe_transfers: at(6),
+            remote_chunks: at(7),
+            remote_checkpoints: at(8),
+            remote_bytes: at(9),
+            scale_out_events: at(10),
+            scale_in_events: at(11),
+            acked_marks: at(12),
+            node_crashes: at(13),
+            node_restarts: at(14),
+            frames_lost_to_crashes: at(15),
+            chaos_dropped_frames: at(16),
+            chaos_duplicated_frames: at(17),
+            chaos_delayed_frames: at(18),
+            recovered_transfers: at(19),
+            replayed_frames: at(20),
+            replayed_bytes: at(21),
+            resumed_from_mark_bytes: at(22),
+            retransmitted_transfers: at(23),
+        }
+    }
+
+    /// Adds `other`'s counters field-wise — how the coordinator
+    /// aggregates per-worker stats into one cluster view.
+    pub(crate) fn merge(&mut self, other: &RtStats) {
+        let mine = self.to_vec();
+        let theirs = other.to_vec();
+        let summed: Vec<u64> = mine
+            .iter()
+            .zip(theirs.iter())
+            .map(|(a, b)| a.saturating_add(*b))
+            .collect();
+        *self = RtStats::from_vec(&summed);
+    }
 }
 
 /// What [`ClusterRuntime::crash_node`] found when it took the node down
@@ -262,7 +338,7 @@ pub(crate) struct DluMsg {
     pub payload: Bytes,
 }
 
-enum FluMsg {
+pub(crate) enum FluMsg {
     Invoke {
         req: ReqId,
         inputs: BTreeMap<String, Bytes>,
@@ -283,51 +359,108 @@ struct ClientReqState {
 }
 
 #[derive(Default)]
-struct Counters {
-    puts: AtomicU64,
-    deliveries: AtomicU64,
-    invocations: AtomicU64,
-    spills: AtomicU64,
-    direct_socket: AtomicU64,
-    local_pipe: AtomicU64,
-    remote_pipe: AtomicU64,
-    remote_chunks: AtomicU64,
-    remote_checkpoints: AtomicU64,
-    remote_bytes: AtomicU64,
-    scale_outs: AtomicU64,
-    scale_ins: AtomicU64,
-    acked_marks: AtomicU64,
-    node_crashes: AtomicU64,
-    node_restarts: AtomicU64,
-    frames_lost: AtomicU64,
-    chaos_drops: AtomicU64,
-    chaos_dups: AtomicU64,
-    chaos_delays: AtomicU64,
-    recovered_transfers: AtomicU64,
-    replayed_frames: AtomicU64,
-    replayed_bytes: AtomicU64,
-    resumed_from_mark: AtomicU64,
-    retransmitted: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) puts: AtomicU64,
+    pub(crate) deliveries: AtomicU64,
+    pub(crate) invocations: AtomicU64,
+    pub(crate) spills: AtomicU64,
+    pub(crate) direct_socket: AtomicU64,
+    pub(crate) local_pipe: AtomicU64,
+    pub(crate) remote_pipe: AtomicU64,
+    pub(crate) remote_chunks: AtomicU64,
+    pub(crate) remote_checkpoints: AtomicU64,
+    pub(crate) remote_bytes: AtomicU64,
+    pub(crate) scale_outs: AtomicU64,
+    pub(crate) scale_ins: AtomicU64,
+    pub(crate) acked_marks: AtomicU64,
+    pub(crate) node_crashes: AtomicU64,
+    pub(crate) node_restarts: AtomicU64,
+    pub(crate) frames_lost: AtomicU64,
+    pub(crate) chaos_drops: AtomicU64,
+    pub(crate) chaos_dups: AtomicU64,
+    pub(crate) chaos_delays: AtomicU64,
+    pub(crate) recovered_transfers: AtomicU64,
+    pub(crate) replayed_frames: AtomicU64,
+    pub(crate) replayed_bytes: AtomicU64,
+    pub(crate) resumed_from_mark: AtomicU64,
+    pub(crate) retransmitted: AtomicU64,
 }
 
-struct Inner {
-    workflow: Arc<Workflow>,
-    cfg: ClusterRtConfig,
-    placement: Placement,
-    flu_tx: HashMap<String, Sender<FluMsg>>,
+impl Counters {
+    /// A consistent-enough point-in-time copy of every counter (each
+    /// field is loaded independently; totals may straddle concurrent
+    /// increments, which is fine for stats).
+    pub(crate) fn snapshot(&self) -> RtStats {
+        RtStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            invocations: self.invocations.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+            direct_socket_transfers: self.direct_socket.load(Ordering::Relaxed),
+            local_pipe_transfers: self.local_pipe.load(Ordering::Relaxed),
+            remote_pipe_transfers: self.remote_pipe.load(Ordering::Relaxed),
+            remote_chunks: self.remote_chunks.load(Ordering::Relaxed),
+            remote_checkpoints: self.remote_checkpoints.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+            scale_out_events: self.scale_outs.load(Ordering::Relaxed),
+            scale_in_events: self.scale_ins.load(Ordering::Relaxed),
+            acked_marks: self.acked_marks.load(Ordering::Relaxed),
+            node_crashes: self.node_crashes.load(Ordering::Relaxed),
+            node_restarts: self.node_restarts.load(Ordering::Relaxed),
+            frames_lost_to_crashes: self.frames_lost.load(Ordering::Relaxed),
+            chaos_dropped_frames: self.chaos_drops.load(Ordering::Relaxed),
+            chaos_duplicated_frames: self.chaos_dups.load(Ordering::Relaxed),
+            chaos_delayed_frames: self.chaos_delays.load(Ordering::Relaxed),
+            recovered_transfers: self.recovered_transfers.load(Ordering::Relaxed),
+            replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            replayed_bytes: self.replayed_bytes.load(Ordering::Relaxed),
+            resumed_from_mark_bytes: self.resumed_from_mark.load(Ordering::Relaxed),
+            retransmitted_transfers: self.retransmitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wire-mode (worker-process) state of an [`Inner`]: present only when
+/// the runtime was started by [`ClusterRuntimeBuilder::start_worker`],
+/// i.e. this OS process embodies exactly one node of a TCP cluster.
+///
+/// The endpoint space is `node_count + 1`: every worker node plus the
+/// coordinator process (always the **last** index), which plays the
+/// client — it ships inputs in and collects outputs shipped back out.
+/// `link_depth` and `retention` are indexed `src * endpoints + dst` in
+/// this mode (see [`stride`]).
+pub(crate) struct WireState {
+    /// The endpoint this process embodies (a node index).
+    pub(crate) local: usize,
+    /// Total endpoints: worker nodes plus the trailing coordinator.
+    pub(crate) endpoints: usize,
+    /// Outbound frame queues, one per remote endpoint (`None` at
+    /// `local`). The transport's per-link agents drain them onto TCP.
+    pub(crate) out: Vec<Option<Sender<NetMsg>>>,
+    /// Requests the coordinator already collected or abandoned: late
+    /// frames for them must not re-seed sink state (they are orphans,
+    /// acked away so the sender's retention cannot leak).
+    pub(crate) purged: Mutex<HashSet<u64>>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) workflow: Arc<Workflow>,
+    pub(crate) cfg: ClusterRtConfig,
+    pub(crate) placement: Placement,
+    pub(crate) flu_tx: HashMap<String, Sender<FluMsg>>,
     reqs: Mutex<HashMap<u64, ClientReqState>>,
     done: Condvar,
-    nodes: Vec<Arc<NodeState>>,
-    counters: Counters,
-    shutdown: Arc<AtomicBool>,
+    pub(crate) nodes: Vec<Arc<NodeState>>,
+    pub(crate) counters: Counters,
+    pub(crate) shutdown: Arc<AtomicBool>,
     /// Pairs with `shutdown`: janitors and autoscalers sleep on this
     /// condvar so teardown does not have to wait out their polling tick.
     /// The mutex also serializes scale events against `signal_shutdown`,
     /// so the shutdown message count always matches the live executor
     /// count.
-    shutdown_mx: Mutex<()>,
-    shutdown_cv: Condvar,
-    next_transfer: AtomicU64,
+    pub(crate) shutdown_mx: Mutex<()>,
+    pub(crate) shutdown_cv: Condvar,
+    pub(crate) next_transfer: AtomicU64,
     /// Live per-function pool gauges (replicas, DLU backlog, T_FLU).
     scale: HashMap<String, Arc<FnScale>>,
     /// Initial pool size per function (the t=0 point of the timeline).
@@ -337,14 +470,27 @@ struct Inner {
     /// When the runtime started (scale events are relative to this).
     started: Instant,
     /// Queue-depth gauge of each directed fabric link, indexed
-    /// `src * node_count + dst` (self-links stay zero).
-    link_depth: Vec<Arc<AtomicUsize>>,
+    /// `src * stride + dst` (self-links stay zero); the stride is the
+    /// node count in-process and the endpoint count in wire mode.
+    pub(crate) link_depth: Vec<Arc<AtomicUsize>>,
     /// Fault-injection state (`None` for a no-op plan: the per-frame
     /// cost of disabled fault injection is one `Option` check).
     faults: Option<FaultState>,
     /// Sender-side §6.2 retention of un-acked frames, one per directed
     /// link, indexed like `link_depth`. Empty when recovery is disabled.
-    retention: Vec<Mutex<LinkRetention>>,
+    pub(crate) retention: Vec<Mutex<LinkRetention>>,
+    /// Worker-process wire state; `None` for the in-process fabric.
+    pub(crate) wire: Option<WireState>,
+}
+
+/// Row stride of the directed-link vectors (`link_depth`, `retention`):
+/// the node count for the in-process fabric, the endpoint count (nodes
+/// plus coordinator) in worker-process wire mode.
+pub(crate) fn stride(inner: &Inner) -> usize {
+    inner
+        .wire
+        .as_ref()
+        .map_or(inner.nodes.len(), |w| w.endpoints)
 }
 
 type Body = Arc<dyn Fn(&mut FluContext) + Send + Sync>;
@@ -399,6 +545,11 @@ pub struct ClusterRuntimeBuilder {
     bodies: HashMap<String, Body>,
     replicas: HashMap<String, usize>,
 }
+
+/// What [`ClusterRuntimeBuilder::start_worker`] hands the transport: the
+/// local runtime plus one outbound frame receiver per directed link this
+/// node sends on (`None` elsewhere).
+pub(crate) type WorkerStart = (ClusterRuntime, Vec<Option<Receiver<NetMsg>>>);
 
 impl ClusterRuntimeBuilder {
     /// Starts building a runtime for `workflow` (single-node placement
@@ -461,65 +612,9 @@ impl ClusterRuntimeBuilder {
     /// the fault plan is invalid (rates outside `[0, 1]`, a kill naming
     /// a node outside the placement's topology).
     pub fn start(self) -> Result<ClusterRuntime, RtError> {
-        assert!(self.cfg.chunk_bytes > 0, "chunk_bytes must be positive");
-        assert!(
-            self.cfg.checkpoint_interval_bytes > 0,
-            "checkpoint_interval_bytes must be positive"
-        );
-        if let Err(e) = self.cfg.autoscale.validate() {
-            panic!("{e}");
-        }
-        if let Err(e) = self.cfg.faults.validate() {
-            panic!("{e}");
-        }
-        for kill in &self.cfg.faults.kills {
-            assert!(
-                kill.node < self.placement.node_count(),
-                "fault plan kills node {}, but the topology has {} node(s)",
-                kill.node,
-                self.placement.node_count()
-            );
-        }
-        for f in self.workflow.function_ids() {
-            let name = &self.workflow.function(f).name;
-            if !self.bodies.contains_key(name) {
-                return Err(RtError::UnregisteredFunction(name.clone()));
-            }
-        }
-        for name in self.bodies.keys().chain(self.replicas.keys()) {
-            if self.workflow.function_by_name(name).is_none() {
-                return Err(RtError::UnknownFunction(name.clone()));
-            }
-        }
-        self.placement
-            .validate(&self.workflow)
-            .map_err(RtError::InvalidPlacement)?;
-
+        self.validate()?;
         let node_count = self.placement.node_count();
-        let scaling = self.cfg.autoscale.enabled;
-        let mut flu_tx = HashMap::new();
-        let mut flu_rx: HashMap<String, Receiver<FluMsg>> = HashMap::new();
-        let mut scale = HashMap::new();
-        let mut initial_replicas = HashMap::new();
-        for f in self.workflow.function_ids() {
-            let name = self.workflow.function(f).name.clone();
-            let (tx, rx) = unbounded();
-            flu_tx.insert(name.clone(), tx);
-            let mut replicas = *self
-                .replicas
-                .get(&name)
-                .unwrap_or(&self.cfg.rt.flu_replicas)
-                .max(&1);
-            if scaling {
-                replicas = replicas.clamp(
-                    self.cfg.autoscale.min_replicas,
-                    self.cfg.autoscale.max_replicas,
-                );
-            }
-            scale.insert(name.clone(), Arc::new(FnScale::new(replicas)));
-            initial_replicas.insert(name.clone(), replicas);
-            flu_rx.insert(name, rx);
-        }
+        let (flu_tx, mut flu_rx, scale, initial_replicas) = self.function_pools();
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
             .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
             .collect();
@@ -558,6 +653,7 @@ impl ClusterRuntimeBuilder {
             link_depth,
             faults,
             retention,
+            wire: None,
         });
 
         // Fabric: one bounded link + shipper thread per directed node
@@ -605,86 +701,7 @@ impl ClusterRuntimeBuilder {
         // plus one janitor each and (when enabled) one autoscaler.
         let mut nodes = Vec::new();
         for (node_id, links_row) in links_by_src.iter().enumerate() {
-            let mut threads = Vec::new();
-            let mut hosted = Vec::new();
-            let mut seeds = Vec::new();
-            for f in self.workflow.function_ids() {
-                let name = self.workflow.function(f).name.clone();
-                if self.placement.node_of(&name) != node_id {
-                    continue;
-                }
-                hosted.push(name.clone());
-                let body = Arc::clone(&self.bodies[&name]);
-                let fn_scale = Arc::clone(&inner.scale[&name]);
-                let replicas = fn_scale.replicas.load(Ordering::Relaxed);
-
-                // Per-function DLU daemon, owned by this node.
-                let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
-                {
-                    let inner = Arc::clone(&inner);
-                    let links = Arc::clone(links_row);
-                    let fn_scale = Arc::clone(&fn_scale);
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("node{node_id}-dlu-{name}"))
-                            .spawn(move || dlu_daemon(inner, links, dlu_rx, fn_scale))
-                            .expect("spawn dlu daemon"),
-                    );
-                }
-                // FLU executors.
-                let rx = flu_rx.remove(&name).expect("channel created");
-                for k in 0..replicas {
-                    let inner = Arc::clone(&inner);
-                    let rx = rx.clone();
-                    let body = Arc::clone(&body);
-                    let dlu = dlu_tx.clone();
-                    let fn_name = name.clone();
-                    let fn_scale = Arc::clone(&fn_scale);
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("node{node_id}-flu-{name}-{k}"))
-                            .spawn(move || flu_executor(inner, fn_name, rx, body, dlu, fn_scale))
-                            .expect("spawn flu executor"),
-                    );
-                }
-                if scaling {
-                    seeds.push(ExecutorSeed {
-                        name,
-                        node: node_id,
-                        rx,
-                        body,
-                        dlu: dlu_tx.clone(),
-                        scale: fn_scale,
-                    });
-                }
-            }
-            // Per-node autoscaler: samples the hosted functions' pressure
-            // and grows/shrinks their pools.
-            if scaling && !seeds.is_empty() {
-                let inner = Arc::clone(&inner);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("node{node_id}-autoscaler"))
-                        .spawn(move || autoscaler(inner, seeds))
-                        .expect("spawn autoscaler"),
-                );
-            }
-            // Node-local janitor for passive expire.
-            if let Some(ttl) = self.cfg.rt.sink_ttl {
-                let inner = Arc::clone(&inner);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("node{node_id}-janitor"))
-                        .spawn(move || janitor(inner, node_id, ttl))
-                        .expect("spawn janitor"),
-                );
-            }
-            nodes.push(NodeRuntime {
-                id: node_id,
-                functions: hosted,
-                state: Arc::clone(&inner.nodes[node_id]),
-                threads,
-            });
+            nodes.push(self.spawn_node(&inner, node_id, links_row, &mut flu_rx));
         }
         drop(links_by_src); // daemons hold the only remaining senders
 
@@ -695,6 +712,325 @@ impl ClusterRuntimeBuilder {
             next_req: AtomicU64::new(0),
         })
     }
+
+    /// Worker-process variant of [`ClusterRuntimeBuilder::start`]: builds
+    /// the full cluster bookkeeping (every node's sink vector, placement,
+    /// per-directed-link retention windows over the **endpoint** space —
+    /// nodes plus the trailing coordinator) but spawns executor / DLU /
+    /// janitor / autoscaler threads only for `spec.local`, the one node
+    /// this OS process embodies. No in-process fabric and no recovery
+    /// daemon are spawned; the outbound frame queues land in
+    /// [`WireState`] and their receivers are returned so the TCP
+    /// transport can attach one shipping agent per directed link
+    /// (retransmission of ack-stale transfers is the transport's job
+    /// too). Transfer ids are namespaced by `spec.epoch` so a restarted
+    /// worker can never collide with ids from its previous incarnation.
+    pub(crate) fn start_worker(self, spec: WireSpec) -> Result<WorkerStart, RtError> {
+        self.validate()?;
+        let node_count = self.placement.node_count();
+        assert!(
+            spec.local < node_count,
+            "worker index {} outside the {node_count}-node topology",
+            spec.local
+        );
+        let endpoints = node_count + 1;
+        let (flu_tx, mut flu_rx, scale, initial_replicas) = self.function_pools();
+        let node_states: Vec<Arc<NodeState>> = (0..node_count)
+            .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
+            .collect();
+        let link_depth: Vec<Arc<AtomicUsize>> = (0..endpoints * endpoints)
+            .map(|_| Arc::new(AtomicUsize::new(0)))
+            .collect();
+        let faults = if self.cfg.faults.is_noop() {
+            None
+        } else {
+            Some(FaultState::new(self.cfg.faults.clone()))
+        };
+        let retention: Vec<Mutex<LinkRetention>> = if self.cfg.recovery.enabled {
+            (0..endpoints * endpoints)
+                .map(|_| Mutex::new(LinkRetention::default()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut out: Vec<Option<Sender<NetMsg>>> = Vec::with_capacity(endpoints);
+        let mut out_rx: Vec<Option<Receiver<NetMsg>>> = Vec::with_capacity(endpoints);
+        for dst in 0..endpoints {
+            if dst == spec.local {
+                out.push(None);
+                out_rx.push(None);
+            } else {
+                let (tx, rx) = bounded::<NetMsg>(self.cfg.link.queue_capacity);
+                out.push(Some(tx));
+                out_rx.push(Some(rx));
+            }
+        }
+        let inner = Arc::new(Inner {
+            workflow: Arc::clone(&self.workflow),
+            cfg: self.cfg.clone(),
+            placement: self.placement.clone(),
+            flu_tx,
+            reqs: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            nodes: node_states,
+            counters: Counters::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown_mx: Mutex::new(()),
+            shutdown_cv: Condvar::new(),
+            next_transfer: AtomicU64::new(worker_transfer_base(spec.local, spec.epoch)),
+            scale,
+            initial_replicas,
+            scale_events: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            link_depth,
+            faults,
+            retention,
+            wire: Some(WireState {
+                local: spec.local,
+                endpoints,
+                out,
+                purged: Mutex::new(HashSet::new()),
+            }),
+        });
+
+        // Only the local node runs threads; its DLU daemons route over
+        // the wire's outbound queues instead of in-process links.
+        let wire_row = Arc::new(
+            inner
+                .wire
+                .as_ref()
+                .expect("wire state just built")
+                .out
+                .clone(),
+        );
+        let mut nodes = Vec::new();
+        for node_id in 0..node_count {
+            if node_id == spec.local {
+                nodes.push(self.spawn_node(&inner, node_id, &wire_row, &mut flu_rx));
+            } else {
+                nodes.push(NodeRuntime {
+                    id: node_id,
+                    functions: self.hosted_on(node_id),
+                    state: Arc::clone(&inner.nodes[node_id]),
+                    threads: Vec::new(),
+                });
+            }
+        }
+        drop(wire_row);
+
+        Ok((
+            ClusterRuntime {
+                inner,
+                nodes,
+                fabric_threads: Vec::new(),
+                next_req: AtomicU64::new(0),
+            },
+            out_rx,
+        ))
+    }
+
+    /// Shared validation of [`ClusterRuntimeBuilder::start`] and
+    /// [`ClusterRuntimeBuilder::start_worker`] (see `start`'s docs for
+    /// the panic and error contract).
+    fn validate(&self) -> Result<(), RtError> {
+        assert!(self.cfg.chunk_bytes > 0, "chunk_bytes must be positive");
+        assert!(
+            self.cfg.checkpoint_interval_bytes > 0,
+            "checkpoint_interval_bytes must be positive"
+        );
+        if let Err(e) = self.cfg.autoscale.validate() {
+            panic!("{e}");
+        }
+        if let Err(e) = self.cfg.faults.validate() {
+            panic!("{e}");
+        }
+        for kill in &self.cfg.faults.kills {
+            assert!(
+                kill.node < self.placement.node_count(),
+                "fault plan kills node {}, but the topology has {} node(s)",
+                kill.node,
+                self.placement.node_count()
+            );
+        }
+        for f in self.workflow.function_ids() {
+            let name = &self.workflow.function(f).name;
+            if !self.bodies.contains_key(name) {
+                return Err(RtError::UnregisteredFunction(name.clone()));
+            }
+        }
+        for name in self.bodies.keys().chain(self.replicas.keys()) {
+            if self.workflow.function_by_name(name).is_none() {
+                return Err(RtError::UnknownFunction(name.clone()));
+            }
+        }
+        self.placement
+            .validate(&self.workflow)
+            .map_err(RtError::InvalidPlacement)
+    }
+
+    /// Builds the per-function invocation channels and pool gauges.
+    #[allow(clippy::type_complexity)]
+    fn function_pools(
+        &self,
+    ) -> (
+        HashMap<String, Sender<FluMsg>>,
+        HashMap<String, Receiver<FluMsg>>,
+        HashMap<String, Arc<FnScale>>,
+        HashMap<String, usize>,
+    ) {
+        let scaling = self.cfg.autoscale.enabled;
+        let mut flu_tx = HashMap::new();
+        let mut flu_rx = HashMap::new();
+        let mut scale = HashMap::new();
+        let mut initial_replicas = HashMap::new();
+        for f in self.workflow.function_ids() {
+            let name = self.workflow.function(f).name.clone();
+            let (tx, rx) = unbounded();
+            flu_tx.insert(name.clone(), tx);
+            let mut replicas = *self
+                .replicas
+                .get(&name)
+                .unwrap_or(&self.cfg.rt.flu_replicas)
+                .max(&1);
+            if scaling {
+                replicas = replicas.clamp(
+                    self.cfg.autoscale.min_replicas,
+                    self.cfg.autoscale.max_replicas,
+                );
+            }
+            scale.insert(name.clone(), Arc::new(FnScale::new(replicas)));
+            initial_replicas.insert(name.clone(), replicas);
+            flu_rx.insert(name, rx);
+        }
+        (flu_tx, flu_rx, scale, initial_replicas)
+    }
+
+    /// Names of the functions the placement puts on `node_id`, in
+    /// workflow order.
+    fn hosted_on(&self, node_id: usize) -> Vec<String> {
+        self.workflow
+            .function_ids()
+            .filter_map(|f| {
+                let name = &self.workflow.function(f).name;
+                (self.placement.node_of(name) == node_id).then(|| name.clone())
+            })
+            .collect()
+    }
+
+    /// Spawns one node's worth of threads — FLU executors and DLU
+    /// daemons for the hosted functions, plus a janitor and (when
+    /// enabled) an autoscaler — routing outbound traffic over
+    /// `links_row` (the in-process fabric row, or the wire's outbound
+    /// queues in worker mode).
+    fn spawn_node(
+        &self,
+        inner: &Arc<Inner>,
+        node_id: usize,
+        links_row: &Arc<Vec<Option<Sender<NetMsg>>>>,
+        flu_rx: &mut HashMap<String, Receiver<FluMsg>>,
+    ) -> NodeRuntime {
+        let scaling = self.cfg.autoscale.enabled;
+        let mut threads = Vec::new();
+        let mut hosted = Vec::new();
+        let mut seeds = Vec::new();
+        for f in self.workflow.function_ids() {
+            let name = self.workflow.function(f).name.clone();
+            if self.placement.node_of(&name) != node_id {
+                continue;
+            }
+            hosted.push(name.clone());
+            let body = Arc::clone(&self.bodies[&name]);
+            let fn_scale = Arc::clone(&inner.scale[&name]);
+            let replicas = fn_scale.replicas.load(Ordering::Relaxed);
+
+            // Per-function DLU daemon, owned by this node.
+            let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
+            {
+                let inner = Arc::clone(inner);
+                let links = Arc::clone(links_row);
+                let fn_scale = Arc::clone(&fn_scale);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("node{node_id}-dlu-{name}"))
+                        .spawn(move || dlu_daemon(inner, links, dlu_rx, fn_scale))
+                        .expect("spawn dlu daemon"),
+                );
+            }
+            // FLU executors.
+            let rx = flu_rx.remove(&name).expect("channel created");
+            for k in 0..replicas {
+                let inner = Arc::clone(inner);
+                let rx = rx.clone();
+                let body = Arc::clone(&body);
+                let dlu = dlu_tx.clone();
+                let fn_name = name.clone();
+                let fn_scale = Arc::clone(&fn_scale);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("node{node_id}-flu-{name}-{k}"))
+                        .spawn(move || flu_executor(inner, fn_name, rx, body, dlu, fn_scale))
+                        .expect("spawn flu executor"),
+                );
+            }
+            if scaling {
+                seeds.push(ExecutorSeed {
+                    name,
+                    node: node_id,
+                    rx,
+                    body,
+                    dlu: dlu_tx.clone(),
+                    scale: fn_scale,
+                });
+            }
+        }
+        // Per-node autoscaler: samples the hosted functions' pressure
+        // and grows/shrinks their pools.
+        if scaling && !seeds.is_empty() {
+            let inner = Arc::clone(inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node{node_id}-autoscaler"))
+                    .spawn(move || autoscaler(inner, seeds))
+                    .expect("spawn autoscaler"),
+            );
+        }
+        // Node-local janitor for passive expire.
+        if let Some(ttl) = self.cfg.rt.sink_ttl {
+            let inner = Arc::clone(inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node{node_id}-janitor"))
+                    .spawn(move || janitor(inner, node_id, ttl))
+                    .expect("spawn janitor"),
+            );
+        }
+        NodeRuntime {
+            id: node_id,
+            functions: hosted,
+            state: Arc::clone(&inner.nodes[node_id]),
+            threads,
+        }
+    }
+}
+
+/// Identity of a worker process in a TCP cluster: which node it
+/// embodies and which incarnation it is.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WireSpec {
+    /// The node index this process embodies.
+    pub(crate) local: usize,
+    /// Restart epoch (0 on first launch). Namespaces transfer ids so a
+    /// restarted worker's streams can never collide with acks or
+    /// duplicates addressed to its previous life.
+    pub(crate) epoch: u32,
+}
+
+/// First transfer id a worker mints: epoch in the top 16 bits, the node
+/// index below it, so every (incarnation, sender) pair draws from a
+/// disjoint id space. The coordinator uses the same scheme with the
+/// endpoint index past the last node.
+pub(crate) fn worker_transfer_base(local: usize, epoch: u32) -> u64 {
+    ((epoch as u64) << 48) | ((local as u64 & 0xff) << 40)
 }
 
 /// Everything the autoscaler needs to spawn one more executor of a
@@ -714,7 +1050,7 @@ struct ExecutorSeed {
 /// [`ClusterRuntimeBuilder`]; for the single-node special case,
 /// [`RuntimeBuilder`] is a thinner front door.
 pub struct ClusterRuntime {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
     nodes: Vec<NodeRuntime>,
     fabric_threads: Vec<JoinHandle<()>>,
     next_req: AtomicU64,
@@ -726,10 +1062,10 @@ impl ClusterRuntime {
     pub fn invoke(&self, inputs: Vec<(String, Bytes)>) -> ReqId {
         let req = ReqId(self.next_req.fetch_add(1, Ordering::Relaxed));
         let wf = &self.inner.workflow;
-        // Resolve switches deterministically per request.
-        let seed = req.0;
-        let active =
-            Arc::new(wf.resolve_switches(|group, n| ((seed ^ group as u64) % n as u64) as usize));
+        // Resolve switches deterministically per request — the same
+        // derivation every worker process repeats from the request id
+        // alone, so all endpoints agree on the active graph.
+        let active = resolve_active(wf, req.0);
 
         let outputs_missing = wf
             .client_outputs()
@@ -751,29 +1087,8 @@ impl ClusterRuntime {
         // Seed every node's sink with the request's missing-input counts
         // for the functions it hosts.
         for (node_id, node) in self.inner.nodes.iter().enumerate() {
-            let mut missing = HashMap::new();
-            for f in wf.function_ids() {
-                let name = &wf.function(f).name;
-                if self.inner.placement.node_of(name) != node_id || !active.function_active(f) {
-                    continue;
-                }
-                let count = wf
-                    .inputs(f)
-                    .iter()
-                    .filter(|e| active.edge_active(**e))
-                    .count();
-                missing.insert(f, count);
-            }
-            node.sink.insert(
-                req.0,
-                NodeReqState {
-                    active: Arc::clone(&active),
-                    missing,
-                    entries: HashMap::new(),
-                    partial: HashMap::new(),
-                    done: std::collections::HashSet::new(),
-                },
-            );
+            node.sink
+                .insert(req.0, seed_req_state(&self.inner, node_id, &active));
         }
 
         // Deliver the client inputs by data name (cluster ingress: no
@@ -839,6 +1154,10 @@ impl ClusterRuntime {
                 self.purge_nodes(req);
                 return Ok(rs.outputs);
             }
+            // Re-check the deadline on every wakeup (spurious or not)
+            // and saturate the remaining-time arithmetic: an `Instant`
+            // subtraction panics on underflow, and a wakeup can land
+            // after the deadline passed.
             let now = Instant::now();
             if now >= deadline {
                 return Err(RtError::Timeout);
@@ -846,7 +1165,7 @@ impl ClusterRuntime {
             reqs = self
                 .inner
                 .done
-                .wait_timeout(reqs, deadline - now)
+                .wait_timeout(reqs, deadline.saturating_duration_since(now))
                 .expect("runtime lock poisoned")
                 .0;
         }
@@ -925,10 +1244,10 @@ impl ClusterRuntime {
     /// Messages queued (or in shaping) on the fabric links **into**
     /// `node` — the node's inbound pressure.
     pub fn fabric_inbound_depth(&self, node: usize) -> usize {
-        let n = self.nodes.len();
-        (0..n)
+        let s = stride(&self.inner);
+        (0..s)
             .filter(|src| *src != node)
-            .map(|src| self.inner.link_depth[src * n + node].load(Ordering::Relaxed))
+            .map(|src| self.inner.link_depth[src * s + node].load(Ordering::Relaxed))
             .sum()
     }
 
@@ -1015,33 +1334,7 @@ impl ClusterRuntime {
 
     /// Runtime counters, aggregated across all nodes and links.
     pub fn stats(&self) -> RtStats {
-        let c = &self.inner.counters;
-        RtStats {
-            puts: c.puts.load(Ordering::Relaxed),
-            deliveries: c.deliveries.load(Ordering::Relaxed),
-            invocations: c.invocations.load(Ordering::Relaxed),
-            spills: c.spills.load(Ordering::Relaxed),
-            direct_socket_transfers: c.direct_socket.load(Ordering::Relaxed),
-            local_pipe_transfers: c.local_pipe.load(Ordering::Relaxed),
-            remote_pipe_transfers: c.remote_pipe.load(Ordering::Relaxed),
-            remote_chunks: c.remote_chunks.load(Ordering::Relaxed),
-            remote_checkpoints: c.remote_checkpoints.load(Ordering::Relaxed),
-            remote_bytes: c.remote_bytes.load(Ordering::Relaxed),
-            scale_out_events: c.scale_outs.load(Ordering::Relaxed),
-            scale_in_events: c.scale_ins.load(Ordering::Relaxed),
-            acked_marks: c.acked_marks.load(Ordering::Relaxed),
-            node_crashes: c.node_crashes.load(Ordering::Relaxed),
-            node_restarts: c.node_restarts.load(Ordering::Relaxed),
-            frames_lost_to_crashes: c.frames_lost.load(Ordering::Relaxed),
-            chaos_dropped_frames: c.chaos_drops.load(Ordering::Relaxed),
-            chaos_duplicated_frames: c.chaos_dups.load(Ordering::Relaxed),
-            chaos_delayed_frames: c.chaos_delays.load(Ordering::Relaxed),
-            recovered_transfers: c.recovered_transfers.load(Ordering::Relaxed),
-            replayed_frames: c.replayed_frames.load(Ordering::Relaxed),
-            replayed_bytes: c.replayed_bytes.load(Ordering::Relaxed),
-            resumed_from_mark_bytes: c.resumed_from_mark.load(Ordering::Relaxed),
-            retransmitted_transfers: c.retransmitted.load(Ordering::Relaxed),
-        }
+        self.inner.counters.snapshot()
     }
 
     /// Stops all node and fabric threads and waits for them (clean
@@ -1436,13 +1729,30 @@ fn route(inner: &Inner, links: &[Option<Sender<NetMsg>>], msg: DluMsg) {
         }
         match e.target {
             Endpoint::Client => {
-                let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
-                if let Some(rs) = reqs.get_mut(&msg.req.0) {
-                    rs.outputs
-                        .push((msg.data_name.clone(), msg.payload.clone()));
-                    rs.outputs_missing = rs.outputs_missing.saturating_sub(1);
-                    if rs.outputs_missing == 0 {
-                        inner.done.notify_all();
+                if let Some(w) = &inner.wire {
+                    // Worker process: the client lives in the coordinator
+                    // — ship the output over the wire to the trailing
+                    // endpoint, retained and acked like any transfer.
+                    let key = format!("{}@{}", msg.data_name, msg.src_fn);
+                    ship(
+                        inner,
+                        links,
+                        src_node,
+                        w.endpoints - 1,
+                        msg.req,
+                        eid,
+                        key,
+                        &msg.payload,
+                    );
+                } else {
+                    let mut reqs = inner.reqs.lock().expect("runtime lock poisoned");
+                    if let Some(rs) = reqs.get_mut(&msg.req.0) {
+                        rs.outputs
+                            .push((msg.data_name.clone(), msg.payload.clone()));
+                        rs.outputs_missing = rs.outputs_missing.saturating_sub(1);
+                        if rs.outputs_missing == 0 {
+                            inner.done.notify_all();
+                        }
                     }
                 }
             }
@@ -1525,7 +1835,7 @@ fn ship(
                 return;
             }
             let link = links[dst_node].as_ref().expect("cross-node link exists");
-            let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
+            let depth = &inner.link_depth[src_node * stride(inner) + dst_node];
             let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
             let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
             for (lo, hi) in chunk_spans(len, inner.cfg.chunk_bytes) {
@@ -1578,7 +1888,7 @@ fn ship_whole(
     payload: &Bytes,
 ) {
     let link = links[dst_node].as_ref().expect("cross-node link exists");
-    let depth = &inner.link_depth[src_node * inner.nodes.len() + dst_node];
+    let depth = &inner.link_depth[src_node * stride(inner) + dst_node];
     let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
     if inner.cfg.recovery.enabled {
         retention_of(inner, src_node, dst_node)
@@ -1610,8 +1920,8 @@ fn ship_whole(
 
 /// The retention window of the directed link `src → dst`. Only called
 /// with recovery enabled (the vector is empty otherwise).
-fn retention_of(inner: &Inner, src: usize, dst: usize) -> &Mutex<LinkRetention> {
-    &inner.retention[src * inner.nodes.len() + dst]
+pub(crate) fn retention_of(inner: &Inner, src: usize, dst: usize) -> &Mutex<LinkRetention> {
+    &inner.retention[src * stride(inner) + dst]
 }
 
 /// Fault-injection wrapper around the destination-side fabric handler.
@@ -1620,7 +1930,7 @@ fn retention_of(inner: &Inner, src: usize, dst: usize) -> &Mutex<LinkRetention> 
 /// frame's fate (drop / duplicate / delayed wakeup) before handing the
 /// frame to [`handle_net_msg`]. With no fault plan, the whole wrapper is
 /// one `Option` check.
-fn chaos_ingress(inner: &Inner, src: usize, dst: usize, msg: NetMsg) {
+pub(crate) fn chaos_ingress(inner: &Inner, src: usize, dst: usize, msg: NetMsg) {
     if let Some(fs) = &inner.faults {
         let frame = fs.next_frame();
         for kill in fs.take_due_kills(frame) {
@@ -1670,13 +1980,23 @@ enum ChunkProgress {
 /// recovery replay path. A frame inbound to a crashed node is lost; a
 /// delivered frame is acknowledged back to the sender's retention window
 /// (whole frames on delivery, chunked streams per checkpoint mark their
-/// contiguous prefix crosses).
-fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
+/// contiguous prefix crosses). In wire mode, ack frames arriving *back*
+/// from a receiver are applied to the local (sender-side) retention
+/// window here too.
+pub(crate) fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
     if inner.nodes[dst_node].down.load(Ordering::SeqCst) {
         inner.counters.frames_lost.fetch_add(1, Ordering::Relaxed);
         return;
     }
     match msg {
+        NetMsg::AckMark { transfer, mark } => {
+            // `src` acknowledged a mark of a transfer *we* sent on the
+            // directed link `dst_node → src`.
+            apply_ack_mark(inner, dst_node, src, transfer, mark);
+        }
+        NetMsg::AckComplete { transfer } => {
+            apply_ack_complete(inner, dst_node, src, transfer);
+        }
         NetMsg::Whole {
             req,
             edge,
@@ -1684,6 +2004,7 @@ fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
             transfer,
             payload,
         } => {
+            ensure_seeded(inner, dst_node, req);
             deliver(inner, dst_node, ReqId(req), edge, key, payload);
             ack_complete(inner, src, dst_node, transfer);
         }
@@ -1696,6 +2017,7 @@ fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
             total,
             bytes,
         } => {
+            ensure_seeded(inner, dst_node, req);
             let progress = inner.nodes[dst_node].sink.with(req, |rs| {
                 let Some(rs) = rs else {
                     return ChunkProgress::Orphan;
@@ -1747,8 +2069,46 @@ fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
 /// Delivery acknowledgement: releases the sender's retention entry for a
 /// fully delivered (or orphaned) transfer. In-process, acks are a direct
 /// call back into the source link's retention window — the return path
-/// of the §6.2 checkpoint protocol.
+/// of the §6.2 checkpoint protocol. In wire mode the sender lives in a
+/// different OS process, so the ack becomes an [`NetMsg::AckComplete`]
+/// frame enqueued back over the wire instead.
 fn ack_complete(inner: &Inner, src: usize, dst: usize, transfer: u64) {
+    if !inner.cfg.recovery.enabled {
+        return;
+    }
+    if let Some(w) = &inner.wire {
+        if src != w.local {
+            if let Some(tx) = w.out.get(src).and_then(|t| t.as_ref()) {
+                let _ = tx.send(NetMsg::AckComplete { transfer });
+            }
+            return;
+        }
+    }
+    apply_ack_complete(inner, src, dst, transfer);
+}
+
+/// Checkpoint-mark acknowledgement: trims the sender's retention window
+/// for `transfer` to the durable `mark`. Emitted as an
+/// [`NetMsg::AckMark`] frame in wire mode, like [`ack_complete`].
+fn ack_mark(inner: &Inner, src: usize, dst: usize, transfer: u64, mark: usize) {
+    if !inner.cfg.recovery.enabled {
+        return;
+    }
+    if let Some(w) = &inner.wire {
+        if src != w.local {
+            if let Some(tx) = w.out.get(src).and_then(|t| t.as_ref()) {
+                let _ = tx.send(NetMsg::AckMark { transfer, mark });
+            }
+            return;
+        }
+    }
+    apply_ack_mark(inner, src, dst, transfer, mark);
+}
+
+/// Applies a completion ack to the local retention window of the
+/// directed link `src → dst` (`src` is the sender — in wire mode, this
+/// process).
+pub(crate) fn apply_ack_complete(inner: &Inner, src: usize, dst: usize, transfer: u64) {
     if !inner.cfg.recovery.enabled {
         return;
     }
@@ -1758,9 +2118,9 @@ fn ack_complete(inner: &Inner, src: usize, dst: usize, transfer: u64) {
         .ack_complete(transfer);
 }
 
-/// Checkpoint-mark acknowledgement: trims the sender's retention window
-/// for `transfer` to the durable `mark`.
-fn ack_mark(inner: &Inner, src: usize, dst: usize, transfer: u64, mark: usize) {
+/// Applies a checkpoint-mark ack to the local retention window of the
+/// directed link `src → dst`, counting the marks the ack crossed.
+pub(crate) fn apply_ack_mark(inner: &Inner, src: usize, dst: usize, transfer: u64, mark: usize) {
     if !inner.cfg.recovery.enabled {
         return;
     }
@@ -1775,6 +2135,75 @@ fn ack_mark(inner: &Inner, src: usize, dst: usize, transfer: u64, mark: usize) {
             Ordering::Relaxed,
         );
     }
+}
+
+/// Deterministic per-request switch resolution, identical in every
+/// process of a cluster: the active graph is a pure function of the
+/// workflow and the request id.
+pub(crate) fn resolve_active(wf: &Workflow, req: u64) -> Arc<ActiveGraph> {
+    Arc::new(wf.resolve_switches(|group, n| ((req ^ group as u64) % n as u64) as usize))
+}
+
+/// The missing-input counts `node_id` tracks for one request: one entry
+/// per hosted active function, counting its active input edges.
+fn missing_for(inner: &Inner, node_id: usize, active: &ActiveGraph) -> HashMap<FnId, usize> {
+    let wf = &inner.workflow;
+    let mut missing = HashMap::new();
+    for f in wf.function_ids() {
+        let name = &wf.function(f).name;
+        if inner.placement.node_of(name) != node_id || !active.function_active(f) {
+            continue;
+        }
+        let count = wf
+            .inputs(f)
+            .iter()
+            .filter(|e| active.edge_active(**e))
+            .count();
+        missing.insert(f, count);
+    }
+    missing
+}
+
+/// A fresh per-node sink record for one request — what
+/// [`ClusterRuntime::invoke`] seeds eagerly and the wire-mode ingress
+/// seeds lazily on first frame arrival.
+fn seed_req_state(inner: &Inner, node_id: usize, active: &Arc<ActiveGraph>) -> NodeReqState {
+    NodeReqState {
+        active: Arc::clone(active),
+        missing: missing_for(inner, node_id, active),
+        entries: HashMap::new(),
+        partial: HashMap::new(),
+        done: HashSet::new(),
+    }
+}
+
+/// Wire-mode lazy request seeding: a worker process never sees
+/// `invoke`, so the first data frame of a request must create the local
+/// sink state the in-process runtime seeds eagerly. Runs under one
+/// stripe-lock acquisition ([`crate::ShardedSink::with_or_insert`]) so a
+/// concurrent purge cannot race the insert; a request the coordinator
+/// already collected is left unseeded — its late frames fall through the
+/// existing orphan handling and get acked away. In-process (`wire ==
+/// None`) this is a no-op.
+fn ensure_seeded(inner: &Inner, node_id: usize, req: u64) {
+    let Some(w) = &inner.wire else {
+        return;
+    };
+    if w.purged
+        .lock()
+        .expect("purged lock poisoned")
+        .contains(&req)
+    {
+        return;
+    }
+    inner.nodes[node_id].sink.with_or_insert(
+        req,
+        || {
+            let active = resolve_active(&inner.workflow, req);
+            seed_req_state(inner, node_id, &active)
+        },
+        |_| (),
+    );
 }
 
 /// Takes `node` down (§6.2 data-plane crash) and rolls its in-flight

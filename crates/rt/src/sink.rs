@@ -116,6 +116,21 @@ impl<V> ShardedSink<V> {
         f(map.get_mut(&key))
     }
 
+    /// Runs `f` on the entry under `key`, inserting `default()` first if
+    /// the key is absent — all under one stripe lock acquisition, so a
+    /// concurrent remover cannot race between the miss and the insert.
+    /// This is the worker-process ingress path: a data frame may arrive
+    /// before any local state for its request was seeded.
+    pub fn with_or_insert<R>(
+        &self,
+        key: u64,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        let mut map = self.stripe(key).lock().expect("sink stripe poisoned");
+        f(map.entry(key).or_insert_with(default))
+    }
+
     /// Visits every entry mutably, one stripe locked at a time — the
     /// janitor's sweep path. Entries inserted into an already-visited
     /// stripe during the sweep are missed until the next sweep, which is
@@ -209,6 +224,27 @@ mod tests {
         assert_eq!(seen, 64);
         let sum = s.fold(0u64, |a, _, v| a + v);
         assert_eq!(sum, (0..64u64).map(|k| k * 2 + 1).sum());
+    }
+
+    #[test]
+    fn with_or_insert_seeds_exactly_once() {
+        let s: ShardedSink<Vec<u32>> = ShardedSink::new(4);
+        let len = s.with_or_insert(9, Vec::new, |v| {
+            v.push(1);
+            v.len()
+        });
+        assert_eq!(len, 1);
+        // Second call finds the seeded entry, not a fresh default.
+        let len = s.with_or_insert(
+            9,
+            || panic!("must not re-seed"),
+            |v| {
+                v.push(2);
+                v.len()
+            },
+        );
+        assert_eq!(len, 2);
+        assert_eq!(s.remove(9), Some(vec![1, 2]));
     }
 
     #[test]

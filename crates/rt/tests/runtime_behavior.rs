@@ -145,6 +145,43 @@ fn wait_times_out_when_a_function_stalls() {
 }
 
 #[test]
+fn wait_with_expired_deadline_times_out_instead_of_panicking() {
+    // Regression test for the deadline arithmetic in `wait`: a wakeup
+    // (or the first loop iteration) landing *after* the deadline used to
+    // compute `deadline - now` with a panicking `Instant` subtraction.
+    // The fix re-checks the deadline on every wakeup and saturates the
+    // remaining-time computation, so an already-expired deadline — even
+    // one raced past while the request lock was being acquired — must
+    // yield a clean `Timeout`.
+    let wf = wc_workflow(1);
+    let rt = RuntimeBuilder::new(wf)
+        .register("start", |ctx| {
+            ctx.put("file", Bytes::from_static(b"x"));
+        })
+        .register("count_0", |_ctx| {
+            // Never puts: the request can only ever time out.
+        })
+        .register("merge", |ctx| {
+            ctx.put("result", Bytes::from_static(b"z"));
+        })
+        .start()
+        .unwrap();
+    let req = rt.invoke(vec![("text".into(), Bytes::from_static(b"hi"))]);
+    // A zero timeout: the deadline is already (or about to be) in the
+    // past when the wait loop first checks it.
+    assert_eq!(rt.wait(req, Duration::ZERO).unwrap_err(), RtError::Timeout);
+    // Repeated sub-millisecond waits keep racing the deadline across the
+    // lock acquisition; none of them may panic.
+    for _ in 0..50 {
+        assert_eq!(
+            rt.wait(req, Duration::from_nanos(1)).unwrap_err(),
+            RtError::Timeout
+        );
+    }
+    rt.shutdown();
+}
+
+#[test]
 fn replicas_scale_out_executors() {
     let rt_builder_wf = wc_workflow(2);
     let rt = RuntimeBuilder::new(rt_builder_wf)

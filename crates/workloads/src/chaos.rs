@@ -29,7 +29,7 @@ use crate::live::{live_input, live_runtime, reference_output};
 /// lands mid-stream, §6.2 recovery enabled with a 50 ms retransmit
 /// timeout, and a seeded plan dropping 2 %, duplicating 2 % and delaying
 /// 1 % of fabric frames.
-fn chaos_rt_config(seed: u64) -> ClusterRtConfig {
+pub(crate) fn chaos_rt_config(seed: u64) -> ClusterRtConfig {
     ClusterRtConfig {
         direct_threshold_bytes: 4 * 1024,
         chunk_bytes: 4 * 1024,

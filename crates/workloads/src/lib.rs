@@ -23,7 +23,10 @@
 //!   pressure-aware autoscaler enabled, and the fault-tolerance
 //!   scenario [`Scenario::chaos_cluster`], which crashes a node
 //!   mid-flight under a seeded fault plan and asserts byte-identical
-//!   recovery from the §6.2 checkpoint marks.
+//!   recovery from the §6.2 checkpoint marks, and its worker-process
+//!   twin [`Scenario::chaos_cluster_tcp`], which runs the same contract
+//!   with one OS process per node over real localhost TCP sockets and a
+//!   `kill -9` as the crash (see [`serve_worker_if_spawned`]).
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ mod chaos;
 mod elastic;
 mod harness;
 mod live;
+mod socket;
 mod system;
 
 pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
@@ -56,4 +60,5 @@ pub use chaos::{ChaosClusterConfig, ChaosClusterReport};
 pub use elastic::{BurstyClusterConfig, ElasticReport, SkewedFanoutConfig};
 pub use harness::Scenario;
 pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};
+pub use socket::{bench_input, launch_bench_cluster, serve_worker_if_spawned, TcpProfile};
 pub use system::SystemKind;

@@ -166,6 +166,27 @@ impl Scenario {
     }
 }
 
+/// Builds (but does not start) the live cluster builder for `bench`
+/// with every function body registered — shared by the in-process
+/// runtime and the worker-process TCP mode, which must rebuild the
+/// identical topology in every OS process.
+pub(crate) fn live_builder(
+    bench: Benchmark,
+    wf: Arc<Workflow>,
+    placement: Placement,
+    rt_cfg: ClusterRtConfig,
+) -> ClusterRuntimeBuilder {
+    let builder = ClusterRuntimeBuilder::new(wf)
+        .placement(placement)
+        .config(rt_cfg);
+    match bench {
+        Benchmark::Wc => register_wc(builder),
+        Benchmark::Vid => register_vid(builder),
+        Benchmark::Svd => register_svd(builder),
+        Benchmark::Img => register_img(builder),
+    }
+}
+
 /// Builds the live runtime for `bench` with every function body
 /// registered.
 pub(crate) fn live_runtime(
@@ -174,16 +195,7 @@ pub(crate) fn live_runtime(
     placement: Placement,
     rt_cfg: ClusterRtConfig,
 ) -> ClusterRuntime {
-    let builder = ClusterRuntimeBuilder::new(wf)
-        .placement(placement)
-        .config(rt_cfg);
-    let builder = match bench {
-        Benchmark::Wc => register_wc(builder),
-        Benchmark::Vid => register_vid(builder),
-        Benchmark::Svd => register_svd(builder),
-        Benchmark::Img => register_img(builder),
-    };
-    builder
+    live_builder(bench, wf, placement, rt_cfg)
         .start()
         .expect("live benchmark bodies cover the DAG")
 }

@@ -1,0 +1,263 @@
+//! Worker-process TCP mode for the live benchmarks: the same chaos
+//! scenario as [`Scenario::chaos_cluster`], but with every node a real
+//! OS process and every fabric link a real `TcpStream` speaking the
+//! versioned wire format — including a `kill -9` of a worker as the
+//! ultimate crash, healed by restart-and-replay from the checkpoint
+//! log and the senders' §6.2 retention windows.
+//!
+//! Any binary that launches a [`TcpCluster`] re-executes **itself** as
+//! the workers, so its `main` must call [`serve_worker_if_spawned`]
+//! first thing; the worker rebuilds the identical workflow from the
+//! tag the coordinator passed and never returns.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dataflower_rt::{Bytes, ClusterRtConfig, CrashReport, Placement, RecoveryConfig, TcpCluster};
+use dataflower_workflow::json;
+
+use crate::benchmarks::Benchmark;
+use crate::chaos::{chaos_rt_config, ChaosClusterConfig, ChaosClusterReport};
+use crate::harness::Scenario;
+use crate::live::{live_builder, live_input, reference_output};
+
+/// Which runtime tuning a TCP cluster (coordinator and workers alike)
+/// derives from the worker tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpProfile {
+    /// Default knobs with §6.2 recovery enabled and no fault
+    /// injection — the smoke-test / example / benchmark path.
+    Plain,
+    /// The chaos knobs of [`Scenario::chaos_cluster`]: small chunks and
+    /// checkpoint intervals, 4 MiB/s links, seeded frame chaos.
+    Chaos,
+}
+
+impl TcpProfile {
+    fn name(self) -> &'static str {
+        match self {
+            TcpProfile::Plain => "plain",
+            TcpProfile::Chaos => "chaos",
+        }
+    }
+
+    /// The runtime config this profile stands for. Every process of the
+    /// cluster calls this with the same arguments, so the topology-
+    /// defining knobs (chunking, thresholds, recovery) agree everywhere.
+    pub fn rt_config(self, seed: u64) -> ClusterRtConfig {
+        match self {
+            TcpProfile::Plain => ClusterRtConfig {
+                recovery: RecoveryConfig {
+                    enabled: true,
+                    retransmit_timeout: Duration::from_millis(50),
+                },
+                ..ClusterRtConfig::default()
+            },
+            TcpProfile::Chaos => chaos_rt_config(seed),
+        }
+    }
+}
+
+/// Composes the worker tag: everything a worker process needs to
+/// rebuild the coordinator's exact workflow, placement and config.
+fn worker_tag(bench: Benchmark, nodes: usize, seed: u64, profile: TcpProfile) -> String {
+    format!(
+        "{{\"bench\":\"{}\",\"nodes\":{},\"seed\":{},\"profile\":\"{}\"}}",
+        bench.name(),
+        nodes,
+        seed,
+        profile.name()
+    )
+}
+
+/// If this process was spawned as a TCP cluster worker (see
+/// [`dataflower_rt::worker_env`]), rebuilds the benchmark cluster
+/// described by the worker tag and serves it forever — **never
+/// returning**. Otherwise returns immediately. Call this first thing in
+/// the `main` of any binary that launches a benchmark [`TcpCluster`].
+pub fn serve_worker_if_spawned() {
+    let Some(env) = dataflower_rt::worker_env() else {
+        return;
+    };
+    let tag = json::parse(env.tag()).expect("worker tag is JSON");
+    let bench = match tag.get("bench").and_then(|b| b.as_str()).unwrap_or("") {
+        "wc" => Benchmark::Wc,
+        "vid" => Benchmark::Vid,
+        "svd" => Benchmark::Svd,
+        "img" => Benchmark::Img,
+        other => panic!("worker tag names unknown benchmark `{other}`"),
+    };
+    let nodes = tag.get("nodes").and_then(|n| n.as_f64()).expect("nodes") as usize;
+    let seed = tag.get("seed").and_then(|s| s.as_f64()).unwrap_or(0.0) as u64;
+    let profile = match tag
+        .get("profile")
+        .and_then(|p| p.as_str())
+        .unwrap_or("plain")
+    {
+        "chaos" => TcpProfile::Chaos,
+        _ => TcpProfile::Plain,
+    };
+    let wf = bench.workflow();
+    let placement = Placement::by_level(&wf, nodes);
+    let builder = live_builder(bench, wf, placement, profile.rt_config(seed));
+    env.serve(builder)
+}
+
+/// The canonical client input of `bench` at the given payload size:
+/// the client-edge name the workflow expects and the deterministic
+/// payload the live benchmark bodies are calibrated for. Useful for
+/// driving a [`launch_bench_cluster`] cluster by hand.
+pub fn bench_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>) {
+    live_input(bench, payload_bytes)
+}
+
+/// Launches `bench` as a worker-process TCP cluster under `profile`.
+/// The calling binary must have invoked [`serve_worker_if_spawned`] at
+/// the top of `main`.
+pub fn launch_bench_cluster(
+    bench: Benchmark,
+    nodes: usize,
+    seed: u64,
+    profile: TcpProfile,
+) -> std::io::Result<TcpCluster> {
+    let wf = bench.workflow();
+    let placement = Placement::by_level(&wf, nodes);
+    let tag = worker_tag(bench, nodes, seed, profile);
+    TcpCluster::launch(wf, placement, profile.rt_config(seed), &tag)
+}
+
+impl Scenario {
+    /// The TCP twin of [`Scenario::chaos_cluster`]: the same seeded
+    /// frame chaos and byte-identity contract, but executed as one OS
+    /// process per node over real localhost sockets, with the victim
+    /// `kill -9`'d mid-stream and brought back as a fresh process that
+    /// replays its checkpoint log while the senders resume every
+    /// un-acked transfer from its last acknowledged §6.2 mark.
+    ///
+    /// Two assertions differ from the in-process scenario:
+    /// `frames_lost_to_crashes` is not asserted (frames lost in the
+    /// kernel buffers of a killed process are invisible to any
+    /// counter), and the killed worker's counters die with it, so
+    /// totals cover the surviving processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missed deadline, an output diverging from the
+    /// straight-line reference, no crash window opening within
+    /// [`ChaosClusterConfig::crash_deadline`], or a restart that
+    /// replayed nothing / resumed from byte 0.
+    pub fn chaos_cluster_tcp(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
+        assert!(cfg.nodes >= 2, "chaos_cluster_tcp needs a node to crash");
+        let wf = bench.workflow();
+        let placement = Placement::by_level(&wf, cfg.nodes);
+        let mut rt_cfg = chaos_rt_config(cfg.seed);
+        rt_cfg.faults.seed = cfg.seed;
+        let tag = worker_tag(bench, cfg.nodes, cfg.seed, TcpProfile::Chaos);
+        let cluster = TcpCluster::launch(Arc::clone(&wf), placement, rt_cfg.clone(), &tag)
+            .expect("launch TCP cluster");
+        let (input_name, input) = live_input(bench, cfg.payload_bytes);
+        let expected = reference_output(bench, &input);
+
+        // Same victim rationale as the in-process scenario: node 1
+        // receives the large fan-out intermediates over the streaming
+        // remote pipe under the by-level spread.
+        let victim = 1;
+
+        let t0 = Instant::now();
+        let input = Bytes::from(input);
+        let reqs: Vec<_> = (0..cfg.requests.max(1))
+            .map(|_| cluster.invoke(vec![(input_name.to_owned(), input.clone())]))
+            .collect();
+
+        let crash = hunt_kill(&cluster, victim, cfg.crash_deadline);
+        std::thread::sleep(cfg.outage); // frames toward the dead process die here
+        cluster
+            .restart_worker(victim)
+            .expect("restart killed worker");
+
+        let mut output_bytes = 0;
+        let requests = reqs.len();
+        for req in reqs {
+            let outputs = cluster
+                .wait(req, cfg.timeout)
+                .unwrap_or_else(|e| panic!("tcp chaos {bench} request failed: {e}"));
+            assert_eq!(
+                outputs.len(),
+                1,
+                "tcp chaos {bench}: expected one client output"
+            );
+            assert_eq!(
+                &*outputs[0].1,
+                &expected[..],
+                "tcp chaos {bench} output diverged from the reference computation"
+            );
+            output_bytes += outputs[0].1.len();
+        }
+        let elapsed = t0.elapsed();
+        let stats = cluster.stats();
+        assert!(
+            stats.recovered_transfers > 0,
+            "tcp chaos {bench}: the reconnects replayed no transfers"
+        );
+        assert!(
+            stats.resumed_from_mark_bytes > 0,
+            "tcp chaos {bench}: recovery resumed from byte 0 instead of a checkpoint mark"
+        );
+        let nodes = cluster.node_count();
+        cluster.shutdown();
+        ChaosClusterReport {
+            benchmark: bench.name(),
+            nodes,
+            requests,
+            elapsed,
+            output_bytes,
+            victim,
+            crash,
+            stats,
+        }
+    }
+}
+
+/// `kill -9`s `victim` once it is mid-reassembly past at least one
+/// checkpoint mark — the TCP twin of the in-process `hunt_crash`, with
+/// the probe an RPC over the control channel instead of a shared-memory
+/// read.
+///
+/// The receiver-side probe alone is racy over real sockets: the victim
+/// may have crossed a mark whose `AckMark` died in its out-queue or a
+/// kernel buffer, in which case the senders would replay from byte 0.
+/// So after the SIGKILL lands the hunt re-checks the *sender* side
+/// ([`TcpCluster::sender_mid_stream`]) — once the victim is dead and
+/// its last in-flight acks have drained, retention state is frozen
+/// until the restart, making the check stable. A kill that misses
+/// either condition restarts the worker and retries.
+fn hunt_kill(cluster: &TcpCluster, victim: usize, deadline: Duration) -> CrashReport {
+    let give_up = Instant::now() + deadline;
+    loop {
+        assert!(
+            Instant::now() < give_up,
+            "chaos_cluster_tcp: no crash window with a checkpoint-marked in-flight \
+             transfer opened on worker {victim} — slow the links or grow the payload"
+        );
+        if let Some((inflight, durable)) = cluster.probe_worker(victim) {
+            if inflight > 0 && durable > 0 {
+                let report = cluster.kill_worker(victim);
+                if report.was_up && report.inflight_transfers > 0 && report.durable_bytes > 0 {
+                    // Let acks already on the wire from the now-dead
+                    // victim drain, then confirm some sender still
+                    // retains a mark-acked partial transfer toward it.
+                    std::thread::sleep(Duration::from_millis(5));
+                    if cluster.sender_mid_stream(victim, 1) {
+                        return report;
+                    }
+                }
+                // Killed at a bad moment: bring the worker back and
+                // hunt again.
+                cluster
+                    .restart_worker(victim)
+                    .expect("restart killed worker");
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}

@@ -1,0 +1,42 @@
+//! Smoke test for the worker-process TCP fabric: `chaos_cluster_tcp`
+//! runs the wordcount benchmark with one OS process per node over real
+//! localhost sockets, `kill -9`s a worker mid-stream, restarts it, and
+//! asserts byte-identical output plus a real resume-from-mark recovery.
+//!
+//! `harness = false` because this binary re-executes itself as the
+//! cluster's worker processes: `serve_worker_if_spawned` must run
+//! before anything else in `main`.
+
+use std::time::Duration;
+
+use dataflower_workloads::{Benchmark, ChaosClusterConfig, Scenario};
+
+fn main() {
+    // Worker processes enter here, rebuild the benchmark runtime from
+    // their tag, and never return.
+    dataflower_workloads::serve_worker_if_spawned();
+
+    let cfg = ChaosClusterConfig {
+        payload_bytes: 128 * 1024,
+        requests: 1,
+        outage: Duration::from_millis(20),
+        ..ChaosClusterConfig::default()
+    };
+    let report = Scenario::chaos_cluster_tcp(Benchmark::Wc, &cfg);
+    assert_eq!(report.requests, 1);
+    assert!(report.output_bytes > 0, "empty output");
+    assert!(report.crash.inflight_transfers > 0);
+    assert!(report.crash.durable_bytes > 0);
+    assert!(report.stats.recovered_transfers > 0);
+    assert!(report.stats.resumed_from_mark_bytes > 0);
+    assert!(report.stats.node_restarts >= 1);
+    println!(
+        "socket_smoke ok: {} request(s), {} output bytes, {} transfers replayed, \
+         {} bytes resumed from checkpoint marks, crash+restart of worker {}",
+        report.requests,
+        report.output_bytes,
+        report.stats.recovered_transfers,
+        report.stats.resumed_from_mark_bytes,
+        report.victim,
+    );
+}

@@ -1002,3 +1002,154 @@ fn chaos_recovery_is_byte_identical_and_exactly_once_for_every_placement() {
         },
     );
 }
+
+#[test]
+fn fault_fate_streams_differ_across_links_and_directions() {
+    use dataflower_rt::FaultPlan;
+
+    check(
+        "fault_fate_streams_differ_across_links_and_directions",
+        |g| {
+            // Individual rates capped so their sum stays below 1.0,
+            // which `validate` requires.
+            let plan = FaultPlan::seeded(g.u64_in(0, 1 << 48))
+                .frame_chaos(g.f64_in(0.1, 0.3), g.f64_in(0.1, 0.3))
+                .delay_frames(g.f64_in(0.1, 0.3), std::time::Duration::from_millis(1));
+            assert!(plan.validate().is_ok());
+
+            let src = g.usize_in(0, 8);
+            let dst = (src + g.usize_in(1, 8)) % 8; // distinct from src
+                                                    // A third directed link sharing neither endpoint order.
+            let other = (src + 8, dst + 8);
+
+            let stream = |s: usize, d: usize| -> Vec<_> {
+                (0..512).map(|f| plan.frame_fate(f, s, d)).collect()
+            };
+            let forward = stream(src, dst);
+
+            // Deterministic: the same link replays the same fates.
+            assert_eq!(forward, stream(src, dst));
+            // A directed link and its reverse never share a fate stream:
+            // the chaos hitting `a → b` says nothing about `b → a`.
+            assert_ne!(
+                forward,
+                stream(dst, src),
+                "reversed link {dst}->{src} shares {src}->{dst}'s fate stream"
+            );
+            // Nor do two entirely distinct links.
+            assert_ne!(
+                forward,
+                stream(other.0, other.1),
+                "distinct links share a fate stream"
+            );
+        },
+    );
+}
+
+#[test]
+fn wire_frames_roundtrip_over_loopback_tcp_in_random_splits() {
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    use dataflower_rt::wire::encode_parts;
+    use dataflower_rt::{Bytes, Frame};
+
+    /// One random frame covering every wire kind, with keys and payloads
+    /// of arbitrary (including zero) length.
+    fn frame(g: &mut Gen) -> Frame {
+        let key = |g: &mut Gen| -> String {
+            g.vec(0, 24, |g| {
+                b"abcdefgh@_0123456789"[g.usize_in(0, 20)] as char
+            })
+            .into_iter()
+            .collect()
+        };
+        let bytes =
+            |g: &mut Gen| -> Bytes { Bytes::from(g.vec(0, 4096, |g| g.usize_in(0, 256) as u8)) };
+        match g.usize_in(0, 5) {
+            0 => Frame::Hello {
+                node: g.u64_in(0, 256) as u32,
+                epoch: g.u64_in(0, 1 << 20) as u32,
+            },
+            1 => Frame::Whole {
+                req: g.u64_in(0, 1 << 40),
+                edge: g.u64_in(0, 1 << 16) as u32,
+                key: key(g),
+                transfer: g.u64_in(0, 1 << 40),
+                payload: bytes(g),
+            },
+            2 => Frame::Chunk {
+                req: g.u64_in(0, 1 << 40),
+                edge: g.u64_in(0, 1 << 16) as u32,
+                key: key(g),
+                transfer: g.u64_in(0, 1 << 40),
+                offset: g.u64_in(0, 1 << 30),
+                total: g.u64_in(0, 1 << 30),
+                bytes: bytes(g),
+            },
+            3 => Frame::AckMark {
+                transfer: g.u64_in(0, 1 << 40),
+                mark: g.u64_in(0, 1 << 30),
+            },
+            _ => Frame::AckComplete {
+                transfer: g.u64_in(0, 1 << 40),
+            },
+        }
+    }
+
+    check(
+        "wire_frames_roundtrip_over_loopback_tcp_in_random_splits",
+        |g| {
+            let frames = g.vec(1, 9, frame);
+
+            // The whole session as one byte stream, exactly as the link
+            // agents produce it: header buffer + zero-copy payload view.
+            let mut session = Vec::new();
+            for f in &frames {
+                let (head, payload) = encode_parts(f);
+                session.extend_from_slice(&head);
+                if let Some(p) = payload {
+                    session.extend_from_slice(&p);
+                }
+            }
+
+            // Pre-draw random write splits — torn headers, split length
+            // fields, payloads sliced across writes.
+            let mut splits = Vec::new();
+            let mut at = 0;
+            while at < session.len() {
+                let n = g.usize_in(1, 17.min(session.len() - at + 1));
+                splits.push((at, at + n));
+                at += n;
+            }
+
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("listener addr");
+            let writer = std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect loopback");
+                s.set_nodelay(true).expect("nodelay");
+                for (lo, hi) in splits {
+                    s.write_all(&session[lo..hi]).expect("split write");
+                    s.flush().expect("flush");
+                }
+            });
+
+            let (mut conn, _) = listener.accept().expect("accept loopback");
+            let mut dec = dataflower_rt::Decoder::new();
+            let mut got = Vec::new();
+            // A deliberately tiny, non-power-of-two read buffer so frames
+            // arrive shredded across reads no matter how the writer split.
+            let mut buf = [0u8; 11];
+            while got.len() < frames.len() {
+                let n = conn.read(&mut buf).expect("read loopback");
+                assert!(n > 0, "EOF before every frame decoded");
+                dec.feed(&buf[..n]);
+                while let Some(f) = dec.next_frame().expect("wire stream decodes cleanly") {
+                    got.push(f);
+                }
+            }
+            writer.join().expect("writer thread");
+            assert_eq!(got, frames, "frames diverged across the socket");
+        },
+    );
+}
