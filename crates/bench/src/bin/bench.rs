@@ -40,8 +40,8 @@ use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
     bench_input, launch_bench_cluster, serve_worker_if_spawned, Benchmark, BurstyClusterConfig,
-    ChaosClusterConfig, LiveClusterConfig, LivePlacement, Scenario, SkewedFanoutConfig, SystemKind,
-    TcpProfile,
+    ChaosClusterConfig, LiveClusterConfig, LivePlacement, NodeLossConfig, Scenario,
+    SkewedFanoutConfig, SystemKind, TcpProfile,
 };
 
 /// Default timed iterations per benchmark (median-of-K).
@@ -137,6 +137,7 @@ fn main() {
     live_cluster_benchmarks(&harness);
     elastic_benchmarks(&harness);
     recovery_benchmarks(&harness);
+    control_plane_benchmarks(&harness);
     data_plane_benchmarks(&harness);
     socket_fabric_benchmarks(&harness);
     substrate_benchmarks(&harness);
@@ -267,6 +268,64 @@ fn recovery_benchmarks(h: &Harness) {
         let out = r.into_bytes();
         assert_eq!(out.len(), payload.len());
         out
+    });
+}
+
+/// Orchestrator control-plane benchmarks: what the heartbeat machinery
+/// costs when nothing goes wrong (the same live run with and without the
+/// control plane), how long a permanent node loss takes to heal end to
+/// end (detection + relocation + replay, inside one request deadline),
+/// and the drain latency of a voluntary live migration. The loss and
+/// migration cases assert their byte-identity contracts internally, so
+/// the bench doubles as a smoke gate.
+fn control_plane_benchmarks(h: &Harness) {
+    use std::time::Duration;
+
+    use dataflower_rt::ClusterConfig;
+
+    for (label, heartbeats) in [("on_10ms", true), ("off", false)] {
+        h.run(
+            "control_plane",
+            &format!("heartbeat_overhead/wc_{label}"),
+            move || {
+                let mut builder = ClusterConfig::new().recovery(Duration::from_millis(50));
+                if heartbeats {
+                    builder = builder.heartbeat(Duration::from_millis(10), 3);
+                }
+                let cfg = LiveClusterConfig {
+                    nodes: 3,
+                    placement: LivePlacement::ByLevel,
+                    requests: 2,
+                    payload_bytes: 128 * 1024,
+                    rt: builder.build(),
+                    ..LiveClusterConfig::default()
+                };
+                let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+                assert_eq!(report.stats.node_losses, 0);
+                assert_eq!(report.stats.heartbeats > 0, heartbeats);
+                report.requests
+            },
+        );
+    }
+    h.run("control_plane", "relocation_recover/wc_128k", || {
+        let cfg = NodeLossConfig {
+            payload_bytes: 128 * 1024,
+            ..NodeLossConfig::default()
+        };
+        let report = Scenario::node_loss_relocation(Benchmark::Wc, &cfg);
+        assert!(report.relocated > 0);
+        assert!(report.stats.node_losses >= 1);
+        report.requests
+    });
+    h.run("control_plane", "migration_drain/svd_128k", || {
+        let cfg = NodeLossConfig {
+            payload_bytes: 128 * 1024,
+            requests: 2,
+            ..NodeLossConfig::default()
+        };
+        let report = Scenario::live_migration(Benchmark::Svd, &cfg);
+        assert!(report.stats.live_migrations >= 1);
+        report.requests
     });
 }
 

@@ -252,6 +252,11 @@ pub(crate) struct FnScale {
     pub backlog_bytes: AtomicU64,
     /// Observed FLU execution times — the `T_FLU` term of Eq. 1.
     pub t_flu: Mutex<RunningAvg>,
+    /// Executor threads currently running for this function (incremented
+    /// at spawn, decremented when an executor exits). Unlike `replicas`
+    /// — the *intended* pool size — this is the observed one, which is
+    /// what live migration polls to know the drain finished.
+    pub live: AtomicUsize,
 }
 
 impl FnScale {
@@ -260,6 +265,7 @@ impl FnScale {
             replicas: AtomicUsize::new(initial_replicas),
             backlog_bytes: AtomicU64::new(0),
             t_flu: Mutex::new(RunningAvg::new()),
+            live: AtomicUsize::new(0),
         }
     }
 }

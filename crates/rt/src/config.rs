@@ -1,0 +1,185 @@
+//! One fluent front door for every runtime knob.
+//!
+//! The cluster runtime grew four loose config structs over time —
+//! [`RtConfig`] (per-node executor knobs), [`ClusterRtConfig`] (pipe
+//! thresholds, link shaping), [`RecoveryConfig`] (§6.2 checkpoint
+//! recovery) and [`AutoscaleConfig`] (Eq. 1 elastic scaling) — and the
+//! orchestrator would have been a fifth. [`ClusterConfig`] consolidates
+//! them behind one builder:
+//!
+//! ```
+//! use std::time::Duration;
+//! use dataflower_rt::ClusterConfig;
+//!
+//! let cfg = ClusterConfig::new()
+//!     .chunk_bytes(16 * 1024)
+//!     .recovery(Duration::from_millis(50))
+//!     .autoscale(dataflower_rt::AutoscaleConfig::default())
+//!     .heartbeat(Duration::from_millis(10), 3);
+//! // Anywhere a `ClusterRtConfig` is accepted, the builder converts:
+//! let low: dataflower_rt::ClusterRtConfig = cfg.into();
+//! assert!(low.orchestrator && low.recovery.enabled);
+//! ```
+//!
+//! [`ClusterRuntimeBuilder::config`] accepts `impl Into<ClusterRtConfig>`,
+//! so a `ClusterConfig` drops in wherever the low-level struct did.
+//!
+//! [`ClusterRuntimeBuilder::config`]: crate::ClusterRuntimeBuilder::config
+
+use std::time::Duration;
+
+use crate::autoscale::AutoscaleConfig;
+use crate::fabric::LinkConfig;
+use crate::fault::FaultPlan;
+use crate::runtime::{ClusterRtConfig, RecoveryConfig, RtConfig};
+
+/// Fluent builder over every cluster-runtime knob. Start from
+/// [`ClusterConfig::new`] (the same defaults as
+/// `ClusterRtConfig::default()`), chain the aspects you care about, and
+/// pass the result straight to
+/// [`ClusterRuntimeBuilder::config`](crate::ClusterRuntimeBuilder::config).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    inner: ClusterRtConfig,
+}
+
+impl ClusterConfig {
+    /// Starts from the stock defaults: 16 KiB direct threshold, 64 KiB
+    /// chunks, 256 KiB checkpoint interval, unshaped links, autoscaling
+    /// off, no faults, recovery off, orchestrator off.
+    pub fn new() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    /// Per-node executor/DLU/janitor knobs (queue capacity, replica
+    /// count, sink TTL and stripes).
+    pub fn node(mut self, rt: RtConfig) -> ClusterConfig {
+        self.inner.rt = rt;
+        self
+    }
+
+    /// Payloads strictly under this many bytes take the direct socket
+    /// (§7's 16 KiB rule).
+    pub fn direct_threshold_bytes(mut self, bytes: usize) -> ClusterConfig {
+        self.inner.direct_threshold_bytes = bytes;
+        self
+    }
+
+    /// Chunk size of the streaming remote pipe connector.
+    pub fn chunk_bytes(mut self, bytes: usize) -> ClusterConfig {
+        self.inner.chunk_bytes = bytes;
+        self
+    }
+
+    /// Checkpoint-mark interval of the remote pipe stream (§6.2).
+    pub fn checkpoint_interval_bytes(mut self, bytes: usize) -> ClusterConfig {
+        self.inner.checkpoint_interval_bytes = bytes;
+        self
+    }
+
+    /// Bandwidth/latency shaping applied to every inter-node link.
+    pub fn link(mut self, link: LinkConfig) -> ClusterConfig {
+        self.inner.link = link;
+        self
+    }
+
+    /// Enables Eq. 1 pressure-driven elastic scaling of the FLU pools.
+    pub fn autoscale(mut self, auto: AutoscaleConfig) -> ClusterConfig {
+        self.inner.autoscale = auto;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> ClusterConfig {
+        self.inner.faults = plan;
+        self
+    }
+
+    /// Enables §6.2 checkpoint recovery with the given retransmit
+    /// timeout (sender-side retention, mark acks, replay on restart).
+    pub fn recovery(mut self, retransmit_timeout: Duration) -> ClusterConfig {
+        self.inner.recovery = RecoveryConfig {
+            enabled: true,
+            retransmit_timeout,
+        };
+        self
+    }
+
+    /// Replaces the whole recovery config (for disabling, or tests that
+    /// build one by hand).
+    pub fn recovery_config(mut self, recovery: RecoveryConfig) -> ClusterConfig {
+        self.inner.recovery = recovery;
+        self
+    }
+
+    /// Enables the orchestrator control plane: per-node keep-alive
+    /// heartbeats every `interval`, node-loss declaration after
+    /// `miss_threshold` consecutive missed beats, automatic relocation
+    /// of the lost node's functions. Pair with
+    /// [`ClusterConfig::recovery`] so mid-stream transfers survive the
+    /// move.
+    pub fn heartbeat(mut self, interval: Duration, miss_threshold: u32) -> ClusterConfig {
+        self.inner.orchestrator = true;
+        self.inner.heartbeat_interval = interval;
+        self.inner.heartbeat_miss_threshold = miss_threshold;
+        self
+    }
+
+    /// How long a live migration (or relocation) waits for the drained
+    /// FLU pool to finish in-flight work before respawning anyway.
+    pub fn migration_drain_timeout(mut self, timeout: Duration) -> ClusterConfig {
+        self.inner.migration_drain_timeout = timeout;
+        self
+    }
+
+    /// The assembled low-level config (what [`From`] produces too).
+    pub fn build(self) -> ClusterRtConfig {
+        self.inner
+    }
+}
+
+impl From<ClusterConfig> for ClusterRtConfig {
+    fn from(cfg: ClusterConfig) -> ClusterRtConfig {
+        cfg.inner
+    }
+}
+
+impl From<ClusterRtConfig> for ClusterConfig {
+    /// Lifts an existing low-level config into the builder so call
+    /// sites can migrate piecemeal.
+    fn from(inner: ClusterRtConfig) -> ClusterConfig {
+        ClusterConfig { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip_matches_defaults() {
+        let built: ClusterRtConfig = ClusterConfig::new().into();
+        let stock = ClusterRtConfig::default();
+        assert_eq!(built.direct_threshold_bytes, stock.direct_threshold_bytes);
+        assert_eq!(built.chunk_bytes, stock.chunk_bytes);
+        assert_eq!(built.orchestrator, stock.orchestrator);
+        assert_eq!(built.recovery.enabled, stock.recovery.enabled);
+    }
+
+    #[test]
+    fn aspects_compose() {
+        let cfg: ClusterRtConfig = ClusterConfig::new()
+            .chunk_bytes(4096)
+            .recovery(Duration::from_millis(40))
+            .heartbeat(Duration::from_millis(10), 2)
+            .migration_drain_timeout(Duration::from_millis(500))
+            .build();
+        assert_eq!(cfg.chunk_bytes, 4096);
+        assert!(cfg.recovery.enabled);
+        assert_eq!(cfg.recovery.retransmit_timeout, Duration::from_millis(40));
+        assert!(cfg.orchestrator);
+        assert_eq!(cfg.heartbeat_interval, Duration::from_millis(10));
+        assert_eq!(cfg.heartbeat_miss_threshold, 2);
+        assert_eq!(cfg.migration_drain_timeout, Duration::from_millis(500));
+    }
+}

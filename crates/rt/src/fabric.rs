@@ -63,7 +63,8 @@
 //! assert_eq!(&*r.into_bytes(), &payload[..]);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -435,6 +436,13 @@ pub(crate) struct RetainedTransfer {
     /// Last send/ack touching this transfer — staleness clock of the
     /// recovery daemon's retransmit sweep.
     pub last_activity: Instant,
+    /// Fully acked. Only reachable in retain-acked mode, where completed
+    /// transfers stay resident (excluded from replay and [`len`]) until
+    /// their request is purged — the replay source for relocating a
+    /// function onto a node that holds none of its bytes.
+    ///
+    /// [`len`]: LinkRetention::len
+    pub completed: bool,
 }
 
 /// What one replay sweep over a link's retention produced: the frames to
@@ -457,9 +465,19 @@ pub(crate) struct ReplaySummary {
 #[derive(Default)]
 pub(crate) struct LinkRetention {
     transfers: HashMap<u64, RetainedTransfer>,
+    /// Retain-acked mode: acks stop freeing frames, so the full byte
+    /// history of every transfer stays replayable until its request is
+    /// purged. The orchestrator's wire mode needs this — relocating a
+    /// function to a node that never hosted it means replaying from
+    /// byte 0, including transfers the dead node had already acked.
+    retain_acked: bool,
 }
 
 impl LinkRetention {
+    /// Switches this link into retain-acked mode (see the field doc).
+    pub fn set_retain_acked(&mut self, on: bool) {
+        self.retain_acked = on;
+    }
     /// Retains one outbound frame (called just before it is handed to
     /// the link, so a frame lost at a dead node is always replayable).
     #[allow(clippy::too_many_arguments)]
@@ -486,6 +504,7 @@ impl LinkRetention {
                 acked: 0,
                 frames: Vec::new(),
                 last_activity: Instant::now(),
+                completed: false,
             });
         t.frames.push((offset, bytes));
         t.last_activity = Instant::now();
@@ -501,15 +520,117 @@ impl LinkRetention {
         }
         let prev = t.acked;
         t.acked = mark;
-        t.frames.retain(|(off, b)| off + b.len() > mark);
+        if !self.retain_acked {
+            t.frames.retain(|(off, b)| off + b.len() > mark);
+        }
         t.last_activity = Instant::now();
         Some(prev)
     }
 
     /// Acknowledges full delivery: the transfer leaves the retention
-    /// window entirely. Returns true when it was still retained.
+    /// window entirely (retain-acked mode instead parks it as completed
+    /// until the request is purged). Returns true when it was still
+    /// live-retained.
     pub fn ack_complete(&mut self, transfer: u64) -> bool {
-        self.transfers.remove(&transfer).is_some()
+        if self.retain_acked {
+            match self.transfers.get_mut(&transfer) {
+                Some(t) if !t.completed => {
+                    t.completed = true;
+                    t.last_activity = Instant::now();
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            self.transfers.remove(&transfer).is_some()
+        }
+    }
+
+    /// Drops every retained transfer of one request — the retain-acked
+    /// mode's reclamation point, called once the request's outputs are
+    /// delivered. Returns how many transfers were freed.
+    pub fn purge_req(&mut self, req: u64) -> usize {
+        let before = self.transfers.len();
+        self.transfers.retain(|_, t| t.req != req);
+        before - self.transfers.len()
+    }
+
+    /// Removes and returns one retained transfer by id — used when a
+    /// forwarded in-flight frame drags its retention entry along to the
+    /// destination's new host.
+    pub fn take(&mut self, transfer: u64) -> Option<RetainedTransfer> {
+        self.transfers.remove(&transfer)
+    }
+
+    /// Removes and returns every retained transfer matching `pred` —
+    /// the first half of moving retention between links when a function
+    /// relocates (the second half is [`adopt`]).
+    ///
+    /// [`adopt`]: LinkRetention::adopt
+    pub fn extract(
+        &mut self,
+        mut pred: impl FnMut(&RetainedTransfer) -> bool,
+    ) -> Vec<(u64, RetainedTransfer)> {
+        let ids: Vec<u64> = self
+            .transfers
+            .iter()
+            .filter(|(_, t)| pred(t))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .map(|id| (id, self.transfers.remove(&id).expect("extract ids exist")))
+            .collect()
+    }
+
+    /// Adopts a transfer extracted from another link. With `reset` the
+    /// durable-prefix bookkeeping is cleared (acked mark to 0, completed
+    /// off) so a later replay re-sends every frame — required when the
+    /// new destination holds none of the transfer's bytes. Frames of an
+    /// already-resident entry (a send raced the move) are merged in.
+    pub fn adopt(&mut self, transfer: u64, mut t: RetainedTransfer, reset: bool) {
+        if reset {
+            t.acked = 0;
+            t.completed = false;
+        }
+        match self.transfers.entry(transfer) {
+            Entry::Vacant(v) => {
+                v.insert(t);
+            }
+            Entry::Occupied(mut o) => {
+                let cur = o.get_mut();
+                let have: HashSet<usize> = cur.frames.iter().map(|(off, _)| *off).collect();
+                for (off, bytes) in t.frames {
+                    if !have.contains(&off) {
+                        cur.frames.push((off, bytes));
+                    }
+                }
+                cur.acked = cur.acked.max(t.acked);
+                cur.completed = cur.completed || t.completed;
+                cur.last_activity = Instant::now();
+            }
+        }
+    }
+
+    /// Replays exactly the given transfers (regardless of idle time or
+    /// completion), in full from their retained frames — the relocation
+    /// path, called right after [`adopt`] re-homed them onto this link.
+    ///
+    /// [`adopt`]: LinkRetention::adopt
+    pub fn replay_ids(&mut self, now: Instant, ids: &[u64]) -> ReplaySummary {
+        let mut summary = ReplaySummary {
+            transfers: 0,
+            resumed_from_mark_bytes: 0,
+            frames: Vec::new(),
+        };
+        for id in ids {
+            if let Some(t) = self.transfers.get_mut(id) {
+                t.last_activity = now;
+                summary.transfers += 1;
+                summary.resumed_from_mark_bytes += t.acked as u64;
+                push_replay_frames(&mut summary.frames, *id, t);
+            }
+        }
+        summary
     }
 
     /// Collects the frames of every retained (= incomplete) transfer for
@@ -524,6 +645,9 @@ impl LinkRetention {
             frames: Vec::new(),
         };
         for (id, t) in &mut self.transfers {
+            if t.completed {
+                continue;
+            }
             if let Some(timeout) = older_than {
                 if now.duration_since(t.last_activity) < timeout {
                     continue;
@@ -532,34 +656,15 @@ impl LinkRetention {
             t.last_activity = now;
             summary.transfers += 1;
             summary.resumed_from_mark_bytes += t.acked as u64;
-            for (offset, bytes) in &t.frames {
-                summary.frames.push(if t.chunked {
-                    NetMsg::Chunk {
-                        req: t.req,
-                        edge: t.edge,
-                        key: t.key.clone(),
-                        transfer: *id,
-                        offset: *offset,
-                        total: t.total,
-                        bytes: bytes.clone(),
-                    }
-                } else {
-                    NetMsg::Whole {
-                        req: t.req,
-                        edge: t.edge,
-                        key: t.key.clone(),
-                        transfer: *id,
-                        payload: bytes.clone(),
-                    }
-                });
-            }
+            push_replay_frames(&mut summary.frames, *id, t);
         }
         summary
     }
 
-    /// Number of transfers currently retained (un-acked).
+    /// Number of transfers currently retained and un-acked (retain-acked
+    /// mode's completed-but-resident transfers are not counted).
     pub fn len(&self) -> usize {
-        self.transfers.len()
+        self.transfers.values().filter(|t| !t.completed).count()
     }
 
     /// True when some chunked transfer has crossed at least one acked
@@ -571,6 +676,36 @@ impl LinkRetention {
         self.transfers
             .values()
             .any(|t| t.chunked && t.acked > 0 && t.total - t.acked >= margin)
+    }
+}
+
+/// Builds the replay frames of one retained transfer, skipping frames
+/// that sit entirely below its acked durable prefix (§6.2: resume from
+/// the last mark, not byte 0).
+fn push_replay_frames(frames: &mut Vec<NetMsg>, id: u64, t: &RetainedTransfer) {
+    for (offset, bytes) in &t.frames {
+        if *offset + bytes.len() <= t.acked {
+            continue;
+        }
+        frames.push(if t.chunked {
+            NetMsg::Chunk {
+                req: t.req,
+                edge: t.edge,
+                key: t.key.clone(),
+                transfer: id,
+                offset: *offset,
+                total: t.total,
+                bytes: bytes.clone(),
+            }
+        } else {
+            NetMsg::Whole {
+                req: t.req,
+                edge: t.edge,
+                key: t.key.clone(),
+                transfer: id,
+                payload: bytes.clone(),
+            }
+        });
     }
 }
 

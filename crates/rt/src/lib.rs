@@ -61,11 +61,13 @@
 pub mod autoscale;
 mod bytes;
 pub mod channel;
+mod config;
 mod context;
 mod error;
 pub mod fabric;
 pub mod fault;
 mod node;
+mod orchestrator;
 mod runtime;
 pub mod sink;
 pub mod transport;
@@ -73,11 +75,14 @@ pub mod wire;
 
 pub use autoscale::{AutoscaleConfig, ScaleDirection, ScaleEvent, ScalePolicy};
 pub use bytes::Bytes;
+pub use config::ClusterConfig;
 pub use context::{FluContext, PutTarget};
 pub use error::RtError;
 pub use fabric::{chunk_spans, LinkConfig, Reassembler};
 pub use fault::{FaultPlan, FrameFate, NodeKill};
-pub use node::{NodeRuntime, Placement};
+pub use node::{
+    ByLevel, LoadAware, NodeRuntime, Placement, PlacementPolicy, RoundRobin, SingleNode,
+};
 pub use runtime::{
     ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, CrashReport, RecoveryConfig, ReqId,
     RtConfig, RtStats, Runtime, RuntimeBuilder,

@@ -10,7 +10,7 @@
 //! worker node in Fig. 4, shrunk to threads inside one process.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -50,8 +50,13 @@ pub struct Placement {
 impl Placement {
     /// A single-node placement: every function co-located (the original
     /// one-worker runtime).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `SingleNode` placement policy with \
+                `ClusterRuntimeBuilder::policy` instead"
+    )]
     pub fn single_node() -> Placement {
-        Placement::with_nodes(1)
+        single_node_impl()
     }
 
     /// A placement over `nodes` worker nodes; functions default to
@@ -74,18 +79,26 @@ impl Placement {
         self
     }
 
+    /// Re-pins function `name` to `node` in place — the mutation the
+    /// orchestrator applies to the live placement when it relocates or
+    /// migrates a function.
+    pub fn reassign(&mut self, name: impl Into<String>, node: usize) {
+        self.map.insert(name.into(), node);
+    }
+
     /// Spreads functions across `nodes` in topological order, one by one
     /// — maximally scattered: almost every data edge crosses nodes.
     ///
     /// # Panics
     ///
     /// Panics if `nodes` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `RoundRobin` placement policy with \
+                `ClusterRuntimeBuilder::policy` instead"
+    )]
     pub fn round_robin(wf: &Workflow, nodes: usize) -> Placement {
-        let mut p = Placement::with_nodes(nodes);
-        for (i, f) in wf.topo_order().iter().enumerate() {
-            p.map.insert(wf.function(*f).name.clone(), i % nodes);
-        }
-        p
+        round_robin_impl(wf, nodes)
     }
 
     /// Places each dependency level of the workflow on its own node
@@ -96,14 +109,13 @@ impl Placement {
     /// # Panics
     ///
     /// Panics if `nodes` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `ByLevel` placement policy with \
+                `ClusterRuntimeBuilder::policy` instead"
+    )]
     pub fn by_level(wf: &Workflow, nodes: usize) -> Placement {
-        let mut p = Placement::with_nodes(nodes);
-        for (level, fns) in wf.levels().iter().enumerate() {
-            for f in fns {
-                p.map.insert(wf.function(*f).name.clone(), level % nodes);
-            }
-        }
-        p
+        by_level_impl(wf, nodes)
     }
 
     /// Routes each function to the currently least-loaded node: a greedy
@@ -126,7 +138,7 @@ impl Placement {
     /// # Examples
     ///
     /// ```
-    /// use dataflower_rt::Placement;
+    /// use dataflower_rt::{LoadAware, PlacementPolicy};
     /// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
     ///
     /// let mut b = WorkflowBuilder::new("pair");
@@ -140,30 +152,17 @@ impl Placement {
     ///
     /// // Node 0 reports pre-existing pressure: the heavy function lands
     /// // on node 1, after which node 0 is the lighter bin again.
-    /// let p = Placement::load_aware(&wf, 2, &[0.5, 0.0]);
+    /// let p = LoadAware::with_base_load(vec![0.5, 0.0]).initial(&wf, 2);
     /// assert_eq!(p.node_of("heavy"), 1);
     /// assert_eq!(p.node_of("light"), 0);
     /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `LoadAware` placement policy with \
+                `ClusterRuntimeBuilder::policy` instead"
+    )]
     pub fn load_aware(wf: &Workflow, nodes: usize, base_load: &[f64]) -> Placement {
-        assert!(nodes > 0, "a cluster needs at least one node");
-        assert_eq!(
-            base_load.len(),
-            nodes,
-            "load_aware needs one base-load figure per node"
-        );
-        const REFERENCE_INPUT_BYTES: f64 = 1024.0 * 1024.0;
-        let mut load = base_load.to_vec();
-        let mut p = Placement::with_nodes(nodes);
-        for f in wf.topo_order() {
-            let def = wf.function(*f);
-            let cost = def.work.core_secs(REFERENCE_INPUT_BYTES).max(1e-9);
-            let target = (0..nodes)
-                .min_by(|a, b| load[*a].total_cmp(&load[*b]))
-                .expect("nodes > 0");
-            load[target] += cost;
-            p.map.insert(def.name.clone(), target);
-        }
-        p
+        load_aware_impl(wf, nodes, base_load)
     }
 
     /// The node hosting function `name` (node 0 when unassigned).
@@ -191,6 +190,179 @@ impl Placement {
             }
         }
         Ok(())
+    }
+}
+
+fn single_node_impl() -> Placement {
+    Placement::with_nodes(1)
+}
+
+fn round_robin_impl(wf: &Workflow, nodes: usize) -> Placement {
+    let mut p = Placement::with_nodes(nodes);
+    for (i, f) in wf.topo_order().iter().enumerate() {
+        p.map.insert(wf.function(*f).name.clone(), i % nodes);
+    }
+    p
+}
+
+fn by_level_impl(wf: &Workflow, nodes: usize) -> Placement {
+    let mut p = Placement::with_nodes(nodes);
+    for (level, fns) in wf.levels().iter().enumerate() {
+        for f in fns {
+            p.map.insert(wf.function(*f).name.clone(), level % nodes);
+        }
+    }
+    p
+}
+
+fn load_aware_impl(wf: &Workflow, nodes: usize, base_load: &[f64]) -> Placement {
+    assert!(nodes > 0, "a cluster needs at least one node");
+    assert_eq!(
+        base_load.len(),
+        nodes,
+        "load_aware needs one base-load figure per node"
+    );
+    const REFERENCE_INPUT_BYTES: f64 = 1024.0 * 1024.0;
+    let mut load = base_load.to_vec();
+    let mut p = Placement::with_nodes(nodes);
+    for f in wf.topo_order() {
+        let def = wf.function(*f);
+        let cost = def.work.core_secs(REFERENCE_INPUT_BYTES).max(1e-9);
+        let target = (0..nodes)
+            .min_by(|a, b| load[*a].total_cmp(&load[*b]))
+            .expect("nodes > 0");
+        load[target] += cost;
+        p.map.insert(def.name.clone(), target);
+    }
+    p
+}
+
+/// A live placement strategy: how functions are laid out at `start()`
+/// **and** where they go when their node dies or a migration is asked
+/// for — the routing-authority half of the orchestrator control plane.
+///
+/// The old static [`Placement`] constructors (`single_node`,
+/// `round_robin`, `by_level`, `load_aware`) are deprecated shims over
+/// the policy structs [`SingleNode`], [`RoundRobin`], [`ByLevel`] and
+/// [`LoadAware`]; a policy given to
+/// [`ClusterRuntimeBuilder::policy`](crate::ClusterRuntimeBuilder::policy)
+/// additionally steers node-loss relocation at runtime.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_rt::{ByLevel, PlacementPolicy};
+/// use dataflower_workflow::{SizeModel, WorkModel, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new("chain");
+/// let a = b.function("a", WorkModel::fixed(0.001));
+/// let c = b.function("c", WorkModel::fixed(0.001));
+/// b.client_input(a, "in", SizeModel::Fixed(1.0));
+/// b.edge(a, c, "mid", SizeModel::Fixed(1.0));
+/// b.client_output(c, "out", SizeModel::Fixed(1.0));
+/// let wf = b.build().unwrap();
+///
+/// let p = ByLevel.initial(&wf, 2);
+/// assert_eq!(p.node_of("a"), 0);
+/// assert_eq!(p.node_of("c"), 1);
+/// // Node 0 died; node 2 is idle, node 1 is loaded.
+/// assert_eq!(ByLevel.relocate(0, &[1, 2], &[0.0, 9.0, 1.0]), 2);
+/// ```
+pub trait PlacementPolicy: Send + Sync {
+    /// The placement this policy lays `wf` out with on a fresh cluster
+    /// of `nodes` worker nodes.
+    fn initial(&self, wf: &Workflow, nodes: usize) -> Placement;
+
+    /// Picks the node that inherits one function of the `dead` node.
+    /// `live` holds the surviving node ids and `pressure` one gauge per
+    /// node of the *full* topology (indexable by node id; dead nodes
+    /// included so ids line up). The default routes to the
+    /// least-pressured survivor — the ε-CON choice.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics if `live` is empty: with no
+    /// survivors there is nowhere to relocate to.
+    fn relocate(&self, dead: usize, live: &[usize], pressure: &[f64]) -> usize {
+        let _ = dead;
+        *live
+            .iter()
+            .min_by(|a, b| {
+                let pa = pressure.get(**a).copied().unwrap_or(0.0);
+                let pb = pressure.get(**b).copied().unwrap_or(0.0);
+                pa.total_cmp(&pb)
+            })
+            .expect("relocate needs at least one surviving node")
+    }
+}
+
+/// Everything co-located on one node (the paper's single-worker
+/// baseline). `initial` ignores the offered node count and returns a
+/// one-node topology.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SingleNode;
+
+impl PlacementPolicy for SingleNode {
+    fn initial(&self, _wf: &Workflow, _nodes: usize) -> Placement {
+        single_node_impl()
+    }
+}
+
+/// Functions scattered across nodes one by one in topological order —
+/// maximally spread, almost every data edge crosses nodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl PlacementPolicy for RoundRobin {
+    fn initial(&self, wf: &Workflow, nodes: usize) -> Placement {
+        round_robin_impl(wf, nodes)
+    }
+}
+
+/// One dependency level per node (level *l* on node *l* mod `nodes`):
+/// stages stay co-located, level boundaries cross nodes. The spread the
+/// committed bench baselines use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByLevel;
+
+impl PlacementPolicy for ByLevel {
+    fn initial(&self, wf: &Workflow, nodes: usize) -> Placement {
+        by_level_impl(wf, nodes)
+    }
+}
+
+/// Greedy bin-packing over the workflow's modeled per-function cost,
+/// optionally seeded with live per-node load figures (see the former
+/// `Placement::load_aware` for the algorithm).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadAware {
+    base_load: Vec<f64>,
+}
+
+impl LoadAware {
+    /// Pure balance placement: every node starts from zero load.
+    pub fn idle() -> LoadAware {
+        LoadAware::default()
+    }
+
+    /// Seeds the bin-packing with one pre-existing load figure per node
+    /// (e.g. live DLU backlogs), biasing new work away from busy nodes.
+    pub fn with_base_load(base_load: Vec<f64>) -> LoadAware {
+        LoadAware { base_load }
+    }
+}
+
+impl PlacementPolicy for LoadAware {
+    /// # Panics
+    ///
+    /// Panics if a non-empty seed load was given whose length differs
+    /// from `nodes`.
+    fn initial(&self, wf: &Workflow, nodes: usize) -> Placement {
+        if self.base_load.is_empty() {
+            load_aware_impl(wf, nodes, &vec![0.0; nodes])
+        } else {
+            load_aware_impl(wf, nodes, &self.base_load)
+        }
     }
 }
 
@@ -235,6 +407,14 @@ pub(crate) struct NodeState {
     /// discarded). Set by `ClusterRuntime::crash_node` / fault-plan
     /// kills, cleared by `ClusterRuntime::restart_node`.
     pub down: AtomicBool,
+    /// Milliseconds since runtime start of the node's last keep-alive
+    /// heartbeat (stamped by its in-process responder thread, read by
+    /// the orchestrator controller). A crashed node stops stamping.
+    pub last_beat: AtomicU64,
+    /// True once the orchestrator declared the node permanently lost and
+    /// relocated its functions. A lost node is never restarted, and the
+    /// recovery daemon re-homes any retention still pointing at it.
+    pub lost: AtomicBool,
 }
 
 impl NodeState {
@@ -242,6 +422,8 @@ impl NodeState {
         NodeState {
             sink: ShardedSink::new(stripes),
             down: AtomicBool::new(false),
+            last_beat: AtomicU64::new(0),
+            lost: AtomicBool::new(false),
         }
     }
 }
@@ -333,7 +515,7 @@ mod tests {
     #[test]
     fn by_level_spreads_levels() {
         let wf = chain();
-        let p = Placement::by_level(&wf, 2);
+        let p = ByLevel.initial(&wf, 2);
         assert_eq!(p.node_of("a"), 0);
         assert_eq!(p.node_of("c"), 1);
     }
@@ -341,8 +523,38 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let wf = chain();
-        let p = Placement::round_robin(&wf, 2);
+        let p = RoundRobin.initial(&wf, 2);
         assert_ne!(p.node_of("a"), p.node_of("c"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_their_policies() {
+        let wf = chain();
+        assert_eq!(Placement::single_node(), SingleNode.initial(&wf, 3));
+        assert_eq!(Placement::round_robin(&wf, 2), RoundRobin.initial(&wf, 2));
+        assert_eq!(Placement::by_level(&wf, 2), ByLevel.initial(&wf, 2));
+        assert_eq!(
+            Placement::load_aware(&wf, 2, &[0.0, 0.0]),
+            LoadAware::idle().initial(&wf, 2)
+        );
+        assert_eq!(
+            Placement::load_aware(&wf, 2, &[5.0, 0.0]),
+            LoadAware::with_base_load(vec![5.0, 0.0]).initial(&wf, 2)
+        );
+    }
+
+    #[test]
+    fn default_relocate_picks_least_pressured_survivor() {
+        assert_eq!(ByLevel.relocate(0, &[1, 2, 3], &[9.0, 4.0, 1.0, 2.0]), 2);
+        // Ids index the full-topology pressure vector, dead node included.
+        assert_eq!(SingleNode.relocate(2, &[0, 1], &[3.0, 0.5, 0.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one surviving node")]
+    fn relocate_with_no_survivors_panics() {
+        ByLevel.relocate(0, &[], &[1.0]);
     }
 
     #[test]
@@ -379,7 +591,7 @@ mod tests {
             b.client_output(f, format!("out{k}"), SizeModel::Fixed(1.0));
         }
         let wf = b.build().unwrap();
-        let p = Placement::load_aware(&wf, 2, &[0.0, 0.0]);
+        let p = LoadAware::idle().initial(&wf, 2);
         let on_node0 = (0..4).filter(|k| p.node_of(&format!("f{k}")) == 0).count();
         assert_eq!(on_node0, 2, "equal costs must spread evenly");
         assert!(p.validate(&wf).is_ok());
@@ -389,7 +601,7 @@ mod tests {
     fn load_aware_avoids_pressured_nodes() {
         let wf = chain();
         // Node 0 carries heavy live pressure: both functions go to node 1.
-        let p = Placement::load_aware(&wf, 2, &[1000.0, 0.0]);
+        let p = LoadAware::with_base_load(vec![1000.0, 0.0]).initial(&wf, 2);
         assert_eq!(p.node_of("a"), 1);
         assert_eq!(p.node_of("c"), 1);
     }
@@ -397,6 +609,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one base-load figure per node")]
     fn load_aware_rejects_mismatched_base_load() {
-        Placement::load_aware(&chain(), 2, &[0.0]);
+        LoadAware::with_base_load(vec![0.0]).initial(&chain(), 2);
     }
 }

@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,7 +53,8 @@ use crate::context::{FluContext, PutTarget};
 use crate::error::RtError;
 use crate::fabric::{chunk_spans, spawn_link, LinkConfig, LinkRetention, NetMsg};
 use crate::fault::{FaultPlan, FaultState, FrameFate};
-use crate::node::{NodeReqState, NodeRuntime, NodeState, Placement, SinkEntry};
+use crate::node::{NodeReqState, NodeRuntime, NodeState, Placement, PlacementPolicy, SinkEntry};
+use crate::orchestrator;
 
 /// A request identifier issued by [`ClusterRuntime::invoke`] /
 /// [`Runtime::invoke`].
@@ -150,12 +151,31 @@ pub struct ClusterRtConfig {
     pub faults: FaultPlan,
     /// Checkpoint-based crash recovery (§6.2); disabled by default.
     pub recovery: RecoveryConfig,
+    /// Runs the orchestrator control plane (the ε-CON analog): per-node
+    /// keep-alive heartbeats, node-loss detection after
+    /// `heartbeat_miss_threshold` missed beats, and automatic relocation
+    /// of a lost node's functions to the least-pressured survivors.
+    /// Disabled by default; relocating mid-stream transfers additionally
+    /// needs `recovery.enabled`.
+    pub orchestrator: bool,
+    /// Interval between keep-alive heartbeats (and between the
+    /// controller's liveness checks).
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed beats before the controller declares a node
+    /// dead and relocates its functions.
+    pub heartbeat_miss_threshold: u32,
+    /// How long [`ClusterRuntime::migrate_function`] (and node-loss
+    /// relocation) waits for a drained FLU pool's executors to finish
+    /// in-flight work before re-spawning the pool on the new node
+    /// anyway.
+    pub migration_drain_timeout: Duration,
 }
 
 impl Default for ClusterRtConfig {
     /// 16 KiB direct threshold, 64 KiB chunks, 256 KiB checkpoint
     /// interval, unshaped links, autoscaling off, no faults, recovery
-    /// off.
+    /// off, orchestrator off (20 ms heartbeats, 3 missed beats, 1 s
+    /// migration drain when enabled).
     fn default() -> Self {
         ClusterRtConfig {
             rt: RtConfig::default(),
@@ -166,6 +186,10 @@ impl Default for ClusterRtConfig {
             autoscale: AutoscaleConfig::default(),
             faults: FaultPlan::default(),
             recovery: RecoveryConfig::default(),
+            orchestrator: false,
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_miss_threshold: 3,
+            migration_drain_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -227,6 +251,23 @@ pub struct RtStats {
     /// Transfers swept by the retransmit path (no ack within the
     /// timeout, e.g. after an in-flight frame drop).
     pub retransmitted_transfers: u64,
+    /// Keep-alive heartbeats recorded by the orchestrator control plane
+    /// (node-side stamps in-process, coordinator pings over TCP).
+    pub heartbeats: u64,
+    /// Liveness checks that found a node's heartbeat stale (or a ping
+    /// unanswered) — `heartbeat_miss_threshold` consecutive ones declare
+    /// the node lost.
+    pub heartbeat_misses: u64,
+    /// Nodes the controller declared permanently lost.
+    pub node_losses: u64,
+    /// Functions moved off a lost node by the controller.
+    pub relocated_functions: u64,
+    /// Voluntary [`ClusterRuntime::migrate_function`] moves completed.
+    pub live_migrations: u64,
+    /// Data frames that arrived at a node no longer hosting their target
+    /// function and were forwarded to its current host (mid-relocation
+    /// healing).
+    pub forwarded_frames: u64,
 }
 
 impl RtStats {
@@ -263,6 +304,12 @@ impl RtStats {
             self.replayed_bytes,
             self.resumed_from_mark_bytes,
             self.retransmitted_transfers,
+            self.heartbeats,
+            self.heartbeat_misses,
+            self.node_losses,
+            self.relocated_functions,
+            self.live_migrations,
+            self.forwarded_frames,
         ]
     }
 
@@ -295,6 +342,12 @@ impl RtStats {
             replayed_bytes: at(21),
             resumed_from_mark_bytes: at(22),
             retransmitted_transfers: at(23),
+            heartbeats: at(24),
+            heartbeat_misses: at(25),
+            node_losses: at(26),
+            relocated_functions: at(27),
+            live_migrations: at(28),
+            forwarded_frames: at(29),
         }
     }
 
@@ -384,6 +437,12 @@ pub(crate) struct Counters {
     pub(crate) replayed_bytes: AtomicU64,
     pub(crate) resumed_from_mark: AtomicU64,
     pub(crate) retransmitted: AtomicU64,
+    pub(crate) heartbeats: AtomicU64,
+    pub(crate) heartbeat_misses: AtomicU64,
+    pub(crate) node_losses: AtomicU64,
+    pub(crate) relocated_fns: AtomicU64,
+    pub(crate) live_migrations: AtomicU64,
+    pub(crate) forwarded_frames: AtomicU64,
 }
 
 impl Counters {
@@ -416,6 +475,12 @@ impl Counters {
             replayed_bytes: self.replayed_bytes.load(Ordering::Relaxed),
             resumed_from_mark_bytes: self.resumed_from_mark.load(Ordering::Relaxed),
             retransmitted_transfers: self.retransmitted.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            heartbeat_misses: self.heartbeat_misses.load(Ordering::Relaxed),
+            node_losses: self.node_losses.load(Ordering::Relaxed),
+            relocated_functions: self.relocated_fns.load(Ordering::Relaxed),
+            live_migrations: self.live_migrations.load(Ordering::Relaxed),
+            forwarded_frames: self.forwarded_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -446,7 +511,13 @@ pub(crate) struct WireState {
 pub(crate) struct Inner {
     pub(crate) workflow: Arc<Workflow>,
     pub(crate) cfg: ClusterRtConfig,
-    pub(crate) placement: Placement,
+    /// The live routing authority: every route/deliver/seed decision
+    /// reads the placement through this lock, so the orchestrator can
+    /// relocate a function at runtime and the data plane follows.
+    pub(crate) placement: RwLock<Placement>,
+    /// Relocation strategy consulted when a node is lost (`None` falls
+    /// back to the least-pressured survivor).
+    pub(crate) policy: Option<Arc<dyn PlacementPolicy>>,
     pub(crate) flu_tx: HashMap<String, Sender<FluMsg>>,
     reqs: Mutex<HashMap<u64, ClientReqState>>,
     done: Condvar,
@@ -462,13 +533,14 @@ pub(crate) struct Inner {
     pub(crate) shutdown_cv: Condvar,
     pub(crate) next_transfer: AtomicU64,
     /// Live per-function pool gauges (replicas, DLU backlog, T_FLU).
-    scale: HashMap<String, Arc<FnScale>>,
+    pub(crate) scale: HashMap<String, Arc<FnScale>>,
     /// Initial pool size per function (the t=0 point of the timeline).
     initial_replicas: HashMap<String, usize>,
     /// Every scale event since start, in time order.
     scale_events: Mutex<Vec<ScaleEvent>>,
-    /// When the runtime started (scale events are relative to this).
-    started: Instant,
+    /// When the runtime started (scale events and heartbeat stamps are
+    /// relative to this).
+    pub(crate) started: Instant,
     /// Queue-depth gauge of each directed fabric link, indexed
     /// `src * stride + dst` (self-links stay zero); the stride is the
     /// node count in-process and the endpoint count in wire mode.
@@ -481,6 +553,65 @@ pub(crate) struct Inner {
     pub(crate) retention: Vec<Mutex<LinkRetention>>,
     /// Worker-process wire state; `None` for the in-process fabric.
     pub(crate) wire: Option<WireState>,
+    /// Outbound link rows, one per source node (wire mode: every entry is
+    /// the same outbound wire row). Routing looks its row up per put via
+    /// the *live* placement, which is what makes DLU daemons
+    /// location-transparent: after a migration the same daemon ships from
+    /// the function's new node. Cleared by `signal_shutdown` so the link
+    /// shippers observe sender disconnect and exit.
+    pub(crate) links: RwLock<Vec<LinkRow>>,
+    /// Per-function pool seeds (the shared invocation queue plus the
+    /// registered body), kept for the runtime's lifetime so relocation
+    /// and live migration can respawn a function's FLU pool on a new
+    /// node.
+    pub(crate) seeds: HashMap<String, PoolSeed>,
+    /// Threads spawned after start (migrated pools, relocated pools);
+    /// joined by `shutdown`.
+    pub(crate) extra_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic label for respawned pools, so migrated executor threads
+    /// get distinct names.
+    pub(crate) pool_gen: AtomicU64,
+}
+
+impl Inner {
+    /// The node currently hosting function `name`, per the live
+    /// placement.
+    pub(crate) fn node_of(&self, name: &str) -> usize {
+        self.placement
+            .read()
+            .expect("placement lock poisoned")
+            .node_of(name)
+    }
+
+    /// A point-in-time copy of the live placement.
+    pub(crate) fn placement_snapshot(&self) -> Placement {
+        self.placement
+            .read()
+            .expect("placement lock poisoned")
+            .clone()
+    }
+
+    /// The outbound link row of `src` (`None` once shutdown cleared the
+    /// rows — callers drop the frame, consistent with teardown).
+    pub(crate) fn link_row(&self, src: usize) -> Option<LinkRow> {
+        self.links
+            .read()
+            .expect("links lock poisoned")
+            .get(src)
+            .cloned()
+    }
+}
+
+/// One node's outbound fabric senders, indexed by destination (`None`
+/// on the self-link). Shared so per-put row lookups are one Arc clone.
+pub(crate) type LinkRow = Arc<Vec<Option<Sender<NetMsg>>>>;
+
+/// What relocation / migration needs to respawn one function's FLU pool
+/// on another node: the shared MPMC invocation queue (cloning the
+/// receiver attaches to the same queue) and the registered body.
+pub(crate) struct PoolSeed {
+    pub(crate) rx: Receiver<FluMsg>,
+    pub(crate) body: Body,
 }
 
 /// Row stride of the directed-link vectors (`link_depth`, `retention`):
@@ -542,6 +673,7 @@ pub struct ClusterRuntimeBuilder {
     workflow: Arc<Workflow>,
     cfg: ClusterRtConfig,
     placement: Placement,
+    policy: Option<Arc<dyn PlacementPolicy>>,
     bodies: HashMap<String, Body>,
     replicas: HashMap<String, usize>,
 }
@@ -558,21 +690,37 @@ impl ClusterRuntimeBuilder {
         ClusterRuntimeBuilder {
             workflow,
             cfg: ClusterRtConfig::default(),
-            placement: Placement::single_node(),
+            placement: Placement::with_nodes(1),
+            policy: None,
             bodies: HashMap::new(),
             replicas: HashMap::new(),
         }
     }
 
-    /// Replaces the configuration.
-    pub fn config(mut self, cfg: ClusterRtConfig) -> Self {
-        self.cfg = cfg;
+    /// Replaces the configuration. Accepts either a raw
+    /// [`ClusterRtConfig`] or the fluent [`ClusterConfig`] builder.
+    ///
+    /// [`ClusterConfig`]: crate::ClusterConfig
+    pub fn config(mut self, cfg: impl Into<ClusterRtConfig>) -> Self {
+        self.cfg = cfg.into();
         self
     }
 
-    /// Replaces the placement map.
+    /// Replaces the placement map (the low-level routing-table setter;
+    /// prefer [`ClusterRuntimeBuilder::policy`] for strategy-driven
+    /// placement that also covers relocation).
     pub fn placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Places the workflow over `nodes` nodes with a
+    /// [`PlacementPolicy`]: the policy's `initial` computes the starting
+    /// placement, and its `relocate` is consulted whenever the
+    /// orchestrator must move a lost node's functions.
+    pub fn policy(mut self, policy: impl PlacementPolicy + 'static, nodes: usize) -> Self {
+        self.placement = policy.initial(&self.workflow, nodes);
+        self.policy = Some(Arc::new(policy));
         self
     }
 
@@ -614,7 +762,7 @@ impl ClusterRuntimeBuilder {
     pub fn start(self) -> Result<ClusterRuntime, RtError> {
         self.validate()?;
         let node_count = self.placement.node_count();
-        let (flu_tx, mut flu_rx, scale, initial_replicas) = self.function_pools();
+        let (flu_tx, flu_rx, scale, initial_replicas) = self.function_pools();
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
             .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
             .collect();
@@ -628,7 +776,14 @@ impl ClusterRuntimeBuilder {
         };
         let retention: Vec<Mutex<LinkRetention>> = if self.cfg.recovery.enabled {
             (0..node_count * node_count)
-                .map(|_| Mutex::new(LinkRetention::default()))
+                .map(|_| {
+                    let mut r = LinkRetention::default();
+                    // Orchestrator mode: keep acked transfers replayable
+                    // until their request is collected, so a relocation
+                    // can re-send them toward the function's new node.
+                    r.set_retain_acked(self.cfg.orchestrator);
+                    Mutex::new(r)
+                })
                 .collect()
         } else {
             Vec::new()
@@ -636,7 +791,8 @@ impl ClusterRuntimeBuilder {
         let inner = Arc::new(Inner {
             workflow: Arc::clone(&self.workflow),
             cfg: self.cfg.clone(),
-            placement: self.placement.clone(),
+            placement: RwLock::new(self.placement.clone()),
+            policy: self.policy.clone(),
             flu_tx,
             reqs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
@@ -654,11 +810,16 @@ impl ClusterRuntimeBuilder {
             faults,
             retention,
             wire: None,
+            links: RwLock::new(Vec::new()),
+            seeds: self.pool_seeds(&flu_rx),
+            extra_threads: Mutex::new(Vec::new()),
+            pool_gen: AtomicU64::new(0),
         });
 
         // Fabric: one bounded link + shipper thread per directed node
-        // pair. Only the DLU daemons of the source node hold a link's
-        // senders, so daemon exit cascades into shipper exit at teardown.
+        // pair. The rows live in `Inner.links` (the live routing table);
+        // `signal_shutdown` clears them, which is what cascades into
+        // shipper exit at teardown.
         let mut fabric_threads = Vec::new();
         let mut links_by_src: Vec<Arc<Vec<Option<Sender<NetMsg>>>>> = Vec::new();
         for src in 0..node_count {
@@ -683,6 +844,7 @@ impl ClusterRuntimeBuilder {
             }
             links_by_src.push(Arc::new(row));
         }
+        *inner.links.write().expect("links lock poisoned") = links_by_src;
 
         // Recovery daemon: executes fault-plan restarts and retransmits
         // stale un-acked transfers. Only needed when something can go
@@ -697,13 +859,26 @@ impl ClusterRuntimeBuilder {
             );
         }
 
+        // Orchestrator controller (the ε-CON analog): watches every
+        // node's heartbeat and relocates the functions of a node that
+        // stops beating.
+        if self.cfg.orchestrator {
+            let ctl_inner = Arc::clone(&inner);
+            fabric_threads.push(
+                std::thread::Builder::new()
+                    .name("orchestrator".into())
+                    .spawn(move || orchestrator::controller(ctl_inner))
+                    .expect("spawn orchestrator controller"),
+            );
+        }
+
         // Nodes: FLU executors and DLU daemons for the hosted functions,
         // plus one janitor each and (when enabled) one autoscaler.
         let mut nodes = Vec::new();
-        for (node_id, links_row) in links_by_src.iter().enumerate() {
-            nodes.push(self.spawn_node(&inner, node_id, links_row, &mut flu_rx));
+        for node_id in 0..node_count {
+            nodes.push(self.spawn_node(&inner, node_id));
         }
-        drop(links_by_src); // daemons hold the only remaining senders
+        drop(flu_rx);
 
         Ok(ClusterRuntime {
             inner,
@@ -734,7 +909,7 @@ impl ClusterRuntimeBuilder {
             spec.local
         );
         let endpoints = node_count + 1;
-        let (flu_tx, mut flu_rx, scale, initial_replicas) = self.function_pools();
+        let (flu_tx, flu_rx, scale, initial_replicas) = self.function_pools();
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
             .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
             .collect();
@@ -748,7 +923,15 @@ impl ClusterRuntimeBuilder {
         };
         let retention: Vec<Mutex<LinkRetention>> = if self.cfg.recovery.enabled {
             (0..endpoints * endpoints)
-                .map(|_| Mutex::new(LinkRetention::default()))
+                .map(|_| {
+                    let mut r = LinkRetention::default();
+                    // Orchestrator wire mode: a relocated function lands
+                    // on a node holding none of its bytes, so completed
+                    // transfers must stay replayable until their request
+                    // is purged.
+                    r.set_retain_acked(self.cfg.orchestrator);
+                    Mutex::new(r)
+                })
                 .collect()
         } else {
             Vec::new()
@@ -768,7 +951,8 @@ impl ClusterRuntimeBuilder {
         let inner = Arc::new(Inner {
             workflow: Arc::clone(&self.workflow),
             cfg: self.cfg.clone(),
-            placement: self.placement.clone(),
+            placement: RwLock::new(self.placement.clone()),
+            policy: self.policy.clone(),
             flu_tx,
             reqs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
@@ -791,10 +975,15 @@ impl ClusterRuntimeBuilder {
                 out,
                 purged: Mutex::new(HashSet::new()),
             }),
+            links: RwLock::new(Vec::new()),
+            seeds: self.pool_seeds(&flu_rx),
+            extra_threads: Mutex::new(Vec::new()),
+            pool_gen: AtomicU64::new(0),
         });
 
         // Only the local node runs threads; its DLU daemons route over
-        // the wire's outbound queues instead of in-process links.
+        // the wire's outbound queues instead of in-process links. Every
+        // source node maps to the same outbound wire row.
         let wire_row = Arc::new(
             inner
                 .wire
@@ -803,10 +992,13 @@ impl ClusterRuntimeBuilder {
                 .out
                 .clone(),
         );
+        *inner.links.write().expect("links lock poisoned") =
+            vec![Arc::clone(&wire_row); node_count];
+        drop(wire_row);
         let mut nodes = Vec::new();
         for node_id in 0..node_count {
             if node_id == spec.local {
-                nodes.push(self.spawn_node(&inner, node_id, &wire_row, &mut flu_rx));
+                nodes.push(self.spawn_node(&inner, node_id));
             } else {
                 nodes.push(NodeRuntime {
                     id: node_id,
@@ -816,7 +1008,7 @@ impl ClusterRuntimeBuilder {
                 });
             }
         }
-        drop(wire_row);
+        drop(flu_rx);
 
         Ok((
             ClusterRuntime {
@@ -905,6 +1097,23 @@ impl ClusterRuntimeBuilder {
         (flu_tx, flu_rx, scale, initial_replicas)
     }
 
+    /// Builds the per-function pool seeds kept in [`Inner`] so pools can
+    /// be respawned on another node after start (relocation, migration).
+    fn pool_seeds(&self, flu_rx: &HashMap<String, Receiver<FluMsg>>) -> HashMap<String, PoolSeed> {
+        flu_rx
+            .iter()
+            .map(|(name, rx)| {
+                (
+                    name.clone(),
+                    PoolSeed {
+                        rx: rx.clone(),
+                        body: Arc::clone(&self.bodies[name]),
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Names of the functions the placement puts on `node_id`, in
     /// workflow order.
     fn hosted_on(&self, node_id: usize) -> Vec<String> {
@@ -918,17 +1127,11 @@ impl ClusterRuntimeBuilder {
     }
 
     /// Spawns one node's worth of threads — FLU executors and DLU
-    /// daemons for the hosted functions, plus a janitor and (when
-    /// enabled) an autoscaler — routing outbound traffic over
-    /// `links_row` (the in-process fabric row, or the wire's outbound
-    /// queues in worker mode).
-    fn spawn_node(
-        &self,
-        inner: &Arc<Inner>,
-        node_id: usize,
-        links_row: &Arc<Vec<Option<Sender<NetMsg>>>>,
-        flu_rx: &mut HashMap<String, Receiver<FluMsg>>,
-    ) -> NodeRuntime {
+    /// daemons for the hosted functions, plus a janitor, (when enabled)
+    /// an autoscaler, and (orchestrator mode, in-process) the node's
+    /// heartbeat responder. Outbound routing fetches the node's link row
+    /// from `Inner.links` per put.
+    fn spawn_node(&self, inner: &Arc<Inner>, node_id: usize) -> NodeRuntime {
         let scaling = self.cfg.autoscale.enabled;
         let mut threads = Vec::new();
         let mut hosted = Vec::new();
@@ -947,17 +1150,16 @@ impl ClusterRuntimeBuilder {
             let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
             {
                 let inner = Arc::clone(inner);
-                let links = Arc::clone(links_row);
                 let fn_scale = Arc::clone(&fn_scale);
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("node{node_id}-dlu-{name}"))
-                        .spawn(move || dlu_daemon(inner, links, dlu_rx, fn_scale))
+                        .spawn(move || dlu_daemon(inner, dlu_rx, fn_scale))
                         .expect("spawn dlu daemon"),
                 );
             }
-            // FLU executors.
-            let rx = flu_rx.remove(&name).expect("channel created");
+            // FLU executors, attached to the function's shared queue.
+            let rx = inner.seeds[&name].rx.clone();
             for k in 0..replicas {
                 let inner = Arc::clone(inner);
                 let rx = rx.clone();
@@ -982,6 +1184,19 @@ impl ClusterRuntimeBuilder {
                     scale: fn_scale,
                 });
             }
+        }
+        // Heartbeat responder (in-process orchestrator mode): stamps the
+        // node's keep-alive beat while the node is up. Wire-mode
+        // heartbeats are coordinator pings over the control channel
+        // instead.
+        if self.cfg.orchestrator && inner.wire.is_none() {
+            let inner = Arc::clone(inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node{node_id}-heartbeat"))
+                    .spawn(move || orchestrator::heartbeat_responder(inner, node_id))
+                    .expect("spawn heartbeat responder"),
+            );
         }
         // Per-node autoscaler: samples the hosted functions' pressure
         // and grows/shrinks their pools.
@@ -1100,7 +1315,7 @@ impl ClusterRuntime {
                 if e.data_name == name {
                     matched = true;
                     if let Endpoint::Function(dst) = e.target {
-                        let dst_node = self.inner.placement.node_of(&wf.function(dst).name);
+                        let dst_node = self.inner.node_of(&wf.function(dst).name);
                         deliver(
                             &self.inner,
                             dst_node,
@@ -1189,6 +1404,14 @@ impl ClusterRuntime {
         for node in &self.inner.nodes {
             node.sink.remove(req.0);
         }
+        if self.inner.cfg.orchestrator && self.inner.cfg.recovery.enabled {
+            // Retain-acked mode parks completed transfers for relocation
+            // replay instead of freeing them on ack — a collected request
+            // is the reclamation point.
+            for r in self.inner.retention.iter() {
+                r.lock().expect("retention lock poisoned").purge_req(req.0);
+            }
+        }
     }
 
     /// Number of worker nodes in the topology.
@@ -1202,9 +1425,11 @@ impl ClusterRuntime {
         &self.nodes[index]
     }
 
-    /// The node hosting function `name` per the placement map.
+    /// The node currently hosting function `name` per the **live**
+    /// placement — relocation and [`ClusterRuntime::migrate_function`]
+    /// move this answer at runtime.
     pub fn node_of(&self, name: &str) -> usize {
-        self.inner.placement.node_of(name)
+        self.inner.node_of(name)
     }
 
     /// Number of FLU executor threads serving `name`. With elastic
@@ -1234,11 +1459,7 @@ impl ClusterRuntime {
     /// Bytes currently sitting in (or being drained from) the DLU queues
     /// of the functions hosted on `node` — the node's outbound pressure.
     pub fn node_pressure(&self, node: usize) -> u64 {
-        self.nodes[node]
-            .functions
-            .iter()
-            .map(|name| self.inner.scale[name].backlog_bytes.load(Ordering::Relaxed))
-            .sum()
+        node_pressure_of(&self.inner, node)
     }
 
     /// Messages queued (or in shaping) on the fabric links **into**
@@ -1253,9 +1474,9 @@ impl ClusterRuntime {
 
     /// The node with the least combined pressure: DLU backlog bytes plus
     /// inbound fabric queue depth (scaled by the chunk size so both terms
-    /// are bytes). Feed this — or the per-node figures behind it — into
-    /// [`Placement::load_aware`] to route new function instances to the
-    /// least-pressured node.
+    /// are bytes). The orchestrator feeds this figure into
+    /// [`PlacementPolicy::relocate`] after a node loss, and callers can
+    /// use it to pick [`ClusterRuntime::migrate_function`] targets.
     pub fn least_pressured_node(&self) -> usize {
         let chunk = self.inner.cfg.chunk_bytes as u64;
         (0..self.nodes.len())
@@ -1354,6 +1575,18 @@ impl ClusterRuntime {
         for t in self.fabric_threads.drain(..) {
             let _ = t.join();
         }
+        // Threads spawned after start: migrated / relocated FLU pools,
+        // DLU daemons and heartbeat responders of re-homed functions.
+        let extra = std::mem::take(
+            &mut *self
+                .inner
+                .extra_threads
+                .lock()
+                .expect("extra threads lock poisoned"),
+        );
+        for t in extra {
+            let _ = t.join();
+        }
     }
 
     fn signal_shutdown(&self) {
@@ -1375,6 +1608,13 @@ impl ClusterRuntime {
                 let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
             }
         }
+        // Drop the link rows: they hold the only long-lived senders into
+        // the link shippers, which exit when their channel disconnects.
+        self.inner
+            .links
+            .write()
+            .expect("links lock poisoned")
+            .clear();
     }
 }
 
@@ -1447,7 +1687,7 @@ impl RuntimeBuilder {
                 rt: self.cfg,
                 ..ClusterRtConfig::default()
             })
-            .placement(Placement::single_node())
+            .placement(Placement::with_nodes(1))
             .start()?;
         Ok(Runtime { cluster })
     }
@@ -1542,7 +1782,7 @@ impl fmt::Debug for Runtime {
     }
 }
 
-fn flu_executor(
+pub(crate) fn flu_executor(
     inner: Arc<Inner>,
     fn_name: String,
     rx: Receiver<FluMsg>,
@@ -1550,6 +1790,8 @@ fn flu_executor(
     dlu: Sender<DluMsg>,
     scale: Arc<FnScale>,
 ) {
+    // The observed-pool gauge: migration drains wait on this hitting 0.
+    scale.live.fetch_add(1, Ordering::SeqCst);
     while let Ok(msg) = rx.recv() {
         match msg {
             FluMsg::Shutdown => break,
@@ -1581,20 +1823,16 @@ fn flu_executor(
             }
         }
     }
+    scale.live.fetch_sub(1, Ordering::SeqCst);
 }
 
-fn dlu_daemon(
-    inner: Arc<Inner>,
-    links: Arc<Vec<Option<Sender<NetMsg>>>>,
-    rx: Receiver<DluMsg>,
-    scale: Arc<FnScale>,
-) {
+pub(crate) fn dlu_daemon(inner: Arc<Inner>, rx: Receiver<DluMsg>, scale: Arc<FnScale>) {
     while let Ok(msg) = rx.recv() {
         if inner.shutdown.load(Ordering::Relaxed) {
             break;
         }
         let len = msg.payload.len() as u64;
-        route(&inner, &links, msg);
+        route(&inner, msg);
         // The payload left the DLU (routing finished, including any time
         // blocked on a saturated inter-node link): drop it from the
         // Eq. 1 backlog gauge.
@@ -1695,13 +1933,19 @@ fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
 
 /// Routes one DLU put along the matching data edges, classifying each
 /// inter-function transfer through the paper's three-way pipe choice.
-fn route(inner: &Inner, links: &[Option<Sender<NetMsg>>], msg: DluMsg) {
+/// The source node — and with it the link row and retention window —
+/// comes from the *live* placement, so a DLU daemon keeps routing
+/// correctly after its function migrated to another node.
+fn route(inner: &Inner, msg: DluMsg) {
     inner.counters.puts.fetch_add(1, Ordering::Relaxed);
     let wf = &inner.workflow;
     let Some(src) = wf.function_by_name(&msg.src_fn) else {
         return;
     };
-    let src_node = inner.placement.node_of(&msg.src_fn);
+    let src_node = inner.node_of(&msg.src_fn);
+    let Some(links) = inner.link_row(src_node) else {
+        return; // rows cleared: shutdown in progress
+    };
     let active = match inner.nodes[src_node]
         .sink
         .with(msg.req.0, |rs| rs.map(|r| Arc::clone(&r.active)))
@@ -1736,7 +1980,7 @@ fn route(inner: &Inner, links: &[Option<Sender<NetMsg>>], msg: DluMsg) {
                     let key = format!("{}@{}", msg.data_name, msg.src_fn);
                     ship(
                         inner,
-                        links,
+                        &links,
                         src_node,
                         w.endpoints - 1,
                         msg.req,
@@ -1757,11 +2001,11 @@ fn route(inner: &Inner, links: &[Option<Sender<NetMsg>>], msg: DluMsg) {
                 }
             }
             Endpoint::Function(t) => {
-                let dst_node = inner.placement.node_of(&wf.function(t).name);
+                let dst_node = inner.node_of(&wf.function(t).name);
                 let key = format!("{}@{}", msg.data_name, msg.src_fn);
                 ship(
                     inner,
-                    links,
+                    &links,
                     src_node,
                     dst_node,
                     msg.req,
@@ -1984,6 +2228,52 @@ enum ChunkProgress {
 /// from a receiver are applied to the local (sender-side) retention
 /// window here too.
 pub(crate) fn handle_net_msg(inner: &Inner, src: usize, dst_node: usize, msg: NetMsg) {
+    // Relocation forwarding: a data frame addressed to a node that no
+    // longer hosts its target function chases the live placement
+    // instead of dying with the old address. Checked *before* the
+    // down-check so frames already in flight when a node was declared
+    // lost still reach the function's new home.
+    if let Some(cur) = frame_target_node(inner, &msg) {
+        if cur != dst_node {
+            inner
+                .counters
+                .forwarded_frames
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = &inner.wire {
+                if cur != w.local {
+                    // Another process hosts the function now: relay the
+                    // frame over the wire. The sender's retention entry
+                    // is re-homed by the coordinator's relocate
+                    // broadcast, so the new host's acks find it there.
+                    if let Some(tx) = w.out.get(cur).and_then(|t| t.as_ref()) {
+                        let _ = tx.send(msg);
+                    }
+                    return;
+                }
+                // cur == local: fall through and ingest under the new
+                // node id below.
+            } else if inner.cfg.recovery.enabled {
+                // In-process: drag the sender's retention entry along to
+                // the new destination link, or the acks coming back from
+                // the new host would miss it and the old-link entry
+                // would retransmit forever.
+                if let NetMsg::Whole { transfer, .. } | NetMsg::Chunk { transfer, .. } = &msg {
+                    let moved = retention_of(inner, src, dst_node)
+                        .lock()
+                        .expect("retention lock poisoned")
+                        .take(*transfer);
+                    if let Some(t) = moved {
+                        retention_of(inner, src, cur)
+                            .lock()
+                            .expect("retention lock poisoned")
+                            .adopt(*transfer, t, false);
+                    }
+                }
+            }
+            handle_net_msg(inner, src, cur, msg);
+            return;
+        }
+    }
     if inner.nodes[dst_node].down.load(Ordering::SeqCst) {
         inner.counters.frames_lost.fetch_add(1, Ordering::Relaxed);
         return;
@@ -2144,6 +2434,33 @@ pub(crate) fn resolve_active(wf: &Workflow, req: u64) -> Arc<ActiveGraph> {
     Arc::new(wf.resolve_switches(|group, n| ((req ^ group as u64) % n as u64) as usize))
 }
 
+/// The node currently hosting the target function of a data frame, per
+/// the live placement — `None` for ack frames and client-output frames
+/// (whose destination is an endpoint, not a function).
+fn frame_target_node(inner: &Inner, msg: &NetMsg) -> Option<usize> {
+    let edge = match msg {
+        NetMsg::Whole { edge, .. } | NetMsg::Chunk { edge, .. } => *edge,
+        _ => return None,
+    };
+    match inner.workflow.edge(edge).target {
+        Endpoint::Function(t) => Some(inner.node_of(&inner.workflow.function(t).name)),
+        Endpoint::Client => None,
+    }
+}
+
+/// Bytes queued in (or draining from) the DLU queues of the functions
+/// the live placement currently puts on `node` — the orchestrator's
+/// pressure gauge for relocation targets.
+pub(crate) fn node_pressure_of(inner: &Inner, node: usize) -> u64 {
+    let placement = inner.placement.read().expect("placement lock poisoned");
+    inner
+        .scale
+        .iter()
+        .filter(|(name, _)| placement.node_of(name) == node)
+        .map(|(_, s)| s.backlog_bytes.load(Ordering::Relaxed))
+        .sum()
+}
+
 /// The missing-input counts `node_id` tracks for one request: one entry
 /// per hosted active function, counting its active input edges.
 fn missing_for(inner: &Inner, node_id: usize, active: &ActiveGraph) -> HashMap<FnId, usize> {
@@ -2151,7 +2468,7 @@ fn missing_for(inner: &Inner, node_id: usize, active: &ActiveGraph) -> HashMap<F
     let mut missing = HashMap::new();
     for f in wf.function_ids() {
         let name = &wf.function(f).name;
-        if inner.placement.node_of(name) != node_id || !active.function_active(f) {
+        if inner.node_of(name) != node_id || !active.function_active(f) {
             continue;
         }
         let count = wf
@@ -2167,7 +2484,11 @@ fn missing_for(inner: &Inner, node_id: usize, active: &ActiveGraph) -> HashMap<F
 /// A fresh per-node sink record for one request — what
 /// [`ClusterRuntime::invoke`] seeds eagerly and the wire-mode ingress
 /// seeds lazily on first frame arrival.
-fn seed_req_state(inner: &Inner, node_id: usize, active: &Arc<ActiveGraph>) -> NodeReqState {
+pub(crate) fn seed_req_state(
+    inner: &Inner,
+    node_id: usize,
+    active: &Arc<ActiveGraph>,
+) -> NodeReqState {
     NodeReqState {
         active: Arc::clone(active),
         missing: missing_for(inner, node_id, active),
@@ -2237,6 +2558,9 @@ fn crash_node_inner(inner: &Inner, node: usize) -> CrashReport {
 /// incomplete inbound transfer from the senders' retention windows.
 /// See [`ClusterRuntime::restart_node`].
 fn restart_node_inner(inner: &Inner, node: usize) {
+    if inner.nodes[node].lost.load(Ordering::SeqCst) {
+        return; // declared permanently lost: its functions moved away
+    }
     if !inner.nodes[node].down.swap(false, Ordering::SeqCst) {
         return; // not down
     }
@@ -2256,9 +2580,10 @@ fn restart_node_inner(inner: &Inner, node: usize) {
 fn replay_links_into(inner: &Inner, dst: usize, older_than: Option<Duration>) {
     let n = inner.nodes.len();
     for src in 0..n {
-        if src == dst {
-            continue;
-        }
+        // Self-links included: local sends never retain, but relocation
+        // forwarding drags a retention entry onto `src → src` when the
+        // function moved to the sender's own node, and those entries
+        // starve without a retransmit scan.
         let summary = retention_of(inner, src, dst)
             .lock()
             .expect("retention lock poisoned")
@@ -2326,7 +2651,12 @@ fn recovery_daemon(inner: Arc<Inner>) {
         }
         if inner.cfg.recovery.enabled {
             for dst in 0..inner.nodes.len() {
-                if !inner.nodes[dst].down.load(Ordering::SeqCst) {
+                if inner.nodes[dst].lost.load(Ordering::SeqCst) {
+                    // Straggler healing: retention that still points at a
+                    // permanently lost node (a send raced the relocation)
+                    // is re-homed toward the live placement and replayed.
+                    orchestrator::sweep_lost_node_retention(&inner, dst);
+                } else if !inner.nodes[dst].down.load(Ordering::SeqCst) {
                     replay_links_into(&inner, dst, Some(timeout));
                 }
             }
@@ -2338,17 +2668,39 @@ fn recovery_daemon(inner: Arc<Inner>) {
 /// destination FLU when its inputs are complete (proactive release: the
 /// inputs leave the sink as the invocation message).
 fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String, payload: Bytes) {
+    /// What one delivery did under the sink stripe lock.
+    enum Delivered {
+        /// Dropped (untracked request / inactive branch) or parked.
+        Done,
+        /// Completed the consumer's inputs: trigger its FLU.
+        Ready(BTreeMap<String, Bytes>),
+        /// The consumer moved off this node after the migration sweep
+        /// copied this stripe: un-parked, re-deliver at the new host.
+        Moved(SinkEntry),
+    }
     let wf = &inner.workflow;
     let e = wf.edge(edge);
     let Endpoint::Function(dst) = e.target else {
         return;
     };
+    let name = &wf.function(dst).name;
     inner.counters.deliveries.fetch_add(1, Ordering::Relaxed);
-    let ready = inner.nodes[dst_node].sink.with(req.0, |rs| {
-        let rs = rs?;
+    let outcome = inner.nodes[dst_node].sink.with(req.0, |rs| {
+        let Some(rs) = rs else {
+            return Delivered::Done;
+        };
         if !rs.active.edge_active(edge) || !rs.active.function_active(dst) {
-            return None;
+            return Delivered::Done;
         }
+        // Seed count for a consumer this node's request seeding did not
+        // cover — a function relocated here mid-request. (The common
+        // path finds the count `seed_req_state` already put there, or
+        // the `usize::MAX` sentinel of an already-triggered consumer.)
+        let late_seed = wf
+            .inputs(dst)
+            .iter()
+            .filter(|e| rs.active.edge_active(**e))
+            .count();
         let entry = SinkEntry {
             key,
             payload,
@@ -2361,7 +2713,7 @@ fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String
             .or_default()
             .insert(edge, entry)
             .is_none();
-        let missing = rs.missing.entry(dst).or_insert(usize::MAX);
+        let missing = rs.missing.entry(dst).or_insert(late_seed);
         if fresh && *missing != usize::MAX {
             debug_assert!(*missing > 0, "over-delivery on {edge}");
             *missing -= 1;
@@ -2376,22 +2728,53 @@ fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String
                 inputs.insert(entry.key, entry.payload);
             }
             *missing = usize::MAX;
-            Some(inputs)
-        } else {
-            // The payload parks until its consumer's other inputs land:
-            // compact it so a small zero-copy view cannot pin a large
-            // parent allocation for the wait (in-flight slices stay
-            // zero-copy; only parked ones may pay a copy).
-            if let Some(e) = rs.entries.get_mut(&dst).and_then(|m| m.get_mut(&edge)) {
-                let parked = std::mem::take(&mut e.payload);
-                e.payload = parked.compact();
-            }
-            None
+            return Delivered::Ready(inputs);
         }
+        let sentinel = *missing == usize::MAX;
+        // Relocation self-heal (in-process): re-check the live placement
+        // *after* parking. If the consumer moved off this node, the
+        // migration sweep either already copied this stripe (then this
+        // entry slipped in behind it) or will copy it later (then it
+        // sees the entry) — un-parking here makes both interleavings
+        // safe. Wire mode relies on the relocate re-send instead, since
+        // a parked entry cannot be handed across processes.
+        if inner.wire.is_none() && inner.node_of(name) != dst_node {
+            if let Some(entry) = rs.entries.get_mut(&dst).and_then(|m| m.remove(&edge)) {
+                if fresh && !sentinel {
+                    *rs.missing.get_mut(&dst).expect("seeded above") += 1;
+                }
+                return Delivered::Moved(entry);
+            }
+        }
+        // The payload parks until its consumer's other inputs land:
+        // compact it so a small zero-copy view cannot pin a large
+        // parent allocation for the wait (in-flight slices stay
+        // zero-copy; only parked ones may pay a copy).
+        if let Some(e) = rs.entries.get_mut(&dst).and_then(|m| m.get_mut(&edge)) {
+            let parked = std::mem::take(&mut e.payload);
+            e.payload = parked.compact();
+        }
+        Delivered::Done
     });
-    if let Some(inputs) = ready {
-        let name = &wf.function(dst).name;
-        let _ = inner.flu_tx[name].send(FluMsg::Invoke { req, inputs });
+    match outcome {
+        Delivered::Done => {}
+        Delivered::Ready(inputs) => {
+            let _ = inner.flu_tx[name].send(FluMsg::Invoke { req, inputs });
+        }
+        Delivered::Moved(entry) => {
+            inner
+                .counters
+                .forwarded_frames
+                .fetch_add(1, Ordering::Relaxed);
+            deliver(
+                inner,
+                inner.node_of(name),
+                req,
+                edge,
+                entry.key,
+                entry.payload,
+            );
+        }
     }
 }
 

@@ -39,7 +39,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -51,9 +51,11 @@ use crate::channel::{bounded, Receiver, Sender};
 use crate::error::RtError;
 use crate::fabric::{LinkConfig, LinkRetention, NetMsg, Reassembler};
 use crate::node::Placement;
+use crate::orchestrator::{activate_pool, fallback_relocate};
 use crate::runtime::{
-    chaos_ingress, handle_net_msg, resolve_active, retention_of, stride, worker_transfer_base,
-    ClusterRtConfig, ClusterRuntimeBuilder, Counters, CrashReport, Inner, ReqId, RtStats, WireSpec,
+    chaos_ingress, handle_net_msg, node_pressure_of, resolve_active, retention_of, stride,
+    worker_transfer_base, ClusterRtConfig, ClusterRuntimeBuilder, Counters, CrashReport, Inner,
+    ReqId, RtStats, WireSpec,
 };
 use crate::wire::{encode_parts, frame_of, net_of, Decoder, Frame};
 
@@ -259,6 +261,41 @@ impl WorkerEnv {
                     }
                     "{\"ok\":true}".to_string()
                 }
+                "ping" => "{\"ok\":true}".to_string(),
+                "pressure" => {
+                    format!("{{\"pressure\":{}}}", node_pressure_of(&inner, self.node))
+                }
+                "relocate" => {
+                    let dead = jnum(&v, "dead") as usize;
+                    let assign = parse_assign(&v);
+                    {
+                        let mut p = inner.placement.write().expect("placement lock poisoned");
+                        for (name, to) in &assign {
+                            p.reassign(name.clone(), *to);
+                        }
+                    }
+                    if let Some(state) = inner.nodes.get(dead) {
+                        state.lost.store(true, Ordering::SeqCst);
+                        state.down.store(true, Ordering::SeqCst);
+                    }
+                    let mut activated = 0usize;
+                    for (name, to) in &assign {
+                        if *to == self.node {
+                            activate_pool(&inner, name, *to);
+                            activated += 1;
+                        }
+                    }
+                    inner
+                        .counters
+                        .relocated_fns
+                        .fetch_add(activated as u64, Ordering::Relaxed);
+                    format!("{{\"ok\":true,\"activated\":{activated}}}")
+                }
+                "resend" => {
+                    let dead = jnum(&v, "dead") as usize;
+                    let n = resend_toward(&inner, self.node, dead);
+                    format!("{{\"ok\":true,\"transfers\":{n}}}")
+                }
                 "probe" => {
                     let (inflight, durable) =
                         inner.nodes[self.node]
@@ -298,6 +335,20 @@ impl WorkerEnv {
                         w.purged.lock().expect("purge set poisoned").insert(req);
                     }
                     inner.nodes[self.node].sink.remove(req);
+                    // Retain-acked mode (orchestrator) parks completed
+                    // transfers in retention until their request is
+                    // collected — this is the collection point.
+                    if inner.cfg.recovery.enabled {
+                        for dst in 0..endpoints {
+                            if dst == self.node {
+                                continue;
+                            }
+                            retention_of(&inner, self.node, dst)
+                                .lock()
+                                .expect("retention lock poisoned")
+                                .purge_req(req);
+                        }
+                    }
                     "{\"ok\":true}".to_string()
                 }
                 "shutdown" => {
@@ -312,6 +363,97 @@ impl WorkerEnv {
             }
         }
     }
+}
+
+/// Decodes a `relocate` op's `assign` object (`{"fn_name": node, ...}`)
+/// into `(function, node)` pairs.
+fn parse_assign(v: &json::Value) -> Vec<(String, usize)> {
+    match v.get("assign") {
+        Some(json::Value::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(name, node)| node.as_f64().map(|n| (name.clone(), n as usize)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Worker half of a relocation's data recovery: every transfer this
+/// process still retains **toward** the `dead` node is re-homed onto the
+/// link toward its target function's *current* node (per the already
+/// repatched live placement) and re-sent **from byte 0** — the new host
+/// holds none of the dead node's bytes (its sink and checkpoint log died
+/// with the process), so the acked-mark resume of same-node restarts
+/// does not apply; receivers dedup re-fired duplicates by edge.
+/// Returns the number of transfers re-homed.
+fn resend_toward(inner: &Arc<Inner>, local: usize, dead: usize) -> usize {
+    if !inner.cfg.recovery.enabled || local == dead {
+        return 0;
+    }
+    let wf = &inner.workflow;
+    let moved = retention_of(inner, local, dead)
+        .lock()
+        .expect("retention lock poisoned")
+        .extract(|_| true);
+    if moved.is_empty() {
+        return 0;
+    }
+    let wire = inner.wire.as_ref().expect("worker runtime is wire mode");
+    let mut by_dst: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut count = 0usize;
+    for (id, t) in moved {
+        let dst = match wf.edge(t.edge).target {
+            Endpoint::Function(tf) => inner.node_of(&wf.function(tf).name),
+            Endpoint::Client => wire.endpoints - 1,
+        };
+        if dst == dead {
+            // Nobody inherited the target yet; park the entry back for a
+            // later sweep.
+            retention_of(inner, local, dead)
+                .lock()
+                .expect("retention lock poisoned")
+                .adopt(id, t, false);
+            continue;
+        }
+        retention_of(inner, local, dst)
+            .lock()
+            .expect("retention lock poisoned")
+            .adopt(id, t, true);
+        by_dst.entry(dst).or_default().push(id);
+        count += 1;
+    }
+    for (dst, ids) in by_dst {
+        let summary = retention_of(inner, local, dst)
+            .lock()
+            .expect("retention lock poisoned")
+            .replay_ids(Instant::now(), &ids);
+        inner
+            .counters
+            .recovered_transfers
+            .fetch_add(summary.transfers, Ordering::Relaxed);
+        for msg in summary.frames {
+            inner
+                .counters
+                .replayed_frames
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .counters
+                .replayed_bytes
+                .fetch_add(msg.wire_bytes() as u64, Ordering::Relaxed);
+            if dst == local {
+                // The function's new home is this very process: there is
+                // no wire link to self, so ingest the replayed frame
+                // directly (acks apply to the local self-link window).
+                handle_net_msg(inner, local, local, msg);
+                continue;
+            }
+            let Some(tx) = &wire.out[dst] else { continue };
+            if matches!(msg, NetMsg::Whole { .. } | NetMsg::Chunk { .. }) {
+                inner.link_depth[local * stride(inner) + dst].fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = tx.send(msg);
+        }
+    }
+    count
 }
 
 /// Where a peer endpoint currently listens; rewritten by `peer_update`
@@ -855,6 +997,223 @@ struct WorkerSlot {
     alive: bool,
 }
 
+/// The coordinator's control-plane state, shared with the heartbeat
+/// thread (wire-mode ε-CON): the worker control channels, the **live**
+/// placement (repatched by relocation — the coordinator-side routing
+/// authority for client inputs), per-node loss flags and the outbound
+/// data queues.
+struct CoordCtl {
+    workflow: Arc<Workflow>,
+    placement: RwLock<Placement>,
+    shared: Arc<CoordShared>,
+    workers: Vec<Mutex<WorkerSlot>>,
+    /// Nodes declared permanently lost (relocated away, never pinged or
+    /// restarted again). Swap-guarded so relocation runs exactly once.
+    lost: Vec<AtomicBool>,
+    /// Senders into the per-worker link-agent queues. Behind a mutex so
+    /// shutdown can drop them (agent `recv` disconnect is the exit
+    /// signal).
+    out: Mutex<Vec<Sender<NetMsg>>>,
+    heartbeat_interval: Duration,
+    miss_threshold: u32,
+}
+
+impl CoordCtl {
+    /// One serialized request/reply on a worker's control channel.
+    /// Returns `None` (and marks the worker dead) on any I/O failure.
+    fn rpc(&self, node: usize, line: &str) -> Option<json::Value> {
+        let mut slot = self.workers[node].lock().expect("worker slot poisoned");
+        if !slot.alive {
+            return None;
+        }
+        if writeln!(slot.ctrl_w, "{line}").is_err() {
+            slot.alive = false;
+            return None;
+        }
+        let mut resp = String::new();
+        match slot.ctrl_r.read_line(&mut resp) {
+            Ok(n) if n > 0 => json::parse(&resp).ok(),
+            _ => {
+                slot.alive = false;
+                None
+            }
+        }
+    }
+}
+
+/// The coordinator's heartbeat loop (wire mode): pings every non-lost
+/// worker over its control channel once per interval; after the
+/// configured number of consecutive failures the worker is declared
+/// permanently lost and its functions are relocated to the survivors.
+/// A slow worker is never a false positive — the control channel is
+/// served by a dedicated loop that answers pings regardless of
+/// data-plane load, so only a dead process (or torn socket) misses.
+fn coord_heartbeat(ctl: Arc<CoordCtl>) {
+    let mut misses = vec![0u32; ctl.workers.len()];
+    loop {
+        thread::sleep(ctl.heartbeat_interval);
+        if ctl.shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        for (k, miss) in misses.iter_mut().enumerate() {
+            if ctl.lost[k].load(Ordering::SeqCst) {
+                continue;
+            }
+            match ctl.rpc(k, "{\"op\":\"ping\"}") {
+                Some(_) => {
+                    *miss = 0;
+                    ctl.shared
+                        .counters
+                        .heartbeats
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    *miss += 1;
+                    ctl.shared
+                        .counters
+                        .heartbeat_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    if *miss >= ctl.miss_threshold {
+                        *miss = 0;
+                        coord_relocate(&ctl, k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wire-mode node-loss relocation, coordinated in three phases so no
+/// survivor ever routes a relocated frame toward the dead link:
+///
+/// 1. gather survivor pressure, compute the new assignment
+///    (least-pressured survivor per function), repatch the
+///    coordinator's placement and broadcast `relocate` — every survivor
+///    repatches its own placement and the new hosts activate fresh
+///    FLU/DLU pools;
+/// 2. broadcast `resend` — every survivor re-homes its retained
+///    transfers that pointed at the dead node and re-sends them from
+///    byte 0 (the dead node's reassembly state died with it);
+/// 3. the coordinator re-sends its own retained client inputs the same
+///    way.
+///
+/// Exactly-once via the `lost` swap-guard; a second kill of the same
+/// node (or a kill with no survivors) is a no-op.
+fn coord_relocate(ctl: &Arc<CoordCtl>, dead: usize) {
+    let live: Vec<usize> = (0..ctl.workers.len())
+        .filter(|k| *k != dead && !ctl.lost[*k].load(Ordering::SeqCst))
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    if ctl.lost[dead].swap(true, Ordering::SeqCst) {
+        return;
+    }
+    ctl.shared
+        .counters
+        .node_losses
+        .fetch_add(1, Ordering::Relaxed);
+    let mut pressure = vec![0.0f64; ctl.workers.len()];
+    for &k in &live {
+        if let Some(v) = ctl.rpc(k, "{\"op\":\"pressure\"}") {
+            pressure[k] = v.get("pressure").and_then(|x| x.as_f64()).unwrap_or(0.0);
+        }
+    }
+    let moves: Vec<(String, usize)> = {
+        let p = ctl.placement.read().expect("placement lock poisoned");
+        ctl.workflow
+            .function_ids()
+            .filter_map(|f| {
+                let name = &ctl.workflow.function(f).name;
+                (p.node_of(name) == dead)
+                    .then(|| (name.clone(), fallback_relocate(&live, &pressure)))
+            })
+            .collect()
+    };
+    {
+        let mut p = ctl.placement.write().expect("placement lock poisoned");
+        for (name, to) in &moves {
+            p.reassign(name.clone(), *to);
+        }
+    }
+    let assign = moves
+        .iter()
+        .map(|(n, t)| format!("\"{n}\":{t}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let relocate = format!("{{\"op\":\"relocate\",\"dead\":{dead},\"assign\":{{{assign}}}}}");
+    for &k in &live {
+        let _ = ctl.rpc(k, &relocate);
+    }
+    let resend = format!("{{\"op\":\"resend\",\"dead\":{dead}}}");
+    for &k in &live {
+        let _ = ctl.rpc(k, &resend);
+    }
+    coord_resend(ctl, dead);
+}
+
+/// Phase 3 of [`coord_relocate`]: the coordinator's retained client
+/// inputs toward the dead node are re-homed per the repatched placement
+/// and re-sent whole (the workers' counterpart is `resend_toward`).
+fn coord_resend(ctl: &Arc<CoordCtl>, dead: usize) {
+    let shared = &ctl.shared;
+    if !shared.recovery_enabled {
+        return;
+    }
+    let moved = shared.retention[dead]
+        .lock()
+        .expect("retention lock poisoned")
+        .extract(|_| true);
+    if moved.is_empty() {
+        return;
+    }
+    let mut by_dst: HashMap<usize, Vec<u64>> = HashMap::new();
+    {
+        let p = ctl.placement.read().expect("placement lock poisoned");
+        for (id, t) in moved {
+            let dst = match ctl.workflow.edge(t.edge).target {
+                Endpoint::Function(tf) => p.node_of(&ctl.workflow.function(tf).name),
+                Endpoint::Client => continue,
+            };
+            if dst == dead {
+                shared.retention[dead]
+                    .lock()
+                    .expect("retention lock poisoned")
+                    .adopt(id, t, false);
+                continue;
+            }
+            shared.retention[dst]
+                .lock()
+                .expect("retention lock poisoned")
+                .adopt(id, t, true);
+            by_dst.entry(dst).or_default().push(id);
+        }
+    }
+    let out = ctl.out.lock().expect("out lock poisoned");
+    for (dst, ids) in by_dst {
+        let summary = shared.retention[dst]
+            .lock()
+            .expect("retention lock poisoned")
+            .replay_ids(Instant::now(), &ids);
+        shared
+            .counters
+            .recovered_transfers
+            .fetch_add(summary.transfers, Ordering::Relaxed);
+        let Some(tx) = out.get(dst) else { continue };
+        for msg in summary.frames {
+            shared
+                .counters
+                .replayed_frames
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .replayed_bytes
+                .fetch_add(msg.wire_bytes() as u64, Ordering::Relaxed);
+            let _ = tx.send(msg);
+        }
+    }
+}
+
 /// A multi-process cluster over real TCP sockets: the coordinator side.
 ///
 /// [`TcpCluster::launch`] spawns one OS process per node (re-executing
@@ -867,20 +1226,25 @@ struct WorkerSlot {
 /// [`TcpCluster::restart_worker`] brings the node back as a fresh
 /// process that replays its checkpoint log, with every sender resuming
 /// its un-acked transfers from the last acknowledged §6.2 mark.
+///
+/// With [`ClusterRtConfig::orchestrator`] set (see
+/// [`ClusterConfig::heartbeat`](crate::ClusterConfig::heartbeat)), the
+/// coordinator additionally runs the wire-mode control plane: control-
+/// channel pings every heartbeat interval, node-loss declaration after
+/// the miss threshold, and relocation of the dead worker's functions
+/// onto the least-pressured survivors — a worker lost to `kill -9`
+/// mid-run is healed without ever restarting its process.
 pub struct TcpCluster {
-    workflow: Arc<Workflow>,
-    placement: Placement,
-    shared: Arc<CoordShared>,
+    ctl: Arc<CoordCtl>,
     control: TcpListener,
     control_port: u16,
     data_addr: SocketAddr,
     dir: PathBuf,
     tag: String,
-    workers: Vec<Mutex<WorkerSlot>>,
     addrs: Vec<Arc<AddrCell>>,
-    out: Vec<Sender<NetMsg>>,
     agents: Vec<thread::JoinHandle<()>>,
     pump: Option<thread::JoinHandle<()>>,
+    heartbeat: Option<thread::JoinHandle<()>>,
     next_req: AtomicU64,
     next_transfer: AtomicU64,
 }
@@ -1029,7 +1393,15 @@ impl TcpCluster {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             retention: (0..nodes)
-                .map(|_| Mutex::new(LinkRetention::default()))
+                .map(|_| {
+                    let mut r = LinkRetention::default();
+                    // Orchestrator mode: a relocated function's new host
+                    // needs the client inputs from byte 0, so completed
+                    // transfers stay replayable until their request is
+                    // collected.
+                    r.set_retain_acked(cfg.orchestrator);
+                    Mutex::new(r)
+                })
                 .collect(),
             reqs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
@@ -1076,20 +1448,34 @@ impl TcpCluster {
             None
         };
 
-        Ok(TcpCluster {
+        let ctl = Arc::new(CoordCtl {
             workflow,
-            placement,
+            placement: RwLock::new(placement),
             shared,
+            workers: slots.into_iter().map(Mutex::new).collect(),
+            lost: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            out: Mutex::new(out),
+            heartbeat_interval: cfg.heartbeat_interval,
+            miss_threshold: cfg.heartbeat_miss_threshold.max(1),
+        });
+        let heartbeat = if cfg.orchestrator {
+            let ctl = Arc::clone(&ctl);
+            Some(thread::spawn(move || coord_heartbeat(ctl)))
+        } else {
+            None
+        };
+
+        Ok(TcpCluster {
+            ctl,
             control,
             control_port,
             data_addr,
             dir,
             tag: tag.to_string(),
-            workers: slots.into_iter().map(Mutex::new).collect(),
             addrs,
-            out,
             agents,
             pump,
+            heartbeat,
             next_req: AtomicU64::new(0),
             next_transfer: AtomicU64::new(worker_transfer_base(coord, 0)),
         })
@@ -1097,7 +1483,38 @@ impl TcpCluster {
 
     /// Number of worker nodes (excluding the coordinator endpoint).
     pub fn node_count(&self) -> usize {
-        self.workers.len()
+        self.ctl.workers.len()
+    }
+
+    /// The node currently hosting function `name`, per the live
+    /// placement (repatched by relocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workflow has no function `name`.
+    pub fn node_of(&self, name: &str) -> usize {
+        self.ctl
+            .placement
+            .read()
+            .expect("placement lock poisoned")
+            .node_of(name)
+    }
+
+    /// True once `node` was declared permanently lost (its functions
+    /// relocated to the survivors).
+    pub fn worker_lost(&self, node: usize) -> bool {
+        self.ctl.lost[node].load(Ordering::SeqCst)
+    }
+
+    /// Declares `node` permanently lost right now — the manual override
+    /// of the heartbeat detector (which calls the same path after the
+    /// miss threshold). Relocates its functions to the least-pressured
+    /// survivors and re-sends every retained transfer that pointed at
+    /// it. Idempotent; losing the last node is a no-op.
+    pub fn declare_worker_lost(&self, node: usize) {
+        if node < self.ctl.workers.len() {
+            coord_relocate(&self.ctl, node);
+        }
     }
 
     /// Invokes the workflow with client inputs `(data_name, payload)`:
@@ -1105,13 +1522,14 @@ impl TcpCluster {
     /// frame. Returns immediately; collect with [`TcpCluster::wait`].
     pub fn invoke(&self, inputs: Vec<(String, Bytes)>) -> ReqId {
         let req = ReqId(self.next_req.fetch_add(1, Ordering::Relaxed));
-        let wf = &self.workflow;
+        let wf = &self.ctl.workflow;
+        let shared = &self.ctl.shared;
         let active = resolve_active(wf, req.0);
         let outputs_missing = wf
             .client_outputs()
             .filter(|e| active.edge_active(*e))
             .count();
-        self.shared
+        shared
             .reqs
             .lock()
             .expect("coordinator lock poisoned")
@@ -1138,11 +1556,16 @@ impl TcpCluster {
                     continue;
                 }
                 if let Endpoint::Function(dst) = e.target {
-                    let dst_node = self.placement.node_of(&wf.function(dst).name);
+                    let dst_node = self
+                        .ctl
+                        .placement
+                        .read()
+                        .expect("placement lock poisoned")
+                        .node_of(&wf.function(dst).name);
                     let transfer = self.next_transfer.fetch_add(1, Ordering::Relaxed);
                     let key = format!("{name}@$USER");
-                    if self.shared.recovery_enabled {
-                        self.shared.retention[dst_node]
+                    if shared.recovery_enabled {
+                        shared.retention[dst_node]
                             .lock()
                             .expect("retention lock poisoned")
                             .retain(
@@ -1156,22 +1579,25 @@ impl TcpCluster {
                                 payload.clone(),
                             );
                     }
-                    let _ = self.out[dst_node].send(NetMsg::Whole {
-                        req: req.0,
-                        edge: eid,
-                        key,
-                        transfer,
-                        payload: payload.clone(),
-                    });
+                    let out = self.ctl.out.lock().expect("out lock poisoned");
+                    if let Some(tx) = out.get(dst_node) {
+                        let _ = tx.send(NetMsg::Whole {
+                            req: req.0,
+                            edge: eid,
+                            key,
+                            transfer,
+                            payload: payload.clone(),
+                        });
+                    }
                 }
             }
             if !matched {
-                let mut reqs = self.shared.reqs.lock().expect("coordinator lock poisoned");
+                let mut reqs = shared.reqs.lock().expect("coordinator lock poisoned");
                 if let Some(rs) = reqs.get_mut(&req.0) {
                     rs.errors
                         .push(format!("no client input edge named `{name}`"));
                 }
-                self.shared.done.notify_all();
+                shared.done.notify_all();
             }
         }
         req
@@ -1188,7 +1614,8 @@ impl TcpCluster {
     /// [`RtError::UnknownRequest`].
     pub fn wait(&self, req: ReqId, timeout: Duration) -> Result<Vec<(String, Bytes)>, RtError> {
         let deadline = Instant::now() + timeout;
-        let mut reqs = self.shared.reqs.lock().expect("coordinator lock poisoned");
+        let shared = &self.ctl.shared;
+        let mut reqs = shared.reqs.lock().expect("coordinator lock poisoned");
         loop {
             let rs = reqs.get(&req.0).ok_or(RtError::UnknownRequest)?;
             if !rs.errors.is_empty() {
@@ -1197,8 +1624,17 @@ impl TcpCluster {
             if rs.outputs_missing == 0 {
                 let rs = reqs.remove(&req.0).expect("checked above");
                 drop(reqs);
-                for k in 0..self.workers.len() {
-                    let _ = self.rpc(k, &format!("{{\"op\":\"purge\",\"req\":{}}}", req.0));
+                // Collection point: retain-acked retention (orchestrator
+                // mode) may only release a request's transfers now.
+                if shared.recovery_enabled {
+                    for r in &shared.retention {
+                        r.lock().expect("retention lock poisoned").purge_req(req.0);
+                    }
+                }
+                for k in 0..self.ctl.workers.len() {
+                    let _ = self
+                        .ctl
+                        .rpc(k, &format!("{{\"op\":\"purge\",\"req\":{}}}", req.0));
                 }
                 return Ok(rs.outputs);
             }
@@ -1206,8 +1642,7 @@ impl TcpCluster {
             if now >= deadline {
                 return Err(RtError::Timeout);
             }
-            reqs = self
-                .shared
+            reqs = shared
                 .done
                 .wait_timeout(reqs, deadline.saturating_duration_since(now))
                 .expect("coordinator lock poisoned")
@@ -1215,32 +1650,11 @@ impl TcpCluster {
         }
     }
 
-    /// One serialized request/reply on a worker's control channel.
-    /// Returns `None` (and marks the worker dead) on any I/O failure.
-    fn rpc(&self, node: usize, line: &str) -> Option<json::Value> {
-        let mut slot = self.workers[node].lock().expect("worker slot poisoned");
-        if !slot.alive {
-            return None;
-        }
-        if writeln!(slot.ctrl_w, "{line}").is_err() {
-            slot.alive = false;
-            return None;
-        }
-        let mut resp = String::new();
-        match slot.ctrl_r.read_line(&mut resp) {
-            Ok(n) if n > 0 => json::parse(&resp).ok(),
-            _ => {
-                slot.alive = false;
-                None
-            }
-        }
-    }
-
     /// Asks a live worker for its reassembly state: `(in-flight
     /// transfers, bytes durable at checkpoint marks)`. `None` when the
     /// worker is dead or unreachable.
     pub fn probe_worker(&self, node: usize) -> Option<(usize, u64)> {
-        let v = self.rpc(node, "{\"op\":\"probe\"}")?;
+        let v = self.ctl.rpc(node, "{\"op\":\"probe\"}")?;
         Some((jnum(&v, "inflight") as usize, jnum(&v, "durable")))
     }
 
@@ -1251,20 +1665,20 @@ impl TcpCluster {
     /// `victim` now guarantees its restart resumes mid-stream from a
     /// mark rather than byte 0.
     pub fn sender_mid_stream(&self, victim: usize, margin: usize) -> bool {
-        if self.shared.recovery_enabled
-            && self.shared.retention[victim]
+        if self.ctl.shared.recovery_enabled
+            && self.ctl.shared.retention[victim]
                 .lock()
                 .expect("retention lock poisoned")
                 .has_acked_partial(margin)
         {
             return true;
         }
-        for k in 0..self.workers.len() {
+        for k in 0..self.ctl.workers.len() {
             if k == victim {
                 continue;
             }
             let line = format!("{{\"op\":\"retained\",\"dst\":{victim},\"margin\":{margin}}}");
-            if let Some(v) = self.rpc(k, &line) {
+            if let Some(v) = self.ctl.rpc(k, &line) {
                 if matches!(v.get("ok"), Some(json::Value::Bool(true))) {
                     return true;
                 }
@@ -1279,7 +1693,7 @@ impl TcpCluster {
     /// state (what a restart must recover).
     pub fn kill_worker(&self, node: usize) -> CrashReport {
         let probed = self.probe_worker(node);
-        let mut slot = self.workers[node].lock().expect("worker slot poisoned");
+        let mut slot = self.ctl.workers[node].lock().expect("worker slot poisoned");
         let was_up = slot.alive || probed.is_some();
         if let Some(child) = slot.child.as_mut() {
             let _ = child.kill();
@@ -1289,7 +1703,8 @@ impl TcpCluster {
         slot.alive = false;
         drop(slot);
         if was_up {
-            self.shared
+            self.ctl
+                .shared
                 .counters
                 .node_crashes
                 .fetch_add(1, Ordering::Relaxed);
@@ -1313,8 +1728,17 @@ impl TcpCluster {
     ///
     /// Process-spawn or handshake failures.
     pub fn restart_worker(&self, node: usize) -> io::Result<()> {
+        if self.ctl.lost[node].load(Ordering::SeqCst) {
+            // The node's functions were relocated away; a fresh process
+            // would rebuild the *original* placement from the tag and
+            // fight the survivors for its old functions.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("node {node} was declared permanently lost"),
+            ));
+        }
         let epoch = {
-            let slot = self.workers[node].lock().expect("worker slot poisoned");
+            let slot = self.ctl.workers[node].lock().expect("worker slot poisoned");
             slot.epoch + 1
         };
         let exe = std::env::current_exe()?;
@@ -1328,12 +1752,12 @@ impl TcpCluster {
             ));
         }
         let peer_table = {
-            let mut ports: Vec<String> = (0..self.workers.len())
+            let mut ports: Vec<String> = (0..self.ctl.workers.len())
                 .map(|k| {
                     if k == node {
                         port.to_string()
                     } else {
-                        self.workers[k]
+                        self.ctl.workers[k]
                             .lock()
                             .expect("worker slot poisoned")
                             .port
@@ -1345,7 +1769,7 @@ impl TcpCluster {
             format!("{{\"ports\":[{}]}}", ports.join(","))
         };
         {
-            let mut slot = self.workers[node].lock().expect("worker slot poisoned");
+            let mut slot = self.ctl.workers[node].lock().expect("worker slot poisoned");
             let mut ctrl_w = w;
             writeln!(ctrl_w, "{peer_table}")?;
             *slot = WorkerSlot {
@@ -1358,13 +1782,14 @@ impl TcpCluster {
             };
         }
         self.addrs[node].set(loopback(port));
-        self.shared
+        self.ctl
+            .shared
             .counters
             .node_restarts
             .fetch_add(1, Ordering::Relaxed);
-        for k in 0..self.workers.len() {
+        for k in 0..self.ctl.workers.len() {
             if k != node {
-                let _ = self.rpc(
+                let _ = self.ctl.rpc(
                     k,
                     &format!("{{\"op\":\"peer_update\",\"node\":{node},\"port\":{port}}}"),
                 );
@@ -1378,9 +1803,9 @@ impl TcpCluster {
     /// from every reachable worker. A killed worker's counters are
     /// lost with it — wire-mode totals cover the surviving processes.
     pub fn stats(&self) -> RtStats {
-        let mut total = self.shared.counters.snapshot();
-        for k in 0..self.workers.len() {
-            if let Some(v) = self.rpc(k, "{\"op\":\"stats\"}") {
+        let mut total = self.ctl.shared.counters.snapshot();
+        for k in 0..self.ctl.workers.len() {
+            if let Some(v) = self.ctl.rpc(k, "{\"op\":\"stats\"}") {
                 if let Some(arr) = v.get("stats").and_then(|a| a.as_arr()) {
                     let vals: Vec<u64> = arr
                         .iter()
@@ -1398,11 +1823,17 @@ impl TcpCluster {
     /// kill for stragglers), tears the coordinator's threads down and
     /// removes the checkpoint-log directory.
     pub fn shutdown(mut self) {
-        for k in 0..self.workers.len() {
-            let _ = self.rpc(k, "{\"op\":\"shutdown\"}");
+        // Flag first, then join the heartbeat: workers exiting on the
+        // shutdown op must not read as missed beats and trigger a
+        // relocation storm mid-teardown.
+        self.ctl.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(hb) = self.heartbeat.take() {
+            let _ = hb.join();
         }
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        for slot in &self.workers {
+        for k in 0..self.ctl.workers.len() {
+            let _ = self.ctl.rpc(k, "{\"op\":\"shutdown\"}");
+        }
+        for slot in &self.ctl.workers {
             let mut slot = slot.lock().expect("worker slot poisoned");
             if let Some(mut child) = slot.child.take() {
                 let _ = child.kill();
@@ -1415,7 +1846,7 @@ impl TcpCluster {
         if let Some(pump) = self.pump.take() {
             let _ = pump.join();
         }
-        self.out.clear();
+        self.ctl.out.lock().expect("out lock poisoned").clear();
         for agent in self.agents.drain(..) {
             let _ = agent.join();
         }
@@ -1426,8 +1857,8 @@ impl TcpCluster {
 impl std::fmt::Debug for TcpCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpCluster")
-            .field("workflow", &self.workflow.name())
-            .field("nodes", &self.workers.len())
+            .field("workflow", &self.ctl.workflow.name())
+            .field("nodes", &self.ctl.workers.len())
             .field("control_port", &self.control_port)
             .finish()
     }

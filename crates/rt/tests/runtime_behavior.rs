@@ -30,7 +30,7 @@ fn wc_workflow(fan_out: usize) -> Arc<Workflow> {
 fn build_wc(fan_out: usize) -> ClusterRuntime {
     build_wc_cluster(
         fan_out,
-        Placement::single_node(),
+        Placement::with_nodes(1),
         ClusterRtConfig::default(),
     )
 }
@@ -366,7 +366,7 @@ fn spread_placement_counts_identically_to_single_node() {
 
     let single = build_wc_cluster(
         fan_out,
-        Placement::single_node(),
+        Placement::with_nodes(1),
         ClusterRtConfig::default(),
     );
     let req = single.invoke(vec![("text".into(), Bytes::from(corpus.clone()))]);

@@ -14,13 +14,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dataflower_rt::{
-    Bytes, ClusterRtConfig, ClusterRuntime, CrashReport, FaultPlan, LinkConfig, Placement,
+    ByLevel, ClusterRtConfig, ClusterRuntime, CrashReport, FaultPlan, LinkConfig, PlacementPolicy,
     RecoveryConfig, RtStats,
 };
 
 use crate::benchmarks::Benchmark;
+use crate::common::run_verified;
 use crate::harness::Scenario;
-use crate::live::{live_input, live_runtime, reference_output};
+use crate::live::live_runtime;
 
 /// Runtime tuning of the chaos scenario: a lowered 4 KiB direct-socket
 /// threshold plus small chunks (4 KiB) and checkpoint intervals (8 KiB)
@@ -152,12 +153,10 @@ impl Scenario {
     pub fn chaos_cluster(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
         assert!(cfg.nodes >= 2, "chaos_cluster needs a node to crash");
         let wf = bench.workflow();
-        let placement = Placement::by_level(&wf, cfg.nodes);
+        let placement = ByLevel.initial(&wf, cfg.nodes);
         let mut rt_cfg = cfg.rt.clone();
         rt_cfg.faults.seed = cfg.seed;
         let rt = live_runtime(bench, Arc::clone(&wf), placement, rt_cfg);
-        let (input_name, input) = live_input(bench, cfg.payload_bytes);
-        let expected = reference_output(bench, &input);
 
         // Node 1 hosts the first post-entry level under the by-level
         // spread: in all four benchmarks that is the node receiving the
@@ -168,35 +167,22 @@ impl Scenario {
         // from and nothing for this scenario to prove.)
         let victim = 1;
 
-        let t0 = Instant::now();
-        let input = Bytes::from(input);
-        let reqs: Vec<_> = (0..cfg.requests.max(1))
-            .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
-            .collect();
-
-        let crash = hunt_crash(&rt, victim, cfg.crash_deadline);
-        std::thread::sleep(cfg.outage); // frames inbound to the victim die here
-        rt.restart_node(victim);
-
-        let mut output_bytes = 0;
-        let requests = reqs.len();
-        for req in reqs {
-            let outputs = rt
-                .wait(req, cfg.timeout)
-                .unwrap_or_else(|e| panic!("chaos {bench} request failed: {e}"));
-            assert_eq!(
-                outputs.len(),
-                1,
-                "chaos {bench}: expected one client output"
-            );
-            assert_eq!(
-                &*outputs[0].1,
-                &expected[..],
-                "chaos {bench} output diverged from the reference computation"
-            );
-            output_bytes += outputs[0].1.len();
-        }
-        let elapsed = t0.elapsed();
+        let mut crash = None;
+        let run = run_verified(
+            "chaos",
+            bench,
+            cfg.requests,
+            cfg.payload_bytes,
+            cfg.timeout,
+            |name, payload| rt.invoke(vec![(name, payload)]),
+            || {
+                crash = Some(hunt_crash(&rt, victim, cfg.crash_deadline));
+                std::thread::sleep(cfg.outage); // frames inbound to the victim die here
+                rt.restart_node(victim);
+            },
+            |req, timeout| rt.wait(req, timeout),
+        );
+        let crash = crash.expect("the crash hunt ran");
         let stats = rt.stats();
         assert!(
             stats.recovered_transfers > 0,
@@ -215,9 +201,9 @@ impl Scenario {
         ChaosClusterReport {
             benchmark: bench.name(),
             nodes,
-            requests,
-            elapsed,
-            output_bytes,
+            requests: run.requests,
+            elapsed: run.elapsed,
+            output_bytes: run.output_bytes,
             victim,
             crash,
             stats,

@@ -1,0 +1,345 @@
+//! Benchmark-construction and verification helpers shared by every live
+//! scenario runner.
+//!
+//! The chaos, socket, elastic, node-loss and plain live runners all
+//! follow the same skeleton: build the canonical client input, compute
+//! the straight-line reference output, drive N requests through a
+//! cluster, optionally disturb the cluster mid-flight, then assert every
+//! output is **byte-identical** to the reference. That skeleton — and
+//! the pure input/reference computations it rests on — lives here once,
+//! so a new scenario (or a change to a benchmark body) cannot drift the
+//! runners apart.
+
+use std::time::{Duration, Instant};
+
+use dataflower_rt::{Bytes, FluContext};
+
+use crate::benchmarks::Benchmark;
+
+/// Number of fan-out branches the default benchmark workflows use (see
+/// [`Benchmark::workflow`]): wordcount splits into 4, video transcodes 4
+/// chunks, SVD factorizes 8 tiles.
+pub(crate) const WC_FAN_OUT: usize = 4;
+pub(crate) const VID_BRANCHES: usize = 4;
+pub(crate) const SVD_BLOCKS: usize = 8;
+
+// --- the shared run-and-verify skeleton ------------------------------
+
+/// What [`run_verified`] measured about one validated run.
+#[derive(Debug, Clone)]
+pub(crate) struct VerifiedRun {
+    /// Requests completed (all of them — a failed request panics).
+    pub requests: usize,
+    /// Total client-output bytes received, all validated byte-for-byte.
+    pub output_bytes: usize,
+    /// Wall-clock time from first invoke to last verified result.
+    pub elapsed: Duration,
+}
+
+/// Drives `requests` copies of `bench`'s canonical input through a
+/// cluster and asserts every output byte-identical to the straight-line
+/// reference computation.
+///
+/// `invoke` submits one request (name/payload pair) and returns its
+/// handle; `mid` runs once after all requests are in flight (crash the
+/// victim, migrate a function, or do nothing); `wait` blocks on one
+/// handle. Generic over the handle and error types so the in-process
+/// [`ClusterRuntime`](dataflower_rt::ClusterRuntime) and the
+/// worker-process [`TcpCluster`](dataflower_rt::TcpCluster) share it.
+///
+/// # Panics
+///
+/// Panics if a request fails or misses its deadline, a request yields
+/// more than one client output, or any output diverges from the
+/// reference — the runtime dropping, duplicating or reordering data is
+/// a bug, not a data point.
+#[allow(clippy::too_many_arguments)] // one scalar knob per skeleton stage; a config struct would just rename them
+pub(crate) fn run_verified<Req, E: std::fmt::Display>(
+    label: &str,
+    bench: Benchmark,
+    requests: usize,
+    payload_bytes: usize,
+    timeout: Duration,
+    mut invoke: impl FnMut(String, Bytes) -> Req,
+    mid: impl FnOnce(),
+    mut wait: impl FnMut(Req, Duration) -> Result<Vec<(String, Bytes)>, E>,
+) -> VerifiedRun {
+    let (input_name, input) = live_input(bench, payload_bytes);
+    let expected = reference_output(bench, &input);
+    let input = Bytes::from(input);
+
+    let t0 = Instant::now();
+    let reqs: Vec<Req> = (0..requests.max(1))
+        .map(|_| invoke(input_name.to_owned(), input.clone()))
+        .collect();
+    mid();
+    let mut output_bytes = 0;
+    let requests = reqs.len();
+    for req in reqs {
+        let outputs =
+            wait(req, timeout).unwrap_or_else(|e| panic!("{label} {bench} request failed: {e}"));
+        assert_eq!(
+            outputs.len(),
+            1,
+            "{label} {bench}: expected one client output"
+        );
+        assert_eq!(
+            &*outputs[0].1,
+            &expected[..],
+            "{label} {bench} output diverged from the reference computation"
+        );
+        output_bytes += outputs[0].1.len();
+    }
+    VerifiedRun {
+        requests,
+        output_bytes,
+        elapsed: t0.elapsed(),
+    }
+}
+
+// --- canonical inputs and reference outputs --------------------------
+
+/// The client input `(data name, payload)` a live run of `bench` feeds
+/// in: a deterministic pseudo-text corpus for wordcount, deterministic
+/// pseudo-random bytes for the binary pipelines.
+pub(crate) fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>) {
+    match bench {
+        Benchmark::Wc => ("text", corpus(payload_bytes)),
+        Benchmark::Vid => ("video", noise(payload_bytes, 0x1005_8f1d)),
+        Benchmark::Svd => ("matrix", noise(payload_bytes, 0x2eb7_4a1b)),
+        Benchmark::Img => ("image", noise(payload_bytes, 0x3c6e_f372)),
+    }
+}
+
+/// The straight-line (single-threaded) computation each live benchmark
+/// must reproduce byte-for-byte through the runtime.
+pub(crate) fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
+    match bench {
+        Benchmark::Wc => {
+            let text = String::from_utf8_lossy(input);
+            count_table(text.split_whitespace())
+        }
+        Benchmark::Vid => even_spans(input.len(), VID_BRANCHES)
+            .into_iter()
+            .flat_map(|(lo, hi)| transcode(&input[lo..hi]))
+            .collect(),
+        Benchmark::Svd => even_spans(input.len(), SVD_BLOCKS)
+            .into_iter()
+            .flat_map(|(lo, hi)| factorize(&input[lo..hi]))
+            .collect(),
+        Benchmark::Img => {
+            let raw = input.to_vec();
+            let scaled = downsample(&raw);
+            let labels = digest_expand(&scaled, 24 * 1024, 0x9e3779b97f4a7c15);
+            let boxes = digest_expand(&scaled, 32 * 1024, 0xd1b54a32d192ed03);
+            let blurred = blur(&labels, &boxes);
+            render(&blurred)
+        }
+    }
+}
+
+// --- pure per-benchmark transforms (used by the live function bodies
+// --- and the reference computation alike) ----------------------------
+
+/// Word-frequency table of `words`, ascending by word, `word\tcount`
+/// lines — merging per-shard tables reproduces this exactly.
+pub(crate) fn count_table<'a>(words: impl Iterator<Item = &'a str>) -> Vec<u8> {
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for w in words {
+        *counts.entry(w).or_default() += 1;
+    }
+    counts
+        .iter()
+        .map(|(w, c)| format!("{w}\t{c}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        .into_bytes()
+}
+
+/// Stand-in re-encode: an invertibility-free byte transform that shrinks
+/// the stream to 85 % (the benchmark's calibrated encoded/chunk ratio).
+pub(crate) fn transcode(chunk: &[u8]) -> Vec<u8> {
+    let keep = chunk.len() * 85 / 100;
+    chunk[..keep]
+        .iter()
+        .map(|b| b.wrapping_mul(31).wrapping_add(7))
+        .collect()
+}
+
+/// Stand-in block factorization: a rolling-checksum mix shrinking the
+/// tile to 60 % (the benchmark's calibrated factors/tile ratio).
+pub(crate) fn factorize(tile: &[u8]) -> Vec<u8> {
+    let keep = tile.len() * 60 / 100;
+    let mut acc: u8 = 0x5a;
+    tile[..keep]
+        .iter()
+        .map(|b| {
+            acc = acc.wrapping_mul(13).wrapping_add(*b);
+            *b ^ acc
+        })
+        .collect()
+}
+
+/// Stand-in resize: keep every other byte.
+pub(crate) fn downsample(raw: &[u8]) -> Vec<u8> {
+    raw.iter().step_by(2).copied().collect()
+}
+
+/// Deterministic fixed-size "model output": an FNV-1a stream over the
+/// input, expanded to `out_len` bytes from `seed`.
+pub(crate) fn digest_expand(input: &[u8], out_len: usize, seed: u64) -> Vec<u8> {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for b in input {
+        h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+    }
+    let mut out = Vec::with_capacity(out_len);
+    let mut s = h;
+    while out.len() < out_len {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out.truncate(out_len);
+    out
+}
+
+/// Stand-in blur: mixes the label vector cyclically into the box tensor.
+pub(crate) fn blur(labels: &[u8], boxes: &[u8]) -> Vec<u8> {
+    boxes
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b ^ labels[i % labels.len().max(1)])
+        .collect()
+}
+
+/// Stand-in render pass.
+pub(crate) fn render(blurred: &[u8]) -> Vec<u8> {
+    blurred.iter().map(|b| b.wrapping_add(1)).collect()
+}
+
+// --- shared input/split helpers --------------------------------------
+
+/// Fan-in payloads of data `name`, ordered by the **numeric branch
+/// suffix** of the producer (`name@fn_3` → 3). `inputs_named` orders
+/// lexicographically, which would put branch 10 before branch 2 — a
+/// concatenating merge needs the numeric order to reproduce the
+/// partitioner's span order at any fan-out.
+pub(crate) fn branch_ordered<'a>(ctx: &'a FluContext, name: &str) -> Vec<&'a Bytes> {
+    let prefix = format!("{name}@");
+    let mut keyed: Vec<(usize, &Bytes)> = ctx
+        .inputs()
+        .filter(|(k, _)| k.starts_with(&prefix))
+        .map(|(k, v)| (branch_index(k), v))
+        .collect();
+    keyed.sort_by_key(|(n, _)| *n);
+    keyed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// The trailing decimal of a sink key (`count@wc_count_12` → 12; no
+/// trailing digits → 0).
+fn branch_index(key: &str) -> usize {
+    let digits = key.bytes().rev().take_while(u8::is_ascii_digit).count();
+    key[key.len() - digits..].parse().unwrap_or(0)
+}
+
+/// Splits `len` bytes into `n` contiguous spans whose sizes differ by at
+/// most one byte (the partitioners of vid and svd).
+pub(crate) fn even_spans(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = len / n;
+    let extra = len % n;
+    let mut spans = Vec::with_capacity(n);
+    let mut lo = 0;
+    for i in 0..n {
+        let hi = lo + base + usize::from(i < extra);
+        spans.push((lo, hi));
+        lo = hi;
+    }
+    spans
+}
+
+/// A deterministic pseudo-text corpus of roughly `bytes` bytes with a
+/// skewed word-frequency distribution.
+fn corpus(bytes: usize) -> Vec<u8> {
+    const VOCAB: [&str; 12] = [
+        "serverless",
+        "workflow",
+        "dataflow",
+        "function",
+        "container",
+        "latency",
+        "throughput",
+        "pipe",
+        "sink",
+        "engine",
+        "node",
+        "fabric",
+    ];
+    let mut out = Vec::with_capacity(bytes + 16);
+    let mut s = 0x243f6a8885a308d3u64;
+    while out.len() < bytes {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Square the draw so low indices dominate (Zipf-ish skew).
+        let r = ((s >> 33) as f64 / (1u64 << 31) as f64).powi(2);
+        let w = VOCAB[(r * VOCAB.len() as f64) as usize % VOCAB.len()];
+        out.extend_from_slice(w.as_bytes());
+        out.push(b' ');
+    }
+    out.truncate(bytes);
+    out
+}
+
+/// Deterministic pseudo-random payload bytes.
+pub(crate) fn noise(bytes: usize, seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes + 8);
+    let mut s = seed | 1;
+    while out.len() < bytes {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_index_orders_double_digit_branches_numerically() {
+        let mut keys = vec![
+            "factors@svd_block_10",
+            "factors@svd_block_2",
+            "factors@svd_block_0",
+            "factors@svd_block_11",
+        ];
+        keys.sort_by_key(|k| branch_index(k));
+        assert_eq!(
+            keys,
+            vec![
+                "factors@svd_block_0",
+                "factors@svd_block_2",
+                "factors@svd_block_10",
+                "factors@svd_block_11",
+            ]
+        );
+        assert_eq!(branch_index("out@merge"), 0);
+    }
+
+    #[test]
+    fn even_spans_cover_exactly() {
+        for (len, n) in [(0usize, 3usize), (10, 3), (16, 4), (17, 4), (100, 8)] {
+            let spans = even_spans(len, n);
+            assert_eq!(spans.len(), n);
+            assert_eq!(spans.first().unwrap().0, 0);
+            assert_eq!(spans.last().unwrap().1, len);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+}

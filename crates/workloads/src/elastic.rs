@@ -14,14 +14,15 @@ use std::time::{Duration, Instant};
 
 use dataflower_metrics::Timeline;
 use dataflower_rt::{
-    AutoscaleConfig, Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, LinkConfig,
-    Placement, RtConfig, RtStats, ScaleEvent,
+    AutoscaleConfig, ByLevel, Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder,
+    LinkConfig, LoadAware, PlacementPolicy, RtConfig, RtStats, ScaleEvent,
 };
 use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder};
 
 use crate::benchmarks::Benchmark;
+use crate::common::{branch_ordered, live_input, noise, reference_output};
 use crate::harness::Scenario;
-use crate::live::{branch_ordered, live_input, live_runtime, noise, reference_output};
+use crate::live::live_runtime;
 
 /// Runtime tuning shared by the elastic scenarios: short DLU and fabric
 /// queues behind an 8 MiB/s shaped fabric (so a burst visibly backs the
@@ -94,8 +95,8 @@ impl Default for BurstyClusterConfig {
 /// Parameters of a [`Scenario::skewed_fanout`] run.
 #[derive(Debug, Clone)]
 pub struct SkewedFanoutConfig {
-    /// Worker nodes; functions are placed with
-    /// [`Placement::load_aware`] over the modeled branch costs.
+    /// Worker nodes; functions are placed with the [`LoadAware`] policy
+    /// over the modeled branch costs.
     pub nodes: usize,
     /// Fan-out branches of the split.
     pub branches: usize,
@@ -195,7 +196,7 @@ impl Scenario {
     /// ```
     pub fn bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) -> ElasticReport {
         let wf = bench.workflow();
-        let placement = Placement::by_level(&wf, cfg.nodes);
+        let placement = ByLevel.initial(&wf, cfg.nodes);
         let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
         let (input_name, input) = live_input(bench, cfg.payload_bytes);
         let expected = reference_output(bench, &input);
@@ -245,7 +246,7 @@ impl Scenario {
     /// sizes follow a Zipf distribution, per-branch workers transform
     /// their shard, and a merger re-concatenates — validated
     /// byte-for-byte against a straight-line reference. Functions are
-    /// placed with [`Placement::load_aware`] over the modeled branch
+    /// placed with the [`LoadAware`] policy over the modeled branch
     /// costs, so the heavy head branches spread across nodes instead of
     /// piling onto one.
     ///
@@ -257,7 +258,7 @@ impl Scenario {
         assert!(cfg.branches > 0, "skewed fan-out needs at least one branch");
         let shares = zipf_shares(cfg.branches, cfg.zipf_exponent);
         let wf = skewed_workflow(&shares);
-        let placement = Placement::load_aware(&wf, cfg.nodes, &vec![0.0; cfg.nodes]);
+        let placement = LoadAware::idle().initial(&wf, cfg.nodes);
 
         let mut builder = ClusterRuntimeBuilder::new(Arc::clone(&wf))
             .placement(placement)
@@ -369,7 +370,7 @@ fn finish_report(
 
 /// The skewed fan-out workflow: `skew_split` → `skew_work_i` →
 /// `skew_merge`, with each worker's modeled cost proportional to its
-/// Zipf share so [`Placement::load_aware`] sees the skew.
+/// Zipf share so the [`LoadAware`] policy sees the skew.
 fn skewed_workflow(shares: &[f64]) -> Arc<Workflow> {
     let mut b = WorkflowBuilder::new("skewed_fanout");
     let split = b.function("skew_split", WorkModel::fixed(0.001));

@@ -26,7 +26,14 @@
 //!   recovery from the §6.2 checkpoint marks, and its worker-process
 //!   twin [`Scenario::chaos_cluster_tcp`], which runs the same contract
 //!   with one OS process per node over real localhost TCP sockets and a
-//!   `kill -9` as the crash (see [`serve_worker_if_spawned`]).
+//!   `kill -9` as the crash (see [`serve_worker_if_spawned`]), and the
+//!   orchestrator scenarios [`Scenario::node_loss_relocation`] (a node
+//!   dies **permanently** mid-run; heartbeat silence is detected, its
+//!   functions relocate to the least-pressured survivors, and the
+//!   outputs stay byte-identical — over both the in-process fabric and
+//!   the worker-process TCP transport) and [`Scenario::live_migration`]
+//!   (a hot function voluntarily moved mid-stream with zero output
+//!   divergence).
 //!
 //! # Examples
 //!
@@ -49,9 +56,11 @@
 
 mod benchmarks;
 mod chaos;
+mod common;
 mod elastic;
 mod harness;
 mod live;
+mod node_loss;
 mod socket;
 mod system;
 
@@ -60,5 +69,6 @@ pub use chaos::{ChaosClusterConfig, ChaosClusterReport};
 pub use elastic::{BurstyClusterConfig, ElasticReport, SkewedFanoutConfig};
 pub use harness::Scenario;
 pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};
+pub use node_loss::{NodeLossConfig, NodeLossReport, NodeLossTransport};
 pub use socket::{bench_input, launch_bench_cluster, serve_worker_if_spawned, TcpProfile};
 pub use system::SystemKind;

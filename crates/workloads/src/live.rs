@@ -10,39 +10,55 @@
 //! runtime makes the runner panic.
 //!
 //! The same workflow definitions drive both paths, so the simulated
-//! figures and the live runs stay structurally identical.
+//! figures and the live runs stay structurally identical. The pure
+//! computations (inputs, reference outputs, byte transforms) live in
+//! the crate-internal `common` module, shared with every other live
+//! scenario.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use dataflower_rt::Placement;
 use dataflower_rt::{
-    Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, FluContext, Placement, RtStats,
+    ByLevel, Bytes, ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, PlacementPolicy,
+    RoundRobin, RtStats, SingleNode,
 };
 use dataflower_workflow::Workflow;
 
 use crate::benchmarks::Benchmark;
+use crate::common::{
+    blur, branch_ordered, count_table, digest_expand, downsample, even_spans, factorize, render,
+    run_verified, transcode, SVD_BLOCKS, VID_BRANCHES, WC_FAN_OUT,
+};
 use crate::harness::Scenario;
 
-/// Number of fan-out branches the default benchmark workflows use (see
-/// [`Benchmark::workflow`]): wordcount splits into 4, video transcodes 4
-/// chunks, SVD factorizes 8 tiles.
-const WC_FAN_OUT: usize = 4;
-const VID_BRANCHES: usize = 4;
-const SVD_BLOCKS: usize = 8;
-
-/// How the live runner places benchmark functions on nodes.
+/// How the live runner places benchmark functions on nodes. Each variant
+/// stands for one of the stock [`PlacementPolicy`] implementations; use
+/// [`Scenario::live_cluster_with`] to drive a custom policy instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LivePlacement {
     /// Everything co-located on node 0 (the paper's single-worker
-    /// baseline; only direct sockets and local pipes fire).
+    /// baseline; only direct sockets and local pipes fire) — the
+    /// [`SingleNode`] policy.
     SingleNode,
     /// Functions scattered one by one in topological order — almost
-    /// every data edge crosses nodes.
+    /// every data edge crosses nodes; the [`RoundRobin`] policy.
     RoundRobin,
     /// One dependency level per node — stages stay co-located, level
     /// boundaries cross nodes (the spread used in the committed bench
-    /// baseline).
+    /// baseline); the [`ByLevel`] policy.
     ByLevel,
+}
+
+impl LivePlacement {
+    /// The stock placement policy this variant stands for.
+    pub fn policy(self) -> &'static dyn PlacementPolicy {
+        match self {
+            LivePlacement::SingleNode => &SingleNode,
+            LivePlacement::RoundRobin => &RoundRobin,
+            LivePlacement::ByLevel => &ByLevel,
+        }
+    }
 }
 
 /// Parameters of a [`Scenario::live_cluster`] run.
@@ -122,45 +138,43 @@ impl Scenario {
     /// assert!(report.stats.remote_pipe_transfers > 0);
     /// ```
     pub fn live_cluster(bench: Benchmark, cfg: &LiveClusterConfig) -> LiveClusterReport {
-        let wf = bench.workflow();
-        let placement = match cfg.placement {
-            LivePlacement::SingleNode => Placement::single_node(),
-            LivePlacement::RoundRobin => Placement::round_robin(&wf, cfg.nodes),
-            LivePlacement::ByLevel => Placement::by_level(&wf, cfg.nodes),
-        };
-        let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
-        let (input_name, input) = live_input(bench, cfg.payload_bytes);
-        let expected = reference_output(bench, &input);
+        Scenario::live_cluster_with(bench, cfg, cfg.placement.policy())
+    }
 
-        let t0 = Instant::now();
-        let input = Bytes::from(input);
-        let reqs: Vec<_> = (0..cfg.requests.max(1))
-            .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
-            .collect();
-        let mut output_bytes = 0;
-        let requests = reqs.len();
-        for req in reqs {
-            let outputs = rt
-                .wait(req, cfg.timeout)
-                .unwrap_or_else(|e| panic!("live {bench} request failed: {e}"));
-            assert_eq!(outputs.len(), 1, "live {bench}: expected one client output");
-            assert_eq!(
-                &*outputs[0].1,
-                &expected[..],
-                "live {bench} output diverged from the reference computation"
-            );
-            output_bytes += outputs[0].1.len();
-        }
-        let elapsed = t0.elapsed();
+    /// [`Scenario::live_cluster`] with an explicit [`PlacementPolicy`]
+    /// instead of one of the stock [`LivePlacement`] variants —
+    /// `cfg.placement` is ignored in favour of `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Scenario::live_cluster`].
+    pub fn live_cluster_with(
+        bench: Benchmark,
+        cfg: &LiveClusterConfig,
+        policy: &dyn PlacementPolicy,
+    ) -> LiveClusterReport {
+        let wf = bench.workflow();
+        let placement = policy.initial(&wf, cfg.nodes);
+        let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
+        let run = run_verified(
+            "live",
+            bench,
+            cfg.requests,
+            cfg.payload_bytes,
+            cfg.timeout,
+            |name, payload| rt.invoke(vec![(name, payload)]),
+            || {},
+            |req, timeout| rt.wait(req, timeout),
+        );
         let stats = rt.stats();
         let nodes = rt.node_count(); // actual topology: SingleNode forces 1
         rt.shutdown();
         LiveClusterReport {
             benchmark: bench.name(),
             nodes,
-            requests,
-            elapsed,
-            output_bytes,
+            requests: run.requests,
+            elapsed: run.elapsed,
+            output_bytes: run.output_bytes,
             stats,
         }
     }
@@ -198,45 +212,6 @@ pub(crate) fn live_runtime(
     live_builder(bench, wf, placement, rt_cfg)
         .start()
         .expect("live benchmark bodies cover the DAG")
-}
-
-/// The client input `(data name, payload)` a live run of `bench` feeds
-/// in: a deterministic pseudo-text corpus for wordcount, deterministic
-/// pseudo-random bytes for the binary pipelines.
-pub(crate) fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static str, Vec<u8>) {
-    match bench {
-        Benchmark::Wc => ("text", corpus(payload_bytes)),
-        Benchmark::Vid => ("video", noise(payload_bytes, 0x1005_8f1d)),
-        Benchmark::Svd => ("matrix", noise(payload_bytes, 0x2eb7_4a1b)),
-        Benchmark::Img => ("image", noise(payload_bytes, 0x3c6e_f372)),
-    }
-}
-
-/// The straight-line (single-threaded) computation each live benchmark
-/// must reproduce byte-for-byte through the runtime.
-pub(crate) fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
-    match bench {
-        Benchmark::Wc => {
-            let text = String::from_utf8_lossy(input);
-            count_table(text.split_whitespace())
-        }
-        Benchmark::Vid => even_spans(input.len(), VID_BRANCHES)
-            .into_iter()
-            .flat_map(|(lo, hi)| transcode(&input[lo..hi]))
-            .collect(),
-        Benchmark::Svd => even_spans(input.len(), SVD_BLOCKS)
-            .into_iter()
-            .flat_map(|(lo, hi)| factorize(&input[lo..hi]))
-            .collect(),
-        Benchmark::Img => {
-            let raw = input.to_vec();
-            let scaled = downsample(&raw);
-            let labels = digest_expand(&scaled, 24 * 1024, 0x9e3779b97f4a7c15);
-            let boxes = digest_expand(&scaled, 32 * 1024, 0xd1b54a32d192ed03);
-            let blurred = blur(&labels, &boxes);
-            render(&blurred)
-        }
-    }
 }
 
 // --- WordCount -------------------------------------------------------
@@ -279,21 +254,6 @@ fn register_wc(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
     })
 }
 
-/// Word-frequency table of `words`, ascending by word, `word\tcount`
-/// lines — merging per-shard tables reproduces this exactly.
-fn count_table<'a>(words: impl Iterator<Item = &'a str>) -> Vec<u8> {
-    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
-    for w in words {
-        *counts.entry(w).or_default() += 1;
-    }
-    counts
-        .iter()
-        .map(|(w, c)| format!("{w}\t{c}"))
-        .collect::<Vec<_>>()
-        .join("\n")
-        .into_bytes()
-}
-
 // --- Video-FFmpeg ----------------------------------------------------
 
 fn register_vid(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
@@ -325,16 +285,6 @@ fn register_vid(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
     })
 }
 
-/// Stand-in re-encode: an invertibility-free byte transform that shrinks
-/// the stream to 85 % (the benchmark's calibrated encoded/chunk ratio).
-fn transcode(chunk: &[u8]) -> Vec<u8> {
-    let keep = chunk.len() * 85 / 100;
-    chunk[..keep]
-        .iter()
-        .map(|b| b.wrapping_mul(31).wrapping_add(7))
-        .collect()
-}
-
 // --- SVD -------------------------------------------------------------
 
 fn register_svd(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
@@ -361,20 +311,6 @@ fn register_svd(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
             .collect();
         ctx.put("usv", Bytes::from(composed));
     })
-}
-
-/// Stand-in block factorization: a rolling-checksum mix shrinking the
-/// tile to 60 % (the benchmark's calibrated factors/tile ratio).
-fn factorize(tile: &[u8]) -> Vec<u8> {
-    let keep = tile.len() * 60 / 100;
-    let mut acc: u8 = 0x5a;
-    tile[..keep]
-        .iter()
-        .map(|b| {
-            acc = acc.wrapping_mul(13).wrapping_add(*b);
-            *b ^ acc
-        })
-        .collect()
 }
 
 // --- ML image pipeline ----------------------------------------------
@@ -415,168 +351,10 @@ fn register_img(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
     })
 }
 
-/// Stand-in resize: keep every other byte.
-fn downsample(raw: &[u8]) -> Vec<u8> {
-    raw.iter().step_by(2).copied().collect()
-}
-
-/// Deterministic fixed-size "model output": an FNV-1a stream over the
-/// input, expanded to `out_len` bytes from `seed`.
-fn digest_expand(input: &[u8], out_len: usize, seed: u64) -> Vec<u8> {
-    let mut h = 0xcbf29ce484222325u64 ^ seed;
-    for b in input {
-        h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
-    }
-    let mut out = Vec::with_capacity(out_len);
-    let mut s = h;
-    while out.len() < out_len {
-        s = s
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        out.extend_from_slice(&s.to_le_bytes());
-    }
-    out.truncate(out_len);
-    out
-}
-
-/// Stand-in blur: mixes the label vector cyclically into the box tensor.
-fn blur(labels: &[u8], boxes: &[u8]) -> Vec<u8> {
-    boxes
-        .iter()
-        .enumerate()
-        .map(|(i, b)| b ^ labels[i % labels.len().max(1)])
-        .collect()
-}
-
-/// Stand-in render pass.
-fn render(blurred: &[u8]) -> Vec<u8> {
-    blurred.iter().map(|b| b.wrapping_add(1)).collect()
-}
-
-// --- shared input/split helpers --------------------------------------
-
-/// Fan-in payloads of data `name`, ordered by the **numeric branch
-/// suffix** of the producer (`name@fn_3` → 3). `inputs_named` orders
-/// lexicographically, which would put branch 10 before branch 2 — a
-/// concatenating merge needs the numeric order to reproduce the
-/// partitioner's span order at any fan-out.
-pub(crate) fn branch_ordered<'a>(ctx: &'a FluContext, name: &str) -> Vec<&'a Bytes> {
-    let prefix = format!("{name}@");
-    let mut keyed: Vec<(usize, &Bytes)> = ctx
-        .inputs()
-        .filter(|(k, _)| k.starts_with(&prefix))
-        .map(|(k, v)| (branch_index(k), v))
-        .collect();
-    keyed.sort_by_key(|(n, _)| *n);
-    keyed.into_iter().map(|(_, v)| v).collect()
-}
-
-/// The trailing decimal of a sink key (`count@wc_count_12` → 12; no
-/// trailing digits → 0).
-fn branch_index(key: &str) -> usize {
-    let digits = key.bytes().rev().take_while(u8::is_ascii_digit).count();
-    key[key.len() - digits..].parse().unwrap_or(0)
-}
-
-/// Splits `len` bytes into `n` contiguous spans whose sizes differ by at
-/// most one byte (the partitioners of vid and svd).
-fn even_spans(len: usize, n: usize) -> Vec<(usize, usize)> {
-    let base = len / n;
-    let extra = len % n;
-    let mut spans = Vec::with_capacity(n);
-    let mut lo = 0;
-    for i in 0..n {
-        let hi = lo + base + usize::from(i < extra);
-        spans.push((lo, hi));
-        lo = hi;
-    }
-    spans
-}
-
-/// A deterministic pseudo-text corpus of roughly `bytes` bytes with a
-/// skewed word-frequency distribution.
-fn corpus(bytes: usize) -> Vec<u8> {
-    const VOCAB: [&str; 12] = [
-        "serverless",
-        "workflow",
-        "dataflow",
-        "function",
-        "container",
-        "latency",
-        "throughput",
-        "pipe",
-        "sink",
-        "engine",
-        "node",
-        "fabric",
-    ];
-    let mut out = Vec::with_capacity(bytes + 16);
-    let mut s = 0x243f6a8885a308d3u64;
-    while out.len() < bytes {
-        s = s
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        // Square the draw so low indices dominate (Zipf-ish skew).
-        let r = ((s >> 33) as f64 / (1u64 << 31) as f64).powi(2);
-        let w = VOCAB[(r * VOCAB.len() as f64) as usize % VOCAB.len()];
-        out.extend_from_slice(w.as_bytes());
-        out.push(b' ');
-    }
-    out.truncate(bytes);
-    out
-}
-
-/// Deterministic pseudo-random payload bytes.
-pub(crate) fn noise(bytes: usize, seed: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(bytes + 8);
-    let mut s = seed | 1;
-    while out.len() < bytes {
-        s = s
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        out.extend_from_slice(&s.to_le_bytes());
-    }
-    out.truncate(bytes);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn branch_index_orders_double_digit_branches_numerically() {
-        let mut keys = vec![
-            "factors@svd_block_10",
-            "factors@svd_block_2",
-            "factors@svd_block_0",
-            "factors@svd_block_11",
-        ];
-        keys.sort_by_key(|k| branch_index(k));
-        assert_eq!(
-            keys,
-            vec![
-                "factors@svd_block_0",
-                "factors@svd_block_2",
-                "factors@svd_block_10",
-                "factors@svd_block_11",
-            ]
-        );
-        assert_eq!(branch_index("out@merge"), 0);
-    }
-
-    #[test]
-    fn even_spans_cover_exactly() {
-        for (len, n) in [(0usize, 3usize), (10, 3), (16, 4), (17, 4), (100, 8)] {
-            let spans = even_spans(len, n);
-            assert_eq!(spans.len(), n);
-            assert_eq!(spans.first().unwrap().0, 0);
-            assert_eq!(spans.last().unwrap().1, len);
-            for w in spans.windows(2) {
-                assert_eq!(w[0].1, w[1].0);
-            }
-        }
-    }
+    use dataflower_rt::LoadAware;
 
     #[test]
     fn all_benchmarks_complete_on_three_spread_nodes() {
@@ -622,5 +400,16 @@ mod tests {
         assert!(report.stats.remote_pipe_transfers > 0);
         assert!(report.stats.direct_socket_transfers > 0);
         assert!(report.stats.remote_chunks >= report.stats.remote_pipe_transfers);
+    }
+
+    #[test]
+    fn custom_policy_drives_the_live_runner() {
+        let cfg = LiveClusterConfig {
+            payload_bytes: 64 * 1024,
+            ..LiveClusterConfig::default()
+        };
+        let report = Scenario::live_cluster_with(Benchmark::Svd, &cfg, &LoadAware::idle());
+        assert_eq!(report.requests, 1);
+        assert!(report.output_bytes > 0);
     }
 }

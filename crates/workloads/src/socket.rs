@@ -13,13 +13,17 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dataflower_rt::{Bytes, ClusterRtConfig, CrashReport, Placement, RecoveryConfig, TcpCluster};
+use dataflower_rt::{
+    ByLevel, ClusterRtConfig, CrashReport, PlacementPolicy, RecoveryConfig, TcpCluster,
+};
 use dataflower_workflow::json;
 
 use crate::benchmarks::Benchmark;
 use crate::chaos::{chaos_rt_config, ChaosClusterConfig, ChaosClusterReport};
+use crate::common::{live_input, run_verified};
 use crate::harness::Scenario;
-use crate::live::{live_builder, live_input, reference_output};
+use crate::live::live_builder;
+use crate::node_loss::orchestrated_rt_config;
 
 /// Which runtime tuning a TCP cluster (coordinator and workers alike)
 /// derives from the worker tag.
@@ -31,6 +35,14 @@ pub enum TcpProfile {
     /// The chaos knobs of [`Scenario::chaos_cluster`]: small chunks and
     /// checkpoint intervals, 4 MiB/s links, seeded frame chaos.
     Chaos,
+    /// The orchestrator control plane enabled on top of the streaming
+    /// knobs (small chunks, shaped links, §6.2 recovery, no frame
+    /// chaos): coordinator heartbeats over the control channel, node
+    /// loss declared after missed beats, relocation of the dead
+    /// worker's functions to the least-pressured survivors — the
+    /// [`Scenario::node_loss_relocation`](crate::Scenario::node_loss_relocation)
+    /// profile.
+    Orchestrated,
 }
 
 impl TcpProfile {
@@ -38,6 +50,7 @@ impl TcpProfile {
         match self {
             TcpProfile::Plain => "plain",
             TcpProfile::Chaos => "chaos",
+            TcpProfile::Orchestrated => "orchestrated",
         }
     }
 
@@ -54,6 +67,7 @@ impl TcpProfile {
                 ..ClusterRtConfig::default()
             },
             TcpProfile::Chaos => chaos_rt_config(seed),
+            TcpProfile::Orchestrated => orchestrated_rt_config(),
         }
     }
 }
@@ -95,10 +109,11 @@ pub fn serve_worker_if_spawned() {
         .unwrap_or("plain")
     {
         "chaos" => TcpProfile::Chaos,
+        "orchestrated" => TcpProfile::Orchestrated,
         _ => TcpProfile::Plain,
     };
     let wf = bench.workflow();
-    let placement = Placement::by_level(&wf, nodes);
+    let placement = ByLevel.initial(&wf, nodes);
     let builder = live_builder(bench, wf, placement, profile.rt_config(seed));
     env.serve(builder)
 }
@@ -121,7 +136,7 @@ pub fn launch_bench_cluster(
     profile: TcpProfile,
 ) -> std::io::Result<TcpCluster> {
     let wf = bench.workflow();
-    let placement = Placement::by_level(&wf, nodes);
+    let placement = ByLevel.initial(&wf, nodes);
     let tag = worker_tag(bench, nodes, seed, profile);
     TcpCluster::launch(wf, placement, profile.rt_config(seed), &tag)
 }
@@ -149,51 +164,36 @@ impl Scenario {
     pub fn chaos_cluster_tcp(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
         assert!(cfg.nodes >= 2, "chaos_cluster_tcp needs a node to crash");
         let wf = bench.workflow();
-        let placement = Placement::by_level(&wf, cfg.nodes);
+        let placement = ByLevel.initial(&wf, cfg.nodes);
         let mut rt_cfg = chaos_rt_config(cfg.seed);
         rt_cfg.faults.seed = cfg.seed;
         let tag = worker_tag(bench, cfg.nodes, cfg.seed, TcpProfile::Chaos);
         let cluster = TcpCluster::launch(Arc::clone(&wf), placement, rt_cfg.clone(), &tag)
             .expect("launch TCP cluster");
-        let (input_name, input) = live_input(bench, cfg.payload_bytes);
-        let expected = reference_output(bench, &input);
 
         // Same victim rationale as the in-process scenario: node 1
         // receives the large fan-out intermediates over the streaming
         // remote pipe under the by-level spread.
         let victim = 1;
 
-        let t0 = Instant::now();
-        let input = Bytes::from(input);
-        let reqs: Vec<_> = (0..cfg.requests.max(1))
-            .map(|_| cluster.invoke(vec![(input_name.to_owned(), input.clone())]))
-            .collect();
-
-        let crash = hunt_kill(&cluster, victim, cfg.crash_deadline);
-        std::thread::sleep(cfg.outage); // frames toward the dead process die here
-        cluster
-            .restart_worker(victim)
-            .expect("restart killed worker");
-
-        let mut output_bytes = 0;
-        let requests = reqs.len();
-        for req in reqs {
-            let outputs = cluster
-                .wait(req, cfg.timeout)
-                .unwrap_or_else(|e| panic!("tcp chaos {bench} request failed: {e}"));
-            assert_eq!(
-                outputs.len(),
-                1,
-                "tcp chaos {bench}: expected one client output"
-            );
-            assert_eq!(
-                &*outputs[0].1,
-                &expected[..],
-                "tcp chaos {bench} output diverged from the reference computation"
-            );
-            output_bytes += outputs[0].1.len();
-        }
-        let elapsed = t0.elapsed();
+        let mut crash = None;
+        let run = run_verified(
+            "tcp chaos",
+            bench,
+            cfg.requests,
+            cfg.payload_bytes,
+            cfg.timeout,
+            |name, payload| cluster.invoke(vec![(name, payload)]),
+            || {
+                crash = Some(hunt_kill(&cluster, victim, cfg.crash_deadline));
+                std::thread::sleep(cfg.outage); // frames toward the dead process die here
+                cluster
+                    .restart_worker(victim)
+                    .expect("restart killed worker");
+            },
+            |req, timeout| cluster.wait(req, timeout),
+        );
+        let crash = crash.expect("the kill hunt ran");
         let stats = cluster.stats();
         assert!(
             stats.recovered_transfers > 0,
@@ -208,9 +208,9 @@ impl Scenario {
         ChaosClusterReport {
             benchmark: bench.name(),
             nodes,
-            requests,
-            elapsed,
-            output_bytes,
+            requests: run.requests,
+            elapsed: run.elapsed,
+            output_bytes: run.output_bytes,
             victim,
             crash,
             stats,

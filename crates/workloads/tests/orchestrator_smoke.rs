@@ -1,0 +1,40 @@
+//! Smoke test for the orchestrator control plane over the worker-process
+//! TCP transport: `node_loss_relocation` runs the wordcount benchmark
+//! with one OS process per node, `kill -9`s a worker mid-stream and
+//! **never restarts it** — the coordinator's heartbeat pings detect the
+//! death, relocate the dead worker's functions to the least-pressured
+//! survivors, re-patch the routing tables and replay the in-flight
+//! transfers, and the output must stay byte-identical.
+//!
+//! `harness = false` because this binary re-executes itself as the
+//! cluster's worker processes: `serve_worker_if_spawned` must run
+//! before anything else in `main`.
+
+use dataflower_workloads::{Benchmark, NodeLossConfig, NodeLossTransport, Scenario};
+
+fn main() {
+    // Worker processes enter here, rebuild the benchmark runtime from
+    // their tag, and never return.
+    dataflower_workloads::serve_worker_if_spawned();
+
+    let cfg = NodeLossConfig {
+        transport: NodeLossTransport::Tcp,
+        payload_bytes: 128 * 1024,
+        requests: 1,
+        ..NodeLossConfig::default()
+    };
+    let report = Scenario::node_loss_relocation(Benchmark::Wc, &cfg);
+    assert_eq!(report.requests, 1);
+    assert!(report.output_bytes > 0, "empty output");
+    assert!(report.stats.node_losses >= 1);
+    assert!(report.relocated > 0);
+    println!(
+        "orchestrator_smoke ok: {} request(s), {} output bytes, worker {} lost \
+         permanently, {} function(s) relocated, {} transfers replayed",
+        report.requests,
+        report.output_bytes,
+        report.victim,
+        report.relocated,
+        report.stats.recovered_transfers,
+    );
+}

@@ -10,9 +10,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dataflower_repro::rt::{
-    Bytes, ClusterRtConfig, ClusterRuntimeBuilder, LinkConfig, Placement, RecoveryConfig,
-};
+use dataflower_repro::rt::{Bytes, ClusterConfig, ClusterRuntimeBuilder, LinkConfig, Placement};
 use dataflower_repro::workflow::{SizeModel, WorkModel, WorkflowBuilder, MB};
 
 fn main() {
@@ -26,20 +24,16 @@ fn main() {
     b.client_output(digest, "sum", SizeModel::Fixed(64.0));
     let wf = Arc::new(b.build().expect("valid workflow"));
 
-    let cfg = ClusterRtConfig {
-        chunk_bytes: 16 * 1024,
-        checkpoint_interval_bytes: 64 * 1024,
-        link: LinkConfig {
+    let cfg = ClusterConfig::new()
+        .chunk_bytes(16 * 1024)
+        .checkpoint_interval_bytes(64 * 1024)
+        .link(LinkConfig {
             // Slow the link so the crash reliably lands mid-stream.
             bandwidth_bytes_per_sec: Some(8.0 * 1024.0 * 1024.0),
             ..LinkConfig::default()
-        },
-        recovery: RecoveryConfig {
-            enabled: true,
-            ..RecoveryConfig::default()
-        },
-        ..ClusterRtConfig::default()
-    };
+        })
+        .recovery(Duration::from_millis(200))
+        .build();
     let rt = ClusterRuntimeBuilder::new(Arc::clone(&wf))
         .placement(
             Placement::with_nodes(2)

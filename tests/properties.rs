@@ -599,7 +599,8 @@ fn autoscaler_monotone_pressure_ramp_triggers_scale_out() {
 #[test]
 fn live_outputs_byte_identical_under_random_scaling() {
     use dataflower_rt::{
-        AutoscaleConfig, Bytes, ClusterRtConfig, ClusterRuntimeBuilder, Placement, RtConfig,
+        AutoscaleConfig, Bytes, ClusterRtConfig, ClusterRuntimeBuilder, LoadAware, PlacementPolicy,
+        RtConfig,
     };
     check("live_outputs_byte_identical_under_random_scaling", |g| {
         let fan = g.usize_in(1, 4);
@@ -643,7 +644,7 @@ fn live_outputs_byte_identical_under_random_scaling() {
 
         let fan_c = fan;
         let mut builder = ClusterRuntimeBuilder::new(std::sync::Arc::clone(&wf))
-            .placement(Placement::load_aware(&wf, nodes, &vec![0.0; nodes]))
+            .placement(LoadAware::idle().initial(&wf, nodes))
             .config(ClusterRtConfig {
                 rt: RtConfig {
                     dlu_queue_capacity: g.usize_in(1, 8),
@@ -857,8 +858,8 @@ fn chaos_recovery_is_byte_identical_and_exactly_once_for_every_placement() {
     use std::time::Duration;
 
     use dataflower_rt::{
-        Bytes, ClusterRtConfig, ClusterRuntimeBuilder, FaultPlan, LinkConfig, Placement,
-        RecoveryConfig, RtConfig,
+        ByLevel, Bytes, ClusterRtConfig, ClusterRuntimeBuilder, FaultPlan, LinkConfig, LoadAware,
+        PlacementPolicy, RecoveryConfig, RoundRobin, RtConfig, SingleNode,
     };
 
     check(
@@ -927,12 +928,9 @@ fn chaos_recovery_is_byte_identical_and_exactly_once_for_every_placement() {
             };
 
             // Every placement policy, same workflow, same chaos plan.
-            let placements = [
-                Placement::single_node(),
-                Placement::round_robin(&wf, nodes),
-                Placement::by_level(&wf, nodes),
-                Placement::load_aware(&wf, nodes, &vec![0.0; nodes]),
-            ];
+            let policies: [&dyn PlacementPolicy; 4] =
+                [&SingleNode, &RoundRobin, &ByLevel, &LoadAware::idle()];
+            let placements = policies.map(|p| p.initial(&wf, nodes));
             for placement in placements {
                 // single_node() has one node; clamp the victim kill so
                 // the plan stays valid for it.
@@ -999,6 +997,125 @@ fn chaos_recovery_is_byte_identical_and_exactly_once_for_every_placement() {
                 assert!(stats.node_restarts <= stats.node_crashes);
                 rt.shutdown();
             }
+        },
+    );
+}
+
+/// Permanent node loss under the orchestrator control plane is invisible
+/// in the outputs: whatever random placement laid the functions out and
+/// whenever the crash lands, the heartbeat detector relocates the dead
+/// node's functions and the client bytes match the no-fault reference.
+#[test]
+fn node_loss_relocation_is_byte_identical_under_random_placements() {
+    use std::time::Duration;
+
+    use dataflower_rt::{Bytes, ClusterConfig, ClusterRuntimeBuilder, LinkConfig, Placement};
+
+    check(
+        "node_loss_relocation_is_byte_identical_under_random_placements",
+        |g| {
+            let fan = g.usize_in(2, 5);
+            let nodes = g.usize_in(2, 4);
+            let len = g.usize_in(4_000, 40_000);
+            let mut seed = g.u64_in(1, u64::MAX - 1);
+            let payload: Vec<u8> = (0..len)
+                .map(|_| {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (seed >> 33) as u8
+                })
+                .collect();
+
+            // start --shard--> relay_i --echo--> merge --out--> client
+            let mut b = WorkflowBuilder::new("loss-echo");
+            let start = b.function("start", WorkModel::fixed(0.001));
+            let merge = b.function("merge", WorkModel::fixed(0.001));
+            b.client_input(start, "in", SizeModel::Fixed(1024.0));
+            for i in 0..fan {
+                let relay = b.function(format!("relay_{i}"), WorkModel::fixed(0.001));
+                b.edge(start, relay, "shard", SizeModel::Fixed(256.0));
+                b.edge(relay, merge, "echo", SizeModel::Fixed(256.0));
+            }
+            b.client_output(merge, "out", SizeModel::Fixed(256.0));
+            let wf = std::sync::Arc::new(b.build().unwrap());
+
+            // Fully random placement — every function lands on a random
+            // node, including layouts the stock policies never produce.
+            let mut placement = Placement::with_nodes(nodes);
+            for f in wf.function_ids() {
+                placement = placement.assign(wf.function(f).name.clone(), g.usize_in(0, nodes));
+            }
+
+            // Tight heartbeats so the loss is declared well inside the
+            // wait deadline; small chunks and marks so the crash lands
+            // mid-stream often.
+            let cfg = ClusterConfig::new()
+                .direct_threshold_bytes(1)
+                .chunk_bytes(g.usize_in(256, 2048))
+                .checkpoint_interval_bytes(g.usize_in(1024, 4096))
+                .link(LinkConfig {
+                    queue_capacity: g.usize_in(2, 64),
+                    ..LinkConfig::default()
+                })
+                .recovery(Duration::from_millis(20))
+                .heartbeat(Duration::from_millis(4), 2)
+                .build();
+
+            let victim = g.usize_in(0, nodes);
+            let crash_after = Duration::from_micros(g.u64_in(0, 4_000));
+
+            let fan_c = fan;
+            let mut builder = ClusterRuntimeBuilder::new(std::sync::Arc::clone(&wf))
+                .placement(placement)
+                .config(cfg)
+                .register("start", move |ctx| {
+                    let data = ctx.input("in").expect("client payload").clone();
+                    let base = data.len() / fan_c;
+                    let extra = data.len() % fan_c;
+                    let mut lo = 0;
+                    for i in 0..fan_c {
+                        let hi = lo + base + usize::from(i < extra);
+                        ctx.put_to("shard", format!("relay_{i}"), data.slice(lo..hi));
+                        lo = hi;
+                    }
+                });
+            for i in 0..fan {
+                builder = builder.register(format!("relay_{i}"), |ctx| {
+                    let shard = ctx.input("shard").expect("shard").clone();
+                    ctx.put("echo", shard);
+                });
+            }
+            let rt = builder
+                .register("merge", |ctx| {
+                    let out: Vec<u8> = ctx
+                        .inputs_named("echo")
+                        .into_iter()
+                        .flat_map(|b| b.iter().copied())
+                        .collect();
+                    ctx.put("out", Bytes::from(out));
+                })
+                .start()
+                .unwrap();
+
+            let req = rt.invoke(vec![("in".into(), Bytes::from(payload.clone()))]);
+            // Permanent: the victim is never restarted — only the
+            // controller's relocation can finish the request.
+            std::thread::sleep(crash_after);
+            rt.crash_node(victim);
+
+            let outputs = rt
+                .wait(req, Duration::from_secs(30))
+                .expect("relocation heals the lost node");
+            assert_eq!(outputs.len(), 1);
+            assert_eq!(
+                &*outputs[0].1,
+                &payload[..],
+                "payload lost, duplicated or reordered across the relocation"
+            );
+            let stats = rt.stats();
+            assert!(stats.heartbeats > 0, "the control plane never beat");
+            rt.shutdown();
         },
     );
 }
