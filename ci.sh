@@ -12,6 +12,8 @@
 #   8. bench regression gate    (prints per-benchmark deltas against
 #      BENCH_BASELINE.json; fails only when a benchmark got more than
 #      2x slower than the committed baseline)
+#   9. loadgen smoke gate       (open-loop load harness, smoke config;
+#      p50/p99 compared against LOADGEN_BASELINE.json)
 #
 # Steps 3-4 are the exact commands of the CI `lint` job and step 7 is the
 # exact command of the CI `bench-smoke` job, so local and CI gates match.
@@ -76,6 +78,13 @@ done
 if [ "${SKIP_BENCH_GATE:-0}" != 1 ]; then
     run cargo run --release -p dataflower-bench --bin bench -- \
         --runs 3 --compare BENCH_BASELINE.json --tolerance 100
+
+    # Loadgen smoke gate: the open-loop load harness drives its smallest
+    # config against the live cluster and compares p50/p99 per
+    # cell/benchmark row against the committed baseline. Same 2x
+    # tolerance; regressions on *either* quantile fail.
+    run cargo run --release -p dataflower-bench --bin bench -- \
+        loadgen --config smoke --compare LOADGEN_BASELINE.json --tolerance 100
 else
     echo "==> SKIP_BENCH_GATE=1; bench regression gate runs in the bench-smoke job"
 fi

@@ -3,34 +3,50 @@
 //! One JSON line per benchmark on stdout.
 //!
 //! ```text
-//! cargo run --release -p dataflower-bench --bin bench            # everything
-//! cargo run --release -p dataflower-bench --bin bench -- flownet # filter by substring
-//! cargo run --release -p dataflower-bench --bin bench -- --runs 9
+//! cargo run --release -p dataflower-bench --bin bench -- run            # everything
+//! cargo run --release -p dataflower-bench --bin bench -- run flownet    # filter
+//! cargo run --release -p dataflower-bench --bin bench -- run --runs 9
 //! ```
 //!
 //! These measure the *reproduction's* performance (simulator events per
 //! second, live-runtime end-to-end latency), complementing the `figures`
 //! binary which reproduces the paper's results.
 //!
-//! **Regression gate** (the CI bench step): `--compare <baseline>` diffs
-//! this run against a committed baseline file and prints per-benchmark
-//! deltas; the process exits non-zero only when a benchmark slowed past
-//! `--tolerance <pct>` (default 100, i.e. more than 2× slower). Baseline
-//! entries missing from the run (renamed/removed groups) only warn.
-//! `--json-out <file>` additionally writes the result JSON lines to a
-//! file (the CI artifact), and `--summary <file>` writes a per-group
-//! markdown delta table (appended to `$GITHUB_STEP_SUMMARY` in CI):
+//! **Regression gate** (the CI bench step): `run --compare <baseline>`
+//! diffs this run against a committed baseline file and prints
+//! per-benchmark deltas; the process exits non-zero when a benchmark
+//! slowed past `--tolerance <pct>` (default 100, i.e. more than 2×
+//! slower) or when a whole baseline group vanished from the run (a
+//! stale baseline). `--json-out <file>` additionally writes the result
+//! JSON lines to a file (the CI artifact), and `--summary <file>`
+//! writes a per-group markdown delta table (appended to
+//! `$GITHUB_STEP_SUMMARY` in CI):
 //!
 //! ```text
-//! bench --runs 3 --compare BENCH_BASELINE.json --tolerance 100 \
-//!       --json-out bench-results.jsonl --summary bench-summary.md
+//! bench run --runs 3 --compare BENCH_BASELINE.json --tolerance 100 \
+//!           --json-out bench-results.jsonl --summary bench-summary.md
 //! ```
+//!
+//! **Open-loop load harness**: `bench loadgen --config <name>` runs a
+//! named multi-tenant load configuration (see
+//! `dataflower_workloads::loadgen`), writes its markdown report to
+//! `reports/loadgen-<name>.md`, and gates p50 **and p99** latency per
+//! cell × benchmark against `LOADGEN_BASELINE.json`:
+//!
+//! ```text
+//! bench loadgen --config smoke --compare LOADGEN_BASELINE.json
+//! bench loadgen --config full --write-baseline LOADGEN_BASELINE.json
+//! ```
+//!
+//! The pre-subcommand flag spelling still works (`bench --runs 3
+//! --compare …` means `bench run …`); see `dataflower_bench::cli`.
 
 use std::cell::RefCell;
 use std::sync::Arc;
 
 use dataflower::WaitMatchMemory;
-use dataflower_bench::compare::{compare, parse_baseline, render, render_markdown};
+use dataflower_bench::cli::{self, Command, CompareOptions, LoadgenOptions, RunOptions};
+use dataflower_bench::compare::{compare, parse_baseline, parse_results, render, render_markdown};
 use dataflower_bench::timing::{time, TimingResult};
 use dataflower_cluster::RequestId;
 use dataflower_metrics::Samples;
@@ -39,98 +55,117 @@ use dataflower_rt::{chunk_spans, Bytes, Reassembler, ShardedSink};
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
-    bench_input, launch_bench_cluster, serve_worker_if_spawned, Benchmark, BurstyClusterConfig,
-    ChaosClusterConfig, LiveClusterConfig, LivePlacement, NodeLossConfig, Scenario,
-    SkewedFanoutConfig, SystemKind, TcpProfile,
+    bench_input, launch_bench_cluster, loadgen, serve_worker_if_spawned, Benchmark,
+    ChaosClusterConfig, FaultMode, LivePlacement, LoadgenConfig, Scenario, SystemKind, TcpProfile,
+    WorkloadSpec,
 };
 
-/// Default timed iterations per benchmark (median-of-K).
-const DEFAULT_RUNS: usize = 5;
-
-/// Exit code of the `--compare` mode when a regression exceeds the
-/// tolerance.
+/// Exit code when a regression exceeds the tolerance.
 const EXIT_REGRESSION: i32 = 3;
 
+/// Exit code when the baseline names a group the run no longer
+/// produces — a stale baseline that must be updated, not warned about.
+const EXIT_STALE_BASELINE: i32 = 4;
+
 fn main() {
-    // The socket_fabric group launches worker-process TCP clusters that
-    // re-execute this binary (argv-free, env-tagged) as the workers;
-    // those re-executions enter here and never return.
+    // The socket_fabric group and the loadgen TCP cells launch
+    // worker-process TCP clusters that re-execute this binary
+    // (argv-free, env-tagged) as the workers; those re-executions enter
+    // here and never return.
     serve_worker_if_spawned();
 
-    let mut filters: Vec<String> = Vec::new();
-    let mut group_filters: Vec<String> = Vec::new();
-    let mut runs = DEFAULT_RUNS;
-    let mut baseline_path: Option<String> = None;
-    let mut json_out: Option<String> = None;
-    let mut summary_out: Option<String> = None;
-    let mut tolerance_pct = 100.0f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: bench [--runs K] [--group GROUP] [--compare BASELINE.json] \
-                     [--tolerance PCT] [--json-out FILE] [--summary FILE] \
-                     [filter-substring]..."
-                );
-                return;
-            }
-            "--group" => {
-                let group = args.next().unwrap_or_else(|| {
-                    eprintln!("--group needs a group name");
-                    std::process::exit(2);
-                });
-                // Exact-group filter: matched as an `id.starts_with`
-                // prefix, so `--group cluster` cannot leak into
-                // `live_cluster/*` or slash-bearing benchmark names.
-                group_filters.push(format!("{group}/"));
-            }
-            "--runs" => {
-                runs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|k| *k > 0)
-                    .unwrap_or_else(|| {
-                        eprintln!("--runs needs a positive integer");
-                        std::process::exit(2);
-                    });
-            }
-            "--compare" => {
-                baseline_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--compare needs a baseline file path");
-                    std::process::exit(2);
-                }));
-            }
-            "--json-out" => {
-                json_out = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--json-out needs a file path");
-                    std::process::exit(2);
-                }));
-            }
-            "--summary" => {
-                summary_out = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--summary needs a file path");
-                    std::process::exit(2);
-                }));
-            }
-            "--tolerance" => {
-                tolerance_pct = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
-                    .unwrap_or_else(|| {
-                        eprintln!("--tolerance needs a non-negative percentage");
-                        std::process::exit(2);
-                    });
-            }
-            other => filters.push(other.to_owned()),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(Command::Help) => println!("{}", cli::USAGE),
+        Ok(Command::Run(opts)) => run_command(&opts),
+        Ok(Command::Compare(opts)) => {
+            let text = read_or_die(&opts.results);
+            let results = parse_results(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse results `{}`: {e}", opts.results);
+                std::process::exit(2);
+            });
+            // A saved results file is complete by construction, so stale
+            // baseline groups are enforced.
+            gate(&results, &opts.compare, true);
+        }
+        Ok(Command::Loadgen(opts)) => loadgen_command(&opts),
+        Err(e) => {
+            eprintln!("bench: {e}\n{}", cli::USAGE);
+            std::process::exit(2);
         }
     }
+}
 
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Diffs `results` against the baseline in `opts` (no-op without one),
+/// prints the delta report, writes the markdown summary, and exits
+/// non-zero on regressions — or, when `enforce_stale_groups` is set (an
+/// unfiltered run), on baseline groups the run no longer produces.
+fn gate(results: &[TimingResult], opts: &CompareOptions, enforce_stale_groups: bool) {
+    let Some(path) = &opts.baseline else {
+        if opts.summary_out.is_some() {
+            eprintln!("bench: --summary needs --compare to have something to summarize");
+            std::process::exit(2);
+        }
+        return;
+    };
+    let tolerance_pct = opts.tolerance_pct;
+    let baseline = parse_baseline(&read_or_die(path)).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let cmp = compare(&baseline, results);
+    print!("{}", render(&cmp, tolerance_pct));
+    for w in cmp.warnings() {
+        eprintln!("bench: {w}");
+    }
+    if let Some(out) = &opts.summary_out {
+        write_or_die(out, &render_markdown(&cmp, tolerance_pct));
+    }
+    if enforce_stale_groups {
+        let stale = cmp.stale_groups();
+        if !stale.is_empty() {
+            eprintln!(
+                "bench: baseline `{path}` names group(s) this run no longer produces: {} — \
+                 update the baseline",
+                stale.join(", ")
+            );
+            std::process::exit(EXIT_STALE_BASELINE);
+        }
+    }
+    let regressions = cmp.regressions(tolerance_pct);
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench: {} benchmark(s) regressed more than {tolerance_pct:.0}% vs `{path}`",
+            regressions.len()
+        );
+        std::process::exit(EXIT_REGRESSION);
+    }
+}
+
+fn run_command(opts: &RunOptions) {
     let harness = Harness {
-        filters,
-        group_filters,
-        runs,
+        filters: opts.filters.clone(),
+        group_filters: opts.group_filters.clone(),
+        runs: opts.runs,
         results: RefCell::new(Vec::new()),
     };
     engine_benchmarks(&harness);
@@ -142,51 +177,71 @@ fn main() {
     socket_fabric_benchmarks(&harness);
     substrate_benchmarks(&harness);
 
-    if let Some(path) = &json_out {
+    if let Some(path) = &opts.json_out {
         let lines: String = harness
             .results
             .borrow()
             .iter()
             .map(|r| format!("{}\n", r.to_json_line()))
             .collect();
-        if let Err(e) = std::fs::write(path, lines) {
-            eprintln!("cannot write json output `{path}`: {e}");
-            std::process::exit(2);
-        }
+        write_or_die(path, &lines);
     }
 
-    if let Some(path) = baseline_path {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read baseline `{path}`: {e}");
-            std::process::exit(2);
-        });
-        let baseline = parse_baseline(&text).unwrap_or_else(|e| {
-            eprintln!("cannot parse baseline `{path}`: {e}");
-            std::process::exit(2);
-        });
-        let cmp = compare(&baseline, &harness.results.borrow());
-        print!("{}", render(&cmp, tolerance_pct));
-        for w in cmp.warnings() {
-            eprintln!("bench: {w}");
-        }
-        if let Some(path) = &summary_out {
-            if let Err(e) = std::fs::write(path, render_markdown(&cmp, tolerance_pct)) {
-                eprintln!("cannot write summary `{path}`: {e}");
-                std::process::exit(2);
-            }
-        }
-        let regressions = cmp.regressions(tolerance_pct);
-        if !regressions.is_empty() {
-            eprintln!(
-                "bench: {} benchmark(s) regressed more than {tolerance_pct:.0}% vs `{path}`",
-                regressions.len()
-            );
-            std::process::exit(EXIT_REGRESSION);
-        }
-    } else if summary_out.is_some() {
-        eprintln!("bench: --summary needs --compare to have something to summarize");
+    // Stale baseline groups only fail unfiltered runs — `bench run
+    // --group engines` legitimately skips every other group.
+    let unfiltered = opts.filters.is_empty() && opts.group_filters.is_empty();
+    gate(&harness.results.borrow(), &opts.compare, unfiltered);
+}
+
+/// `bench loadgen`: run the named config, write the committed markdown
+/// report, and gate the p50/p99 rows against the loadgen baseline.
+fn loadgen_command(opts: &LoadgenOptions) {
+    let cfg = LoadgenConfig::by_name(&opts.config).unwrap_or_else(|| {
+        eprintln!(
+            "bench loadgen: unknown config `{}` (expected smoke, soak or full)",
+            opts.config
+        );
         std::process::exit(2);
+    });
+    eprintln!(
+        "bench loadgen: running config `{}` ({} cell(s))",
+        cfg.name,
+        cfg.cells.len()
+    );
+    let report = loadgen::run(&cfg);
+
+    let report_path = opts
+        .report_out
+        .clone()
+        .unwrap_or_else(|| format!("reports/loadgen-{}.md", cfg.name));
+    write_or_die(&report_path, &report.to_markdown());
+    eprintln!("bench loadgen: report written to `{report_path}`");
+
+    let rows: Vec<TimingResult> = report
+        .gate_rows()
+        .into_iter()
+        .map(|row| TimingResult {
+            group: "loadgen".to_string(),
+            name: row.name,
+            runs: 1,
+            median_ns: row.p50_ns,
+            min_ns: row.p50_ns,
+            max_ns: row.p99_ns,
+            p99_ns: Some(row.p99_ns),
+        })
+        .collect();
+    for r in &rows {
+        println!("{}", r.to_json_line());
     }
+    if let Some(path) = &opts.write_baseline {
+        let lines: String = rows
+            .iter()
+            .map(|r| format!("{}\n", r.to_json_line()))
+            .collect();
+        write_or_die(path, &lines);
+        eprintln!("bench loadgen: baseline written to `{path}`");
+    }
+    gate(&rows, &opts.compare, true);
 }
 
 /// Elastic-scaling benchmarks: the pressure-aware autoscaler driven by a
@@ -195,23 +250,22 @@ fn main() {
 /// actually happened, so the bench doubles as a smoke gate.
 fn elastic_benchmarks(h: &Harness) {
     h.run("elastic", "bursty_cluster/wc", || {
-        let cfg = BurstyClusterConfig {
-            burst_requests: 8,
-            payload_bytes: 128 * 1024,
-            settle: std::time::Duration::from_secs(2),
-            ..BurstyClusterConfig::default()
-        };
-        let report = Scenario::bursty_cluster(Benchmark::Wc, &cfg);
-        assert!(report.scale_outs() >= 1);
+        let report = WorkloadSpec::new()
+            .benchmark(Benchmark::Wc)
+            .warmup(2)
+            .requests(8)
+            .payload_bytes(128 * 1024)
+            .settle(std::time::Duration::from_secs(2))
+            .run();
+        assert!(report.stats.scale_out_events >= 1);
         report.requests
     });
     h.run("elastic", "skewed_fanout/8branches", || {
-        let cfg = SkewedFanoutConfig {
-            requests: 4,
-            payload_bytes: 128 * 1024,
-            ..SkewedFanoutConfig::default()
-        };
-        let report = Scenario::skewed_fanout(&cfg);
+        let report = WorkloadSpec::new()
+            .skewed_fanout(8, 1.2)
+            .requests(4)
+            .payload_bytes(128 * 1024)
+            .run();
         assert!(report.output_bytes > 0);
         report.requests
     });
@@ -231,13 +285,17 @@ fn recovery_benchmarks(h: &Harness) {
             "recovery",
             &format!("chaos_wc_crash_replay/interval_{label}"),
             || {
-                let mut cfg = ChaosClusterConfig {
-                    requests: 1,
-                    payload_bytes: 192 * 1024,
-                    ..ChaosClusterConfig::default()
-                };
-                cfg.rt.checkpoint_interval_bytes = interval;
-                let report = Scenario::chaos_cluster(Benchmark::Wc, &cfg);
+                // Start from the chaos scenario's default runtime knobs
+                // and pin only the checkpoint interval under test.
+                let mut rt = ChaosClusterConfig::default().rt;
+                rt.checkpoint_interval_bytes = interval;
+                let report = WorkloadSpec::new()
+                    .benchmark(Benchmark::Wc)
+                    .faults(FaultMode::ChaosCrashRestart)
+                    .requests(1)
+                    .payload_bytes(192 * 1024)
+                    .config(rt)
+                    .run();
                 assert!(report.stats.recovered_transfers > 0);
                 assert!(report.stats.resumed_from_mark_bytes > 0);
                 report.requests
@@ -292,15 +350,13 @@ fn control_plane_benchmarks(h: &Harness) {
                 if heartbeats {
                     builder = builder.heartbeat(Duration::from_millis(10), 3);
                 }
-                let cfg = LiveClusterConfig {
-                    nodes: 3,
-                    placement: LivePlacement::ByLevel,
-                    requests: 2,
-                    payload_bytes: 128 * 1024,
-                    rt: builder.build(),
-                    ..LiveClusterConfig::default()
-                };
-                let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+                let report = WorkloadSpec::new()
+                    .benchmark(Benchmark::Wc)
+                    .nodes(3)
+                    .requests(2)
+                    .payload_bytes(128 * 1024)
+                    .config(builder.build())
+                    .run();
                 assert_eq!(report.stats.node_losses, 0);
                 assert_eq!(report.stats.heartbeats > 0, heartbeats);
                 report.requests
@@ -308,22 +364,22 @@ fn control_plane_benchmarks(h: &Harness) {
         );
     }
     h.run("control_plane", "relocation_recover/wc_128k", || {
-        let cfg = NodeLossConfig {
-            payload_bytes: 128 * 1024,
-            ..NodeLossConfig::default()
-        };
-        let report = Scenario::node_loss_relocation(Benchmark::Wc, &cfg);
-        assert!(report.relocated > 0);
+        let report = WorkloadSpec::new()
+            .benchmark(Benchmark::Wc)
+            .faults(FaultMode::NodeLoss)
+            .payload_bytes(128 * 1024)
+            .run();
+        assert!(report.relocated().expect("node-loss detail") > 0);
         assert!(report.stats.node_losses >= 1);
         report.requests
     });
     h.run("control_plane", "migration_drain/svd_128k", || {
-        let cfg = NodeLossConfig {
-            payload_bytes: 128 * 1024,
-            requests: 2,
-            ..NodeLossConfig::default()
-        };
-        let report = Scenario::live_migration(Benchmark::Svd, &cfg);
+        let report = WorkloadSpec::new()
+            .benchmark(Benchmark::Svd)
+            .faults(FaultMode::LiveMigration)
+            .payload_bytes(128 * 1024)
+            .requests(2)
+            .run();
         assert!(report.stats.live_migrations >= 1);
         report.requests
     });
@@ -463,28 +519,25 @@ fn live_cluster_benchmarks(h: &Harness) {
             "live_cluster",
             &format!("{}/3nodes_spread", bench.name()),
             || {
-                let cfg = LiveClusterConfig {
-                    nodes: 3,
-                    placement: LivePlacement::ByLevel,
-                    requests: 2,
-                    payload_bytes: 128 * 1024,
-                    ..LiveClusterConfig::default()
-                };
-                let report = Scenario::live_cluster(bench, &cfg);
+                let report = WorkloadSpec::new()
+                    .benchmark(bench)
+                    .nodes(3)
+                    .requests(2)
+                    .payload_bytes(128 * 1024)
+                    .run();
                 assert!(report.stats.remote_bytes > 0);
                 report
             },
         );
     }
     h.run("live_cluster", "wc/1node_colocated", || {
-        let cfg = LiveClusterConfig {
-            nodes: 1,
-            placement: LivePlacement::SingleNode,
-            requests: 2,
-            payload_bytes: 128 * 1024,
-            ..LiveClusterConfig::default()
-        };
-        let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+        let report = WorkloadSpec::new()
+            .benchmark(Benchmark::Wc)
+            .nodes(1)
+            .placement(LivePlacement::SingleNode)
+            .requests(2)
+            .payload_bytes(128 * 1024)
+            .run();
         assert_eq!(report.stats.remote_bytes, 0);
         report
     });

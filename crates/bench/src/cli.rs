@@ -1,0 +1,375 @@
+//! Argument parsing for the `bench` binary: three subcommands over one
+//! shared option set, plus a translation shim for the original flag
+//! spelling.
+//!
+//! * `bench run [OPTIONS] [FILTER]…` — run the wall-clock benchmarks,
+//!   optionally diffing against a committed baseline;
+//! * `bench compare --baseline FILE --results FILE [OPTIONS]` — diff a
+//!   previously saved `--json-out` results file against a baseline
+//!   without re-running anything;
+//! * `bench loadgen [--config NAME] [OPTIONS]` — run an open-loop load
+//!   configuration (see `dataflower_workloads::loadgen`), write its
+//!   markdown report, and gate p50/p99 against a loadgen baseline.
+//!
+//! The pre-subcommand spelling (`bench --runs 3 --compare B.json …`,
+//! `bench flownet`) keeps working: when the first argument is not a
+//! subcommand name, the whole argv is parsed as `bench run …`.
+
+/// Options shared by every comparing subcommand: which baseline, how
+/// much slack, and where the artifacts go.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareOptions {
+    /// Baseline JSONL path (`--compare` / `--baseline`).
+    pub baseline: Option<String>,
+    /// Regression tolerance in percent (`--tolerance`, default 100).
+    pub tolerance_pct: f64,
+    /// Markdown per-group summary output path (`--summary`).
+    pub summary_out: Option<String>,
+}
+
+/// `bench run`: benchmark selection plus the shared comparison options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Positional substring filters.
+    pub filters: Vec<String>,
+    /// `--group` exact-group filters (stored with a trailing `/`).
+    pub group_filters: Vec<String>,
+    /// Timed iterations per benchmark (`--runs`).
+    pub runs: usize,
+    /// Raw results JSONL output path (`--json-out`).
+    pub json_out: Option<String>,
+    /// Baseline diffing.
+    pub compare: CompareOptions,
+}
+
+/// `bench compare`: diff a saved results file against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareFilesOptions {
+    /// Saved `--json-out` results file (`--results`).
+    pub results: String,
+    /// Baseline diffing (the baseline path is required here).
+    pub compare: CompareOptions,
+}
+
+/// `bench loadgen`: run a named open-loop load configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenOptions {
+    /// Stock config name (`--config`, default `smoke`).
+    pub config: String,
+    /// Markdown report output path (`--report`, default
+    /// `reports/loadgen-<config>.md`).
+    pub report_out: Option<String>,
+    /// Write this run's gate rows as a fresh baseline JSONL
+    /// (`--write-baseline`).
+    pub write_baseline: Option<String>,
+    /// Baseline diffing of the p50/p99 gate rows.
+    pub compare: CompareOptions,
+}
+
+/// The parsed command line of the `bench` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bench run` (also the legacy no-subcommand spelling).
+    Run(RunOptions),
+    /// `bench compare`.
+    Compare(CompareFilesOptions),
+    /// `bench loadgen`.
+    Loadgen(LoadgenOptions),
+    /// `bench --help` / `bench help`.
+    Help,
+}
+
+/// Default timed iterations per benchmark (median-of-K).
+pub const DEFAULT_RUNS: usize = 5;
+
+/// Default regression tolerance in percent (fail above 2× slower).
+pub const DEFAULT_TOLERANCE_PCT: f64 = 100.0;
+
+/// The usage text `bench --help` prints.
+pub const USAGE: &str = "\
+usage: bench <run|compare|loadgen> [OPTIONS]
+
+  bench run [--runs K] [--group GROUP]... [--compare BASELINE.json]
+            [--tolerance PCT] [--json-out FILE] [--summary FILE]
+            [filter-substring]...
+  bench compare --baseline BASELINE.json --results RESULTS.jsonl
+            [--tolerance PCT] [--summary FILE]
+  bench loadgen [--config smoke|soak|full] [--report FILE]
+            [--compare LOADGEN_BASELINE.json] [--tolerance PCT]
+            [--summary FILE] [--write-baseline FILE]
+
+The legacy spelling without a subcommand still works and means `run`:
+  bench --runs 3 --compare BENCH_BASELINE.json --tolerance 100";
+
+fn take_value(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    args.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_tolerance(raw: &str) -> Result<f64, String> {
+    raw.parse::<f64>()
+        .ok()
+        .filter(|p| p.is_finite() && *p >= 0.0)
+        .ok_or_else(|| "--tolerance needs a non-negative percentage".to_string())
+}
+
+fn parse_run(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
+        filters: Vec::new(),
+        group_filters: Vec::new(),
+        runs: DEFAULT_RUNS,
+        json_out: None,
+        compare: CompareOptions {
+            baseline: None,
+            tolerance_pct: DEFAULT_TOLERANCE_PCT,
+            summary_out: None,
+        },
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--group" => {
+                // Exact-group filter: matched as an `id.starts_with`
+                // prefix, so `--group cluster` cannot leak into
+                // `live_cluster/*` or slash-bearing benchmark names.
+                let group = take_value(&mut it, "--group")?;
+                opts.group_filters.push(format!("{group}/"));
+            }
+            "--runs" => {
+                opts.runs = take_value(&mut it, "--runs")?
+                    .parse()
+                    .ok()
+                    .filter(|k| *k > 0)
+                    .ok_or("--runs needs a positive integer")?;
+            }
+            "--compare" | "--baseline" => {
+                opts.compare.baseline = Some(take_value(&mut it, a)?);
+            }
+            "--json-out" => opts.json_out = Some(take_value(&mut it, "--json-out")?),
+            "--summary" => opts.compare.summary_out = Some(take_value(&mut it, "--summary")?),
+            "--tolerance" => {
+                opts.compare.tolerance_pct = parse_tolerance(&take_value(&mut it, "--tolerance")?)?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            other => opts.filters.push(other.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_compare(args: &[String]) -> Result<CompareFilesOptions, String> {
+    let mut baseline = None;
+    let mut results = None;
+    let mut tolerance_pct = DEFAULT_TOLERANCE_PCT;
+    let mut summary_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" | "--compare" => baseline = Some(take_value(&mut it, a)?),
+            "--results" => results = Some(take_value(&mut it, "--results")?),
+            "--summary" => summary_out = Some(take_value(&mut it, "--summary")?),
+            "--tolerance" => {
+                tolerance_pct = parse_tolerance(&take_value(&mut it, "--tolerance")?)?;
+            }
+            other => return Err(format!("unknown `bench compare` argument `{other}`")),
+        }
+    }
+    Ok(CompareFilesOptions {
+        results: results.ok_or("bench compare needs --results RESULTS.jsonl")?,
+        compare: CompareOptions {
+            baseline: Some(baseline.ok_or("bench compare needs --baseline BASELINE.json")?),
+            tolerance_pct,
+            summary_out,
+        },
+    })
+}
+
+fn parse_loadgen(args: &[String]) -> Result<LoadgenOptions, String> {
+    let mut opts = LoadgenOptions {
+        config: "smoke".to_string(),
+        report_out: None,
+        write_baseline: None,
+        compare: CompareOptions {
+            baseline: None,
+            tolerance_pct: DEFAULT_TOLERANCE_PCT,
+            summary_out: None,
+        },
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => opts.config = take_value(&mut it, "--config")?,
+            "--report" => opts.report_out = Some(take_value(&mut it, "--report")?),
+            "--write-baseline" => {
+                opts.write_baseline = Some(take_value(&mut it, "--write-baseline")?);
+            }
+            "--compare" | "--baseline" => opts.compare.baseline = Some(take_value(&mut it, a)?),
+            "--summary" => opts.compare.summary_out = Some(take_value(&mut it, "--summary")?),
+            "--tolerance" => {
+                opts.compare.tolerance_pct = parse_tolerance(&take_value(&mut it, "--tolerance")?)?;
+            }
+            other => return Err(format!("unknown `bench loadgen` argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses the binary's arguments (without the program name). The first
+/// argument selects the subcommand; anything else — the legacy spelling
+/// — is translated to `run` wholesale.
+///
+/// # Errors
+///
+/// Returns a usage message naming the offending flag or missing value.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_bench::cli::{parse, Command};
+///
+/// // New spelling and the legacy shim parse identically.
+/// let legacy: Vec<String> = ["--runs", "3", "--compare", "B.json"]
+///     .iter().map(|s| s.to_string()).collect();
+/// let new: Vec<String> = ["run", "--runs", "3", "--compare", "B.json"]
+///     .iter().map(|s| s.to_string()).collect();
+/// assert_eq!(parse(&legacy).unwrap(), parse(&new).unwrap());
+/// assert!(matches!(parse(&legacy).unwrap(), Command::Run(_)));
+/// ```
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        None => Ok(Command::Run(parse_run(&[])?)),
+        Some("--help") | Some("-h") | Some("help") => Ok(Command::Help),
+        Some("run") => Ok(Command::Run(parse_run(&args[1..])?)),
+        Some("compare") => Ok(Command::Compare(parse_compare(&args[1..])?)),
+        Some("loadgen") => Ok(Command::Loadgen(parse_loadgen(&args[1..])?)),
+        // Legacy shim: the original binary had no subcommands — flags
+        // and filter substrings started immediately. Keep every old
+        // invocation (ci.sh, the CI workflow, muscle memory) working by
+        // treating the whole argv as `run` arguments.
+        Some(_) => Ok(Command::Run(parse_run(args)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn legacy_ci_invocation_translates_to_run() {
+        // The exact argv ci.sh used before subcommands existed.
+        let cmd = parse(&argv(&[
+            "--runs",
+            "3",
+            "--compare",
+            "BENCH_BASELINE.json",
+            "--tolerance",
+            "100",
+            "--json-out",
+            "bench-results.jsonl",
+            "--summary",
+            "bench-summary.md",
+        ]))
+        .unwrap();
+        let Command::Run(opts) = cmd else {
+            panic!("legacy argv must mean `run`");
+        };
+        assert_eq!(opts.runs, 3);
+        assert_eq!(
+            opts.compare.baseline.as_deref(),
+            Some("BENCH_BASELINE.json")
+        );
+        assert_eq!(opts.compare.tolerance_pct, 100.0);
+        assert_eq!(opts.json_out.as_deref(), Some("bench-results.jsonl"));
+        assert_eq!(
+            opts.compare.summary_out.as_deref(),
+            Some("bench-summary.md")
+        );
+    }
+
+    #[test]
+    fn legacy_filter_and_group_still_work() {
+        let Command::Run(opts) = parse(&argv(&["flownet", "--group", "engines"])).unwrap() else {
+            panic!("filter argv must mean `run`");
+        };
+        assert_eq!(opts.filters, vec!["flownet".to_string()]);
+        assert_eq!(opts.group_filters, vec!["engines/".to_string()]);
+        assert_eq!(opts.runs, DEFAULT_RUNS);
+    }
+
+    #[test]
+    fn empty_argv_runs_everything() {
+        let Command::Run(opts) = parse(&[]).unwrap() else {
+            panic!("no argv must mean `run`");
+        };
+        assert!(opts.filters.is_empty() && opts.group_filters.is_empty());
+        assert!(opts.compare.baseline.is_none());
+    }
+
+    #[test]
+    fn compare_subcommand_requires_both_files() {
+        assert!(parse(&argv(&["compare", "--baseline", "b.json"])).is_err());
+        assert!(parse(&argv(&["compare", "--results", "r.jsonl"])).is_err());
+        let Command::Compare(opts) = parse(&argv(&[
+            "compare",
+            "--baseline",
+            "b.json",
+            "--results",
+            "r.jsonl",
+            "--tolerance",
+            "50",
+        ]))
+        .unwrap() else {
+            panic!("compare argv must mean `compare`");
+        };
+        assert_eq!(opts.results, "r.jsonl");
+        assert_eq!(opts.compare.baseline.as_deref(), Some("b.json"));
+        assert_eq!(opts.compare.tolerance_pct, 50.0);
+    }
+
+    #[test]
+    fn loadgen_defaults_and_flags() {
+        let Command::Loadgen(opts) = parse(&argv(&["loadgen"])).unwrap() else {
+            panic!("loadgen argv must mean `loadgen`");
+        };
+        assert_eq!(opts.config, "smoke");
+        assert!(opts.report_out.is_none() && opts.compare.baseline.is_none());
+
+        let Command::Loadgen(opts) = parse(&argv(&[
+            "loadgen",
+            "--config",
+            "full",
+            "--report",
+            "reports/loadgen-full.md",
+            "--compare",
+            "LOADGEN_BASELINE.json",
+            "--write-baseline",
+            "LOADGEN_BASELINE.json",
+        ]))
+        .unwrap() else {
+            panic!("loadgen argv must mean `loadgen`");
+        };
+        assert_eq!(opts.config, "full");
+        assert_eq!(opts.report_out.as_deref(), Some("reports/loadgen-full.md"));
+        assert_eq!(
+            opts.compare.baseline.as_deref(),
+            Some("LOADGEN_BASELINE.json")
+        );
+        assert_eq!(
+            opts.write_baseline.as_deref(),
+            Some("LOADGEN_BASELINE.json")
+        );
+    }
+
+    #[test]
+    fn bad_values_are_rejected_with_messages() {
+        assert!(parse(&argv(&["run", "--runs", "0"])).is_err());
+        assert!(parse(&argv(&["run", "--tolerance", "-5"])).is_err());
+        assert!(parse(&argv(&["run", "--unknown-flag"])).is_err());
+        assert!(parse(&argv(&["loadgen", "--config"])).is_err());
+    }
+}

@@ -19,6 +19,10 @@ pub struct BaselineEntry {
     pub id: String,
     /// Median wall-clock time recorded in the baseline.
     pub median_ns: u128,
+    /// 99th-percentile latency recorded in the baseline, for entry
+    /// classes that gate the tail (the `loadgen` group). `None` for the
+    /// median-only micro-benchmark entries.
+    pub p99_ns: Option<u128>,
 }
 
 /// Parses a baseline file: one JSON object per non-empty line, each with
@@ -64,9 +68,52 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
         let median = field("median_ns")?
             .as_f64()
             .ok_or_else(|| format!("baseline line {lineno}: `median_ns` is not a number"))?;
+        let p99 = match v.get("p99_ns") {
+            Some(p) => Some(
+                p.as_f64()
+                    .ok_or_else(|| format!("baseline line {lineno}: `p99_ns` is not a number"))?
+                    .max(0.0) as u128,
+            ),
+            None => None,
+        };
         out.push(BaselineEntry {
             id: format!("{group}/{name}"),
             median_ns: median.max(0.0) as u128,
+            p99_ns: p99,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a saved results file (the `--json-out` JSONL of a previous
+/// run) back into [`TimingResult`]s, so `bench compare` can diff a
+/// recorded run against a baseline without re-running anything.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when a line is not a
+/// JSON object or lacks the required fields.
+pub fn parse_results(text: &str) -> Result<Vec<TimingResult>, String> {
+    let entries = parse_baseline(text)?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (idx, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let v = parse(line.trim()).expect("parse_baseline accepted this line");
+        let e = &entries[idx];
+        let (group, name) = e.id.split_once('/').unwrap_or((e.id.as_str(), ""));
+        let int_field = |key: &str, default: u128| {
+            v.get(key)
+                .and_then(|x| x.as_f64())
+                .map(|x| x.max(0.0) as u128)
+                .unwrap_or(default)
+        };
+        out.push(TimingResult {
+            group: group.to_owned(),
+            name: name.to_owned(),
+            runs: int_field("runs", 1) as usize,
+            median_ns: e.median_ns,
+            min_ns: int_field("min_ns", e.median_ns),
+            max_ns: int_field("max_ns", e.median_ns),
+            p99_ns: e.p99_ns,
         });
     }
     Ok(out)
@@ -83,12 +130,18 @@ pub struct Delta {
     pub current_ns: u128,
     /// Relative change in percent (positive = slower than baseline).
     pub delta_pct: f64,
+    /// Relative p99 change in percent, when both the baseline entry and
+    /// the current result carry a tail measurement.
+    pub p99_delta_pct: Option<f64>,
 }
 
 impl Delta {
-    /// True when this benchmark slowed down past `tolerance_pct`.
+    /// True when this benchmark slowed down past `tolerance_pct` — on
+    /// the median, or (for tail-gated entries) on the p99. A loadgen
+    /// cell whose median holds but whose tail blows out is a
+    /// regression.
     pub fn regressed(&self, tolerance_pct: f64) -> bool {
-        self.delta_pct > tolerance_pct
+        self.delta_pct > tolerance_pct || self.p99_delta_pct.is_some_and(|p| p > tolerance_pct)
     }
 }
 
@@ -103,9 +156,12 @@ pub struct Comparison {
     /// gate until its entry lands in `BENCH_BASELINE.json`.
     pub new_benchmarks: Vec<String>,
     /// Baseline benchmarks this run did not produce — a renamed/removed
-    /// group, or a filtered invocation. **Warned about, never a
-    /// failure**: adding or removing bench groups must not break the
-    /// gate.
+    /// case, or a filtered invocation. Individual missing entries inside
+    /// a group the run did produce are warnings; a baseline entry whose
+    /// **entire group** is absent from the run (see
+    /// [`Comparison::stale_groups`]) is a hard failure on unfiltered
+    /// runs — a renamed group would otherwise silently un-gate every
+    /// benchmark in it.
     pub missing: Vec<String>,
 }
 
@@ -118,11 +174,36 @@ impl Comparison {
             .collect()
     }
 
+    /// Baseline groups with **no** benchmark in the current run at all:
+    /// every `missing` id whose group (the part before the first `/`)
+    /// matches neither a delta nor a new benchmark. These are the
+    /// renamed-or-removed groups the bench binary fails on (unfiltered
+    /// runs only — a `--group` invocation legitimately skips groups).
+    pub fn stale_groups(&self) -> Vec<String> {
+        let group_of = |id: &str| id.split('/').next().unwrap_or(id).to_owned();
+        let mut present: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for d in &self.deltas {
+            present.insert(group_of(&d.id));
+        }
+        for id in &self.new_benchmarks {
+            present.insert(group_of(id));
+        }
+        let mut stale: Vec<String> = Vec::new();
+        for id in &self.missing {
+            let g = group_of(id);
+            if !present.contains(&g) && !stale.contains(&g) {
+                stale.push(g);
+            }
+        }
+        stale
+    }
+
     /// Warning lines for the two kinds of baseline drift — baseline
     /// entries this run did not produce, and benchmarks this run
     /// produced that the baseline does not gate. Printed to stderr by
     /// the bench binary so a stale baseline is visible (by name, not as
-    /// a silent skip) without failing the gate.
+    /// a silent skip); stale **groups** additionally fail the run (see
+    /// [`Comparison::stale_groups`]).
     pub fn warnings(&self) -> Vec<String> {
         self.missing
             .iter()
@@ -237,11 +318,18 @@ pub fn compare(baseline: &[BaselineEntry], current: &[TimingResult]) -> Comparis
             Some(b) if b.median_ns > 0 => {
                 let delta_pct =
                     (r.median_ns as f64 - b.median_ns as f64) / b.median_ns as f64 * 100.0;
+                let p99_delta_pct = match (b.p99_ns, r.p99_ns) {
+                    (Some(bp), Some(rp)) if bp > 0 => {
+                        Some((rp as f64 - bp as f64) / bp as f64 * 100.0)
+                    }
+                    _ => None,
+                };
                 cmp.deltas.push(Delta {
                     id,
                     baseline_ns: b.median_ns,
                     current_ns: r.median_ns,
                     delta_pct,
+                    p99_delta_pct,
                 });
             }
             _ => cmp.new_benchmarks.push(id),
@@ -269,12 +357,17 @@ pub fn render(cmp: &Comparison, tolerance_pct: f64) -> String {
         } else {
             "ok"
         };
+        let tail = d
+            .p99_delta_pct
+            .map(|p| format!("  p99 {p:>+8.1}%"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "  {:width$}  {:>9.3} ms -> {:>9.3} ms  {:>+8.1}%  {}\n",
+            "  {:width$}  {:>9.3} ms -> {:>9.3} ms  {:>+8.1}%{}  {}\n",
             d.id,
             d.baseline_ns as f64 / 1e6,
             d.current_ns as f64 / 1e6,
             d.delta_pct,
+            tail,
             verdict,
         ));
     }
@@ -377,6 +470,7 @@ mod tests {
             median_ns,
             min_ns: median_ns,
             max_ns: median_ns,
+            p99_ns: None,
         }
     }
 
@@ -403,14 +497,17 @@ mod tests {
             BaselineEntry {
                 id: "g/fast".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
             BaselineEntry {
                 id: "g/slow".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
             BaselineEntry {
                 id: "g/gone".into(),
                 median_ns: 5,
+                p99_ns: None,
             },
         ];
         let current = vec![
@@ -431,31 +528,106 @@ mod tests {
     }
 
     #[test]
-    fn missing_baseline_entries_warn_but_never_fail() {
-        // A baseline that is a strict superset of the run: every extra
-        // entry is a warning, zero regressions, so the gate stays green.
+    fn missing_entries_warn_but_stale_groups_fail() {
+        // A baseline that is a strict superset of the run. A missing
+        // entry inside a group the run still produces (`g/removed`) is a
+        // warning and never a regression; a baseline entry whose whole
+        // group vanished from the run (`old_group/gone`) names a stale
+        // group, which the bench binary fails on.
         let baseline = vec![
             BaselineEntry {
                 id: "g/kept".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
             BaselineEntry {
                 id: "g/removed".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
             BaselineEntry {
                 id: "old_group/gone".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
         ];
         let current = vec![result("g", "kept", 1_100_000)];
         let cmp = compare(&baseline, &current);
         assert_eq!(cmp.missing.len(), 2);
-        assert!(cmp.regressions(100.0).is_empty(), "missing must not fail");
+        assert!(
+            cmp.regressions(100.0).is_empty(),
+            "missing is not a regression"
+        );
+        assert_eq!(cmp.stale_groups(), vec!["old_group".to_string()]);
         let warnings = cmp.warnings();
         assert_eq!(warnings.len(), 2);
         assert!(warnings[0].contains("warning") && warnings[0].contains("g/removed"));
         assert!(render(&cmp, 100.0).contains("warning: in baseline, not in this run"));
+    }
+
+    #[test]
+    fn a_new_benchmark_keeps_its_group_fresh() {
+        // The baseline gates `loadgen/old`, the run produced only
+        // `loadgen/new`: the group is still present in the run, so the
+        // entry is a plain warning, not a stale group.
+        let baseline = vec![BaselineEntry {
+            id: "loadgen/old".into(),
+            median_ns: 1_000_000,
+            p99_ns: None,
+        }];
+        let current = vec![result("loadgen", "new", 10_000)];
+        let cmp = compare(&baseline, &current);
+        assert_eq!(cmp.missing, vec!["loadgen/old".to_string()]);
+        assert!(cmp.stale_groups().is_empty());
+    }
+
+    #[test]
+    fn p99_regression_fails_even_when_the_median_holds() {
+        let baseline = vec![
+            BaselineEntry {
+                id: "loadgen/full/mix/wc".into(),
+                median_ns: 1_000_000,
+                p99_ns: Some(10_000_000),
+            },
+            BaselineEntry {
+                id: "loadgen/full/mix/svd".into(),
+                median_ns: 1_000_000,
+                p99_ns: Some(10_000_000),
+            },
+        ];
+        let steady = TimingResult {
+            p99_ns: Some(12_000_000), // +20% tail, same median
+            ..result("loadgen", "full/mix/wc", 1_000_000)
+        };
+        let blown = TimingResult {
+            p99_ns: Some(30_000_000), // +200% tail, same median
+            ..result("loadgen", "full/mix/svd", 1_000_000)
+        };
+        let cmp = compare(&baseline, &[steady, blown]);
+        assert_eq!(cmp.deltas.len(), 2);
+        assert!(!cmp.deltas[0].regressed(100.0));
+        assert!(cmp.deltas[1].regressed(100.0), "tail blow-out must gate");
+        assert!((cmp.deltas[1].delta_pct).abs() < 1e-9, "median held");
+        let report = render(&cmp, 100.0);
+        assert!(report.contains("p99"), "{report}");
+        assert!(report.contains("REGRESSION"), "{report}");
+    }
+
+    #[test]
+    fn results_roundtrip_through_parse_results() {
+        let rows = vec![
+            TimingResult {
+                p99_ns: Some(9_000_000),
+                ..result("loadgen", "smoke/wc-inproc/wc", 1_500_000)
+            },
+            result("engines", "single_request/wc/DataFlower", 2_000_000),
+        ];
+        let text: String = rows
+            .iter()
+            .map(|r| format!("{}\n", r.to_json_line()))
+            .collect();
+        let parsed = parse_results(&text).unwrap();
+        assert_eq!(parsed, rows);
     }
 
     #[test]
@@ -467,6 +639,7 @@ mod tests {
         let baseline = vec![BaselineEntry {
             id: "g/kept".into(),
             median_ns: 1_000_000,
+            p99_ns: None,
         }];
         let current = vec![
             result("g", "kept", 1_100_000),
@@ -510,14 +683,17 @@ mod tests {
             BaselineEntry {
                 id: "a/x".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
             BaselineEntry {
                 id: "a/y".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
             BaselineEntry {
                 id: "b/gone".into(),
                 median_ns: 1_000_000,
+                p99_ns: None,
             },
         ];
         let current = vec![

@@ -26,6 +26,12 @@ pub struct TimingResult {
     pub min_ns: u128,
     /// Slowest iteration in nanoseconds.
     pub max_ns: u128,
+    /// 99th-percentile latency in nanoseconds, when the benchmark
+    /// measures a latency distribution rather than repeated wall-clock
+    /// iterations. `None` for the median-of-K micro-benchmarks (3–9
+    /// iterations cannot support a p99); `Some` for the open-loop
+    /// loadgen rows, whose tail the regression gate compares.
+    pub p99_ns: Option<u128>,
 }
 
 impl TimingResult {
@@ -42,8 +48,12 @@ impl TimingResult {
     /// assert!(!line.contains('\n'));
     /// ```
     pub fn to_json_line(&self) -> String {
+        let p99 = self
+            .p99_ns
+            .map(|p| format!(",\"p99_ns\":{p}"))
+            .unwrap_or_default();
         format!(
-            "{{\"group\":\"{}\",\"name\":\"{}\",\"runs\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"median_ms\":{:.6}}}",
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"runs\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}{p99},\"median_ms\":{:.6}}}",
             escape(&self.group),
             escape(&self.name),
             self.runs,
@@ -93,6 +103,7 @@ pub fn time<T>(group: &str, name: &str, runs: usize, mut f: impl FnMut() -> T) -
         median_ns: samples[runs / 2],
         min_ns: samples[0],
         max_ns: samples[runs - 1],
+        p99_ns: None,
     }
 }
 
@@ -118,11 +129,18 @@ mod tests {
             median_ns: 1_500_000,
             min_ns: 1_000_000,
             max_ns: 2_000_000,
+            p99_ns: None,
         };
         let line = r.to_json_line();
         assert!(line.contains("\"median_ns\":1500000"));
         assert!(line.contains("\\\"quoted\\\""));
         assert!(line.contains("\"median_ms\":1.5"));
+        assert!(!line.contains("p99_ns"));
+        let with_tail = TimingResult {
+            p99_ns: Some(9_000_000),
+            ..r
+        };
+        assert!(with_tail.to_json_line().contains("\"p99_ns\":9000000"));
     }
 
     #[test]

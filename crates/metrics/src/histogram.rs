@@ -1,0 +1,384 @@
+//! Fixed-memory latency histograms and windowed quantile timelines.
+//!
+//! The load harness completes requests by the million; keeping every
+//! sample alive per time window would make the measurement cost scale
+//! with the load. [`Histogram`] is the constant-size alternative: a
+//! log-bucketed counter array with ~4 % relative resolution, so a
+//! million `record` calls cost a million increments and the p50/p99/p999
+//! queries walk a few hundred buckets. [`QuantileTimeline`] stacks one
+//! histogram per time window and flushes each closed window's quantiles
+//! into a [`Timeline`] — the p99-over-time series of the loadgen
+//! reports.
+
+use crate::timeline::Timeline;
+
+/// Smallest representable value (1 µs when recording seconds); anything
+/// at or below lands in the underflow bucket.
+const MIN_VALUE: f64 = 1e-6;
+/// Largest representable value (10⁴ s); anything above saturates into
+/// the last bucket.
+const MAX_VALUE: f64 = 1e4;
+/// Per-bucket geometric growth: ~4 % relative quantile error.
+const GROWTH: f64 = 1.04;
+
+/// A log-bucketed histogram of positive scalar samples (latencies in
+/// seconds, sizes in bytes…): constant memory, ~4 % relative resolution
+/// across `1e-6..=1e4`, exact count/sum.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64 / 1000.0); // 1 ms .. 1 s
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p99 = h.quantile(0.99);
+/// assert!((p99 - 0.99).abs() / 0.99 < 0.05, "p99={p99}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Number of log buckets covering `MIN_VALUE..MAX_VALUE` at `GROWTH`.
+fn bucket_count() -> usize {
+    ((MAX_VALUE / MIN_VALUE).ln() / GROWTH.ln()).ceil() as usize + 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; bucket_count()],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index of `v` (clamped into range).
+    fn index(v: f64) -> usize {
+        if v <= MIN_VALUE {
+            return 0;
+        }
+        let i = ((v / MIN_VALUE).ln() / GROWTH.ln()).floor() as usize;
+        i.min(bucket_count() - 1)
+    }
+
+    /// Lower bound of bucket `i`.
+    fn lower_bound(i: usize) -> f64 {
+        MIN_VALUE * GROWTH.powi(i as i32)
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative samples — both would poison the
+    /// quantiles silently.
+    pub fn record(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN sample");
+        assert!(v >= 0.0, "negative sample: {v}");
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean (the sum is tracked outside the buckets);
+    /// zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest recorded sample; zero when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample; zero when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile to the histogram's ~4 % bucket resolution
+    /// (geometric midpoint of the bucket holding the rank, clamped to
+    /// the exact observed min/max). Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= q <= 1`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // The extremes are tracked exactly outside the buckets.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // Nearest-rank over the cumulative bucket counts.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = Self::lower_bound(i) * GROWTH.sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Convenience: 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Adds `other`'s samples into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Windowed quantile recorder: samples land in a per-window
+/// [`Histogram`], and every closed window flushes its quantiles (and a
+/// completion rate) into a [`Timeline`] — one step series per quantile.
+///
+/// Samples must arrive in non-decreasing time order per window (later
+/// windows may not reopen earlier ones); the loadgen driver records
+/// completions with a monotonic clock, which satisfies this naturally.
+///
+/// # Examples
+///
+/// ```
+/// use dataflower_metrics::QuantileTimeline;
+///
+/// let mut qt = QuantileTimeline::new(1.0); // 1 s windows
+/// qt.record(0.2, 0.010);
+/// qt.record(0.9, 0.030);
+/// qt.record(1.5, 0.200); // rolls the first window over
+/// let t = qt.finish(2.0);
+/// let p99 = t.value_at("p99", 0.5);
+/// assert!((p99 - 0.030).abs() / 0.030 < 0.05); // ~4 % bucket resolution
+/// assert_eq!(t.value_at("rate", 0.5), 2.0); // 2 completions in 1 s
+/// assert!((t.value_at("p50", 1.5) - 0.200).abs() / 0.200 < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantileTimeline {
+    window_secs: f64,
+    window_start: f64,
+    window: Histogram,
+    timeline: Timeline,
+}
+
+/// The quantile series every flushed window records.
+const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)];
+
+impl QuantileTimeline {
+    /// A recorder with `window_secs`-wide windows starting at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window_secs` is positive and finite.
+    pub fn new(window_secs: f64) -> QuantileTimeline {
+        assert!(
+            window_secs.is_finite() && window_secs > 0.0,
+            "window must be positive"
+        );
+        QuantileTimeline {
+            window_secs,
+            window_start: 0.0,
+            window: Histogram::new(),
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Records one sample (`value`, e.g. a latency in seconds) observed
+    /// at `at_secs` since the run started. Closes and flushes any
+    /// windows that ended before `at_secs` first. Samples before the
+    /// current window are clamped into it.
+    pub fn record(&mut self, at_secs: f64, value: f64) {
+        while at_secs >= self.window_start + self.window_secs {
+            self.flush_window();
+        }
+        self.window.record(value);
+    }
+
+    /// Flushes the current window into the timeline and opens the next.
+    fn flush_window(&mut self) {
+        if !self.window.is_empty() {
+            for (key, q) in QUANTILES {
+                self.timeline
+                    .record(key, self.window_start, self.window.quantile(q));
+            }
+            self.timeline.record(
+                "rate",
+                self.window_start,
+                self.window.count() as f64 / self.window_secs,
+            );
+        }
+        self.window_start += self.window_secs;
+        self.window = Histogram::new();
+    }
+
+    /// Closes every window up to `end_secs` and returns the quantile
+    /// timeline (`p50`/`p99`/`p999` series in the sample's unit, `rate`
+    /// in samples/s).
+    pub fn finish(mut self, end_secs: f64) -> Timeline {
+        while self.window_start < end_secs || !self.window.is_empty() {
+            self.flush_window();
+        }
+        self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64 * 1e-4); // 0.1 ms .. 1 s uniform
+        }
+        for (q, exact) in [(0.5, 0.5), (0.99, 0.99), (0.999, 0.999)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - exact).abs() / exact < 0.05,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!((h.mean() - 0.50005).abs() < 1e-9);
+        assert_eq!(h.min(), 1e-4);
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_into_end_buckets() {
+        let mut h = Histogram::new();
+        h.record(0.0); // underflow bucket
+        h.record(1e9); // saturates
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 0.0); // clamped to exact min
+        assert_eq!(h.quantile(1.0), 1e9); // clamped to exact max
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        a.record(0.001);
+        let mut b = Histogram::new();
+        b.record(0.1);
+        b.record(0.2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0.001);
+        assert_eq!(a.max(), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    /// Asserts `got` is within the histogram's bucket resolution of `want`.
+    fn close(got: f64, want: f64) {
+        assert!((got - want).abs() / want < 0.05, "got {got}, want ~{want}");
+    }
+
+    #[test]
+    fn quantile_timeline_flushes_windows_in_order() {
+        let mut qt = QuantileTimeline::new(0.5);
+        qt.record(0.1, 0.010);
+        qt.record(0.2, 0.020);
+        qt.record(0.7, 0.100);
+        // A gap: windows [1.0,1.5) and [1.5,2.0) stay empty.
+        qt.record(2.1, 0.050);
+        let t = qt.finish(2.5);
+        close(t.value_at("p99", 0.1), 0.020);
+        assert_eq!(t.value_at("rate", 0.1), 4.0);
+        close(t.value_at("p50", 0.7), 0.100);
+        // Empty windows record nothing: the step holds the last value.
+        close(t.value_at("p50", 1.2), 0.100);
+        close(t.value_at("p50", 2.2), 0.050);
+    }
+
+    #[test]
+    fn quantile_timeline_finish_flushes_trailing_window() {
+        let mut qt = QuantileTimeline::new(1.0);
+        qt.record(0.5, 1.0);
+        let t = qt.finish(0.75); // end before the window closes
+        close(t.value_at("p50", 0.5), 1.0);
+    }
+}

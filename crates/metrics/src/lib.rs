@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod histogram;
 mod integrate;
 mod stats;
 mod table;
 mod timeline;
 
+pub use histogram::{Histogram, QuantileTimeline};
 pub use integrate::StepIntegral;
 pub use stats::{Samples, StatSummary};
 pub use table::{fmt_f, Table};

@@ -133,6 +133,13 @@ impl Samples {
         self.percentile(0.99)
     }
 
+    /// Convenience: 99.9th percentile (the load harness's extreme-tail
+    /// metric — at 10⁶ samples this is still the exact order statistic
+    /// over the top thousand).
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+
     /// Empirical CDF as `(value, cumulative_fraction)` points, one per
     /// sample, suitable for plotting (Fig. 15).
     pub fn cdf(&self) -> Vec<(f64, f64)> {

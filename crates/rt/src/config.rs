@@ -28,6 +28,7 @@
 
 use std::time::Duration;
 
+use crate::admission::AdmissionConfig;
 use crate::autoscale::AutoscaleConfig;
 use crate::fabric::LinkConfig;
 use crate::fault::FaultPlan;
@@ -129,6 +130,14 @@ impl ClusterConfig {
     /// FLU pool to finish in-flight work before respawning anyway.
     pub fn migration_drain_timeout(mut self, timeout: Duration) -> ClusterConfig {
         self.inner.migration_drain_timeout = timeout;
+        self
+    }
+
+    /// Per-tenant admission caps enforced by
+    /// [`ClusterRuntime::try_invoke`](crate::ClusterRuntime::try_invoke)
+    /// (zero caps admit everything).
+    pub fn admission(mut self, admission: AdmissionConfig) -> ClusterConfig {
+        self.inner.admission = admission;
         self
     }
 

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod autoscale;
 mod bytes;
 pub mod channel;
@@ -73,6 +74,7 @@ pub mod sink;
 pub mod transport;
 pub mod wire;
 
+pub use admission::{AdmissionConfig, AdmissionGate, Rejected, TenantStats};
 pub use autoscale::{AutoscaleConfig, ScaleDirection, ScaleEvent, ScalePolicy};
 pub use bytes::Bytes;
 pub use config::ClusterConfig;

@@ -46,6 +46,7 @@ use dataflower::{choose_pipe, pressure_secs, CheckpointSchedule, PipeKind};
 use dataflower_metrics::Timeline;
 use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow};
 
+use crate::admission::{AdmissionConfig, AdmissionGate, Rejected, TenantStats};
 use crate::autoscale::{AutoscaleConfig, FnScale, ScaleDirection, ScaleEvent, ScalePolicy};
 use crate::bytes::Bytes;
 use crate::channel::{bounded, unbounded, Receiver, Sender};
@@ -60,6 +61,15 @@ use crate::orchestrator;
 /// [`Runtime::invoke`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId(pub(crate) u64);
+
+impl ReqId {
+    /// The raw request number — stable for the life of the request;
+    /// what an external [`AdmissionGate`](crate::AdmissionGate) binds
+    /// admission slots to.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
 
 impl fmt::Display for ReqId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -169,6 +179,11 @@ pub struct ClusterRtConfig {
     /// in-flight work before re-spawning the pool on the new node
     /// anyway.
     pub migration_drain_timeout: Duration,
+    /// Per-tenant admission caps enforced by
+    /// [`ClusterRuntime::try_invoke`] (the all-zero default admits
+    /// everything; plain [`ClusterRuntime::invoke`] always bypasses the
+    /// gate).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ClusterRtConfig {
@@ -190,6 +205,7 @@ impl Default for ClusterRtConfig {
             heartbeat_interval: Duration::from_millis(20),
             heartbeat_miss_threshold: 3,
             migration_drain_timeout: Duration::from_secs(1),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -268,6 +284,11 @@ pub struct RtStats {
     /// function and were forwarded to its current host (mid-relocation
     /// healing).
     pub forwarded_frames: u64,
+    /// Requests admitted through the ingress gate
+    /// ([`ClusterRuntime::try_invoke`]).
+    pub admitted_requests: u64,
+    /// Arrivals rejected at the ingress gate.
+    pub rejected_requests: u64,
 }
 
 impl RtStats {
@@ -310,6 +331,8 @@ impl RtStats {
             self.relocated_functions,
             self.live_migrations,
             self.forwarded_frames,
+            self.admitted_requests,
+            self.rejected_requests,
         ]
     }
 
@@ -348,12 +371,15 @@ impl RtStats {
             relocated_functions: at(27),
             live_migrations: at(28),
             forwarded_frames: at(29),
+            admitted_requests: at(30),
+            rejected_requests: at(31),
         }
     }
 
     /// Adds `other`'s counters field-wise — how the coordinator
-    /// aggregates per-worker stats into one cluster view.
-    pub(crate) fn merge(&mut self, other: &RtStats) {
+    /// aggregates per-worker stats into one cluster view, and how the
+    /// load harness folds its per-benchmark clusters into one report.
+    pub fn merge(&mut self, other: &RtStats) {
         let mine = self.to_vec();
         let theirs = other.to_vec();
         let summed: Vec<u64> = mine
@@ -443,6 +469,8 @@ pub(crate) struct Counters {
     pub(crate) relocated_fns: AtomicU64,
     pub(crate) live_migrations: AtomicU64,
     pub(crate) forwarded_frames: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
 }
 
 impl Counters {
@@ -481,6 +509,8 @@ impl Counters {
             relocated_functions: self.relocated_fns.load(Ordering::Relaxed),
             live_migrations: self.live_migrations.load(Ordering::Relaxed),
             forwarded_frames: self.forwarded_frames.load(Ordering::Relaxed),
+            admitted_requests: self.admitted.load(Ordering::Relaxed),
+            rejected_requests: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -523,6 +553,10 @@ pub(crate) struct Inner {
     done: Condvar,
     pub(crate) nodes: Vec<Arc<NodeState>>,
     pub(crate) counters: Counters,
+    /// Ingress admission gate (caps from `cfg.admission`); only
+    /// [`ClusterRuntime::try_invoke`] consults it, so ungated traffic
+    /// pays nothing beyond a release-side map miss.
+    pub(crate) gate: AdmissionGate,
     pub(crate) shutdown: Arc<AtomicBool>,
     /// Pairs with `shutdown`: janitors and autoscalers sleep on this
     /// condvar so teardown does not have to wait out their polling tick.
@@ -798,6 +832,7 @@ impl ClusterRuntimeBuilder {
             done: Condvar::new(),
             nodes: node_states,
             counters: Counters::default(),
+            gate: AdmissionGate::new(self.cfg.admission),
             shutdown: Arc::new(AtomicBool::new(false)),
             shutdown_mx: Mutex::new(()),
             shutdown_cv: Condvar::new(),
@@ -958,6 +993,7 @@ impl ClusterRuntimeBuilder {
             done: Condvar::new(),
             nodes: node_states,
             counters: Counters::default(),
+            gate: AdmissionGate::new(self.cfg.admission),
             shutdown: Arc::new(AtomicBool::new(false)),
             shutdown_mx: Mutex::new(()),
             shutdown_cv: Condvar::new(),
@@ -1339,6 +1375,38 @@ impl ClusterRuntime {
         req
     }
 
+    /// Invokes the workflow on behalf of `tenant`, subject to the
+    /// configured admission caps ([`ClusterRtConfig::admission`]). The
+    /// in-flight slot is released when the request completes via
+    /// [`ClusterRuntime::wait`] or is abandoned via
+    /// [`ClusterRuntime::forget`].
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] when the tenant (or the whole gate) is at its
+    /// in-flight cap; nothing enters the data plane in that case.
+    pub fn try_invoke(
+        &self,
+        tenant: &str,
+        inputs: Vec<(String, Bytes)>,
+    ) -> Result<ReqId, Rejected> {
+        if let Err(r) = self.inner.gate.try_admit(tenant) {
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(r);
+        }
+        self.inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        let req = self.invoke(inputs);
+        self.inner.gate.bind(req.0, tenant);
+        Ok(req)
+    }
+
+    /// Per-tenant admission counters (admitted/rejected/completed/
+    /// failed/in-flight), sorted by tenant name. Empty when no
+    /// [`ClusterRuntime::try_invoke`] traffic arrived.
+    pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        self.inner.gate.tenant_stats()
+    }
+
     /// Blocks until every client output of `req` arrived, or `timeout`.
     ///
     /// A successful wait releases everything the runtime tracked for the
@@ -1367,6 +1435,7 @@ impl ClusterRuntime {
                 // Drop the request's per-node sink state (leftover
                 // entries of switched-off branches, reassembly buffers).
                 self.purge_nodes(req);
+                self.inner.gate.finish(req.0, true);
                 return Ok(rs.outputs);
             }
             // Re-check the deadline on every wakeup (spurious or not)
@@ -1398,6 +1467,7 @@ impl ClusterRuntime {
             .expect("runtime lock poisoned")
             .remove(&req.0);
         self.purge_nodes(req);
+        self.inner.gate.finish(req.0, false);
     }
 
     fn purge_nodes(&self, req: ReqId) {

@@ -144,70 +144,83 @@ impl Scenario {
     /// # Examples
     ///
     /// ```no_run
-    /// use dataflower_workloads::{Benchmark, ChaosClusterConfig, Scenario};
+    /// use dataflower_workloads::{Benchmark, FaultMode, WorkloadSpec};
     ///
-    /// let report = Scenario::chaos_cluster(Benchmark::Wc, &ChaosClusterConfig::default());
+    /// let report = WorkloadSpec::new()
+    ///     .benchmark(Benchmark::Wc)
+    ///     .faults(FaultMode::ChaosCrashRestart)
+    ///     .run();
     /// assert!(report.stats.recovered_transfers > 0);
     /// assert!(report.stats.resumed_from_mark_bytes > 0);
     /// ```
+    #[deprecated(note = "compose a `WorkloadSpec` with \
+                 `.faults(FaultMode::ChaosCrashRestart)` instead")]
     pub fn chaos_cluster(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
-        assert!(cfg.nodes >= 2, "chaos_cluster needs a node to crash");
-        let wf = bench.workflow();
-        let placement = ByLevel.initial(&wf, cfg.nodes);
-        let mut rt_cfg = cfg.rt.clone();
-        rt_cfg.faults.seed = cfg.seed;
-        let rt = live_runtime(bench, Arc::clone(&wf), placement, rt_cfg);
+        run_chaos_cluster(bench, cfg)
+    }
+}
 
-        // Node 1 hosts the first post-entry level under the by-level
-        // spread: in all four benchmarks that is the node receiving the
-        // large fan-out intermediates over the streaming remote pipe, so
-        // a crash there always damages checkpoint-marked streams. (Other
-        // nodes may only receive sub-threshold direct-socket frames —
-        // e.g. wordcount's merge node — where there is no mark to resume
-        // from and nothing for this scenario to prove.)
-        let victim = 1;
+/// The crash-and-restart chaos runner — the body behind
+/// [`WorkloadSpec`](crate::WorkloadSpec) with
+/// [`FaultMode::ChaosCrashRestart`](crate::FaultMode::ChaosCrashRestart)
+/// and the deprecated [`Scenario::chaos_cluster`] shim.
+pub(crate) fn run_chaos_cluster(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
+    assert!(cfg.nodes >= 2, "chaos_cluster needs a node to crash");
+    let wf = bench.workflow();
+    let placement = ByLevel.initial(&wf, cfg.nodes);
+    let mut rt_cfg = cfg.rt.clone();
+    rt_cfg.faults.seed = cfg.seed;
+    let rt = live_runtime(bench, Arc::clone(&wf), placement, rt_cfg);
 
-        let mut crash = None;
-        let run = run_verified(
-            "chaos",
-            bench,
-            cfg.requests,
-            cfg.payload_bytes,
-            cfg.timeout,
-            |name, payload| rt.invoke(vec![(name, payload)]),
-            || {
-                crash = Some(hunt_crash(&rt, victim, cfg.crash_deadline));
-                std::thread::sleep(cfg.outage); // frames inbound to the victim die here
-                rt.restart_node(victim);
-            },
-            |req, timeout| rt.wait(req, timeout),
-        );
-        let crash = crash.expect("the crash hunt ran");
-        let stats = rt.stats();
-        assert!(
-            stats.recovered_transfers > 0,
-            "chaos {bench}: the restart replayed no transfers"
-        );
-        assert!(
-            stats.resumed_from_mark_bytes > 0,
-            "chaos {bench}: recovery resumed from byte 0 instead of a checkpoint mark"
-        );
-        assert!(
-            stats.frames_lost_to_crashes > 0,
-            "chaos {bench}: the outage lost no frames"
-        );
-        let nodes = rt.node_count();
-        rt.shutdown();
-        ChaosClusterReport {
-            benchmark: bench.name(),
-            nodes,
-            requests: run.requests,
-            elapsed: run.elapsed,
-            output_bytes: run.output_bytes,
-            victim,
-            crash,
-            stats,
-        }
+    // Node 1 hosts the first post-entry level under the by-level
+    // spread: in all four benchmarks that is the node receiving the
+    // large fan-out intermediates over the streaming remote pipe, so
+    // a crash there always damages checkpoint-marked streams. (Other
+    // nodes may only receive sub-threshold direct-socket frames —
+    // e.g. wordcount's merge node — where there is no mark to resume
+    // from and nothing for this scenario to prove.)
+    let victim = 1;
+
+    let mut crash = None;
+    let run = run_verified(
+        "chaos",
+        bench,
+        cfg.requests,
+        cfg.payload_bytes,
+        cfg.timeout,
+        |name, payload| rt.invoke(vec![(name, payload)]),
+        || {
+            crash = Some(hunt_crash(&rt, victim, cfg.crash_deadline));
+            std::thread::sleep(cfg.outage); // frames inbound to the victim die here
+            rt.restart_node(victim);
+        },
+        |req, timeout| rt.wait(req, timeout),
+    );
+    let crash = crash.expect("the crash hunt ran");
+    let stats = rt.stats();
+    assert!(
+        stats.recovered_transfers > 0,
+        "chaos {bench}: the restart replayed no transfers"
+    );
+    assert!(
+        stats.resumed_from_mark_bytes > 0,
+        "chaos {bench}: recovery resumed from byte 0 instead of a checkpoint mark"
+    );
+    assert!(
+        stats.frames_lost_to_crashes > 0,
+        "chaos {bench}: the outage lost no frames"
+    );
+    let nodes = rt.node_count();
+    rt.shutdown();
+    ChaosClusterReport {
+        benchmark: bench.name(),
+        nodes,
+        requests: run.requests,
+        elapsed: run.elapsed,
+        output_bytes: run.output_bytes,
+        victim,
+        crash,
+        stats,
     }
 }
 
@@ -246,7 +259,7 @@ mod tests {
                 requests: 1,
                 ..ChaosClusterConfig::default()
             };
-            let report = Scenario::chaos_cluster(bench, &cfg);
+            let report = run_chaos_cluster(bench, &cfg);
             assert_eq!(report.requests, 1);
             assert!(report.output_bytes > 0, "{bench}: empty output");
             assert!(report.crash.inflight_transfers > 0);
@@ -266,7 +279,7 @@ mod tests {
                 requests: 1,
                 ..ChaosClusterConfig::default()
             };
-            let report = Scenario::chaos_cluster(Benchmark::Svd, &cfg);
+            let report = run_chaos_cluster(Benchmark::Svd, &cfg);
             assert_eq!(report.victim, 1);
             assert!(report.stats.recovered_transfers > 0);
         }

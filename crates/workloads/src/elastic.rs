@@ -29,7 +29,7 @@ use crate::live::live_runtime;
 /// DLUs up instead of hiding in channel buffers), and an aggressive
 /// autoscaler (1–3 replicas, 2 ms pressure threshold, a conservative
 /// 2 MiB/s drain-bandwidth estimate, 30 ms cool-down, 1 ms sampling).
-fn elastic_rt_config() -> ClusterRtConfig {
+pub(crate) fn elastic_rt_config() -> ClusterRtConfig {
     ClusterRtConfig {
         rt: RtConfig {
             dlu_queue_capacity: 8,
@@ -172,6 +172,128 @@ impl ElasticReport {
     }
 }
 
+/// The warmed-up burst runner — the body behind
+/// [`WorkloadSpec`](crate::WorkloadSpec) with a non-zero warm-up and the
+/// deprecated [`Scenario::bursty_cluster`] shim.
+pub(crate) fn run_bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) -> ElasticReport {
+    let wf = bench.workflow();
+    let placement = ByLevel.initial(&wf, cfg.nodes);
+    let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
+    let (input_name, input) = live_input(bench, cfg.payload_bytes);
+    let expected = reference_output(bench, &input);
+    let input = Bytes::from(input);
+
+    let t0 = Instant::now();
+    let mut output_bytes = 0;
+    // Warm-up trickle: sequential, so the pools stay at minimum.
+    for _ in 0..cfg.base_requests {
+        output_bytes += validate_one(
+            &rt,
+            rt.invoke(vec![(input_name.to_owned(), input.clone())]),
+            cfg.timeout,
+            &expected,
+            "bursty_cluster warm-up",
+        );
+    }
+    // The burst: everything at once.
+    let reqs: Vec<_> = (0..cfg.burst_requests.max(1))
+        .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
+        .collect();
+    let requests = cfg.base_requests + reqs.len();
+    for req in reqs {
+        output_bytes += validate_one(&rt, req, cfg.timeout, &expected, "bursty_cluster burst");
+    }
+    let elapsed = t0.elapsed();
+
+    // Drained: hold the runtime open until the cool-down-guarded
+    // scale-in fires (or the settle window closes).
+    let settle_deadline = Instant::now() + cfg.settle;
+    while rt.stats().scale_in_events == 0 && Instant::now() < settle_deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    finish_report(
+        rt,
+        format!("bursty_cluster/{}", bench.name()),
+        cfg.nodes,
+        requests,
+        elapsed,
+        output_bytes,
+    )
+}
+
+/// The Zipf-skewed fan-out runner — the body behind
+/// [`WorkloadSpec::skewed_fanout`](crate::WorkloadSpec::skewed_fanout)
+/// and the deprecated [`Scenario::skewed_fanout`] shim.
+pub(crate) fn run_skewed_fanout(cfg: &SkewedFanoutConfig) -> ElasticReport {
+    assert!(cfg.branches > 0, "skewed fan-out needs at least one branch");
+    let shares = zipf_shares(cfg.branches, cfg.zipf_exponent);
+    let wf = skewed_workflow(&shares);
+    let placement = LoadAware::idle().initial(&wf, cfg.nodes);
+
+    let mut builder = ClusterRuntimeBuilder::new(Arc::clone(&wf))
+        .placement(placement)
+        .config(cfg.rt.clone());
+    let split_shares = shares.clone();
+    builder = builder.register("skew_split", move |ctx| {
+        let blob = ctx.input("blob").expect("client blob").clone();
+        for (i, (lo, hi)) in zipf_spans(blob.len(), &split_shares)
+            .into_iter()
+            .enumerate()
+        {
+            ctx.put_to(
+                "shard",
+                format!("skew_work_{i}"),
+                Bytes::copy_from_slice(&blob[lo..hi]),
+            );
+        }
+    });
+    for i in 0..cfg.branches {
+        builder = builder.register(format!("skew_work_{i}"), move |ctx| {
+            let shard = ctx.input("shard").expect("shard");
+            ctx.put("piece", Bytes::from(skew_transform(shard, i)));
+        });
+    }
+    let rt = builder
+        .register("skew_merge", |ctx| {
+            let joined: Vec<u8> = branch_ordered(ctx, "piece")
+                .into_iter()
+                .flat_map(|b| b.iter().copied())
+                .collect();
+            ctx.put("joined", Bytes::from(joined));
+        })
+        .start()
+        .expect("skewed fan-out bodies cover the DAG");
+
+    let input = noise(cfg.payload_bytes, 0x5ca1_ab1e);
+    let expected: Vec<u8> = zipf_spans(input.len(), &shares)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, (lo, hi))| skew_transform(&input[lo..hi], i))
+        .collect();
+    let input = Bytes::from(input);
+
+    let t0 = Instant::now();
+    let reqs: Vec<_> = (0..cfg.requests.max(1))
+        .map(|_| rt.invoke(vec![("blob".to_owned(), input.clone())]))
+        .collect();
+    let requests = reqs.len();
+    let mut output_bytes = 0;
+    for req in reqs {
+        output_bytes += validate_one(&rt, req, cfg.timeout, &expected, "skewed_fanout");
+    }
+    let elapsed = t0.elapsed();
+
+    finish_report(
+        rt,
+        format!("skewed_fanout/{}branches", cfg.branches),
+        cfg.nodes,
+        requests,
+        elapsed,
+        output_bytes,
+    )
+}
+
 impl Scenario {
     /// Drives an open-loop **burst** through `bench` on a live,
     /// autoscaled cluster: a short warm-up trickle, then
@@ -189,56 +311,19 @@ impl Scenario {
     /// # Examples
     ///
     /// ```no_run
-    /// use dataflower_workloads::{Benchmark, BurstyClusterConfig, Scenario};
+    /// use dataflower_workloads::{Benchmark, WorkloadSpec};
     ///
-    /// let report = Scenario::bursty_cluster(Benchmark::Wc, &BurstyClusterConfig::default());
-    /// assert!(report.scale_outs() >= 1);
+    /// let report = WorkloadSpec::new()
+    ///     .benchmark(Benchmark::Wc)
+    ///     .warmup(2)
+    ///     .requests(12)
+    ///     .payload_bytes(192 * 1024)
+    ///     .run();
+    /// assert!(report.stats.scale_out_events >= 1);
     /// ```
+    #[deprecated(note = "compose a `WorkloadSpec` with `.warmup(n).requests(burst)` instead")]
     pub fn bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) -> ElasticReport {
-        let wf = bench.workflow();
-        let placement = ByLevel.initial(&wf, cfg.nodes);
-        let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
-        let (input_name, input) = live_input(bench, cfg.payload_bytes);
-        let expected = reference_output(bench, &input);
-        let input = Bytes::from(input);
-
-        let t0 = Instant::now();
-        let mut output_bytes = 0;
-        // Warm-up trickle: sequential, so the pools stay at minimum.
-        for _ in 0..cfg.base_requests {
-            output_bytes += validate_one(
-                &rt,
-                rt.invoke(vec![(input_name.to_owned(), input.clone())]),
-                cfg.timeout,
-                &expected,
-                "bursty_cluster warm-up",
-            );
-        }
-        // The burst: everything at once.
-        let reqs: Vec<_> = (0..cfg.burst_requests.max(1))
-            .map(|_| rt.invoke(vec![(input_name.to_owned(), input.clone())]))
-            .collect();
-        let requests = cfg.base_requests + reqs.len();
-        for req in reqs {
-            output_bytes += validate_one(&rt, req, cfg.timeout, &expected, "bursty_cluster burst");
-        }
-        let elapsed = t0.elapsed();
-
-        // Drained: hold the runtime open until the cool-down-guarded
-        // scale-in fires (or the settle window closes).
-        let settle_deadline = Instant::now() + cfg.settle;
-        while rt.stats().scale_in_events == 0 && Instant::now() < settle_deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
-
-        finish_report(
-            rt,
-            format!("bursty_cluster/{}", bench.name()),
-            cfg.nodes,
-            requests,
-            elapsed,
-            output_bytes,
-        )
+        run_bursty_cluster(bench, cfg)
     }
 
     /// Drives Zipf-skewed fan-outs through a live, autoscaled cluster: a
@@ -254,73 +339,9 @@ impl Scenario {
     ///
     /// Panics if a request misses its deadline or any output diverges
     /// from the reference computation.
+    #[deprecated(note = "compose a `WorkloadSpec` with `.skewed_fanout(branches, s)` instead")]
     pub fn skewed_fanout(cfg: &SkewedFanoutConfig) -> ElasticReport {
-        assert!(cfg.branches > 0, "skewed fan-out needs at least one branch");
-        let shares = zipf_shares(cfg.branches, cfg.zipf_exponent);
-        let wf = skewed_workflow(&shares);
-        let placement = LoadAware::idle().initial(&wf, cfg.nodes);
-
-        let mut builder = ClusterRuntimeBuilder::new(Arc::clone(&wf))
-            .placement(placement)
-            .config(cfg.rt.clone());
-        let split_shares = shares.clone();
-        builder = builder.register("skew_split", move |ctx| {
-            let blob = ctx.input("blob").expect("client blob").clone();
-            for (i, (lo, hi)) in zipf_spans(blob.len(), &split_shares)
-                .into_iter()
-                .enumerate()
-            {
-                ctx.put_to(
-                    "shard",
-                    format!("skew_work_{i}"),
-                    Bytes::copy_from_slice(&blob[lo..hi]),
-                );
-            }
-        });
-        for i in 0..cfg.branches {
-            builder = builder.register(format!("skew_work_{i}"), move |ctx| {
-                let shard = ctx.input("shard").expect("shard");
-                ctx.put("piece", Bytes::from(skew_transform(shard, i)));
-            });
-        }
-        let rt = builder
-            .register("skew_merge", |ctx| {
-                let joined: Vec<u8> = branch_ordered(ctx, "piece")
-                    .into_iter()
-                    .flat_map(|b| b.iter().copied())
-                    .collect();
-                ctx.put("joined", Bytes::from(joined));
-            })
-            .start()
-            .expect("skewed fan-out bodies cover the DAG");
-
-        let input = noise(cfg.payload_bytes, 0x5ca1_ab1e);
-        let expected: Vec<u8> = zipf_spans(input.len(), &shares)
-            .into_iter()
-            .enumerate()
-            .flat_map(|(i, (lo, hi))| skew_transform(&input[lo..hi], i))
-            .collect();
-        let input = Bytes::from(input);
-
-        let t0 = Instant::now();
-        let reqs: Vec<_> = (0..cfg.requests.max(1))
-            .map(|_| rt.invoke(vec![("blob".to_owned(), input.clone())]))
-            .collect();
-        let requests = reqs.len();
-        let mut output_bytes = 0;
-        for req in reqs {
-            output_bytes += validate_one(&rt, req, cfg.timeout, &expected, "skewed_fanout");
-        }
-        let elapsed = t0.elapsed();
-
-        finish_report(
-            rt,
-            format!("skewed_fanout/{}branches", cfg.branches),
-            cfg.nodes,
-            requests,
-            elapsed,
-            output_bytes,
-        )
+        run_skewed_fanout(cfg)
     }
 }
 
@@ -446,7 +467,7 @@ mod tests {
 
     #[test]
     fn bursty_cluster_scales_out_and_back_in_with_identical_bytes() {
-        let report = Scenario::bursty_cluster(Benchmark::Wc, &BurstyClusterConfig::default());
+        let report = run_bursty_cluster(Benchmark::Wc, &BurstyClusterConfig::default());
         assert_eq!(report.requests, 14);
         assert!(report.output_bytes > 0);
         assert!(
@@ -468,7 +489,7 @@ mod tests {
 
     #[test]
     fn skewed_fanout_reproduces_reference_bytes_across_nodes() {
-        let report = Scenario::skewed_fanout(&SkewedFanoutConfig::default());
+        let report = run_skewed_fanout(&SkewedFanoutConfig::default());
         assert_eq!(report.requests, 6);
         assert!(report.output_bytes > 0);
         assert!(
@@ -485,7 +506,7 @@ mod tests {
             payload_bytes: 32 * 1024,
             ..SkewedFanoutConfig::default()
         };
-        let report = Scenario::skewed_fanout(&cfg);
+        let report = run_skewed_fanout(&cfg);
         assert_eq!(report.requests, 1);
         assert_eq!(report.output_bytes, 32 * 1024);
     }

@@ -11,29 +11,27 @@
 //! * [`SystemKind`] — a uniform factory over every system under test
 //!   (DataFlower, its non-aware ablation, FaaSFlow, SONIC, the
 //!   centralized platform and the Fig. 19 state machine);
-//! * [`Scenario`] — open-loop, closed-loop, co-located and bursty
-//!   experiment runners matching the paper's load patterns, plus
-//!   [`Scenario::live_cluster`], which *executes* (rather than
-//!   simulates) the four benchmarks on a multi-node
-//!   [`ClusterRuntime`](dataflower_rt::ClusterRuntime) with real
-//!   threads, real bytes, and the paper's three-way pipe selection, and
-//!   the elastic-scaling scenarios [`Scenario::bursty_cluster`] /
-//!   [`Scenario::skewed_fanout`], which drive open-loop bursts and
-//!   Zipf-skewed fan-outs through the live runtime with the
-//!   pressure-aware autoscaler enabled, and the fault-tolerance
-//!   scenario [`Scenario::chaos_cluster`], which crashes a node
-//!   mid-flight under a seeded fault plan and asserts byte-identical
-//!   recovery from the §6.2 checkpoint marks, and its worker-process
-//!   twin [`Scenario::chaos_cluster_tcp`], which runs the same contract
-//!   with one OS process per node over real localhost TCP sockets and a
-//!   `kill -9` as the crash (see [`serve_worker_if_spawned`]), and the
-//!   orchestrator scenarios [`Scenario::node_loss_relocation`] (a node
-//!   dies **permanently** mid-run; heartbeat silence is detected, its
-//!   functions relocate to the least-pressured survivors, and the
-//!   outputs stay byte-identical — over both the in-process fabric and
-//!   the worker-process TCP transport) and [`Scenario::live_migration`]
-//!   (a hot function voluntarily moved mid-stream with zero output
-//!   divergence).
+//! * [`Scenario`] — the *simulated* open-loop, closed-loop, co-located
+//!   and bursty experiment runners matching the paper's load patterns;
+//! * [`WorkloadSpec`] — the composable builder over every **live**
+//!   scenario: pick a benchmark (or the Zipf-skewed fan-out), a
+//!   [`Transport`] (in-process fabric or one OS process per node over
+//!   TCP — see [`serve_worker_if_spawned`]), a [`FaultMode`] (seeded
+//!   chaos with crash-and-restart, permanent node loss healed by the
+//!   orchestrator, voluntary live migration), and a [`Traffic`] shape
+//!   (closed-loop bursts, optionally warmed up for the autoscaler, or
+//!   the seeded open-loop multi-tenant arrivals of [`loadgen`]) — every
+//!   combination validated byte-for-byte against a straight-line
+//!   reference computation;
+//! * [`loadgen`] — the open-loop load harness behind
+//!   [`Traffic::OpenLoop`] and the `bench loadgen` subcommand:
+//!   million-request arrival schedules, Zipf tenant and workflow mixes,
+//!   per-tenant admission control, p50/p99/p999 latency timelines and
+//!   committed markdown run reports.
+//!
+//! The old per-scenario constructors (`Scenario::live_cluster`,
+//! `Scenario::chaos_cluster`, …) survive as deprecated shims over the
+//! same runners.
 //!
 //! # Examples
 //!
@@ -50,6 +48,18 @@
 //! );
 //! assert!(report.primary().completed > 0);
 //! ```
+//!
+//! And live, through the composable spec:
+//!
+//! ```
+//! use dataflower_workloads::{Benchmark, WorkloadSpec};
+//!
+//! let report = WorkloadSpec::new()
+//!     .benchmark(Benchmark::Wc)
+//!     .payload_bytes(64 * 1024)
+//!     .run();
+//! assert!(report.stats.remote_pipe_transfers > 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,8 +70,10 @@ mod common;
 mod elastic;
 mod harness;
 mod live;
+pub mod loadgen;
 mod node_loss;
 mod socket;
+mod spec;
 mod system;
 
 pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
@@ -69,6 +81,10 @@ pub use chaos::{ChaosClusterConfig, ChaosClusterReport};
 pub use elastic::{BurstyClusterConfig, ElasticReport, SkewedFanoutConfig};
 pub use harness::Scenario;
 pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};
+pub use loadgen::{LoadgenCell, LoadgenConfig, LoadgenReport, TrafficSpec};
 pub use node_loss::{NodeLossConfig, NodeLossReport, NodeLossTransport};
 pub use socket::{bench_input, launch_bench_cluster, serve_worker_if_spawned, TcpProfile};
+pub use spec::{
+    FaultMode, ReportDetail, Traffic, Transport, Workload, WorkloadReport, WorkloadSpec,
+};
 pub use system::SystemKind;

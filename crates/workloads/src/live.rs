@@ -111,6 +111,40 @@ pub struct LiveClusterReport {
     pub stats: RtStats,
 }
 
+/// The plain closed-loop live runner — the body behind both
+/// [`WorkloadSpec`](crate::WorkloadSpec) (no faults, closed loop,
+/// in-process) and the deprecated [`Scenario::live_cluster`] shim.
+pub(crate) fn run_live_cluster(
+    bench: Benchmark,
+    cfg: &LiveClusterConfig,
+    policy: &dyn PlacementPolicy,
+) -> LiveClusterReport {
+    let wf = bench.workflow();
+    let placement = policy.initial(&wf, cfg.nodes);
+    let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
+    let run = run_verified(
+        "live",
+        bench,
+        cfg.requests,
+        cfg.payload_bytes,
+        cfg.timeout,
+        |name, payload| rt.invoke(vec![(name, payload)]),
+        || {},
+        |req, timeout| rt.wait(req, timeout),
+    );
+    let stats = rt.stats();
+    let nodes = rt.node_count(); // actual topology: SingleNode forces 1
+    rt.shutdown();
+    LiveClusterReport {
+        benchmark: bench.name(),
+        nodes,
+        requests: run.requests,
+        elapsed: run.elapsed,
+        output_bytes: run.output_bytes,
+        stats,
+    }
+}
+
 impl Scenario {
     /// Runs `bench` **live** on an N-node [`ClusterRuntime`]: real
     /// threads execute real function bodies, and every inter-function
@@ -127,18 +161,19 @@ impl Scenario {
     /// # Examples
     ///
     /// ```
-    /// use dataflower_workloads::{Benchmark, LiveClusterConfig, Scenario};
+    /// use dataflower_workloads::{Benchmark, WorkloadSpec};
     ///
-    /// let cfg = LiveClusterConfig {
-    ///     payload_bytes: 64 * 1024,
-    ///     ..LiveClusterConfig::default()
-    /// };
-    /// let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+    /// let report = WorkloadSpec::new()
+    ///     .benchmark(Benchmark::Wc)
+    ///     .payload_bytes(64 * 1024)
+    ///     .run();
     /// assert_eq!(report.nodes, 3);
     /// assert!(report.stats.remote_pipe_transfers > 0);
     /// ```
+    #[deprecated(note = "compose a `WorkloadSpec` instead: \
+                 `WorkloadSpec::new().benchmark(bench).requests(n).run()`")]
     pub fn live_cluster(bench: Benchmark, cfg: &LiveClusterConfig) -> LiveClusterReport {
-        Scenario::live_cluster_with(bench, cfg, cfg.placement.policy())
+        run_live_cluster(bench, cfg, cfg.placement.policy())
     }
 
     /// [`Scenario::live_cluster`] with an explicit [`PlacementPolicy`]
@@ -148,35 +183,13 @@ impl Scenario {
     /// # Panics
     ///
     /// Same contract as [`Scenario::live_cluster`].
+    #[deprecated(note = "compose a `WorkloadSpec` with `.placement(..)` instead")]
     pub fn live_cluster_with(
         bench: Benchmark,
         cfg: &LiveClusterConfig,
         policy: &dyn PlacementPolicy,
     ) -> LiveClusterReport {
-        let wf = bench.workflow();
-        let placement = policy.initial(&wf, cfg.nodes);
-        let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
-        let run = run_verified(
-            "live",
-            bench,
-            cfg.requests,
-            cfg.payload_bytes,
-            cfg.timeout,
-            |name, payload| rt.invoke(vec![(name, payload)]),
-            || {},
-            |req, timeout| rt.wait(req, timeout),
-        );
-        let stats = rt.stats();
-        let nodes = rt.node_count(); // actual topology: SingleNode forces 1
-        rt.shutdown();
-        LiveClusterReport {
-            benchmark: bench.name(),
-            nodes,
-            requests: run.requests,
-            elapsed: run.elapsed,
-            output_bytes: run.output_bytes,
-            stats,
-        }
+        run_live_cluster(bench, cfg, policy)
     }
 }
 
@@ -363,7 +376,7 @@ mod tests {
                 payload_bytes: 96 * 1024,
                 ..LiveClusterConfig::default()
             };
-            let report = Scenario::live_cluster(bench, &cfg);
+            let report = run_live_cluster(bench, &cfg, cfg.placement.policy());
             assert_eq!(report.requests, 1);
             assert!(report.output_bytes > 0, "{bench}: empty output");
             assert!(
@@ -381,7 +394,7 @@ mod tests {
             payload_bytes: 64 * 1024,
             ..LiveClusterConfig::default()
         };
-        let report = Scenario::live_cluster(Benchmark::Vid, &cfg);
+        let report = run_live_cluster(Benchmark::Vid, &cfg, cfg.placement.policy());
         assert_eq!(report.stats.remote_pipe_transfers, 0);
         assert_eq!(report.stats.remote_bytes, 0);
         assert!(report.stats.local_pipe_transfers > 0);
@@ -394,7 +407,7 @@ mod tests {
             requests: 2,
             ..LiveClusterConfig::default()
         };
-        let report = Scenario::live_cluster(Benchmark::Wc, &cfg);
+        let report = run_live_cluster(Benchmark::Wc, &cfg, cfg.placement.policy());
         // 64 KiB shards stream remotely; the small count tables cross on
         // the direct socket.
         assert!(report.stats.remote_pipe_transfers > 0);
@@ -408,7 +421,7 @@ mod tests {
             payload_bytes: 64 * 1024,
             ..LiveClusterConfig::default()
         };
-        let report = Scenario::live_cluster_with(Benchmark::Svd, &cfg, &LoadAware::idle());
+        let report = run_live_cluster(Benchmark::Svd, &cfg, &LoadAware::idle());
         assert_eq!(report.requests, 1);
         assert!(report.output_bytes > 0);
     }

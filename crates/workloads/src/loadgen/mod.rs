@@ -1,0 +1,261 @@
+//! Open-loop, multi-tenant load generation against the live cluster
+//! runtime — the million-request harness behind `bench loadgen`.
+//!
+//! A [`LoadgenConfig`] names a set of [`LoadgenCell`]s; each cell drives
+//! one [`TrafficSpec`] (seeded Poisson or uniform arrivals at a fixed
+//! rate, thousands of tenants under a Zipf popularity skew, each tenant
+//! pinned to a home benchmark drawn from a second Zipf over the workflow
+//! mix) against one cluster per benchmark, over the in-process fabric or
+//! the worker-process TCP transport. Per-tenant admission caps shed
+//! overload at the gate ([`dataflower_rt::AdmissionGate`]); latency is
+//! measured from the *scheduled* arrival instant (coordinated-omission-
+//! aware) into log-bucketed [`Histogram`](dataflower_metrics::Histogram)s
+//! and a windowed p50/p99/p999 [`QuantileTimeline`]
+//! [`Timeline`](dataflower_metrics::Timeline); fairness under overload is
+//! summarized by Jain's index over per-tenant success ratios.
+//!
+//! The offered load is bit-reproducible: all randomness derives from the
+//! spec's seed, so two runs of the same config offer the identical
+//! arrival sequence — the property tests pin this down.
+//!
+//! [`QuantileTimeline`]: dataflower_metrics::QuantileTimeline
+//!
+//! # Examples
+//!
+//! ```
+//! use dataflower_workloads::loadgen::{self, LoadgenConfig};
+//!
+//! let cfg = LoadgenConfig::smoke();
+//! let report = loadgen::run(&cfg);
+//! let cell = &report.cells[0];
+//! assert_eq!(cell.offered, cell.admitted + cell.rejected);
+//! assert!(cell.completed > 0 && cell.fairness > 0.0);
+//! ```
+
+mod arrival;
+mod driver;
+mod report;
+
+pub use arrival::{ArrivalKind, ArrivalProcess, ZipfSampler};
+pub use driver::{run_cell, BenchLoad, CellReport};
+pub use report::{GateRow, LoadgenReport};
+
+use std::time::Duration;
+
+use crate::benchmarks::Benchmark;
+use crate::spec::Transport;
+
+/// An open-loop traffic specification: how many arrivals, how fast, how
+/// skewed, and how hard the admission gates push back.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Total arrivals to offer (the open-loop schedule length).
+    pub requests: usize,
+    /// Mean offered rate in requests per second.
+    pub rate_per_sec: f64,
+    /// Inter-arrival distribution.
+    pub arrival: ArrivalKind,
+    /// Number of tenants sharing the cluster.
+    pub tenants: usize,
+    /// Zipf exponent of tenant popularity (0 = uniform).
+    pub tenant_zipf: f64,
+    /// Zipf exponent of the benchmark mix tenants are assigned to.
+    pub benchmark_zipf: f64,
+    /// Seed for every random draw (arrivals, tenant picks, assignment).
+    pub seed: u64,
+    /// Per-tenant in-flight cap at the admission gate (0 = unlimited).
+    pub max_inflight_per_tenant: usize,
+    /// Total in-flight cap, split across benchmark clusters in
+    /// proportion to their traffic share (0 = unlimited).
+    pub max_inflight_total: usize,
+    /// Width of each latency-timeline window in seconds.
+    pub window_secs: f64,
+    /// Waiter threads retrieving results.
+    pub waiters: usize,
+}
+
+impl Default for TrafficSpec {
+    /// 2 000 Poisson arrivals at 1 000 req/s from 50 Zipf(1.1) tenants,
+    /// per-tenant cap 8, total cap 512, 0.5 s windows, 4 waiters.
+    fn default() -> Self {
+        TrafficSpec {
+            requests: 2_000,
+            rate_per_sec: 1_000.0,
+            arrival: ArrivalKind::Poisson,
+            tenants: 50,
+            tenant_zipf: 1.1,
+            benchmark_zipf: 0.8,
+            seed: 42,
+            max_inflight_per_tenant: 8,
+            max_inflight_total: 512,
+            window_secs: 0.5,
+            waiters: 4,
+        }
+    }
+}
+
+/// One load cell: a traffic spec aimed at a benchmark mix on a topology
+/// and transport. A config's report carries one table per cell.
+#[derive(Debug, Clone)]
+pub struct LoadgenCell {
+    /// Cell label used in reports and baseline entry names.
+    pub label: String,
+    /// The benchmark mix tenants are assigned across (Zipf-weighted by
+    /// [`TrafficSpec::benchmark_zipf`]).
+    pub benchmarks: Vec<Benchmark>,
+    /// Worker nodes per benchmark cluster.
+    pub nodes: usize,
+    /// In-process fabric or worker-process TCP.
+    pub transport: Transport,
+    /// Client payload size in bytes.
+    pub payload_bytes: usize,
+    /// The offered traffic.
+    pub traffic: TrafficSpec,
+    /// Per-request retrieval deadline.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenCell {
+    /// A single-benchmark (wordcount) inproc cell on 2 nodes with 4 KiB
+    /// payloads and the default traffic spec.
+    fn default() -> Self {
+        LoadgenCell {
+            label: "wc-inproc".to_string(),
+            benchmarks: vec![Benchmark::Wc],
+            nodes: 2,
+            transport: Transport::Inproc,
+            payload_bytes: 4 * 1024,
+            traffic: TrafficSpec::default(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A named set of load cells — what `bench loadgen --config <name>` runs
+/// and what one committed `reports/loadgen-<name>.md` documents.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Config name (`smoke`, `soak`, `full`); names the report file and
+    /// prefixes baseline entries.
+    pub name: &'static str,
+    /// The cells to run, in order.
+    pub cells: Vec<LoadgenCell>,
+}
+
+impl LoadgenConfig {
+    /// The tiny PR-gate config: one wordcount cell, 2 000 offered
+    /// requests, seconds of wall clock. This is what `ci.sh` and the
+    /// workflow's bench-smoke job run on every push.
+    pub fn smoke() -> LoadgenConfig {
+        LoadgenConfig {
+            name: "smoke",
+            cells: vec![LoadgenCell {
+                label: "wc-inproc".to_string(),
+                traffic: TrafficSpec {
+                    requests: 2_000,
+                    rate_per_sec: 1_000.0,
+                    tenants: 50,
+                    ..TrafficSpec::default()
+                },
+                ..LoadgenCell::default()
+            }],
+        }
+    }
+
+    /// The scheduled-CI soak config: 10⁵ offered requests across the
+    /// full four-benchmark mix plus a TCP cell.
+    pub fn soak() -> LoadgenConfig {
+        LoadgenConfig {
+            name: "soak",
+            cells: vec![
+                LoadgenCell {
+                    label: "mix-inproc".to_string(),
+                    benchmarks: Benchmark::ALL.to_vec(),
+                    nodes: 3,
+                    traffic: TrafficSpec {
+                        requests: 90_000,
+                        rate_per_sec: 4_000.0,
+                        tenants: 500,
+                        max_inflight_total: 1_024,
+                        window_secs: 1.0,
+                        waiters: 8,
+                        ..TrafficSpec::default()
+                    },
+                    ..LoadgenCell::default()
+                },
+                LoadgenCell {
+                    label: "wc-tcp".to_string(),
+                    transport: Transport::Tcp,
+                    nodes: 2,
+                    traffic: TrafficSpec {
+                        requests: 10_000,
+                        rate_per_sec: 1_000.0,
+                        tenants: 100,
+                        window_secs: 1.0,
+                        ..TrafficSpec::default()
+                    },
+                    ..LoadgenCell::default()
+                },
+            ],
+        }
+    }
+
+    /// The full committed-report config: ≥ 10⁶ offered requests — a
+    /// sustained four-benchmark multi-tenant cell in the 10⁶ range plus
+    /// a TCP cell so the transport column is measured, not assumed.
+    pub fn full() -> LoadgenConfig {
+        LoadgenConfig {
+            name: "full",
+            cells: vec![
+                LoadgenCell {
+                    label: "mix-inproc".to_string(),
+                    benchmarks: Benchmark::ALL.to_vec(),
+                    nodes: 3,
+                    traffic: TrafficSpec {
+                        requests: 1_000_000,
+                        rate_per_sec: 12_000.0,
+                        tenants: 2_000,
+                        max_inflight_total: 2_048,
+                        window_secs: 2.0,
+                        waiters: 8,
+                        ..TrafficSpec::default()
+                    },
+                    ..LoadgenCell::default()
+                },
+                LoadgenCell {
+                    label: "wc-tcp".to_string(),
+                    transport: Transport::Tcp,
+                    nodes: 2,
+                    traffic: TrafficSpec {
+                        requests: 20_000,
+                        rate_per_sec: 1_500.0,
+                        tenants: 200,
+                        window_secs: 1.0,
+                        waiters: 8,
+                        ..TrafficSpec::default()
+                    },
+                    ..LoadgenCell::default()
+                },
+            ],
+        }
+    }
+
+    /// Looks a stock config up by name.
+    pub fn by_name(name: &str) -> Option<LoadgenConfig> {
+        match name {
+            "smoke" => Some(LoadgenConfig::smoke()),
+            "soak" => Some(LoadgenConfig::soak()),
+            "full" => Some(LoadgenConfig::full()),
+            _ => None,
+        }
+    }
+}
+
+/// Runs every cell of `cfg` in order and assembles the report.
+pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
+    let cells = cfg.cells.iter().map(run_cell).collect();
+    LoadgenReport {
+        config: cfg.name.to_string(),
+        cells,
+    }
+}

@@ -176,15 +176,9 @@ impl Scenario {
     /// plane never declared the loss (`node_losses == 0`), nothing was
     /// relocated, or any victim-hosted function still routes to the
     /// dead node afterwards.
+    #[deprecated(note = "compose a `WorkloadSpec` with `.faults(FaultMode::NodeLoss)` instead")]
     pub fn node_loss_relocation(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
-        assert!(
-            cfg.nodes >= 2,
-            "node_loss_relocation needs a surviving node"
-        );
-        match cfg.transport {
-            NodeLossTransport::Inproc => node_loss_inproc(bench, cfg),
-            NodeLossTransport::Tcp => node_loss_tcp(bench, cfg),
-        }
+        run_node_loss(bench, cfg)
     }
 
     /// Runs `bench` live (in-process) and, mid-stream, voluntarily
@@ -200,61 +194,86 @@ impl Scenario {
     ///
     /// Panics if a request misses its deadline, any output diverges
     /// from the reference, or no migration was recorded.
+    #[deprecated(note = "compose a `WorkloadSpec` with \
+                 `.faults(FaultMode::LiveMigration)` instead")]
     pub fn live_migration(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
-        assert!(cfg.nodes >= 2, "live_migration needs a second node");
-        let wf = bench.workflow();
-        let placement = ByLevel.initial(&wf, cfg.nodes);
-        let rt = live_runtime(bench, Arc::clone(&wf), placement, orchestrated_rt_config());
-        let from = 1;
-        let moved = hosted_on(&wf, cfg.nodes, from);
-        let subject = moved.first().expect("level 1 hosts a function").clone();
+        run_live_migration(bench, cfg)
+    }
+}
 
-        let run = run_verified(
-            "migration",
-            bench,
-            cfg.requests,
-            cfg.payload_bytes,
-            cfg.timeout,
-            |name, payload| rt.invoke(vec![(name, payload)]),
-            || {
-                // Wait for payloads to be in flight toward the subject's
-                // node so the move really happens mid-stream.
-                let give_up = Instant::now() + cfg.kill_deadline;
-                while rt.node(from).inflight_transfers() == 0 && Instant::now() < give_up {
-                    std::thread::sleep(Duration::from_micros(200));
-                }
-                let mut to = rt.least_pressured_node();
-                if to == from {
-                    to = (from + 1) % cfg.nodes;
-                }
-                rt.migrate_function(&subject, to)
-                    .expect("migrate a known function to a live node");
-            },
-            |req, timeout| rt.wait(req, timeout),
-        );
-        let stats = rt.stats();
-        assert!(
-            stats.live_migrations >= 1,
-            "migration {bench}: no live migration was recorded"
-        );
-        assert_ne!(
-            rt.node_of(&subject),
-            from,
-            "migration {bench}: `{subject}` still routes to its old node"
-        );
-        let nodes = rt.node_count();
-        rt.shutdown();
-        NodeLossReport {
-            benchmark: bench.name(),
-            transport: NodeLossTransport::Inproc.name(),
-            nodes,
-            requests: run.requests,
-            elapsed: run.elapsed,
-            output_bytes: run.output_bytes,
-            victim: from,
-            relocated: stats.live_migrations,
-            stats,
-        }
+/// The permanent-node-loss runner — dispatches on the transport; the
+/// body behind [`WorkloadSpec`](crate::WorkloadSpec) with
+/// [`FaultMode::NodeLoss`](crate::FaultMode::NodeLoss) and the
+/// deprecated [`Scenario::node_loss_relocation`] shim.
+pub(crate) fn run_node_loss(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
+    assert!(
+        cfg.nodes >= 2,
+        "node_loss_relocation needs a surviving node"
+    );
+    match cfg.transport {
+        NodeLossTransport::Inproc => node_loss_inproc(bench, cfg),
+        NodeLossTransport::Tcp => node_loss_tcp(bench, cfg),
+    }
+}
+
+/// The voluntary live-migration runner (in-process only) — the body
+/// behind [`WorkloadSpec`](crate::WorkloadSpec) with
+/// [`FaultMode::LiveMigration`](crate::FaultMode::LiveMigration) and the
+/// deprecated [`Scenario::live_migration`] shim.
+pub(crate) fn run_live_migration(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
+    assert!(cfg.nodes >= 2, "live_migration needs a second node");
+    let wf = bench.workflow();
+    let placement = ByLevel.initial(&wf, cfg.nodes);
+    let rt = live_runtime(bench, Arc::clone(&wf), placement, orchestrated_rt_config());
+    let from = 1;
+    let moved = hosted_on(&wf, cfg.nodes, from);
+    let subject = moved.first().expect("level 1 hosts a function").clone();
+
+    let run = run_verified(
+        "migration",
+        bench,
+        cfg.requests,
+        cfg.payload_bytes,
+        cfg.timeout,
+        |name, payload| rt.invoke(vec![(name, payload)]),
+        || {
+            // Wait for payloads to be in flight toward the subject's
+            // node so the move really happens mid-stream.
+            let give_up = Instant::now() + cfg.kill_deadline;
+            while rt.node(from).inflight_transfers() == 0 && Instant::now() < give_up {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let mut to = rt.least_pressured_node();
+            if to == from {
+                to = (from + 1) % cfg.nodes;
+            }
+            rt.migrate_function(&subject, to)
+                .expect("migrate a known function to a live node");
+        },
+        |req, timeout| rt.wait(req, timeout),
+    );
+    let stats = rt.stats();
+    assert!(
+        stats.live_migrations >= 1,
+        "migration {bench}: no live migration was recorded"
+    );
+    assert_ne!(
+        rt.node_of(&subject),
+        from,
+        "migration {bench}: `{subject}` still routes to its old node"
+    );
+    let nodes = rt.node_count();
+    rt.shutdown();
+    NodeLossReport {
+        benchmark: bench.name(),
+        transport: NodeLossTransport::Inproc.name(),
+        nodes,
+        requests: run.requests,
+        elapsed: run.elapsed,
+        output_bytes: run.output_bytes,
+        victim: from,
+        relocated: stats.live_migrations,
+        stats,
     }
 }
 
@@ -420,7 +439,7 @@ mod tests {
                 payload_bytes: 128 * 1024,
                 ..NodeLossConfig::default()
             };
-            let report = Scenario::node_loss_relocation(bench, &cfg);
+            let report = run_node_loss(bench, &cfg);
             assert_eq!(report.requests, 1);
             assert!(report.output_bytes > 0, "{bench}: empty output");
             assert!(report.relocated > 0);
@@ -512,7 +531,7 @@ mod tests {
             requests: 2,
             ..NodeLossConfig::default()
         };
-        let report = Scenario::live_migration(Benchmark::Svd, &cfg);
+        let report = run_live_migration(Benchmark::Svd, &cfg);
         assert_eq!(report.requests, 2);
         assert!(report.output_bytes > 0);
         assert!(report.stats.live_migrations >= 1);

@@ -161,60 +161,109 @@ impl Scenario {
     /// straight-line reference, no crash window opening within
     /// [`ChaosClusterConfig::crash_deadline`], or a restart that
     /// replayed nothing / resumed from byte 0.
+    #[deprecated(note = "compose a `WorkloadSpec` with \
+                 `.transport(Transport::Tcp).faults(FaultMode::ChaosCrashRestart)` instead")]
     pub fn chaos_cluster_tcp(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
-        assert!(cfg.nodes >= 2, "chaos_cluster_tcp needs a node to crash");
-        let wf = bench.workflow();
-        let placement = ByLevel.initial(&wf, cfg.nodes);
-        let mut rt_cfg = chaos_rt_config(cfg.seed);
-        rt_cfg.faults.seed = cfg.seed;
-        let tag = worker_tag(bench, cfg.nodes, cfg.seed, TcpProfile::Chaos);
-        let cluster = TcpCluster::launch(Arc::clone(&wf), placement, rt_cfg.clone(), &tag)
-            .expect("launch TCP cluster");
+        run_chaos_cluster_tcp(bench, cfg)
+    }
+}
 
-        // Same victim rationale as the in-process scenario: node 1
-        // receives the large fan-out intermediates over the streaming
-        // remote pipe under the by-level spread.
-        let victim = 1;
+/// The plain closed-loop TCP runner: `bench` as one OS process per node
+/// under [`TcpProfile::Plain`], every request verified byte-for-byte —
+/// the TCP twin of [`run_live_cluster`](crate::live::run_live_cluster).
+/// Placement is the by-level spread the worker tag encodes;
+/// `cfg.placement` and `cfg.rt` are ignored in favour of the profile.
+pub(crate) fn run_live_tcp(
+    bench: Benchmark,
+    cfg: &crate::live::LiveClusterConfig,
+    seed: u64,
+) -> crate::live::LiveClusterReport {
+    let cluster = launch_bench_cluster(bench, cfg.nodes, seed, TcpProfile::Plain)
+        .expect("launch plain TCP cluster");
+    let run = run_verified(
+        "tcp live",
+        bench,
+        cfg.requests,
+        cfg.payload_bytes,
+        cfg.timeout,
+        |name, payload| cluster.invoke(vec![(name, payload)]),
+        || {},
+        |req, timeout| cluster.wait(req, timeout),
+    );
+    let stats = cluster.stats();
+    let nodes = cluster.node_count();
+    cluster.shutdown();
+    crate::live::LiveClusterReport {
+        benchmark: bench.name(),
+        nodes,
+        requests: run.requests,
+        elapsed: run.elapsed,
+        output_bytes: run.output_bytes,
+        stats,
+    }
+}
 
-        let mut crash = None;
-        let run = run_verified(
-            "tcp chaos",
-            bench,
-            cfg.requests,
-            cfg.payload_bytes,
-            cfg.timeout,
-            |name, payload| cluster.invoke(vec![(name, payload)]),
-            || {
-                crash = Some(hunt_kill(&cluster, victim, cfg.crash_deadline));
-                std::thread::sleep(cfg.outage); // frames toward the dead process die here
-                cluster
-                    .restart_worker(victim)
-                    .expect("restart killed worker");
-            },
-            |req, timeout| cluster.wait(req, timeout),
-        );
-        let crash = crash.expect("the kill hunt ran");
-        let stats = cluster.stats();
-        assert!(
-            stats.recovered_transfers > 0,
-            "tcp chaos {bench}: the reconnects replayed no transfers"
-        );
-        assert!(
-            stats.resumed_from_mark_bytes > 0,
-            "tcp chaos {bench}: recovery resumed from byte 0 instead of a checkpoint mark"
-        );
-        let nodes = cluster.node_count();
-        cluster.shutdown();
-        ChaosClusterReport {
-            benchmark: bench.name(),
-            nodes,
-            requests: run.requests,
-            elapsed: run.elapsed,
-            output_bytes: run.output_bytes,
-            victim,
-            crash,
-            stats,
-        }
+/// The TCP chaos runner — the body behind
+/// [`WorkloadSpec`](crate::WorkloadSpec) with
+/// [`FaultMode::ChaosCrashRestart`](crate::FaultMode::ChaosCrashRestart)
+/// over [`Transport::Tcp`](crate::Transport::Tcp) and the deprecated
+/// [`Scenario::chaos_cluster_tcp`] shim.
+pub(crate) fn run_chaos_cluster_tcp(
+    bench: Benchmark,
+    cfg: &ChaosClusterConfig,
+) -> ChaosClusterReport {
+    assert!(cfg.nodes >= 2, "chaos_cluster_tcp needs a node to crash");
+    let wf = bench.workflow();
+    let placement = ByLevel.initial(&wf, cfg.nodes);
+    let mut rt_cfg = chaos_rt_config(cfg.seed);
+    rt_cfg.faults.seed = cfg.seed;
+    let tag = worker_tag(bench, cfg.nodes, cfg.seed, TcpProfile::Chaos);
+    let cluster = TcpCluster::launch(Arc::clone(&wf), placement, rt_cfg.clone(), &tag)
+        .expect("launch TCP cluster");
+
+    // Same victim rationale as the in-process scenario: node 1
+    // receives the large fan-out intermediates over the streaming
+    // remote pipe under the by-level spread.
+    let victim = 1;
+
+    let mut crash = None;
+    let run = run_verified(
+        "tcp chaos",
+        bench,
+        cfg.requests,
+        cfg.payload_bytes,
+        cfg.timeout,
+        |name, payload| cluster.invoke(vec![(name, payload)]),
+        || {
+            crash = Some(hunt_kill(&cluster, victim, cfg.crash_deadline));
+            std::thread::sleep(cfg.outage); // frames toward the dead process die here
+            cluster
+                .restart_worker(victim)
+                .expect("restart killed worker");
+        },
+        |req, timeout| cluster.wait(req, timeout),
+    );
+    let crash = crash.expect("the kill hunt ran");
+    let stats = cluster.stats();
+    assert!(
+        stats.recovered_transfers > 0,
+        "tcp chaos {bench}: the reconnects replayed no transfers"
+    );
+    assert!(
+        stats.resumed_from_mark_bytes > 0,
+        "tcp chaos {bench}: recovery resumed from byte 0 instead of a checkpoint mark"
+    );
+    let nodes = cluster.node_count();
+    cluster.shutdown();
+    ChaosClusterReport {
+        benchmark: bench.name(),
+        nodes,
+        requests: run.requests,
+        elapsed: run.elapsed,
+        output_bytes: run.output_bytes,
+        victim,
+        crash,
+        stats,
     }
 }
 

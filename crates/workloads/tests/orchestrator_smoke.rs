@@ -10,31 +10,34 @@
 //! cluster's worker processes: `serve_worker_if_spawned` must run
 //! before anything else in `main`.
 
-use dataflower_workloads::{Benchmark, NodeLossConfig, NodeLossTransport, Scenario};
+use dataflower_workloads::{Benchmark, FaultMode, Transport, WorkloadSpec};
 
 fn main() {
     // Worker processes enter here, rebuild the benchmark runtime from
     // their tag, and never return.
     dataflower_workloads::serve_worker_if_spawned();
 
-    let cfg = NodeLossConfig {
-        transport: NodeLossTransport::Tcp,
-        payload_bytes: 128 * 1024,
-        requests: 1,
-        ..NodeLossConfig::default()
-    };
-    let report = Scenario::node_loss_relocation(Benchmark::Wc, &cfg);
+    let report = WorkloadSpec::new()
+        .benchmark(Benchmark::Wc)
+        .transport(Transport::Tcp)
+        .faults(FaultMode::NodeLoss)
+        .payload_bytes(128 * 1024)
+        .requests(1)
+        .run();
+    let relocated = report
+        .relocated()
+        .expect("node-loss run reports relocations");
     assert_eq!(report.requests, 1);
     assert!(report.output_bytes > 0, "empty output");
     assert!(report.stats.node_losses >= 1);
-    assert!(report.relocated > 0);
+    assert!(relocated > 0);
     println!(
         "orchestrator_smoke ok: {} request(s), {} output bytes, worker {} lost \
          permanently, {} function(s) relocated, {} transfers replayed",
         report.requests,
         report.output_bytes,
-        report.victim,
-        report.relocated,
+        report.victim().expect("node-loss run reports the victim"),
+        relocated,
         report.stats.recovered_transfers,
     );
 }

@@ -9,24 +9,28 @@
 
 use std::time::Duration;
 
-use dataflower_workloads::{Benchmark, ChaosClusterConfig, Scenario};
+use dataflower_workloads::{Benchmark, FaultMode, ReportDetail, Transport, WorkloadSpec};
 
 fn main() {
     // Worker processes enter here, rebuild the benchmark runtime from
     // their tag, and never return.
     dataflower_workloads::serve_worker_if_spawned();
 
-    let cfg = ChaosClusterConfig {
-        payload_bytes: 128 * 1024,
-        requests: 1,
-        outage: Duration::from_millis(20),
-        ..ChaosClusterConfig::default()
+    let report = WorkloadSpec::new()
+        .benchmark(Benchmark::Wc)
+        .transport(Transport::Tcp)
+        .faults(FaultMode::ChaosCrashRestart)
+        .payload_bytes(128 * 1024)
+        .requests(1)
+        .outage(Duration::from_millis(20))
+        .run();
+    let ReportDetail::Crash { victim, crash } = &report.detail else {
+        panic!("chaos run must report the crash detail");
     };
-    let report = Scenario::chaos_cluster_tcp(Benchmark::Wc, &cfg);
     assert_eq!(report.requests, 1);
     assert!(report.output_bytes > 0, "empty output");
-    assert!(report.crash.inflight_transfers > 0);
-    assert!(report.crash.durable_bytes > 0);
+    assert!(crash.inflight_transfers > 0);
+    assert!(crash.durable_bytes > 0);
     assert!(report.stats.recovered_transfers > 0);
     assert!(report.stats.resumed_from_mark_bytes > 0);
     assert!(report.stats.node_restarts >= 1);
@@ -37,6 +41,6 @@ fn main() {
         report.output_bytes,
         report.stats.recovered_transfers,
         report.stats.resumed_from_mark_bytes,
-        report.victim,
+        victim,
     );
 }

@@ -9,7 +9,9 @@
 //! ```
 
 use dataflower_metrics::{fmt_f, Table};
-use dataflower_workloads::{Benchmark, BurstyClusterConfig, Scenario, SkewedFanoutConfig};
+use dataflower_workloads::{
+    Benchmark, BurstyClusterConfig, ReportDetail, SkewedFanoutConfig, WorkloadSpec,
+};
 
 fn main() {
     let cfg = BurstyClusterConfig::default();
@@ -30,14 +32,29 @@ fn main() {
         auto.drain_bw_bytes_per_sec / (1024.0 * 1024.0),
     );
 
-    let report = Scenario::bursty_cluster(Benchmark::Wc, &cfg);
+    let report = WorkloadSpec::new()
+        .benchmark(Benchmark::Wc)
+        .nodes(cfg.nodes)
+        .warmup(cfg.base_requests)
+        .requests(cfg.burst_requests)
+        .payload_bytes(cfg.payload_bytes)
+        .settle(cfg.settle)
+        .run();
+    let ReportDetail::Elastic { events, timeline } = &report.detail else {
+        unreachable!("a warmed-up run reports the elastic detail");
+    };
+    let peak_replicas = timeline
+        .keys()
+        .map(|k| timeline.max_value(k) as usize)
+        .max()
+        .unwrap_or(0);
     println!(
         "completed {} requests in {:.0} ms ({} scale-outs, {} scale-ins, peak {} replicas)\n",
         report.requests,
         report.elapsed.as_secs_f64() * 1e3,
-        report.scale_outs(),
-        report.scale_ins(),
-        report.peak_replicas(),
+        report.stats.scale_out_events,
+        report.stats.scale_in_events,
+        peak_replicas,
     );
 
     let mut t = Table::new(vec![
@@ -48,7 +65,7 @@ fn main() {
         "pool",
         "pressure (ms)",
     ]);
-    for ev in &report.events {
+    for ev in events {
         t.row(vec![
             fmt_f(ev.at.as_secs_f64() * 1e3, 1),
             ev.function.clone(),
@@ -63,16 +80,22 @@ fn main() {
     let end = report.elapsed.as_secs_f64();
     println!(
         "replica series (integral = replica-seconds over the run):\n{}",
-        report.timeline.summary_table(end).render()
+        timeline.summary_table(end).render()
     );
 
-    let skew = Scenario::skewed_fanout(&SkewedFanoutConfig::default());
+    let skew_cfg = SkewedFanoutConfig::default();
+    let skew = WorkloadSpec::new()
+        .skewed_fanout(skew_cfg.branches, skew_cfg.zipf_exponent)
+        .nodes(skew_cfg.nodes)
+        .requests(skew_cfg.requests)
+        .payload_bytes(skew_cfg.payload_bytes)
+        .run();
     println!(
         "skewed_fanout: {} requests over {} Zipf-skewed branches, {} KiB out, \
          {} scale-outs — outputs byte-identical to the reference",
         skew.requests,
-        SkewedFanoutConfig::default().branches,
+        skew_cfg.branches,
         skew.output_bytes / 1024,
-        skew.scale_outs(),
+        skew.stats.scale_out_events,
     );
 }

@@ -8,16 +8,14 @@
 //! cargo run --release --example multinode_live
 //! ```
 
-use dataflower_workloads::{Benchmark, LiveClusterConfig, LivePlacement, Scenario};
+use dataflower_workloads::{Benchmark, LivePlacement, WorkloadSpec};
 
 fn main() {
-    let cfg = LiveClusterConfig {
-        nodes: 3,
-        placement: LivePlacement::ByLevel,
-        requests: 2,
-        payload_bytes: 256 * 1024,
-        ..LiveClusterConfig::default()
-    };
+    let spec = WorkloadSpec::new()
+        .nodes(3)
+        .placement(LivePlacement::ByLevel)
+        .requests(2)
+        .payload_bytes(256 * 1024);
 
     println!("topology: one node per workflow level (spread placement)");
     println!();
@@ -30,11 +28,11 @@ fn main() {
     );
 
     for bench in Benchmark::ALL {
-        let report = Scenario::live_cluster(bench, &cfg);
+        let report = spec.clone().benchmark(bench).run();
         let s = &report.stats;
         println!(
             "{:<6} {:>7.1?} {:>8} {:>8} {:>8} {:>8} {:>7} {:>10}",
-            report.benchmark,
+            bench.name(),
             report.elapsed,
             s.direct_socket_transfers,
             s.local_pipe_transfers,

@@ -15,8 +15,8 @@ use std::process::exit;
 
 use dataflower_rt::Bytes;
 use dataflower_workloads::{
-    bench_input, launch_bench_cluster, serve_worker_if_spawned, Benchmark, LiveClusterConfig,
-    LivePlacement, Scenario, TcpProfile,
+    bench_input, launch_bench_cluster, serve_worker_if_spawned, Benchmark, LivePlacement,
+    TcpProfile, WorkloadSpec,
 };
 
 fn main() {
@@ -96,14 +96,13 @@ fn run_tcp(bench: Benchmark, nodes: usize) {
 }
 
 fn run_inproc(bench: Benchmark, nodes: usize) {
-    let cfg = LiveClusterConfig {
-        nodes,
-        placement: LivePlacement::ByLevel,
-        requests: 1,
-        payload_bytes: 64 * 1024,
-        ..LiveClusterConfig::default()
-    };
-    let report = Scenario::live_cluster(bench, &cfg);
+    let report = WorkloadSpec::new()
+        .benchmark(bench)
+        .nodes(nodes)
+        .placement(LivePlacement::ByLevel)
+        .requests(1)
+        .payload_bytes(64 * 1024)
+        .run();
     println!(
         "{bench} in-process: {:?} elapsed, {} remote transfers",
         report.elapsed, report.stats.remote_pipe_transfers,

@@ -20,6 +20,10 @@ cd "$(dirname "$0")/.."
 files=("$@")
 if [ "${#files[@]}" -eq 0 ]; then
     files=(README.md ARCHITECTURE.md CHANGES.md)
+    # Committed load-harness run reports ride along in the sweep.
+    for report in reports/*.md; do
+        [ -e "$report" ] && files+=("$report")
+    done
 fi
 
 failures=0
