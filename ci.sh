@@ -14,6 +14,9 @@
 #      2x slower than the committed baseline)
 #   9. loadgen smoke gate       (open-loop load harness, smoke config;
 #      p50/p99 compared against LOADGEN_BASELINE.json)
+#  10. diff-fuzz smoke gate     (seeded random workflow DAGs run through
+#      the live cluster with trace recording on, then replayed in the
+#      simulator; the two decision streams must match exactly)
 #
 # Steps 3-4 are the exact commands of the CI `lint` job and step 7 is the
 # exact command of the CI `bench-smoke` job, so local and CI gates match.
@@ -87,6 +90,21 @@ if [ "${SKIP_BENCH_GATE:-0}" != 1 ]; then
         loadgen --config smoke --compare LOADGEN_BASELINE.json --tolerance 100
 else
     echo "==> SKIP_BENCH_GATE=1; bench regression gate runs in the bench-smoke job"
+fi
+
+# Differential fuzz smoke: a small batch of seeded random workflow DAGs
+# runs through the live cluster with trace recording on; each recorded
+# trace is then replayed in the simulator and the two decision streams
+# (invocations, pipe choices, checkpoint marks) must match exactly —
+# zero divergences, byte-identical outputs. A failing seed dumps its
+# trace to reports/fuzz/seed-N.dftrace and prints the one-command repro
+# (`bench fuzz --seed N`). CI's verify job sets SKIP_FUZZ_GATE=1 because
+# the dedicated diff-fuzz job owns this step there.
+if [ "${SKIP_FUZZ_GATE:-0}" != 1 ]; then
+    run cargo run --release -p dataflower-bench --bin bench -- \
+        fuzz --seeds 16
+else
+    echo "==> SKIP_FUZZ_GATE=1; diff-fuzz gate runs in the diff-fuzz job"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -45,7 +45,9 @@ use std::cell::RefCell;
 use std::sync::Arc;
 
 use dataflower::WaitMatchMemory;
-use dataflower_bench::cli::{self, Command, CompareOptions, LoadgenOptions, RunOptions};
+use dataflower_bench::cli::{
+    self, Command, CompareOptions, FuzzOptions, LoadgenOptions, RunOptions,
+};
 use dataflower_bench::compare::{compare, parse_baseline, parse_results, render, render_markdown};
 use dataflower_bench::timing::{time, TimingResult};
 use dataflower_cluster::RequestId;
@@ -55,9 +57,9 @@ use dataflower_rt::{chunk_spans, Bytes, Reassembler, ShardedSink};
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
-    bench_input, launch_bench_cluster, loadgen, serve_worker_if_spawned, Benchmark,
-    ChaosClusterConfig, FaultMode, LivePlacement, LoadgenConfig, Scenario, SystemKind, TcpProfile,
-    WorkloadSpec,
+    bench_input, launch_bench_cluster, loadgen, run_diff_fuzz, serve_worker_if_spawned, Benchmark,
+    ChaosClusterConfig, FaultMode, FuzzConfig, LivePlacement, LoadgenConfig, Scenario, SystemKind,
+    TcpProfile, WorkloadSpec,
 };
 
 /// Exit code when a regression exceeds the tolerance.
@@ -66,6 +68,10 @@ const EXIT_REGRESSION: i32 = 3;
 /// Exit code when the baseline names a group the run no longer
 /// produces — a stale baseline that must be updated, not warned about.
 const EXIT_STALE_BASELINE: i32 = 4;
+
+/// Exit code when `bench fuzz` finds a sim↔live divergence (or a
+/// byte-identity or replay failure) on any seed.
+const EXIT_DIVERGENCE: i32 = 5;
 
 fn main() {
     // The socket_fabric group and the loadgen TCP cells launch
@@ -89,6 +95,7 @@ fn main() {
             gate(&results, &opts.compare, true);
         }
         Ok(Command::Loadgen(opts)) => loadgen_command(&opts),
+        Ok(Command::Fuzz(opts)) => fuzz_command(&opts),
         Err(e) => {
             eprintln!("bench: {e}\n{}", cli::USAGE);
             std::process::exit(2);
@@ -175,6 +182,7 @@ fn run_command(opts: &RunOptions) {
     control_plane_benchmarks(&harness);
     data_plane_benchmarks(&harness);
     socket_fabric_benchmarks(&harness);
+    trace_codec_benchmarks(&harness);
     substrate_benchmarks(&harness);
 
     if let Some(path) = &opts.json_out {
@@ -217,8 +225,13 @@ fn loadgen_command(opts: &LoadgenOptions) {
     write_or_die(&report_path, &report.to_markdown());
     eprintln!("bench loadgen: report written to `{report_path}`");
 
-    let rows: Vec<TimingResult> = report
-        .gate_rows()
+    let gate_rows = report.gate_rows();
+    for row in &gate_rows {
+        if let Some(v) = row.slo_violations {
+            eprintln!("bench loadgen: {}: {v} p99-SLO violation(s)", row.name);
+        }
+    }
+    let rows: Vec<TimingResult> = gate_rows
         .into_iter()
         .map(|row| TimingResult {
             group: "loadgen".to_string(),
@@ -242,6 +255,51 @@ fn loadgen_command(opts: &LoadgenOptions) {
         eprintln!("bench loadgen: baseline written to `{path}`");
     }
     gate(&rows, &opts.compare, true);
+}
+
+/// `bench fuzz`: sim↔live differential fuzzing. Runs the seed batch
+/// (live run → recorded trace → deterministic simulator replay → diff),
+/// prints a one-line summary with the recorder's bytes-per-event
+/// figure, and exits non-zero on any divergence. Each failing seed's
+/// trace is dumped under `--dump-dir` and reproduces with
+/// `bench fuzz --seed N`.
+fn fuzz_command(opts: &FuzzOptions) {
+    let (seeds, start_seed) = match opts.seed {
+        Some(seed) => (1, seed),
+        None => (opts.seeds, opts.start_seed),
+    };
+    let cfg = FuzzConfig {
+        seeds,
+        start_seed,
+        dump_dir: Some(opts.dump_dir.clone().into()),
+        timeout: std::time::Duration::from_secs(opts.timeout_secs),
+    };
+    eprintln!(
+        "bench fuzz: {seeds} seed(s) starting at {start_seed} (timeout {}s/seed)",
+        opts.timeout_secs
+    );
+    let report = run_diff_fuzz(&cfg);
+    println!(
+        "bench fuzz: {} seed(s), {} request(s), {} trace event(s), \
+         {:.2} bytes/event, {} failure(s)",
+        report.seeds_run,
+        report.requests,
+        report.events,
+        report.bytes_per_event,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        let trace = f
+            .trace_path
+            .as_deref()
+            .map(|p| format!(" (trace: {})", p.display()))
+            .unwrap_or_default();
+        eprintln!("bench fuzz: seed {} FAILED: {}{trace}", f.seed, f.what);
+        eprintln!("bench fuzz: reproduce with `bench fuzz --seed {}`", f.seed);
+    }
+    if !report.passed() {
+        std::process::exit(EXIT_DIVERGENCE);
+    }
 }
 
 /// Elastic-scaling benchmarks: the pressure-aware autoscaler driven by a
@@ -476,6 +534,87 @@ fn socket_fabric_benchmarks(h: &Harness) {
         let len = outputs[0].1.len();
         cluster.shutdown();
         len
+    });
+}
+
+/// Trace-codec benchmarks: the record/replay event stream of
+/// `dataflower_rt::trace` (the differential-fuzz substrate). The encode
+/// case isolates the varint writer; the decode case streams the same
+/// bytes through `TraceDecoder` in torn 61-byte reads, the same
+/// worst-case framing the wire-codec bench uses.
+fn trace_codec_benchmarks(h: &Harness) {
+    use dataflower::PipeKind;
+    use dataflower_rt::trace::{encode_trace, EventKind, TraceDecoder, TraceEvent};
+
+    /// A 10 001-event synthetic stream: the Meta preamble plus a cycle
+    /// of the three compared kinds (Invoke, PipeChoice, RemoteMarks)
+    /// and a Request, shaped like a long fuzz run.
+    fn synthetic_events() -> Vec<TraceEvent> {
+        let mut events = vec![TraceEvent {
+            at_us: 0,
+            kind: EventKind::Meta {
+                nodes: 4,
+                direct_threshold_bytes: 16 * 1024,
+                chunk_bytes: 64 * 1024,
+                checkpoint_interval_bytes: 256 * 1024,
+                workflow_json: "{\"functions\":[]}".to_string(),
+            },
+        }];
+        for i in 0..10_000u64 {
+            let kind = match i % 4 {
+                0 => EventKind::Request {
+                    req: i / 4,
+                    payload_bytes: 128 * 1024,
+                },
+                1 => EventKind::Invoke {
+                    req: i / 4,
+                    func: (i % 7) as u32,
+                },
+                2 => EventKind::PipeChoice {
+                    req: i / 4,
+                    edge: (i % 11) as u32,
+                    kind: match i % 3 {
+                        0 => PipeKind::DirectSocket,
+                        1 => PipeKind::LocalPipe,
+                        _ => PipeKind::RemotePipe,
+                    },
+                    bytes: 1 + i * 37,
+                },
+                _ => EventKind::RemoteMarks {
+                    req: i / 4,
+                    edge: (i % 11) as u32,
+                    chunks: 2 + (i % 5) as u32,
+                    marks: (i % 3) as u32,
+                },
+            };
+            events.push(TraceEvent {
+                at_us: i * 13,
+                kind,
+            });
+        }
+        events
+    }
+
+    h.run("trace_codec", "encode_10k_events", || {
+        let events = synthetic_events();
+        let bytes = encode_trace(&events);
+        assert!(bytes.len() > events.len());
+        bytes.len()
+    });
+
+    let encoded = encode_trace(&synthetic_events());
+    let expected = synthetic_events().len();
+    h.run("trace_codec", "decode_10k_events_torn", move || {
+        let mut dec = TraceDecoder::new();
+        let mut got = 0usize;
+        for piece in encoded.chunks(61) {
+            dec.feed(piece);
+            while let Some(_ev) = dec.next_event().expect("trace stream decodes") {
+                got += 1;
+            }
+        }
+        assert_eq!(got, expected);
+        got
     });
 }
 

@@ -1,4 +1,4 @@
-//! Argument parsing for the `bench` binary: three subcommands over one
+//! Argument parsing for the `bench` binary: four subcommands over one
 //! shared option set, plus a translation shim for the original flag
 //! spelling.
 //!
@@ -9,7 +9,11 @@
 //!   without re-running anything;
 //! * `bench loadgen [--config NAME] [OPTIONS]` — run an open-loop load
 //!   configuration (see `dataflower_workloads::loadgen`), write its
-//!   markdown report, and gate p50/p99 against a loadgen baseline.
+//!   markdown report, and gate p50/p99 against a loadgen baseline;
+//! * `bench fuzz [--seeds N] [OPTIONS]` — sim↔live differential
+//!   fuzzing (see `dataflower_workloads::fuzz`): run N seeded random
+//!   workflow DAGs on the live runtime, replay each recorded trace
+//!   through the simulator, and exit non-zero on any divergence.
 //!
 //! The pre-subcommand spelling (`bench --runs 3 --compare B.json …`,
 //! `bench flownet`) keeps working: when the first argument is not a
@@ -66,6 +70,24 @@ pub struct LoadgenOptions {
     pub compare: CompareOptions,
 }
 
+/// `bench fuzz`: sim↔live differential fuzzing over seeded random
+/// workflow DAGs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzOptions {
+    /// Number of consecutive seeds to run (`--seeds`, default 64).
+    pub seeds: u64,
+    /// First seed of the batch (`--start-seed`, default 0).
+    pub start_seed: u64,
+    /// One-shot reproduction (`--seed N` ≡ `--seeds 1 --start-seed N`;
+    /// overrides both when given).
+    pub seed: Option<u64>,
+    /// Directory for failing-seed trace dumps (`--dump-dir`, default
+    /// `reports/fuzz`).
+    pub dump_dir: String,
+    /// Per-seed live-run timeout in seconds (`--timeout`, default 30).
+    pub timeout_secs: u64,
+}
+
 /// The parsed command line of the `bench` binary.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -75,6 +97,8 @@ pub enum Command {
     Compare(CompareFilesOptions),
     /// `bench loadgen`.
     Loadgen(LoadgenOptions),
+    /// `bench fuzz`.
+    Fuzz(FuzzOptions),
     /// `bench --help` / `bench help`.
     Help,
 }
@@ -85,9 +109,18 @@ pub const DEFAULT_RUNS: usize = 5;
 /// Default regression tolerance in percent (fail above 2× slower).
 pub const DEFAULT_TOLERANCE_PCT: f64 = 100.0;
 
+/// Default number of differential-fuzz seeds per batch.
+pub const DEFAULT_FUZZ_SEEDS: u64 = 64;
+
+/// Default per-seed live-run timeout for `bench fuzz`, in seconds.
+pub const DEFAULT_FUZZ_TIMEOUT_SECS: u64 = 30;
+
+/// Default directory `bench fuzz` dumps failing-seed traces into.
+pub const DEFAULT_FUZZ_DUMP_DIR: &str = "reports/fuzz";
+
 /// The usage text `bench --help` prints.
 pub const USAGE: &str = "\
-usage: bench <run|compare|loadgen> [OPTIONS]
+usage: bench <run|compare|loadgen|fuzz> [OPTIONS]
 
   bench run [--runs K] [--group GROUP]... [--compare BASELINE.json]
             [--tolerance PCT] [--json-out FILE] [--summary FILE]
@@ -97,6 +130,13 @@ usage: bench <run|compare|loadgen> [OPTIONS]
   bench loadgen [--config smoke|soak|full] [--report FILE]
             [--compare LOADGEN_BASELINE.json] [--tolerance PCT]
             [--summary FILE] [--write-baseline FILE]
+  bench fuzz [--seeds N] [--start-seed N] [--seed N]
+            [--dump-dir DIR] [--timeout SECS]
+
+`bench fuzz` runs N seeded random workflow DAGs live, replays each
+recorded trace through the simulator, and exits non-zero on any
+divergence; a failing seed's trace lands in DIR and replays with
+`bench fuzz --seed N`.
 
 The legacy spelling without a subcommand still works and means `run`:
   bench --runs 3 --compare BENCH_BASELINE.json --tolerance 100";
@@ -215,6 +255,46 @@ fn parse_loadgen(args: &[String]) -> Result<LoadgenOptions, String> {
     Ok(opts)
 }
 
+fn parse_fuzz(args: &[String]) -> Result<FuzzOptions, String> {
+    let mut opts = FuzzOptions {
+        seeds: DEFAULT_FUZZ_SEEDS,
+        start_seed: 0,
+        seed: None,
+        dump_dir: DEFAULT_FUZZ_DUMP_DIR.to_string(),
+        timeout_secs: DEFAULT_FUZZ_TIMEOUT_SECS,
+    };
+    let parse_u64 = |raw: String, flag: &str| {
+        raw.parse::<u64>()
+            .map_err(|_| format!("{flag} needs a non-negative integer"))
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                opts.seeds = parse_u64(take_value(&mut it, "--seeds")?, "--seeds")?;
+                if opts.seeds == 0 {
+                    return Err("--seeds needs a positive integer".to_string());
+                }
+            }
+            "--start-seed" => {
+                opts.start_seed = parse_u64(take_value(&mut it, "--start-seed")?, "--start-seed")?;
+            }
+            "--seed" => {
+                opts.seed = Some(parse_u64(take_value(&mut it, "--seed")?, "--seed")?);
+            }
+            "--dump-dir" => opts.dump_dir = take_value(&mut it, "--dump-dir")?,
+            "--timeout" => {
+                opts.timeout_secs = parse_u64(take_value(&mut it, "--timeout")?, "--timeout")?;
+                if opts.timeout_secs == 0 {
+                    return Err("--timeout needs a positive number of seconds".to_string());
+                }
+            }
+            other => return Err(format!("unknown `bench fuzz` argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
 /// Parses the binary's arguments (without the program name). The first
 /// argument selects the subcommand; anything else — the legacy spelling
 /// — is translated to `run` wholesale.
@@ -243,6 +323,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         Some("run") => Ok(Command::Run(parse_run(&args[1..])?)),
         Some("compare") => Ok(Command::Compare(parse_compare(&args[1..])?)),
         Some("loadgen") => Ok(Command::Loadgen(parse_loadgen(&args[1..])?)),
+        Some("fuzz") => Ok(Command::Fuzz(parse_fuzz(&args[1..])?)),
         // Legacy shim: the original binary had no subcommands — flags
         // and filter substrings started immediately. Keep every old
         // invocation (ci.sh, the CI workflow, muscle memory) working by
@@ -366,10 +447,51 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_defaults_and_flags() {
+        let Command::Fuzz(opts) = parse(&argv(&["fuzz"])).unwrap() else {
+            panic!("fuzz argv must mean `fuzz`");
+        };
+        assert_eq!(opts.seeds, DEFAULT_FUZZ_SEEDS);
+        assert_eq!(opts.start_seed, 0);
+        assert!(opts.seed.is_none());
+        assert_eq!(opts.dump_dir, DEFAULT_FUZZ_DUMP_DIR);
+        assert_eq!(opts.timeout_secs, DEFAULT_FUZZ_TIMEOUT_SECS);
+
+        let Command::Fuzz(opts) = parse(&argv(&[
+            "fuzz",
+            "--seeds",
+            "128",
+            "--start-seed",
+            "1000",
+            "--dump-dir",
+            "target/fuzz",
+            "--timeout",
+            "60",
+        ]))
+        .unwrap() else {
+            panic!("fuzz argv must mean `fuzz`");
+        };
+        assert_eq!(opts.seeds, 128);
+        assert_eq!(opts.start_seed, 1000);
+        assert_eq!(opts.dump_dir, "target/fuzz");
+        assert_eq!(opts.timeout_secs, 60);
+
+        // One-shot reproduction of a failing seed.
+        let Command::Fuzz(opts) = parse(&argv(&["fuzz", "--seed", "42"])).unwrap() else {
+            panic!("fuzz argv must mean `fuzz`");
+        };
+        assert_eq!(opts.seed, Some(42));
+    }
+
+    #[test]
     fn bad_values_are_rejected_with_messages() {
         assert!(parse(&argv(&["run", "--runs", "0"])).is_err());
         assert!(parse(&argv(&["run", "--tolerance", "-5"])).is_err());
         assert!(parse(&argv(&["run", "--unknown-flag"])).is_err());
         assert!(parse(&argv(&["loadgen", "--config"])).is_err());
+        assert!(parse(&argv(&["fuzz", "--seeds", "0"])).is_err());
+        assert!(parse(&argv(&["fuzz", "--seeds", "abc"])).is_err());
+        assert!(parse(&argv(&["fuzz", "--timeout", "0"])).is_err());
+        assert!(parse(&argv(&["fuzz", "--frob"])).is_err());
     }
 }

@@ -48,11 +48,11 @@ impl Placement for SingleNodePlacement {
 /// by index. Used when scaling out under pressure so new containers land
 /// on the least-loaded machine.
 ///
-/// The live runtime's static counterpart is
-/// `dataflower_rt::Placement::load_aware`, which greedily bin-packs
-/// functions onto the least-loaded node of a per-node base-load vector —
-/// the two policies share the `load_aware` name so simulated and live
-/// placement stay recognizably the same knob.
+/// The live runtime's counterpart is the `dataflower_rt::LoadAware`
+/// placement policy, which greedily bin-packs functions onto the
+/// least-loaded node of a per-node base-load vector — the two policies
+/// share the load-aware name so simulated and live placement stay
+/// recognizably the same knob.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LoadAwarePlacement;
 

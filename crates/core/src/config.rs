@@ -40,6 +40,13 @@ pub struct DataFlowerConfig {
     /// successor that has none — its input data is already on the way, so
     /// the cold start overlaps the producer's compute and transfer.
     pub prewarm: bool,
+    /// Record the engine's scheduling decisions (invocations and §7 pipe
+    /// choices) on a timestamped timeline
+    /// ([`DataFlowerEngine::decision_timeline`]) — what trace replay
+    /// diffs against a live run. Costs memory per event; off by default.
+    ///
+    /// [`DataFlowerEngine::decision_timeline`]: crate::DataFlowerEngine::decision_timeline
+    pub record_decisions: bool,
 }
 
 impl Default for DataFlowerConfig {
@@ -56,6 +63,7 @@ impl Default for DataFlowerConfig {
             redo_latency: SimDuration::from_millis(50),
             scale_cooldown: SimDuration::from_millis(100),
             prewarm: false,
+            record_decisions: false,
         }
     }
 }

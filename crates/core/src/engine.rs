@@ -171,9 +171,44 @@ pub struct DataFlowerEngine<P> {
     /// Timestamped §6.2 fault/ReDo events — the simulator-side mirror of
     /// the live runtime's crash/recovery counters.
     fault_timeline: Trace<FaultEvent>,
+    /// Timestamped scheduling decisions (invocations, §7 pipe choices),
+    /// recorded only when [`DataFlowerConfig::record_decisions`] is set —
+    /// what trace replay diffs against a live recording.
+    decision_timeline: Trace<DecisionEvent>,
     pressure_blocks: u64,
     comm_secs_total: f64,
     comm_ops: u64,
+}
+
+/// One scheduling decision of the simulated engine, timestamped in
+/// simulated time on [`DataFlowerEngine::decision_timeline`] when
+/// [`DataFlowerConfig::record_decisions`] is set.
+///
+/// These are exactly the deterministic decisions a live
+/// (`dataflower-rt`) run records in its event trace, so a recorded trace
+/// can be replayed through the simulator and the two timelines compared
+/// event for event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecisionEvent {
+    /// The engine dispatched `(req, func)` to a container (FLU start).
+    Invoke {
+        /// The invoking request.
+        req: RequestId,
+        /// The function dispatched.
+        func: FnId,
+    },
+    /// The DLU classified one inter-function transfer through the §7
+    /// three-way pipe choice.
+    PipeChoice {
+        /// The request the transfer belongs to.
+        req: RequestId,
+        /// The workflow edge shipped.
+        edge: EdgeId,
+        /// The chosen pipe kind.
+        kind: PipeKind,
+        /// The transfer's raw size in bytes.
+        bytes: f64,
+    },
 }
 
 /// One §6.2 fault-recovery event observed by the simulated engine,
@@ -227,6 +262,7 @@ impl<P: Placement> DataFlowerEngine<P> {
             fault_plan: BTreeMap::new(),
             redo_count: 0,
             fault_timeline: Trace::new(),
+            decision_timeline: Trace::new(),
             pressure_blocks: 0,
             comm_secs_total: 0.0,
             comm_ops: 0,
@@ -250,6 +286,13 @@ impl<P: Placement> DataFlowerEngine<P> {
     /// [`FaultEvent::Redo`] when the engine re-queues the invocation.
     pub fn fault_timeline(&self) -> &Trace<FaultEvent> {
         &self.fault_timeline
+    }
+
+    /// Timestamped scheduling decisions (FLU dispatches and §7 pipe
+    /// choices), in simulated-time order. Empty unless
+    /// [`DataFlowerConfig::record_decisions`] was set.
+    pub fn decision_timeline(&self) -> &Trace<DecisionEvent> {
+        &self.decision_timeline
     }
 
     /// Number of pressure-induced FLU blocks (§5.2 telemetry).
@@ -461,6 +504,10 @@ impl<P: Placement> DataFlowerEngine<P> {
             func,
             kind: TriggerKind::Started,
         });
+        if self.cfg.record_decisions {
+            self.decision_timeline
+                .record(world.now(), DecisionEvent::Invoke { req, func });
+        }
         let token = self.tokens.mint(Token::Compute { req, func });
         world.begin_compute(c, total_work, token);
 
@@ -548,6 +595,17 @@ impl<P: Placement> DataFlowerEngine<P> {
                         world.config().direct_threshold_bytes,
                         dst_node == src_node,
                     );
+                    if self.cfg.record_decisions {
+                        self.decision_timeline.record(
+                            world.now(),
+                            DecisionEvent::PipeChoice {
+                                req,
+                                edge: eid,
+                                kind,
+                                bytes: raw,
+                            },
+                        );
+                    }
                     let tag = self.tokens.mint(Token::EdgeFlow {
                         req,
                         edge: eid,

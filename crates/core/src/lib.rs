@@ -70,7 +70,7 @@ mod pressure;
 mod sink;
 
 pub use config::DataFlowerConfig;
-pub use engine::{DataFlowerEngine, FaultEvent};
+pub use engine::{DataFlowerEngine, DecisionEvent, FaultEvent};
 pub use pipe::{choose_pipe, CheckpointSchedule, PipeKind};
 pub use pressure::{pressure_secs, RunningAvg};
 pub use sink::{SinkEntry, Tier, WaitMatchMemory};

@@ -71,6 +71,7 @@ mod node;
 mod orchestrator;
 mod runtime;
 pub mod sink;
+pub mod trace;
 pub mod transport;
 pub mod wire;
 
@@ -90,5 +91,8 @@ pub use runtime::{
     RtConfig, RtStats, Runtime, RuntimeBuilder,
 };
 pub use sink::ShardedSink;
+pub use trace::{
+    diff, replay, Divergence, EventKind, TraceDecoder, TraceError, TraceEvent, TraceRecorder,
+};
 pub use transport::{worker_env, TcpCluster, WorkerEnv};
 pub use wire::{Decoder, Frame, WireError};

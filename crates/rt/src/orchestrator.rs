@@ -43,6 +43,7 @@ use crate::runtime::{
     dlu_daemon, flu_executor, handle_net_msg, node_pressure_of, resolve_active, retention_of,
     seed_req_state, stride, ClusterRuntime, DluMsg, FluMsg, Inner,
 };
+use crate::trace::EventKind as TraceEventKind;
 
 /// Stamps `node`'s keep-alive beat every heartbeat interval while the
 /// node is up (a crashed node stops stamping — that silence is what the
@@ -159,6 +160,10 @@ pub(crate) fn relocate_node(inner: &Arc<Inner>, dead: usize) {
         .counters
         .relocated_fns
         .fetch_add(moves.len() as u64, Ordering::Relaxed);
+    inner.trace_with(|| TraceEventKind::Relocate {
+        dead_node: dead as u32,
+        moved: moves.len() as u32,
+    });
 }
 
 /// The default relocation choice when no policy was given: the
@@ -621,6 +626,13 @@ impl ClusterRuntime {
             .counters
             .live_migrations
             .fetch_add(1, Ordering::Relaxed);
+        inner.trace_with(|| TraceEventKind::Migrate {
+            func: inner
+                .workflow
+                .function_by_name(name)
+                .map_or(u32::MAX, |f| f.index() as u32),
+            to_node: to as u32,
+        });
         Ok(())
     }
 

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use dataflower::{choose_pipe, pressure_secs, CheckpointSchedule, PipeKind};
 use dataflower_metrics::Timeline;
-use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow};
+use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow, WorkflowSpec};
 
 use crate::admission::{AdmissionConfig, AdmissionGate, Rejected, TenantStats};
 use crate::autoscale::{AutoscaleConfig, FnScale, ScaleDirection, ScaleEvent, ScalePolicy};
@@ -56,6 +56,7 @@ use crate::fabric::{chunk_spans, spawn_link, LinkConfig, LinkRetention, NetMsg};
 use crate::fault::{FaultPlan, FaultState, FrameFate};
 use crate::node::{NodeReqState, NodeRuntime, NodeState, Placement, PlacementPolicy, SinkEntry};
 use crate::orchestrator;
+use crate::trace::{EventKind as TraceEventKind, FateKind, TraceEvent, TraceRecorder};
 
 /// A request identifier issued by [`ClusterRuntime::invoke`] /
 /// [`Runtime::invoke`].
@@ -605,6 +606,10 @@ pub(crate) struct Inner {
     /// Monotonic label for respawned pools, so migrated executor threads
     /// get distinct names.
     pub(crate) pool_gen: AtomicU64,
+    /// Trace recorder ([`ClusterRuntimeBuilder::record_trace`]); `None`
+    /// when tracing is off, so every disabled hook costs one `Option`
+    /// check.
+    pub(crate) recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl Inner {
@@ -633,6 +638,14 @@ impl Inner {
             .expect("links lock poisoned")
             .get(src)
             .cloned()
+    }
+
+    /// Records one trace event stamped with microseconds since the
+    /// runtime started. The closure only runs when tracing is enabled.
+    pub(crate) fn trace_with(&self, f: impl FnOnce() -> TraceEventKind) {
+        if let Some(rec) = &self.recorder {
+            rec.record(self.started.elapsed().as_micros() as u64, f());
+        }
     }
 }
 
@@ -710,6 +723,7 @@ pub struct ClusterRuntimeBuilder {
     policy: Option<Arc<dyn PlacementPolicy>>,
     bodies: HashMap<String, Body>,
     replicas: HashMap<String, usize>,
+    record_trace: bool,
 }
 
 /// What [`ClusterRuntimeBuilder::start_worker`] hands the transport: the
@@ -728,6 +742,7 @@ impl ClusterRuntimeBuilder {
             policy: None,
             bodies: HashMap::new(),
             replicas: HashMap::new(),
+            record_trace: false,
         }
     }
 
@@ -771,6 +786,19 @@ impl ClusterRuntimeBuilder {
     /// (scale-out within its node).
     pub fn replicas(mut self, name: impl Into<String>, n: usize) -> Self {
         self.replicas.insert(name.into(), n.max(1));
+        self
+    }
+
+    /// Records a deterministic trace of the run — every invocation, §7
+    /// pipe choice, streaming chunk/mark count, plus advisory scale /
+    /// fault / crash / relocation events (see [`crate::trace`] for the
+    /// format). Collect it with [`ClusterRuntime::trace_events`] or
+    /// [`ClusterRuntime::trace_bytes`]. In-process fabric only: a
+    /// worker-process ([`TcpCluster`]) node records nothing.
+    ///
+    /// [`TcpCluster`]: crate::TcpCluster
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
         self
     }
 
@@ -849,7 +877,29 @@ impl ClusterRuntimeBuilder {
             seeds: self.pool_seeds(&flu_rx),
             extra_threads: Mutex::new(Vec::new()),
             pool_gen: AtomicU64::new(0),
+            recorder: self.record_trace.then(|| Arc::new(TraceRecorder::new())),
         });
+
+        // Trace preamble: everything `trace::replay` needs to rebuild
+        // this run in the simulator — topology, pipe thresholds, the
+        // workflow spec and the initial placement.
+        if inner.recorder.is_some() {
+            let json = WorkflowSpec::from_workflow(&self.workflow).to_json();
+            inner.trace_with(|| TraceEventKind::Meta {
+                nodes: node_count as u32,
+                direct_threshold_bytes: self.cfg.direct_threshold_bytes as u64,
+                chunk_bytes: self.cfg.chunk_bytes as u64,
+                checkpoint_interval_bytes: self.cfg.checkpoint_interval_bytes as u64,
+                workflow_json: json,
+            });
+            for f in self.workflow.function_ids() {
+                let node = self.placement.node_of(&self.workflow.function(f).name);
+                inner.trace_with(|| TraceEventKind::Place {
+                    func: f.index() as u32,
+                    node: node as u32,
+                });
+            }
+        }
 
         // Fabric: one bounded link + shipper thread per directed node
         // pair. The rows live in `Inner.links` (the live routing table);
@@ -1015,6 +1065,7 @@ impl ClusterRuntimeBuilder {
             seeds: self.pool_seeds(&flu_rx),
             extra_threads: Mutex::new(Vec::new()),
             pool_gen: AtomicU64::new(0),
+            recorder: None,
         });
 
         // Only the local node runs threads; its DLU daemons route over
@@ -1317,6 +1368,10 @@ impl ClusterRuntime {
         // derivation every worker process repeats from the request id
         // alone, so all endpoints agree on the active graph.
         let active = resolve_active(wf, req.0);
+        self.inner.trace_with(|| TraceEventKind::Request {
+            req: req.0,
+            payload_bytes: inputs.iter().map(|(_, p)| p.len() as u64).sum(),
+        });
 
         let outputs_missing = wf
             .client_outputs()
@@ -1405,6 +1460,41 @@ impl ClusterRuntime {
     /// [`ClusterRuntime::try_invoke`] traffic arrived.
     pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
         self.inner.gate.tenant_stats()
+    }
+
+    /// The recorded trace so far, in record order (`None` unless the
+    /// runtime was built with [`ClusterRuntimeBuilder::record_trace`]).
+    /// Feed it to [`trace::replay`](crate::trace::replay) and
+    /// [`trace::diff`](crate::trace::diff) for sim↔live differential
+    /// checking.
+    pub fn trace_events(&self) -> Option<Vec<TraceEvent>> {
+        self.inner.recorder.as_ref().map(|r| r.events())
+    }
+
+    /// The recorded trace in its on-disk encoding (the [`crate::trace`]
+    /// `DFTR` format), ready to write to a file.
+    ///
+    /// This is a live snapshot: transfers off a request's critical path
+    /// (a sibling branch still shipping when the last client output
+    /// lands) record their events concurrently with
+    /// [`ClusterRuntime::wait`] returning, so a trace read while the
+    /// cluster is up may miss trailing events. For a complete trace,
+    /// use [`ClusterRuntime::shutdown_into_trace`].
+    pub fn trace_bytes(&self) -> Option<Vec<u8>> {
+        self.inner.recorder.as_ref().map(|r| r.to_bytes())
+    }
+
+    /// Shuts the runtime down ([`ClusterRuntime::shutdown`]) and returns
+    /// the recorded trace in its on-disk [`crate::trace`] encoding
+    /// (`None` unless built with
+    /// [`ClusterRuntimeBuilder::record_trace`]). Unlike
+    /// [`ClusterRuntime::trace_bytes`], the trace is read only after
+    /// every node and fabric thread has drained and joined, so it is
+    /// guaranteed to hold every event of every completed request.
+    pub fn shutdown_into_trace(self) -> Option<Vec<u8>> {
+        let recorder = self.inner.recorder.clone();
+        self.shutdown();
+        recorder.map(|r| r.to_bytes())
     }
 
     /// Blocks until every client output of `req` arrived, or `timeout`.
@@ -1871,6 +1961,13 @@ pub(crate) fn flu_executor(
             FluMsg::Retire => break,
             FluMsg::Invoke { req, inputs } => {
                 inner.counters.invocations.fetch_add(1, Ordering::Relaxed);
+                inner.trace_with(|| TraceEventKind::Invoke {
+                    req: req.0,
+                    func: inner
+                        .workflow
+                        .function_by_name(&fn_name)
+                        .map_or(u32::MAX, |f| f.index() as u32),
+                });
                 let mut ctx = FluContext::new(
                     req,
                     fn_name.clone(),
@@ -1976,6 +2073,16 @@ fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
                     left
                 }
             };
+            inner.trace_with(|| TraceEventKind::Scale {
+                func: inner
+                    .workflow
+                    .function_by_name(&seed.name)
+                    .map_or(u32::MAX, |f| f.index() as u32),
+                node: seed.node as u32,
+                out: direction == ScaleDirection::Out,
+                from_replicas: replicas as u32,
+                to_replicas: to_replicas as u32,
+            });
             inner
                 .scale_events
                 .lock()
@@ -2118,6 +2225,19 @@ fn ship(
         inner.cfg.direct_threshold_bytes as f64,
         src_node == dst_node,
     );
+    // §7 decisions are only sim-comparable for inter-function edges;
+    // wire-mode client outputs ride ship() too but have no simulated
+    // pipe-choice counterpart.
+    let traced = inner.recorder.is_some()
+        && matches!(inner.workflow.edge(edge).target, Endpoint::Function(_));
+    if traced {
+        inner.trace_with(|| TraceEventKind::PipeChoice {
+            req: req.0,
+            edge: edge.index() as u32,
+            kind,
+            bytes: len as u64,
+        });
+    }
     match kind {
         PipeKind::DirectSocket => {
             inner.counters.direct_socket.fetch_add(1, Ordering::Relaxed);
@@ -2152,12 +2272,33 @@ fn ship(
             let depth = &inner.link_depth[src_node * stride(inner) + dst_node];
             let transfer = inner.next_transfer.fetch_add(1, Ordering::Relaxed);
             let cp = CheckpointSchedule::new(inner.cfg.checkpoint_interval_bytes as f64);
-            for (lo, hi) in chunk_spans(len, inner.cfg.chunk_bytes) {
+            let spans = chunk_spans(len, inner.cfg.chunk_bytes);
+            // Record the prescribed chunk/mark counts *before* streaming:
+            // the instant the last chunk lands the consumer can run and
+            // complete the request, so a record after the loop can race
+            // the end-of-run trace snapshot and go missing. The counts
+            // are pure functions of (len, chunk_bytes, interval) — the
+            // same numbers the §7 replay derives.
+            if traced {
+                let chunks = spans.len() as u32;
+                let marks: u64 = spans
+                    .iter()
+                    .map(|&(lo, hi)| cp.marks_crossed(lo as f64, hi as f64))
+                    .sum();
+                inner.trace_with(|| TraceEventKind::RemoteMarks {
+                    req: req.0,
+                    edge: edge.index() as u32,
+                    chunks,
+                    marks: marks as u32,
+                });
+            }
+            for (lo, hi) in spans {
                 inner.counters.remote_chunks.fetch_add(1, Ordering::Relaxed);
+                let crossed = cp.marks_crossed(lo as f64, hi as f64);
                 inner
                     .counters
                     .remote_checkpoints
-                    .fetch_add(cp.marks_crossed(lo as f64, hi as f64), Ordering::Relaxed);
+                    .fetch_add(crossed, Ordering::Relaxed);
                 // Zero-copy: each chunk frame is an O(1) view into the
                 // payload's shared allocation, not a copied sub-buffer —
                 // and so is the retained replay copy (a refcount bump).
@@ -2260,14 +2401,29 @@ pub(crate) fn chaos_ingress(inner: &Inner, src: usize, dst: usize, msg: NetMsg) 
                 // retention window (recovery retransmits it once its ack
                 // times out); without recovery it is simply gone.
                 inner.counters.chaos_drops.fetch_add(1, Ordering::Relaxed);
+                inner.trace_with(|| TraceEventKind::FaultFate {
+                    src: src as u32,
+                    dst: dst as u32,
+                    fate: FateKind::Drop,
+                });
                 return;
             }
             FrameFate::Duplicate => {
                 inner.counters.chaos_dups.fetch_add(1, Ordering::Relaxed);
+                inner.trace_with(|| TraceEventKind::FaultFate {
+                    src: src as u32,
+                    dst: dst as u32,
+                    fate: FateKind::Duplicate,
+                });
                 handle_net_msg(inner, src, dst, msg.clone());
             }
             FrameFate::Delay(d) => {
                 inner.counters.chaos_delays.fetch_add(1, Ordering::Relaxed);
+                inner.trace_with(|| TraceEventKind::FaultFate {
+                    src: src as u32,
+                    dst: dst as u32,
+                    fate: FateKind::Delay,
+                });
                 if !inner.shutdown.load(Ordering::Relaxed) {
                     std::thread::sleep(d);
                 }
@@ -2612,6 +2768,7 @@ fn crash_node_inner(inner: &Inner, node: usize) -> CrashReport {
     }
     report.was_up = true;
     inner.counters.node_crashes.fetch_add(1, Ordering::Relaxed);
+    inner.trace_with(|| TraceEventKind::Crash { node: node as u32 });
     let interval = inner.cfg.checkpoint_interval_bytes;
     inner.nodes[node].sink.for_each_mut(|_, rs| {
         for r in rs.partial.values_mut() {
@@ -2635,6 +2792,7 @@ fn restart_node_inner(inner: &Inner, node: usize) {
         return; // not down
     }
     inner.counters.node_restarts.fetch_add(1, Ordering::Relaxed);
+    inner.trace_with(|| TraceEventKind::Restart { node: node as u32 });
     if inner.cfg.recovery.enabled {
         replay_links_into(inner, node, None);
     }

@@ -20,7 +20,6 @@ use dataflower_rt::{
 
 use crate::benchmarks::Benchmark;
 use crate::common::run_verified;
-use crate::harness::Scenario;
 use crate::live::live_runtime;
 
 /// Runtime tuning of the chaos scenario: a lowered 4 KiB direct-socket
@@ -50,7 +49,8 @@ pub(crate) fn chaos_rt_config(seed: u64) -> ClusterRtConfig {
     }
 }
 
-/// Parameters of a [`Scenario::chaos_cluster`] run.
+/// Parameters of a crash-and-restart chaos run
+/// ([`FaultMode::ChaosCrashRestart`](crate::FaultMode::ChaosCrashRestart)).
 #[derive(Debug, Clone)]
 pub struct ChaosClusterConfig {
     /// Worker nodes in the topology (by-level spread, like the
@@ -96,7 +96,7 @@ impl Default for ChaosClusterConfig {
 }
 
 /// Outcome of one chaos run: the usual live counters plus the crash
-/// story. Produced by [`Scenario::chaos_cluster`].
+/// story. Produced by the chaos runners.
 #[derive(Debug, Clone)]
 pub struct ChaosClusterReport {
     /// Short benchmark name (`wc`, `vid`, `svd`, `img`).
@@ -120,50 +120,9 @@ pub struct ChaosClusterReport {
     pub stats: RtStats,
 }
 
-impl Scenario {
-    /// Runs `bench` live on an N-node [`ClusterRuntime`] under a seeded
-    /// [`FaultPlan`] (dropped / duplicated / delayed fabric frames),
-    /// crashes one node mid-flight once it holds a checkpointed
-    /// in-flight transfer, restarts it after [`ChaosClusterConfig::outage`],
-    /// and validates every output byte-for-byte against a straight-line
-    /// reference computation.
-    ///
-    /// The victim is the node hosting the first post-entry dependency
-    /// level (node 1 under the by-level spread) — in every benchmark the
-    /// node receiving the large fan-out intermediates over the streaming
-    /// remote pipe.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a request misses its deadline, any output diverges from
-    /// the reference, no crash window with a checkpoint-marked transfer
-    /// opens within [`ChaosClusterConfig::crash_deadline`], the restart
-    /// replays nothing (`recovered_transfers == 0`), or recovery resumed
-    /// from byte 0 instead of a mark (`resumed_from_mark_bytes == 0`).
-    ///
-    /// # Examples
-    ///
-    /// ```no_run
-    /// use dataflower_workloads::{Benchmark, FaultMode, WorkloadSpec};
-    ///
-    /// let report = WorkloadSpec::new()
-    ///     .benchmark(Benchmark::Wc)
-    ///     .faults(FaultMode::ChaosCrashRestart)
-    ///     .run();
-    /// assert!(report.stats.recovered_transfers > 0);
-    /// assert!(report.stats.resumed_from_mark_bytes > 0);
-    /// ```
-    #[deprecated(note = "compose a `WorkloadSpec` with \
-                 `.faults(FaultMode::ChaosCrashRestart)` instead")]
-    pub fn chaos_cluster(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
-        run_chaos_cluster(bench, cfg)
-    }
-}
-
 /// The crash-and-restart chaos runner — the body behind
 /// [`WorkloadSpec`](crate::WorkloadSpec) with
-/// [`FaultMode::ChaosCrashRestart`](crate::FaultMode::ChaosCrashRestart)
-/// and the deprecated [`Scenario::chaos_cluster`] shim.
+/// [`FaultMode::ChaosCrashRestart`](crate::FaultMode::ChaosCrashRestart).
 pub(crate) fn run_chaos_cluster(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
     assert!(cfg.nodes >= 2, "chaos_cluster needs a node to crash");
     let wf = bench.workflow();

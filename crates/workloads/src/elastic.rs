@@ -21,7 +21,6 @@ use dataflower_workflow::{SizeModel, WorkModel, Workflow, WorkflowBuilder};
 
 use crate::benchmarks::Benchmark;
 use crate::common::{branch_ordered, live_input, noise, reference_output};
-use crate::harness::Scenario;
 use crate::live::live_runtime;
 
 /// Runtime tuning shared by the elastic scenarios: short DLU and fabric
@@ -54,7 +53,9 @@ pub(crate) fn elastic_rt_config() -> ClusterRtConfig {
     }
 }
 
-/// Parameters of a [`Scenario::bursty_cluster`] run.
+/// Parameters of a warmed-up burst run
+/// ([`WorkloadSpec::warmup`](crate::WorkloadSpec::warmup) plus a
+/// request burst).
 #[derive(Debug, Clone)]
 pub struct BurstyClusterConfig {
     /// Worker nodes in the topology (by-level spread).
@@ -92,7 +93,8 @@ impl Default for BurstyClusterConfig {
     }
 }
 
-/// Parameters of a [`Scenario::skewed_fanout`] run.
+/// Parameters of a Zipf-skewed fan-out run
+/// ([`WorkloadSpec::skewed_fanout`](crate::WorkloadSpec::skewed_fanout)).
 #[derive(Debug, Clone)]
 pub struct SkewedFanoutConfig {
     /// Worker nodes; functions are placed with the [`LoadAware`] policy
@@ -173,8 +175,7 @@ impl ElasticReport {
 }
 
 /// The warmed-up burst runner — the body behind
-/// [`WorkloadSpec`](crate::WorkloadSpec) with a non-zero warm-up and the
-/// deprecated [`Scenario::bursty_cluster`] shim.
+/// [`WorkloadSpec`](crate::WorkloadSpec) with a non-zero warm-up.
 pub(crate) fn run_bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) -> ElasticReport {
     let wf = bench.workflow();
     let placement = ByLevel.initial(&wf, cfg.nodes);
@@ -223,8 +224,7 @@ pub(crate) fn run_bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) ->
 }
 
 /// The Zipf-skewed fan-out runner — the body behind
-/// [`WorkloadSpec::skewed_fanout`](crate::WorkloadSpec::skewed_fanout)
-/// and the deprecated [`Scenario::skewed_fanout`] shim.
+/// [`WorkloadSpec::skewed_fanout`](crate::WorkloadSpec::skewed_fanout).
 pub(crate) fn run_skewed_fanout(cfg: &SkewedFanoutConfig) -> ElasticReport {
     assert!(cfg.branches > 0, "skewed fan-out needs at least one branch");
     let shares = zipf_shares(cfg.branches, cfg.zipf_exponent);
@@ -292,57 +292,6 @@ pub(crate) fn run_skewed_fanout(cfg: &SkewedFanoutConfig) -> ElasticReport {
         elapsed,
         output_bytes,
     )
-}
-
-impl Scenario {
-    /// Drives an open-loop **burst** through `bench` on a live,
-    /// autoscaled cluster: a short warm-up trickle, then
-    /// `burst_requests` concurrent requests whose DLU backlog pushes
-    /// Eq. 1 pressure past the threshold (scale-out), followed by a
-    /// settle window in which the drained pools shrink again
-    /// (cool-down-guarded scale-in). Every output is validated
-    /// byte-for-byte against the straight-line reference.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a request misses its deadline or any output diverges
-    /// from the reference computation.
-    ///
-    /// # Examples
-    ///
-    /// ```no_run
-    /// use dataflower_workloads::{Benchmark, WorkloadSpec};
-    ///
-    /// let report = WorkloadSpec::new()
-    ///     .benchmark(Benchmark::Wc)
-    ///     .warmup(2)
-    ///     .requests(12)
-    ///     .payload_bytes(192 * 1024)
-    ///     .run();
-    /// assert!(report.stats.scale_out_events >= 1);
-    /// ```
-    #[deprecated(note = "compose a `WorkloadSpec` with `.warmup(n).requests(burst)` instead")]
-    pub fn bursty_cluster(bench: Benchmark, cfg: &BurstyClusterConfig) -> ElasticReport {
-        run_bursty_cluster(bench, cfg)
-    }
-
-    /// Drives Zipf-skewed fan-outs through a live, autoscaled cluster: a
-    /// splitter cuts each request's payload into `branches` shards whose
-    /// sizes follow a Zipf distribution, per-branch workers transform
-    /// their shard, and a merger re-concatenates — validated
-    /// byte-for-byte against a straight-line reference. Functions are
-    /// placed with the [`LoadAware`] policy over the modeled branch
-    /// costs, so the heavy head branches spread across nodes instead of
-    /// piling onto one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a request misses its deadline or any output diverges
-    /// from the reference computation.
-    #[deprecated(note = "compose a `WorkloadSpec` with `.skewed_fanout(branches, s)` instead")]
-    pub fn skewed_fanout(cfg: &SkewedFanoutConfig) -> ElasticReport {
-        run_skewed_fanout(cfg)
-    }
 }
 
 /// Waits for one request and asserts its single output equals `expected`.

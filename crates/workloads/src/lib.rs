@@ -28,10 +28,7 @@
 //!   million-request arrival schedules, Zipf tenant and workflow mixes,
 //!   per-tenant admission control, p50/p99/p999 latency timelines and
 //!   committed markdown run reports.
-//!
-//! The old per-scenario constructors (`Scenario::live_cluster`,
-//! `Scenario::chaos_cluster`, …) survive as deprecated shims over the
-//! same runners.
+
 //!
 //! # Examples
 //!
@@ -68,6 +65,7 @@ mod benchmarks;
 mod chaos;
 mod common;
 mod elastic;
+pub mod fuzz;
 mod harness;
 mod live;
 pub mod loadgen;
@@ -79,6 +77,7 @@ mod system;
 pub use benchmarks::{image_pipeline, svd, video_ffmpeg, wordcount, Benchmark, WcParams};
 pub use chaos::{ChaosClusterConfig, ChaosClusterReport};
 pub use elastic::{BurstyClusterConfig, ElasticReport, SkewedFanoutConfig};
+pub use fuzz::{run_diff_fuzz, FuzzConfig, FuzzFailure, FuzzReport};
 pub use harness::Scenario;
 pub use live::{LiveClusterConfig, LiveClusterReport, LivePlacement};
 pub use loadgen::{LoadgenCell, LoadgenConfig, LoadgenReport, TrafficSpec};

@@ -2,7 +2,7 @@
 //! FLU/DLU cluster runtime — real threads, real bytes, real pipes.
 //!
 //! Where [`Scenario::open_loop`](crate::Scenario::open_loop) *simulates*
-//! a benchmark's timing, [`Scenario::live_cluster`] *executes* it: every
+//! a benchmark's timing, [`WorkloadSpec`](crate::WorkloadSpec) *executes* it: every
 //! function body does actual byte-level work (splitting, counting,
 //! transcoding, factorizing), payloads really cross the inter-node
 //! fabric, and the run is validated against a straight-line reference
@@ -30,11 +30,10 @@ use crate::common::{
     blur, branch_ordered, count_table, digest_expand, downsample, even_spans, factorize, render,
     run_verified, transcode, SVD_BLOCKS, VID_BRANCHES, WC_FAN_OUT,
 };
-use crate::harness::Scenario;
 
 /// How the live runner places benchmark functions on nodes. Each variant
-/// stands for one of the stock [`PlacementPolicy`] implementations; use
-/// [`Scenario::live_cluster_with`] to drive a custom policy instead.
+/// stands for one of the stock [`PlacementPolicy`] implementations,
+/// selected with [`WorkloadSpec::placement`](crate::WorkloadSpec::placement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LivePlacement {
     /// Everything co-located on node 0 (the paper's single-worker
@@ -61,7 +60,8 @@ impl LivePlacement {
     }
 }
 
-/// Parameters of a [`Scenario::live_cluster`] run.
+/// Parameters of a plain closed-loop live run (the
+/// [`WorkloadSpec`](crate::WorkloadSpec) default).
 #[derive(Debug, Clone)]
 pub struct LiveClusterConfig {
     /// Worker nodes in the topology.
@@ -94,7 +94,7 @@ impl Default for LiveClusterConfig {
 }
 
 /// Outcome of one live benchmark run: wall-clock time plus the runtime's
-/// pipe/transfer counters. Produced by [`Scenario::live_cluster`].
+/// pipe/transfer counters. Produced by the live runners.
 #[derive(Debug, Clone)]
 pub struct LiveClusterReport {
     /// Short benchmark name (`wc`, `vid`, `svd`, `img`).
@@ -111,17 +111,35 @@ pub struct LiveClusterReport {
     pub stats: RtStats,
 }
 
-/// The plain closed-loop live runner — the body behind both
-/// [`WorkloadSpec`](crate::WorkloadSpec) (no faults, closed loop,
-/// in-process) and the deprecated [`Scenario::live_cluster`] shim.
+/// Untraced [`run_live_cluster_traced`] (test convenience).
+#[cfg(test)]
 pub(crate) fn run_live_cluster(
     bench: Benchmark,
     cfg: &LiveClusterConfig,
     policy: &dyn PlacementPolicy,
 ) -> LiveClusterReport {
+    run_live_cluster_traced(bench, cfg, policy, None)
+}
+
+/// The plain closed-loop live runner — the body behind
+/// [`WorkloadSpec`](crate::WorkloadSpec) (no faults, closed loop,
+/// in-process). When `trace_path` is set, the runtime records a
+/// [`dataflower_rt::trace`] event stream and writes it (in the on-disk
+/// `DFTR` encoding) to that path after the run — the
+/// [`WorkloadSpec::record_trace`](crate::WorkloadSpec::record_trace)
+/// knob.
+pub(crate) fn run_live_cluster_traced(
+    bench: Benchmark,
+    cfg: &LiveClusterConfig,
+    policy: &dyn PlacementPolicy,
+    trace_path: Option<&std::path::Path>,
+) -> LiveClusterReport {
     let wf = bench.workflow();
     let placement = policy.initial(&wf, cfg.nodes);
-    let rt = live_runtime(bench, Arc::clone(&wf), placement, cfg.rt.clone());
+    let rt = live_builder(bench, Arc::clone(&wf), placement, cfg.rt.clone())
+        .record_trace(trace_path.is_some())
+        .start()
+        .expect("live benchmark bodies cover the DAG");
     let run = run_verified(
         "live",
         bench,
@@ -134,7 +152,16 @@ pub(crate) fn run_live_cluster(
     );
     let stats = rt.stats();
     let nodes = rt.node_count(); // actual topology: SingleNode forces 1
-    rt.shutdown();
+
+    // Teardown first, trace second: events for transfers off a
+    // request's critical path can be recorded after the last `wait`
+    // returns, so only a post-shutdown read is guaranteed complete.
+    let trace = rt.shutdown_into_trace();
+    if let (Some(path), Some(bytes)) = (trace_path, trace) {
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("warning: could not write trace to {}: {e}", path.display());
+        }
+    }
     LiveClusterReport {
         benchmark: bench.name(),
         nodes,
@@ -142,54 +169,6 @@ pub(crate) fn run_live_cluster(
         elapsed: run.elapsed,
         output_bytes: run.output_bytes,
         stats,
-    }
-}
-
-impl Scenario {
-    /// Runs `bench` **live** on an N-node [`ClusterRuntime`]: real
-    /// threads execute real function bodies, and every inter-function
-    /// payload crosses the paper's three-way pipe choice under the
-    /// configured placement. Results are validated byte-for-byte against
-    /// a straight-line reference computation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a request misses its deadline or any output diverges
-    /// from the reference — the live runtime dropping, duplicating or
-    /// reordering data is a bug, not a data point.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use dataflower_workloads::{Benchmark, WorkloadSpec};
-    ///
-    /// let report = WorkloadSpec::new()
-    ///     .benchmark(Benchmark::Wc)
-    ///     .payload_bytes(64 * 1024)
-    ///     .run();
-    /// assert_eq!(report.nodes, 3);
-    /// assert!(report.stats.remote_pipe_transfers > 0);
-    /// ```
-    #[deprecated(note = "compose a `WorkloadSpec` instead: \
-                 `WorkloadSpec::new().benchmark(bench).requests(n).run()`")]
-    pub fn live_cluster(bench: Benchmark, cfg: &LiveClusterConfig) -> LiveClusterReport {
-        run_live_cluster(bench, cfg, cfg.placement.policy())
-    }
-
-    /// [`Scenario::live_cluster`] with an explicit [`PlacementPolicy`]
-    /// instead of one of the stock [`LivePlacement`] variants —
-    /// `cfg.placement` is ignored in favour of `policy`.
-    ///
-    /// # Panics
-    ///
-    /// Same contract as [`Scenario::live_cluster`].
-    #[deprecated(note = "compose a `WorkloadSpec` with `.placement(..)` instead")]
-    pub fn live_cluster_with(
-        bench: Benchmark,
-        cfg: &LiveClusterConfig,
-        policy: &dyn PlacementPolicy,
-    ) -> LiveClusterReport {
-        run_live_cluster(bench, cfg, policy)
     }
 }
 

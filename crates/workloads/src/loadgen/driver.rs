@@ -110,6 +110,8 @@ struct BenchTally {
     completed: u64,
     failed: u64,
     output_bytes: u64,
+    /// Completions slower than the configured p99 SLO (0 without one).
+    slo_violations: u64,
     /// First completion is verified byte-for-byte against the reference;
     /// the rest are length-checked (comparing 10⁶ payloads would turn
     /// the harness into a memcmp benchmark).
@@ -119,11 +121,15 @@ struct BenchTally {
 struct Shared {
     timeline: QuantileTimeline,
     tallies: Vec<BenchTally>,
+    /// SLO violations per tenant index (empty without an SLO).
+    tenant_violations: Vec<u64>,
 }
 
 /// A dispatched request travelling from the dispatcher to a waiter.
 struct Job {
     bench: usize,
+    /// Tenant index the arrival was drawn for (SLO attribution).
+    tenant: usize,
     req: ReqId,
     /// Scheduled arrival offset (seconds since run start).
     scheduled: f64,
@@ -156,6 +162,9 @@ pub struct BenchLoad {
     pub mean: f64,
     /// Worst observed latency in seconds.
     pub max: f64,
+    /// Completions slower than the traffic spec's p99 SLO (0 when no
+    /// SLO is configured).
+    pub slo_violations: u64,
 }
 
 /// Everything one load cell produced: per-benchmark latency tables, the
@@ -201,9 +210,19 @@ pub struct CellReport {
     /// Per-tenant admission counters (merged across clusters), sorted by
     /// tenant name.
     pub tenant_stats: Vec<(String, TenantStats)>,
+    /// The configured p99 latency SLO in seconds, if any.
+    pub slo_p99: Option<f64>,
+    /// Per-tenant SLO violation counts, sorted by tenant name — only
+    /// tenants with at least one violation appear. Empty without an SLO.
+    pub slo_violations: Vec<(String, u64)>,
 }
 
 impl CellReport {
+    /// Total SLO violations across tenants (0 without an SLO).
+    pub fn slo_violation_total(&self) -> u64 {
+        self.slo_violations.iter().map(|(_, n)| n).sum()
+    }
+
     /// Rejected arrivals as a fraction of offered arrivals.
     pub fn reject_rate(&self) -> f64 {
         if self.offered == 0 {
@@ -359,9 +378,11 @@ pub fn run_cell(cell: &LoadgenCell) -> CellReport {
                 completed: 0,
                 failed: 0,
                 output_bytes: 0,
+                slo_violations: 0,
                 verified: false,
             })
             .collect(),
+        tenant_violations: vec![0; spec.tenants],
     });
 
     let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
@@ -401,6 +422,10 @@ pub fn run_cell(cell: &LoadgenCell) -> CellReport {
                             tally.output_bytes += outputs[0].1.len() as u64;
                             let latency = (done - job.scheduled).max(0.0);
                             tally.latency.record(latency);
+                            if cell.traffic.slo_p99.is_some_and(|slo| latency > slo) {
+                                tally.slo_violations += 1;
+                                sh.tenant_violations[job.tenant] += 1;
+                            }
                             sh.timeline.record(done, latency);
                         }
                         Err(_) => tally.failed += 1,
@@ -437,6 +462,7 @@ pub fn run_cell(cell: &LoadgenCell) -> CellReport {
                 // Send can only fail if every waiter panicked; propagate.
                 let job = Job {
                     bench,
+                    tenant,
                     req,
                     scheduled: at,
                 };
@@ -490,6 +516,7 @@ pub fn run_cell(cell: &LoadgenCell) -> CellReport {
             p999: tally.latency.p999(),
             mean: tally.latency.mean(),
             max: tally.latency.max(),
+            slo_violations: tally.slo_violations,
         });
     }
 
@@ -510,6 +537,14 @@ pub fn run_cell(cell: &LoadgenCell) -> CellReport {
         .enumerate()
         .map(|(i, _)| shared.tallies[i].output_bytes)
         .sum();
+
+    let slo_violations: Vec<(String, u64)> = shared
+        .tenant_violations
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(t, n)| (tenant_names[t].clone(), *n))
+        .collect();
 
     CellReport {
         label: cell.label.clone(),
@@ -534,6 +569,8 @@ pub fn run_cell(cell: &LoadgenCell) -> CellReport {
         timeline,
         stats,
         tenant_stats,
+        slo_p99: cell.traffic.slo_p99,
+        slo_violations,
     }
 }
 
@@ -561,6 +598,40 @@ mod tests {
             .iter()
             .map(|(t, s)| (t.clone(), s.admitted + s.rejected))
             .collect()
+    }
+
+    #[test]
+    fn slo_violations_are_tallied_per_tenant_and_per_benchmark() {
+        // An impossible 0-second SLO makes every completion a violation,
+        // so the per-tenant and per-benchmark tallies must both sum to
+        // the completion count exactly.
+        let cell = LoadgenCell {
+            nodes: 1,
+            traffic: TrafficSpec {
+                requests: 200,
+                rate_per_sec: 2_000.0,
+                tenants: 4,
+                waiters: 2,
+                slo_p99: Some(0.0),
+                ..TrafficSpec::default()
+            },
+            ..LoadgenCell::default()
+        };
+        let report = run_cell(&cell);
+        assert!(report.completed > 0, "nothing completed");
+        assert_eq!(report.slo_p99, Some(0.0));
+        assert_eq!(report.slo_violation_total(), report.completed);
+        let per_bench: u64 = report.per_bench.iter().map(|b| b.slo_violations).sum();
+        assert_eq!(per_bench, report.completed);
+        assert!(!report.slo_violations.is_empty());
+
+        // Without an SLO nothing is tallied.
+        let mut no_slo = cell;
+        no_slo.traffic.slo_p99 = None;
+        let report = run_cell(&no_slo);
+        assert_eq!(report.slo_p99, None);
+        assert!(report.slo_violations.is_empty());
+        assert!(report.per_bench.iter().all(|b| b.slo_violations == 0));
     }
 
     #[test]

@@ -72,11 +72,16 @@ pub struct TrafficSpec {
     pub window_secs: f64,
     /// Waiter threads retrieving results.
     pub waiters: usize,
+    /// Optional p99 latency SLO in seconds: every completion slower than
+    /// this counts as a violation, tallied per tenant and per benchmark
+    /// in the [`CellReport`]. `None` disables SLO accounting.
+    pub slo_p99: Option<f64>,
 }
 
 impl Default for TrafficSpec {
     /// 2 000 Poisson arrivals at 1 000 req/s from 50 Zipf(1.1) tenants,
-    /// per-tenant cap 8, total cap 512, 0.5 s windows, 4 waiters.
+    /// per-tenant cap 8, total cap 512, 0.5 s windows, 4 waiters, no
+    /// latency SLO.
     fn default() -> Self {
         TrafficSpec {
             requests: 2_000,
@@ -90,6 +95,7 @@ impl Default for TrafficSpec {
             max_inflight_total: 512,
             window_secs: 0.5,
             waiters: 4,
+            slo_p99: None,
         }
     }
 }
@@ -144,8 +150,9 @@ pub struct LoadgenConfig {
 
 impl LoadgenConfig {
     /// The tiny PR-gate config: one wordcount cell, 2 000 offered
-    /// requests, seconds of wall clock. This is what `ci.sh` and the
-    /// workflow's bench-smoke job run on every push.
+    /// requests, seconds of wall clock, with a 250 ms p99 SLO so the
+    /// violation column is exercised on every push. This is what
+    /// `ci.sh` and the workflow's bench-smoke job run.
     pub fn smoke() -> LoadgenConfig {
         LoadgenConfig {
             name: "smoke",
@@ -155,6 +162,7 @@ impl LoadgenConfig {
                     requests: 2_000,
                     rate_per_sec: 1_000.0,
                     tenants: 50,
+                    slo_p99: Some(0.25),
                     ..TrafficSpec::default()
                 },
                 ..LoadgenCell::default()

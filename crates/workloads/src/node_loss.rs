@@ -1,7 +1,7 @@
 //! Permanent node loss and voluntary live migration on the live
 //! cluster runtime, driven by the orchestrator control plane.
 //!
-//! [`Scenario::node_loss_relocation`] kills one node **permanently**
+//! [`FaultMode::NodeLoss`](crate::FaultMode::NodeLoss) kills one node **permanently**
 //! mid-run — no restart, ever — and relies entirely on the two-level
 //! orchestrator to heal the cluster: heartbeats stop, the controller
 //! (in-process) or the coordinator (TCP) counts the missed beats,
@@ -11,7 +11,7 @@
 //! a straight-line reference computation, over both the in-process
 //! fabric and the worker-process TCP transport.
 //!
-//! [`Scenario::live_migration`] exercises the same rehome machinery
+//! [`FaultMode::LiveMigration`](crate::FaultMode::LiveMigration) exercises the same rehome machinery
 //! voluntarily: a hot function is migrated to the least-pressured node
 //! while its payloads are in flight, and the outputs must not diverge
 //! by a byte.
@@ -26,7 +26,6 @@ use dataflower_workflow::Workflow;
 
 use crate::benchmarks::Benchmark;
 use crate::common::run_verified;
-use crate::harness::Scenario;
 use crate::live::live_runtime;
 use crate::socket::{launch_bench_cluster, TcpProfile};
 
@@ -51,7 +50,7 @@ pub(crate) fn orchestrated_rt_config() -> ClusterRtConfig {
         .build()
 }
 
-/// Which transport a [`Scenario::node_loss_relocation`] run executes
+/// Which transport a node-loss run executes
 /// over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeLossTransport {
@@ -74,8 +73,7 @@ impl NodeLossTransport {
     }
 }
 
-/// Parameters of a [`Scenario::node_loss_relocation`] or
-/// [`Scenario::live_migration`] run.
+/// Parameters of a node-loss or live-migration run.
 #[derive(Debug, Clone)]
 pub struct NodeLossConfig {
     /// Transport the cluster runs over (live migration is in-process
@@ -115,7 +113,7 @@ impl Default for NodeLossConfig {
 }
 
 /// Outcome of one node-loss (or live-migration) run. Produced by
-/// [`Scenario::node_loss_relocation`] and [`Scenario::live_migration`].
+/// the node-loss and live-migration runners.
 #[derive(Debug, Clone)]
 pub struct NodeLossReport {
     /// Short benchmark name (`wc`, `vid`, `svd`, `img`).
@@ -151,60 +149,9 @@ fn hosted_on(wf: &Workflow, nodes: usize, victim: usize) -> Vec<String> {
         .collect()
 }
 
-impl Scenario {
-    /// Runs `bench` live, kills node 1 **permanently** mid-stream, and
-    /// lets the orchestrator heal the cluster: heartbeat silence is
-    /// detected after the miss threshold, the victim's functions are
-    /// relocated to the least-pressured survivors, the routing tables
-    /// are re-patched and the in-flight transfers replayed. Every
-    /// output is validated byte-for-byte against a straight-line
-    /// reference computation — a single lost, duplicated or reordered
-    /// byte across the relocation panics.
-    ///
-    /// Over [`NodeLossTransport::Tcp`] the victim is a real OS process
-    /// killed with `SIGKILL`, the heartbeats are coordinator pings over
-    /// the control channel, and the replay re-fires from byte 0 (the
-    /// dead process took its checkpoint log with it). In-process, the
-    /// victim's heartbeat responder falls silent and the replay resumes
-    /// from the last acked checkpoint mark.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a request misses its deadline, any output diverges
-    /// from the reference, no kill window with an in-flight transfer
-    /// opens within [`NodeLossConfig::kill_deadline`], the control
-    /// plane never declared the loss (`node_losses == 0`), nothing was
-    /// relocated, or any victim-hosted function still routes to the
-    /// dead node afterwards.
-    #[deprecated(note = "compose a `WorkloadSpec` with `.faults(FaultMode::NodeLoss)` instead")]
-    pub fn node_loss_relocation(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
-        run_node_loss(bench, cfg)
-    }
-
-    /// Runs `bench` live (in-process) and, mid-stream, voluntarily
-    /// migrates one victim-hosted function to the least-pressured other
-    /// node via
-    /// [`ClusterRuntime::migrate_function`](dataflower_rt::ClusterRuntime::migrate_function):
-    /// drain the FLU pool, move
-    /// the parked sink state, re-patch the links, replay the in-flight
-    /// transfers, resume. The outputs must be byte-identical to the
-    /// no-migration reference — the move is invisible or it panics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a request misses its deadline, any output diverges
-    /// from the reference, or no migration was recorded.
-    #[deprecated(note = "compose a `WorkloadSpec` with \
-                 `.faults(FaultMode::LiveMigration)` instead")]
-    pub fn live_migration(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
-        run_live_migration(bench, cfg)
-    }
-}
-
 /// The permanent-node-loss runner — dispatches on the transport; the
 /// body behind [`WorkloadSpec`](crate::WorkloadSpec) with
-/// [`FaultMode::NodeLoss`](crate::FaultMode::NodeLoss) and the
-/// deprecated [`Scenario::node_loss_relocation`] shim.
+/// [`FaultMode::NodeLoss`](crate::FaultMode::NodeLoss).
 pub(crate) fn run_node_loss(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
     assert!(
         cfg.nodes >= 2,
@@ -218,8 +165,7 @@ pub(crate) fn run_node_loss(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossR
 
 /// The voluntary live-migration runner (in-process only) — the body
 /// behind [`WorkloadSpec`](crate::WorkloadSpec) with
-/// [`FaultMode::LiveMigration`](crate::FaultMode::LiveMigration) and the
-/// deprecated [`Scenario::live_migration`] shim.
+/// [`FaultMode::LiveMigration`](crate::FaultMode::LiveMigration).
 pub(crate) fn run_live_migration(bench: Benchmark, cfg: &NodeLossConfig) -> NodeLossReport {
     assert!(cfg.nodes >= 2, "live_migration needs a second node");
     let wf = bench.workflow();

@@ -1,5 +1,5 @@
 //! Worker-process TCP mode for the live benchmarks: the same chaos
-//! scenario as [`Scenario::chaos_cluster`], but with every node a real
+//! scenario as the in-process chaos runner, but with every node a real
 //! OS process and every fabric link a real `TcpStream` speaking the
 //! versioned wire format — including a `kill -9` of a worker as the
 //! ultimate crash, healed by restart-and-replay from the checkpoint
@@ -21,7 +21,6 @@ use dataflower_workflow::json;
 use crate::benchmarks::Benchmark;
 use crate::chaos::{chaos_rt_config, ChaosClusterConfig, ChaosClusterReport};
 use crate::common::{live_input, run_verified};
-use crate::harness::Scenario;
 use crate::live::live_builder;
 use crate::node_loss::orchestrated_rt_config;
 
@@ -32,7 +31,7 @@ pub enum TcpProfile {
     /// Default knobs with §6.2 recovery enabled and no fault
     /// injection — the smoke-test / example / benchmark path.
     Plain,
-    /// The chaos knobs of [`Scenario::chaos_cluster`]: small chunks and
+    /// The in-process chaos runner's knobs: small chunks and
     /// checkpoint intervals, 4 MiB/s links, seeded frame chaos.
     Chaos,
     /// The orchestrator control plane enabled on top of the streaming
@@ -40,7 +39,7 @@ pub enum TcpProfile {
     /// chaos): coordinator heartbeats over the control channel, node
     /// loss declared after missed beats, relocation of the dead
     /// worker's functions to the least-pressured survivors — the
-    /// [`Scenario::node_loss_relocation`](crate::Scenario::node_loss_relocation)
+    /// [`FaultMode::NodeLoss`](crate::FaultMode::NodeLoss)
     /// profile.
     Orchestrated,
 }
@@ -141,36 +140,9 @@ pub fn launch_bench_cluster(
     TcpCluster::launch(wf, placement, profile.rt_config(seed), &tag)
 }
 
-impl Scenario {
-    /// The TCP twin of [`Scenario::chaos_cluster`]: the same seeded
-    /// frame chaos and byte-identity contract, but executed as one OS
-    /// process per node over real localhost sockets, with the victim
-    /// `kill -9`'d mid-stream and brought back as a fresh process that
-    /// replays its checkpoint log while the senders resume every
-    /// un-acked transfer from its last acknowledged §6.2 mark.
-    ///
-    /// Two assertions differ from the in-process scenario:
-    /// `frames_lost_to_crashes` is not asserted (frames lost in the
-    /// kernel buffers of a killed process are invisible to any
-    /// counter), and the killed worker's counters die with it, so
-    /// totals cover the surviving processes.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a missed deadline, an output diverging from the
-    /// straight-line reference, no crash window opening within
-    /// [`ChaosClusterConfig::crash_deadline`], or a restart that
-    /// replayed nothing / resumed from byte 0.
-    #[deprecated(note = "compose a `WorkloadSpec` with \
-                 `.transport(Transport::Tcp).faults(FaultMode::ChaosCrashRestart)` instead")]
-    pub fn chaos_cluster_tcp(bench: Benchmark, cfg: &ChaosClusterConfig) -> ChaosClusterReport {
-        run_chaos_cluster_tcp(bench, cfg)
-    }
-}
-
 /// The plain closed-loop TCP runner: `bench` as one OS process per node
 /// under [`TcpProfile::Plain`], every request verified byte-for-byte —
-/// the TCP twin of [`run_live_cluster`](crate::live::run_live_cluster).
+/// the TCP twin of the in-process live runner.
 /// Placement is the by-level spread the worker tag encodes;
 /// `cfg.placement` and `cfg.rt` are ignored in favour of the profile.
 pub(crate) fn run_live_tcp(
@@ -206,8 +178,7 @@ pub(crate) fn run_live_tcp(
 /// The TCP chaos runner — the body behind
 /// [`WorkloadSpec`](crate::WorkloadSpec) with
 /// [`FaultMode::ChaosCrashRestart`](crate::FaultMode::ChaosCrashRestart)
-/// over [`Transport::Tcp`](crate::Transport::Tcp) and the deprecated
-/// [`Scenario::chaos_cluster_tcp`] shim.
+/// over [`Transport::Tcp`](crate::Transport::Tcp).
 pub(crate) fn run_chaos_cluster_tcp(
     bench: Benchmark,
     cfg: &ChaosClusterConfig,

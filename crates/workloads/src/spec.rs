@@ -21,9 +21,6 @@
 //! assert!(report.requests >= 1);
 //! ```
 //!
-//! The old constructors survive as thin deprecated shims over the same
-//! internal runners, so downstream code migrates at its own pace.
-
 use std::time::Duration;
 
 use dataflower_metrics::Timeline;
@@ -35,7 +32,7 @@ use crate::elastic::{
     elastic_rt_config, run_bursty_cluster, run_skewed_fanout, BurstyClusterConfig,
     SkewedFanoutConfig,
 };
-use crate::live::{run_live_cluster, LiveClusterConfig, LivePlacement};
+use crate::live::{run_live_cluster_traced, LiveClusterConfig, LivePlacement};
 use crate::loadgen::{self, CellReport, TrafficSpec};
 use crate::node_loss::{run_live_migration, run_node_loss, NodeLossConfig, NodeLossTransport};
 use crate::socket::{run_chaos_cluster_tcp, run_live_tcp};
@@ -128,6 +125,7 @@ pub struct WorkloadSpec {
     outage: Duration,
     fault_deadline: Duration,
     timeout: Duration,
+    record_trace: Option<std::path::PathBuf>,
 }
 
 impl Default for WorkloadSpec {
@@ -149,6 +147,7 @@ impl Default for WorkloadSpec {
             outage: Duration::from_millis(20),
             fault_deadline: Duration::from_secs(20),
             timeout: Duration::from_secs(60),
+            record_trace: None,
         }
     }
 }
@@ -289,6 +288,20 @@ impl WorkloadSpec {
         self
     }
 
+    /// Records the run's deterministic trace (see
+    /// [`dataflower_rt::trace`]) and writes it to `path` in the on-disk
+    /// `DFTR` encoding. Plain in-process closed-loop runs only — the
+    /// combination every other runner builds on.
+    ///
+    /// # Panics
+    ///
+    /// [`WorkloadSpec::run`] panics if tracing is combined with faults,
+    /// warm-up, open-loop traffic or the TCP transport.
+    pub fn record_trace(mut self, path: impl Into<std::path::PathBuf>) -> WorkloadSpec {
+        self.record_trace = Some(path.into());
+        self
+    }
+
     /// Executes the spec and reports it.
     ///
     /// # Panics
@@ -299,6 +312,16 @@ impl WorkloadSpec {
     /// deadlines, outputs diverging from the reference, a fault story
     /// that did not happen).
     pub fn run(&self) -> WorkloadReport {
+        if self.record_trace.is_some() {
+            assert!(
+                matches!(self.workload, Workload::Bench(_))
+                    && self.faults == FaultMode::None
+                    && self.warmup_requests == 0
+                    && matches!(self.traffic, Traffic::ClosedLoop { .. })
+                    && self.transport == Transport::Inproc,
+                "record_trace requires a plain in-process closed-loop benchmark run"
+            );
+        }
         if let Workload::SkewedFanout {
             branches,
             zipf_exponent,
@@ -452,7 +475,12 @@ impl WorkloadSpec {
                         timeout: self.timeout,
                     };
                     let report = match self.transport {
-                        Transport::Inproc => run_live_cluster(bench, &cfg, self.placement.policy()),
+                        Transport::Inproc => run_live_cluster_traced(
+                            bench,
+                            &cfg,
+                            self.placement.policy(),
+                            self.record_trace.as_deref(),
+                        ),
                         Transport::Tcp => run_live_tcp(bench, &cfg, self.seed),
                     };
                     WorkloadReport {
@@ -649,23 +677,30 @@ mod tests {
         let _ = WorkloadSpec::new().requests(1).tenants(4);
     }
 
-    /// The deprecated constructors still work and agree with the new
-    /// builder on the same scenario.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run() {
-        use crate::harness::Scenario;
-        let cfg = LiveClusterConfig {
-            payload_bytes: 64 * 1024,
-            ..LiveClusterConfig::default()
-        };
-        let old = Scenario::live_cluster(Benchmark::Wc, &cfg);
-        let new = WorkloadSpec::new()
-            .benchmark(Benchmark::Wc)
+    fn record_trace_writes_a_decodable_file() {
+        let path =
+            std::env::temp_dir().join(format!("df-spec-trace-{}.dftrace", std::process::id()));
+        let report = WorkloadSpec::new()
             .payload_bytes(64 * 1024)
+            .record_trace(&path)
             .run();
-        assert_eq!(old.benchmark, "wc");
-        assert_eq!(new.scenario, "live_cluster/wc");
-        assert_eq!(old.nodes, new.nodes);
+        assert!(report.requests >= 1);
+        let bytes = std::fs::read(&path).expect("trace file written");
+        let events = dataflower_rt::trace::decode_trace(&bytes).expect("trace decodes");
+        assert!(
+            events.len() > 1,
+            "trace must carry the Meta preamble plus run events"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "record_trace requires a plain in-process closed-loop")]
+    fn record_trace_rejects_faulted_runs() {
+        let _ = WorkloadSpec::new()
+            .record_trace("/tmp/never-written.dftrace")
+            .faults(FaultMode::ChaosCrashRestart)
+            .run();
     }
 }
