@@ -53,7 +53,8 @@ use dataflower_bench::timing::{time, TimingResult};
 use dataflower_cluster::RequestId;
 use dataflower_metrics::Samples;
 use dataflower_rt::channel as rt_channel;
-use dataflower_rt::{chunk_spans, Bytes, Reassembler, ShardedSink};
+use dataflower_rt::ring as rt_ring;
+use dataflower_rt::{chunk_spans, BytePool, Bytes, NodeScheduler, Reassembler, ShardedSink};
 use dataflower_sim::{EventQueue, FlowNet, SimTime};
 use dataflower_workflow::{EdgeId, FnId};
 use dataflower_workloads::{
@@ -72,6 +73,11 @@ const EXIT_STALE_BASELINE: i32 = 4;
 /// Exit code when `bench fuzz` finds a sim↔live divergence (or a
 /// byte-identity or replay failure) on any seed.
 const EXIT_DIVERGENCE: i32 = 5;
+
+/// Exit code when any `bench fuzz` seed hung past its watchdog deadline
+/// — the campaign still completes and names the seed, but a wedge is a
+/// distinct (worse) verdict than a divergence.
+const EXIT_HUNG: i32 = 6;
 
 fn main() {
     // The socket_fabric group and the loadgen TCP cells launch
@@ -181,6 +187,7 @@ fn run_command(opts: &RunOptions) {
     recovery_benchmarks(&harness);
     control_plane_benchmarks(&harness);
     data_plane_benchmarks(&harness);
+    scheduler_benchmarks(&harness);
     socket_fabric_benchmarks(&harness);
     trace_codec_benchmarks(&harness);
     substrate_benchmarks(&harness);
@@ -273,6 +280,7 @@ fn fuzz_command(opts: &FuzzOptions) {
         start_seed,
         dump_dir: Some(opts.dump_dir.clone().into()),
         timeout: std::time::Duration::from_secs(opts.timeout_secs),
+        seed_deadline: None,
     };
     eprintln!(
         "bench fuzz: {seeds} seed(s) starting at {start_seed} (timeout {}s/seed)",
@@ -294,8 +302,12 @@ fn fuzz_command(opts: &FuzzOptions) {
             .as_deref()
             .map(|p| format!(" (trace: {})", p.display()))
             .unwrap_or_default();
-        eprintln!("bench fuzz: seed {} FAILED: {}{trace}", f.seed, f.what);
+        let verdict = if f.hung { "HUNG" } else { "FAILED" };
+        eprintln!("bench fuzz: seed {} {verdict}: {}{trace}", f.seed, f.what);
         eprintln!("bench fuzz: reproduce with `bench fuzz --seed {}`", f.seed);
+    }
+    if report.failures.iter().any(|f| f.hung) {
+        std::process::exit(EXIT_HUNG);
     }
     if !report.passed() {
         std::process::exit(EXIT_DIVERGENCE);
@@ -886,6 +898,91 @@ fn data_plane_benchmarks(h: &Harness) {
         }
         assert_eq!(got, FRAMES);
         got
+    });
+}
+
+/// Execution-core micro-benchmarks: the work-stealing scheduler's
+/// submit→steal→drain throughput, the SPSC link ring's push/pop cost
+/// (same-thread and across a real producer/consumer pair), and pooled
+/// vs. fresh allocation of direct-socket-class frame staging buffers.
+fn scheduler_benchmarks(h: &Harness) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    h.run("scheduler", "steal_throughput_4x2000", || {
+        let sched = NodeScheduler::new("bench", 4, 4);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..2000 {
+            let hits = Arc::clone(&hits);
+            sched.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        sched.stop();
+        assert_eq!(hits.load(Ordering::Relaxed), 2000);
+        hits.load(Ordering::Relaxed)
+    });
+    h.run("scheduler", "ring_push_pop_8k/same_thread", || {
+        let (tx, rx) = rt_ring::ring::<u64>(1024);
+        let mut buf = Vec::with_capacity(256);
+        let mut popped = 0u64;
+        for chunk in 0..32u64 {
+            for i in 0..256u64 {
+                tx.send(chunk * 256 + i).expect("receiver alive");
+            }
+            buf.clear();
+            popped += rx.try_drain(&mut buf, 256).expect("connected") as u64;
+        }
+        assert_eq!(popped, 8192);
+        popped
+    });
+    h.run("scheduler", "ring_push_pop_8k/cross_thread", || {
+        let (tx, rx) = rt_ring::ring::<u64>(1024);
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0u64;
+            let mut buf = Vec::with_capacity(256);
+            loop {
+                buf.clear();
+                match rx.drain_into(&mut buf, 256) {
+                    Ok(n) => got += n as u64,
+                    Err(_) => return got,
+                }
+            }
+        });
+        for i in 0..8192u64 {
+            tx.send(i).expect("consumer alive");
+        }
+        drop(tx);
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(got, 8192);
+        got
+    });
+    // The shipper's real staging shape: one buffer checkout gathers a
+    // 16-frame batch (16 KiB) before the single socket write.
+    let payload = vec![0xA5u8; 1024];
+    h.run("scheduler", "frame_batch_16x1k_x64/pooled", || {
+        let pool = BytePool::default();
+        let mut staged = 0usize;
+        for _ in 0..64 {
+            let mut b = pool.get();
+            for _ in 0..16 {
+                b.extend_from_slice(&payload);
+            }
+            staged += b.len();
+        }
+        assert_eq!(staged, 64 * 16 * 1024);
+        staged
+    });
+    h.run("scheduler", "frame_batch_16x1k_x64/fresh", || {
+        let mut staged = 0usize;
+        for _ in 0..64 {
+            let mut b = Vec::new();
+            for _ in 0..16 {
+                b.extend_from_slice(&payload);
+            }
+            staged += b.len();
+        }
+        assert_eq!(staged, 64 * 16 * 1024);
+        staged
     });
 }
 

@@ -1,12 +1,16 @@
-//! Pressure-aware elastic scaling of FLU executor pools (§5.2, Eq. 1).
+//! Pressure-aware elastic scaling of FLU executor capacity (§5.2, Eq. 1).
 //!
 //! The simulator has always modeled DataFlower's third pillar — an FLU
 //! whose DLU cannot drain is blocked, and the engine scales containers
 //! out instead of queuing. This module brings the same loop to the live
-//! runtime: each node samples its hosted functions' DLU backlog, turns it
-//! into seconds of backpressure via [`dataflower::pressure_secs`], and an
-//! autoscaler grows or shrinks the function's executor pool between
-//! configurable bounds.
+//! runtime: a runtime-wide autoscaler samples each hosted function's DLU
+//! backlog, turns it into seconds of backpressure via
+//! [`dataflower::pressure_secs`], and grows or shrinks the function's
+//! replica count between configurable bounds. Replica counts no longer
+//! map to dedicated threads: they widen or narrow the *active slot
+//! window* of the hosting node's work-stealing
+//! [`NodeScheduler`](crate::NodeScheduler), so a scale event is a pair
+//! of atomic stores rather than a thread spawn or join.
 //!
 //! The decision kernel ([`ScalePolicy`]) is a pure function of
 //! `(now, pressure, replicas)` so the seeded property tests in
@@ -239,11 +243,11 @@ impl ScalePolicy {
     }
 }
 
-/// Shared live gauges of one function's pool: what the FLU executors and
+/// Shared live gauges of one function: what the FLU invocations and
 /// the DLU daemon report, and what the autoscaler samples.
 pub(crate) struct FnScale {
-    /// Pool size the runtime currently intends (retires are counted the
-    /// moment the retire message is queued).
+    /// Replica count the runtime currently intends — the function's
+    /// contribution to its hosting node's active scheduler-slot window.
     pub replicas: AtomicUsize,
     /// Bytes handed to the DLU that it has not finished routing — the
     /// `Size` term of Eq. 1. Includes the payload the daemon is currently
@@ -252,10 +256,11 @@ pub(crate) struct FnScale {
     pub backlog_bytes: AtomicU64,
     /// Observed FLU execution times — the `T_FLU` term of Eq. 1.
     pub t_flu: Mutex<RunningAvg>,
-    /// Executor threads currently running for this function (incremented
-    /// at spawn, decremented when an executor exits). Unlike `replicas`
-    /// — the *intended* pool size — this is the observed one, which is
-    /// what live migration polls to know the drain finished.
+    /// Invocations of this function currently executing on a scheduler
+    /// worker (incremented at task start, decremented when the body
+    /// returns). Unlike `replicas` — the *intended* capacity — this is
+    /// the observed in-flight count, which is what live migration polls
+    /// to know the drain finished.
     pub live: AtomicUsize,
 }
 

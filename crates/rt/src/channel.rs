@@ -3,10 +3,15 @@
 //! Std-only replacement for `crossbeam_channel`, providing the two
 //! properties the runtime needs that `std::sync::mpsc` lacks:
 //!
-//! * **cloneable receivers** — several FLU executor threads drain one
-//!   invocation queue;
+//! * **cloneable receivers** — several consumer threads may drain one
+//!   queue;
 //! * **blocking bounded send** — a full DLU queue blocks `put`, which is
 //!   the backpressure of the paper's Fig. 6a.
+//!
+//! Fabric links, which are single-consumer by construction (one shipper
+//! per directed link), use the index-striped ring in [`crate::ring`]
+//! instead — same blocking/disconnection semantics, no shared queue
+//! mutex on the hot path.
 //!
 //! Disconnection mirrors crossbeam: `recv` fails once the queue is empty
 //! and every sender is gone; `send` fails once every receiver is gone.

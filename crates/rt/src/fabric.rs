@@ -1,14 +1,17 @@
-//! The in-process inter-node fabric: per-link bounded channels, optional
-//! bandwidth/latency shaping, and the chunked streaming protocol of the
-//! remote pipe connector (§7).
+//! The in-process inter-node fabric: per-link bounded SPSC rings,
+//! optional bandwidth/latency shaping, and the chunked streaming
+//! protocol of the remote pipe connector (§7).
 //!
 //! Every ordered pair of distinct nodes is connected by one directed
-//! **link**: a bounded channel drained by a shipper thread. The bounded
-//! queue gives cross-node backpressure (a DLU daemon that out-produces a
+//! **link**: a bounded [`ring`](crate::ring) drained by a shipper
+//! thread. Each link has exactly one steady-state producer (the source
+//! node's merged DLU daemon) and one consumer (the shipper), the SPSC
+//! shape the ring's striped-slot fast path is built for. The bounded
+//! ring gives cross-node backpressure (a DLU daemon that out-produces a
 //! link blocks, exactly like a saturated local DLU queue), and the
-//! shipper drains up to [`SHIPPER_BATCH`] frames per wakeup (one channel
-//! lock acquisition per batch), applying the link's [`LinkConfig`]
-//! shaping to each before handing it to the destination node's ingress.
+//! shipper drains up to [`SHIPPER_BATCH`] frames per wakeup, applying
+//! the link's [`LinkConfig`] shaping to each before handing it to the
+//! destination node's ingress.
 //!
 //! Transfers routed through the **streaming remote pipe** are cut into
 //! chunks by [`chunk_spans`]; each chunk frame carries a zero-copy
@@ -73,10 +76,9 @@ use std::time::{Duration, Instant};
 use dataflower_workflow::EdgeId;
 
 use crate::bytes::Bytes;
-use crate::channel::Receiver;
 
-/// Frames a link shipper drains per wakeup: one lock acquisition moves up
-/// to this many queued frames, instead of one `recv` per frame.
+/// Frames a link shipper drains per wakeup: one wakeup moves up to this
+/// many queued frames, instead of one `recv` per frame.
 pub const SHIPPER_BATCH: usize = 32;
 
 /// Shaping parameters of one directed inter-node link.
@@ -89,8 +91,9 @@ pub struct LinkConfig {
     /// Serialization rate; `None` leaves the link unshaped (messages are
     /// forwarded as fast as the shipper thread runs).
     pub bandwidth_bytes_per_sec: Option<f64>,
-    /// Capacity of the link's bounded queue; a full link blocks the
-    /// sending DLU daemon (cross-node backpressure).
+    /// Capacity of the link's bounded ring (rounded up to a power of
+    /// two); a full link blocks the sending DLU daemon (cross-node
+    /// backpressure).
     pub queue_capacity: usize,
 }
 
@@ -715,8 +718,8 @@ pub(crate) type Ingress = Arc<dyn Fn(NetMsg) + Send + Sync>;
 
 /// Spawns the shipper thread of one directed link `src → dst`.
 ///
-/// The shipper drains the link's bounded queue in FIFO order — up to
-/// [`SHIPPER_BATCH`] frames per wakeup under one channel lock — and for
+/// The shipper drains the link's bounded ring in FIFO order — up to
+/// [`SHIPPER_BATCH`] frames per wakeup — and for
 /// each frame sleeps the shaped transfer time (latency once per transfer
 /// plus bytes/bandwidth serialization delay), then hands it to
 /// `ingress`. It exits when every sender is gone; when `shutdown` is set
@@ -730,7 +733,7 @@ pub(crate) fn spawn_link(
     src: usize,
     dst: usize,
     cfg: LinkConfig,
-    rx: Receiver<NetMsg>,
+    rx: crate::ring::RingReceiver<NetMsg>,
     ingress: Ingress,
     shutdown: Arc<AtomicBool>,
     depth: Arc<AtomicUsize>,

@@ -7,8 +7,12 @@
 //! topology (Fig. 4) are directly expressible:
 //!
 //! * function bodies are plain Rust closures receiving a [`FluContext`];
-//! * `ctx.put(...)` hands data to the function's **DLU daemon thread**
-//!   mid-function; transfers overlap the rest of the computation;
+//!   invocations run as tasks on a per-node **work-stealing scheduler**
+//!   ([`NodeScheduler`]) whose worker threads spawn lazily, one per
+//!   active executor slot;
+//! * `ctx.put(...)` hands data to the hosting node's **DLU daemon
+//!   thread** mid-function; transfers overlap the rest of the
+//!   computation;
 //! * downstream functions trigger on **data availability** — when the
 //!   last input lands in the hosting node's data sink (a lock-striped
 //!   [`ShardedSink`], so concurrent requests never contend on one
@@ -19,16 +23,20 @@
 //!   three-way pipe choice — direct socket under 16 KiB, node-local pipe
 //!   when co-located, chunked streaming remote pipe (with §6.2
 //!   checkpoint marks) across nodes;
-//! * cross-node traffic rides an in-process fabric of per-link bounded
-//!   channels with optional bandwidth/latency shaping ([`LinkConfig`]);
+//! * cross-node traffic rides an in-process fabric of per-link
+//!   lock-free SPSC rings ([`ring`]) with optional bandwidth/latency
+//!   shaping ([`LinkConfig`]);
 //! * bounded DLU queues exert genuine backpressure on over-producing
 //!   functions (Fig. 6a);
-//! * unconsumed sink entries passively expire via per-node janitors;
-//! * with [`AutoscaleConfig`] enabled, per-node autoscalers sample each
-//!   function's DLU backlog, convert it into Eq. 1 pressure-seconds, and
-//!   elastically grow/shrink the FLU executor pools between configurable
-//!   bounds (scale-out past the threshold, cool-down-guarded scale-in
-//!   once drained) — the paper's pressure-aware scaling, §5.2;
+//! * unconsumed sink entries passively expire via a runtime-wide
+//!   janitor;
+//! * with [`AutoscaleConfig`] enabled, a runtime-wide autoscaler
+//!   samples each function's DLU backlog, converts it into Eq. 1
+//!   pressure-seconds, and elastically grows/shrinks each node's
+//!   *active executor-slot window* between configurable bounds
+//!   (scale-out past the threshold, cool-down-guarded scale-in once
+//!   drained) — the paper's pressure-aware scaling, §5.2 — without
+//!   spawning or killing threads;
 //! * with [`RecoveryConfig`] enabled, the runtime is fault tolerant per
 //!   §6.2: senders retain zero-copy views of un-acked frames, chunked
 //!   streams acknowledge checkpoint marks, and a crashed node
@@ -69,7 +77,10 @@ pub mod fabric;
 pub mod fault;
 mod node;
 mod orchestrator;
+pub mod pool;
+pub mod ring;
 mod runtime;
+pub mod sched;
 pub mod sink;
 pub mod trace;
 pub mod transport;
@@ -86,10 +97,13 @@ pub use fault::{FaultPlan, FrameFate, NodeKill};
 pub use node::{
     ByLevel, LoadAware, NodeRuntime, Placement, PlacementPolicy, RoundRobin, SingleNode,
 };
+pub use pool::{BytePool, PooledBuf};
+pub use ring::{RingNotify, RingReceiver, RingSender};
 pub use runtime::{
     ClusterRtConfig, ClusterRuntime, ClusterRuntimeBuilder, CrashReport, RecoveryConfig, ReqId,
     RtConfig, RtStats, Runtime, RuntimeBuilder,
 };
+pub use sched::NodeScheduler;
 pub use sink::ShardedSink;
 pub use trace::{
     diff, replay, Divergence, EventKind, TraceDecoder, TraceError, TraceEvent, TraceRecorder,

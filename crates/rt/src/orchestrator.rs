@@ -36,12 +36,11 @@ use std::time::Instant;
 
 use dataflower_workflow::{EdgeId, Endpoint, FnId};
 
-use crate::channel::bounded;
 use crate::error::RtError;
 use crate::node::{NodeReqState, SinkEntry};
 use crate::runtime::{
-    dlu_daemon, flu_executor, handle_net_msg, node_pressure_of, resolve_active, retention_of,
-    seed_req_state, stride, ClusterRuntime, DluMsg, FluMsg, Inner,
+    handle_net_msg, node_pressure_of, refresh_scheduler_active, resolve_active, retention_of,
+    seed_req_state, stride, submit_invoke, ClusterRuntime, Inner,
 };
 use crate::trace::EventKind as TraceEventKind;
 
@@ -208,10 +207,10 @@ pub(crate) fn rehome_functions(inner: &Arc<Inner>, from: usize, moves: &[(String
                 .map(|f| (f, name.clone(), *to))
         })
         .collect();
-    // 2. Drain + respawn each function's FLU pool (and give it a fresh
-    //    DLU daemon on the new node).
+    // 2. Drain each function's in-flight invocations, then shift its
+    //    worker slots from the old node's scheduler to the new one's.
     for (_, name, to) in &moved_fns {
-        rehome_pool(inner, name, *to);
+        rehome_pool(inner, name, from, *to);
     }
     // 3. Move parked sink state (missing counts, parked inputs, partial
     //    reassemblies, done-transfer dedup) to the new hosts, firing any
@@ -224,98 +223,44 @@ pub(crate) fn rehome_functions(inner: &Arc<Inner>, from: usize, moves: &[(String
     move_retention(inner, from);
 }
 
-/// Drains the current FLU pool of `name` (one retire per live executor,
-/// then a bounded wait on the observed-pool gauge) and respawns it on
-/// node `to` with a fresh DLU daemon. The replica gauge never moves, so
-/// shutdown's token arithmetic stays exact; on drain timeout the respawn
-/// proceeds anyway — every queued retire still kills exactly one old
-/// executor eventually.
-fn rehome_pool(inner: &Arc<Inner>, name: &str, to: usize) {
-    let scale = Arc::clone(&inner.scale[name]);
-    let replicas = {
-        // Serialize with the autoscaler (it scales under this mutex), so
-        // the retire count matches the pool we observed.
+/// Drains `name`'s in-flight invocations (a bounded wait on the live
+/// gauge), then re-derives both schedulers' active-slot windows from the
+/// already-re-pinned placement: the old node sheds the function's worker
+/// slots, the new node gains them. No threads move — the work-stealing
+/// schedulers exist on every node for the runtime's lifetime, and tasks
+/// queued toward the old node stay correct because routing reads the
+/// live placement per put. On drain timeout the re-derive proceeds
+/// anyway; stragglers finish on the old node's workers harmlessly.
+fn rehome_pool(inner: &Arc<Inner>, name: &str, from: usize, to: usize) {
+    {
+        // Serialize with the autoscaler (it scales under this mutex).
         let _guard = inner.shutdown_mx.lock().expect("shutdown lock poisoned");
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let r = scale.replicas.load(Ordering::SeqCst);
-        for _ in 0..r {
-            let _ = inner.flu_tx[name].send(FluMsg::Retire);
-        }
-        r
-    };
-    // Bounded drain: the old executors finish their in-flight
-    // invocations and consume the retires.
+    }
+    let scale = Arc::clone(&inner.scale[name]);
+    // Bounded drain: invocations started before the placement re-pin
+    // finish on the old node's workers.
     let deadline = Instant::now() + inner.cfg.migration_drain_timeout;
     while scale.live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
         std::thread::sleep(std::time::Duration::from_micros(200));
     }
-    activate_pool_n(inner, name, to, replicas);
+    activate_pool(inner, name, to);
+    refresh_scheduler_active(inner, from);
 }
 
-/// Spawns a fresh DLU daemon and FLU pool for `name` on node `to`
-/// **without** draining first — the wire-mode relocation path, where the
-/// previous pool lived in a process that no longer exists (sending
-/// retires there would only kill the executors spawned here).
+/// Points `name`'s worker slots at node `to` **without** draining first
+/// — the wire-mode relocation path, where the previous host was a
+/// process that no longer exists. Repairs a mid-move scale-to-zero so
+/// the function keeps at least one slot, then re-derives the new host's
+/// active window from the re-pinned placement.
 pub(crate) fn activate_pool(inner: &Arc<Inner>, name: &str, to: usize) {
-    let replicas = inner.scale[name].replicas.load(Ordering::SeqCst);
-    activate_pool_n(inner, name, to, replicas);
-}
-
-/// The respawn half shared by [`rehome_pool`] (drain first) and
-/// [`activate_pool`] (no drain): a fresh bounded DLU queue + daemon and
-/// `replicas.max(1)` executors, registered in `extra_threads` for
-/// teardown.
-fn activate_pool_n(inner: &Arc<Inner>, name: &str, to: usize, replicas: usize) {
-    let scale = Arc::clone(&inner.scale[name]);
-    let gen = inner.pool_gen.fetch_add(1, Ordering::Relaxed);
-    let seed = &inner.seeds[name];
-    let (dlu_tx, dlu_rx) = bounded::<DluMsg>(inner.cfg.rt.dlu_queue_capacity);
-    let mut spawned = Vec::new();
-    {
-        // Serialize the respawn against `signal_shutdown`: either the
-        // new pool exists before the shutdown tokens are counted, or the
-        // shutdown flag is already up and we skip the respawn.
-        let _guard = inner.shutdown_mx.lock().expect("shutdown lock poisoned");
-        if inner.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        {
-            let inner = Arc::clone(inner);
-            let fn_scale = Arc::clone(&scale);
-            spawned.push(
-                std::thread::Builder::new()
-                    .name(format!("node{to}-dlu-{name}-m{gen}"))
-                    .spawn(move || dlu_daemon(inner, dlu_rx, fn_scale))
-                    .expect("spawn dlu daemon"),
-            );
-        }
-        for k in 0..replicas.max(1) {
-            let inner2 = Arc::clone(inner);
-            let rx = seed.rx.clone();
-            let body = Arc::clone(&seed.body);
-            let dlu = dlu_tx.clone();
-            let fn_name = name.to_string();
-            let fn_scale = Arc::clone(&scale);
-            spawned.push(
-                std::thread::Builder::new()
-                    .name(format!("node{to}-flu-{name}-m{gen}-{k}"))
-                    .spawn(move || flu_executor(inner2, fn_name, rx, body, dlu, fn_scale))
-                    .expect("spawn flu executor"),
-            );
-        }
-        if replicas == 0 {
-            // The pool was scaled to zero mid-move; the gauge must keep
-            // matching the executor count we just created.
-            scale.replicas.store(1, Ordering::SeqCst);
-        }
-    }
-    inner
-        .extra_threads
-        .lock()
-        .expect("extra threads lock poisoned")
-        .append(&mut spawned);
+    let scale = &inner.scale[name];
+    let _ = scale
+        .replicas
+        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+    refresh_scheduler_active(inner, to);
 }
 
 /// What one request contributed to a function's move: the per-function
@@ -425,10 +370,7 @@ fn move_sink_state(inner: &Arc<Inner>, from: usize, moved: &[(FnId, String, usiz
     }
     for (req, f, inputs) in triggers {
         let name = &wf.function(f).name;
-        let _ = inner.flu_tx[name].send(FluMsg::Invoke {
-            req: crate::ReqId(req),
-            inputs,
-        });
+        submit_invoke(inner, name, crate::ReqId(req), inputs);
     }
 }
 

@@ -1,0 +1,192 @@
+//! Byte-buffer pooling for the fabric's small-frame hot paths.
+//!
+//! Encoding a wire frame, staging a checkpoint record, or batching ack
+//! frames each need a scratch `Vec<u8>` that lives for microseconds.
+//! Allocating one per frame puts the allocator on the per-message hot
+//! path; [`BytePool`] keeps a shelf of retired buffers and hands them
+//! back out, so steady-state framing does no allocation at all.
+//!
+//! Aliasing is impossible by construction: a [`PooledBuf`] returns to
+//! the shelf only from its `Drop`, and [`PooledBuf::into_bytes`]
+//! *consumes* the buffer into an owned [`crate::bytes::Bytes`] without
+//! recycling the storage — so a live `Bytes` can never share bytes with
+//! a buffer a later caller checks out (pinned by the
+//! `pool_never_aliases_live_bytes` property).
+//!
+//! # Examples
+//!
+//! ```
+//! use dataflower_rt::pool::BytePool;
+//!
+//! let pool = BytePool::new(4, 16 * 1024);
+//! let mut buf = pool.get();
+//! buf.extend_from_slice(b"frame head");
+//! drop(buf); // storage returns to the shelf
+//! let again = pool.get();
+//! assert!(again.is_empty()); // cleared, but capacity is retained
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use crate::bytes::Bytes;
+
+/// Default per-buffer capacity retained on the shelf: the sub-16 KiB
+/// direct-socket class from the paper's §7 pipe taxonomy. Buffers grown
+/// past this while checked out are shrunk back before shelving so one
+/// giant frame cannot pin its footprint forever.
+pub const DIRECT_SOCKET_POOL_BYTES: usize = 16 * 1024;
+
+#[derive(Debug)]
+struct Shelf {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    max_shelved: usize,
+    retain_bytes: usize,
+}
+
+/// A shared shelf of reusable byte buffers. Cloning is cheap and all
+/// clones feed the same shelf.
+#[derive(Debug, Clone)]
+pub struct BytePool {
+    shelf: Arc<Shelf>,
+}
+
+impl BytePool {
+    /// A pool that shelves at most `max_shelved` buffers, each trimmed
+    /// to at most `retain_bytes` of capacity when returned.
+    pub fn new(max_shelved: usize, retain_bytes: usize) -> BytePool {
+        BytePool {
+            shelf: Arc::new(Shelf {
+                bufs: Mutex::new(Vec::new()),
+                max_shelved,
+                retain_bytes,
+            }),
+        }
+    }
+
+    /// Checks out an empty buffer, reusing shelved storage when any is
+    /// available.
+    pub fn get(&self) -> PooledBuf {
+        let buf = self
+            .shelf
+            .bufs
+            .lock()
+            .expect("byte pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledBuf {
+            buf,
+            shelf: Arc::clone(&self.shelf),
+        }
+    }
+
+    /// Buffers currently shelved (for tests and gauges).
+    pub fn shelved(&self) -> usize {
+        self.shelf.bufs.lock().expect("byte pool poisoned").len()
+    }
+}
+
+impl Default for BytePool {
+    /// A pool sized for per-link frame staging: a handful of buffers in
+    /// the direct-socket size class.
+    fn default() -> BytePool {
+        BytePool::new(8, DIRECT_SOCKET_POOL_BYTES)
+    }
+}
+
+/// An exclusively-owned scratch buffer checked out of a [`BytePool`].
+///
+/// Derefs to `Vec<u8>`, so all the usual byte-building methods apply.
+/// Dropping it returns the storage to the shelf; [`Self::into_bytes`]
+/// instead converts the contents into an owned [`Bytes`] and retires the
+/// storage from the pool entirely.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    shelf: Arc<Shelf>,
+}
+
+impl PooledBuf {
+    /// Consumes the buffer into an immutable [`Bytes`] **without**
+    /// recycling the storage — the returned `Bytes` exclusively owns the
+    /// allocation, so no later [`BytePool::get`] can hand out a buffer
+    /// aliasing it.
+    pub fn into_bytes(mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.buf))
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        // Empty after `into_bytes` took the storage: nothing to shelve.
+        if self.buf.capacity() == 0 {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        if buf.capacity() > self.shelf.retain_bytes {
+            buf.shrink_to(self.shelf.retain_bytes);
+        }
+        let mut shelf = self.shelf.bufs.lock().expect("byte pool poisoned");
+        if shelf.len() < self.shelf.max_shelved {
+            shelf.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_capacity_across_checkouts() {
+        let pool = BytePool::new(4, 1024);
+        let mut b = pool.get();
+        b.extend_from_slice(&[7u8; 512]);
+        let cap = b.capacity();
+        drop(b);
+        assert_eq!(pool.shelved(), 1);
+        let b2 = pool.get();
+        assert!(b2.is_empty());
+        assert!(b2.capacity() >= cap.min(512));
+        assert_eq!(pool.shelved(), 0);
+    }
+
+    #[test]
+    fn into_bytes_retires_storage_from_pool() {
+        let pool = BytePool::new(4, 1024);
+        let mut b = pool.get();
+        b.extend_from_slice(b"hello");
+        let bytes = b.into_bytes();
+        assert_eq!(&bytes[..], b"hello");
+        // The storage went with the Bytes; nothing returned to the
+        // shelf, so a fresh checkout cannot alias `bytes`.
+        assert_eq!(pool.shelved(), 0);
+    }
+
+    #[test]
+    fn shelf_caps_count_and_capacity() {
+        let pool = BytePool::new(1, 64);
+        let mut a = pool.get();
+        a.extend_from_slice(&[0u8; 4096]);
+        let b = pool.get();
+        drop(a); // shelved, shrunk to ≤ 64
+        drop(b); // shelf already full: discarded
+        assert_eq!(pool.shelved(), 1);
+        let again = pool.get();
+        assert!(again.capacity() <= 4096);
+    }
+}

@@ -1,0 +1,419 @@
+//! Bounded SPSC ring queues for the fabric's directed links.
+//!
+//! Every directed link has exactly one shipper thread draining it (the
+//! single-consumer invariant the fabric has had since PR 2), and in the
+//! common case exactly one producer (the source node's DLU daemon).
+//! [`RingSender`]/[`RingReceiver`] exploit that: the hot path is two
+//! atomic indices over a fixed slot array, so a push and a pop touch
+//! disjoint cache lines and never take a common lock.
+//!
+//! The design stays inside `forbid(unsafe)` by striping the slot array
+//! with per-slot `Mutex<Option<T>>`s — each slot lock is uncontended
+//! except at the exact index where producer and consumer meet, which is
+//! the boundary where synchronization is required anyway. Producers
+//! additionally funnel through a producer-side lock: the single-shipper
+//! invariant makes it uncontended on the steady-state path, while still
+//! keeping occasional second producers (recovery replays, relocation
+//! forwarding, wire-mode ack returns) safe.
+//!
+//! Semantics mirror [`crate::channel`] so the fabric teardown cascade is
+//! unchanged: `send` blocks while the ring is full and fails only when
+//! the receiver is gone; `drain_into`/`recv` block while the ring is
+//! empty and fail only when every sender is gone *and* the ring is
+//! drained.
+//!
+//! # Examples
+//!
+//! ```
+//! use dataflower_rt::ring;
+//!
+//! let (tx, rx) = ring::ring::<u32>(8);
+//! for i in 0..5 {
+//!     tx.send(i).unwrap();
+//! }
+//! drop(tx);
+//! let mut batch = Vec::new();
+//! rx.drain_into(&mut batch, 16).unwrap();
+//! assert_eq!(batch, vec![0, 1, 2, 3, 4]);
+//! assert!(rx.drain_into(&mut batch, 16).is_err()); // disconnected + empty
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::channel::{RecvError, SendError};
+
+/// Shared wakeup latch for one ring — or for a *group* of rings drained
+/// by one multiplexed shipper thread ([`ring_with_notify`]): pushing
+/// into any ring of the group wakes the one consumer parked on the
+/// shared latch.
+#[derive(Debug, Default)]
+pub struct RingNotify {
+    mx: Mutex<()>,
+    cv: Condvar,
+}
+
+impl RingNotify {
+    /// A fresh latch, to share across the rings one consumer drains.
+    pub fn new() -> Arc<RingNotify> {
+        Arc::new(RingNotify::default())
+    }
+
+    fn notify(&self) {
+        // Lock-then-notify so a consumer between its emptiness re-check
+        // and its `wait` cannot miss the signal.
+        let _g = self.mx.lock().expect("ring notify poisoned");
+        self.cv.notify_all();
+    }
+
+    /// Parks the caller until notified, re-checking `ready` under the
+    /// latch lock first (never sleeps through a signal).
+    pub fn wait_until(&self, mut ready: impl FnMut() -> bool) {
+        let mut g = self.mx.lock().expect("ring notify poisoned");
+        while !ready() {
+            g = self.cv.wait(g).expect("ring notify poisoned");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RingInner<T> {
+    /// Power-of-two slot array. A slot's lock is only ever contended at
+    /// the producer/consumer boundary index.
+    slots: Box<[Mutex<Option<T>>]>,
+    mask: usize,
+    /// Next index the consumer will pop (monotonic, wraps via `mask`).
+    head: AtomicUsize,
+    /// Next index a producer will fill (monotonic, wraps via `mask`).
+    tail: AtomicUsize,
+    /// Funnels concurrent producers; uncontended with one producer.
+    prod: Mutex<()>,
+    notify: Arc<RingNotify>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Producer handle of a ring. Cloning registers another producer;
+/// dropping the last one lets the drained receiver observe disconnect.
+#[derive(Debug)]
+pub struct RingSender<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Consumer handle of a ring — deliberately not `Clone`: the single
+/// consumer is the invariant the lock-free pop side relies on.
+#[derive(Debug)]
+pub struct RingReceiver<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Creates a bounded ring with its own private wakeup latch.
+/// `capacity` is rounded up to the next power of two (minimum 1).
+pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    ring_with_notify(capacity, RingNotify::new())
+}
+
+/// Creates a bounded ring whose consumer-side wakeups go through a
+/// caller-supplied latch, so one shipper thread can park on a single
+/// latch while draining several rings.
+pub fn ring_with_notify<T>(
+    capacity: usize,
+    notify: Arc<RingNotify>,
+) -> (RingSender<T>, RingReceiver<T>) {
+    let cap = capacity.max(1).next_power_of_two();
+    let inner = Arc::new(RingInner {
+        slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        prod: Mutex::new(()),
+        notify,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        RingSender {
+            inner: Arc::clone(&inner),
+        },
+        RingReceiver { inner },
+    )
+}
+
+impl<T> RingInner<T> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+impl<T> RingSender<T> {
+    /// Pushes `value`, blocking while the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value if the receiver is gone (matching
+    /// [`crate::channel::Sender::send`]), so link teardown unblocks
+    /// producers instead of wedging them.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let inner = &self.inner;
+        let _p = inner.prod.lock().expect("ring producer lock poisoned");
+        loop {
+            if inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let tail = inner.tail.load(Ordering::Relaxed);
+            let head = inner.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) < inner.capacity() {
+                *inner.slots[tail & inner.mask]
+                    .lock()
+                    .expect("ring slot poisoned") = Some(value);
+                inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+                // Decide the wakeup from `head` re-loaded *after* the
+                // publish. A pre-push snapshot races the consumer's last
+                // pop: the consumer can drain to empty and park between
+                // our loads and our store, and a "ring wasn't empty"
+                // snapshot would skip the notify it now needs. If head
+                // has caught up to the slot just filled, the consumer
+                // may be parked (or about to park) on empty.
+                if inner.head.load(Ordering::Acquire) == tail {
+                    inner.notify.notify();
+                }
+                return Ok(());
+            }
+            // Full: park on the latch until the consumer frees a slot.
+            // The consumer notifies after popping from a full ring, and
+            // `wait_until` re-checks under the latch lock, so the wakeup
+            // cannot be missed.
+            inner.notify.wait_until(|| {
+                inner.receivers.load(Ordering::Acquire) == 0
+                    || tail.wrapping_sub(inner.head.load(Ordering::Acquire)) < inner.capacity()
+            });
+        }
+    }
+
+    /// Messages currently queued (racy snapshot, for gauges).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no message is queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+}
+
+impl<T> Clone for RingSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        RingSender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last producer gone: wake a consumer blocked on empty so it
+            // can observe the disconnect.
+            self.inner.notify.notify();
+        }
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Pops every queued message (up to `max`) into `buf` without
+    /// blocking. Returns how many were moved; `Ok(0)` means the ring is
+    /// currently empty but still connected.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the ring is empty and every sender is gone.
+    pub fn try_drain(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        let inner = &self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        let avail = tail.wrapping_sub(head);
+        let n = avail.min(max);
+        if n == 0 {
+            if inner.senders.load(Ordering::Acquire) == 0
+                && inner.tail.load(Ordering::Acquire) == head
+            {
+                return Err(RecvError);
+            }
+            return Ok(0);
+        }
+        for i in 0..n {
+            let slot = inner.slots[(head.wrapping_add(i)) & inner.mask]
+                .lock()
+                .expect("ring slot poisoned")
+                .take();
+            buf.push(slot.expect("published slot holds a value"));
+        }
+        inner.head.store(head.wrapping_add(n), Ordering::Release);
+        // Mirror of the producer's post-publish check: decide from
+        // `tail` re-loaded *after* the pop. The entry snapshot races a
+        // concurrent producer that fills the ring and parks after we
+        // read `tail`; if the ring was full right up to this pop, a
+        // producer may be parked (or about to park) on full.
+        if inner.tail.load(Ordering::Acquire).wrapping_sub(head) == inner.capacity() {
+            inner.notify.notify();
+        }
+        Ok(n)
+    }
+
+    /// Moves up to `max` messages into `buf`, blocking while the ring is
+    /// empty. Returns how many arrived (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the ring is empty and every sender is gone —
+    /// the link-teardown signal, matching
+    /// [`crate::channel::Receiver::drain_into`].
+    pub fn drain_into(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        loop {
+            match self.try_drain(buf, max)? {
+                0 => {}
+                n => return Ok(n),
+            }
+            let inner = &self.inner;
+            inner
+                .notify
+                .wait_until(|| inner.len() > 0 || inner.senders.load(Ordering::Acquire) == 0);
+        }
+    }
+
+    /// Pops one message, blocking while the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the ring is empty and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut one = Vec::with_capacity(1);
+        self.drain_into(&mut one, 1)?;
+        Ok(one.pop().expect("drain_into returned ≥ 1"))
+    }
+
+    /// Messages currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no message is queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// True when every sender is gone (the ring may still hold queued
+    /// messages to drain).
+    pub fn is_disconnected(&self) -> bool {
+        self.inner.senders.load(Ordering::Acquire) == 0
+    }
+
+    /// The wakeup latch this ring signals — the latch a multiplexed
+    /// shipper parks on.
+    pub fn notify(&self) -> Arc<RingNotify> {
+        Arc::clone(&self.inner.notify)
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        self.inner.receivers.store(0, Ordering::SeqCst);
+        // Wake producers blocked on a full ring so they observe the
+        // disconnect instead of wedging.
+        self.inner.notify.notify();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_and_orders_fifo() {
+        let (tx, rx) = ring::<u64>(3); // rounds to 4
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.try_drain(&mut out, 10).unwrap(), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_blocks_on_full_until_drained() {
+        let (tx, rx) = ring::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the consumer pops
+            tx
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        rx.drain_into(&mut out, 1).unwrap();
+        let _tx = t.join().unwrap();
+        rx.drain_into(&mut out, 10).unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = ring::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn drain_errs_only_when_empty_and_disconnected() {
+        let (tx, rx) = ring::<u32>(4);
+        tx.send(5).unwrap();
+        drop(tx);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 10).unwrap(), 1); // drains the tail first
+        assert!(rx.drain_into(&mut out, 10).is_err());
+    }
+
+    #[test]
+    fn recv_pops_in_order_across_threads() {
+        let (tx, rx) = ring::<u64>(8);
+        let n = 10_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..n {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        producer.join().unwrap();
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn shared_notify_wakes_multiplexed_consumer() {
+        let notify = RingNotify::new();
+        let (tx_a, rx_a) = ring_with_notify::<u32>(4, Arc::clone(&notify));
+        let (tx_b, rx_b) = ring_with_notify::<u32>(4, Arc::clone(&notify));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx_b.send(7).unwrap();
+            drop(tx_a);
+        });
+        // Park on the shared latch until either ring has data or died.
+        notify.wait_until(|| {
+            !rx_a.is_empty() || !rx_b.is_empty() || rx_a.is_disconnected() || rx_b.is_disconnected()
+        });
+        let mut out = Vec::new();
+        let _ = rx_a.try_drain(&mut out, 4);
+        let _ = rx_b.try_drain(&mut out, 4);
+        assert_eq!(out, vec![7]);
+        t.join().unwrap();
+    }
+}

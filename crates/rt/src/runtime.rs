@@ -3,42 +3,48 @@
 //!
 //! Architecture (one [`NodeRuntime`] per simulated worker node):
 //!
-//! * per function, one or more **FLU executor threads** consume an
-//!   invocation queue and run the registered function body on the node
-//!   the placement map assigns;
-//! * per function, a **DLU daemon thread** drains the `put` channel and
-//!   routes payloads along the workflow's data edges, classifying every
-//!   inter-function transfer through the paper's three-way pipe choice
-//!   (§7): direct socket under the 16 KiB threshold, node-local pipe when
-//!   co-located, chunked streaming remote pipe across nodes;
+//! * each node owns a **work-stealing FLU scheduler**
+//!   ([`NodeScheduler`]): invocations are submitted as tasks to a shared
+//!   injector, lazily-spawned worker threads pop locally and steal
+//!   batches from each other, and the per-function replica gauges sum
+//!   into the node's *active worker-slot window* instead of dedicated
+//!   threads-per-function;
+//! * per node, one **merged DLU daemon thread** drains the node's `put`
+//!   channel and routes payloads along the workflow's data edges,
+//!   classifying every inter-function transfer through the paper's
+//!   three-way pipe choice (§7): direct socket under the 16 KiB
+//!   threshold, node-local pipe when co-located, chunked streaming
+//!   remote pipe across nodes;
 //! * each node owns a **data sink** (a lock-striped
 //!   [`ShardedSink`](crate::ShardedSink), one stripe lock per request
 //!   hash) that caches inbound data per `(request, function, edge)` and
 //!   triggers an FLU the instant its inputs are complete
 //!   (data-availability triggering, no orchestrator);
-//! * cross-node traffic flows over the in-process **fabric**: one bounded
-//!   channel plus shipper thread per directed node pair, with optional
-//!   bandwidth/latency shaping ([`LinkConfig`]);
-//! * a per-node **janitor thread** passively expires sink entries past
-//!   their TTL (counting them as spilled to disk).
+//! * cross-node traffic flows over the in-process **fabric**: one
+//!   bounded SPSC [`ring`](crate::ring) plus shipper thread per directed
+//!   node pair, with optional bandwidth/latency shaping
+//!   ([`LinkConfig`]);
+//! * one runtime-wide **janitor thread** passively expires sink entries
+//!   past their TTL (counting them as spilled to disk).
 //!
 //! Bounded DLU queues give real backpressure: a function that produces
 //! faster than its DLU drains blocks in `put`, exactly Fig. 6a; a DLU
 //! that out-produces an inter-node link blocks on the link's bounded
-//! queue the same way.
+//! ring the same way.
 //!
-//! When elastic scaling is enabled ([`AutoscaleConfig`]), each node also
-//! runs an **autoscaler thread** that samples its hosted functions' DLU
-//! backlog every tick, converts it into seconds of backpressure via
+//! When elastic scaling is enabled ([`AutoscaleConfig`]), a runtime-wide
+//! **autoscaler thread** samples every function's DLU backlog each tick,
+//! converts it into seconds of backpressure via
 //! [`dataflower::pressure_secs`] (Eq. 1), and grows or shrinks the
-//! function's FLU executor pool between the configured bounds — the
-//! paper's pressure-aware scale-out, with a cool-down-guarded scale-in
-//! once the DLU drained.
+//! function's replica gauge between the configured bounds — which
+//! resizes the hosting node's stealing parallelism
+//! ([`NodeScheduler::set_active`]), the paper's pressure-aware
+//! scale-out with a cool-down-guarded scale-in once the DLU drained.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,13 +55,15 @@ use dataflower_workflow::{ActiveGraph, EdgeId, Endpoint, FnId, Workflow, Workflo
 use crate::admission::{AdmissionConfig, AdmissionGate, Rejected, TenantStats};
 use crate::autoscale::{AutoscaleConfig, FnScale, ScaleDirection, ScaleEvent, ScalePolicy};
 use crate::bytes::Bytes;
-use crate::channel::{bounded, unbounded, Receiver, Sender};
+use crate::channel::{bounded, Receiver, Sender};
 use crate::context::{FluContext, PutTarget};
 use crate::error::RtError;
 use crate::fabric::{chunk_spans, spawn_link, LinkConfig, LinkRetention, NetMsg};
 use crate::fault::{FaultPlan, FaultState, FrameFate};
 use crate::node::{NodeReqState, NodeRuntime, NodeState, Placement, PlacementPolicy, SinkEntry};
 use crate::orchestrator;
+use crate::ring::{self, RingReceiver, RingSender};
+use crate::sched::NodeScheduler;
 use crate::trace::{EventKind as TraceEventKind, FateKind, TraceEvent, TraceRecorder};
 
 /// A request identifier issued by [`ClusterRuntime::invoke`] /
@@ -418,17 +426,6 @@ pub(crate) struct DluMsg {
     pub payload: Bytes,
 }
 
-pub(crate) enum FluMsg {
-    Invoke {
-        req: ReqId,
-        inputs: BTreeMap<String, Bytes>,
-    },
-    /// Retire exactly one executor of the pool (elastic scale-in); the
-    /// autoscaler already discounted it from the replica gauge.
-    Retire,
-    Shutdown,
-}
-
 /// Client-side state of one request: what `wait` observes. Per-node sink
 /// state (missing-input counts, parked payloads, reassembly buffers)
 /// lives in each [`NodeState`] instead.
@@ -530,9 +527,9 @@ pub(crate) struct WireState {
     pub(crate) local: usize,
     /// Total endpoints: worker nodes plus the trailing coordinator.
     pub(crate) endpoints: usize,
-    /// Outbound frame queues, one per remote endpoint (`None` at
+    /// Outbound frame rings, one per remote endpoint (`None` at
     /// `local`). The transport's per-link agents drain them onto TCP.
-    pub(crate) out: Vec<Option<Sender<NetMsg>>>,
+    pub(crate) out: Vec<Option<RingSender<NetMsg>>>,
     /// Requests the coordinator already collected or abandoned: late
     /// frames for them must not re-seed sink state (they are orphans,
     /// acked away so the sender's retention cannot leak).
@@ -549,7 +546,22 @@ pub(crate) struct Inner {
     /// Relocation strategy consulted when a node is lost (`None` falls
     /// back to the least-pressured survivor).
     pub(crate) policy: Option<Arc<dyn PlacementPolicy>>,
-    pub(crate) flu_tx: HashMap<String, Sender<FluMsg>>,
+    /// Weak self-reference so invocation tasks queued on the node
+    /// schedulers can reach the runtime without keeping it alive after
+    /// the owning [`ClusterRuntime`] drops.
+    pub(crate) me: Weak<Inner>,
+    /// Per-node work-stealing FLU executors. Worker threads spawn
+    /// lazily up to each scheduler's active-slot window, which the
+    /// autoscaler resizes instead of spawning/retiring threads.
+    pub(crate) scheds: Vec<NodeScheduler>,
+    /// Registered function bodies, shared by every invocation task.
+    pub(crate) bodies: HashMap<String, Body>,
+    /// Per-node merged DLU ingress: one daemon per node routes every
+    /// hosted function's puts. `signal_shutdown` clears the senders so
+    /// each daemon observes disconnect once in-flight invocations drop
+    /// their clones. In wire mode only the local node's entry is
+    /// `Some`.
+    pub(crate) dlu_tx: RwLock<Vec<Option<Sender<DluMsg>>>>,
     reqs: Mutex<HashMap<u64, ClientReqState>>,
     done: Condvar,
     pub(crate) nodes: Vec<Arc<NodeState>>,
@@ -595,17 +607,6 @@ pub(crate) struct Inner {
     /// the function's new node. Cleared by `signal_shutdown` so the link
     /// shippers observe sender disconnect and exit.
     pub(crate) links: RwLock<Vec<LinkRow>>,
-    /// Per-function pool seeds (the shared invocation queue plus the
-    /// registered body), kept for the runtime's lifetime so relocation
-    /// and live migration can respawn a function's FLU pool on a new
-    /// node.
-    pub(crate) seeds: HashMap<String, PoolSeed>,
-    /// Threads spawned after start (migrated pools, relocated pools);
-    /// joined by `shutdown`.
-    pub(crate) extra_threads: Mutex<Vec<JoinHandle<()>>>,
-    /// Monotonic label for respawned pools, so migrated executor threads
-    /// get distinct names.
-    pub(crate) pool_gen: AtomicU64,
     /// Trace recorder ([`ClusterRuntimeBuilder::record_trace`]); `None`
     /// when tracing is off, so every disabled hook costs one `Option`
     /// check.
@@ -647,19 +648,22 @@ impl Inner {
             rec.record(self.started.elapsed().as_micros() as u64, f());
         }
     }
+
+    /// The merged-DLU sender of `node` (`None` once shutdown cleared the
+    /// senders, or for a remote node in wire mode).
+    pub(crate) fn dlu_sender(&self, node: usize) -> Option<Sender<DluMsg>> {
+        self.dlu_tx
+            .read()
+            .expect("dlu senders lock poisoned")
+            .get(node)
+            .and_then(|s| s.clone())
+    }
 }
 
-/// One node's outbound fabric senders, indexed by destination (`None`
-/// on the self-link). Shared so per-put row lookups are one Arc clone.
-pub(crate) type LinkRow = Arc<Vec<Option<Sender<NetMsg>>>>;
-
-/// What relocation / migration needs to respawn one function's FLU pool
-/// on another node: the shared MPMC invocation queue (cloning the
-/// receiver attaches to the same queue) and the registered body.
-pub(crate) struct PoolSeed {
-    pub(crate) rx: Receiver<FluMsg>,
-    pub(crate) body: Body,
-}
+/// One node's outbound fabric ring senders, indexed by destination
+/// (`None` on the self-link). Shared so per-put row lookups are one Arc
+/// clone.
+pub(crate) type LinkRow = Arc<Vec<Option<RingSender<NetMsg>>>>;
 
 /// Row stride of the directed-link vectors (`link_depth`, `retention`):
 /// the node count for the in-process fabric, the endpoint count (nodes
@@ -729,7 +733,7 @@ pub struct ClusterRuntimeBuilder {
 /// What [`ClusterRuntimeBuilder::start_worker`] hands the transport: the
 /// local runtime plus one outbound frame receiver per directed link this
 /// node sends on (`None` elsewhere).
-pub(crate) type WorkerStart = (ClusterRuntime, Vec<Option<Receiver<NetMsg>>>);
+pub(crate) type WorkerStart = (ClusterRuntime, Vec<Option<RingReceiver<NetMsg>>>);
 
 impl ClusterRuntimeBuilder {
     /// Starts building a runtime for `workflow` (single-node placement
@@ -824,7 +828,17 @@ impl ClusterRuntimeBuilder {
     pub fn start(self) -> Result<ClusterRuntime, RtError> {
         self.validate()?;
         let node_count = self.placement.node_count();
-        let (flu_tx, flu_rx, scale, initial_replicas) = self.function_pools();
+        let (scale, initial_replicas) = self.pool_gauges();
+        let scheds: Vec<NodeScheduler> = (0..node_count)
+            .map(|n| self.node_scheduler(n, &initial_replicas))
+            .collect();
+        let mut dlu_tx: Vec<Option<Sender<DluMsg>>> = Vec::with_capacity(node_count);
+        let mut dlu_rx: Vec<Option<Receiver<DluMsg>>> = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let (tx, rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
+            dlu_tx.push(Some(tx));
+            dlu_rx.push(Some(rx));
+        }
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
             .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
             .collect();
@@ -850,12 +864,15 @@ impl ClusterRuntimeBuilder {
         } else {
             Vec::new()
         };
-        let inner = Arc::new(Inner {
+        let inner = Arc::new_cyclic(|me| Inner {
             workflow: Arc::clone(&self.workflow),
             cfg: self.cfg.clone(),
             placement: RwLock::new(self.placement.clone()),
             policy: self.policy.clone(),
-            flu_tx,
+            me: me.clone(),
+            scheds,
+            bodies: self.bodies.clone(),
+            dlu_tx: RwLock::new(dlu_tx),
             reqs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
             nodes: node_states,
@@ -874,9 +891,6 @@ impl ClusterRuntimeBuilder {
             retention,
             wire: None,
             links: RwLock::new(Vec::new()),
-            seeds: self.pool_seeds(&flu_rx),
-            extra_threads: Mutex::new(Vec::new()),
-            pool_gen: AtomicU64::new(0),
             recorder: self.record_trace.then(|| Arc::new(TraceRecorder::new())),
         });
 
@@ -901,20 +915,21 @@ impl ClusterRuntimeBuilder {
             }
         }
 
-        // Fabric: one bounded link + shipper thread per directed node
-        // pair. The rows live in `Inner.links` (the live routing table);
-        // `signal_shutdown` clears them, which is what cascades into
-        // shipper exit at teardown.
+        // Fabric: one bounded SPSC ring + shipper thread per directed
+        // node pair (the node's single merged DLU daemon is the one
+        // producer). The rows live in `Inner.links` (the live routing
+        // table); `signal_shutdown` clears them, which is what cascades
+        // into shipper exit at teardown.
         let mut fabric_threads = Vec::new();
-        let mut links_by_src: Vec<Arc<Vec<Option<Sender<NetMsg>>>>> = Vec::new();
+        let mut links_by_src: Vec<Arc<Vec<Option<RingSender<NetMsg>>>>> = Vec::new();
         for src in 0..node_count {
-            let mut row: Vec<Option<Sender<NetMsg>>> = Vec::with_capacity(node_count);
+            let mut row: Vec<Option<RingSender<NetMsg>>> = Vec::with_capacity(node_count);
             for dst in 0..node_count {
                 if src == dst {
                     row.push(None);
                     continue;
                 }
-                let (tx, rx) = bounded::<NetMsg>(self.cfg.link.queue_capacity);
+                let (tx, rx) = ring::ring::<NetMsg>(self.cfg.link.queue_capacity);
                 let ingress_inner = Arc::clone(&inner);
                 fabric_threads.push(spawn_link(
                     src,
@@ -957,13 +972,34 @@ impl ClusterRuntimeBuilder {
             );
         }
 
-        // Nodes: FLU executors and DLU daemons for the hosted functions,
-        // plus one janitor each and (when enabled) one autoscaler.
+        // Nodes: one merged DLU daemon each (FLU workers spawn lazily
+        // inside the node schedulers on first submit).
         let mut nodes = Vec::new();
-        for node_id in 0..node_count {
-            nodes.push(self.spawn_node(&inner, node_id));
+        for (node_id, rx) in dlu_rx.into_iter().enumerate() {
+            nodes.push(self.spawn_node(&inner, node_id, rx));
         }
-        drop(flu_rx);
+
+        // Runtime-wide autoscaler: one thread samples every function's
+        // pressure and resizes the hosting nodes' active-slot windows.
+        if self.cfg.autoscale.enabled {
+            let scaler_inner = Arc::clone(&inner);
+            fabric_threads.push(
+                std::thread::Builder::new()
+                    .name("autoscaler".into())
+                    .spawn(move || autoscaler(scaler_inner))
+                    .expect("spawn autoscaler"),
+            );
+        }
+        // Runtime-wide janitor for passive expire across every node.
+        if let Some(ttl) = self.cfg.rt.sink_ttl {
+            let janitor_inner = Arc::clone(&inner);
+            fabric_threads.push(
+                std::thread::Builder::new()
+                    .name("janitor".into())
+                    .spawn(move || janitor(janitor_inner, ttl))
+                    .expect("spawn janitor"),
+            );
+        }
 
         Ok(ClusterRuntime {
             inner,
@@ -994,7 +1030,15 @@ impl ClusterRuntimeBuilder {
             spec.local
         );
         let endpoints = node_count + 1;
-        let (flu_tx, flu_rx, scale, initial_replicas) = self.function_pools();
+        let (scale, initial_replicas) = self.pool_gauges();
+        let scheds: Vec<NodeScheduler> = (0..node_count)
+            .map(|n| self.node_scheduler(n, &initial_replicas))
+            .collect();
+        // Only the local node gets a DLU ingress: frames for remote
+        // functions never queue here, they ride the wire.
+        let mut dlu_tx: Vec<Option<Sender<DluMsg>>> = (0..node_count).map(|_| None).collect();
+        let (local_dlu_tx, local_dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
+        dlu_tx[spec.local] = Some(local_dlu_tx);
         let node_states: Vec<Arc<NodeState>> = (0..node_count)
             .map(|_| Arc::new(NodeState::new(self.cfg.rt.sink_stripes)))
             .collect();
@@ -1021,24 +1065,27 @@ impl ClusterRuntimeBuilder {
         } else {
             Vec::new()
         };
-        let mut out: Vec<Option<Sender<NetMsg>>> = Vec::with_capacity(endpoints);
-        let mut out_rx: Vec<Option<Receiver<NetMsg>>> = Vec::with_capacity(endpoints);
+        let mut out: Vec<Option<RingSender<NetMsg>>> = Vec::with_capacity(endpoints);
+        let mut out_rx: Vec<Option<RingReceiver<NetMsg>>> = Vec::with_capacity(endpoints);
         for dst in 0..endpoints {
             if dst == spec.local {
                 out.push(None);
                 out_rx.push(None);
             } else {
-                let (tx, rx) = bounded::<NetMsg>(self.cfg.link.queue_capacity);
+                let (tx, rx) = ring::ring::<NetMsg>(self.cfg.link.queue_capacity);
                 out.push(Some(tx));
                 out_rx.push(Some(rx));
             }
         }
-        let inner = Arc::new(Inner {
+        let inner = Arc::new_cyclic(|me| Inner {
             workflow: Arc::clone(&self.workflow),
             cfg: self.cfg.clone(),
             placement: RwLock::new(self.placement.clone()),
             policy: self.policy.clone(),
-            flu_tx,
+            me: me.clone(),
+            scheds,
+            bodies: self.bodies.clone(),
+            dlu_tx: RwLock::new(dlu_tx),
             reqs: Mutex::new(HashMap::new()),
             done: Condvar::new(),
             nodes: node_states,
@@ -1062,9 +1109,6 @@ impl ClusterRuntimeBuilder {
                 purged: Mutex::new(HashSet::new()),
             }),
             links: RwLock::new(Vec::new()),
-            seeds: self.pool_seeds(&flu_rx),
-            extra_threads: Mutex::new(Vec::new()),
-            pool_gen: AtomicU64::new(0),
             recorder: None,
         });
 
@@ -1085,7 +1129,7 @@ impl ClusterRuntimeBuilder {
         let mut nodes = Vec::new();
         for node_id in 0..node_count {
             if node_id == spec.local {
-                nodes.push(self.spawn_node(&inner, node_id));
+                nodes.push(self.spawn_node(&inner, node_id, Some(local_dlu_rx.clone())));
             } else {
                 nodes.push(NodeRuntime {
                     id: node_id,
@@ -1095,7 +1139,27 @@ impl ClusterRuntimeBuilder {
                 });
             }
         }
-        drop(flu_rx);
+        drop(local_dlu_rx);
+        // The worker's autoscaler and janitor ride on the local node's
+        // thread set (there is no fabric thread vector in wire mode).
+        if self.cfg.autoscale.enabled {
+            let scaler_inner = Arc::clone(&inner);
+            nodes[spec.local].threads.push(
+                std::thread::Builder::new()
+                    .name("autoscaler".into())
+                    .spawn(move || autoscaler(scaler_inner))
+                    .expect("spawn autoscaler"),
+            );
+        }
+        if let Some(ttl) = self.cfg.rt.sink_ttl {
+            let janitor_inner = Arc::clone(&inner);
+            nodes[spec.local].threads.push(
+                std::thread::Builder::new()
+                    .name("janitor".into())
+                    .spawn(move || janitor(janitor_inner, ttl))
+                    .expect("spawn janitor"),
+            );
+        }
 
         Ok((
             ClusterRuntime {
@@ -1147,25 +1211,14 @@ impl ClusterRuntimeBuilder {
             .map_err(RtError::InvalidPlacement)
     }
 
-    /// Builds the per-function invocation channels and pool gauges.
+    /// Builds the per-function pool gauges and the t=0 replica counts.
     #[allow(clippy::type_complexity)]
-    fn function_pools(
-        &self,
-    ) -> (
-        HashMap<String, Sender<FluMsg>>,
-        HashMap<String, Receiver<FluMsg>>,
-        HashMap<String, Arc<FnScale>>,
-        HashMap<String, usize>,
-    ) {
+    fn pool_gauges(&self) -> (HashMap<String, Arc<FnScale>>, HashMap<String, usize>) {
         let scaling = self.cfg.autoscale.enabled;
-        let mut flu_tx = HashMap::new();
-        let mut flu_rx = HashMap::new();
         let mut scale = HashMap::new();
         let mut initial_replicas = HashMap::new();
         for f in self.workflow.function_ids() {
             let name = self.workflow.function(f).name.clone();
-            let (tx, rx) = unbounded();
-            flu_tx.insert(name.clone(), tx);
             let mut replicas = *self
                 .replicas
                 .get(&name)
@@ -1178,27 +1231,37 @@ impl ClusterRuntimeBuilder {
                 );
             }
             scale.insert(name.clone(), Arc::new(FnScale::new(replicas)));
-            initial_replicas.insert(name.clone(), replicas);
-            flu_rx.insert(name, rx);
+            initial_replicas.insert(name, replicas);
         }
-        (flu_tx, flu_rx, scale, initial_replicas)
+        (scale, initial_replicas)
     }
 
-    /// Builds the per-function pool seeds kept in [`Inner`] so pools can
-    /// be respawned on another node after start (relocation, migration).
-    fn pool_seeds(&self, flu_rx: &HashMap<String, Receiver<FluMsg>>) -> HashMap<String, PoolSeed> {
-        flu_rx
-            .iter()
-            .map(|(name, rx)| {
-                (
-                    name.clone(),
-                    PoolSeed {
-                        rx: rx.clone(),
-                        body: Arc::clone(&self.bodies[name]),
-                    },
-                )
-            })
-            .collect()
+    /// Builds one node's work-stealing FLU scheduler. The slot ceiling
+    /// is migration-safe: the sum over **all** functions of each one's
+    /// replica cap, because relocation or live migration can land any
+    /// function here later. The initial active window is the replica
+    /// sum of just the functions the placement starts on this node.
+    fn node_scheduler(
+        &self,
+        node_id: usize,
+        initial_replicas: &HashMap<String, usize>,
+    ) -> NodeScheduler {
+        let scaling = self.cfg.autoscale.enabled;
+        let mut max_slots = 0usize;
+        let mut active = 0usize;
+        for f in self.workflow.function_ids() {
+            let name = &self.workflow.function(f).name;
+            let initial = initial_replicas[name];
+            max_slots += if scaling {
+                self.cfg.autoscale.max_replicas.max(initial)
+            } else {
+                initial
+            };
+            if self.placement.node_of(name) == node_id {
+                active += initial;
+            }
+        }
+        NodeScheduler::new(format!("node{node_id}"), max_slots.max(1), active.max(1))
     }
 
     /// Names of the functions the placement puts on `node_id`, in
@@ -1213,102 +1276,44 @@ impl ClusterRuntimeBuilder {
             .collect()
     }
 
-    /// Spawns one node's worth of threads — FLU executors and DLU
-    /// daemons for the hosted functions, plus a janitor, (when enabled)
-    /// an autoscaler, and (orchestrator mode, in-process) the node's
-    /// heartbeat responder. Outbound routing fetches the node's link row
-    /// from `Inner.links` per put.
-    fn spawn_node(&self, inner: &Arc<Inner>, node_id: usize) -> NodeRuntime {
-        let scaling = self.cfg.autoscale.enabled;
+    /// Spawns one node's worth of threads: the node's **merged DLU
+    /// daemon** (routes every hosted function's puts) and, in in-process
+    /// orchestrator mode, its heartbeat responder. FLU invocations run
+    /// on the node's work-stealing scheduler, whose worker threads spawn
+    /// lazily on first submit rather than here. Outbound routing fetches
+    /// the node's link row from `Inner.links` per put.
+    fn spawn_node(
+        &self,
+        inner: &Arc<Inner>,
+        node_id: usize,
+        dlu_rx: Option<Receiver<DluMsg>>,
+    ) -> NodeRuntime {
         let mut threads = Vec::new();
-        let mut hosted = Vec::new();
-        let mut seeds = Vec::new();
-        for f in self.workflow.function_ids() {
-            let name = self.workflow.function(f).name.clone();
-            if self.placement.node_of(&name) != node_id {
-                continue;
-            }
-            hosted.push(name.clone());
-            let body = Arc::clone(&self.bodies[&name]);
-            let fn_scale = Arc::clone(&inner.scale[&name]);
-            let replicas = fn_scale.replicas.load(Ordering::Relaxed);
-
-            // Per-function DLU daemon, owned by this node.
-            let (dlu_tx, dlu_rx) = bounded::<DluMsg>(self.cfg.rt.dlu_queue_capacity);
-            {
-                let inner = Arc::clone(inner);
-                let fn_scale = Arc::clone(&fn_scale);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("node{node_id}-dlu-{name}"))
-                        .spawn(move || dlu_daemon(inner, dlu_rx, fn_scale))
-                        .expect("spawn dlu daemon"),
-                );
-            }
-            // FLU executors, attached to the function's shared queue.
-            let rx = inner.seeds[&name].rx.clone();
-            for k in 0..replicas {
-                let inner = Arc::clone(inner);
-                let rx = rx.clone();
-                let body = Arc::clone(&body);
-                let dlu = dlu_tx.clone();
-                let fn_name = name.clone();
-                let fn_scale = Arc::clone(&fn_scale);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("node{node_id}-flu-{name}-{k}"))
-                        .spawn(move || flu_executor(inner, fn_name, rx, body, dlu, fn_scale))
-                        .expect("spawn flu executor"),
-                );
-            }
-            if scaling {
-                seeds.push(ExecutorSeed {
-                    name,
-                    node: node_id,
-                    rx,
-                    body,
-                    dlu: dlu_tx.clone(),
-                    scale: fn_scale,
-                });
-            }
+        if let Some(rx) = dlu_rx {
+            let daemon_inner = Arc::clone(inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node{node_id}-dlu"))
+                    .spawn(move || dlu_daemon(daemon_inner, rx))
+                    .expect("spawn dlu daemon"),
+            );
         }
         // Heartbeat responder (in-process orchestrator mode): stamps the
         // node's keep-alive beat while the node is up. Wire-mode
         // heartbeats are coordinator pings over the control channel
         // instead.
         if self.cfg.orchestrator && inner.wire.is_none() {
-            let inner = Arc::clone(inner);
+            let hb_inner = Arc::clone(inner);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("node{node_id}-heartbeat"))
-                    .spawn(move || orchestrator::heartbeat_responder(inner, node_id))
+                    .spawn(move || orchestrator::heartbeat_responder(hb_inner, node_id))
                     .expect("spawn heartbeat responder"),
-            );
-        }
-        // Per-node autoscaler: samples the hosted functions' pressure
-        // and grows/shrinks their pools.
-        if scaling && !seeds.is_empty() {
-            let inner = Arc::clone(inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("node{node_id}-autoscaler"))
-                    .spawn(move || autoscaler(inner, seeds))
-                    .expect("spawn autoscaler"),
-            );
-        }
-        // Node-local janitor for passive expire.
-        if let Some(ttl) = self.cfg.rt.sink_ttl {
-            let inner = Arc::clone(inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("node{node_id}-janitor"))
-                    .spawn(move || janitor(inner, node_id, ttl))
-                    .expect("spawn janitor"),
             );
         }
         NodeRuntime {
             id: node_id,
-            functions: hosted,
+            functions: self.hosted_on(node_id),
             state: Arc::clone(&inner.nodes[node_id]),
             threads,
         }
@@ -1333,19 +1338,6 @@ pub(crate) struct WireSpec {
 /// endpoint index past the last node.
 pub(crate) fn worker_transfer_base(local: usize, epoch: u32) -> u64 {
     ((epoch as u64) << 48) | ((local as u64 & 0xff) << 40)
-}
-
-/// Everything the autoscaler needs to spawn one more executor of a
-/// function: the shared invocation queue, the body, the DLU handle and
-/// the pool gauges. Holding the receiver/sender clones here is safe for
-/// teardown: the autoscaler exits on the shutdown signal and drops them.
-struct ExecutorSeed {
-    name: String,
-    node: usize,
-    rx: Receiver<FluMsg>,
-    body: Body,
-    dlu: Sender<DluMsg>,
-    scale: Arc<FnScale>,
 }
 
 /// A running multi-node FLU/DLU runtime. Create with
@@ -1579,8 +1571,8 @@ impl ClusterRuntime {
         self.nodes.len()
     }
 
-    /// The node at `index` (FLU executors, DLU daemons, sink, janitor of
-    /// the functions placed there).
+    /// The node at `index` (work-stealing FLU scheduler, merged DLU
+    /// daemon and sink of the functions placed there).
     pub fn node(&self, index: usize) -> &NodeRuntime {
         &self.nodes[index]
     }
@@ -1592,9 +1584,10 @@ impl ClusterRuntime {
         self.inner.node_of(name)
     }
 
-    /// Number of FLU executor threads serving `name`. With elastic
-    /// scaling enabled this is a **live gauge** that moves as the
-    /// autoscaler grows and shrinks the pool.
+    /// Replica gauge of function `name`: how many worker slots of its
+    /// hosting node's scheduler it contributes. With elastic scaling
+    /// enabled this is a **live gauge** that moves as the autoscaler
+    /// grows and shrinks the function's share of stealing parallelism.
     pub fn replicas_of(&self, name: &str) -> Option<usize> {
         self.inner
             .scale
@@ -1722,11 +1715,15 @@ impl ClusterRuntime {
     /// teardown; prefer this over relying on `Drop`, which detaches
     /// without joining).
     ///
-    /// Teardown cascades: FLU executors drain their shutdown messages and
-    /// drop the DLU senders, the DLU daemons drain and drop the link
-    /// senders, the link shippers drain and exit.
+    /// Teardown cascades: scheduler workers drain their queues and park
+    /// permanently, in-flight invocations drop their DLU senders, the
+    /// merged DLU daemons drain and drop the link senders, the link
+    /// shippers drain and exit.
     pub fn shutdown(mut self) {
         self.signal_shutdown();
+        for sched in &self.inner.scheds {
+            sched.stop();
+        }
         for node in &mut self.nodes {
             for t in node.threads.drain(..) {
                 let _ = t.join();
@@ -1735,26 +1732,13 @@ impl ClusterRuntime {
         for t in self.fabric_threads.drain(..) {
             let _ = t.join();
         }
-        // Threads spawned after start: migrated / relocated FLU pools,
-        // DLU daemons and heartbeat responders of re-homed functions.
-        let extra = std::mem::take(
-            &mut *self
-                .inner
-                .extra_threads
-                .lock()
-                .expect("extra threads lock poisoned"),
-        );
-        for t in extra {
-            let _ = t.join();
-        }
     }
 
     fn signal_shutdown(&self) {
         // The lock orders the store before any janitor's or autoscaler's
-        // next wait (none can sleep through the signal), and freezes the
+        // next wait (none can sleep through the signal) and freezes the
         // replica gauges: the autoscaler only scales while holding this
-        // same mutex, so the shutdown message count below exactly matches
-        // the number of live executors.
+        // same mutex.
         let _guard = self
             .inner
             .shutdown_mx
@@ -1762,14 +1746,23 @@ impl ClusterRuntime {
             .expect("shutdown lock poisoned");
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.shutdown_cv.notify_all();
-        for f in self.inner.workflow.function_ids() {
-            let name = &self.inner.workflow.function(f).name;
-            for _ in 0..self.inner.scale[name].replicas.load(Ordering::SeqCst) {
-                let _ = self.inner.flu_tx[name].send(FluMsg::Shutdown);
-            }
+        // Wake every scheduler worker (non-blocking; `shutdown` joins).
+        for sched in &self.inner.scheds {
+            sched.signal_stop();
+        }
+        // Drop the DLU senders: each node's daemon exits once in-flight
+        // invocations drop their clones and the queue drains.
+        for tx in self
+            .inner
+            .dlu_tx
+            .write()
+            .expect("dlu senders lock poisoned")
+            .iter_mut()
+        {
+            *tx = None;
         }
         // Drop the link rows: they hold the only long-lived senders into
-        // the link shippers, which exit when their channel disconnects.
+        // the link shippers, which exit when their ring disconnects.
         self.inner
             .links
             .write()
@@ -1942,81 +1935,129 @@ impl fmt::Debug for Runtime {
     }
 }
 
-pub(crate) fn flu_executor(
-    inner: Arc<Inner>,
-    fn_name: String,
-    rx: Receiver<FluMsg>,
-    body: Body,
-    dlu: Sender<DluMsg>,
-    scale: Arc<FnScale>,
+/// Queues one invocation of `name` on its hosting node's work-stealing
+/// scheduler. The task captures a `Weak<Inner>`: if the runtime was
+/// dropped before a worker gets to it, the invocation is discarded —
+/// consistent with detached teardown. A node whose DLU sender is gone
+/// (shutdown, or a remote node in wire mode) drops the invocation the
+/// same way the old per-function queues did on disconnect.
+pub(crate) fn submit_invoke(
+    inner: &Inner,
+    name: &str,
+    req: ReqId,
+    inputs: BTreeMap<String, Bytes>,
 ) {
-    // The observed-pool gauge: migration drains wait on this hitting 0.
+    let node = inner.node_of(name);
+    let Some(dlu) = inner.dlu_sender(node) else {
+        return;
+    };
+    let me = inner.me.clone();
+    let body = Arc::clone(&inner.bodies[name]);
+    let scale = Arc::clone(&inner.scale[name]);
+    let fn_name = name.to_string();
+    inner.scheds[node].submit(Box::new(move || {
+        let Some(inner) = me.upgrade() else {
+            return;
+        };
+        run_invocation(&inner, &fn_name, req, inputs, &body, dlu, &scale);
+    }));
+}
+
+/// Runs one function invocation on the calling scheduler worker.
+fn run_invocation(
+    inner: &Inner,
+    fn_name: &str,
+    req: ReqId,
+    inputs: BTreeMap<String, Bytes>,
+    body: &Body,
+    dlu: Sender<DluMsg>,
+    scale: &Arc<FnScale>,
+) {
+    // The in-flight gauge: migration drains wait on this hitting 0.
     scale.live.fetch_add(1, Ordering::SeqCst);
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            FluMsg::Shutdown => break,
-            // Elastic scale-in: exactly one executor of the pool takes
-            // the retire token and exits (the autoscaler already
-            // discounted it from the replica gauge).
-            FluMsg::Retire => break,
-            FluMsg::Invoke { req, inputs } => {
-                inner.counters.invocations.fetch_add(1, Ordering::Relaxed);
-                inner.trace_with(|| TraceEventKind::Invoke {
-                    req: req.0,
-                    func: inner
-                        .workflow
-                        .function_by_name(&fn_name)
-                        .map_or(u32::MAX, |f| f.index() as u32),
-                });
-                let mut ctx = FluContext::new(
-                    req,
-                    fn_name.clone(),
-                    inputs,
-                    dlu.clone(),
-                    Arc::clone(&scale),
-                );
-                let t0 = Instant::now();
-                body(&mut ctx);
-                // Eq. 1's T_FLU is compute time: discount what the body
-                // spent blocked in `put` behind a saturated DLU, or
-                // backpressure would masquerade as useful work and
-                // suppress the very pressure it signals.
-                let t_flu = t0.elapsed().saturating_sub(ctx.blocked);
-                scale
-                    .t_flu
-                    .lock()
-                    .expect("t_flu lock poisoned")
-                    .push(t_flu.as_secs_f64());
-            }
-        }
-    }
+    inner.counters.invocations.fetch_add(1, Ordering::Relaxed);
+    inner.trace_with(|| TraceEventKind::Invoke {
+        req: req.0,
+        func: inner
+            .workflow
+            .function_by_name(fn_name)
+            .map_or(u32::MAX, |f| f.index() as u32),
+    });
+    let mut ctx = FluContext::new(req, fn_name.to_string(), inputs, dlu, Arc::clone(scale));
+    let t0 = Instant::now();
+    body(&mut ctx);
+    // Eq. 1's T_FLU is compute time: discount what the body spent
+    // blocked in `put` behind a saturated DLU, or backpressure would
+    // masquerade as useful work and suppress the very pressure it
+    // signals.
+    let t_flu = t0.elapsed().saturating_sub(ctx.blocked);
+    scale
+        .t_flu
+        .lock()
+        .expect("t_flu lock poisoned")
+        .push(t_flu.as_secs_f64());
     scale.live.fetch_sub(1, Ordering::SeqCst);
 }
 
-pub(crate) fn dlu_daemon(inner: Arc<Inner>, rx: Receiver<DluMsg>, scale: Arc<FnScale>) {
+/// One node's merged DLU daemon: drains the node-wide put queue and
+/// routes each payload, charging the drained bytes back to the source
+/// function's Eq. 1 backlog gauge. Exits when the queue disconnects
+/// (shutdown cleared the long-lived sender and in-flight invocations
+/// dropped their clones) or the shutdown flag is up.
+pub(crate) fn dlu_daemon(inner: Arc<Inner>, rx: Receiver<DluMsg>) {
     while let Ok(msg) = rx.recv() {
         if inner.shutdown.load(Ordering::Relaxed) {
             break;
         }
         let len = msg.payload.len() as u64;
+        let scale = inner.scale.get(&msg.src_fn).cloned();
         route(&inner, msg);
         // The payload left the DLU (routing finished, including any time
         // blocked on a saturated inter-node link): drop it from the
         // Eq. 1 backlog gauge.
-        scale.backlog_bytes.fetch_sub(len, Ordering::Relaxed);
+        if let Some(scale) = scale {
+            scale.backlog_bytes.fetch_sub(len, Ordering::Relaxed);
+        }
     }
 }
 
-/// The per-node elastic scaling loop: every `sample_interval`, convert
-/// each hosted function's DLU backlog into Eq. 1 pressure-seconds and let
-/// its [`ScalePolicy`] grow or shrink the executor pool. Scaling happens
-/// under the shutdown mutex so teardown always sees a consistent replica
-/// count; on shutdown the loop drops its channel seeds (unblocking the
-/// cascade) and joins every executor it spawned.
-fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
+/// Re-derives `node`'s active worker-slot window from the live placement
+/// and replica gauges: the sum of the replicas of every function the
+/// placement currently puts there. Called after every scale event,
+/// relocation and migration.
+pub(crate) fn refresh_scheduler_active(inner: &Inner, node: usize) {
+    let placement = inner.placement.read().expect("placement lock poisoned");
+    let slots: usize = inner
+        .scale
+        .iter()
+        .filter(|(name, _)| placement.node_of(name) == node)
+        .map(|(_, s)| s.replicas.load(Ordering::Relaxed))
+        .sum();
+    drop(placement);
+    inner.scheds[node].set_active(slots);
+}
+
+/// The runtime-wide elastic scaling loop: every `sample_interval`,
+/// convert each function's DLU backlog into Eq. 1 pressure-seconds and
+/// let its [`ScalePolicy`] move the replica gauge between the bounds.
+/// A scale event does not spawn or retire threads — it resizes the
+/// hosting node's *active worker-slot window*
+/// ([`NodeScheduler::set_active`]), i.e. how much stealing parallelism
+/// the node's scheduler may use. Scaling happens under the shutdown
+/// mutex so teardown always sees a consistent replica count.
+fn autoscaler(inner: Arc<Inner>) {
     let auto = inner.cfg.autoscale.clone();
-    let mut policies: Vec<ScalePolicy> = seeds.iter().map(|_| ScalePolicy::new(&auto)).collect();
-    let mut spawned: Vec<JoinHandle<()>> = Vec::new();
+    let local = inner.wire.as_ref().map(|w| w.local);
+    let mut fns: Vec<(String, ScalePolicy)> = inner
+        .workflow
+        .function_ids()
+        .map(|f| {
+            (
+                inner.workflow.function(f).name.clone(),
+                ScalePolicy::new(&auto),
+            )
+        })
+        .collect();
     loop {
         let mut guard = inner.shutdown_mx.lock().expect("shutdown lock poisoned");
         if inner.shutdown.load(Ordering::Relaxed) {
@@ -2031,54 +2072,38 @@ fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
             break;
         }
         let now = inner.started.elapsed();
-        for (seed, policy) in seeds.iter().zip(policies.iter_mut()) {
-            let backlog = seed.scale.backlog_bytes.load(Ordering::Relaxed) as f64;
-            let t_flu = seed
-                .scale
-                .t_flu
-                .lock()
-                .expect("t_flu lock poisoned")
-                .get_or(0.0);
+        for (name, policy) in fns.iter_mut() {
+            let node = inner.node_of(name);
+            // Wire mode: each worker process scales only the functions
+            // it currently hosts.
+            if local.is_some_and(|l| l != node) {
+                continue;
+            }
+            let scale = &inner.scale[name];
+            let backlog = scale.backlog_bytes.load(Ordering::Relaxed) as f64;
+            let t_flu = scale.t_flu.lock().expect("t_flu lock poisoned").get_or(0.0);
             let pressure = pressure_secs(auto.alpha, backlog, auto.drain_bw_bytes_per_sec, t_flu);
-            let replicas = seed.scale.replicas.load(Ordering::Relaxed);
+            let replicas = scale.replicas.load(Ordering::Relaxed);
             let Some(direction) = policy.decide(now.as_secs_f64(), pressure, replicas) else {
                 continue;
             };
             let to_replicas = match direction {
                 ScaleDirection::Out => {
-                    let k = spawned.len();
-                    let exec_inner = Arc::clone(&inner);
-                    let rx = seed.rx.clone();
-                    let body = Arc::clone(&seed.body);
-                    let dlu = seed.dlu.clone();
-                    let fn_name = seed.name.clone();
-                    let fn_scale = Arc::clone(&seed.scale);
-                    spawned.push(
-                        std::thread::Builder::new()
-                            .name(format!("node{}-flu-{}-s{k}", seed.node, seed.name))
-                            .spawn(move || {
-                                flu_executor(exec_inner, fn_name, rx, body, dlu, fn_scale)
-                            })
-                            .expect("spawn scaled flu executor"),
-                    );
                     inner.counters.scale_outs.fetch_add(1, Ordering::Relaxed);
-                    seed.scale.replicas.fetch_add(1, Ordering::SeqCst) + 1
+                    scale.replicas.fetch_add(1, Ordering::SeqCst) + 1
                 }
                 ScaleDirection::In => {
-                    // Discount first, then queue the retire token; one
-                    // executor will consume it and exit.
-                    let left = seed.scale.replicas.fetch_sub(1, Ordering::SeqCst) - 1;
-                    let _ = inner.flu_tx[&seed.name].send(FluMsg::Retire);
                     inner.counters.scale_ins.fetch_add(1, Ordering::Relaxed);
-                    left
+                    scale.replicas.fetch_sub(1, Ordering::SeqCst) - 1
                 }
             };
+            refresh_scheduler_active(&inner, node);
             inner.trace_with(|| TraceEventKind::Scale {
                 func: inner
                     .workflow
-                    .function_by_name(&seed.name)
+                    .function_by_name(name)
                     .map_or(u32::MAX, |f| f.index() as u32),
-                node: seed.node as u32,
+                node: node as u32,
                 out: direction == ScaleDirection::Out,
                 from_replicas: replicas as u32,
                 to_replicas: to_replicas as u32,
@@ -2089,8 +2114,8 @@ fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
                 .expect("scale events lock poisoned")
                 .push(ScaleEvent {
                     at: now,
-                    function: seed.name.clone(),
-                    node: seed.node,
+                    function: name.clone(),
+                    node,
                     direction,
                     from_replicas: replicas,
                     to_replicas,
@@ -2098,13 +2123,6 @@ fn autoscaler(inner: Arc<Inner>, seeds: Vec<ExecutorSeed>) {
                 });
         }
         drop(guard);
-    }
-    // Drop the seeds' channel handles so DLU daemons and link shippers
-    // observe disconnection, then wait for the scaled executors (their
-    // shutdown tokens were queued by `signal_shutdown`).
-    drop(seeds);
-    for t in spawned {
-        let _ = t.join();
     }
 }
 
@@ -2211,7 +2229,7 @@ fn route(inner: &Inner, msg: DluMsg) {
 #[allow(clippy::too_many_arguments)]
 fn ship(
     inner: &Inner,
-    links: &[Option<Sender<NetMsg>>],
+    links: &[Option<RingSender<NetMsg>>],
     src_node: usize,
     dst_node: usize,
     req: ReqId,
@@ -2334,7 +2352,7 @@ fn ship(
 #[allow(clippy::too_many_arguments)]
 fn ship_whole(
     inner: &Inner,
-    links: &[Option<Sender<NetMsg>>],
+    links: &[Option<RingSender<NetMsg>>],
     src_node: usize,
     dst_node: usize,
     req: ReqId,
@@ -2987,7 +3005,7 @@ fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String
     match outcome {
         Delivered::Done => {}
         Delivered::Ready(inputs) => {
-            let _ = inner.flu_tx[name].send(FluMsg::Invoke { req, inputs });
+            submit_invoke(inner, name, req, inputs);
         }
         Delivered::Moved(entry) => {
             inner
@@ -3006,7 +3024,10 @@ fn deliver(inner: &Inner, dst_node: usize, req: ReqId, edge: EdgeId, key: String
     }
 }
 
-fn janitor(inner: Arc<Inner>, node_id: usize, ttl: Duration) {
+/// The runtime-wide passive-expire sweep: one thread walks every node's
+/// sink each tick (stripe at a time, so it never blocks a whole node's
+/// data plane the way a single-lock scan would).
+fn janitor(inner: Arc<Inner>, ttl: Duration) {
     let tick = ttl.min(Duration::from_millis(50));
     while !inner.shutdown.load(Ordering::Relaxed) {
         {
@@ -3022,20 +3043,21 @@ fn janitor(inner: Arc<Inner>, node_id: usize, ttl: Duration) {
             break;
         }
         let now = Instant::now();
-        // Sweep one sink stripe at a time: the janitor never blocks the
-        // whole node's data plane the way the old single-lock scan did.
-        inner.nodes[node_id].sink.for_each_mut(|_, rs| {
-            for entries in rs.entries.values_mut() {
-                for entry in entries.values_mut() {
-                    if !entry.spilled && now.duration_since(entry.arrived) >= ttl {
-                        // Passive expire: the payload moves to the
-                        // function-exclusive disk tier. In-process we keep
-                        // the bytes (the "disk") and count the eviction.
-                        entry.spilled = true;
-                        inner.counters.spills.fetch_add(1, Ordering::Relaxed);
+        for node in &inner.nodes {
+            node.sink.for_each_mut(|_, rs| {
+                for entries in rs.entries.values_mut() {
+                    for entry in entries.values_mut() {
+                        if !entry.spilled && now.duration_since(entry.arrived) >= ttl {
+                            // Passive expire: the payload moves to the
+                            // function-exclusive disk tier. In-process we
+                            // keep the bytes (the "disk") and count the
+                            // eviction.
+                            entry.spilled = true;
+                            inner.counters.spills.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
-            }
-        });
+            });
+        }
     }
 }

@@ -1,0 +1,379 @@
+//! Per-node work-stealing task scheduler — the FLU execution core.
+//!
+//! Replaces the old thread-per-FLU executor pools: each node owns one
+//! [`NodeScheduler`] with a fixed array of worker *slots* (one per
+//! potential core slot, sized to the sum of every function's max
+//! replicas). Each slot has a local task deque; a shared injector
+//! receives submitted invocations. Workers pop locally first, then grab
+//! a batch from the injector, then steal half of another slot's deque —
+//! the classic Tokio/crossbeam shape, built from std primitives.
+//!
+//! Elasticity is *stealing parallelism*, not thread count: the
+//! autoscaler moves [`NodeScheduler::set_active`] up and down, and a
+//! worker whose slot index falls outside the active window drains its
+//! local deque back to the injector (so scale-in never strands a queued
+//! task — pinned by the `scale_in_during_steal_loses_no_tasks` stress
+//! property) and parks until the window grows again. Worker threads are
+//! spawned lazily, on the first submission that finds no idle worker,
+//! so an idle node costs zero executor threads.
+//!
+//! Shutdown keeps the old pools' drain guarantee: [`NodeScheduler::stop`]
+//! lets every worker keep executing until the injector and all deques
+//! are empty, then joins them — queued invocations submitted before the
+//! stop still run exactly once.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of FLU work: one function invocation, boxed with its inputs.
+pub type Task = Box<dyn FnOnce() + Send>;
+
+/// How many injector tasks a worker claims per grab: it runs the first
+/// and stashes the rest on its local deque for itself or stealers.
+const INJECT_BATCH: usize = 8;
+
+#[derive(Debug, Default)]
+struct ParkState {
+    /// Worker threads spawned so far (monotonic; parked workers are
+    /// reused when the active window regrows rather than respawned).
+    spawned: usize,
+    /// Workers currently parked waiting for work.
+    idle: usize,
+}
+
+struct SchedInner {
+    /// Shared submission queue; workers pull batches from the front.
+    injector: Mutex<VecDeque<Task>>,
+    /// One local deque per slot. Owner pops the front; thieves split
+    /// half off the back.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Slots currently allowed to run — the autoscaler's gauge.
+    active: AtomicUsize,
+    stop: AtomicBool,
+    park: Mutex<ParkState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for SchedInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedInner")
+            .field("slots", &self.deques.len())
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .field("stop", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A node's work-stealing executor. Cheap to clone (shared handle).
+#[derive(Debug, Clone)]
+pub struct NodeScheduler {
+    inner: Arc<SchedInner>,
+    label: Arc<str>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NodeScheduler {
+    /// A scheduler with `max_slots` worker slots, `active` of them
+    /// initially eligible to run. No threads are spawned until the
+    /// first [`Self::submit`].
+    pub fn new(label: impl Into<String>, max_slots: usize, active: usize) -> NodeScheduler {
+        let max_slots = max_slots.max(1);
+        NodeScheduler {
+            inner: Arc::new(SchedInner {
+                injector: Mutex::new(VecDeque::new()),
+                deques: (0..max_slots)
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                active: AtomicUsize::new(active.clamp(1, max_slots)),
+                stop: AtomicBool::new(false),
+                park: Mutex::new(ParkState::default()),
+                cv: Condvar::new(),
+            }),
+            label: Arc::from(label.into()),
+            handles: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Queues a task for execution. Spawns a worker thread lazily when
+    /// no idle worker exists and the active window has unspawned slots;
+    /// otherwise wakes a parked worker. Tasks submitted after
+    /// [`Self::stop`] are still executed by the draining workers.
+    pub fn submit(&self, task: Task) {
+        self.inner
+            .injector
+            .lock()
+            .expect("scheduler injector poisoned")
+            .push_back(task);
+        let mut park = self.inner.park.lock().expect("scheduler park poisoned");
+        if park.idle == 0 && park.spawned < self.inner.active.load(Ordering::Acquire) {
+            let slot = park.spawned;
+            park.spawned += 1;
+            drop(park);
+            let inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-w{slot}", self.label))
+                .spawn(move || worker(inner, slot))
+                .expect("spawn scheduler worker");
+            self.handles
+                .lock()
+                .expect("scheduler handles poisoned")
+                .push(handle);
+        } else {
+            // notify_all, not notify_one: a retired slot's worker may be
+            // the one that wakes, re-parks, and would otherwise swallow
+            // the signal meant for an active worker.
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Resizes the active-slot window (clamped to `1..=max_slots`).
+    /// Growing wakes parked workers; shrinking makes out-of-window
+    /// workers drain their deques back to the injector and park.
+    pub fn set_active(&self, n: usize) {
+        let n = n.clamp(1, self.inner.deques.len());
+        self.inner.active.store(n, Ordering::Release);
+        let _g = self.inner.park.lock().expect("scheduler park poisoned");
+        self.inner.cv.notify_all();
+    }
+
+    /// Slots currently eligible to run.
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::Acquire)
+    }
+
+    /// Total worker slots (the elasticity ceiling).
+    pub fn max_slots(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Tasks queued but not yet claimed by a worker (racy snapshot).
+    pub fn queued(&self) -> usize {
+        let mut n = self
+            .inner
+            .injector
+            .lock()
+            .expect("scheduler injector poisoned")
+            .len();
+        for d in &self.inner.deques {
+            n += d.lock().expect("scheduler deque poisoned").len();
+        }
+        n
+    }
+
+    /// Signals the scheduler to stop without waiting: workers wake,
+    /// finish every queued task (injector and all deques drain to
+    /// empty) and exit on their own. Pair with [`NodeScheduler::stop`]
+    /// to also join them; detached teardown (`Drop` paths) uses this
+    /// alone so it never blocks.
+    pub fn signal_stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        let _g = self.inner.park.lock().expect("scheduler park poisoned");
+        self.inner.cv.notify_all();
+    }
+
+    /// Stops the scheduler and joins every worker it ever spawned.
+    pub fn stop(&self) {
+        self.signal_stop();
+        let handles =
+            std::mem::take(&mut *self.handles.lock().expect("scheduler handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claims one runnable task for `slot`, or `None` when every queue the
+/// worker may touch is empty.
+fn claim(inner: &SchedInner, slot: usize, stopping: bool) -> Option<Task> {
+    // Retired slot: push local work back to the shared injector so the
+    // active workers (or this worker itself, while draining at stop)
+    // pick it up — scale-in must never strand a queued task.
+    let retired = slot >= inner.active.load(Ordering::Acquire);
+    if retired {
+        // Take the local tasks out first, then re-inject without holding
+        // the deque lock (keeps every lock pair in injector→deque order).
+        let orphans: Vec<Task> = {
+            let mut local = inner.deques[slot].lock().expect("scheduler deque poisoned");
+            local.drain(..).collect()
+        };
+        if !orphans.is_empty() {
+            inner
+                .injector
+                .lock()
+                .expect("scheduler injector poisoned")
+                .extend(orphans);
+            // The active workers may all be parked: hand them the
+            // re-injected tasks.
+            let _g = inner.park.lock().expect("scheduler park poisoned");
+            inner.cv.notify_all();
+        }
+        // While stopping, retired workers still help drain the injector;
+        // otherwise they run nothing.
+        if !stopping {
+            return None;
+        }
+    } else if let Some(task) = inner.deques[slot]
+        .lock()
+        .expect("scheduler deque poisoned")
+        .pop_front()
+    {
+        return Some(task);
+    }
+
+    // Injector batch-grab: run the first claimed task now, stash the
+    // rest locally for later pops (and for thieves).
+    {
+        let mut inj = inner.injector.lock().expect("scheduler injector poisoned");
+        if let Some(first) = inj.pop_front() {
+            if !retired {
+                let extra = (inj.len() / 2).min(INJECT_BATCH - 1);
+                if extra > 0 {
+                    let mut local = inner.deques[slot].lock().expect("scheduler deque poisoned");
+                    local.extend(inj.drain(..extra));
+                }
+            }
+            return Some(first);
+        }
+    }
+    if retired {
+        return None;
+    }
+
+    // Steal: split half off the back of another slot's deque.
+    let slots = inner.deques.len();
+    for k in 1..slots {
+        let victim = (slot + k) % slots;
+        let mut v = inner.deques[victim]
+            .lock()
+            .expect("scheduler deque poisoned");
+        let take = v.len().div_ceil(2);
+        if take == 0 {
+            continue;
+        }
+        let split_at = v.len() - take;
+        let stolen: Vec<Task> = v.drain(split_at..).collect();
+        drop(v);
+        let mut it = stolen.into_iter();
+        let first = it.next().expect("stole ≥ 1 task");
+        let rest: Vec<Task> = it.collect();
+        if !rest.is_empty() {
+            let mut local = inner.deques[slot].lock().expect("scheduler deque poisoned");
+            local.extend(rest);
+        }
+        return Some(first);
+    }
+    None
+}
+
+fn worker(inner: Arc<SchedInner>, slot: usize) {
+    loop {
+        let stopping = inner.stop.load(Ordering::Acquire);
+        if let Some(task) = claim(&inner, slot, stopping) {
+            task();
+            continue;
+        }
+        // Nothing claimable. At stop, exit once the shared queues are
+        // visibly empty — a worker never exits with work it could run.
+        let mut park = inner.park.lock().expect("scheduler park poisoned");
+        if inner.stop.load(Ordering::Acquire) {
+            let empty = inner
+                .injector
+                .lock()
+                .expect("scheduler injector poisoned")
+                .is_empty();
+            if empty {
+                return;
+            }
+            continue;
+        }
+        // Re-check for work under the park lock (submit notifies under
+        // the same lock, so this cannot miss a wakeup), then park.
+        let has_work = !inner
+            .injector
+            .lock()
+            .expect("scheduler injector poisoned")
+            .is_empty();
+        if has_work && slot < inner.active.load(Ordering::Acquire) {
+            continue;
+        }
+        park.idle += 1;
+        let mut park = inner.cv.wait(park).expect("scheduler park poisoned");
+        park.idle -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_submitted_tasks_exactly_once() {
+        let sched = NodeScheduler::new("t", 4, 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let hits = Arc::clone(&hits);
+            sched.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        sched.stop();
+        assert_eq!(hits.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn lazy_spawn_caps_threads_at_active() {
+        let sched = NodeScheduler::new("t", 8, 2);
+        for _ in 0..100 {
+            sched.submit(Box::new(|| {}));
+        }
+        assert!(sched.inner.park.lock().unwrap().spawned <= 2);
+        sched.stop();
+    }
+
+    #[test]
+    fn scale_in_drains_retired_deques() {
+        let sched = NodeScheduler::new("t", 4, 4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicBool::new(false));
+        for _ in 0..500 {
+            let hits = Arc::clone(&hits);
+            let gate = Arc::clone(&gate);
+            sched.submit(Box::new(move || {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        sched.set_active(1); // retire three slots while tasks are queued
+        gate.store(true, Ordering::Release);
+        sched.stop();
+        assert_eq!(hits.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn tasks_after_stop_signal_still_drain() {
+        let sched = NodeScheduler::new("t", 2, 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        sched.submit(Box::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        sched.stop();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn set_active_clamps() {
+        let sched = NodeScheduler::new("t", 4, 2);
+        sched.set_active(0);
+        assert_eq!(sched.active(), 1);
+        sched.set_active(100);
+        assert_eq!(sched.active(), 4);
+        assert_eq!(sched.max_slots(), 4);
+        sched.stop();
+    }
+}

@@ -38,7 +38,6 @@
 //! assert_eq!(sink.remove(2).unwrap().len(), 65);
 //! ```
 
-use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// Multiplicative (Fibonacci) hash spreading sequential request ids
@@ -46,6 +45,143 @@ use std::sync::Mutex;
 /// in order, which is fine — but adversarial or strided id patterns
 /// would collide on one stripe.
 const HASH_MULT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Open-addressing `u64 → V` map used inside each stripe. Linear
+/// probing with backward-shift deletion (no tombstones), power-of-two
+/// capacity, ≤3/4 load. Compared to `std::collections::HashMap` this
+/// drops SipHash (one multiply instead) and keeps the entries in one
+/// contiguous slot array, so the janitor/depth-gauge sweeps — which
+/// iterate every entry while holding the stripe lock — walk linear
+/// memory instead of chasing hashbrown control groups.
+///
+/// Bucket selection uses the *top* bits of the multiplied key while
+/// stripe selection uses bits 32.., so keys that collided into one
+/// stripe still spread across its buckets.
+#[derive(Debug)]
+struct OpenMap<V> {
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+}
+
+impl<V> OpenMap<V> {
+    fn new() -> OpenMap<V> {
+        OpenMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket(&self, key: u64) -> usize {
+        debug_assert!(self.slots.len().is_power_of_two());
+        let shift = 64 - self.slots.len().trailing_zeros();
+        (key.wrapping_mul(HASH_MULT) >> shift) as usize
+    }
+
+    /// Slot index currently holding `key`, if present.
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if *k == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let i = self.find(key)?;
+        match &mut self.slots[i] {
+            Some((_, v)) => Some(v),
+            None => unreachable!("find returned an occupied slot"),
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            match &mut self.slots[i] {
+                slot @ None => {
+                    *slot = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, v)) if *k == key => {
+                    return Some(std::mem::replace(v, value));
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        if self.find(key).is_none() {
+            self.insert(key, default());
+        }
+        let i = self.find(key).expect("inserted above");
+        match &mut self.slots[i] {
+            Some((_, v)) => v,
+            None => unreachable!("find returned an occupied slot"),
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<V> {
+        let mut i = self.find(key)?;
+        let (_, value) = self.slots[i].take().expect("find returned occupied");
+        self.len -= 1;
+        // Backward-shift the rest of the probe cluster into the gap so
+        // lookups never need tombstones: an entry moves back unless it
+        // already sits in its home bucket.
+        let mask = self.slots.len() - 1;
+        let mut j = (i + 1) & mask;
+        while let Some((k, _)) = &self.slots[j] {
+            if (j.wrapping_sub(self.bucket(*k)) & mask) == 0 {
+                break;
+            }
+            self.slots[i] = self.slots[j].take();
+            i = j;
+            j = (j + 1) & mask;
+        }
+        Some(value)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
+        self.len = 0;
+        for (k, v) in old.into_iter().flatten() {
+            self.insert(k, v);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut V)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|(k, v)| (*k, &mut *v)))
+    }
+}
 
 /// A lock-striped `u64 → V` map: N independent `Mutex<HashMap>` stripes,
 /// selected by key hash.
@@ -66,7 +202,7 @@ const HASH_MULT: u64 = 0x9e37_79b9_7f4a_7c15;
 /// assert!(sink.is_empty());
 /// ```
 pub struct ShardedSink<V> {
-    stripes: Box<[Mutex<HashMap<u64, V>>]>,
+    stripes: Box<[Mutex<OpenMap<V>>]>,
     mask: u64,
 }
 
@@ -77,7 +213,7 @@ impl<V> ShardedSink<V> {
     pub fn new(stripes: usize) -> ShardedSink<V> {
         let n = stripes.max(1).next_power_of_two();
         ShardedSink {
-            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            stripes: (0..n).map(|_| Mutex::new(OpenMap::new())).collect(),
             mask: n as u64 - 1,
         }
     }
@@ -87,7 +223,7 @@ impl<V> ShardedSink<V> {
         self.stripes.len()
     }
 
-    fn stripe(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
+    fn stripe(&self, key: u64) -> &Mutex<OpenMap<V>> {
         let idx = (key.wrapping_mul(HASH_MULT) >> 32) & self.mask;
         &self.stripes[idx as usize]
     }
@@ -106,14 +242,14 @@ impl<V> ShardedSink<V> {
         self.stripe(key)
             .lock()
             .expect("sink stripe poisoned")
-            .remove(&key)
+            .remove(key)
     }
 
     /// Runs `f` on the entry under `key` (or `None` if absent) while
     /// holding only that key's stripe lock.
     pub fn with<R>(&self, key: u64, f: impl FnOnce(Option<&mut V>) -> R) -> R {
         let mut map = self.stripe(key).lock().expect("sink stripe poisoned");
-        f(map.get_mut(&key))
+        f(map.get_mut(key))
     }
 
     /// Runs `f` on the entry under `key`, inserting `default()` first if
@@ -128,7 +264,7 @@ impl<V> ShardedSink<V> {
         f: impl FnOnce(&mut V) -> R,
     ) -> R {
         let mut map = self.stripe(key).lock().expect("sink stripe poisoned");
-        f(map.entry(key).or_insert_with(default))
+        f(map.get_or_insert_with(key, default))
     }
 
     /// Visits every entry mutably, one stripe locked at a time — the
@@ -139,9 +275,15 @@ impl<V> ShardedSink<V> {
         for stripe in self.stripes.iter() {
             let mut map = stripe.lock().expect("sink stripe poisoned");
             for (k, v) in map.iter_mut() {
-                f(*k, v);
+                f(k, v);
             }
         }
+        // A sweep is maintenance, and a sweeper that immediately starts
+        // the next pass holds *some* stripe lock almost all the time. On
+        // saturated hosts that turns every data-plane op into a coin-flip
+        // futex wait; yielding here moves the sweeper's deschedule points
+        // to where it holds nothing.
+        std::thread::yield_now();
     }
 
     /// Folds over every entry, one stripe locked at a time — the depth
@@ -151,9 +293,13 @@ impl<V> ShardedSink<V> {
         for stripe in self.stripes.iter() {
             let map = stripe.lock().expect("sink stripe poisoned");
             for (k, v) in map.iter() {
-                acc = f(acc, *k, v);
+                acc = f(acc, k, v);
             }
         }
+        // Same cooperative yield as `for_each_mut`: a gauge loop folding
+        // back-to-back must not pin the data plane behind its stripe
+        // locks on a saturated core.
+        std::thread::yield_now();
         acc
     }
 

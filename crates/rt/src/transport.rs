@@ -47,17 +47,18 @@ use dataflower::CheckpointSchedule;
 use dataflower_workflow::{json, EdgeId, Endpoint, Workflow};
 
 use crate::bytes::Bytes;
-use crate::channel::{bounded, Receiver, Sender};
 use crate::error::RtError;
-use crate::fabric::{LinkConfig, LinkRetention, NetMsg, Reassembler};
+use crate::fabric::{LinkConfig, LinkRetention, NetMsg, Reassembler, SHIPPER_BATCH};
 use crate::node::Placement;
 use crate::orchestrator::{activate_pool, fallback_relocate};
+use crate::pool::{BytePool, DIRECT_SOCKET_POOL_BYTES};
+use crate::ring::{ring, RingReceiver, RingSender};
 use crate::runtime::{
     chaos_ingress, handle_net_msg, node_pressure_of, resolve_active, retention_of, stride,
     worker_transfer_base, ClusterRtConfig, ClusterRuntimeBuilder, Counters, CrashReport, Inner,
     ReqId, RtStats, WireSpec,
 };
-use crate::wire::{encode_parts, frame_of, net_of, Decoder, Frame};
+use crate::wire::{encode_into, encode_parts, frame_of, net_of, Decoder, Frame};
 
 const ENV_NODE: &str = "DATAFLOWER_WORKER_NODE";
 const ENV_EPOCH: &str = "DATAFLOWER_WORKER_EPOCH";
@@ -578,12 +579,13 @@ fn link_agent(
     local: usize,
     dst: usize,
     epoch: u32,
-    rx: Receiver<NetMsg>,
+    rx: RingReceiver<NetMsg>,
     addr: Arc<AddrCell>,
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut had_session = false;
     let mut backlog: VecDeque<NetMsg> = VecDeque::new();
+    let pool = BytePool::default();
     'frames: loop {
         let msg = match backlog.pop_front() {
             Some(m) => m,
@@ -661,10 +663,72 @@ fn link_agent(
                 }
             }
             let stream = conn.as_mut().expect("connected above");
-            match write_frame(stream, &frame_of(&msg)) {
-                Ok(()) => continue 'frames,
-                Err(_) => conn = None, // redial, retry the same frame
+            let shaped = link.latency > Duration::ZERO || link.bandwidth_bytes_per_sec.is_some();
+            if shaped {
+                // Shaping is per frame, so ship per frame.
+                match write_frame(stream, &frame_of(&msg)) {
+                    Ok(()) => continue 'frames,
+                    Err(_) => conn = None, // redial, retry the same frame
+                }
+                continue;
             }
+            // Unshaped link: gather the burst already queued behind this
+            // frame and ship it as one write. Small frames (the sub-16
+            // KiB direct-socket class) and ack frames encode into one
+            // pooled staging buffer; a big payload flushes the staging
+            // run and goes out as its own zero-copy write.
+            let mut batch: Vec<NetMsg> = Vec::with_capacity(SHIPPER_BATCH);
+            batch.push(msg);
+            while batch.len() < SHIPPER_BATCH {
+                if let Some(m) = backlog.pop_front() {
+                    batch.push(m);
+                    continue;
+                }
+                let mut pulled = Vec::new();
+                match rx.try_drain(&mut pulled, SHIPPER_BATCH - batch.len()) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        for m in pulled {
+                            if matches!(m, NetMsg::Whole { .. } | NetMsg::Chunk { .. }) {
+                                side.depth_add(local, dst, -1);
+                            }
+                            batch.push(m);
+                        }
+                    }
+                }
+            }
+            let mut stage = pool.get();
+            let mut failed = false;
+            for m in &batch {
+                if m.wire_bytes() <= DIRECT_SOCKET_POOL_BYTES {
+                    encode_into(&frame_of(m), &mut stage);
+                    continue;
+                }
+                if !stage.is_empty() {
+                    if stream.write_all(&stage).is_err() {
+                        failed = true;
+                        break;
+                    }
+                    stage.clear();
+                }
+                if write_frame(stream, &frame_of(m)).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            if !failed && !stage.is_empty() && stream.write_all(&stage).is_err() {
+                failed = true;
+            }
+            if failed {
+                // Redial and retry the whole burst; receivers dedup
+                // any prefix that did land (same idempotence that
+                // absorbs recovery replays).
+                conn = None;
+                for m in batch.into_iter().rev() {
+                    backlog.push_front(m);
+                }
+            }
+            continue 'frames;
         }
     }
 }
@@ -674,7 +738,7 @@ fn link_agent(
 /// acks have gone stale for longer than the recovery timeout, feeding
 /// the frames back through the link agents. Heals frames lost to
 /// chaos drops, kernel buffers of a killed peer, or torn connections.
-fn retransmit_pump(side: Side, local: usize, out: Vec<Option<Sender<NetMsg>>>) {
+fn retransmit_pump(side: Side, local: usize, out: Vec<Option<RingSender<NetMsg>>>) {
     let timeout = side.retransmit_timeout();
     let tick = (timeout / 2)
         .max(Duration::from_millis(1))
@@ -715,6 +779,9 @@ fn retransmit_pump(side: Side, local: usize, out: Vec<Option<Sender<NetMsg>>>) {
 /// fault model here (machine loss is out of scope).
 struct CkptLog {
     file: Mutex<std::fs::File>,
+    /// Record-staging buffers: appends run per inbound data frame, so
+    /// the scratch allocation is pooled instead of per-record.
+    pool: BytePool,
 }
 
 impl CkptLog {
@@ -749,6 +816,7 @@ impl CkptLog {
         Ok((
             CkptLog {
                 file: Mutex::new(file),
+                pool: BytePool::default(),
             },
             restored,
         ))
@@ -757,7 +825,8 @@ impl CkptLog {
     fn append(&self, src: u32, frame: &Frame) {
         let (head, payload) = encode_parts(frame);
         let len = head.len() + payload.as_ref().map_or(0, |p| p.len());
-        let mut rec = Vec::with_capacity(8 + len);
+        let mut rec = self.pool.get();
+        rec.reserve(8 + len);
         rec.extend_from_slice(&src.to_le_bytes());
         rec.extend_from_slice(&(len as u32).to_le_bytes());
         rec.extend_from_slice(&head);
@@ -847,7 +916,7 @@ enum OutputProgress {
     Prefix(usize),
 }
 
-fn coord_ingress(shared: &CoordShared, out: &[Sender<NetMsg>], src: usize, msg: NetMsg) {
+fn coord_ingress(shared: &CoordShared, out: &[RingSender<NetMsg>], src: usize, msg: NetMsg) {
     match msg {
         NetMsg::AckMark { transfer, mark } => {
             if shared.recovery_enabled {
@@ -938,7 +1007,7 @@ fn coord_ingress(shared: &CoordShared, out: &[Sender<NetMsg>], src: usize, msg: 
     }
 }
 
-fn ack_to(shared: &CoordShared, out: &[Sender<NetMsg>], src: usize, ack: NetMsg) {
+fn ack_to(shared: &CoordShared, out: &[RingSender<NetMsg>], src: usize, ack: NetMsg) {
     if shared.recovery_enabled {
         if let Some(tx) = out.get(src) {
             let _ = tx.send(ack);
@@ -960,7 +1029,7 @@ fn finish_output(shared: &CoordShared, req: u64, edge: EdgeId, payload: Bytes) {
     }
 }
 
-fn coord_reader(shared: Arc<CoordShared>, out: Vec<Sender<NetMsg>>, mut stream: TcpStream) {
+fn coord_reader(shared: Arc<CoordShared>, out: Vec<RingSender<NetMsg>>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let mut dec = Decoder::new();
     let mut buf = vec![0u8; 64 * 1024];
@@ -1010,10 +1079,10 @@ struct CoordCtl {
     /// Nodes declared permanently lost (relocated away, never pinged or
     /// restarted again). Swap-guarded so relocation runs exactly once.
     lost: Vec<AtomicBool>,
-    /// Senders into the per-worker link-agent queues. Behind a mutex so
+    /// Senders into the per-worker link-agent rings. Behind a mutex so
     /// shutdown can drop them (agent `recv` disconnect is the exit
     /// signal).
-    out: Mutex<Vec<Sender<NetMsg>>>,
+    out: Mutex<Vec<RingSender<NetMsg>>>,
     heartbeat_interval: Duration,
     miss_threshold: u32,
 }
@@ -1408,11 +1477,11 @@ impl TcpCluster {
         });
 
         let mut out = Vec::with_capacity(nodes);
-        let mut pump_out: Vec<Option<Sender<NetMsg>>> = Vec::with_capacity(nodes);
+        let mut pump_out: Vec<Option<RingSender<NetMsg>>> = Vec::with_capacity(nodes);
         let mut addrs = Vec::with_capacity(nodes);
         let mut agents = Vec::with_capacity(nodes);
         for (k, slot) in slots.iter().enumerate() {
-            let (tx, rx) = bounded::<NetMsg>(cfg.link.queue_capacity);
+            let (tx, rx) = ring::<NetMsg>(cfg.link.queue_capacity);
             pump_out.push(Some(tx.clone()));
             out.push(tx);
             let addr = Arc::new(AddrCell::new(Some(loopback(slot.port))));

@@ -106,6 +106,23 @@ pub struct FlowNet {
     active_links: std::collections::BTreeSet<u32>,
     next_flow: u64,
     settled_at: SimTime,
+    scratch: RateScratch,
+}
+
+/// Reusable working memory of [`FlowNet::recompute_rates`]. Rates are
+/// recomputed on every flow arrival and departure, so the progressive
+/// filling loop must not allocate: these vectors are sized to the
+/// topology once and reused, indexed by raw link id (no hashing).
+#[derive(Debug, Default)]
+struct RateScratch {
+    /// Residual capacity per link id.
+    residual: Vec<f64>,
+    /// Unfrozen-flow count per link id.
+    count: Vec<usize>,
+    /// Flows not yet assigned a rate this pass, in id order.
+    unfrozen: Vec<u64>,
+    /// Next round's unfrozen set (swapped with `unfrozen` per round).
+    still: Vec<u64>,
 }
 
 impl FlowNet {
@@ -314,38 +331,47 @@ impl FlowNet {
     /// Only links in `active_links` participate, so cost scales with the
     /// busy topology.
     fn recompute_rates(&mut self) {
-        let active: Vec<u32> = self.active_links.iter().copied().collect();
-        let mut residual: Vec<f64> = active
-            .iter()
-            .map(|l| self.links[*l as usize].capacity)
-            .collect();
-        let mut count: Vec<usize> = active
-            .iter()
-            .map(|l| self.links[*l as usize].flows.len())
-            .collect();
-        // Map link id → dense index over active links.
-        let dense: std::collections::HashMap<u32, usize> =
-            active.iter().enumerate().map(|(i, l)| (*l, i)).collect();
-        let mut unfrozen: Vec<u64> = self.flows.keys().copied().collect();
-
-        // Flows with an empty path are infinitely fast local moves.
-        unfrozen.retain(|id| {
-            let f = self.flows.get_mut(id).expect("flow exists");
+        let FlowNet {
+            links,
+            flows,
+            active_links,
+            scratch,
+            ..
+        } = self;
+        let RateScratch {
+            residual,
+            count,
+            unfrozen,
+            still,
+        } = scratch;
+        // Full-width scratch indexed by raw link id: only the active
+        // links are (re)initialized, so the pass stays proportional to
+        // the busy topology but never hashes or allocates.
+        residual.resize(links.len(), 0.0);
+        count.resize(links.len(), 0);
+        for &l in active_links.iter() {
+            let link = &links[l as usize];
+            residual[l as usize] = link.capacity;
+            count[l as usize] = link.flows.len();
+        }
+        unfrozen.clear();
+        for (id, f) in flows.iter_mut() {
             if f.path.is_empty() {
+                // Flows with an empty path are infinitely fast local moves.
                 f.rate = f64::INFINITY;
                 f.remaining = 0.0;
-                false
             } else {
-                true
+                unfrozen.push(*id);
             }
-        });
+        }
 
         while !unfrozen.is_empty() {
             // Fair share on the most constrained link.
             let mut min_share = f64::INFINITY;
-            for i in 0..active.len() {
-                if count[i] > 0 {
-                    let share = residual[i] / count[i] as f64;
+            for &l in active_links.iter() {
+                let c = count[l as usize];
+                if c > 0 {
+                    let share = residual[l as usize] / c as f64;
                     if share < min_share {
                         min_share = share;
                     }
@@ -354,27 +380,27 @@ impl FlowNet {
             debug_assert!(min_share.is_finite(), "unfrozen flows but no loaded link");
             // Freeze every unfrozen flow that crosses a bottleneck link.
             let mut frozen_any = false;
-            let mut still = Vec::with_capacity(unfrozen.len());
-            for id in unfrozen.drain(..) {
-                let f = &self.flows[&id];
+            still.clear();
+            for &id in unfrozen.iter() {
+                let f = flows.get_mut(&id).expect("flow exists");
                 let bottlenecked = f.path.iter().any(|l| {
-                    let i = dense[&l.0];
+                    let i = l.0 as usize;
                     count[i] > 0 && residual[i] / count[i] as f64 <= min_share * (1.0 + 1e-12)
                 });
                 if bottlenecked {
                     frozen_any = true;
-                    for l in &f.path.clone() {
-                        let i = dense[&l.0];
+                    for l in &f.path {
+                        let i = l.0 as usize;
                         residual[i] = (residual[i] - min_share).max(0.0);
                         count[i] -= 1;
                     }
-                    self.flows.get_mut(&id).expect("flow exists").rate = min_share;
+                    f.rate = min_share;
                 } else {
                     still.push(id);
                 }
             }
             debug_assert!(frozen_any, "progressive filling made no progress");
-            unfrozen = still;
+            std::mem::swap(unfrozen, still);
         }
     }
 }

@@ -64,9 +64,7 @@ pub(crate) fn run_verified<Req, E: std::fmt::Display>(
     mid: impl FnOnce(),
     mut wait: impl FnMut(Req, Duration) -> Result<Vec<(String, Bytes)>, E>,
 ) -> VerifiedRun {
-    let (input_name, input) = live_input(bench, payload_bytes);
-    let expected = reference_output(bench, &input);
-    let input = Bytes::from(input);
+    let (input_name, input, expected) = bench_vectors(bench, payload_bytes);
 
     let t0 = Instant::now();
     let reqs: Vec<Req> = (0..requests.max(1))
@@ -99,6 +97,32 @@ pub(crate) fn run_verified<Req, E: std::fmt::Display>(
 
 // --- canonical inputs and reference outputs --------------------------
 
+/// The canonical `(data name, input payload, reference output)` triple
+/// for one benchmark at one payload size, memoized process-wide: both
+/// are deterministic pure functions of `(bench, payload_bytes)`, so
+/// every verified run past the first reuses the same immutable vectors
+/// instead of regenerating the corpus and re-running the straight-line
+/// reference — the runs then measure the cluster, not the test-vector
+/// generator.
+pub(crate) fn bench_vectors(
+    bench: Benchmark,
+    payload_bytes: usize,
+) -> (&'static str, Bytes, Bytes) {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type Vectors = (&'static str, Bytes, Bytes);
+    static CACHE: OnceLock<Mutex<HashMap<(Benchmark, usize), Vectors>>> = OnceLock::new();
+    let mut cache = CACHE.get_or_init(Default::default).lock().unwrap();
+    cache
+        .entry((bench, payload_bytes))
+        .or_insert_with(|| {
+            let (name, input) = live_input(bench, payload_bytes);
+            let expected = reference_output(bench, &input);
+            (name, Bytes::from(input), Bytes::from(expected))
+        })
+        .clone()
+}
+
 /// The client input `(data name, payload)` a live run of `bench` feeds
 /// in: a deterministic pseudo-text corpus for wordcount, deterministic
 /// pseudo-random bytes for the binary pipelines.
@@ -115,10 +139,7 @@ pub(crate) fn live_input(bench: Benchmark, payload_bytes: usize) -> (&'static st
 /// must reproduce byte-for-byte through the runtime.
 pub(crate) fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
     match bench {
-        Benchmark::Wc => {
-            let text = String::from_utf8_lossy(input);
-            count_table(text.split_whitespace())
-        }
+        Benchmark::Wc => count_table(input),
         Benchmark::Vid => even_spans(input.len(), VID_BRANCHES)
             .into_iter()
             .flat_map(|(lo, hi)| transcode(&input[lo..hi]))
@@ -141,19 +162,62 @@ pub(crate) fn reference_output(bench: Benchmark, input: &[u8]) -> Vec<u8> {
 // --- pure per-benchmark transforms (used by the live function bodies
 // --- and the reference computation alike) ----------------------------
 
-/// Word-frequency table of `words`, ascending by word, `word\tcount`
-/// lines — merging per-shard tables reproduces this exactly.
-pub(crate) fn count_table<'a>(words: impl Iterator<Item = &'a str>) -> Vec<u8> {
-    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
-    for w in words {
-        *counts.entry(w).or_default() += 1;
+/// Word-frequency table of `text`, ascending by word, `word\tcount`
+/// lines. Words are maximal runs of non-ASCII-whitespace bytes, so
+/// merging per-shard tables cut at whitespace reproduces this exactly
+/// without ever copying or re-encoding the text.
+pub(crate) fn count_table(text: &[u8]) -> Vec<u8> {
+    let mut counts: std::collections::HashMap<
+        &[u8],
+        u64,
+        std::hash::BuildHasherDefault<FnvHasher>,
+    > = Default::default();
+    for word in text
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|w| !w.is_empty())
+    {
+        *counts.entry(word).or_default() += 1;
     }
-    counts
-        .iter()
-        .map(|(w, c)| format!("{w}\t{c}"))
-        .collect::<Vec<_>>()
-        .join("\n")
-        .into_bytes()
+    let sorted: std::collections::BTreeMap<&[u8], u64> = counts.into_iter().collect();
+    render_counts(&sorted)
+}
+
+/// FNV-1a: a cheap, dependency-free hasher for the short word keys of
+/// `count_table`, where SipHash's per-key setup cost dominates.
+#[derive(Default)]
+pub(crate) struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Serializes a word-frequency map as ascending `word\tcount` lines —
+/// the shared output format of `count_table` and the wc merge stage.
+pub(crate) fn render_counts(counts: &std::collections::BTreeMap<&[u8], u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(counts.len() * 16);
+    for (word, count) in counts {
+        if !out.is_empty() {
+            out.push(b'\n');
+        }
+        out.extend_from_slice(word);
+        out.push(b'\t');
+        out.extend_from_slice(count.to_string().as_bytes());
+    }
+    out
 }
 
 /// Stand-in re-encode: an invertibility-free byte transform that shrinks

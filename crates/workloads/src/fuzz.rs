@@ -54,6 +54,20 @@ pub struct FuzzConfig {
     pub dump_dir: Option<PathBuf>,
     /// Per-request completion deadline of each live run.
     pub timeout: Duration,
+    /// Whole-seed watchdog deadline: a seed whose worker thread produces
+    /// no verdict within this window is reported as **hung** (and its
+    /// thread abandoned) instead of wedging the campaign. `None` derives
+    /// a generous bound from `timeout` (enough for every request plus
+    /// teardown and replay).
+    pub seed_deadline: Option<Duration>,
+}
+
+impl FuzzConfig {
+    /// The effective per-seed watchdog deadline.
+    fn effective_seed_deadline(&self) -> Duration {
+        self.seed_deadline
+            .unwrap_or_else(|| self.timeout.saturating_mul(6) + Duration::from_secs(30))
+    }
 }
 
 impl Default for FuzzConfig {
@@ -64,6 +78,7 @@ impl Default for FuzzConfig {
             start_seed: 0,
             dump_dir: None,
             timeout: Duration::from_secs(30),
+            seed_deadline: None,
         }
     }
 }
@@ -78,6 +93,9 @@ pub struct FuzzFailure {
     pub what: String,
     /// Where the failing trace was dumped, if a dump directory was set.
     pub trace_path: Option<PathBuf>,
+    /// True when the seed never produced a verdict before the watchdog
+    /// deadline — a wedged run, distinct from a divergence.
+    pub hung: bool,
 }
 
 /// Outcome of a [`run_diff_fuzz`] campaign.
@@ -394,14 +412,59 @@ fn run_seed(seed: u64, timeout: Duration) -> (Vec<TraceEvent>, u64, Option<Strin
 /// seeds are collected (and their traces dumped when a dump directory is
 /// configured); the campaign never panics on a divergence — gate on
 /// [`FuzzReport::passed`].
+///
+/// Each seed runs on a watchdog-supervised worker thread: a seed that
+/// wedges (a runtime deadlock, a shutdown that never returns) is
+/// reported as a hung [`FuzzFailure`] after
+/// [`FuzzConfig::seed_deadline`] and its thread abandoned, so the
+/// campaign — and the `bench fuzz` exit code — always arrives.
 pub fn run_diff_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    run_campaign(cfg, run_seed)
+}
+
+/// A per-seed verdict function; indirected so the watchdog path is
+/// testable with a runner that deliberately never returns.
+type SeedRunner = fn(u64, Duration) -> (Vec<TraceEvent>, u64, Option<String>);
+
+/// Runs one seed under the watchdog: `None` means the runner produced no
+/// verdict within `deadline` and its thread was abandoned.
+fn run_seed_watched(
+    seed: u64,
+    timeout: Duration,
+    deadline: Duration,
+    runner: SeedRunner,
+) -> Option<(Vec<TraceEvent>, u64, Option<String>)> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("fuzz-seed-{seed}"))
+        .spawn(move || {
+            let _ = tx.send(runner(seed, timeout));
+        })
+        .expect("spawn fuzz seed thread");
+    rx.recv_timeout(deadline).ok()
+}
+
+fn run_campaign(cfg: &FuzzConfig, runner: SeedRunner) -> FuzzReport {
+    let deadline = cfg.effective_seed_deadline();
     let mut failures = Vec::new();
     let mut events = 0u64;
     let mut requests = 0u64;
     let mut bpe_sum = 0.0;
     let mut bpe_count = 0u64;
     for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
-        let (live, reqs, failure) = run_seed(seed, cfg.timeout);
+        let Some((live, reqs, failure)) = run_seed_watched(seed, cfg.timeout, deadline, runner)
+        else {
+            failures.push(FuzzFailure {
+                seed,
+                what: format!(
+                    "hung: no verdict within {:.1}s; worker thread abandoned",
+                    deadline.as_secs_f64()
+                ),
+                trace_path: None,
+                hung: true,
+            });
+            continue;
+        };
         events += live.len() as u64;
         requests += reqs;
         let bpe = bytes_per_event(&live);
@@ -420,6 +483,7 @@ pub fn run_diff_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 seed,
                 what,
                 trace_path,
+                hung: false,
             });
         }
     }
@@ -469,6 +533,7 @@ mod tests {
             start_seed: 0,
             dump_dir: None,
             timeout: Duration::from_secs(30),
+            seed_deadline: None,
         });
         assert!(
             report.passed(),
@@ -477,5 +542,46 @@ mod tests {
         );
         assert!(report.events > 0);
         assert!(report.bytes_per_event > 0.0 && report.bytes_per_event < 20.0);
+    }
+
+    /// Pins the watchdog: a seed whose runner never returns is reported
+    /// as a named hung failure and the campaign still completes — it
+    /// must never wedge waiting on the seed thread.
+    #[test]
+    fn hung_seed_is_reported_not_wedged() {
+        fn runner(seed: u64, _timeout: Duration) -> (Vec<TraceEvent>, u64, Option<String>) {
+            if seed == 1 {
+                // A deliberate wedge; the watchdog abandons this thread
+                // and the process exit reaps it.
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+            (Vec::new(), 1, None)
+        }
+        let cfg = FuzzConfig {
+            seeds: 3,
+            start_seed: 0,
+            dump_dir: None,
+            timeout: Duration::from_millis(10),
+            seed_deadline: Some(Duration::from_millis(200)),
+        };
+        let started = std::time::Instant::now();
+        let report = run_campaign(&cfg, runner);
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "campaign wedged behind the hung seed"
+        );
+        assert_eq!(report.seeds_run, 3);
+        assert_eq!(report.requests, 2, "the two healthy seeds still ran");
+        assert!(!report.passed());
+        let [f] = report.failures.as_slice() else {
+            panic!("expected exactly the hung seed, got {:?}", report.failures);
+        };
+        assert_eq!(f.seed, 1);
+        assert!(f.hung);
+        assert!(
+            f.what.contains("hung"),
+            "failure must name the wedge: {}",
+            f.what
+        );
     }
 }

@@ -28,7 +28,7 @@ use dataflower_workflow::Workflow;
 use crate::benchmarks::Benchmark;
 use crate::common::{
     blur, branch_ordered, count_table, digest_expand, downsample, even_spans, factorize, render,
-    run_verified, transcode, SVD_BLOCKS, VID_BRANCHES, WC_FAN_OUT,
+    render_counts, run_verified, transcode, SVD_BLOCKS, VID_BRANCHES, WC_FAN_OUT,
 };
 
 /// How the live runner places benchmark functions on nodes. Each variant
@@ -210,38 +210,50 @@ pub(crate) fn live_runtime(
 
 fn register_wc(b: ClusterRuntimeBuilder) -> ClusterRuntimeBuilder {
     let mut b = b.register("wc_start", |ctx| {
-        let text = String::from_utf8_lossy(ctx.input("text").expect("client text")).into_owned();
-        let words: Vec<&str> = text.split_whitespace().collect();
-        let shard = words.len().div_ceil(WC_FAN_OUT);
+        let text = ctx.input("text").expect("client text").clone();
+        // Cut the payload at whitespace boundaries so no word straddles
+        // two shards; each shard is a zero-copy view of the input.
+        let bytes = &text[..];
+        let mut cuts = [0usize; WC_FAN_OUT + 1];
+        cuts[WC_FAN_OUT] = bytes.len();
+        for i in 1..WC_FAN_OUT {
+            let mut p = i * bytes.len() / WC_FAN_OUT;
+            while p < bytes.len() && !bytes[p].is_ascii_whitespace() {
+                p += 1;
+            }
+            cuts[i] = p.max(cuts[i - 1]).min(bytes.len());
+        }
         for i in 0..WC_FAN_OUT {
-            let lo = (i * shard).min(words.len());
-            let hi = ((i + 1) * shard).min(words.len());
             ctx.put_to(
                 "file",
                 format!("wc_count_{i}"),
-                Bytes::from(words[lo..hi].join(" ")),
+                text.slice(cuts[i]..cuts[i + 1]),
             );
         }
     });
     for i in 0..WC_FAN_OUT {
         b = b.register(format!("wc_count_{i}"), |ctx| {
-            let shard = String::from_utf8_lossy(ctx.input("file").expect("shard")).into_owned();
-            ctx.put("count", Bytes::from(count_table(shard.split_whitespace())));
+            let shard = ctx.input("file").expect("shard");
+            ctx.put("count", Bytes::from(count_table(shard)));
         });
     }
     b.register("wc_merge", |ctx| {
-        let mut total: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
-        for payload in ctx.inputs_named("count") {
-            for line in String::from_utf8_lossy(payload).lines() {
-                let (w, c) = line.split_once('\t').expect("word\\tcount");
-                *total.entry(w.to_owned()).or_default() += c.parse::<u64>().expect("count");
+        let out = {
+            let mut total: std::collections::BTreeMap<&[u8], u64> =
+                std::collections::BTreeMap::new();
+            let payloads = ctx.inputs_named("count");
+            for payload in &payloads {
+                for line in payload.split(|b| *b == b'\n').filter(|l| !l.is_empty()) {
+                    let tab = line.iter().position(|b| *b == b'\t').expect("word\\tcount");
+                    let count = std::str::from_utf8(&line[tab + 1..])
+                        .ok()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .expect("count");
+                    *total.entry(&line[..tab]).or_default() += count;
+                }
             }
-        }
-        let out = total
-            .iter()
-            .map(|(w, c)| format!("{w}\t{c}"))
-            .collect::<Vec<_>>()
-            .join("\n");
+            render_counts(&total)
+        };
         ctx.put("output", Bytes::from(out));
     })
 }

@@ -2,7 +2,7 @@
 //!
 //! Uses an in-tree property harness instead of an external framework:
 //! [`Gen`] draws structured random inputs from the workspace's own
-//! deterministic [`SimRng`], [`check`] runs `CASES` seeded cases per
+//! deterministic [`SimRng`], [`check`] runs [`cases`] seeded cases per
 //! property, and a failing case prints its seed so the exact input can be
 //! replayed with `Gen::new(seed)`.
 
@@ -14,8 +14,15 @@ use dataflower_metrics::{Samples, StepIntegral};
 use dataflower_sim::{EventQueue, FlowNet, SimRng, SimTime};
 use dataflower_workflow::{EdgeId, FnId, SizeModel, WorkModel, WorkflowBuilder, WorkflowSpec};
 
-/// Seeded cases run per property.
-const CASES: u64 = 64;
+/// Seeded cases run per property; overridable via the `PROP_CASES`
+/// environment variable (the weekly CI drift job runs 256).
+fn cases() -> u64 {
+    std::env::var("PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
 
 /// A deterministic generator of structured random test inputs.
 struct Gen {
@@ -58,10 +65,11 @@ impl Gen {
     }
 }
 
-/// Runs `body` for [`CASES`] deterministic seeds; on a panic, prints the
+/// Runs `body` for [`cases`] deterministic seeds; on a panic, prints the
 /// property name and the seed that reproduces it, then re-raises.
 fn check(property: &str, body: impl Fn(&mut Gen)) {
-    for case in 0..CASES {
+    let cases = cases();
+    for case in 0..cases {
         // Distinct stream per (property, case): FNV-1a over the name,
         // mixed with the case index.
         let mut seed = 0xcbf2_9ce4_8422_2325u64;
@@ -72,7 +80,7 @@ fn check(property: &str, body: impl Fn(&mut Gen)) {
         let mut g = Gen::new(seed);
         if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| body(&mut g))) {
             eprintln!(
-                "property `{property}` failed on case {case}/{CASES} with seed {seed}; \
+                "property `{property}` failed on case {case}/{cases} with seed {seed}; \
                  replay with Gen::new({seed})"
             );
             std::panic::resume_unwind(payload);
@@ -1269,4 +1277,198 @@ fn wire_frames_roundtrip_over_loopback_tcp_in_random_splits() {
             assert_eq!(got, frames, "frames diverged across the socket");
         },
     );
+}
+
+/// The fabric's SPSC ring is FIFO with neither loss nor duplication for
+/// every capacity class (including non-power-of-two requests that round
+/// up) while a producer and a consumer race with randomized burst sizes:
+/// the consumer observes exactly the sequence `0..total`, in order.
+#[test]
+fn ring_is_fifo_lossless_and_dup_free_under_interleavings() {
+    use dataflower_rt::ring;
+
+    check(
+        "ring_is_fifo_lossless_and_dup_free_under_interleavings",
+        |g| {
+            let capacity = g.usize_in(1, 33); // rounds up to 1..=64 slots
+            let total = g.u64_in(1, 2_000);
+            let producer_burst = g.u64_in(1, 9);
+            let consumer_burst = g.usize_in(1, 17);
+            let (tx, rx) = ring::ring::<u64>(capacity);
+            let producer = std::thread::spawn(move || {
+                let mut sent = 0u64;
+                while sent < total {
+                    let burst = producer_burst.min(total - sent);
+                    for _ in 0..burst {
+                        tx.send(sent).expect("receiver alive");
+                        sent += 1;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            let mut got: Vec<u64> = Vec::with_capacity(total as usize);
+            loop {
+                match rx.try_drain(&mut got, consumer_burst) {
+                    Ok(0) => std::thread::yield_now(),
+                    Ok(_) => {}
+                    Err(_) => break, // empty + producer gone: complete
+                }
+            }
+            producer.join().expect("producer thread");
+            assert_eq!(got.len() as u64, total, "lost or duplicated messages");
+            assert!(got.iter().copied().eq(0..total), "order diverged");
+        },
+    );
+}
+
+/// Ring boundary semantics: a fresh ring reports empty-but-connected as
+/// `Ok(0)`, `send` never blocks below the rounded-up capacity and parks
+/// at exactly full until a pop frees a slot, and the disconnect error
+/// fires only once the tail is fully drained.
+#[test]
+fn ring_full_empty_boundaries_hold_for_every_capacity() {
+    use dataflower_rt::ring;
+
+    check("ring_full_empty_boundaries_hold_for_every_capacity", |g| {
+        let requested = g.usize_in(1, 20);
+        let cap = requested.next_power_of_two();
+        let (tx, rx) = ring::ring::<usize>(requested);
+        let mut buf = Vec::new();
+        assert_eq!(rx.try_drain(&mut buf, 8).expect("connected"), 0);
+        for i in 0..cap {
+            tx.send(i).expect("below capacity"); // must not block
+            assert_eq!(tx.len(), i + 1);
+        }
+        assert_eq!(rx.len(), cap);
+        // The next send must park until the consumer frees a slot: the
+        // ring cannot grow past capacity while it is pending.
+        let parked = std::thread::spawn(move || {
+            tx.send(cap).expect("receiver alive");
+            tx
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(rx.len(), cap, "send overran a full ring");
+        assert_eq!(rx.try_drain(&mut buf, 1).expect("pop one"), 1);
+        drop(parked.join().expect("parked sender"));
+        // Sender gone but the tail remains: drains cleanly, then errors.
+        while let Ok(n) = rx.try_drain(&mut buf, 64) {
+            assert!(n > 0, "empty+disconnected must be Err");
+        }
+        assert!(buf.iter().copied().eq(0..=cap), "tail drain diverged");
+    });
+}
+
+/// The byte pool never hands out storage aliasing a live [`Bytes`]:
+/// buffers promoted via `into_bytes` keep their exact contents no matter
+/// how many later buffers are checked out, filled, recycled or promoted,
+/// and recycled checkouts always come back empty.
+#[test]
+fn pool_never_aliases_live_bytes() {
+    use dataflower_rt::{BytePool, Bytes};
+
+    check("pool_never_aliases_live_bytes", |g| {
+        let pool = BytePool::new(g.usize_in(1, 8), 1 << g.usize_in(4, 12));
+        let rounds = g.usize_in(1, 24);
+        let mut live: Vec<(u8, usize, Bytes)> = Vec::new();
+        for round in 0..rounds {
+            let mut checked_out = Vec::new();
+            for k in 0..g.usize_in(1, 5) {
+                let mut buf = pool.get();
+                assert!(buf.is_empty(), "pool returned a dirty buffer");
+                let fill = (round * 31 + k + 1) as u8;
+                let len = g.usize_in(1, 512);
+                buf.resize(len, fill);
+                checked_out.push((fill, len, buf));
+            }
+            for (fill, len, buf) in checked_out {
+                if g.usize_in(0, 2) == 0 {
+                    live.push((fill, len, buf.into_bytes()));
+                }
+                // else: dropped, storage back on the shelf
+            }
+            // Every promoted Bytes still reads back its own pattern.
+            for (fill, len, bytes) in &live {
+                assert_eq!(bytes.len(), *len, "live Bytes changed length");
+                assert!(
+                    bytes.iter().all(|b| b == fill),
+                    "live Bytes were overwritten by pool reuse"
+                );
+            }
+        }
+    });
+}
+
+/// Every task submitted to the work-stealing scheduler runs exactly
+/// once under random steal interleavings and concurrent scale churn:
+/// lazily-spawned workers, batch injector grabs, steals off other
+/// slots' deques, and `set_active` resizes mid-flight never lose or
+/// double-run an invocation.
+#[test]
+fn scheduler_runs_each_task_exactly_once_under_steal_churn() {
+    use dataflower_rt::NodeScheduler;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    check(
+        "scheduler_runs_each_task_exactly_once_under_steal_churn",
+        |g| {
+            let max_slots = g.usize_in(2, 7);
+            let sched = NodeScheduler::new("prop", max_slots, g.usize_in(1, max_slots + 1));
+            let total = g.usize_in(1, 400);
+            let runs: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..total).map(|_| AtomicUsize::new(0)).collect());
+            for i in 0..total {
+                let runs = Arc::clone(&runs);
+                sched.submit(Box::new(move || {
+                    runs[i].fetch_add(1, Ordering::SeqCst);
+                    if i % 5 == 0 {
+                        std::thread::yield_now(); // vary worker/stealer overlap
+                    }
+                }));
+                if g.usize_in(0, 8) == 0 {
+                    sched.set_active(g.usize_in(1, max_slots + 1));
+                }
+            }
+            sched.stop();
+            for (i, r) in runs.iter().enumerate() {
+                assert_eq!(r.load(Ordering::SeqCst), 1, "task {i} ran wrong count");
+            }
+        },
+    );
+}
+
+/// Stress: scaling in while workers are mid-steal loses no queued task.
+/// A burst is submitted at full width, the window collapses to one slot
+/// while every worker still holds local work, then widens again — the
+/// retired slots' deques must flow back through the injector so the
+/// whole burst still runs exactly once.
+#[test]
+fn scheduler_scale_in_during_steal_loses_no_tasks() {
+    use dataflower_rt::NodeScheduler;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    check("scheduler_scale_in_during_steal_loses_no_tasks", |g| {
+        let max_slots = g.usize_in(3, 7);
+        let sched = NodeScheduler::new("prop-stress", max_slots, max_slots);
+        let total = g.usize_in(100, 600);
+        let collapse_after = g.usize_in(1, total);
+        let runs: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..total).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..total {
+            let runs = Arc::clone(&runs);
+            sched.submit(Box::new(move || {
+                runs[i].fetch_add(1, Ordering::SeqCst);
+                std::thread::yield_now(); // keep deques non-empty mid-collapse
+            }));
+            if i == collapse_after {
+                sched.set_active(1); // retire all but one slot mid-burst
+            }
+        }
+        sched.set_active(max_slots); // widen again before the drain
+        sched.stop();
+        let ran: usize = runs.iter().map(|r| r.load(Ordering::SeqCst)).sum();
+        assert_eq!(ran, total, "scale-in stranded or double-ran tasks");
+        assert!(runs.iter().all(|r| r.load(Ordering::SeqCst) == 1));
+    });
 }
